@@ -1,0 +1,19 @@
+/* The paper's running example (Fig 4): a 5-point Jacobi stencil in the
+ * double-buffered form AN5D's front-end accepts. Try:
+ *
+ *   dune exec bin/an5d.exe -- detect   examples/j2d5pt.c
+ *   dune exec bin/an5d.exe -- compile  examples/j2d5pt.c --bt 4 --bs 32
+ *   dune exec bin/an5d.exe -- simulate examples/j2d5pt.c --bt 4 --bs 32 --steps 100
+ *   dune exec bin/an5d.exe -- ptx      examples/j2d5pt.c --bt 3 --bs 32
+ *   dune exec bin/an5d.exe -- artifact examples/j2d5pt.c --bt 4 --bs 32 -o /tmp/j2d5pt
+ */
+#define SB 128
+
+void j2d5pt(double a[2][SB][SB], double c0, int timesteps) {
+  for (int t = 0; t < timesteps; t++)
+    for (int i = 1; i < SB - 1; i++)
+      for (int j = 1; j < SB - 1; j++)
+        a[(t+1)%2][i][j] = (0.25 * a[t%2][i][j]
+            + 0.20 * a[t%2][i-1][j] + 0.15 * a[t%2][i+1][j]
+            + 0.20 * a[t%2][i][j-1] + 0.20 * a[t%2][i][j+1]) / c0;
+}
