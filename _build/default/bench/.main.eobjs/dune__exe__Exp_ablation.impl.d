@@ -1,0 +1,1 @@
+bench/exp_ablation.ml: An5d_core Array Baselines Bench_defs Config Execmodel Exp_common Float Gpu List Model Multi_blocking Option Output Printf Registers Stencil Warp

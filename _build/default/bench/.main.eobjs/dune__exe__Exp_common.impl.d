@@ -1,0 +1,1 @@
+bench/exp_common.ml: An5d_core Array Baselines Bench_defs Config Execmodel Gpu Model Option Printf Stencil String

@@ -1,0 +1,1 @@
+bench/exp_fig6.ml: Bench_defs Exp_common List Model Output Printf

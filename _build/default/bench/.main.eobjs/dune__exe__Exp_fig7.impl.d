@@ -1,0 +1,1 @@
+bench/exp_fig7.ml: An5d_core Bench_defs Config Exp_common List Output Printf Registers Stencil

@@ -1,0 +1,1 @@
+bench/exp_fig8.ml: An5d_core Bench_defs Config Execmodel Exp_common Gpu List Model Output Printf Registers Stencil

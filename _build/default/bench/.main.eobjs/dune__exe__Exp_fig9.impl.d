@@ -1,0 +1,1 @@
+bench/exp_fig9.ml: An5d_core Bench_defs Exp_common Gpu List Model Option Output Printf Stencil

@@ -1,0 +1,1 @@
+bench/exp_ptx.ml: An5d_core Array Bench_defs Config Gpu List Option Output Printf Ptx Stencil

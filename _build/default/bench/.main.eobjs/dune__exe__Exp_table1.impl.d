@@ -1,0 +1,1 @@
+bench/exp_table1.ml: An5d_core Baselines Config Execmodel List Output Stencil

@@ -1,0 +1,1 @@
+bench/exp_table2.ml: An5d_core Array Blocking Config Execmodel Gpu List Model Output Printf Stencil

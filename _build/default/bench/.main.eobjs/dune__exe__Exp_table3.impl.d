@@ -1,0 +1,1 @@
+bench/exp_table3.ml: Bench_defs List Output Printf Stencil

@@ -1,0 +1,1 @@
+bench/exp_table4.ml: Bandwidth Device Fmt Gpu List Output Printf Stencil

@@ -1,0 +1,1 @@
+bench/exp_table5.ml: Bench_defs Exp_common Gpu Hashtbl List Model Output Printf Stencil

@@ -1,0 +1,1 @@
+bench/exp_validate.ml: An5d_core Blocking Config Execmodel Gpu List Model Output Printf Stencil

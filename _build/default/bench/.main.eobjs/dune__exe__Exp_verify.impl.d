@@ -1,0 +1,1 @@
+bench/exp_verify.ml: An5d_core Bench_defs Blocking Config Execmodel Gpu List Output Printf Stencil

@@ -1,0 +1,1 @@
+bench/main.ml: Array Exp_ablation Exp_fig6 Exp_fig7 Exp_fig8 Exp_fig9 Exp_ptx Exp_table1 Exp_table2 Exp_table3 Exp_table4 Exp_table5 Exp_validate Exp_verify List Micro Output Printf Sys

@@ -1,0 +1,1 @@
+bench/micro.ml: An5d_core Analyze Baselines Bechamel Bench_defs Benchmark Exp_common Gpu Hashtbl Instance List Measure Model Option Output Printf Staged Stencil Test Time Toolkit

@@ -1,0 +1,1 @@
+bench/output.ml: Filename List Out_channel Printf Report Sys

@@ -1,0 +1,67 @@
+(* Fig 8: performance scaling with the temporal blocking degree on
+   V100 (float, rad = 1), holding the tuned spatial parameters fixed and
+   re-tuning only the register limit per bT -- 2D stencils scale to
+   bT ~ 10, 3D star to ~ 5, 3D box to ~ 3. *)
+
+open An5d_core
+
+let subjects () =
+  List.filter_map
+    (fun name -> Bench_defs.Benchmarks.find name)
+    [ "star2d1r"; "box2d1r"; "j2d5pt"; "star3d1r"; "box3d1r"; "j3d27pt" ]
+
+let sweep st b =
+  let pattern = b.Bench_defs.Benchmarks.pattern in
+  let tuned = (Exp_common.an5d_tuned st b).Model.Tuner.best in
+  let max_bt = if pattern.Stencil.Pattern.dims = 2 then 12 else 8 in
+  List.map
+    (fun bt ->
+      let cfg = { tuned with Config.bt; reg_limit = None } in
+      if
+        not
+          (Config.valid ~rad:pattern.Stencil.Pattern.radius ~max_threads:1024 cfg
+          && Registers.feasible st.Exp_common.device ~prec:st.Exp_common.prec ~bt
+               ~rad:pattern.Stencil.Pattern.radius ~n_thr:(Config.n_thr cfg))
+      then (bt, None)
+      else begin
+        let em = Execmodel.make pattern cfg b.Bench_defs.Benchmarks.full_dims in
+        let _, m =
+          Model.Measure.with_reg_limit_search st.Exp_common.device
+            ~prec:st.Exp_common.prec em ~steps:Exp_common.steps
+        in
+        (bt, Some m.Model.Measure.gflops)
+      end)
+    (List.init max_bt (fun i -> i + 1))
+
+let run () =
+  let st = { Exp_common.device = Gpu.Device.v100; prec = Stencil.Grid.F32 } in
+  Output.section "Fig 8 -- scaling with degree of temporal blocking (V100, float, rad=1)";
+  let subjects = subjects () in
+  let sweeps = List.map (fun b -> (b, sweep st b)) subjects in
+  let max_bt = List.fold_left (fun m (_, s) -> max m (List.length s)) 0 sweeps in
+  let header = "bT" :: List.map (fun b -> b.Bench_defs.Benchmarks.name) subjects in
+  let rows =
+    List.init max_bt (fun i ->
+        let bt = i + 1 in
+        string_of_int bt
+        :: List.map
+             (fun (_, s) ->
+               match List.assoc_opt bt s with
+               | Some (Some g) -> Output.gflops g
+               | Some None | None -> "-")
+             sweeps)
+  in
+  Output.table ~header ~rows;
+  (* peak bT per stencil *)
+  print_newline ();
+  List.iter
+    (fun (b, s) ->
+      let best =
+        List.fold_left
+          (fun (bbt, bg) (bt, g) ->
+            match g with Some g when g > bg -> (bt, g) | _ -> (bbt, bg))
+          (0, 0.0) s
+      in
+      Printf.printf "%-10s peaks at bT = %d (%.0f GFLOP/s)\n"
+        b.Bench_defs.Benchmarks.name (fst best) (snd best))
+    sweeps

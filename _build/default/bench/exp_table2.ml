@@ -1,0 +1,69 @@
+(* Table 2: shared-memory accesses per thread -- expected vs practical
+   (after NVCC's column caching), cross-checked against the simulator's
+   actual counters on a small grid. *)
+
+open An5d_core
+
+let cases =
+  [ ("2D", "star", 2, true); ("2D", "box", 2, false); ("3D", "star", 3, true); ("3D", "box", 3, false) ]
+
+let pattern_of ~dims ~star rad =
+  let offsets =
+    if star then Stencil.Shape.star_offsets ~dims ~rad
+    else Stencil.Shape.box_offsets ~dims ~rad
+  in
+  Stencil.Pattern.make
+    ~name:(Printf.sprintf "%s%dd%dr" (if star then "star" else "box") dims rad)
+    ~dims ~params:[]
+    (Stencil.Sexpr.weighted_sum offsets)
+
+(* Simulated reads per computed in-grid thread: run one call and divide. *)
+let simulated_reads pattern =
+  let dims =
+    if pattern.Stencil.Pattern.dims = 2 then [| 24; 24 |] else [| 14; 14; 14 |]
+  in
+  let rad = pattern.Stencil.Pattern.radius in
+  let bs =
+    if pattern.Stencil.Pattern.dims = 2 then [| (2 * rad) + 8 |]
+    else [| (2 * rad) + 6; (2 * rad) + 6 |]
+  in
+  let em = Execmodel.make pattern (Config.make ~bt:1 ~bs ()) dims in
+  let machine = Gpu.Machine.create Gpu.Device.v100 in
+  let g = Stencil.Grid.init_random dims in
+  let _ = Blocking.run em ~machine ~steps:1 g in
+  let c = machine.Gpu.Machine.counters in
+  let t = Model.Thread_class.for_run em ~steps:1 in
+  (* reads are counted for in-grid threads on computed planes *)
+  let denom = t.Model.Thread_class.sm_reads / max 1 (Execmodel.smem_reads_practical em) in
+  float c.Gpu.Counters.sm_reads /. float (max 1 denom)
+
+let run () =
+  Output.section "Table 2 -- shared memory accesses per thread";
+  let rows =
+    List.concat_map
+      (fun (dim_label, shape_label, dims, star) ->
+        List.map
+          (fun rad ->
+            let p = pattern_of ~dims ~star rad in
+            let em =
+              Execmodel.make p
+                (Config.make ~bt:1
+                   ~bs:
+                     (if dims = 2 then [| (2 * rad) + 8 |]
+                      else [| (2 * rad) + 6; (2 * rad) + 6 |])
+                   ())
+                (Array.make dims (if dims = 2 then 24 else 14))
+            in
+            [
+              Printf.sprintf "%s %s rad=%d" dim_label shape_label rad;
+              string_of_int (Execmodel.smem_reads_expected em);
+              string_of_int (Execmodel.smem_reads_practical em);
+              Printf.sprintf "%.0f" (simulated_reads p);
+              string_of_int (Execmodel.smem_writes_per_cell em);
+            ])
+          [ 1; 2 ])
+      cases
+  in
+  Output.table
+    ~header:[ "shape"; "read (expected)"; "read (practical)"; "read (simulated)"; "write" ]
+    ~rows

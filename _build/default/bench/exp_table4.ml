@@ -1,0 +1,48 @@
+(* Table 4: GPU specifications, with the measured bandwidths produced by
+   running the BabelStream / gpumembench procedures against the
+   simulated memory system. *)
+
+open Gpu
+
+let run () =
+  Output.section "Table 4 -- GPU specifications (float | double)";
+  let rows =
+    List.map
+      (fun d ->
+        let gm32, sm32 = Bandwidth.measured_peaks d Stencil.Grid.F32 in
+        let gm64, sm64 = Bandwidth.measured_peaks d Stencil.Grid.F64 in
+        [
+          d.Device.name;
+          Printf.sprintf "%.0f | %.0f" d.Device.peak_gflops.Device.f32
+            d.Device.peak_gflops.Device.f64;
+          Printf.sprintf "%.0f" d.Device.peak_gm_bw;
+          Printf.sprintf "%.0f | %.0f" gm32 gm64;
+          Printf.sprintf "%.0f | %.0f" sm32 sm64;
+          string_of_int d.Device.sm_count;
+        ])
+      Device.all
+  in
+  Output.table
+    ~header:
+      [
+        "GPU";
+        "perf (GFLOP/s)";
+        "peak gmem (GB/s)";
+        "measured gmem (GB/s)";
+        "measured smem (GB/s)";
+        "SMs";
+      ]
+    ~rows;
+  print_endline "\nBandwidth measurement procedure (BabelStream copy/triad, gpumembench sweep):";
+  List.iter
+    (fun d ->
+      List.iter
+        (fun prec ->
+          let copy = Bandwidth.babelstream_copy d prec in
+          let triad = Bandwidth.babelstream_triad d prec in
+          let smem = Bandwidth.gpumembench_shared d prec in
+          Fmt.pr "  %s %s: %a; %a; %a@." d.Device.name
+            (Stencil.Grid.precision_to_string prec)
+            Bandwidth.pp_report copy Bandwidth.pp_report triad Bandwidth.pp_report smem)
+        [ Stencil.Grid.F32; Stencil.Grid.F64 ])
+    Device.all

@@ -1,0 +1,58 @@
+(* Experiment harness entry point.
+
+   With no arguments, regenerates every table and figure of the paper's
+   evaluation (plus the ablations and the artifact-style verification)
+   and finishes with the Bechamel micro-benchmarks. Individual
+   experiments can be selected by name:
+
+     dune exec bench/main.exe -- table5 fig8 *)
+
+let experiments =
+  [
+    ("table1", Exp_table1.run, "smem footprint, AN5D vs STENCILGEN");
+    ("table2", Exp_table2.run, "smem accesses per thread");
+    ("table3", Exp_table3.run, "benchmark suite and FLOP/cell");
+    ("table4", Exp_table4.run, "GPU specifications and bandwidths");
+    ("fig6", Exp_fig6.run, "framework comparison, 2 GPUs x 2 precisions");
+    ("table5", Exp_table5.run, "tuned configurations and model accuracy");
+    ("fig7", Exp_fig7.run, "register usage, STENCILGEN vs AN5D");
+    ("fig8", Exp_fig8.run, "scaling with temporal blocking degree");
+    ("fig9", Exp_fig9.run, "scaling with stencil order");
+    ("ablation", Exp_ablation.run, "design-choice ablations");
+    ("ptx", Exp_ptx.run, "PTX-lite instruction analysis and interpreted runs");
+    ("verify", Exp_verify.run, "blocked executor vs CPU reference");
+    ("validate", Exp_validate.run, "model totals vs simulator counters, exact");
+    ("micro", Micro.run, "bechamel micro-benchmarks");
+  ]
+
+let usage () =
+  print_endline "usage: main.exe [--csv DIR] [experiment...]";
+  print_endline "experiments:";
+  List.iter (fun (name, _, doc) -> Printf.printf "  %-8s %s\n" name doc) experiments
+
+(* Strip a leading [--csv DIR] option; returns the remaining args. *)
+let rec parse_options = function
+  | "--csv" :: dir :: rest ->
+      Output.set_csv_dir (Some dir);
+      parse_options rest
+  | args -> args
+
+let () =
+  match parse_options (List.tl (Array.to_list Sys.argv)) with
+  | [] ->
+      Printf.printf
+        "AN5D reproduction -- regenerating all tables and figures (simulated \
+         P100/V100)\n";
+      List.iter (fun (_, run, _) -> run ()) experiments
+  | args ->
+      if List.mem "--help" args || List.mem "-h" args then usage ()
+      else
+        List.iter
+          (fun name ->
+            match List.find_opt (fun (n, _, _) -> n = name) experiments with
+            | Some (_, run, _) -> run ()
+            | None ->
+                Printf.eprintf "unknown experiment %s\n" name;
+                usage ();
+                exit 1)
+          args

@@ -1,0 +1,43 @@
+(* Experiment-harness output: tables to stdout (via Report.Tabular),
+   optionally mirrored as CSVs named after the current section when
+   main.exe runs with --csv DIR. *)
+
+let csv_dir : string option ref = ref None
+
+let current_slug = ref "table"
+
+let tables_in_section = ref 0
+
+let set_csv_dir dir =
+  (match dir with
+  | Some d when not (Sys.file_exists d) -> Sys.mkdir d 0o755
+  | _ -> ());
+  csv_dir := dir
+
+let write_csv ~header ~rows =
+  match !csv_dir with
+  | None -> ()
+  | Some dir ->
+      incr tables_in_section;
+      let name =
+        if !tables_in_section = 1 then !current_slug
+        else Printf.sprintf "%s-%d" !current_slug !tables_in_section
+      in
+      let path = Filename.concat dir (name ^ ".csv") in
+      Out_channel.with_open_bin path (fun oc ->
+          Out_channel.output_string oc (Report.Tabular.to_csv ~header ~rows))
+
+let table ~header ~rows =
+  List.iter print_endline (Report.Tabular.render ~header ~rows);
+  write_csv ~header ~rows
+
+let section title =
+  current_slug := Report.Tabular.slug title;
+  tables_in_section := 0;
+  Printf.printf "\n=== %s ===\n\n" title
+
+let gflops f = if f <= 0.0 then "-" else Printf.sprintf "%.0f" f
+
+let fixed1 f = Printf.sprintf "%.1f" f
+
+let percent f = Printf.sprintf "%.0f%%" (100.0 *. f)

@@ -1,0 +1,355 @@
+(* The an5d command-line tool.
+
+   Mirrors the artifact's workflow (§A): C stencil in, CUDA out, plus
+   detection reports, model-guided tuning and simulated verification
+   runs — all against the simulated P100/V100 devices.
+
+     an5d detect  input.c
+     an5d compile input.c --bt 4 --bs 256 -o out.cu
+     an5d simulate input.c --bt 4 --bs 256 --steps 100 --device v100
+     an5d tune    --stencil star2d1r --device v100 --prec float
+     an5d list *)
+
+open Cmdliner
+open An5d_core
+
+(* ------------------------------------------------------------------ *)
+(* Shared arguments                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let input_file =
+  let doc = "C source file containing the stencil (Fig 4 form)." in
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
+
+let bt_arg =
+  let doc = "Temporal blocking degree $(docv)." in
+  Arg.(value & opt int 4 & info [ "bt" ] ~docv:"BT" ~doc)
+
+let bs_arg =
+  let doc = "Spatial block size per blocked dimension (comma-separated)." in
+  Arg.(value & opt (list int) [ 256 ] & info [ "bs" ] ~docv:"BS" ~doc)
+
+let hs_arg =
+  let doc = "Stream-block length h_SN; omit to disable stream division." in
+  Arg.(value & opt (some int) None & info [ "hs" ] ~docv:"H" ~doc)
+
+let reg_limit_arg =
+  let doc = "Per-thread register limit (as nvcc -maxrregcount)." in
+  Arg.(value & opt (some int) None & info [ "reg-limit" ] ~docv:"N" ~doc)
+
+let device_arg =
+  let doc = "Target GPU: v100 or p100." in
+  Arg.(value & opt string "v100" & info [ "device" ] ~docv:"GPU" ~doc)
+
+let prec_arg =
+  let doc = "Precision: float or double." in
+  Arg.(value & opt string "double" & info [ "prec" ] ~docv:"PREC" ~doc)
+
+let steps_arg =
+  let doc = "Number of time-steps." in
+  Arg.(value & opt int 100 & info [ "steps" ] ~docv:"T" ~doc)
+
+let verbose_arg =
+  let doc = "Enable debug logging of detection, tuning and simulation." in
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs.format_reporter ());
+  Logs.set_level (Some (if verbose then Logs.Debug else Logs.Warning))
+
+let logs_term = Term.(const setup_logs $ verbose_arg)
+
+let resolve_device name =
+  match Gpu.Device.find name with
+  | Some d -> d
+  | None -> failwith (Fmt.str "unknown device %s (try v100 or p100)" name)
+
+let resolve_prec = function
+  | "float" | "f32" -> Stencil.Grid.F32
+  | "double" | "f64" -> Stencil.Grid.F64
+  | p -> failwith (Fmt.str "unknown precision %s" p)
+
+let config_of ~bt ~bs ~hs ~reg_limit =
+  Config.make ~hs ~reg_limit ~bt ~bs:(Array.of_list bs) ()
+
+let load_job ~file ~bt ~bs ~hs ~reg_limit =
+  Framework.compile
+    ~config:(config_of ~bt ~bs ~hs ~reg_limit)
+    (Framework.source_of_file file)
+
+let handle_errors f =
+  try
+    f ();
+    0
+  with
+  | Framework.Compile_error msg | Failure msg ->
+      Fmt.epr "an5d: %s@." msg;
+      1
+  | Gpu.Machine.Launch_failure msg ->
+      Fmt.epr "an5d: launch failure: %s@." msg;
+      1
+
+(* ------------------------------------------------------------------ *)
+(* Subcommands                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let detect_cmd =
+  let run () file =
+    handle_errors (fun () ->
+        let r = Stencil.Detect.of_string (In_channel.with_open_bin file In_channel.input_all) in
+        let p = r.Stencil.Detect.pattern in
+        Fmt.pr "pattern:    %a@." Stencil.Pattern.pp p;
+        Fmt.pr "class:      %s@."
+          (Stencil.Pattern.opt_class_to_string (Stencil.Pattern.opt_class p));
+        Fmt.pr "array:      %s (%s)@." r.Stencil.Detect.array_name
+          (Stencil.Grid.precision_to_string r.Stencil.Detect.elem_prec);
+        Fmt.pr "loop nest:  t=%s, space=%a (streaming %s)@." r.Stencil.Detect.time_var
+          Fmt.(list ~sep:comma string)
+          r.Stencil.Detect.space_vars
+          (List.hd r.Stencil.Detect.space_vars);
+        (match r.Stencil.Detect.grid_dims with
+        | Some d -> Fmt.pr "grid:       %a@." Fmt.(array ~sep:(any "x") int) d
+        | None -> Fmt.pr "grid:       dynamic@.");
+        Fmt.pr "offsets:    %a@."
+          Fmt.(list ~sep:sp Stencil.Shape.pp_offset)
+          p.Stencil.Pattern.offsets)
+  in
+  let doc = "Detect and report the stencil pattern in a C source file." in
+  Cmd.v (Cmd.info "detect" ~doc) Term.(const run $ logs_term $ input_file)
+
+let compile_cmd =
+  let output =
+    let doc = "Write the generated CUDA to $(docv) (default: stdout)." in
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"OUT" ~doc)
+  in
+  let run () file bt bs hs reg_limit output =
+    handle_errors (fun () ->
+        let job = load_job ~file ~bt ~bs ~hs ~reg_limit in
+        let cuda = Framework.cuda_source job in
+        match output with
+        | None -> print_string cuda
+        | Some path ->
+            Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc cuda);
+            Fmt.pr "wrote %s (%d bytes)@." path (String.length cuda))
+  in
+  let doc = "Generate CUDA host and kernel code for a C stencil." in
+  Cmd.v
+    (Cmd.info "compile" ~doc)
+    Term.(const run $ logs_term $ input_file $ bt_arg $ bs_arg $ hs_arg $ reg_limit_arg $ output)
+
+let simulate_cmd =
+  let run () file bt bs hs reg_limit device steps =
+    handle_errors (fun () ->
+        let job = load_job ~file ~bt ~bs ~hs ~reg_limit in
+        let dev = resolve_device device in
+        let g = Stencil.Grid.init_random ~prec:job.Framework.prec job.Framework.dims in
+        let o = Framework.simulate ~device:dev ~steps job g in
+        Fmt.pr "launch:     %a@." Blocking.pp_launch_stats o.Framework.stats;
+        Fmt.pr "traffic:    %a@." Gpu.Counters.pp o.Framework.counters;
+        (match o.Framework.verified with
+        | Ok () -> Fmt.pr "verify:     PASS (bit-exact vs CPU reference)@."
+        | Error d -> Fmt.pr "verify:     FAIL (max abs deviation %.3e)@." d);
+        let em = Framework.execmodel job in
+        let report = Model.Predict.evaluate dev ~prec:job.Framework.prec em ~steps in
+        Fmt.pr "model:      %a@." Model.Predict.pp report;
+        let m = Model.Measure.run dev ~prec:job.Framework.prec em ~steps in
+        Fmt.pr "measured:   %a@." Model.Measure.pp m)
+  in
+  let doc = "Run the blocked schedule on the simulated GPU and verify it." in
+  Cmd.v
+    (Cmd.info "simulate" ~doc)
+    Term.(
+      const run $ logs_term $ input_file $ bt_arg $ bs_arg $ hs_arg $ reg_limit_arg
+      $ device_arg $ steps_arg)
+
+let tune_cmd =
+  let stencil_arg =
+    let doc = "Built-in benchmark name (see $(b,an5d list)) or a C file." in
+    Arg.(required & opt (some string) None & info [ "stencil" ] ~docv:"NAME" ~doc)
+  in
+  let run () stencil device prec steps =
+    handle_errors (fun () ->
+        let dev = resolve_device device in
+        let prec = resolve_prec prec in
+        let pattern, dims =
+          match Bench_defs.Benchmarks.find stencil with
+          | Some b -> (b.Bench_defs.Benchmarks.pattern, b.Bench_defs.Benchmarks.full_dims)
+          | None ->
+              if Sys.file_exists stencil then begin
+                let r =
+                  Stencil.Detect.of_string
+                    (In_channel.with_open_bin stencil In_channel.input_all)
+                in
+                match r.Stencil.Detect.grid_dims with
+                | Some d -> (r.Stencil.Detect.pattern, d)
+                | None -> failwith "dynamic grid sizes; tuning needs static #defines"
+              end
+              else failwith (Fmt.str "unknown stencil %s" stencil)
+        in
+        let r = Model.Tuner.tune dev ~prec pattern ~dims_sizes:dims ~steps in
+        Fmt.pr "explored %d configurations, pruned %d by the register estimate@."
+          r.Model.Tuner.explored r.Model.Tuner.pruned;
+        Fmt.pr "model top-%d:@." (List.length r.Model.Tuner.top);
+        List.iter
+          (fun c ->
+            Fmt.pr "  %a -> %a@." Config.pp c.Model.Tuner.config Model.Predict.pp
+              c.Model.Tuner.predicted)
+          r.Model.Tuner.top;
+        Fmt.pr "best: %a@." Config.pp r.Model.Tuner.best;
+        Fmt.pr "tuned %.0f GFLOP/s, model %.0f GFLOP/s (accuracy %.0f%%)@."
+          r.Model.Tuner.tuned.Model.Measure.gflops r.Model.Tuner.model_gflops
+          (100.0 *. r.Model.Tuner.tuned.Model.Measure.gflops /. r.Model.Tuner.model_gflops))
+  in
+  let doc = "Model-guided parameter tuning (the §6.3 procedure)." in
+  Cmd.v
+    (Cmd.info "tune" ~doc)
+    Term.(const run $ logs_term $ stencil_arg $ device_arg $ prec_arg $ steps_arg)
+
+let ptx_cmd =
+  let dump =
+    let doc = "Print the full instruction listing, not just the summary." in
+    Arg.(value & flag & info [ "dump" ] ~doc)
+  in
+  let run () file bt bs hs reg_limit dump =
+    handle_errors (fun () ->
+        let job = load_job ~file ~bt ~bs ~hs ~reg_limit in
+        let pattern = Framework.pattern job in
+        let prog = Ptx.Compile.kernel pattern job.Framework.config ~degree:bt in
+        Fmt.pr "compiled %s, degree %d: %d head positions, %d rotation slots, %d regs@."
+          pattern.Stencil.Pattern.name bt
+          (Array.length prog.Ptx.Isa.head)
+          (Array.length prog.Ptx.Isa.inner)
+          prog.Ptx.Isa.n_regs;
+        Fmt.pr "static mix: %a@." Ptx.Isa.pp_mix (Ptx.Isa.program_mix prog);
+        Fmt.pr "inner loop body: %d instructions@." (Ptx.Isa.inner_loop_size prog);
+        if dump then begin
+          Array.iteri
+            (fun i b -> Fmt.pr "@.// head position %d@.%a@." i Ptx.Isa.pp_block b)
+            prog.Ptx.Isa.head;
+          Array.iteri
+            (fun i b -> Fmt.pr "@.// inner slot %d@.%a@." i Ptx.Isa.pp_block b)
+            prog.Ptx.Isa.inner
+        end;
+        (* interpreted validation on a small grid *)
+        let dims =
+          Array.map (fun d -> min d 40) job.Framework.dims
+        in
+        let g = Stencil.Grid.init_random ~prec:job.Framework.prec dims in
+        let reference = Stencil.Reference.run pattern ~steps:(2 * bt) g in
+        let machine = Gpu.Machine.create ~prec:job.Framework.prec Gpu.Device.v100 in
+        let out, stats =
+          Ptx.Interp.run pattern job.Framework.config ~machine ~steps:(2 * bt) g
+        in
+        Fmt.pr "interpreted on %a: max err vs reference %.1e, %a@."
+          Fmt.(array ~sep:(any "x") int)
+          dims
+          (Stencil.Grid.max_abs_diff reference out)
+          Ptx.Interp.pp_stats stats)
+  in
+  let doc = "Compile the schedule to PTX-lite, report the instruction mix, and \
+             validate it by interpretation." in
+  Cmd.v
+    (Cmd.info "ptx" ~doc)
+    Term.(const run $ logs_term $ input_file $ bt_arg $ bs_arg $ hs_arg $ reg_limit_arg $ dump)
+
+let compare_cmd =
+  let stencil_arg =
+    let doc = "Built-in benchmark name (see $(b,an5d list))." in
+    Arg.(required & opt (some string) None & info [ "stencil" ] ~docv:"NAME" ~doc)
+  in
+  let run () stencil device prec steps =
+    handle_errors (fun () ->
+        let dev = resolve_device device in
+        let prec = resolve_prec prec in
+        let b =
+          match Bench_defs.Benchmarks.find stencil with
+          | Some b -> b
+          | None -> failwith (Fmt.str "unknown stencil %s" stencil)
+        in
+        let pattern = b.Bench_defs.Benchmarks.pattern in
+        let dims = b.Bench_defs.Benchmarks.full_dims in
+        let print name gflops = Fmt.pr "  %-22s %8.0f GFLOP/s@." name gflops in
+        Fmt.pr "%s on %s (%s), %a grid, %d steps:@." stencil dev.Gpu.Device.name
+          (Stencil.Grid.precision_to_string prec)
+          Fmt.(array ~sep:(any "x") int)
+          dims steps;
+        print "loop tiling"
+          (Baselines.Loop_tiling.predict dev ~prec pattern ~dims ~steps ())
+            .Baselines.Loop_tiling.gflops;
+        print "hybrid tiling"
+          (Baselines.Hybrid.tune dev ~prec pattern ~dims ~steps).Baselines.Hybrid.gflops;
+        let sconf = Baselines.Stencilgen.sconf ~dims:pattern.Stencil.Pattern.dims in
+        if Config.valid ~rad:pattern.Stencil.Pattern.radius ~max_threads:1024 sconf
+        then begin
+          (match
+             Baselines.Stencilgen.measure_best dev ~prec
+               (Execmodel.make pattern sconf dims)
+               ~steps
+           with
+          | Some m -> print "STENCILGEN (Sconf)" m.Model.Measure.gflops
+          | None -> Fmt.pr "  %-22s %8s@." "STENCILGEN (Sconf)" "n/a");
+          let _, m =
+            Model.Measure.with_reg_limit_search
+              ~limits:[ None; Some 32; Some 64 ]
+              dev ~prec
+              (Execmodel.make pattern sconf dims)
+              ~steps
+          in
+          print "AN5D (Sconf)" m.Model.Measure.gflops
+        end;
+        let tuned = Model.Tuner.tune dev ~prec pattern ~dims_sizes:dims ~steps in
+        Fmt.pr "  %-22s %8.0f GFLOP/s  (%a)@." "AN5D (Tuned)"
+          tuned.Model.Tuner.tuned.Model.Measure.gflops Config.pp tuned.Model.Tuner.best;
+        print "model prediction" tuned.Model.Tuner.model_gflops)
+  in
+  let doc = "Compare all frameworks on one stencil (one Fig 6 row)." in
+  Cmd.v
+    (Cmd.info "compare" ~doc)
+    Term.(const run $ logs_term $ stencil_arg $ device_arg $ prec_arg $ steps_arg)
+
+let artifact_cmd =
+  let out_dir =
+    let doc = "Directory to write the artifact bundle into." in
+    Arg.(required & opt (some string) None & info [ "o"; "output" ] ~docv:"DIR" ~doc)
+  in
+  let run () file bt bs hs reg_limit steps out_dir =
+    handle_errors (fun () ->
+        let job = load_job ~file ~bt ~bs ~hs ~reg_limit in
+        let art = Artifact.make ~steps job in
+        Artifact.write art ~dir:out_dir;
+        List.iter
+          (fun f ->
+            Fmt.pr "wrote %s (%d bytes)@."
+              (Filename.concat out_dir f.Artifact.path)
+              (String.length f.Artifact.contents))
+          (Artifact.files art);
+        Fmt.pr "build and run on a CUDA machine with: cd %s && sh run.sh@." out_dir)
+  in
+  let doc =
+    "Emit the paper's \xC2\xA7A artifact bundle: generated CUDA, verification \
+     harness, Makefile and runner."
+  in
+  Cmd.v
+    (Cmd.info "artifact" ~doc)
+    Term.(
+      const run $ logs_term $ input_file $ bt_arg $ bs_arg $ hs_arg $ reg_limit_arg
+      $ steps_arg $ out_dir)
+
+let list_cmd =
+  let run () =
+    List.iter (fun b -> Fmt.pr "%a@." Bench_defs.Benchmarks.pp b) Bench_defs.Benchmarks.all;
+    0
+  in
+  let doc = "List the built-in Table 3 benchmarks." in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+let main_cmd =
+  let doc = "AN5D: automated stencil framework with high-degree temporal blocking" in
+  let info = Cmd.info "an5d" ~version:"1.0.0" ~doc in
+  Cmd.group info
+    [
+      detect_cmd; compile_cmd; simulate_cmd; tune_cmd; compare_cmd; ptx_cmd;
+      artifact_cmd; list_cmd;
+    ]
+
+let () = exit (Cmd.eval' main_cmd)

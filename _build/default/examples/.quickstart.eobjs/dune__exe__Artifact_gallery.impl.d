@@ -1,0 +1,1 @@
+examples/artifact_gallery.ml: An5d_core Array Artifact Bench_defs Config Filename Fmt Framework List Stencil String Sys

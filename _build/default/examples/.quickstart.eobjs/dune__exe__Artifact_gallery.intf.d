@@ -1,0 +1,1 @@
+examples/artifact_gallery.mli:

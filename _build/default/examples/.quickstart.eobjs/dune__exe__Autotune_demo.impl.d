@@ -1,0 +1,1 @@
+examples/autotune_demo.ml: An5d_core Bench_defs Config Execmodel Fmt Gpu List Model Option Stencil

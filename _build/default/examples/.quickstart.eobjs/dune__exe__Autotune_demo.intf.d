@@ -1,0 +1,1 @@
+examples/autotune_demo.mli:

@@ -1,0 +1,1 @@
+examples/heat_diffusion.ml: An5d_core Array Baselines Blocking Config Execmodel Float Fmt Gpu List Model Stencil

@@ -1,0 +1,1 @@
+examples/plume3d.ml: An5d_core Array Blocking Config Execmodel Fmt Gpu List Model Poly Stencil

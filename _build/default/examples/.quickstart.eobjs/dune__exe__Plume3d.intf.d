@@ -1,0 +1,1 @@
+examples/plume3d.mli:

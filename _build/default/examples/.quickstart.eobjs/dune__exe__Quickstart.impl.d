@@ -1,0 +1,1 @@
+examples/quickstart.ml: An5d_core Fmt Gpu List Stencil String

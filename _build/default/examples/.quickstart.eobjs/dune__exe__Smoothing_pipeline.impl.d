@@ -1,0 +1,1 @@
+examples/smoothing_pipeline.ml: An5d_core Array Bench_defs Blocking Config Execmodel Float Fmt Gpu Option Poly Stencil

@@ -1,0 +1,1 @@
+examples/smoothing_pipeline.mli:

@@ -1,0 +1,1 @@
+examples/wave2d.ml: An5d_core Array Config Float Fmt Gpu Grid List Multi_blocking Multi_codegen Registers Seq Stencil String System

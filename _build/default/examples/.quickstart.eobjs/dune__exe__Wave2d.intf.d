@@ -1,0 +1,1 @@
+examples/wave2d.mli:

@@ -1,0 +1,1 @@
+lib/baselines/hybrid.ml: An5d_core Array Execmodel Float Gpu List Model Option Poly Stencil

@@ -1,0 +1,1 @@
+lib/baselines/loop_tiling.ml: Array Float Gpu List Model Poly Stencil

@@ -1,0 +1,1 @@
+lib/baselines/loop_tiling.mli: Gpu Stencil

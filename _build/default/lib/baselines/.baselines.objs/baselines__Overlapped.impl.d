@@ -1,0 +1,1 @@
+lib/baselines/overlapped.ml: An5d_core Array Execmodel Gpu Hashtbl List Poly Stencil

@@ -1,0 +1,1 @@
+lib/baselines/overlapped.mli: Gpu Stencil

@@ -1,0 +1,1 @@
+lib/baselines/stencilgen.ml: An5d_core Blocking Config Execmodel Float Fmt Gpu List Model Registers Stencil

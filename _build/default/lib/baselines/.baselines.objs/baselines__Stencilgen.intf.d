@@ -1,0 +1,1 @@
+lib/baselines/stencilgen.mli: An5d_core Blocking Config Execmodel Gpu Model Stencil

@@ -1,0 +1,1 @@
+lib/baselines/trapezoid.ml: Array Fmt List Poly Stencil

@@ -1,0 +1,1 @@
+lib/baselines/trapezoid.mli: Format Stencil

@@ -1,0 +1,197 @@
+(** Baseline: hybrid hexagonal/classical tiling (Grosser et al. [7, 9];
+    paper §3).
+
+    Hybrid tiling performs temporal blocking *without redundant
+    computation*: one spatial dimension is covered by alternating
+    upright/inverted tile shapes whose slopes resolve the temporal
+    dependency (Fig 2), the remaining dimensions by classical wavefront
+    skewing. Its defining trade-off versus N.5D blocking: no dimension
+    is streamed, so all [N] dimensions must fit in on-chip memory at
+    once, forcing smaller blocks and a higher ratio of boundary traffic
+    — the reason it loses on 3D stencils (§7.1).
+
+    The executor below implements split tiling over the first spatial
+    dimension (upright trapezoids, then inverted fill-in tiles); it is
+    non-redundant — every cell is updated exactly once per time-step —
+    and bit-matches the reference. The analytic model captures the
+    on-chip capacity limit and wavefront drain. *)
+
+open An5d_core
+
+(* ------------------------------------------------------------------ *)
+(* Executor: split tiling along dimension 0                            *)
+(* ------------------------------------------------------------------ *)
+
+(** Advance [degree] steps non-redundantly with tile width [width]
+    (must exceed [2 * rad * degree] so inverted tiles fit between
+    upright ones). *)
+let chunk pattern ~(machine : Gpu.Machine.t) ~degree:b ~width ~src ~dst =
+  let rad = pattern.Stencil.Pattern.radius in
+  let dims = src.Stencil.Grid.dims in
+  let l = dims.(0) in
+  if width <= 2 * rad * b then
+    invalid_arg "Hybrid.chunk: tile width must exceed 2*rad*degree";
+  let update = Stencil.Pattern.compile pattern in
+  let ops = Stencil.Pattern.ops_per_cell pattern in
+  let counters = machine.Gpu.Machine.counters in
+  let n = Array.length dims in
+  let interior = Stencil.Grid.interior ~rad src in
+  (* Time levels 0..b as full grids; every row is written exactly once
+     per level, by either an upright or an inverted tile. *)
+  let levels = Array.init (b + 1) (fun i -> if i = 0 then src else Stencil.Grid.create ~prec:src.Stencil.Grid.prec dims) in
+  let idx_buf = Array.make n 0 in
+  (* Compute one row [r] of level [tstep] from level [tstep - 1]:
+     interior cells update, others copy. *)
+  let compute_row ~tstep r =
+    let lsrc = levels.(tstep - 1) and ldst = levels.(tstep) in
+    let row_box =
+      Poly.Box.make
+        (Poly.Interval.make r r
+        :: List.init (n - 1) (fun d -> Poly.Interval.make 0 (dims.(d + 1) - 1)))
+    in
+    Poly.Box.iter
+      (fun idx ->
+        if Poly.Box.contains interior idx then begin
+          let read off =
+            Array.iteri (fun d i -> idx_buf.(d) <- i + off.(d)) idx;
+            Stencil.Grid.get lsrc idx_buf
+          in
+          Stencil.Grid.set ldst idx (update read);
+          Gpu.Counters.add_ops counters ops;
+          counters.Gpu.Counters.cells_updated <- counters.Gpu.Counters.cells_updated + 1;
+          counters.Gpu.Counters.sm_reads <-
+            counters.Gpu.Counters.sm_reads + List.length pattern.Stencil.Pattern.offsets - 1;
+          counters.Gpu.Counters.sm_writes <- counters.Gpu.Counters.sm_writes + 1
+        end
+        else Stencil.Grid.set ldst idx (Stencil.Grid.get lsrc idx))
+      row_box
+  in
+  let row_cells = Array.fold_left ( * ) 1 dims / l in
+  (* The last upright tile absorbs the remainder so inter-center spacing
+     never drops below [width] (needed for tile independence). *)
+  let n_tiles = max 1 (l / width) in
+  let tile_range k =
+    let s = k * width in
+    (s, if k = n_tiles - 1 then l else s + width)
+  in
+  (* Phase 1: upright trapezoids — shrink by rad per time level. *)
+  Gpu.Machine.launch machine ~n_blocks:n_tiles ~n_thr:(min 1024 row_cells) (fun ctx ->
+      let s, e = tile_range ctx.Gpu.Machine.block_id in
+      counters.Gpu.Counters.gm_reads <-
+        counters.Gpu.Counters.gm_reads + ((e - s) * row_cells);
+      for tstep = 1 to b do
+        for r = s + (rad * tstep) to e - (rad * tstep) - 1 do
+          compute_row ~tstep r
+        done
+      done);
+  (* Phase 2: inverted tiles centered on tile boundaries (including both
+     domain edges) — grow by rad per time level. *)
+  Gpu.Machine.launch machine ~n_blocks:(n_tiles + 1) ~n_thr:(min 1024 row_cells)
+    (fun ctx ->
+      let c = if ctx.Gpu.Machine.block_id = n_tiles then l else ctx.Gpu.Machine.block_id * width in
+      for tstep = 1 to b do
+        let lo = max 0 (c - (rad * tstep)) and hi = min l (c + (rad * tstep)) in
+        counters.Gpu.Counters.gm_reads <- counters.Gpu.Counters.gm_reads + ((hi - lo) * row_cells);
+        for r = lo to hi - 1 do
+          compute_row ~tstep r
+        done
+      done;
+      (* final level stored back *)
+      let lo = max 0 (c - (rad * b)) and hi = min l (c + (rad * b)) in
+      counters.Gpu.Counters.gm_writes <-
+        counters.Gpu.Counters.gm_writes + ((hi - lo) * row_cells));
+  counters.Gpu.Counters.gm_writes <- counters.Gpu.Counters.gm_writes + (l * row_cells);
+  Array.blit levels.(b).Stencil.Grid.data 0 dst.Stencil.Grid.data 0
+    (Array.length dst.Stencil.Grid.data)
+
+let run pattern ~machine ~bt ~width ~steps g =
+  let chunks = Execmodel.time_chunks ~bt ~it:steps in
+  let a = Stencil.Grid.copy g and b = Stencil.Grid.copy g in
+  let cur = ref a and nxt = ref b in
+  List.iter
+    (fun degree ->
+      chunk pattern ~machine ~degree ~width ~src:!cur ~dst:!nxt;
+      let t = !cur in
+      cur := !nxt;
+      nxt := t)
+    chunks;
+  !cur
+
+(* ------------------------------------------------------------------ *)
+(* Analytic model                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Wavefront pipelines drain at tile boundaries; hexagonal schedules
+   keep roughly this fraction of the machine busy (calibrated so hybrid
+   is competitive on 2D stencils as in Fig 6). *)
+let wavefront_efficiency = 0.80
+
+type report = {
+  seconds : float;
+  gflops : float;
+  tile_cells : int;  (** on-chip tile size the capacity limit allows *)
+  bt : int;  (** temporal height actually usable *)
+}
+
+(** Performance prediction for the best hybrid configuration. All [N]
+    dimensions must reside on chip: the tile (plus its [2*rad*bt]
+    skewing skirt in every dimension) is capped by shared-memory
+    capacity, which caps [bt] well below N.5D's for 3D stencils. *)
+let predict (dev : Gpu.Device.t) ~prec pattern ~dims ~steps ~bt =
+  let rad = pattern.Stencil.Pattern.radius in
+  let n = Array.length dims in
+  let word = Stencil.Grid.bytes_per_word prec in
+  let capacity_words = dev.Gpu.Device.smem_per_sm / word / 2 in
+  (* largest cubic tile with its skirt that fits on chip *)
+  let edge_for b =
+    let rec grow e =
+      let total = int_of_float (float (e + (2 * rad * b)) ** float n) in
+      if total > capacity_words then e - 1 else grow (e + 1)
+    in
+    grow 1
+  in
+  let rec usable_bt b = if b <= 1 then 1 else if edge_for b >= 2 then b else usable_bt (b - 1) in
+  let bt = usable_bt bt in
+  let edge = max 1 (edge_for bt) in
+  let tile_cells = int_of_float (float edge ** float n) in
+  let cells = float (Array.fold_left ( * ) 1 dims) in
+  (* non-redundant: one load + one store per cell per chunk, plus the
+     skirt exchanged with neighboring tiles *)
+  let skirt = (float (edge + (2 * rad * bt)) /. float edge) ** float n in
+  let gm_words = cells *. (skirt +. 1.0) *. (float steps /. float bt) in
+  let time_gm =
+    gm_words *. float word
+    /. (Gpu.Device.by_prec prec dev.Gpu.Device.measured_gm_bw *. 1e9)
+  in
+  (* per-update shared traffic: all neighbors + own store *)
+  let points = List.length pattern.Stencil.Pattern.offsets in
+  let sm_words = cells *. float steps *. float points in
+  let smem_eff = Gpu.Device.by_prec prec dev.Gpu.Device.smem_efficiency in
+  let time_sm =
+    sm_words *. float word
+    /. (Gpu.Device.by_prec prec dev.Gpu.Device.measured_sm_bw *. 1e9 *. smem_eff)
+  in
+  let ops = Stencil.Pattern.ops_per_cell pattern in
+  let eff_alu = Stencil.Sexpr.alu_efficiency ops in
+  let div_pen = Model.Measure.fp64_division_penalty dev ~prec pattern in
+  let time_comp =
+    cells *. float steps *. float (Stencil.Sexpr.weighted_flops ops) *. div_pen
+    /. (Gpu.Device.by_prec prec dev.Gpu.Device.peak_gflops *. 1e9 *. eff_alu)
+  in
+  let seconds =
+    Float.max time_comp (Float.max time_gm time_sm) /. wavefront_efficiency
+  in
+  let flops = Stencil.Reference.total_flops pattern ~dims ~steps in
+  { seconds; gflops = flops /. seconds /. 1e9; tile_cells; bt }
+
+(** §6.3's large-scale parameter search: hybrid explores thousands of
+    tile-size configurations; here the model is monotone in [bt] until
+    the capacity cliff, so we sweep [bt] and keep the best. *)
+let tune (dev : Gpu.Device.t) ~prec pattern ~dims ~steps =
+  let candidates = List.init 20 (fun i -> i + 1) in
+  List.fold_left
+    (fun best bt ->
+      let r = predict dev ~prec pattern ~dims ~steps ~bt in
+      match best with Some b when b.gflops >= r.gflops -> best | _ -> Some r)
+    None candidates
+  |> Option.get

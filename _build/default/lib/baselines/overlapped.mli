@@ -1,0 +1,40 @@
+(** Baseline: overlapped temporal tiling *without* dimension streaming
+    (Overtile/Forma/SDSLc style, §3) — the halo is paid along every
+    dimension, which is exactly what N.5D's streaming avoids. Used by
+    the streaming ablation bench. *)
+
+type report = {
+  seconds : float;
+  gflops : float;
+  redundancy : float;  (** loaded cells / useful cells *)
+}
+
+val chunk :
+  Stencil.Pattern.t ->
+  machine:Gpu.Machine.t ->
+  degree:int ->
+  core:int ->
+  src:Stencil.Grid.t ->
+  dst:Stencil.Grid.t ->
+  unit
+(** One temporal chunk: every block computes its halo'd region locally
+    for [degree] steps; bit-matches the reference. *)
+
+val run :
+  Stencil.Pattern.t ->
+  machine:Gpu.Machine.t ->
+  bt:int ->
+  core:int ->
+  steps:int ->
+  Stencil.Grid.t ->
+  Stencil.Grid.t
+
+val predict :
+  Gpu.Device.t ->
+  prec:Stencil.Grid.precision ->
+  Stencil.Pattern.t ->
+  dims:int array ->
+  steps:int ->
+  bt:int ->
+  core:int ->
+  report

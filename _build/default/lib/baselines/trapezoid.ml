@@ -1,0 +1,101 @@
+(** Baseline: cache-oblivious trapezoidal decomposition (Frigo &
+    Strumpen; the technique behind Pochoir [32], which the paper cites as
+    the CPU-side state of the art for temporal blocking).
+
+    Space-time is recursively cut into trapezoids over the first spatial
+    dimension (whole rows are the unit): a *space cut* splits a wide
+    trapezoid along a line of slope ±rad (the dependence slope), the
+    left piece executed before the right; a *time cut* halves a tall
+    one. Leaves advance single rows one time-step. No redundant
+    computation, no tuning parameter — locality comes from the recursion
+    itself, which is exactly the contrast with AN5D's explicitly sized
+    on-chip blocking.
+
+    The executor is bit-compared against the reference; the classic
+    correctness argument (a row's neighbors are never more than one
+    time level ahead inside a legal trapezoid, so double buffering by
+    [t mod 2] suffices) is exercised by property tests. *)
+
+type stats = {
+  leaves : int;  (** leaf row-updates executed *)
+  space_cuts : int;
+  time_cuts : int;
+  max_depth : int;
+}
+
+let run ?stats_out pattern ~steps (g : Stencil.Grid.t) =
+  let rad = pattern.Stencil.Pattern.radius in
+  let dims = g.Stencil.Grid.dims in
+  let l = dims.(0) in
+  let n = Array.length dims in
+  let update = Stencil.Pattern.compile pattern in
+  let interior = Stencil.Grid.interior ~rad g in
+  let bufs = [| Stencil.Grid.copy g; Stencil.Grid.copy g |] in
+  let idx_buf = Array.make n 0 in
+  let leaves = ref 0 and space_cuts = ref 0 and time_cuts = ref 0 and max_depth = ref 0 in
+  (* Advance row [x] from time level [t] to [t + 1]: read buffer
+     [t mod 2], write [(t+1) mod 2]. Boundary cells copy. *)
+  let kernel t x =
+    incr leaves;
+    let src = bufs.(t mod 2) and dst = bufs.((t + 1) mod 2) in
+    let row_box =
+      Poly.Box.make
+        (Poly.Interval.make x x
+        :: List.init (n - 1) (fun d -> Poly.Interval.make 0 (dims.(d + 1) - 1)))
+    in
+    Poly.Box.iter
+      (fun idx ->
+        if Poly.Box.contains interior idx then begin
+          let read off =
+            Array.iteri (fun d i -> idx_buf.(d) <- i + off.(d)) idx;
+            Stencil.Grid.get src idx_buf
+          in
+          Stencil.Grid.set dst idx (update read)
+        end
+        else Stencil.Grid.set dst idx (Stencil.Grid.get src idx))
+      row_box
+  in
+  (* Walk the trapezoid: at time t in [t0, t1), rows
+     [x0 + dx0*(t - t0), x1 + dx1*(t - t0)). Slopes are in rows per
+     step, |slope| <= rad. *)
+  let rec walk depth t0 t1 x0 dx0 x1 dx1 =
+    if depth > !max_depth then max_depth := depth;
+    let dt = t1 - t0 in
+    if dt = 1 then
+      for x = max 0 x0 to min l (x1) - 1 do
+        kernel t0 x
+      done
+    else if dt > 1 then begin
+      if x1 - x0 >= 2 * rad * dt then begin
+        (* wide: space cut along the center with dependence slopes *)
+        incr space_cuts;
+        let xm = ((2 * (x0 + x1)) + ((2 * rad) + dx0 + dx1) * dt) / 4 in
+        walk (depth + 1) t0 t1 x0 dx0 xm (-rad);
+        walk (depth + 1) t0 t1 xm (-rad) x1 dx1
+      end
+      else begin
+        (* tall: time cut *)
+        incr time_cuts;
+        let s = dt / 2 in
+        walk (depth + 1) t0 (t0 + s) x0 dx0 x1 dx1;
+        walk (depth + 1) (t0 + s) t1 (x0 + (dx0 * s)) dx0 (x1 + (dx1 * s)) dx1
+      end
+    end
+  in
+  if steps > 0 then walk 0 0 steps 0 0 l 0;
+  (match stats_out with
+  | Some r ->
+      r :=
+        Some
+          {
+            leaves = !leaves;
+            space_cuts = !space_cuts;
+            time_cuts = !time_cuts;
+            max_depth = !max_depth;
+          }
+  | None -> ());
+  bufs.(steps mod 2)
+
+let pp_stats ppf s =
+  Fmt.pf ppf "%d leaves, %d space cuts, %d time cuts, depth %d" s.leaves
+    s.space_cuts s.time_cuts s.max_depth

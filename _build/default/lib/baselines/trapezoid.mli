@@ -1,0 +1,23 @@
+(** Baseline: cache-oblivious trapezoidal decomposition (Frigo &
+    Strumpen — the algorithm behind Pochoir [32], the paper's CPU-side
+    related work). Space-time over the first spatial dimension is cut
+    recursively along dependence-slope lines (space cuts, left piece
+    first) or halved in time; no redundant computation and no tuning
+    parameters. Bit-matches the reference executor. *)
+
+type stats = {
+  leaves : int;  (** leaf row-updates executed *)
+  space_cuts : int;
+  time_cuts : int;
+  max_depth : int;
+}
+
+val run :
+  ?stats_out:stats option ref ->
+  Stencil.Pattern.t ->
+  steps:int ->
+  Stencil.Grid.t ->
+  Stencil.Grid.t
+(** Advance [steps] time-steps; the input grid is unchanged. *)
+
+val pp_stats : Format.formatter -> stats -> unit

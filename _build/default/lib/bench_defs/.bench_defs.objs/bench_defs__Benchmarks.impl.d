@@ -1,0 +1,1 @@
+lib/bench_defs/benchmarks.ml: Array Buffer Fmt Fun List Pattern Sexpr Shape Stencil String

@@ -1,0 +1,1 @@
+lib/bench_defs/benchmarks.mli: Format Stencil

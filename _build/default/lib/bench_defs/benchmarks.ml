@@ -1,0 +1,176 @@
+(** The benchmark suite of Table 3.
+
+    Every benchmark carries both a directly constructed {!Stencil.Pattern}
+    and the C source AN5D would receive; the C text is generated from the
+    same expression tree, so parsing + detection must reproduce the
+    pattern — an end-to-end test asserts they compute bit-identical
+    results and agree on the Table 3 FLOP/cell counts.
+
+    Input sizes follow §6.1: 16384^2 for 2D, 512^3 for 3D, 1000
+    time-steps. *)
+
+open Stencil
+
+type t = {
+  name : string;
+  pattern : Pattern.t;
+  c_source : string;
+  flops_per_cell : int;  (** Table 3's number; tests assert it *)
+  full_dims : int array;  (** the paper's input size *)
+  full_steps : int;
+  stencilgen_available : bool;
+      (** present in the released STENCILGEN kernels (IEEE2017 repo), so
+          Fig 6 compares against it *)
+}
+
+let c0_value = 2.5
+
+(* ------------------------------------------------------------------ *)
+(* C source generation from the expression tree                        *)
+(* ------------------------------------------------------------------ *)
+
+let loop_vars = [| "i"; "j"; "k" |]
+
+let cell_ref dims off =
+  let subs =
+    List.init dims (fun d ->
+        let v = loop_vars.(d) and c = off.(d) in
+        if c = 0 then v else if c > 0 then Fmt.str "%s+%d" v c else Fmt.str "%s-%d" v (-c))
+  in
+  Fmt.str "a[t%%2]%s" (String.concat "" (List.map (Fmt.str "[%s]") subs))
+
+let rec c_of_sexpr dims = function
+  | Sexpr.Const c -> Fmt.str "%.17g" c
+  | Sexpr.Coef o -> Fmt.str "%.17g" (Sexpr.coef_value o)
+  | Sexpr.Param p -> p
+  | Sexpr.Cell o -> cell_ref dims o
+  | Sexpr.Neg e -> Fmt.str "(-%s)" (c_of_sexpr dims e)
+  | Sexpr.Add (a, b) -> Fmt.str "(%s + %s)" (c_of_sexpr dims a) (c_of_sexpr dims b)
+  | Sexpr.Sub (a, b) -> Fmt.str "(%s - %s)" (c_of_sexpr dims a) (c_of_sexpr dims b)
+  | Sexpr.Mul (a, b) -> Fmt.str "(%s * %s)" (c_of_sexpr dims a) (c_of_sexpr dims b)
+  | Sexpr.Div (a, b) -> Fmt.str "(%s / %s)" (c_of_sexpr dims a) (c_of_sexpr dims b)
+  | Sexpr.Sqrt e -> Fmt.str "sqrt(%s)" (c_of_sexpr dims e)
+
+(** Render the full double-buffered C kernel of Fig 4's shape. *)
+let c_source_of ~name ~dims ~size ~rad expr =
+  let buf = Buffer.create 1024 in
+  let out fmt = Fmt.kstr (fun s -> Buffer.add_string buf s; Buffer.add_char buf '\n') fmt in
+  out "#define SB %d" size;
+  let array_dims = String.concat "" (List.init dims (fun _ -> "[SB]")) in
+  let params = Sexpr.params expr in
+  let scalar_params = String.concat "" (List.map (Fmt.str ", double %s") params) in
+  out "void %s(double a[2]%s%s, int timesteps) {" name array_dims scalar_params;
+  out "  for (int t = 0; t < timesteps; t++)";
+  List.init dims Fun.id
+  |> List.iter (fun d ->
+         out "%sfor (int %s = %d; %s < SB - %d; %s++)"
+           (String.make (4 + (2 * d)) ' ')
+           loop_vars.(d) rad loop_vars.(d) rad loop_vars.(d));
+  let lhs =
+    Fmt.str "a[(t+1)%%2]%s"
+      (String.concat "" (List.init dims (fun d -> Fmt.str "[%s]" loop_vars.(d))))
+  in
+  out "%s%s = %s;" (String.make (6 + (2 * dims)) ' ') lhs (c_of_sexpr dims expr);
+  out "}";
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Expression builders (Table 3 equations)                             *)
+(* ------------------------------------------------------------------ *)
+
+let div_by_c0 e = Sexpr.Div (e, Sexpr.Param "c0")
+
+(* gradient2d (Table 3): c*f + 1.0/sqrt(c0 + sum over axes of squared
+   differences, each written out twice as in the paper's equation so the
+   FLOP count is 19 under the rsqrt fusion). *)
+let gradient2d_expr =
+  let f0 = Sexpr.Cell [| 0; 0 |] in
+  let sq off =
+    Sexpr.Mul (Sexpr.Sub (f0, Sexpr.Cell off), Sexpr.Sub (f0, Sexpr.Cell off))
+  in
+  let term i = Sexpr.Add (sq [| i; 0 |], sq [| 0; i |]) in
+  let inner =
+    Sexpr.Add (Sexpr.Param "c0", Sexpr.Add (term (-1), term 1))
+  in
+  Sexpr.Add
+    (Sexpr.Mul (Sexpr.Coef [| 0; 0 |], f0), Sexpr.Div (Sexpr.Const 1.0, Sexpr.Sqrt inner))
+
+let make_benchmark ~name ~dims ~rad ~flops ~stencilgen expr =
+  let size = if dims = 2 then 16_384 else 512 in
+  (* C identifiers cannot contain '-' (e.g. j2d9pt-gol). *)
+  let ident = String.map (function '-' -> '_' | c -> c) name in
+  {
+    name;
+    pattern = Pattern.make ~name:ident ~dims ~params:[ ("c0", c0_value) ] expr;
+    c_source = c_source_of ~name:ident ~dims ~size ~rad expr;
+    flops_per_cell = flops;
+    full_dims = Array.make dims size;
+    full_steps = 1000;
+    stencilgen_available = stencilgen;
+  }
+
+let star ~dims x =
+  make_benchmark
+    ~name:(Fmt.str "star%dd%dr" dims x)
+    ~dims ~rad:x
+    ~flops:(if dims = 2 then (8 * x) + 1 else (12 * x) + 1)
+    ~stencilgen:(dims = 3 && x <= 2)
+    (Sexpr.weighted_sum (Shape.star_offsets ~dims ~rad:x))
+
+let box ~dims x =
+  let pts = int_of_float (float ((2 * x) + 1) ** float dims) in
+  make_benchmark
+    ~name:(Fmt.str "box%dd%dr" dims x)
+    ~dims ~rad:x
+    ~flops:((2 * pts) - 1)
+    ~stencilgen:false
+    (Sexpr.weighted_sum (Shape.box_offsets ~dims ~rad:x))
+
+let j2d5pt =
+  make_benchmark ~name:"j2d5pt" ~dims:2 ~rad:1 ~flops:10 ~stencilgen:true
+    (div_by_c0 (Sexpr.weighted_sum (Shape.star_offsets ~dims:2 ~rad:1)))
+
+let j2d9pt =
+  make_benchmark ~name:"j2d9pt" ~dims:2 ~rad:2 ~flops:18 ~stencilgen:true
+    (div_by_c0 (Sexpr.weighted_sum (Shape.star_offsets ~dims:2 ~rad:2)))
+
+let j2d9pt_gol =
+  make_benchmark ~name:"j2d9pt-gol" ~dims:2 ~rad:1 ~flops:18 ~stencilgen:true
+    (div_by_c0 (Sexpr.weighted_sum (Shape.box_offsets ~dims:2 ~rad:1)))
+
+let gradient2d =
+  make_benchmark ~name:"gradient2d" ~dims:2 ~rad:1 ~flops:19 ~stencilgen:true
+    gradient2d_expr
+
+let j3d27pt =
+  make_benchmark ~name:"j3d27pt" ~dims:3 ~rad:1 ~flops:54 ~stencilgen:true
+    (div_by_c0 (Sexpr.weighted_sum (Shape.box_offsets ~dims:3 ~rad:1)))
+
+let all =
+  List.concat
+    [
+      List.init 4 (fun i -> star ~dims:2 (i + 1));
+      List.init 4 (fun i -> box ~dims:2 (i + 1));
+      [ j2d5pt; j2d9pt; j2d9pt_gol; gradient2d ];
+      List.init 4 (fun i -> star ~dims:3 (i + 1));
+      List.init 4 (fun i -> box ~dims:3 (i + 1));
+      [ j3d27pt ];
+    ]
+
+let find name = List.find_opt (fun b -> String.equal b.name name) all
+
+let two_dimensional = List.filter (fun b -> b.pattern.Pattern.dims = 2) all
+
+let three_dimensional = List.filter (fun b -> b.pattern.Pattern.dims = 3) all
+
+(** Small grid sizes for simulator-based verification (full sizes are for
+    the analytic model only). *)
+let test_dims b =
+  match b.pattern.Pattern.dims with
+  | 2 -> [| 40; 44 |]
+  | 3 -> [| 20; 22; 24 |]
+  | n -> Array.make n 24
+
+let pp ppf b =
+  Fmt.pf ppf "%-12s %a %3d flop/cell %s" b.name Pattern.pp b.pattern b.flops_per_cell
+    (if b.stencilgen_available then "[stencilgen]" else "")

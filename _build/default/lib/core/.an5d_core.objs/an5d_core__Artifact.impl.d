@@ -1,0 +1,1 @@
+lib/core/artifact.ml: Array Buffer Config Filename Fmt Framework List Out_channel Stencil String Sys

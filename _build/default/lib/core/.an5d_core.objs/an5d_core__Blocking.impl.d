@@ -1,0 +1,1 @@
+lib/core/blocking.ml: Array Config Execmodel Fmt Gpu List Registers Stencil

@@ -1,0 +1,1 @@
+lib/core/blocking.mli: Execmodel Format Gpu Stencil

@@ -1,0 +1,1 @@
+lib/core/codegen_cuda.ml: Array Buffer Config Execmodel Fmt Fun Int List Stencil String

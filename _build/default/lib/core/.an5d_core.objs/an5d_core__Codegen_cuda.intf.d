@@ -1,0 +1,1 @@
+lib/core/codegen_cuda.mli: Config Stencil

@@ -1,0 +1,1 @@
+lib/core/execmodel.ml: Array Config List Option Stencil

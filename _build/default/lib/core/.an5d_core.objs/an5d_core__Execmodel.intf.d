@@ -1,0 +1,1 @@
+lib/core/execmodel.mli: Config Stencil

@@ -1,0 +1,1 @@
+lib/core/framework.ml: Blocking Codegen_cuda Config Cparse Execmodel Fmt Fun Gpu Logs Option Result Stencil

@@ -1,0 +1,1 @@
+lib/core/framework.mli: Blocking Config Execmodel Gpu Result Stencil

@@ -1,0 +1,1 @@
+lib/core/multi_blocking.ml: Array Blocking Config Execmodel Fmt Gpu List Registers Stencil

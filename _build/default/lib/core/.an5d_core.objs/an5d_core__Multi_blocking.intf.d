@@ -1,0 +1,1 @@
+lib/core/multi_blocking.mli: Config Format Gpu Stencil

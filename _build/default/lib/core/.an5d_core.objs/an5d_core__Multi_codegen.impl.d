@@ -1,0 +1,1 @@
+lib/core/multi_codegen.ml: Array Buffer Config Execmodel Fmt Fun Int List Stencil String

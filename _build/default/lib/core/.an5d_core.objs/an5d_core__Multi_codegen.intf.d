@@ -1,0 +1,1 @@
+lib/core/multi_codegen.mli: Config Stencil

@@ -1,0 +1,1 @@
+lib/core/registers.ml: Fmt Gpu Stencil

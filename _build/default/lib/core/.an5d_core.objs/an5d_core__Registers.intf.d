@@ -1,0 +1,1 @@
+lib/core/registers.mli: Format Gpu Stencil

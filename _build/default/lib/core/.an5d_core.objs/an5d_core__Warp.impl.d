@@ -1,0 +1,1 @@
+lib/core/warp.ml: Array Blocking Config Execmodel Float Fmt List Stencil

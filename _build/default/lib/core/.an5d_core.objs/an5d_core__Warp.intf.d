@@ -1,0 +1,1 @@
+lib/core/warp.mli: Execmodel Format

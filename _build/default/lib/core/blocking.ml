@@ -1,0 +1,307 @@
+(** The N.5D blocked executor — AN5D's execution model (§4.1) run on the
+    simulated GPU.
+
+    One kernel call advances the solution by [b <= bT] time-steps. Each
+    thread block owns a spatial block of [n_thr] threads (one cell per
+    thread per sub-plane) and streams sub-planes along dimension 0,
+    accompanied by [b] computational streams with a lag of [rad]
+    sub-planes between consecutive time-steps (Fig 1). Per time-step and
+    thread, [1 + 2*rad] sub-plane values live in a *fixed* register file
+    (Fig 3b); neighbor values of other threads go through the
+    double-buffered shared memory tile (Fig 3a).
+
+    Boundary handling follows §4.1 exactly: threads whose cell sits on
+    the grid boundary (or in a halo region) overwrite their destination
+    register with the previous time-step's value instead of branching
+    around the update, so boundary sub-planes propagate through the
+    register pipeline without global memory re-loads.
+
+    The numerics are bit-compared against {!Stencil.Reference} in the
+    test suite; the traffic counters are asserted against the §5
+    formulas. *)
+
+(** How CALC evaluates the update:
+    - [Direct]: the expression as written (bit-identical to the
+      reference — what the diagonal-access-free path does);
+    - [Partial_sums]: the §4.1 associative dataflow — per-plane partial
+      sums accumulated in ascending plane order as source sub-planes
+      stream by. Reassociates the arithmetic, so results differ from
+      the reference in the last bits (like the artifact's GPU-vs-CPU
+      error, §A.6). Falls back to [Direct] for non-associative
+      expressions. *)
+type exec_mode = Direct | Partial_sums
+
+type launch_stats = {
+  n_tb : int;  (** thread blocks per kernel call (spatial) *)
+  n_stream_blocks : int;
+  n_thr : int;
+  smem_bytes : int;
+  regs_per_thread : int;
+  kernel_calls : int;
+}
+
+let pp_launch_stats ppf s =
+  Fmt.pf ppf "%d calls x %d blocks (%d stream) x %d threads, smem %dB, regs %d"
+    s.kernel_calls (s.n_tb * s.n_stream_blocks) s.n_stream_blocks s.n_thr
+    s.smem_bytes s.regs_per_thread
+
+(* Thread-block geometry: mapping between flat thread ids and block-local
+   coordinates along the blocked dimensions. *)
+type geometry = {
+  bs : int array;
+  coords : int array array;  (** per thread *)
+  strides : int array;
+}
+
+let make_geometry bs =
+  let nb = Array.length bs in
+  let strides = Array.make nb 1 in
+  for d = nb - 2 downto 0 do
+    strides.(d) <- strides.(d + 1) * bs.(d + 1)
+  done;
+  let n_thr = Array.fold_left ( * ) 1 bs in
+  let coords =
+    Array.init n_thr (fun t ->
+        Array.init nb (fun d -> t / strides.(d) mod bs.(d)))
+  in
+  { bs; coords; strides }
+
+(* Thread id of the block-local neighbor at the in-plane part of a full
+   stencil offset [off] (entry 0 is the streaming delta, skipped here),
+   clamped to the block edge (edge threads of the halo read their own
+   column; their values are invalid by then and never stored). *)
+let neighbor_thread geo t off =
+  let nb = Array.length geo.bs in
+  let tid = ref 0 in
+  for d = 0 to nb - 1 do
+    let u = geo.coords.(t).(d) + off.(d + 1) in
+    let u = if u < 0 then 0 else if u >= geo.bs.(d) then geo.bs.(d) - 1 else u in
+    tid := !tid + (u * geo.strides.(d))
+  done;
+  !tid
+
+(* ------------------------------------------------------------------ *)
+(* One kernel call                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let kernel_call ?(mode = Direct) (em : Execmodel.t) ~(machine : Gpu.Machine.t)
+    ~degree:b ~(src : Stencil.Grid.t) ~(dst : Stencil.Grid.t) =
+  let pattern = em.Execmodel.pattern in
+  let cfg = em.Execmodel.config in
+  let dims = em.Execmodel.dims in
+  let rad = pattern.Stencil.Pattern.radius in
+  let l = dims.(0) in
+  let nb = Array.length cfg.Config.bs in
+  let geo = make_geometry cfg.Config.bs in
+  let n_thr = Config.n_thr cfg in
+  let prec = src.Stencil.Grid.prec in
+  let update = Stencil.Pattern.compile pattern in
+  (* partial-summation evaluation (associative path, §4.1) *)
+  let partial =
+    match mode with
+    | Direct -> None
+    | Partial_sums ->
+        Stencil.Sexpr.compile_partial_sums
+          ~param:(Stencil.Pattern.param_value pattern)
+          pattern.Stencil.Pattern.expr
+  in
+  let ops = Stencil.Pattern.ops_per_cell pattern in
+  let sm_writes_per_cell = Execmodel.smem_writes_per_cell em in
+  let sm_reads_per_cell = Execmodel.smem_reads_practical em in
+  let counters = machine.Gpu.Machine.counters in
+  (* Resource checks once per call. *)
+  let smem_bytes = Execmodel.smem_bytes em ~prec in
+  if smem_bytes > machine.Gpu.Machine.device.Gpu.Device.smem_per_sm then
+    raise
+      (Gpu.Machine.Launch_failure
+         (Fmt.str "AN5D kernel needs %d bytes of shared memory, SM has %d"
+            smem_bytes machine.Gpu.Machine.device.Gpu.Device.smem_per_sm));
+  let regs = Registers.an5d_required ~prec ~bt:b ~rad in
+  if regs > machine.Gpu.Machine.device.Gpu.Device.max_regs_per_thread then
+    raise
+      (Gpu.Machine.Launch_failure
+         (Fmt.str "AN5D kernel needs %d registers per thread, limit is %d" regs
+            machine.Gpu.Machine.device.Gpu.Device.max_regs_per_thread));
+  (* Launch grid: stream blocks x spatial blocks. *)
+  let blocks_per_dim =
+    Array.init nb (fun i ->
+        let w = Execmodel.compute_width ~b em i in
+        (dims.(i + 1) + w - 1) / w)
+  in
+  let spatial_blocks = Array.fold_left ( * ) 1 blocks_per_dim in
+  let n_sb = Execmodel.n_stream_blocks em in
+  let p = (2 * rad) + 1 in
+  let slot j = ((j mod p) + p) mod p in
+  let round = Stencil.Grid.round_to_prec prec in
+  let idx_buf = Array.make (nb + 1) 0 in
+  let simulate_block ctx =
+    let block_id = ctx.Gpu.Machine.block_id in
+    let sb = block_id / spatial_blocks in
+    let k = ref (block_id mod spatial_blocks) in
+    let origins =
+      Array.init nb (fun i ->
+          let below = Array.fold_left ( * ) 1 (Array.sub blocks_per_dim (i + 1) (nb - i - 1)) in
+          let ki = !k / below in
+          k := !k mod below;
+          Execmodel.block_origin ~b em i ki)
+    in
+    (* Per-thread global coordinates along blocked dims, in-grid and
+       interior flags (in-plane part). *)
+    let gcoords = Array.init n_thr (fun t -> Array.map2 ( + ) origins geo.coords.(t)) in
+    let in_grid =
+      Array.init n_thr (fun t ->
+          let g = gcoords.(t) in
+          let ok = ref true in
+          for d = 0 to nb - 1 do
+            if g.(d) < 0 || g.(d) >= dims.(d + 1) then ok := false
+          done;
+          !ok)
+    in
+    let inplane_interior =
+      Array.init n_thr (fun t ->
+          let g = gcoords.(t) in
+          let ok = ref true in
+          for d = 0 to nb - 1 do
+            if g.(d) < rad || g.(d) >= dims.(d + 1) - rad then ok := false
+          done;
+          !ok)
+    in
+    (* Fixed register file: regs.(T).(slot).(thread). *)
+    let reg_file =
+      Array.init (b + 1) (fun _ -> Array.init p (fun _ -> Array.make n_thr 0.0))
+    in
+    let s0, s1 = Execmodel.stream_range em sb in
+    let load_plane i =
+      let dst_plane = reg_file.(0).(slot i) in
+      for t = 0 to n_thr - 1 do
+        if in_grid.(t) then begin
+          let g = gcoords.(t) in
+          idx_buf.(0) <- i;
+          for d = 0 to nb - 1 do
+            idx_buf.(d + 1) <- g.(d)
+          done;
+          dst_plane.(t) <- Gpu.Machine.gm_read machine src idx_buf
+        end
+        else dst_plane.(t) <- 0.0
+      done
+    in
+    let compute_plane tstep j =
+      let dst_plane = reg_file.(tstep).(slot j) in
+      let src_planes = reg_file.(tstep - 1) in
+      let stream_boundary = j < rad || j >= l - rad in
+      (* Shared memory protocol: every thread (including out-of-bound
+         ones, §5) stores its register value(s) to the tile; one barrier
+         with double buffering, two without (§4.2). *)
+      counters.Gpu.Counters.sm_writes <-
+        counters.Gpu.Counters.sm_writes + (n_thr * sm_writes_per_cell);
+      counters.Gpu.Counters.barriers <-
+        counters.Gpu.Counters.barriers + (if cfg.Config.double_buffer then 1 else 2);
+      for t = 0 to n_thr - 1 do
+        if (not stream_boundary) && inplane_interior.(t) then begin
+          (* Interior cell: genuine stencil update. *)
+          let read off =
+            src_planes.(slot (j + off.(0))).(neighbor_thread geo t off)
+          in
+          let value =
+            match partial with
+            | None -> update read
+            | Some (groups, post) ->
+                (* accumulate per-plane partial sums in ascending plane
+                   order, as the streaming CALC macros do *)
+                post
+                  (List.fold_left
+                     (fun acc (_, group) -> acc +. round (group read))
+                     0.0 groups)
+          in
+          dst_plane.(t) <- round value;
+          Gpu.Counters.add_ops counters ops;
+          counters.Gpu.Counters.cells_updated <- counters.Gpu.Counters.cells_updated + 1;
+          counters.Gpu.Counters.sm_reads <-
+            counters.Gpu.Counters.sm_reads + sm_reads_per_cell
+        end
+        else begin
+          (* Halo/boundary/out-of-bound: overwrite with the previous
+             time-step's value (§4.1) — keeps boundary sub-planes flowing
+             through registers. *)
+          dst_plane.(t) <- src_planes.(slot j).(t);
+          if in_grid.(t) then
+            counters.Gpu.Counters.sm_reads <-
+              counters.Gpu.Counters.sm_reads + sm_reads_per_cell
+        end
+      done
+    in
+    let halo_w = Execmodel.halo ~b em in
+    let compute_w = Array.init nb (fun d -> Execmodel.compute_width ~b em d) in
+    let store_plane j =
+      let src_plane = reg_file.(b).(slot j) in
+      for t = 0 to n_thr - 1 do
+        if in_grid.(t) then begin
+          (* Only the compute region stores (block-local coordinate at
+             distance >= halo from the block edge). *)
+          let in_compute = ref true in
+          for d = 0 to nb - 1 do
+            let u = geo.coords.(t).(d) in
+            if u < halo_w || u >= halo_w + compute_w.(d) then in_compute := false
+          done;
+          if !in_compute then begin
+            let g = gcoords.(t) in
+            idx_buf.(0) <- j;
+            for d = 0 to nb - 1 do
+              idx_buf.(d + 1) <- g.(d)
+            done;
+            Gpu.Machine.gm_write machine dst idx_buf src_plane.(t)
+          end
+        end
+      done
+    in
+    let load_lo = s0 - (b * rad) and load_hi = s1 - 1 + (b * rad) in
+    for i = load_lo to load_hi do
+      if i >= 0 && i < l then load_plane i;
+      for tstep = 1 to b do
+        let j = i - (tstep * rad) in
+        let lo = s0 - ((b - tstep) * rad) and hi = s1 - 1 + ((b - tstep) * rad) in
+        if j >= lo && j <= hi && j >= 0 && j < l then begin
+          compute_plane tstep j;
+          if tstep = b && j >= s0 && j < s1 then store_plane j
+        end
+      done
+    done
+  in
+  Gpu.Machine.launch machine ~n_blocks:(n_sb * spatial_blocks) ~n_thr simulate_block
+
+(* ------------------------------------------------------------------ *)
+(* Full temporal-blocking run                                          *)
+(* ------------------------------------------------------------------ *)
+
+(** Advance [steps] time-steps with temporal blocking, chunked per §4.3.
+    Returns the final grid and launch statistics. Both buffers start as
+    copies of [g], matching the double-buffered host initialization of
+    the C pattern. *)
+let run ?mode (em : Execmodel.t) ~(machine : Gpu.Machine.t) ~steps
+    (g : Stencil.Grid.t) =
+  if g.Stencil.Grid.dims <> em.Execmodel.dims then
+    invalid_arg "Blocking.run: grid dims do not match execution model";
+  let chunks = Execmodel.time_chunks ~bt:em.Execmodel.config.Config.bt ~it:steps in
+  let a = Stencil.Grid.copy g and b = Stencil.Grid.copy g in
+  let cur = ref a and nxt = ref b in
+  List.iter
+    (fun degree ->
+      kernel_call ?mode em ~machine ~degree ~src:!cur ~dst:!nxt;
+      let t = !cur in
+      cur := !nxt;
+      nxt := t)
+    chunks;
+  let prec = g.Stencil.Grid.prec in
+  let stats =
+    {
+      n_tb = Execmodel.n_tb em;
+      n_stream_blocks = Execmodel.n_stream_blocks em;
+      n_thr = Config.n_thr em.Execmodel.config;
+      smem_bytes = Execmodel.smem_bytes em ~prec;
+      regs_per_thread =
+        Registers.an5d_required ~prec ~bt:em.Execmodel.config.Config.bt
+          ~rad:em.Execmodel.pattern.Stencil.Pattern.radius;
+      kernel_calls = List.length chunks;
+    }
+  in
+  (!cur, stats)

@@ -1,0 +1,76 @@
+(** The N.5D blocked executor — AN5D's execution model (§4.1) run on the
+    simulated GPU.
+
+    One kernel call advances the solution by [b <= bT] time-steps: each
+    thread block streams sub-planes along dimension 0 accompanied by [b]
+    computational streams lagging [rad] planes apart (Fig 1), with a
+    fixed per-time-step register file (Fig 3b) and double-buffered
+    shared memory for in-plane neighbor exchange (Fig 3a). Boundary
+    sub-planes propagate through the register pipeline without global
+    re-loads; halo and boundary threads overwrite their destination with
+    the previous value instead of branching (§4.1).
+
+    Numerics are bit-compared against {!Stencil.Reference} and the
+    traffic counters against the §5 closed forms in the test suite. *)
+
+(** How CALC evaluates the update: [Direct] (the expression as written;
+    bit-identical to the reference) or [Partial_sums] (the §4.1
+    associative dataflow — per-plane partial sums accumulated in
+    ascending plane order; reassociates the arithmetic like the real
+    generated kernels, so results differ from the reference in the last
+    bits — the artifact's reported GPU-vs-CPU error, §A.6). Falls back
+    to [Direct] for non-associative expressions. *)
+type exec_mode = Direct | Partial_sums
+
+(** Thread-block geometry: the mapping between flat thread ids and
+    block-local coordinates along the blocked dimensions (shared with
+    the {!Warp} analysis). *)
+type geometry = {
+  bs : int array;
+  coords : int array array;  (** per thread *)
+  strides : int array;
+}
+
+val make_geometry : int array -> geometry
+
+val neighbor_thread : geometry -> int -> int array -> int
+(** Thread id of the block-local neighbor at the in-plane part of a
+    full stencil offset (entry 0, the streaming delta, is skipped),
+    clamped to the block edge. *)
+
+type launch_stats = {
+  n_tb : int;  (** spatial thread blocks per kernel call *)
+  n_stream_blocks : int;
+  n_thr : int;
+  smem_bytes : int;
+  regs_per_thread : int;
+  kernel_calls : int;
+}
+
+val pp_launch_stats : Format.formatter -> launch_stats -> unit
+
+val kernel_call :
+  ?mode:exec_mode ->
+  Execmodel.t ->
+  machine:Gpu.Machine.t ->
+  degree:int ->
+  src:Stencil.Grid.t ->
+  dst:Stencil.Grid.t ->
+  unit
+(** One temporal-blocking advancement of [degree] steps: reads [src],
+    writes updated planes of [dst] (which must be pre-initialized with
+    the boundary values, e.g. as a copy of the initial grid).
+    @raise Gpu.Machine.Launch_failure when shared memory or registers
+    exceed the device limits. *)
+
+val run :
+  ?mode:exec_mode ->
+  Execmodel.t ->
+  machine:Gpu.Machine.t ->
+  steps:int ->
+  Stencil.Grid.t ->
+  Stencil.Grid.t * launch_stats
+(** Advance [steps] time-steps, chunked per §4.3's host logic; both
+    internal buffers start as copies of the input (the double-buffered
+    host initialization of the C pattern).
+    @raise Invalid_argument when the grid does not match the model. *)

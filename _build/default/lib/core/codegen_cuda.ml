@@ -1,0 +1,502 @@
+(** CUDA source generation (§4.3).
+
+    Emits the host and kernel code AN5D produces: kernels are a sequence
+    of [LOAD] / [CALC1..CALCbT] / [STORE] macro calls whose register
+    arguments encode the fixed register allocation of Fig 3(b); the
+    stream loop is split into a statically unrolled head phase, a
+    steady-state inner loop advancing [2*rad + 1] planes per iteration
+    (so all register rotations are compile-time constants, Fig 5), and a
+    tail phase. Shared memory is double-buffered and accessed through a
+    [__ld] device wrapper to suppress NVCC's vectorization (§4.3).
+
+    We cannot run NVCC in this environment, so the generated text is
+    validated structurally by the test suite (macro counts per phase,
+    rotation of register names, buffer switching) and its *semantics* are
+    exercised by {!Blocking}, which interprets the same schedule. *)
+
+open Fmt
+
+type t = {
+  pattern : Stencil.Pattern.t;
+  config : Config.t;
+  prec : Stencil.Grid.precision;
+  dims : int array;
+}
+
+let make ~pattern ~config ~prec ~dims = { pattern; config; prec; dims }
+
+let ctype t = match t.prec with Stencil.Grid.F32 -> "float" | Stencil.Grid.F64 -> "double"
+
+let rad t = t.pattern.Stencil.Pattern.radius
+
+let planes t = (2 * rad t) + 1
+
+let kernel_name t degree = str "kernel_%s_bt%d" t.pattern.Stencil.Pattern.name degree
+
+let reg_name ~tstep ~id = str "reg_%d_%d" tstep id
+
+(* ------------------------------------------------------------------ *)
+(* Expression rendering                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Render the update expression for the CALC macro of one time step.
+   [center_args] names the macro's register arguments for the 1+2rad
+   source sub-planes (index rad = same plane). In-plane neighbor accesses
+   go through the shared tile; own-column values come from registers. *)
+let render_expr t ~args buf =
+  let r = rad t in
+  let cls = Config.effective_class t.config t.pattern in
+  let rec go e =
+    match e with
+    | Stencil.Sexpr.Const c -> str "%.9g" c
+    | Stencil.Sexpr.Coef o -> str "%.9g" (Stencil.Sexpr.coef_value o)
+    | Stencil.Sexpr.Param p -> p
+    | Stencil.Sexpr.Cell o ->
+        let dp = o.(0) in
+        let inplane_zero =
+          let z = ref true in
+          for d = 1 to Array.length o - 1 do
+            if o.(d) <> 0 then z := false
+          done;
+          !z
+        in
+        let smem_index =
+          let parts =
+            List.init
+              (Array.length o - 1)
+              (fun d ->
+                let delta = o.(d + 1) in
+                if delta = 0 then None
+                else Some (str "%+d * __S%d" delta (d + 1)))
+            |> List.filter_map Fun.id
+          in
+          String.concat " " ("__lidx" :: parts)
+        in
+        if inplane_zero then List.nth args (dp + r)
+        else begin
+          match cls with
+          | Stencil.Pattern.Diag_free | Stencil.Pattern.Associative ->
+              (* only the center plane sits in shared memory *)
+              str "__ld(%s, %s)" buf smem_index
+          | Stencil.Pattern.General_box ->
+              str "__ld(%s + %d * __NTHR, %s)" buf (dp + r) smem_index
+        end
+    | Stencil.Sexpr.Neg a -> str "(-%s)" (go a)
+    | Stencil.Sexpr.Add (a, b) -> str "(%s + %s)" (go a) (go b)
+    | Stencil.Sexpr.Sub (a, b) -> str "(%s - %s)" (go a) (go b)
+    | Stencil.Sexpr.Mul (a, b) -> str "(%s * %s)" (go a) (go b)
+    | Stencil.Sexpr.Div (a, b) -> str "(%s / %s)" (go a) (go b)
+    | Stencil.Sexpr.Sqrt a ->
+        str "%s(%s)" (if t.prec = Stencil.Grid.F32 then "sqrtf" else "sqrt") (go a)
+  in
+  go t.pattern.Stencil.Pattern.expr
+
+(* ------------------------------------------------------------------ *)
+(* Macro definitions                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let emit_defines t b =
+  let buffer = Buffer.create 4096 in
+  let out fmt = kstr (fun s -> Buffer.add_string buffer s; Buffer.add_char buffer '\n') fmt in
+  let r = rad t in
+  let nb = Array.length t.config.Config.bs in
+  let n_thr = Config.n_thr t.config in
+  let cls = Config.effective_class t.config t.pattern in
+  let tile_mult =
+    match cls with
+    | Stencil.Pattern.Diag_free | Stencil.Pattern.Associative -> 1
+    | Stencil.Pattern.General_box -> planes t
+  in
+  out "#define __NTHR %d" n_thr;
+  out "#define __BT %d" b;
+  out "#define __RAD %d" r;
+  Array.iteri (fun i bsz -> out "#define __BS%d %d" (i + 1) bsz) t.config.Config.bs;
+  (* In-plane strides of the shared tile (row-major over block dims). *)
+  let strides = Array.make nb 1 in
+  for d = nb - 2 downto 0 do
+    strides.(d) <- strides.(d + 1) * t.config.Config.bs.(d + 1)
+  done;
+  Array.iteri (fun i s -> out "#define __S%d %d" (i + 1) s) strides;
+  out "#define __TILE (%d * __NTHR)" tile_mult;
+  out "";
+  out "/* Scalar shared-memory access wrapper: defeats NVCC vectorization";
+  out "   of shared loads, lowering register pressure (paper 4.3). */";
+  out "static __device__ __forceinline__ %s __ld(const %s *__restrict__ p, int i)"
+    (ctype t) (ctype t);
+  out "{ return p[i]; }";
+  out "";
+  (match t.config.Config.hs with
+  | Some h -> out "#define __H %d" h
+  | None -> ());
+  (* LOAD: one global read per thread, clamped to the grid. *)
+  out "#define LOAD(dst, i)                                        \\";
+  out "  do {                                                      \\";
+  out "    if (__ingrid && 0 <= (i) && (i) < __IS0)                \\";
+  out "      dst = __gmem_in[__gidx(i)];                           \\";
+  out "  } while (0)";
+  out "";
+  (* CALC_T: write own value(s) to the shared tile, sync, update. *)
+  let smem_store_stmt args =
+    match cls with
+    | Stencil.Pattern.Diag_free | Stencil.Pattern.Associative ->
+        str "__sb[__cur][__lidx] = %s;" (List.nth args r)
+    | Stencil.Pattern.General_box ->
+        String.concat " "
+          (List.mapi
+             (fun m a -> str "__sb[__cur][%d * __NTHR + __lidx] = %s;" m a)
+             args)
+  in
+  for tstep = 1 to b do
+    let args = List.init (planes t) (fun m -> str "in%d" m) in
+    out "#define CALC%d(out, %s, j)                                 \\" tstep
+      (String.concat ", " args);
+    out "  do {                                                     \\";
+    out "    %s                                                     \\" (smem_store_stmt args);
+    out "    __syncthreads();                                       \\";
+    (if not t.config.Config.double_buffer then
+       out "    /* single-buffer mode: extra sync before overwrite */ \\");
+    out "    if (__interior(j))                                     \\";
+    out "      out = %s;                                            \\"
+      (render_expr t ~args "__sb[__cur]");
+    out "    else                                                   \\";
+    out "      out = %s;                                            \\" (List.nth args r);
+    (if t.config.Config.double_buffer then
+       out "    __cur ^= 1;                                           \\"
+     else out "    __syncthreads();                                      \\");
+    out "  } while (0)";
+    out ""
+  done;
+  (* STORE: compute-region guard, restricted to this stream block's
+     output range so warm-up planes of divided streams are not stored. *)
+  out "#define STORE(j, src)                                       \\";
+  out "  do {                                                      \\";
+  out "    if (__incompute && __stream_lo <= (j) && (j) <= __stream_hi) \\";
+  out "      __gmem_out[__gidx(j)] = src;                          \\";
+  out "  } while (0)";
+  Buffer.contents buffer
+
+(* ------------------------------------------------------------------ *)
+(* Kernel body: head / inner / tail phases                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Macro-call text for a stream position. Positions are *relative* to the
+   block's pipeline base [__base] (0 for the lowermost stream block,
+   [__stream_lo - bT*rad] otherwise) so register-rotation slots are
+   compile-time constants regardless of which stream block runs the
+   code. Head/tail use literal offsets; the inner loop uses the loop
+   variable plus a literal. *)
+type position =
+  | Literal of int  (** __base + n; rotation slot n mod p *)
+  | Rel of { slot : int; addr : int }
+      (** address __i + addr; rotation slot [slot] mod p — the inner loop
+          has slot = addr, the unrolled tail advances __i by one per
+          group so slot and addr diverge *)
+
+let pos_str = function
+  | Literal 0 -> "__base"
+  | Literal n -> str "__base + %d" n
+  | Rel { addr = 0; _ } -> "__i"
+  | Rel { addr; _ } when addr > 0 -> str "__i + %d" addr
+  | Rel { addr; _ } -> str "__i - %d" (-addr)
+
+let euclid_mod k p = ((k mod p) + p) mod p
+
+let pos_mod p = function
+  | Literal n -> euclid_mod n p
+  | Rel { slot; _ } -> euclid_mod slot p
+
+let pos_shift d = function
+  | Literal n -> Literal (n + d)
+  | Rel { slot; addr } -> Rel { slot = slot + d; addr = addr + d }
+
+(* The macro calls issued at relative stream position [pos] for a kernel
+   of degree [b]: LOAD + the active CALCs + possibly STORE. Register ids
+   follow the fixed allocation: the sub-plane at relative position q of
+   time-step T lives in reg_T_(q mod p). The activation threshold for
+   CALC_T is [T*rad] in the lowermost stream block (earlier planes hold
+   the boundary condition and are produced by the guarded copy path) and
+   [2*T*rad] in later stream blocks (the warm-up region, Fig 5's
+   else-branch). *)
+let calls_at t ~b ~lowermost pos =
+  let r = rad t in
+  let p = planes t in
+  let calls = ref [] in
+  let emit s = calls := s :: !calls in
+  emit (str "LOAD(%s, %s);" (reg_name ~tstep:0 ~id:(pos_mod p pos)) (pos_str pos));
+  for tstep = 1 to b do
+    let j_off = -(tstep * r) in
+    let threshold = if lowermost then tstep * r else 2 * tstep * r in
+    let active = match pos with Literal i -> i >= threshold | Rel _ -> true in
+    if active then begin
+      let j_pos = pos_shift j_off pos in
+      let out_reg = reg_name ~tstep ~id:(pos_mod p j_pos) in
+      let in_regs =
+        List.init p (fun m ->
+            reg_name ~tstep:(tstep - 1) ~id:(pos_mod p (pos_shift (m - r) j_pos)))
+      in
+      emit
+        (str "CALC%d(%s, %s, %s);" tstep out_reg (String.concat ", " in_regs)
+           (pos_str j_pos));
+      if tstep = b then
+        emit
+          (str "STORE(%s, %s);" (pos_str j_pos)
+             (reg_name ~tstep:b ~id:(pos_mod p j_pos)))
+    end
+  done;
+  List.rev !calls
+
+(* First steady-state relative position: the smallest multiple of p at
+   which every CALC and the STORE are active (matches Fig 5's head
+   length). *)
+let inner_start t ~b ~lowermost =
+  let p = planes t in
+  let need = ((if lowermost then 1 else 2) * b * rad t) + p in
+  p * ((need + p - 1) / p)
+
+let emit_kernel t b =
+  let buffer = Buffer.create 8192 in
+  let out fmt = kstr (fun s -> Buffer.add_string buffer s; Buffer.add_char buffer '\n') fmt in
+  let p = planes t in
+  let nb = Array.length t.config.Config.bs in
+  let cty = ctype t in
+  let scalar_args =
+    String.concat ""
+      (List.map
+         (fun param -> str ", %s %s" cty param)
+         (Stencil.Sexpr.params t.pattern.Stencil.Pattern.expr))
+  in
+  out "__global__ void %s(const %s *__restrict__ __gmem_in," (kernel_name t b) cty;
+  out "                   %s *__restrict__ __gmem_out, int __IS0%s)" cty scalar_args;
+  out "{";
+  out "  /* fixed register allocation: reg_T_M holds sub-plane M of";
+  out "     time-step T (Fig 3b); no shifting between sub-plane updates */";
+  for tstep = 0 to b do
+    let regs = List.init p (fun id -> reg_name ~tstep ~id) in
+    out "  %s %s;" cty (String.concat ", " regs)
+  done;
+  out "  __shared__ %s __sb[%d][__TILE];" cty
+    (if t.config.Config.double_buffer then 2 else 1);
+  out "  int __cur = 0;";
+  out "  const int __lidx = threadIdx.x;";
+  for d = 1 to nb do
+    out "  const int __u%d = (__lidx / __S%d) %% __BS%d;" d d d
+  done;
+  for d = 1 to nb do
+    out "  const int __g%d = blockIdx.%s * (__BS%d - 2 * __BT * __RAD) - __BT * __RAD + __u%d;"
+      d
+      (match d with 1 -> "x" | 2 -> "y" | _ -> "z")
+      d d
+  done;
+  for d = 1 to nb do
+    out "  const int __IS%d = %d;" d t.dims.(d)
+  done;
+  (* Stream-block range: divided streams map stream blocks to the last
+     launch-grid dimension (4.2). *)
+  (match t.config.Config.hs with
+  | Some _ ->
+      let z = match nb with 1 -> "y" | _ -> "z" in
+      out "  const int __stream_lo = blockIdx.%s * __H;" z;
+      out "  const int __stream_hi = min(__stream_lo + __H, __IS0) - 1;"
+  | None ->
+      out "  const int __stream_lo = 0;";
+      out "  const int __stream_hi = __IS0 - 1;");
+  let in_grid =
+    String.concat " && "
+      (List.init nb (fun d -> str "0 <= __g%d && __g%d < __IS%d" (d + 1) (d + 1) (d + 1)))
+  in
+  out "  const bool __ingrid = %s;" in_grid;
+  let interior =
+    String.concat " && "
+      (List.init nb (fun d ->
+           str "__RAD <= __g%d && __g%d < __IS%d - __RAD" (d + 1) (d + 1) (d + 1)))
+  in
+  out "  #define __interior(j) (__RAD <= (j) && (j) < __IS0 - __RAD && %s)" interior;
+  let in_compute =
+    String.concat " && "
+      (List.init nb (fun d ->
+           str "__BT * __RAD <= __u%d && __u%d < __BS%d - __BT * __RAD" (d + 1)
+             (d + 1) (d + 1)))
+  in
+  out "  const bool __incompute = __ingrid && %s;" in_compute;
+  let gidx =
+    let parts =
+      List.init nb (fun d ->
+          if d = nb - 1 then str "__g%d" (d + 1)
+          else
+            str "__g%d * %d" (d + 1)
+              (Array.fold_left ( * ) 1
+                 (Array.sub t.dims (d + 2) (Array.length t.dims - d - 2))))
+    in
+    String.concat " + " parts
+  in
+  out "  #define __gidx(j) ((j) * %d + %s)"
+    (Array.fold_left ( * ) 1 (Array.sub t.dims 1 (Array.length t.dims - 1)))
+    gidx;
+  out "  int __i;";
+  (* One pipeline per stream-block role: the lowermost block starts at
+     plane 0 holding the boundary sub-planes in registers; later blocks
+     warm up from __stream_lo - bT*rad with redundant computation (Fig 5's
+     if/else structure). *)
+  let emit_pipeline ~lowermost ~indent =
+    let pad = String.make indent ' ' in
+    let start = inner_start t ~b ~lowermost in
+    let base_expr =
+      if lowermost then "0" else str "__stream_lo - %d" (b * rad t)
+    in
+    out "%sconst int __base = %s;" pad base_expr;
+    out "%s/* ---- head phase: statically unrolled (control statements" pad;
+    out "%s   would inflate register usage, paper 4.3) ---- */" pad;
+    for i = 0 to start - 1 do
+      List.iter (fun call -> out "%s%s" pad call) (calls_at t ~b ~lowermost (Literal i))
+    done;
+    out "%s/* ---- inner phase: steady state, %d planes per iteration so" pad p;
+    out "%s   every register rotation is a compile-time constant ---- */" pad;
+    out "%sfor (__i = __base + %d; __i <= __stream_hi + %d - %d; __i += %d) {" pad
+      start (b * rad t) (p - 1) p;
+    for k = 0 to p - 1 do
+      List.iter
+        (fun call -> out "%s  %s" pad call)
+        (calls_at t ~b ~lowermost (Rel { slot = k; addr = k }))
+    done;
+    out "%s}" pad;
+    out "%s/* ---- tail phase: statically unrolled drain with the" pad;
+    out "%s   register rotation continuing from the loop exit ---- */" pad;
+    for k = 0 to p - 2 do
+      out "%sif (__i <= __stream_hi + %d) {" pad (b * rad t);
+      List.iter
+        (fun call -> out "%s  %s" pad call)
+        (calls_at t ~b ~lowermost (Rel { slot = k; addr = 0 }));
+      out "%s  __i++;" pad;
+      out "%s}" pad
+    done
+  in
+  (match t.config.Config.hs with
+  | Some _ ->
+      out "  if (__stream_lo == 0) { /* lowermost stream block */";
+      emit_pipeline ~lowermost:true ~indent:4;
+      out "  } else {";
+      emit_pipeline ~lowermost:false ~indent:4;
+      out "  }"
+  | None -> emit_pipeline ~lowermost:true ~indent:2);
+  out "  #undef __interior";
+  out "  #undef __gidx";
+  out "}";
+  Buffer.contents buffer
+
+(* ------------------------------------------------------------------ *)
+(* Host code                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let emit_host t =
+  let buffer = Buffer.create 4096 in
+  let out fmt = kstr (fun s -> Buffer.add_string buffer s; Buffer.add_char buffer '\n') fmt in
+  let cty = ctype t in
+  let bt = t.config.Config.bt in
+  let name = t.pattern.Stencil.Pattern.name in
+  let em = Execmodel.make t.pattern t.config t.dims in
+  let cells = Array.fold_left ( * ) 1 t.dims in
+  let params = Stencil.Sexpr.params t.pattern.Stencil.Pattern.expr in
+  let scalar_params =
+    String.concat "" (List.map (fun param -> str ", %s %s" cty param) params)
+  in
+  let scalar_args = String.concat "" (List.map (fun param -> str ", %s" param) params) in
+  out "void %s_host(%s *a0, %s *a1, int timesteps%s)" name cty cty scalar_params;
+  out "{";
+  out "  %s *d_a0, *d_a1;" cty;
+  out "  const size_t bytes = %dULL * sizeof(%s);" cells cty;
+  out "  cudaMalloc(&d_a0, bytes);";
+  out "  cudaMalloc(&d_a1, bytes);";
+  out "  cudaMemcpy(d_a0, a0, bytes, cudaMemcpyHostToDevice);";
+  out "  cudaMemcpy(d_a1, a1, bytes, cudaMemcpyHostToDevice);";
+  let nb = Array.length t.config.Config.bs in
+  let grid_dims =
+    List.init nb (fun i ->
+        let w = Execmodel.compute_width em i in
+        (t.dims.(i + 1) + w - 1) / w)
+  in
+  let n_sb = Execmodel.n_stream_blocks em in
+  out "  dim3 grid(%s);"
+    (String.concat ", " (List.map string_of_int (grid_dims @ (if n_sb > 1 then [ n_sb ] else []))));
+  out "  dim3 block(%d);" (Config.n_thr t.config);
+  out "  %s *cur = d_a0, *nxt = d_a1, *tmp;" cty;
+  out "  int remaining = timesteps;";
+  out "  int calls = 0;";
+  out "  /* one temporal-blocking solution advancement of size bT per";
+  out "     call; the final blocks reduce the degree so the result lands";
+  out "     in the buffer the original t %% 2 pattern expects (4.3) */";
+  out "  while (remaining > 2 * %d) {" bt;
+  out "    %s<<<grid, block>>>(cur, nxt, %d%s);" (kernel_name t bt) t.dims.(0)
+    scalar_args;
+  out "    tmp = cur; cur = nxt; nxt = tmp;";
+  out "    remaining -= %d; calls++;" bt;
+  out "  }";
+  out "  /* statically generated conditional branches for the tail */";
+  for r = 1 to 2 * bt do
+    let chunks = Execmodel.time_chunks ~bt ~it:r in
+    out "  %s (remaining == %d) {" (if r = 1 then "if" else "else if") r;
+    List.iter
+      (fun c ->
+        out "    %s<<<grid, block>>>(cur, nxt, %d%s);" (kernel_name t c)
+          t.dims.(0) scalar_args;
+        out "    tmp = cur; cur = nxt; nxt = tmp; calls++;")
+      chunks;
+    out "  }"
+  done;
+  out "  /* parity guard: calls and timesteps must agree mod 2 */";
+  out "  /* assert((calls - timesteps) %% 2 == 0); */";
+  out "  cudaMemcpy(a0, d_a0, bytes, cudaMemcpyDeviceToHost);";
+  out "  cudaMemcpy(a1, d_a1, bytes, cudaMemcpyDeviceToHost);";
+  out "  cudaFree(d_a0);";
+  out "  cudaFree(d_a1);";
+  out "}";
+  Buffer.contents buffer
+
+(* ------------------------------------------------------------------ *)
+(* Whole translation unit                                              *)
+(* ------------------------------------------------------------------ *)
+
+(** Degrees for which kernels must exist: the configured [bt] plus every
+    degree the host tail adjustment can request. *)
+let kernel_degrees t =
+  let bt = t.config.Config.bt in
+  let needed = ref [] in
+  for r = 1 to 2 * bt do
+    List.iter
+      (fun c -> if not (List.mem c !needed) then needed := c :: !needed)
+      (Execmodel.time_chunks ~bt ~it:r)
+  done;
+  List.sort Int.compare !needed
+
+let generate t =
+  let buffer = Buffer.create 32768 in
+  let out fmt = kstr (fun s -> Buffer.add_string buffer s; Buffer.add_char buffer '\n') fmt in
+  out "/* Generated by AN5D (OCaml reproduction) -- stencil %s" t.pattern.Stencil.Pattern.name;
+  out "   %s, bT=%d, bS=%s, %s precision."
+    (Stencil.Shape.kind_to_string t.pattern.Stencil.Pattern.shape)
+    t.config.Config.bt
+    (String.concat "x" (Array.to_list (Array.map string_of_int t.config.Config.bs)))
+    (ctype t);
+  out "   Compile: nvcc --use_fast_math -Xcompiler -O3 %s */"
+    (match t.config.Config.reg_limit with
+    | Some r -> str "-maxrregcount=%d" r
+    | None -> "");
+  out "#include <cuda_runtime.h>";
+  out "#include <math.h>";
+  out "";
+  List.iter
+    (fun degree ->
+      out "/* ======== degree-%d kernel ======== */" degree;
+      Buffer.add_string buffer (emit_defines t degree);
+      out "";
+      Buffer.add_string buffer (emit_kernel t degree);
+      out "";
+      (* Per-degree macro set is scoped: undefine before the next. *)
+      for tstep = 1 to degree do
+        out "#undef CALC%d" tstep
+      done;
+      out "#undef LOAD";
+      out "#undef STORE";
+      out "")
+    (kernel_degrees t);
+  Buffer.add_string buffer (emit_host t);
+  Buffer.contents buffer

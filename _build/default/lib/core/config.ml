@@ -1,0 +1,64 @@
+(** AN5D kernel configuration (paper §4.1, §6.3).
+
+    [bt] is the temporal blocking degree; [bs] the spatial block size per
+    blocked dimension (all spatial dimensions except the streaming one,
+    which is dimension 0 of our grids); [hs] the stream-block length when
+    the streaming dimension is divided; [reg_limit] the
+    [-maxrregcount]-style per-thread register cap. The three boolean
+    switches correspond to the compile-time switches of §4.3. *)
+
+type t = {
+  bt : int;
+  bs : int array;  (** length N-1; [n_thr = prod bs] *)
+  hs : int option;  (** [None]: no division of the streaming dimension *)
+  reg_limit : int option;
+  diag_opt : bool;  (** diagonal-access-free optimization *)
+  assoc_opt : bool;  (** associative stencil optimization *)
+  double_buffer : bool;  (** smem double buffering (§4.2); off = 2 syncs *)
+}
+
+let make ?(hs = None) ?(reg_limit = None) ?(diag_opt = true) ?(assoc_opt = true)
+    ?(double_buffer = true) ~bt ~bs () =
+  { bt; bs = Array.copy bs; hs; reg_limit; diag_opt; assoc_opt; double_buffer }
+
+let n_thr c = Array.fold_left ( * ) 1 c.bs
+
+(** Validity of a configuration for a pattern: positive compute region in
+    every blocked dimension and a launchable thread count. *)
+let valid ~rad ~max_threads c =
+  c.bt >= 1
+  && Array.length c.bs >= 1
+  && Array.for_all (fun b -> b > 2 * c.bt * rad) c.bs
+  && n_thr c <= max_threads
+  && (match c.hs with Some h -> h >= 1 | None -> true)
+  && (match c.reg_limit with Some r -> r >= 16 | None -> true)
+
+(** The effective optimization class given the pattern and the switches:
+    switches can only disable a specialization, never force one. *)
+let effective_class c pattern =
+  match Stencil.Pattern.opt_class pattern with
+  | Stencil.Pattern.Diag_free when c.diag_opt -> Stencil.Pattern.Diag_free
+  | Stencil.Pattern.Diag_free ->
+      (* A star treated generically may still qualify as associative —
+         but only if its expression actually decomposes into per-plane
+         partial sums (gradient2d, for instance, does not). *)
+      if c.assoc_opt && Stencil.Sexpr.is_associative pattern.Stencil.Pattern.expr
+      then Stencil.Pattern.Associative
+      else Stencil.Pattern.General_box
+  | Stencil.Pattern.Associative when c.assoc_opt -> Stencil.Pattern.Associative
+  | Stencil.Pattern.Associative -> Stencil.Pattern.General_box
+  | Stencil.Pattern.General_box -> Stencil.Pattern.General_box
+
+let pp ppf c =
+  Fmt.pf ppf "bT=%d bS=%a h=%a regs=%a%s%s%s" c.bt
+    Fmt.(array ~sep:(any "x") int)
+    c.bs
+    Fmt.(option ~none:(any "-") int)
+    c.hs
+    Fmt.(option ~none:(any "-") int)
+    c.reg_limit
+    (if c.diag_opt then "" else " -diag")
+    (if c.assoc_opt then "" else " -assoc")
+    (if c.double_buffer then "" else " -dbuf")
+
+let to_string c = Fmt.str "%a" pp c

@@ -1,0 +1,42 @@
+(** AN5D kernel configuration (paper §4.1, §6.3): temporal degree,
+    spatial block sizes, stream-block length, register limit, and the
+    compile-time optimization switches. *)
+
+type t = {
+  bt : int;  (** temporal blocking degree *)
+  bs : int array;
+      (** spatial block size per blocked dimension (all spatial
+          dimensions except the streaming one); [n_thr = prod bs] *)
+  hs : int option;  (** stream-block length; [None] = no division *)
+  reg_limit : int option;  (** as nvcc [-maxrregcount] *)
+  diag_opt : bool;  (** diagonal-access-free optimization *)
+  assoc_opt : bool;  (** associative-stencil optimization *)
+  double_buffer : bool;  (** smem double buffering (§4.2) *)
+}
+
+val make :
+  ?hs:int option ->
+  ?reg_limit:int option ->
+  ?diag_opt:bool ->
+  ?assoc_opt:bool ->
+  ?double_buffer:bool ->
+  bt:int ->
+  bs:int array ->
+  unit ->
+  t
+(** All switches default to enabled; [hs] and [reg_limit] to [None]. *)
+
+val n_thr : t -> int
+
+val valid : rad:int -> max_threads:int -> t -> bool
+(** Positive compute region in every blocked dimension and a launchable
+    thread count. *)
+
+val effective_class : t -> Stencil.Pattern.t -> Stencil.Pattern.opt_class
+(** The optimization class actually used: switches can disable a
+    specialization, never force one (a star with [diag_opt] off still
+    qualifies as associative when [assoc_opt] is on). *)
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

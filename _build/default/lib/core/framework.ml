@@ -1,0 +1,114 @@
+(** End-to-end AN5D driver: C source in, CUDA source + verified
+    simulation out.
+
+    This is the library's front door and what the [an5d] CLI and the
+    examples use:
+
+    {[
+      let job = Framework.compile ~config (Framework.source_of_string c_code) in
+      print_string (Framework.cuda_source job);
+      let outcome = Framework.simulate job ~device:Gpu.Device.v100 ~steps:100 grid in
+      assert (outcome.verified = Ok ())
+    ]} *)
+
+let src_log = Logs.Src.create "an5d.framework" ~doc:"AN5D end-to-end driver"
+
+module Log = (val Logs.src_log src_log : Logs.LOG)
+
+type source = { text : string; origin : string }
+
+let source_of_string ?(origin = "<string>") text = { text; origin }
+
+let source_of_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let text = really_input_string ic (in_channel_length ic) in
+      { text; origin = path })
+
+type job = {
+  detection : Stencil.Detect.result;
+  config : Config.t;
+  prec : Stencil.Grid.precision;
+  dims : int array;
+}
+
+exception Compile_error of string
+
+(** Parse, detect and configure a stencil job. [dims] overrides the grid
+    sizes (required when the source uses dynamic sizes). *)
+let compile ?param_values ?dims ?prec ~config src =
+  let detection =
+    try Stencil.Detect.of_string ?param_values src.text with
+    | Cparse.Lexer.Error (msg, loc) ->
+        raise (Compile_error (Fmt.str "%s:%a: lexical error: %s" src.origin Cparse.Srcloc.pp loc msg))
+    | Cparse.Parser.Error (msg, loc) ->
+        raise (Compile_error (Fmt.str "%s:%a: syntax error: %s" src.origin Cparse.Srcloc.pp loc msg))
+    | Stencil.Detect.Rejected msg ->
+        raise (Compile_error (Fmt.str "%s: not an AN5D stencil: %s" src.origin msg))
+  in
+  let dims =
+    match (dims, detection.Stencil.Detect.grid_dims) with
+    | Some d, _ -> d
+    | None, Some d -> d
+    | None, None ->
+        raise (Compile_error "grid sizes are dynamic; pass ~dims explicitly")
+  in
+  let prec = Option.value prec ~default:detection.Stencil.Detect.elem_prec in
+  let pattern = detection.Stencil.Detect.pattern in
+  Log.info (fun m ->
+      m "detected %a in %s (%s, %a grid)" Stencil.Pattern.pp pattern src.origin
+        (Stencil.Grid.precision_to_string prec)
+        Fmt.(array ~sep:(any "x") int)
+        dims);
+  if not (Config.valid ~rad:pattern.Stencil.Pattern.radius ~max_threads:1024 config)
+  then
+    raise
+      (Compile_error
+         (Fmt.str "configuration %a is invalid for %s (radius %d)" Config.pp config
+            pattern.Stencil.Pattern.name pattern.Stencil.Pattern.radius));
+  { detection; config; prec; dims }
+
+let pattern job = job.detection.Stencil.Detect.pattern
+
+let execmodel job = Execmodel.make (pattern job) job.config job.dims
+
+(** The generated CUDA translation unit (host + all kernel degrees). *)
+let cuda_source job =
+  Codegen_cuda.generate
+    (Codegen_cuda.make ~pattern:(pattern job) ~config:job.config ~prec:job.prec
+       ~dims:job.dims)
+
+type outcome = {
+  result : Stencil.Grid.t;
+  stats : Blocking.launch_stats;
+  counters : Gpu.Counters.t;
+  verified : (unit, float) Result.t;
+      (** [Error d]: max abs deviation [d] from the reference executor *)
+}
+
+(** Run the blocked schedule on the simulated [device] and verify the
+    output against the naive reference (the artifact's CPU check,
+    §A.6). [verify] can be disabled for large grids; [mode] selects the
+    CALC evaluation strategy (partial sums reassociate, so verification
+    then reports a small nonzero error, as the real artifact does). *)
+let simulate ?(verify = true) ?mode ~device ~steps job grid =
+  if grid.Stencil.Grid.dims <> job.dims then
+    invalid_arg "Framework.simulate: grid does not match job dimensions";
+  let machine = Gpu.Machine.create ~prec:job.prec device in
+  let em = execmodel job in
+  Log.debug (fun m ->
+      m "simulating %d steps of %s on %s with %a" steps
+        (pattern job).Stencil.Pattern.name device.Gpu.Device.name Config.pp job.config);
+  let result, stats = Blocking.run ?mode em ~machine ~steps grid in
+  Log.info (fun m -> m "launch: %a" Blocking.pp_launch_stats stats);
+  let verified =
+    if not verify then Ok ()
+    else begin
+      let reference = Stencil.Reference.run (pattern job) ~steps grid in
+      let d = Stencil.Grid.max_abs_diff reference result in
+      if d = 0.0 then Ok () else Error d
+    end
+  in
+  { result; stats; counters = machine.Gpu.Machine.counters; verified }

@@ -1,0 +1,62 @@
+(** End-to-end AN5D driver: C source in, CUDA source + verified
+    simulation out. The library's front door, used by the [an5d] CLI
+    and the examples. *)
+
+type source = { text : string; origin : string }
+
+val source_of_string : ?origin:string -> string -> source
+
+val source_of_file : string -> source
+(** @raise Sys_error when the file cannot be read. *)
+
+type job = {
+  detection : Stencil.Detect.result;
+  config : Config.t;
+  prec : Stencil.Grid.precision;
+  dims : int array;
+}
+
+exception Compile_error of string
+(** Lexical, syntactic, detection or configuration failure, with a
+    human-readable message locating the problem. *)
+
+val compile :
+  ?param_values:(string * float) list ->
+  ?dims:int array ->
+  ?prec:Stencil.Grid.precision ->
+  config:Config.t ->
+  source ->
+  job
+(** Parse, detect and configure. [dims] overrides the grid sizes
+    (required when the source uses dynamic sizes); [prec] overrides the
+    element type of the source.
+    @raise Compile_error on any front-end failure. *)
+
+val pattern : job -> Stencil.Pattern.t
+
+val execmodel : job -> Execmodel.t
+
+val cuda_source : job -> string
+(** The generated CUDA translation unit (host + all kernel degrees). *)
+
+type outcome = {
+  result : Stencil.Grid.t;
+  stats : Blocking.launch_stats;
+  counters : Gpu.Counters.t;
+  verified : (unit, float) Result.t;
+      (** [Error d]: max abs deviation [d] from the reference *)
+}
+
+val simulate :
+  ?verify:bool ->
+  ?mode:Blocking.exec_mode ->
+  device:Gpu.Device.t ->
+  steps:int ->
+  job ->
+  Stencil.Grid.t ->
+  outcome
+(** Run the blocked schedule on the simulated device; [verify]
+    (default true) compares against the naive reference, the artifact's
+    CPU check (§A.6). With [mode = Partial_sums] verification reports
+    the small reassociation error the real artifact also sees.
+    @raise Invalid_argument when the grid does not match the job. *)

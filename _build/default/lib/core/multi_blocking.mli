@@ -1,0 +1,45 @@
+(** Multi-output N.5D blocking — the §8 future-work prototype: the
+    streaming pipeline of {!Blocking} generalized to stencil systems,
+    advancing all [S] coupled components with one round of global
+    traffic per [bT] time-steps. Registers and shared memory scale by
+    [S], which is the resource pressure that made the paper defer this.
+    Bit-compared against {!Stencil.System.run} by the test suite. *)
+
+type launch_stats = {
+  components : int;
+  n_tb : int;
+  n_thr : int;
+  smem_bytes : int;
+  regs_per_thread : int;
+  kernel_calls : int;
+}
+
+val pp_launch_stats : Format.formatter -> launch_stats -> unit
+
+val smem_words : Stencil.System.t -> Config.t -> int
+(** One double-buffered tile per component ([1 + 2*rad] planes each
+    when any in-plane diagonal access exists). *)
+
+val regs_required :
+  Stencil.System.t -> prec:Stencil.Grid.precision -> bt:int -> int
+
+val kernel_call :
+  Stencil.System.t ->
+  Config.t ->
+  machine:Gpu.Machine.t ->
+  degree:int ->
+  src:Stencil.Grid.t array ->
+  dst:Stencil.Grid.t array ->
+  unit
+(** @raise Gpu.Machine.Launch_failure when resources exceed the device.
+    @raise Invalid_argument on a non-positive compute region. *)
+
+val run :
+  Stencil.System.t ->
+  Config.t ->
+  machine:Gpu.Machine.t ->
+  steps:int ->
+  Stencil.Grid.t list ->
+  Stencil.Grid.t list * launch_stats
+(** Temporal chunks of [cfg.bt]; stream division is not supported by
+    the prototype (the [hs] field is ignored). *)

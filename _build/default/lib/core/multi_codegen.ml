@@ -1,0 +1,371 @@
+(** CUDA generation for multi-statement stencil systems — codegen parity
+    for the §8 future-work prototype ({!Multi_blocking}).
+
+    The kernel shape is the single-output one (head / steady-state /
+    tail, fixed register rotation, double-buffered tiles) with every
+    sub-plane structure replicated per component: registers
+    [reg_<c>_<T>_<M>], one shared tile per component, and each CALC
+    advancing *all* components of a sub-plane before the next stream
+    consumes it. Rotation slots are identical across components and time
+    levels, so CALC macros take just the [2*rad + 1] slot numbers and
+    build register names by token pasting — which keeps the macro
+    argument lists flat no matter how many components the system has. *)
+
+open Fmt
+
+type t = {
+  system : Stencil.System.t;
+  config : Config.t;
+  prec : Stencil.Grid.precision;
+  dims : int array;
+}
+
+let make ~system ~config ~prec ~dims = { system; config; prec; dims }
+
+let ctype t = match t.prec with Stencil.Grid.F32 -> "float" | Stencil.Grid.F64 -> "double"
+
+let rad t = Stencil.System.radius t.system
+
+let planes t = (2 * rad t) + 1
+
+let n_comp t = Stencil.System.n_components t.system
+
+let kernel_name t degree =
+  str "kernel_%s_bt%d" t.system.Stencil.System.name degree
+
+(* The union layout: star if every read of every component is axial. *)
+let star_layout t =
+  List.for_all
+    (fun (_, e) -> List.for_all Stencil.Shape.is_axial (Stencil.System.all_reads e))
+    t.system.Stencil.System.components
+
+(* ------------------------------------------------------------------ *)
+(* Expression rendering                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Slot macro-argument names: k0 .. k_{2rad}. Reads at streaming delta
+   [dp] use argument k_{dp+rad} of the *previous* time level. *)
+let slot_arg m = str "k%d" m
+
+let rec render t ~tstep e =
+  let r = rad t in
+  match e with
+  | Stencil.System.Const c -> str "%.9g" c
+  | Stencil.System.Param p ->
+      str "%.9g" (Stencil.System.param_value t.system p)
+  | Stencil.System.Read (c, o) ->
+      let dp = o.(0) in
+      let inplane_zero =
+        let z = ref true in
+        for d = 1 to Array.length o - 1 do
+          if o.(d) <> 0 then z := false
+        done;
+        !z
+      in
+      if inplane_zero then
+        str "RG(%d, %d, %s)" c (tstep - 1) (slot_arg (dp + r))
+      else begin
+        let parts =
+          List.init
+            (Array.length o - 1)
+            (fun d ->
+              let delta = o.(d + 1) in
+              if delta = 0 then None else Some (str "%+d * __S%d" delta (d + 1)))
+          |> List.filter_map Fun.id
+        in
+        let idx = String.concat " " ("__lidx" :: parts) in
+        if star_layout t then str "__ld(__sb%d[__cur], %s)" c idx
+        else str "__ld(__sb%d[__cur] + %d * __NTHR, %s)" c (dp + r) idx
+      end
+  | Stencil.System.Neg a -> str "(-%s)" (render t ~tstep a)
+  | Stencil.System.Add (a, b) -> str "(%s + %s)" (render t ~tstep a) (render t ~tstep b)
+  | Stencil.System.Sub (a, b) -> str "(%s - %s)" (render t ~tstep a) (render t ~tstep b)
+  | Stencil.System.Mul (a, b) -> str "(%s * %s)" (render t ~tstep a) (render t ~tstep b)
+  | Stencil.System.Div (a, b) -> str "(%s / %s)" (render t ~tstep a) (render t ~tstep b)
+  | Stencil.System.Sqrt a ->
+      str "%s(%s)" (if t.prec = Stencil.Grid.F32 then "sqrtf" else "sqrt")
+        (render t ~tstep a)
+
+(* ------------------------------------------------------------------ *)
+(* Macros                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let emit_defines t b buffer =
+  let out fmt = kstr (fun s -> Buffer.add_string buffer s; Buffer.add_char buffer '\n') fmt in
+  let p = planes t in
+  let r = rad t in
+  let s = n_comp t in
+  let n_thr = Config.n_thr t.config in
+  out "#define __NTHR %d" n_thr;
+  out "#define __BT %d" b;
+  out "#define __RAD %d" r;
+  Array.iteri (fun i bsz -> out "#define __BS%d %d" (i + 1) bsz) t.config.Config.bs;
+  let nb = Array.length t.config.Config.bs in
+  let strides = Array.make nb 1 in
+  for d = nb - 2 downto 0 do
+    strides.(d) <- strides.(d + 1) * t.config.Config.bs.(d + 1)
+  done;
+  Array.iteri (fun i st -> out "#define __S%d %d" (i + 1) st) strides;
+  out "#define __TILE (%d * __NTHR)" (if star_layout t then 1 else p);
+  out "";
+  out "/* fixed register file, one set per component and time level */";
+  out "#define RG(c, t, m) reg_##c##_##t##_##m";
+  out "";
+  out "static __device__ __forceinline__ %s __ld(const %s *__restrict__ q, int i)"
+    (ctype t) (ctype t);
+  out "{ return q[i]; }";
+  out "";
+  (* LOAD: all components of one sub-plane *)
+  let load_stmts =
+    String.concat " "
+      (List.init s (fun c ->
+           str "if (__ingrid && 0 <= (i) && (i) < __IS0) RG(%d, 0, k) = __gmem_in%d[__gidx(i)];"
+             c c))
+  in
+  out "#define LOAD(k, i) do { %s } while (0)" load_stmts;
+  out "";
+  for tstep = 1 to b do
+    let args = String.concat ", " (List.init p slot_arg) in
+    out "#define CALC%d(%s, j)                                     \\" tstep args;
+    out "  do {                                                    \\";
+    (* stage every component's source plane(s) *)
+    (if star_layout t then
+       List.iter
+         (fun c ->
+           out "    __sb%d[__cur][__lidx] = RG(%d, %d, %s);            \\" c c (tstep - 1)
+             (slot_arg r))
+         (List.init s Fun.id)
+     else
+       List.iter
+         (fun c ->
+           for m = 0 to p - 1 do
+             out "    __sb%d[__cur][%d * __NTHR + __lidx] = RG(%d, %d, %s); \\" c m c
+               (tstep - 1) (slot_arg m)
+           done)
+         (List.init s Fun.id));
+    out "    __syncthreads();                                      \\";
+    out "    if (__interior(j)) {                                  \\";
+    List.iteri
+      (fun c (_, e) ->
+        out "      RG(%d, %d, %s) = %s;                              \\" c tstep
+          (slot_arg r) (render t ~tstep e))
+      t.system.Stencil.System.components;
+    out "    } else {                                              \\";
+    List.iteri
+      (fun c _ ->
+        out "      RG(%d, %d, %s) = RG(%d, %d, %s);                  \\" c tstep
+          (slot_arg r) c (tstep - 1) (slot_arg r))
+      t.system.Stencil.System.components;
+    out "    }                                                     \\";
+    out "    __cur ^= 1;                                           \\";
+    out "  } while (0)";
+    out ""
+  done;
+  let store_stmts =
+    String.concat " "
+      (List.init s (fun c ->
+           str "if (__incompute && 0 <= (j) && (j) < __IS0) __gmem_out%d[__gidx(j)] = RG(%d, %d, k);"
+             c c b))
+  in
+  out "#define STORE(k, j) do { %s } while (0)" store_stmts
+
+(* ------------------------------------------------------------------ *)
+(* Kernel                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let emit_kernel t b buffer =
+  let out fmt = kstr (fun s -> Buffer.add_string buffer s; Buffer.add_char buffer '\n') fmt in
+  let p = planes t in
+  let r = rad t in
+  let s = n_comp t in
+  let nb = Array.length t.config.Config.bs in
+  let cty = ctype t in
+  let arrays =
+    String.concat ", "
+      (List.init s (fun c ->
+           str "const %s *__restrict__ __gmem_in%d, %s *__restrict__ __gmem_out%d" cty
+             c cty c))
+  in
+  out "__global__ void %s(%s, int __IS0)" (kernel_name t b) arrays;
+  out "{";
+  for c = 0 to s - 1 do
+    for tstep = 0 to b do
+      let regs = List.init p (fun m -> str "reg_%d_%d_%d" c tstep m) in
+      out "  %s %s;" cty (String.concat ", " regs)
+    done
+  done;
+  for c = 0 to s - 1 do
+    out "  __shared__ %s __sb%d[2][__TILE];" cty c
+  done;
+  out "  int __cur = 0;";
+  out "  const int __lidx = threadIdx.x;";
+  for d = 1 to nb do
+    out "  const int __u%d = (__lidx / __S%d) %% __BS%d;" d d d;
+    out "  const int __g%d = blockIdx.%s * (__BS%d - 2 * __BT * __RAD) - __BT * __RAD + __u%d;"
+      d
+      (match d with 1 -> "x" | 2 -> "y" | _ -> "z")
+      d d;
+    out "  const int __IS%d = %d;" d t.dims.(d)
+  done;
+  let in_grid =
+    String.concat " && "
+      (List.init nb (fun d -> str "0 <= __g%d && __g%d < __IS%d" (d + 1) (d + 1) (d + 1)))
+  in
+  out "  const bool __ingrid = %s;" in_grid;
+  let interior =
+    String.concat " && "
+      (List.init nb (fun d ->
+           str "__RAD <= __g%d && __g%d < __IS%d - __RAD" (d + 1) (d + 1) (d + 1)))
+  in
+  out "  #define __interior(j) (__RAD <= (j) && (j) < __IS0 - __RAD && %s)" interior;
+  let in_compute =
+    String.concat " && "
+      (List.init nb (fun d ->
+           str "__BT * __RAD <= __u%d && __u%d < __BS%d - __BT * __RAD" (d + 1) (d + 1)
+             (d + 1)))
+  in
+  out "  const bool __incompute = __ingrid && %s;" in_compute;
+  let gidx =
+    String.concat " + "
+      (List.init nb (fun d ->
+           if d = nb - 1 then str "__g%d" (d + 1)
+           else
+             str "__g%d * %d" (d + 1)
+               (Array.fold_left ( * ) 1
+                  (Array.sub t.dims (d + 2) (Array.length t.dims - d - 2)))))
+  in
+  out "  #define __gidx(j) ((j) * %d + %s)"
+    (Array.fold_left ( * ) 1 (Array.sub t.dims 1 (Array.length t.dims - 1)))
+    gidx;
+  let slot k = ((k mod p) + p) mod p in
+  let emit_position ~pos ~addr =
+    out "  LOAD(%d, %s);" (slot pos) addr;
+    for tstep = 1 to b do
+      if pos >= tstep * r then begin
+        let j = pos - (tstep * r) in
+        let slots = String.concat ", " (List.init p (fun m -> string_of_int (slot (j - r + m)))) in
+        out "  CALC%d(%s, %s - %d);" tstep slots addr (tstep * r);
+        if tstep = b then out "  STORE(%d, %s - %d);" (slot j) addr (tstep * r)
+      end
+    done
+  in
+  let hl = p * (((b * r) + p + p - 1) / p) in
+  out "  /* head phase */";
+  for pos = 0 to hl - 1 do
+    emit_position ~pos ~addr:(string_of_int pos)
+  done;
+  out "  /* steady state: %d planes per iteration */" p;
+  out "  int __i;";
+  out "  for (__i = %d; __i <= __IS0 - 1 + %d - %d; __i += %d) {" hl (b * r) (p - 1) p;
+  for k = 0 to p - 1 do
+    emit_position ~pos:(hl + k) ~addr:(if k = 0 then "__i" else str "__i + %d" k)
+  done;
+  out "  }";
+  out "  /* tail: drain */";
+  for k = 0 to p - 2 do
+    out "  if (__i <= __IS0 - 1 + %d) {" (b * r);
+    emit_position ~pos:(hl + k) ~addr:"__i";
+    out "    __i++;";
+    out "  }"
+  done;
+  out "  #undef __interior";
+  out "  #undef __gidx";
+  out "}"
+
+(* ------------------------------------------------------------------ *)
+(* Host and unit                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let emit_host t buffer =
+  let out fmt = kstr (fun s -> Buffer.add_string buffer s; Buffer.add_char buffer '\n') fmt in
+  let cty = ctype t in
+  let s = n_comp t in
+  let bt = t.config.Config.bt in
+  let name = t.system.Stencil.System.name in
+  let cells = Array.fold_left ( * ) 1 t.dims in
+  let params =
+    String.concat ", " (List.init s (fun c -> str "%s *a%d_0, %s *a%d_1" cty c cty c))
+  in
+  out "void %s_host(%s, int timesteps)" name params;
+  out "{";
+  out "  const size_t bytes = %dULL * sizeof(%s);" cells cty;
+  for c = 0 to s - 1 do
+    out "  %s *d%d_0, *d%d_1;" cty c c;
+    out "  cudaMalloc(&d%d_0, bytes); cudaMalloc(&d%d_1, bytes);" c c;
+    out "  cudaMemcpy(d%d_0, a%d_0, bytes, cudaMemcpyHostToDevice);" c c;
+    out "  cudaMemcpy(d%d_1, a%d_1, bytes, cudaMemcpyHostToDevice);" c c
+  done;
+  let nb = Array.length t.config.Config.bs in
+  let em_width i = t.config.Config.bs.(i) - (2 * bt * rad t) in
+  let grid_dims =
+    List.init nb (fun i -> (t.dims.(i + 1) + em_width i - 1) / em_width i)
+  in
+  out "  dim3 grid(%s);" (String.concat ", " (List.map string_of_int grid_dims));
+  out "  dim3 block(%d);" (Config.n_thr t.config);
+  out "  int remaining = timesteps, flip = 0;";
+  let args flip =
+    String.concat ", "
+      (List.init s (fun c ->
+           if flip then str "d%d_1, d%d_0" c c else str "d%d_0, d%d_1" c c))
+  in
+  out "  while (remaining > 2 * %d) {" bt;
+  out "    if (flip == 0) %s<<<grid, block>>>(%s, %d);" (kernel_name t bt) (args false)
+    t.dims.(0);
+  out "    else %s<<<grid, block>>>(%s, %d);" (kernel_name t bt) (args true) t.dims.(0);
+  out "    flip ^= 1; remaining -= %d;" bt;
+  out "  }";
+  for rem = 1 to 2 * bt do
+    let chunks = Execmodel.time_chunks ~bt ~it:rem in
+    out "  %s (remaining == %d) {" (if rem = 1 then "if" else "else if") rem;
+    List.iter
+      (fun c ->
+        out "    if (flip == 0) %s<<<grid, block>>>(%s, %d);" (kernel_name t c)
+          (args false) t.dims.(0);
+        out "    else %s<<<grid, block>>>(%s, %d);" (kernel_name t c) (args true)
+          t.dims.(0);
+        out "    flip ^= 1;")
+      chunks;
+    out "  }"
+  done;
+  for c = 0 to s - 1 do
+    out "  cudaMemcpy(a%d_0, d%d_0, bytes, cudaMemcpyDeviceToHost);" c c;
+    out "  cudaMemcpy(a%d_1, d%d_1, bytes, cudaMemcpyDeviceToHost);" c c;
+    out "  cudaFree(d%d_0); cudaFree(d%d_1);" c c
+  done;
+  out "}"
+
+let kernel_degrees t =
+  let bt = t.config.Config.bt in
+  let needed = ref [] in
+  for rem = 1 to 2 * bt do
+    List.iter
+      (fun c -> if not (List.mem c !needed) then needed := c :: !needed)
+      (Execmodel.time_chunks ~bt ~it:rem)
+  done;
+  List.sort Int.compare !needed
+
+let generate t =
+  let buffer = Buffer.create 32768 in
+  let out fmt = kstr (fun s -> Buffer.add_string buffer s; Buffer.add_char buffer '\n') fmt in
+  out "/* Generated by AN5D (OCaml reproduction) -- multi-output temporal";
+  out "   blocking prototype for the %d-component system %s (paper 8). */" (n_comp t)
+    t.system.Stencil.System.name;
+  out "#include <cuda_runtime.h>";
+  out "#include <math.h>";
+  out "";
+  List.iter
+    (fun degree ->
+      out "/* ======== degree-%d kernel ======== */" degree;
+      emit_defines t degree buffer;
+      out "";
+      emit_kernel t degree buffer;
+      out "";
+      for tstep = 1 to degree do
+        out "#undef CALC%d" tstep
+      done;
+      out "#undef LOAD";
+      out "#undef STORE";
+      out "")
+    (kernel_degrees t);
+  emit_host t buffer;
+  Buffer.contents buffer

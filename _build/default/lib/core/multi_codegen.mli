@@ -1,0 +1,32 @@
+(** CUDA generation for multi-statement stencil systems — codegen parity
+    for the §8 future-work prototype. The kernel shape matches the
+    single-output generator (head / steady-state / tail, fixed rotation,
+    double-buffered tiles) with registers, tiles and global arrays
+    replicated per component; CALC macros receive only the rotation
+    slots and build register names by token pasting ([RG(c, t, m)]). *)
+
+type t = {
+  system : Stencil.System.t;
+  config : Config.t;
+  prec : Stencil.Grid.precision;
+  dims : int array;
+}
+
+val make :
+  system:Stencil.System.t ->
+  config:Config.t ->
+  prec:Stencil.Grid.precision ->
+  dims:int array ->
+  t
+
+val kernel_name : t -> int -> string
+
+val star_layout : t -> bool
+(** True when every read of every component is axial: one tile plane per
+    component suffices. *)
+
+val kernel_degrees : t -> int list
+
+val generate : t -> string
+(** The whole translation unit (all kernel degrees + host driver).
+    Deterministic. *)

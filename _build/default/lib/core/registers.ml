@@ -1,0 +1,73 @@
+(** Per-thread register-usage model (§4.2 "Register Allocation", §6.3 and
+    Fig 7).
+
+    AN5D allocates a *fixed* register for every live sub-plane value:
+    [1 + 2*rad] planes per combined time-step, plus the loop/addressing
+    overhead NVCC needs. §6.3 reports the experimentally observed
+    minima, which we adopt as the AN5D estimator:
+
+    - float:  [bT * (2*rad + 1) + bT + 20]
+    - double: [2 * bT * (2*rad + 1) + bT + 30]  (64-bit values take two
+      32-bit registers)
+
+    STENCILGEN's shifting allocation moves every value through
+    [1 + 2*rad] registers per plane update, which costs an extra live
+    shift window and address temporaries but saves the [bT] sub-plane
+    bookkeeping registers; empirically it uses more registers on average
+    despite the saved [bT] (Fig 7), and spills at the 32-register limit
+    for second-order stencils while AN5D does not (§7.1). *)
+
+type allocation = {
+  required : int;  (** registers the kernel wants with no limit *)
+  used : int;  (** after applying the [-maxrregcount] style limit *)
+  spills : bool;  (** limit below what can be absorbed without spilling *)
+}
+
+let plane_regs prec rad =
+  let words = match prec with Stencil.Grid.F32 -> 1 | Stencil.Grid.F64 -> 2 in
+  words * ((2 * rad) + 1)
+
+(* Fixed overhead: addressing, loop counters, predicates. *)
+let an5d_overhead prec = match prec with Stencil.Grid.F32 -> 20 | Stencil.Grid.F64 -> 30
+
+(** AN5D's required registers per thread (§6.3 formulas). *)
+let an5d_required ~prec ~bt ~rad = (bt * plane_regs prec rad) + bt + an5d_overhead prec
+
+(** STENCILGEN's shifting allocation: the shift window keeps one extra
+    set of plane registers live and needs more temporaries for the
+    per-update register moves; no [+bT] sub-plane counters. *)
+let stencilgen_required ~prec ~bt ~rad =
+  (bt * plane_regs prec rad) + plane_regs prec rad + (4 * rad) + an5d_overhead prec
+
+(** Registers that can be shaved off by the compiler under a limit
+    without spilling (rematerialization, scheduling): larger for AN5D
+    because its access pattern is fixed (§4.2), small for shifting
+    allocations where every value is live across moves. *)
+let an5d_slack = 12
+
+let stencilgen_slack = 8
+
+let apply_limit ~slack ~required = function
+  | None -> { required; used = required; spills = false }
+  | Some limit ->
+      if required <= limit then { required; used = required; spills = false }
+      else { required; used = limit; spills = required - slack > limit }
+
+let an5d ~prec ~bt ~rad ~reg_limit =
+  apply_limit ~slack:an5d_slack ~required:(an5d_required ~prec ~bt ~rad) reg_limit
+
+let stencilgen ~prec ~bt ~rad ~reg_limit =
+  apply_limit ~slack:stencilgen_slack
+    ~required:(stencilgen_required ~prec ~bt ~rad)
+    reg_limit
+
+(** §6.3 pruning rule: a configuration is infeasible when the predicted
+    usage exceeds the 255 registers-per-thread hardware limit or the
+    register file of an SM cannot hold even one block. *)
+let feasible (dev : Gpu.Device.t) ~prec ~bt ~rad ~n_thr =
+  let req = an5d_required ~prec ~bt ~rad in
+  req <= dev.Gpu.Device.max_regs_per_thread
+  && req * n_thr <= dev.Gpu.Device.regs_per_sm
+
+let pp ppf a =
+  Fmt.pf ppf "regs %d->%d%s" a.required a.used (if a.spills then " (spills)" else "")

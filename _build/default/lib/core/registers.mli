@@ -1,0 +1,60 @@
+(** Per-thread register-usage model (§4.2, §6.3, Fig 7).
+
+    AN5D's fixed allocation keeps [1 + 2*rad] sub-plane values per
+    combined time-step in dedicated registers; the estimators adopt the
+    experimentally observed minima of §6.3. STENCILGEN's shifting
+    allocation trades the [+bT] bookkeeping for a live shift window and
+    move temporaries, using more registers on average (Fig 7) and
+    spilling at the 32-register full-occupancy limit for second-order
+    stencils (§7.1). *)
+
+type allocation = {
+  required : int;  (** registers the kernel wants with no limit *)
+  used : int;  (** after the [-maxrregcount]-style limit *)
+  spills : bool;
+}
+
+val plane_regs : Stencil.Grid.precision -> int -> int
+(** 32-bit registers to hold [1 + 2*rad] cell values (doubled for
+    [F64]). *)
+
+val an5d_overhead : Stencil.Grid.precision -> int
+
+val an5d_required : prec:Stencil.Grid.precision -> bt:int -> rad:int -> int
+(** §6.3: [bT*(2rad+1) + bT + 20] for float,
+    [2*bT*(2rad+1) + bT + 30] for double. *)
+
+val stencilgen_required :
+  prec:Stencil.Grid.precision -> bt:int -> rad:int -> int
+
+val an5d_slack : int
+(** Registers the compiler can shave under a limit without spilling —
+    large for AN5D's fixed access pattern. *)
+
+val stencilgen_slack : int
+
+val an5d :
+  prec:Stencil.Grid.precision ->
+  bt:int ->
+  rad:int ->
+  reg_limit:int option ->
+  allocation
+
+val stencilgen :
+  prec:Stencil.Grid.precision ->
+  bt:int ->
+  rad:int ->
+  reg_limit:int option ->
+  allocation
+
+val feasible :
+  Gpu.Device.t ->
+  prec:Stencil.Grid.precision ->
+  bt:int ->
+  rad:int ->
+  n_thr:int ->
+  bool
+(** §6.3 pruning: the estimate must fit the 255-per-thread limit and
+    one block must fit the SM register file. *)
+
+val pp : Format.formatter -> allocation -> unit

@@ -1,0 +1,77 @@
+(** Warp-level utilization analysis — the quantitative basis for the
+    paper's future work (§8): "warp specialization and idle-warp
+    elimination to potentially enable lower register pressure and better
+    shared memory efficiency".
+
+    Threads of a block are grouped into warps of [warp_size] consecutive
+    ids. At time-step [T], threads whose block-local coordinate falls in
+    the halo (distance < [T*rad] from the block edge along any blocked
+    dimension) produce values that are invalid from that step on; a warp
+    whose threads are *all* in the halo still issues every CALC
+    instruction under AN5D's branch-free scheme — pure waste that
+    idle-warp elimination would skip.
+
+    This module counts, per time-step and integrated over a kernel call,
+    the fraction of warp-instruction slots that are fully idle, giving
+    an upper bound for the elimination's benefit. *)
+
+(* Is thread [t] (block-local) inside the shrinking valid region at
+   [tstep]? Validity is measured from the block edge: coordinates in
+   [tstep*rad, bs - tstep*rad). *)
+let thread_valid geo ~rad ~tstep t =
+  let nb = Array.length geo.Blocking.bs in
+  let ok = ref true in
+  for d = 0 to nb - 1 do
+    let u = geo.Blocking.coords.(t).(d) in
+    if u < tstep * rad || u >= geo.Blocking.bs.(d) - (tstep * rad) then ok := false
+  done;
+  !ok
+
+type per_step = {
+  tstep : int;
+  total_warps : int;
+  idle_warps : int;  (** all lanes in the halo: skippable *)
+  partial_warps : int;  (** mixed valid/halo lanes: divergent but needed *)
+}
+
+(** Warp census of one time-step of a block. *)
+let census ?(warp_size = 32) (em : Execmodel.t) ~tstep =
+  let geo = Blocking.make_geometry em.Execmodel.config.Config.bs in
+  let rad = em.Execmodel.pattern.Stencil.Pattern.radius in
+  let n_thr = Config.n_thr em.Execmodel.config in
+  let n_warps = (n_thr + warp_size - 1) / warp_size in
+  let idle = ref 0 and partial = ref 0 in
+  for w = 0 to n_warps - 1 do
+    let lo = w * warp_size and hi = min n_thr ((w + 1) * warp_size) - 1 in
+    let valid = ref 0 in
+    for t = lo to hi do
+      if thread_valid geo ~rad ~tstep t then incr valid
+    done;
+    if !valid = 0 then incr idle
+    else if !valid < hi - lo + 1 then incr partial
+  done;
+  { tstep; total_warps = n_warps; idle_warps = !idle; partial_warps = !partial }
+
+(** Census for every combined time-step [1..bT]. *)
+let profile ?warp_size (em : Execmodel.t) =
+  List.init (Execmodel.bt em) (fun i -> census ?warp_size em ~tstep:(i + 1))
+
+(** Fraction of all warp-instruction slots in a kernel call that
+    idle-warp elimination could skip: idle warps summed over time-steps
+    (every time-step issues the same number of warp slots). *)
+let idle_fraction ?warp_size (em : Execmodel.t) =
+  let steps = profile ?warp_size em in
+  let idle = List.fold_left (fun acc s -> acc + s.idle_warps) 0 steps in
+  let total = List.fold_left (fun acc s -> acc + s.total_warps) 0 steps in
+  if total = 0 then 0.0 else float idle /. float total
+
+(** Upper bound on the whole-kernel speedup from eliminating idle warps,
+    assuming instruction issue scales with active warp slots (shared
+    memory traffic of idle warps disappears too, §8). *)
+let elimination_speedup ?warp_size (em : Execmodel.t) =
+  let f = idle_fraction ?warp_size em in
+  if f >= 1.0 then Float.infinity else 1.0 /. (1.0 -. f)
+
+let pp_per_step ppf s =
+  Fmt.pf ppf "T=%d: %d/%d warps idle, %d divergent" s.tstep s.idle_warps
+    s.total_warps s.partial_warps

@@ -1,0 +1,26 @@
+(** Warp-level utilization analysis — quantifies the paper's §8 future
+    work ("warp specialization and idle-warp elimination"): how many
+    warps of a thread block spend a time-step entirely inside the halo,
+    issuing CALC instructions whose results are never used. *)
+
+type per_step = {
+  tstep : int;
+  total_warps : int;
+  idle_warps : int;  (** all lanes in the halo: skippable *)
+  partial_warps : int;  (** mixed valid/halo lanes: divergent but needed *)
+}
+
+val census : ?warp_size:int -> Execmodel.t -> tstep:int -> per_step
+(** Warp census of one combined time-step (default warp size 32). *)
+
+val profile : ?warp_size:int -> Execmodel.t -> per_step list
+(** Censuses for time-steps [1..bT]. *)
+
+val idle_fraction : ?warp_size:int -> Execmodel.t -> float
+(** Fraction of warp-instruction slots of a kernel call that idle-warp
+    elimination could skip. *)
+
+val elimination_speedup : ?warp_size:int -> Execmodel.t -> float
+(** Upper bound on the speedup from skipping idle warps. *)
+
+val pp_per_step : Format.formatter -> per_step -> unit

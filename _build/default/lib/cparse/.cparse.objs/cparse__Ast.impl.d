@@ -1,0 +1,1 @@
+lib/cparse/ast.ml: Fmt Int List Option String

@@ -1,0 +1,1 @@
+lib/cparse/ast.mli: Format

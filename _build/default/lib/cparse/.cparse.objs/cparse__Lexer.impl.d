@@ -1,0 +1,1 @@
+lib/cparse/lexer.ml: Fmt List Option Srcloc String Token

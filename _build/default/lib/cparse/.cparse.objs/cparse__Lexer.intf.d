@@ -1,0 +1,1 @@
+lib/cparse/lexer.mli: Srcloc Token

@@ -1,0 +1,1 @@
+lib/cparse/parser.ml: Ast Fmt Lexer List Srcloc String Token

@@ -1,0 +1,1 @@
+lib/cparse/parser.mli: Ast Srcloc

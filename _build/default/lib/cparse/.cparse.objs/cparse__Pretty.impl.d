@@ -1,0 +1,1 @@
+lib/cparse/pretty.ml: Ast Fmt List String

@@ -1,0 +1,1 @@
+lib/cparse/pretty.mli: Ast Format

@@ -1,0 +1,1 @@
+lib/cparse/srcloc.mli: Format

@@ -1,0 +1,1 @@
+lib/cparse/token.mli: Format

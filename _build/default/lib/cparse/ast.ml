@@ -1,0 +1,114 @@
+(** Abstract syntax for the C stencil subset (paper §4.3).
+
+    A translation unit is a list of [#define]s followed by one function
+    definition. The function body is a perfect loop nest whose innermost
+    statement is a single array assignment — exactly the normalized form
+    AN5D's PPCG-based front-end hands to the backend. *)
+
+type typ = Tint | Tfloat | Tdouble
+
+let pp_typ ppf = function
+  | Tint -> Fmt.string ppf "int"
+  | Tfloat -> Fmt.string ppf "float"
+  | Tdouble -> Fmt.string ppf "double"
+
+type binop = Add | Sub | Mul | Div | Mod
+
+let pp_binop ppf op =
+  Fmt.string ppf
+    (match op with Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/" | Mod -> "%")
+
+type unop = Neg
+
+type expr =
+  | Int_lit of int
+  | Float_lit of float
+  | Var of string
+  | Index of string * expr list  (** [a\[e1\]\[e2\]...] *)
+  | Unop of unop * expr
+  | Binop of binop * expr * expr
+  | Call of string * expr list  (** e.g. [sqrt(e)], [sqrtf(e)] *)
+
+type param = {
+  p_name : string;
+  p_type : typ;
+  p_dims : expr list;  (** [] for scalars; sizes for array parameters *)
+  p_const : bool;
+}
+
+(** [for (int v = init; v < bound; v++) body] — only this loop form is
+    accepted; [<=] bounds are normalized to [<] by the parser. *)
+type loop = { l_var : string; l_init : expr; l_bound : expr; l_body : stmt list }
+
+and stmt = Assign of expr * expr | For of loop | Block of stmt list
+
+type func = {
+  f_name : string;
+  f_params : param list;
+  f_body : stmt list;
+}
+
+type define = { d_name : string; d_value : int }
+
+type program = { defines : define list; func : func }
+
+(* ------------------------------------------------------------------ *)
+(* Traversals                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let rec fold_expr f acc e =
+  let acc = f acc e in
+  match e with
+  | Int_lit _ | Float_lit _ | Var _ -> acc
+  | Index (_, idxs) -> List.fold_left (fold_expr f) acc idxs
+  | Unop (_, e1) -> fold_expr f acc e1
+  | Binop (_, a, b) -> fold_expr f (fold_expr f acc a) b
+  | Call (_, args) -> List.fold_left (fold_expr f) acc args
+
+let rec fold_stmt f acc s =
+  let acc = f acc s in
+  match s with
+  | Assign _ -> acc
+  | For { l_body; _ } -> List.fold_left (fold_stmt f) acc l_body
+  | Block body -> List.fold_left (fold_stmt f) acc body
+
+(** All [Assign] statements of a body, in source order. *)
+let assignments body =
+  let collect acc = function Assign (lhs, rhs) -> (lhs, rhs) :: acc | For _ | Block _ -> acc in
+  List.rev (List.fold_left (fun acc s -> fold_stmt collect acc s) [] body)
+
+(** Loop variables from outermost to innermost along the first perfect
+    nest of [body]. *)
+let rec loop_nest body =
+  match body with
+  | [ For l ] -> l :: loop_nest l.l_body
+  | _ -> []
+
+(** Variables referenced (not bound) in an expression. *)
+let expr_vars e =
+  let add acc = function Var v -> v :: acc | Index (a, _) -> a :: acc | _ -> acc in
+  List.sort_uniq String.compare (fold_expr add [] e)
+
+(* ------------------------------------------------------------------ *)
+(* Constant folding of integer expressions                             *)
+(* ------------------------------------------------------------------ *)
+
+(** Evaluate an integer expression given an environment for variables.
+    Returns [None] when the expression is non-integral or a variable is
+    unbound. *)
+let rec eval_int env = function
+  | Int_lit n -> Some n
+  | Float_lit _ -> None
+  | Var v -> List.assoc_opt v env
+  | Index _ | Call _ -> None
+  | Unop (Neg, e) -> Option.map Int.neg (eval_int env e)
+  | Binop (op, a, b) -> (
+      match (eval_int env a, eval_int env b) with
+      | Some x, Some y -> (
+          match op with
+          | Add -> Some (x + y)
+          | Sub -> Some (x - y)
+          | Mul -> Some (x * y)
+          | Div -> if y = 0 then None else Some (x / y)
+          | Mod -> if y = 0 then None else Some (x mod y))
+      | _ -> None)

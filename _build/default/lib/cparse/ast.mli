@@ -1,0 +1,67 @@
+(** Abstract syntax for the C stencil subset (paper §4.3).
+
+    A translation unit is a list of [#define]s followed by one function
+    definition whose body is a perfect loop nest around a single array
+    assignment — the normalized form AN5D's PPCG-based front-end hands
+    to the backend. *)
+
+type typ = Tint | Tfloat | Tdouble
+
+val pp_typ : Format.formatter -> typ -> unit
+
+type binop = Add | Sub | Mul | Div | Mod
+
+val pp_binop : Format.formatter -> binop -> unit
+
+type unop = Neg
+
+type expr =
+  | Int_lit of int
+  | Float_lit of float
+  | Var of string
+  | Index of string * expr list  (** [a[e1][e2]...] *)
+  | Unop of unop * expr
+  | Binop of binop * expr * expr
+  | Call of string * expr list  (** e.g. [sqrt(e)], [sqrtf(e)] *)
+
+type param = {
+  p_name : string;
+  p_type : typ;
+  p_dims : expr list;  (** [[]] for scalars; sizes for array parameters *)
+  p_const : bool;
+}
+
+(** [for (int v = init; v < bound; v++) body]; [<=] bounds are
+    normalized to [<] by the parser. *)
+type loop = { l_var : string; l_init : expr; l_bound : expr; l_body : stmt list }
+
+and stmt = Assign of expr * expr | For of loop | Block of stmt list
+
+type func = { f_name : string; f_params : param list; f_body : stmt list }
+
+type define = { d_name : string; d_value : int }
+
+type program = { defines : define list; func : func }
+
+val fold_expr : ('a -> expr -> 'a) -> 'a -> expr -> 'a
+(** Pre-order fold over an expression tree. *)
+
+val fold_stmt : ('a -> stmt -> 'a) -> 'a -> stmt -> 'a
+(** Pre-order fold over a statement tree. *)
+
+val assignments : stmt list -> (expr * expr) list
+(** All [Assign] statements of a body, in source order, as
+    [(lhs, rhs)] pairs. *)
+
+val loop_nest : stmt list -> loop list
+(** Loop variables from outermost to innermost along the first perfect
+    nest of the body; stops at the first level that is not a singleton
+    [For]. *)
+
+val expr_vars : expr -> string list
+(** Variables and array names referenced by an expression, sorted and
+    deduplicated. *)
+
+val eval_int : (string * int) list -> expr -> int option
+(** Constant-fold an integer expression under an environment; [None]
+    when non-integral, unbound, or dividing by zero. *)

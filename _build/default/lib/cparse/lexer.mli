@@ -1,0 +1,16 @@
+(** Hand-written scanner for the C stencil subset.
+
+    Handles whitespace, [//] and [/* */] comments, integer and float
+    literals (including [f] suffixes and exponents), compound operators
+    and the [#define] directive. All other preprocessor directives are
+    rejected. *)
+
+exception Error of string * Srcloc.t
+(** Lexical error with a message and the offending position. *)
+
+type located = { token : Token.t; loc : Srcloc.t }
+
+val tokenize : string -> located list
+(** Tokenize a whole source string. The result always ends with an
+    [EOF] token.
+    @raise Error on malformed input. *)

@@ -1,0 +1,21 @@
+(** Recursive-descent parser for the C stencil subset.
+
+    The accepted grammar covers exactly the normalized form AN5D's
+    front-end consumes (paper §4.3, Fig 4): [#define]s of integer
+    constants followed by one function whose body is a perfect [for]
+    nest around assignment statements. [<=] loop bounds are normalized
+    to [<]; [x += e] is desugared to [x = x + e]; only unit-stride
+    loops are admitted. *)
+
+exception Error of string * Srcloc.t
+(** Syntax error with a message and the position of the offending
+    token. *)
+
+val program_of_string : string -> Ast.program
+(** Parse a full translation unit.
+    @raise Error on syntax errors.
+    @raise Lexer.Error on lexical errors. *)
+
+val expr_of_string : string -> Ast.expr
+(** Parse a single expression (for tests and diagnostics); the input
+    must be consumed entirely. *)

@@ -1,0 +1,69 @@
+(** Pretty-printer for the C subset AST.
+
+    Emits compilable C; used for round-trip tests and for echoing the
+    normalized input in diagnostics. Parenthesization is minimal but
+    sufficient (full parens around nested binary operations of different
+    precedence). *)
+
+open Ast
+
+let prec = function Add | Sub -> 1 | Mul | Div | Mod -> 2
+
+let rec pp_expr ?(ctx = 0) ppf e =
+  match e with
+  | Int_lit n -> Fmt.int ppf n
+  | Float_lit f ->
+      (* Keep a decimal point so the output re-lexes as a float. *)
+      let s = Fmt.str "%.17g" f in
+      if String.contains s '.' || String.contains s 'e' || String.contains s 'n'
+      then Fmt.string ppf s
+      else Fmt.pf ppf "%s.0" s
+  | Var v -> Fmt.string ppf v
+  | Index (a, idxs) ->
+      Fmt.string ppf a;
+      List.iter (fun i -> Fmt.pf ppf "[%a]" (pp_expr ~ctx:0) i) idxs
+  | Unop (Neg, e) -> Fmt.pf ppf "(-%a)" (pp_expr ~ctx:3) e
+  | Binop (op, a, b) ->
+      let p = prec op in
+      let body ppf () =
+        Fmt.pf ppf "%a %a %a" (pp_expr ~ctx:p) a pp_binop op (pp_expr ~ctx:(p + 1)) b
+      in
+      if p < ctx then Fmt.pf ppf "(%a)" body () else body ppf ()
+  | Call (f, args) ->
+      Fmt.pf ppf "%s(%a)" f (Fmt.list ~sep:(Fmt.any ", ") (pp_expr ~ctx:0)) args
+
+let rec pp_stmt ~indent ppf s =
+  let pad = String.make indent ' ' in
+  match s with
+  | Assign (lhs, rhs) ->
+      Fmt.pf ppf "%s%a = %a;" pad (pp_expr ~ctx:0) lhs (pp_expr ~ctx:0) rhs
+  | For { l_var; l_init; l_bound; l_body } ->
+      Fmt.pf ppf "%sfor (int %s = %a; %s < %a; %s++) {@\n%a@\n%s}" pad l_var
+        (pp_expr ~ctx:0) l_init l_var (pp_expr ~ctx:0) l_bound l_var
+        (pp_body ~indent:(indent + 2))
+        l_body pad
+  | Block body ->
+      Fmt.pf ppf "%s{@\n%a@\n%s}" pad (pp_body ~indent:(indent + 2)) body pad
+
+and pp_body ~indent ppf body =
+  Fmt.(list ~sep:(any "@\n") (pp_stmt ~indent)) ppf body
+
+let pp_param ppf { p_name; p_type; p_dims; p_const } =
+  if p_const then Fmt.string ppf "const ";
+  Fmt.pf ppf "%a %s" pp_typ p_type p_name;
+  List.iter (fun d -> Fmt.pf ppf "[%a]" (pp_expr ~ctx:0) d) p_dims
+
+let pp_func ppf { f_name; f_params; f_body } =
+  Fmt.pf ppf "void %s(%a) {@\n%a@\n}" f_name
+    (Fmt.list ~sep:(Fmt.any ", ") pp_param)
+    f_params
+    (pp_body ~indent:2)
+    f_body
+
+let pp_program ppf { defines; func } =
+  List.iter (fun { d_name; d_value } -> Fmt.pf ppf "#define %s %d@\n" d_name d_value) defines;
+  pp_func ppf func
+
+let program_to_string p = Fmt.str "%a" pp_program p
+
+let expr_to_string e = Fmt.str "%a" (pp_expr ~ctx:0) e

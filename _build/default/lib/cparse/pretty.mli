@@ -1,0 +1,18 @@
+(** Pretty-printer for the C subset AST: emits compilable C, used for
+    round-trip tests and diagnostics. *)
+
+val pp_expr : ?ctx:int -> Format.formatter -> Ast.expr -> unit
+(** [ctx] is the surrounding precedence level (0 = top); parentheses
+    are inserted only where required. *)
+
+val pp_stmt : indent:int -> Format.formatter -> Ast.stmt -> unit
+
+val pp_param : Format.formatter -> Ast.param -> unit
+
+val pp_func : Format.formatter -> Ast.func -> unit
+
+val pp_program : Format.formatter -> Ast.program -> unit
+
+val program_to_string : Ast.program -> string
+
+val expr_to_string : Ast.expr -> string

@@ -1,0 +1,23 @@
+(** Source locations for the C front-end.
+
+    Locations are tracked per token so that pattern-detection failures in
+    later stages can point back at the offending construct of the input
+    stencil description. *)
+
+type t = {
+  line : int;  (** 1-based line number *)
+  col : int;  (** 1-based column of the first character *)
+}
+
+let dummy = { line = 0; col = 0 }
+
+let make ~line ~col = { line; col }
+
+let pp ppf { line; col } = Fmt.pf ppf "%d:%d" line col
+
+let to_string loc = Fmt.str "%a" pp loc
+
+let compare a b =
+  match Int.compare a.line b.line with 0 -> Int.compare a.col b.col | c -> c
+
+let equal a b = compare a b = 0

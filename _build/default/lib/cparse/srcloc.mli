@@ -1,0 +1,21 @@
+(** Source locations (line/column) for front-end diagnostics. *)
+
+type t = {
+  line : int;  (** 1-based line number *)
+  col : int;  (** 1-based column of the first character *)
+}
+
+val dummy : t
+(** Placeholder for synthesized tokens. *)
+
+val make : line:int -> col:int -> t
+
+val pp : Format.formatter -> t -> unit
+(** Renders as ["line:col"]. *)
+
+val to_string : t -> string
+
+val compare : t -> t -> int
+(** Lexicographic by line then column. *)
+
+val equal : t -> t -> bool

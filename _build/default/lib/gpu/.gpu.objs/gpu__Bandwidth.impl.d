@@ -1,0 +1,1 @@
+lib/gpu/bandwidth.ml: Counters Device Fmt Machine Stencil

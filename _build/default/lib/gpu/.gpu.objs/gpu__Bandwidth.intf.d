@@ -1,0 +1,1 @@
+lib/gpu/bandwidth.mli: Device Format Stencil

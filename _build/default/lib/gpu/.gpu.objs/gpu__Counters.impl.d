@@ -1,0 +1,1 @@
+lib/gpu/counters.ml: Fmt Stencil

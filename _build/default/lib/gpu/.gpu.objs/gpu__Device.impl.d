@@ -1,0 +1,1 @@
+lib/gpu/device.ml: Fmt List Stencil String

@@ -1,0 +1,1 @@
+lib/gpu/machine.ml: Array Counters Device Fmt Stencil

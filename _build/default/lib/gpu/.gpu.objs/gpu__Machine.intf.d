@@ -1,0 +1,1 @@
+lib/gpu/machine.mli: Counters Device Stencil

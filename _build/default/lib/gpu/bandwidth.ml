@@ -1,0 +1,113 @@
+(** Bandwidth micro-benchmarks against the simulated memory system.
+
+    The paper measures practical peaks with BabelStream (global) and
+    gpumembench (shared) and feeds them to the model. We reproduce the
+    *procedure* — run the canonical copy/triad and shared-memory sweep
+    kernels through {!Machine}, count bytes, convert to time with the
+    device's measured rates — so the plumbing from micro-benchmark to
+    model input is exercised end to end, while the rates themselves come
+    from Table 4 (we have no silicon to measure). *)
+
+type report = {
+  kernel : string;
+  words_moved : int;
+  bytes_moved : int;
+  seconds : float;
+  gbps : float;
+}
+
+let pp_report ppf r =
+  Fmt.pf ppf "%-12s %10d words %12d bytes %.3e s %8.1f GB/s" r.kernel
+    r.words_moved r.bytes_moved r.seconds r.gbps
+
+(* BabelStream's copy kernel: c[i] = a[i]. One read + one write per
+   element. *)
+let babelstream_copy ?(n = 1 lsl 16) device prec =
+  let m = Machine.create ~prec device in
+  let a = Stencil.Grid.init_random ~prec [| n |] in
+  let c = Stencil.Grid.create ~prec [| n |] in
+  let n_thr = 1024 in
+  let n_blocks = (n + n_thr - 1) / n_thr in
+  Machine.launch m ~n_blocks ~n_thr (fun ctx ->
+      let base = ctx.Machine.block_id * n_thr in
+      for t = 0 to n_thr - 1 do
+        let i = base + t in
+        if i < n then Machine.gm_write_lin m c i (Machine.gm_read_lin m a i)
+      done);
+  let words = Counters.gm_words m.Machine.counters in
+  let bytes = words * Stencil.Grid.bytes_per_word prec in
+  let rate = Device.by_prec prec device.Device.measured_gm_bw *. 1e9 in
+  let seconds = float bytes /. rate in
+  {
+    kernel = "copy";
+    words_moved = words;
+    bytes_moved = bytes;
+    seconds;
+    gbps = float bytes /. seconds /. 1e9;
+  }
+
+(* BabelStream's triad kernel: a[i] = b[i] + s * c[i]. *)
+let babelstream_triad ?(n = 1 lsl 16) device prec =
+  let m = Machine.create ~prec device in
+  let b = Stencil.Grid.init_random ~prec [| n |] in
+  let c = Stencil.Grid.init_random ~prec ~seed:7 [| n |] in
+  let a = Stencil.Grid.create ~prec [| n |] in
+  let s = 0.4 in
+  let n_thr = 1024 in
+  let n_blocks = (n + n_thr - 1) / n_thr in
+  Machine.launch m ~n_blocks ~n_thr (fun ctx ->
+      let base = ctx.Machine.block_id * n_thr in
+      for t = 0 to n_thr - 1 do
+        let i = base + t in
+        if i < n then
+          Machine.gm_write_lin m a i
+            (Machine.gm_read_lin m b i +. (s *. Machine.gm_read_lin m c i))
+      done);
+  let words = Counters.gm_words m.Machine.counters in
+  let bytes = words * Stencil.Grid.bytes_per_word prec in
+  let rate = Device.by_prec prec device.Device.measured_gm_bw *. 1e9 in
+  let seconds = float bytes /. rate in
+  {
+    kernel = "triad";
+    words_moved = words;
+    bytes_moved = bytes;
+    seconds;
+    gbps = float bytes /. seconds /. 1e9;
+  }
+
+(* gpumembench-style shared memory sweep: each thread repeatedly reads
+   and accumulates from a shared buffer. *)
+let gpumembench_shared ?(n_blocks = 64) ?(iters = 128) device prec =
+  let m = Machine.create ~prec device in
+  let n_thr = 256 in
+  Machine.launch m ~n_blocks ~n_thr (fun ctx ->
+      let buf = Machine.Shared.alloc ctx n_thr in
+      for t = 0 to n_thr - 1 do
+        Machine.Shared.write buf t (float t)
+      done;
+      Machine.barrier ctx;
+      for t = 0 to n_thr - 1 do
+        let acc = ref 0.0 in
+        for k = 1 to iters do
+          acc := !acc +. Machine.Shared.read buf ((t + k) mod n_thr)
+        done;
+        ignore !acc
+      done);
+  let words = Counters.sm_words m.Machine.counters in
+  let bytes = words * Stencil.Grid.bytes_per_word prec in
+  let rate = Device.by_prec prec device.Device.measured_sm_bw *. 1e9 in
+  let seconds = float bytes /. rate in
+  {
+    kernel = "smem-sweep";
+    words_moved = words;
+    bytes_moved = bytes;
+    seconds;
+    gbps = float bytes /. seconds /. 1e9;
+  }
+
+(** The measured peaks the model consumes, as produced by the benchmark
+    procedure (by construction they reproduce Table 4's numbers). *)
+let measured_peaks device prec =
+  let gm = babelstream_triad device prec in
+  let sm = gpumembench_shared device prec in
+  (gm.gbps, sm.gbps)

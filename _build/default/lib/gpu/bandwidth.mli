@@ -1,0 +1,33 @@
+(** Bandwidth micro-benchmarks against the simulated memory system.
+
+    Reproduces the *procedure* the paper uses to obtain Table 4's
+    measured peaks — BabelStream copy/triad for global memory,
+    a gpumembench-style sweep for shared memory — by running the
+    canonical kernels through {!Machine} and converting counted bytes to
+    time with the device's measured rates (we have no silicon to
+    measure, so the rates themselves come from Table 4 by
+    construction). *)
+
+type report = {
+  kernel : string;
+  words_moved : int;
+  bytes_moved : int;
+  seconds : float;
+  gbps : float;
+}
+
+val pp_report : Format.formatter -> report -> unit
+
+val babelstream_copy :
+  ?n:int -> Device.t -> Stencil.Grid.precision -> report
+(** [c[i] = a[i]]: one read + one write per element. *)
+
+val babelstream_triad :
+  ?n:int -> Device.t -> Stencil.Grid.precision -> report
+(** [a[i] = b[i] + s * c[i]]: three words per element. *)
+
+val gpumembench_shared :
+  ?n_blocks:int -> ?iters:int -> Device.t -> Stencil.Grid.precision -> report
+
+val measured_peaks : Device.t -> Stencil.Grid.precision -> float * float
+(** [(global, shared)] GB/s as produced by the benchmark procedure. *)

@@ -1,0 +1,89 @@
+(** Memory-traffic and operation counters for the simulated GPU.
+
+    Executors increment these through the {!Machine} API; validation
+    tests assert the totals against the §5 analytic formulas, and the
+    "measurement" layer converts them to time through the roofline. *)
+
+type t = {
+  mutable gm_reads : int;  (** global memory words read *)
+  mutable gm_writes : int;  (** global memory words written *)
+  mutable sm_reads : int;  (** shared memory words read *)
+  mutable sm_writes : int;  (** shared memory words written *)
+  mutable fma : int;
+  mutable mul : int;
+  mutable add : int;
+  mutable other : int;  (** special-function ops: sqrt, rsqrt, true div *)
+  mutable kernel_launches : int;
+  mutable barriers : int;
+  mutable cells_updated : int;  (** valid stores of final time-steps *)
+}
+
+let create () =
+  {
+    gm_reads = 0;
+    gm_writes = 0;
+    sm_reads = 0;
+    sm_writes = 0;
+    fma = 0;
+    mul = 0;
+    add = 0;
+    other = 0;
+    kernel_launches = 0;
+    barriers = 0;
+    cells_updated = 0;
+  }
+
+let reset c =
+  c.gm_reads <- 0;
+  c.gm_writes <- 0;
+  c.sm_reads <- 0;
+  c.sm_writes <- 0;
+  c.fma <- 0;
+  c.mul <- 0;
+  c.add <- 0;
+  c.other <- 0;
+  c.kernel_launches <- 0;
+  c.barriers <- 0;
+  c.cells_updated <- 0
+
+let copy c =
+  {
+    gm_reads = c.gm_reads;
+    gm_writes = c.gm_writes;
+    sm_reads = c.sm_reads;
+    sm_writes = c.sm_writes;
+    fma = c.fma;
+    mul = c.mul;
+    add = c.add;
+    other = c.other;
+    kernel_launches = c.kernel_launches;
+    barriers = c.barriers;
+    cells_updated = c.cells_updated;
+  }
+
+(** Record the operation mix of one cell update. *)
+let add_ops c (ops : Stencil.Sexpr.ops) =
+  c.fma <- c.fma + ops.Stencil.Sexpr.fma;
+  c.mul <- c.mul + ops.Stencil.Sexpr.mul;
+  c.add <- c.add + ops.Stencil.Sexpr.add;
+  c.other <- c.other + ops.Stencil.Sexpr.other
+
+let gm_words c = c.gm_reads + c.gm_writes
+
+let sm_words c = c.sm_reads + c.sm_writes
+
+(** Weighted FLOPs with FMA = 2, matching [total_comp] of §5. *)
+let weighted_flops c = (2 * c.fma) + c.mul + c.add + c.other
+
+let total_ops c = c.fma + c.mul + c.add + c.other
+
+let alu_efficiency c =
+  if total_ops c = 0 then 1.0
+  else float (weighted_flops c) /. float (2 * total_ops c)
+
+let pp ppf c =
+  Fmt.pf ppf
+    "gm r/w %d/%d, sm r/w %d/%d, ops fma=%d mul=%d add=%d other=%d, launches %d, \
+     cells %d"
+    c.gm_reads c.gm_writes c.sm_reads c.sm_writes c.fma c.mul c.add c.other
+    c.kernel_launches c.cells_updated

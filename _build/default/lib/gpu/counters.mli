@@ -1,0 +1,41 @@
+(** Memory-traffic and operation counters of the simulated GPU.
+
+    Executors increment these through {!Machine}; tests assert the
+    totals against the §5 closed-form formulas; the measurement layer
+    converts them to time via the roofline. *)
+
+type t = {
+  mutable gm_reads : int;  (** global memory words read *)
+  mutable gm_writes : int;
+  mutable sm_reads : int;  (** shared memory words read *)
+  mutable sm_writes : int;
+  mutable fma : int;
+  mutable mul : int;
+  mutable add : int;
+  mutable other : int;  (** special-function ops: sqrt, rsqrt, true division *)
+  mutable kernel_launches : int;
+  mutable barriers : int;
+  mutable cells_updated : int;
+}
+
+val create : unit -> t
+
+val reset : t -> unit
+
+val copy : t -> t
+
+val add_ops : t -> Stencil.Sexpr.ops -> unit
+(** Record the operation mix of one cell update. *)
+
+val gm_words : t -> int
+
+val sm_words : t -> int
+
+val weighted_flops : t -> int
+(** FMA = 2, matching [total_comp] of §5. *)
+
+val total_ops : t -> int
+
+val alu_efficiency : t -> float
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,94 @@
+(** GPU device descriptors (paper Table 4).
+
+    Peak compute and *measured* memory bandwidths are the inputs of the §5
+    performance model; the paper measures the latter with gpumembench
+    (shared) and BabelStream (global) — we carry the published numbers.
+    [smem_efficiency] is the calibration constant of our simulated
+    "measurement" layer: §7.2 reports model accuracy of 67%/49% on
+    V100/P100 with shared memory predicted as the bottleneck, i.e. these
+    devices achieve that fraction of their micro-benchmarked shared
+    memory bandwidth on real N.5D kernels. *)
+
+type prec_pair = { f32 : float; f64 : float }
+
+let by_prec p (pair : prec_pair) =
+  match p with Stencil.Grid.F32 -> pair.f32 | Stencil.Grid.F64 -> pair.f64
+
+type t = {
+  name : string;
+  sm_count : int;
+  peak_gflops : prec_pair;
+  peak_gm_bw : float;  (** GB/s, theoretical *)
+  measured_gm_bw : prec_pair;  (** GB/s, BabelStream *)
+  measured_sm_bw : prec_pair;  (** GB/s aggregate, gpumembench *)
+  smem_per_sm : int;  (** bytes available to thread blocks *)
+  max_threads_per_sm : int;
+  max_threads_per_block : int;
+  max_blocks_per_sm : int;
+  regs_per_sm : int;
+  max_regs_per_thread : int;
+  warp_size : int;
+  smem_efficiency : prec_pair;
+      (** fraction of measured shared bandwidth real kernels achieve *)
+  fp64_div_penalty : float;
+      (** slowdown of double-precision division kernels (§7.1 compiler
+          pathology); 1.0 = none *)
+}
+
+let p100 =
+  {
+    name = "Tesla P100 SXM2";
+    sm_count = 56;
+    peak_gflops = { f32 = 10_600.0; f64 = 5_300.0 };
+    peak_gm_bw = 720.0;
+    measured_gm_bw = { f32 = 535.0; f64 = 540.0 };
+    measured_sm_bw = { f32 = 9_700.0; f64 = 10_150.0 };
+    smem_per_sm = 64 * 1024;
+    max_threads_per_sm = 2048;
+    max_threads_per_block = 1024;
+    max_blocks_per_sm = 32;
+    regs_per_sm = 65_536;
+    max_regs_per_thread = 255;
+    warp_size = 32;
+    smem_efficiency = { f32 = 0.49; f64 = 0.53 };
+    fp64_div_penalty = 2.4;
+  }
+
+let v100 =
+  {
+    name = "Tesla V100 SXM2";
+    sm_count = 80;
+    peak_gflops = { f32 = 15_700.0; f64 = 7_850.0 };
+    peak_gm_bw = 900.0;
+    measured_gm_bw = { f32 = 791.0; f64 = 805.0 };
+    measured_sm_bw = { f32 = 10_650.0; f64 = 12_750.0 };
+    smem_per_sm = 96 * 1024;
+    max_threads_per_sm = 2048;
+    max_threads_per_block = 1024;
+    max_blocks_per_sm = 32;
+    regs_per_sm = 65_536;
+    max_regs_per_thread = 255;
+    warp_size = 32;
+    smem_efficiency = { f32 = 0.67; f64 = 0.71 };
+    fp64_div_penalty = 2.4;
+  }
+
+let all = [ p100; v100 ]
+
+(* Case-insensitive substring containment, e.g. [find "v100"]. *)
+let contains_substring ~needle hay =
+  let n = String.length needle and h = String.length hay in
+  n = 0
+  || (let rec at i = i + n <= h && (String.sub hay i n = needle || at (i + 1)) in
+      at 0)
+
+let find name =
+  let needle = String.lowercase_ascii name in
+  List.find_opt
+    (fun d -> contains_substring ~needle (String.lowercase_ascii d.name))
+    all
+
+let pp ppf d =
+  Fmt.pf ppf "%s: %d SMs, %.0f|%.0f GFLOP/s, gm %.0f|%.0f GB/s, sm %.0f|%.0f GB/s"
+    d.name d.sm_count d.peak_gflops.f32 d.peak_gflops.f64 d.measured_gm_bw.f32
+    d.measured_gm_bw.f64 d.measured_sm_bw.f32 d.measured_sm_bw.f64

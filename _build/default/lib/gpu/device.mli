@@ -1,0 +1,44 @@
+(** GPU device descriptors (paper Table 4).
+
+    Peak compute and the BabelStream/gpumembench-*measured* bandwidths
+    are the inputs of the §5 performance model. [smem_efficiency] and
+    [fp64_div_penalty] are the calibration constants of the simulated
+    measurement layer (documented in EXPERIMENTS.md): §7.2 reports model
+    accuracies of 67%/49% on V100/P100 with shared memory as the
+    predicted bottleneck, i.e. real N.5D kernels reach that fraction of
+    the micro-benchmarked shared bandwidth. *)
+
+type prec_pair = { f32 : float; f64 : float }
+
+val by_prec : Stencil.Grid.precision -> prec_pair -> float
+
+type t = {
+  name : string;
+  sm_count : int;
+  peak_gflops : prec_pair;
+  peak_gm_bw : float;  (** GB/s, theoretical *)
+  measured_gm_bw : prec_pair;  (** GB/s, BabelStream *)
+  measured_sm_bw : prec_pair;  (** GB/s aggregate, gpumembench *)
+  smem_per_sm : int;  (** bytes available to thread blocks *)
+  max_threads_per_sm : int;
+  max_threads_per_block : int;
+  max_blocks_per_sm : int;
+  regs_per_sm : int;
+  max_regs_per_thread : int;
+  warp_size : int;
+  smem_efficiency : prec_pair;
+  fp64_div_penalty : float;
+}
+
+val p100 : t
+(** Tesla P100 SXM2 (56 SMs, 64 KB shared memory per SM). *)
+
+val v100 : t
+(** Tesla V100 SXM2 (80 SMs, 96 KB shared memory per SM). *)
+
+val all : t list
+
+val find : string -> t option
+(** Case-insensitive substring lookup, e.g. [find "v100"]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,68 @@
+(** SM occupancy calculation.
+
+    Mirrors the CUDA occupancy rules the paper leans on (§5 and §6.3):
+    resident blocks per SM are limited by the 2048-thread ceiling, the
+    shared memory capacity, the register file, and the hardware block
+    limit. [eff_sm] is the paper's SM utilization efficiency. *)
+
+type request = {
+  n_thr : int;  (** threads per block *)
+  smem_bytes : int;  (** shared memory per block *)
+  regs_per_thread : int;
+}
+
+type limits = {
+  by_threads : int;
+  by_smem : int;
+  by_regs : int;
+  by_blocks : int;
+  resident_blocks : int;  (** the binding minimum *)
+  occupancy : float;  (** resident threads / max threads per SM *)
+}
+
+let analyze (dev : Device.t) req =
+  if req.n_thr <= 0 then invalid_arg "Occupancy.analyze: n_thr must be positive";
+  if req.n_thr > dev.Device.max_threads_per_block then
+    invalid_arg
+      (Fmt.str "Occupancy.analyze: %d threads exceeds block limit %d" req.n_thr
+         dev.Device.max_threads_per_block);
+  let by_threads = dev.Device.max_threads_per_sm / req.n_thr in
+  let by_smem =
+    if req.smem_bytes = 0 then dev.Device.max_blocks_per_sm
+    else dev.Device.smem_per_sm / req.smem_bytes
+  in
+  let by_regs =
+    if req.regs_per_thread = 0 then dev.Device.max_blocks_per_sm
+    else dev.Device.regs_per_sm / (req.regs_per_thread * req.n_thr)
+  in
+  let by_blocks = dev.Device.max_blocks_per_sm in
+  let resident_blocks = max 0 (min (min by_threads by_smem) (min by_regs by_blocks)) in
+  let occupancy =
+    float (resident_blocks * req.n_thr) /. float dev.Device.max_threads_per_sm
+  in
+  { by_threads; by_smem; by_regs; by_blocks; resident_blocks; occupancy }
+
+(** Can the kernel run at all (at least one resident block)? *)
+let launchable dev req =
+  req.regs_per_thread <= dev.Device.max_regs_per_thread
+  && req.smem_bytes <= dev.Device.smem_per_sm
+  && req.n_thr <= dev.Device.max_threads_per_block
+  && (analyze dev req).resident_blocks >= 1
+
+(** SM utilization efficiency of §5:
+    [eff_SM = n'_tb / (ceil(n'_tb / max_resident) * max_resident)]
+    where [max_resident] is the device-wide number of co-resident blocks.
+    The paper simplifies [max_resident] to [2048/n_thr] blocks per SM
+    because the thread ceiling binds in practice; we use the full
+    occupancy calculation, which coincides in those cases. *)
+let eff_sm (dev : Device.t) req ~n_tb =
+  let { resident_blocks; _ } = analyze dev req in
+  if resident_blocks = 0 || n_tb = 0 then 0.0
+  else
+    let wavefront = resident_blocks * dev.Device.sm_count in
+    let waves = (n_tb + wavefront - 1) / wavefront in
+    float n_tb /. float (waves * wavefront)
+
+let pp_limits ppf l =
+  Fmt.pf ppf "blocks/SM %d (thr %d, smem %d, regs %d, hw %d), occ %.2f"
+    l.resident_blocks l.by_threads l.by_smem l.by_regs l.by_blocks l.occupancy

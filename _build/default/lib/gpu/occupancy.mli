@@ -1,0 +1,32 @@
+(** SM occupancy calculation per the CUDA resource rules the paper
+    leans on (§5, §6.3): resident blocks per SM are bounded by the
+    thread ceiling, shared-memory capacity, the register file and the
+    hardware block limit. *)
+
+type request = {
+  n_thr : int;  (** threads per block *)
+  smem_bytes : int;  (** shared memory per block *)
+  regs_per_thread : int;
+}
+
+type limits = {
+  by_threads : int;
+  by_smem : int;
+  by_regs : int;
+  by_blocks : int;
+  resident_blocks : int;  (** the binding minimum *)
+  occupancy : float;  (** resident threads / max threads per SM *)
+}
+
+val analyze : Device.t -> request -> limits
+(** @raise Invalid_argument on a non-positive or over-limit block
+    size. *)
+
+val launchable : Device.t -> request -> bool
+(** At least one block fits within every hardware limit. *)
+
+val eff_sm : Device.t -> request -> n_tb:int -> float
+(** SM utilization efficiency of §5: the fraction of the last wavefront
+    of resident blocks that is actually filled by [n_tb] blocks. *)
+
+val pp_limits : Format.formatter -> limits -> unit

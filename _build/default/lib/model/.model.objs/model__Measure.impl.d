@@ -1,0 +1,1 @@
+lib/model/measure.ml: An5d_core Config Execmodel Float Fmt Gpu List Predict Registers Stencil Thread_class

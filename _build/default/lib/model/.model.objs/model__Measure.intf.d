@@ -1,0 +1,1 @@
+lib/model/measure.mli: An5d_core Execmodel Format Gpu Predict Registers Stencil

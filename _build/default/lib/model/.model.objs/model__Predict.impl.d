@@ -1,0 +1,1 @@
+lib/model/predict.ml: An5d_core Config Execmodel Float Fmt Gpu Stencil Thread_class

@@ -1,0 +1,1 @@
+lib/model/predict.mli: An5d_core Execmodel Format Gpu Stencil Thread_class

@@ -1,0 +1,1 @@
+lib/model/thread_class.ml: An5d_core Array Config Execmodel Fmt Hashtbl List Option Poly Stencil

@@ -1,0 +1,1 @@
+lib/model/thread_class.mli: An5d_core Execmodel Format Stencil

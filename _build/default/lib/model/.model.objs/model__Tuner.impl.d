@@ -1,0 +1,1 @@
+lib/model/tuner.ml: An5d_core Config Execmodel Float Fmt Gpu List Logs Measure Predict Registers Stencil

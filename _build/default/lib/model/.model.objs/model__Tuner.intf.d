@@ -1,0 +1,1 @@
+lib/model/tuner.mli: An5d_core Config Gpu Measure Predict Stencil

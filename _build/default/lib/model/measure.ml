@@ -1,0 +1,116 @@
+(** The simulated "measurement" layer.
+
+    The paper's Tuned numbers come from real GPU runs; here they come
+    from the analytic model corrected by the effects the model ignores —
+    exactly the gaps §7 identifies:
+
+    - shared-memory efficiency: real N.5D kernels reach only a fraction
+      of the micro-benchmarked shared bandwidth (67% on V100, 49% on
+      P100 — §7.2 equates model accuracy with this efficiency);
+    - occupancy: register usage (with the [-maxrregcount]-style limit)
+      and the shared-memory footprint bound resident blocks per SM; the
+      paper's model considers only the thread ceiling (§7.2 names
+      register pressure as the box3d3r/box3d4r error source);
+    - register spilling when the limit is too tight (§6.3);
+    - the CUDA compiler's inefficient double-precision division code
+      (§7.1), which hits the [j*] stencils with fp64.
+
+    All calibration constants live in {!Gpu.Device} and in this module's
+    {!spill_penalty}; EXPERIMENTS.md documents them. *)
+
+open An5d_core
+
+let spill_penalty = 1.6
+
+(** Fraction of peak instruction throughput real stencil kernels reach
+    even when compute-bound (indexing, predication, loop control). *)
+let alu_achievable = 0.88
+
+(** Below this occupancy the SMs cannot hide shared-memory latency and
+    the achieved bandwidth degrades proportionally. *)
+let occupancy_knee = 0.25
+
+let occupancy_derate occ = Float.min 1.0 (occ /. occupancy_knee)
+
+(** Extra slowdown of fp64 kernels that use division: the paper measured
+    roughly 2x versus same-shaped division-free stencils (§7.1, Fig 6). *)
+let fp64_division_penalty (dev : Gpu.Device.t) ~prec pattern =
+  if prec = Stencil.Grid.F64 && Stencil.Pattern.uses_division pattern then
+    dev.Gpu.Device.fp64_div_penalty
+  else 1.0
+
+type measurement = {
+  seconds : float;
+  gflops : float;
+  occupancy : Gpu.Occupancy.limits;
+  registers : Registers.allocation;
+  model : Predict.report;
+}
+
+let pp ppf m =
+  Fmt.pf ppf "%.1f GFLOP/s measured (model %.1f, occ %.2f, %a)" m.gflops
+    m.model.Predict.gflops m.occupancy.Gpu.Occupancy.occupancy Registers.pp
+    m.registers
+
+(** Simulate a measured run of [steps] time-steps. *)
+let run (dev : Gpu.Device.t) ~prec (em : Execmodel.t) ~steps =
+  let model = Predict.evaluate dev ~prec em ~steps in
+  let cfg = em.Execmodel.config in
+  let pattern = em.Execmodel.pattern in
+  let registers =
+    Registers.an5d ~prec ~bt:cfg.Config.bt ~rad:pattern.Stencil.Pattern.radius
+      ~reg_limit:cfg.Config.reg_limit
+  in
+  let req =
+    {
+      Gpu.Occupancy.n_thr = Config.n_thr cfg;
+      smem_bytes = Execmodel.smem_bytes em ~prec;
+      regs_per_thread = registers.Registers.used;
+    }
+  in
+  let occupancy = Gpu.Occupancy.analyze dev req in
+  if occupancy.Gpu.Occupancy.resident_blocks = 0 then
+    { seconds = Float.infinity; gflops = 0.0; occupancy; registers; model }
+  else begin
+    let n_tb =
+      model.Predict.totals.Thread_class.thread_blocks
+      / max 1 model.Predict.totals.Thread_class.kernel_launches
+    in
+    let eff_sm_real =
+      Gpu.Occupancy.eff_sm dev req ~n_tb
+      *. occupancy_derate occupancy.Gpu.Occupancy.occupancy
+    in
+    let smem_eff = Gpu.Device.by_prec prec dev.Gpu.Device.smem_efficiency in
+    let time_sm = model.Predict.time_sm /. smem_eff in
+    let div_pen = fp64_division_penalty dev ~prec pattern in
+    let time_comp = model.Predict.time_comp *. div_pen /. alu_achievable in
+    let raw = Float.max time_comp (Float.max model.Predict.time_gm time_sm) in
+    let spill = if registers.Registers.spills then spill_penalty else 1.0 in
+    (* the roofline model is an upper bound by construction *)
+    let seconds = Float.max (raw /. eff_sm_real *. spill) model.Predict.seconds in
+    let gflops = Predict.reported_flops em ~steps /. seconds /. 1e9 in
+    { seconds; gflops; occupancy; registers; model }
+  end
+
+(** §6.3's final tuning knob: try the register-limit set
+    [{none, 32, 64}] (plus 96 for the Tuned configuration) and keep the
+    fastest. *)
+let with_reg_limit_search ?(limits = [ None; Some 32; Some 64; Some 96 ])
+    (dev : Gpu.Device.t) ~prec (em : Execmodel.t) ~steps =
+  let candidates =
+    List.map
+      (fun reg_limit ->
+        let cfg = { em.Execmodel.config with Config.reg_limit } in
+        let em = { em with Execmodel.config = cfg } in
+        (reg_limit, run dev ~prec em ~steps))
+      limits
+  in
+  let best =
+    List.fold_left
+      (fun acc (lim, m) ->
+        match acc with
+        | Some (_, best_m) when best_m.gflops >= m.gflops -> acc
+        | _ -> Some (lim, m))
+      None candidates
+  in
+  match best with Some r -> r | None -> assert false

@@ -1,0 +1,54 @@
+(** The simulated "measurement" layer: the §5 analytic time corrected by
+    the effects the paper's model ignores — shared-memory efficiency
+    (§7.2 equates model accuracy with it), occupancy from the real
+    register/shared-memory footprints, spilling under a tight register
+    limit (§6.3), low-occupancy latency exposure, achievable instruction
+    throughput, and the CUDA compiler's inefficient double-precision
+    division code (§7.1). The roofline prediction is an upper bound by
+    construction, so a measurement never exceeds it. *)
+
+open An5d_core
+
+val spill_penalty : float
+
+val alu_achievable : float
+(** Fraction of peak instruction throughput compute-bound stencil
+    kernels actually reach. *)
+
+val occupancy_knee : float
+(** Below this occupancy, achieved bandwidth degrades proportionally. *)
+
+val occupancy_derate : float -> float
+
+val fp64_division_penalty :
+  Gpu.Device.t -> prec:Stencil.Grid.precision -> Stencil.Pattern.t -> float
+(** The §7.1 slowdown for fp64 kernels that use division; 1.0
+    otherwise. *)
+
+type measurement = {
+  seconds : float;
+  gflops : float;
+  occupancy : Gpu.Occupancy.limits;
+  registers : Registers.allocation;
+  model : Predict.report;  (** the uncorrected prediction *)
+}
+
+val pp : Format.formatter -> measurement -> unit
+
+val run :
+  Gpu.Device.t ->
+  prec:Stencil.Grid.precision ->
+  Execmodel.t ->
+  steps:int ->
+  measurement
+(** An unlaunchable configuration yields zero GFLOP/s. *)
+
+val with_reg_limit_search :
+  ?limits:int option list ->
+  Gpu.Device.t ->
+  prec:Stencil.Grid.precision ->
+  Execmodel.t ->
+  steps:int ->
+  int option * measurement
+(** §6.3's final knob: try each register limit (default
+    [none; 32; 64; 96]) and keep the fastest. *)

@@ -1,0 +1,82 @@
+(** The roofline performance model of §5 (second half).
+
+    Three candidate bottlenecks — compute, global memory, shared memory —
+    each give an expected runtime; the model time is their maximum
+    divided by the SM utilization efficiency. GFLOP/s are reported with
+    the Table 3 FLOP/cell convention over interior cells, exactly like
+    the paper's plots. *)
+
+open An5d_core
+
+type bottleneck = Compute | Global_memory | Shared_memory
+
+let bottleneck_to_string = function
+  | Compute -> "compute"
+  | Global_memory -> "gmem"
+  | Shared_memory -> "smem"
+
+type report = {
+  seconds : float;
+  gflops : float;
+  bottleneck : bottleneck;
+  time_comp : float;
+  time_gm : float;
+  time_sm : float;
+  eff_alu : float;
+  eff_sm : float;
+  totals : Thread_class.totals;
+}
+
+let pp ppf r =
+  Fmt.pf ppf "%.1f GFLOP/s (%.4fs, %s-bound, eff_alu %.2f, eff_sm %.2f)" r.gflops
+    r.seconds
+    (bottleneck_to_string r.bottleneck)
+    r.eff_alu r.eff_sm
+
+(** SM utilization efficiency as the paper computes it: only the
+    2048-threads-per-SM limit is considered (§5: "In practice ... the
+    former limit will be smaller"). *)
+let paper_eff_sm (dev : Gpu.Device.t) ~n_thr ~n_tb =
+  let per_sm = dev.Gpu.Device.max_threads_per_sm / n_thr in
+  if per_sm = 0 || n_tb = 0 then 0.0
+  else
+    let wavefront = per_sm * dev.Gpu.Device.sm_count in
+    let waves = (n_tb + wavefront - 1) / wavefront in
+    float n_tb /. float (waves * wavefront)
+
+(** Reported FLOPs: Table 3 FLOP/cell over interior cells and time-steps
+    — the denominator convention of every figure in the paper. *)
+let reported_flops (em : Execmodel.t) ~steps =
+  Stencil.Reference.total_flops em.Execmodel.pattern ~dims:em.Execmodel.dims ~steps
+
+let evaluate (dev : Gpu.Device.t) ~prec (em : Execmodel.t) ~steps =
+  let totals = Thread_class.for_run em ~steps in
+  let word = float (Stencil.Grid.bytes_per_word prec) in
+  let peak_comp = Gpu.Device.by_prec prec dev.Gpu.Device.peak_gflops *. 1e9 in
+  let peak_gm = Gpu.Device.by_prec prec dev.Gpu.Device.measured_gm_bw *. 1e9 in
+  let peak_sm = Gpu.Device.by_prec prec dev.Gpu.Device.measured_sm_bw *. 1e9 in
+  let eff_alu = Stencil.Sexpr.alu_efficiency totals.Thread_class.ops in
+  let time_comp =
+    float (Thread_class.total_comp totals) /. (peak_comp *. eff_alu)
+  in
+  let time_gm =
+    float (totals.Thread_class.gm_reads + totals.Thread_class.gm_writes)
+    *. word /. peak_gm
+  in
+  let time_sm =
+    float (totals.Thread_class.sm_reads + totals.Thread_class.sm_writes)
+    *. word /. peak_sm
+  in
+  let n_tb =
+    totals.Thread_class.thread_blocks / max 1 totals.Thread_class.kernel_launches
+  in
+  let eff_sm = paper_eff_sm dev ~n_thr:(Config.n_thr em.Execmodel.config) ~n_tb in
+  let raw = Float.max time_comp (Float.max time_gm time_sm) in
+  let bottleneck =
+    if raw = time_sm then Shared_memory
+    else if raw = time_gm then Global_memory
+    else Compute
+  in
+  let seconds = if eff_sm > 0.0 then raw /. eff_sm else Float.infinity in
+  let gflops = reported_flops em ~steps /. seconds /. 1e9 in
+  { seconds; gflops; bottleneck; time_comp; time_gm; time_sm; eff_alu; eff_sm; totals }

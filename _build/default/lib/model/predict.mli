@@ -1,0 +1,39 @@
+(** The §5 roofline performance model: compute, global-memory and
+    shared-memory bottleneck candidates, divided by the SM utilization
+    efficiency; GFLOP/s reported with the Table 3 FLOP/cell convention
+    over interior cells, like the paper's plots. *)
+
+open An5d_core
+
+type bottleneck = Compute | Global_memory | Shared_memory
+
+val bottleneck_to_string : bottleneck -> string
+
+type report = {
+  seconds : float;
+  gflops : float;
+  bottleneck : bottleneck;
+  time_comp : float;
+  time_gm : float;
+  time_sm : float;
+  eff_alu : float;
+  eff_sm : float;
+  totals : Thread_class.totals;
+}
+
+val pp : Format.formatter -> report -> unit
+
+val paper_eff_sm : Gpu.Device.t -> n_thr:int -> n_tb:int -> float
+(** SM utilization efficiency as the paper computes it: only the
+    2048-threads-per-SM ceiling is considered ("the former limit will be
+    smaller" in practice, §5). *)
+
+val reported_flops : Execmodel.t -> steps:int -> float
+(** Table 3 FLOP/cell over interior cells and time-steps. *)
+
+val evaluate :
+  Gpu.Device.t ->
+  prec:Stencil.Grid.precision ->
+  Execmodel.t ->
+  steps:int ->
+  report

@@ -1,0 +1,127 @@
+(** Model-guided parameter tuning (§6.3).
+
+    Enumerates the paper's search space — for 2D stencils
+    [bT in 1..16, bS in {128,256,512}, h in {256,512,1024}], for 3D
+    [bT in 1..8, bS in {16x16,32x16,32x32,64x16}, h in {128,256}] —
+    prunes configurations whose §6.3 register estimate exceeds the
+    hardware limits, ranks the survivors with the model, "runs" the top
+    [k] (5 in the paper) through the measurement layer with the
+    register-limit search, and returns the fastest. *)
+
+open An5d_core
+
+let src_log = Logs.Src.create "an5d.tuner" ~doc:"model-guided tuning"
+
+module Log = (val Logs.src_log src_log : Logs.LOG)
+
+type candidate = {
+  config : Config.t;
+  predicted : Predict.report;
+}
+
+type result = {
+  best : Config.t;
+  tuned : Measure.measurement;  (** the simulated measured run *)
+  model_gflops : float;  (** the model's prediction for [best] *)
+  explored : int;  (** configurations enumerated *)
+  pruned : int;  (** removed by the register estimate *)
+  top : candidate list;  (** the model's top-k, best predicted first *)
+}
+
+let bt_range dims = if dims <= 2 then List.init 16 (fun i -> i + 1) else List.init 8 (fun i -> i + 1)
+
+let bs_choices dims =
+  if dims <= 2 then [ [| 128 |]; [| 256 |]; [| 512 |] ]
+  else [ [| 16; 16 |]; [| 32; 16 |]; [| 32; 32 |]; [| 64; 16 |] ]
+
+let hs_choices dims = if dims <= 2 then [ 256; 512; 1024 ] else [ 128; 256 ]
+
+(** The paper's full search space for a stencil of dimensionality
+    [dims]: 16 x 3 x 3 = 144 configurations for 2D, 8 x 4 x 2 = 64 for
+    3D. *)
+let search_space ~dims =
+  List.concat_map
+    (fun bt ->
+      List.concat_map
+        (fun bs ->
+          List.map (fun h -> Config.make ~bt ~bs ~hs:(Some h) ()) (hs_choices dims))
+        (bs_choices dims))
+    (bt_range dims)
+
+let enumerate (dev : Gpu.Device.t) ~prec pattern ~dims_sizes =
+  let dims = pattern.Stencil.Pattern.dims in
+  let rad = pattern.Stencil.Pattern.radius in
+  let space = search_space ~dims in
+  let explored = List.length space in
+  let feasible =
+    List.filter
+      (fun cfg ->
+        Config.valid ~rad ~max_threads:dev.Gpu.Device.max_threads_per_block cfg
+        && Registers.feasible dev ~prec ~bt:cfg.Config.bt ~rad
+             ~n_thr:(Config.n_thr cfg)
+        && Execmodel.smem_bytes (Execmodel.make pattern cfg dims_sizes) ~prec
+           <= dev.Gpu.Device.smem_per_sm)
+      space
+  in
+  (explored, feasible)
+
+(** Rank all feasible configurations by predicted performance. *)
+let rank (dev : Gpu.Device.t) ~prec pattern ~dims_sizes ~steps =
+  let explored, feasible = enumerate dev ~prec pattern ~dims_sizes in
+  let candidates =
+    List.map
+      (fun config ->
+        let em = Execmodel.make pattern config dims_sizes in
+        { config; predicted = Predict.evaluate dev ~prec em ~steps })
+      feasible
+  in
+  let sorted =
+    List.sort
+      (fun a b -> Float.compare b.predicted.Predict.gflops a.predicted.Predict.gflops)
+      candidates
+  in
+  (explored, sorted)
+
+exception No_feasible_configuration of string
+
+(** Full §6.3 tuning: model-rank, measure the top [k], pick the winner. *)
+let tune ?(k = 5) (dev : Gpu.Device.t) ~prec pattern ~dims_sizes ~steps =
+  let explored, sorted = rank dev ~prec pattern ~dims_sizes ~steps in
+  if sorted = [] then
+    raise
+      (No_feasible_configuration
+         (Fmt.str "%s on %s (%s)" pattern.Stencil.Pattern.name dev.Gpu.Device.name
+            (Stencil.Grid.precision_to_string prec)));
+  Log.info (fun m ->
+      m "%s on %s (%s): %d configurations, %d feasible" pattern.Stencil.Pattern.name
+        dev.Gpu.Device.name
+        (Stencil.Grid.precision_to_string prec)
+        explored (List.length sorted));
+  let top = List.filteri (fun i _ -> i < k) sorted in
+  let measured =
+    List.map
+      (fun cand ->
+        let em = Execmodel.make pattern cand.config dims_sizes in
+        let reg_limit, m = Measure.with_reg_limit_search dev ~prec em ~steps in
+        let config = { cand.config with Config.reg_limit } in
+        Log.debug (fun l ->
+            l "candidate %a: predicted %.0f, measured %.0f GFLOP/s" Config.pp config
+              cand.predicted.Predict.gflops m.Measure.gflops);
+        (config, m, cand.predicted.Predict.gflops))
+      top
+  in
+  let best_config, best_m, model_gflops =
+    List.fold_left
+      (fun (bc, bm, bp) (c, m, p) ->
+        if m.Measure.gflops > bm.Measure.gflops then (c, m, p) else (bc, bm, bp))
+      (match measured with first :: _ -> first | [] -> assert false)
+      measured
+  in
+  {
+    best = best_config;
+    tuned = best_m;
+    model_gflops;
+    explored;
+    pruned = explored - List.length sorted;
+    top;
+  }

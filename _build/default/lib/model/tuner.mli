@@ -1,0 +1,55 @@
+(** Model-guided parameter tuning (§6.3): enumerate the paper's search
+    space (144 configurations for 2D stencils, 64 for 3D), prune by the
+    register estimate, rank with the model, measure the top [k]
+    (5 in the paper) with the register-limit search, keep the winner. *)
+
+open An5d_core
+
+type candidate = { config : Config.t; predicted : Predict.report }
+
+type result = {
+  best : Config.t;  (** includes the chosen register limit *)
+  tuned : Measure.measurement;
+  model_gflops : float;  (** the model's prediction for [best] *)
+  explored : int;
+  pruned : int;
+  top : candidate list;  (** the model's top-k, best first *)
+}
+
+val bt_range : int -> int list
+(** [1..16] for 2D, [1..8] for 3D. *)
+
+val bs_choices : int -> int array list
+
+val hs_choices : int -> int list
+
+val search_space : dims:int -> Config.t list
+
+val enumerate :
+  Gpu.Device.t ->
+  prec:Stencil.Grid.precision ->
+  Stencil.Pattern.t ->
+  dims_sizes:int array ->
+  int * Config.t list
+(** [(explored, feasible)] after halo/thread/register/smem pruning. *)
+
+val rank :
+  Gpu.Device.t ->
+  prec:Stencil.Grid.precision ->
+  Stencil.Pattern.t ->
+  dims_sizes:int array ->
+  steps:int ->
+  int * candidate list
+(** Feasible candidates sorted by predicted GFLOP/s, descending. *)
+
+exception No_feasible_configuration of string
+
+val tune :
+  ?k:int ->
+  Gpu.Device.t ->
+  prec:Stencil.Grid.precision ->
+  Stencil.Pattern.t ->
+  dims_sizes:int array ->
+  steps:int ->
+  result
+(** @raise No_feasible_configuration when pruning leaves nothing. *)

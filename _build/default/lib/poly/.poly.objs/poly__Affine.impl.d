@@ -1,0 +1,1 @@
+lib/poly/affine.ml: Cparse Fmt List Option Stdlib String

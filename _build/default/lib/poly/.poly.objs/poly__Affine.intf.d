@@ -1,0 +1,1 @@
+lib/poly/affine.mli: Cparse Format

@@ -1,0 +1,1 @@
+lib/poly/box.ml: Array Fmt Interval List

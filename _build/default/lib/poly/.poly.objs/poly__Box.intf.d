@@ -1,0 +1,1 @@
+lib/poly/box.mli: Format Interval

@@ -1,0 +1,1 @@
+lib/poly/dependence.ml: Array Fmt Int List

@@ -1,0 +1,1 @@
+lib/poly/dependence.mli: Format

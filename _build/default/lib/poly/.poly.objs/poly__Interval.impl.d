@@ -1,0 +1,1 @@
+lib/poly/interval.ml: Fmt List

@@ -1,0 +1,1 @@
+lib/poly/region.ml: Box Fmt List

@@ -1,0 +1,1 @@
+lib/poly/region.mli: Box Format

@@ -1,0 +1,131 @@
+(** Affine integer expressions over named variables.
+
+    This is the workhorse of the stencil detector: array subscripts and
+    loop bounds of the C input are normalized to [c0 + c1*v1 + ... + cn*vn]
+    and then inspected (e.g. "subscript is loop variable plus constant").
+
+    The representation keeps terms sorted by variable name with no zero
+    coefficients, so structural equality coincides with semantic
+    equality. *)
+
+type t = {
+  const : int;
+  terms : (string * int) list;  (** sorted by variable, coefficients <> 0 *)
+}
+
+let normalize terms =
+  terms
+  |> List.filter (fun (_, c) -> c <> 0)
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let const n = { const = n; terms = [] }
+
+let zero = const 0
+
+let var ?(coeff = 1) v = { const = 0; terms = normalize [ (v, coeff) ] }
+
+let is_const t = t.terms = []
+
+let to_const t = if is_const t then Some t.const else None
+
+(* Merge two sorted term lists, summing coefficients. *)
+let merge_terms f ta tb =
+  let rec go ta tb =
+    match (ta, tb) with
+    | [], rest -> List.map (fun (v, c) -> (v, f 0 c)) rest
+    | rest, [] -> List.map (fun (v, c) -> (v, f c 0)) rest
+    | (va, ca) :: ra, (vb, cb) :: rb ->
+        let cmp = String.compare va vb in
+        if cmp = 0 then (va, f ca cb) :: go ra rb
+        else if cmp < 0 then (va, f ca 0) :: go ra tb
+        else (vb, f 0 cb) :: go ta rb
+  in
+  normalize (go ta tb)
+
+let add a b = { const = a.const + b.const; terms = merge_terms ( + ) a.terms b.terms }
+
+let sub a b = { const = a.const - b.const; terms = merge_terms ( - ) a.terms b.terms }
+
+let scale k a =
+  if k = 0 then zero
+  else { const = k * a.const; terms = normalize (List.map (fun (v, c) -> (v, k * c)) a.terms) }
+
+let neg a = scale (-1) a
+
+let mul a b =
+  match (to_const a, to_const b) with
+  | Some k, _ -> Some (scale k b)
+  | _, Some k -> Some (scale k a)
+  | None, None -> None
+
+let coeff v t = match List.assoc_opt v t.terms with Some c -> c | None -> 0
+
+let vars t = List.map fst t.terms
+
+let equal a b = a.const = b.const && a.terms = b.terms
+
+let compare a b = Stdlib.compare (a.const, a.terms) (b.const, b.terms)
+
+(** Evaluate with the given variable environment; raises [Not_found] on a
+    free variable absent from [env]. *)
+let eval env t =
+  List.fold_left (fun acc (v, c) -> acc + (c * List.assoc v env)) t.const t.terms
+
+(** Substitute [v := e] in [t]. *)
+let subst v e t =
+  let c = coeff v t in
+  if c = 0 then t
+  else add { t with terms = List.filter (fun (v', _) -> v' <> v) t.terms } (scale c e)
+
+let pp ppf t =
+  let pp_term first ppf (v, c) =
+    if c = 1 then Fmt.pf ppf "%s%s" (if first then "" else " + ") v
+    else if c = -1 then Fmt.pf ppf "%s%s" (if first then "-" else " - ") v
+    else if c >= 0 then Fmt.pf ppf "%s%d*%s" (if first then "" else " + ") c v
+    else Fmt.pf ppf "%s%d*%s" (if first then "" else " - ") (abs c) v
+  in
+  match t.terms with
+  | [] -> Fmt.int ppf t.const
+  | first_term :: rest ->
+      pp_term true ppf first_term;
+      List.iter (pp_term false ppf) rest;
+      if t.const > 0 then Fmt.pf ppf " + %d" t.const
+      else if t.const < 0 then Fmt.pf ppf " - %d" (abs t.const)
+
+let to_string t = Fmt.str "%a" pp t
+
+(** Convert a C AST expression to affine form given integer bindings for
+    [#define]d names. Returns [None] for non-affine expressions (e.g. a
+    product of two variables, division, calls, array accesses). *)
+let rec of_ast ?(env = []) (e : Cparse.Ast.expr) : t option =
+  let open Cparse.Ast in
+  match e with
+  | Int_lit n -> Some (const n)
+  | Float_lit _ | Index _ | Call _ -> None
+  | Var v -> (
+      match List.assoc_opt v env with
+      | Some n -> Some (const n)
+      | None -> Some (var v))
+  | Unop (Neg, e) -> Option.map neg (of_ast ~env e)
+  | Binop (Add, a, b) -> combine ~env add a b
+  | Binop (Sub, a, b) -> combine ~env sub a b
+  | Binop (Mul, a, b) -> (
+      match (of_ast ~env a, of_ast ~env b) with
+      | Some x, Some y -> mul x y
+      | _ -> None)
+  | Binop ((Div | Mod), a, b) -> (
+      (* Constant-fold only: e.g. [16384 / 2]. *)
+      match (of_ast ~env a, of_ast ~env b) with
+      | Some x, Some y -> (
+          match (to_const x, to_const y) with
+          | Some n, Some d when d <> 0 ->
+              Some
+                (const
+                   (match e with Binop (Div, _, _) -> n / d | _ -> n mod d))
+          | _ -> None)
+      | _ -> None)
+
+and combine ~env f a b =
+  match (of_ast ~env a, of_ast ~env b) with
+  | Some x, Some y -> Some (f x y)
+  | _ -> None

@@ -1,0 +1,59 @@
+(** Affine integer expressions over named variables:
+    [const + c1*v1 + ... + cn*vn].
+
+    The representation is canonical (terms sorted by variable, no zero
+    coefficients), so structural equality coincides with semantic
+    equality. Used to normalize array subscripts and loop bounds during
+    stencil detection. *)
+
+type t = {
+  const : int;
+  terms : (string * int) list;  (** sorted by variable, coefficients <> 0 *)
+}
+
+val const : int -> t
+
+val zero : t
+
+val var : ?coeff:int -> string -> t
+
+val is_const : t -> bool
+
+val to_const : t -> int option
+(** [Some c] iff the expression has no variable terms. *)
+
+val add : t -> t -> t
+
+val sub : t -> t -> t
+
+val scale : int -> t -> t
+
+val neg : t -> t
+
+val mul : t -> t -> t option
+(** Product; [None] unless at least one operand is constant. *)
+
+val coeff : string -> t -> int
+(** Coefficient of a variable (0 if absent). *)
+
+val vars : t -> string list
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+val eval : (string * int) list -> t -> int
+(** Evaluate under an environment.
+    @raise Not_found on a free variable missing from the environment. *)
+
+val subst : string -> t -> t -> t
+(** [subst v e t] replaces [v] by [e] in [t]. *)
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string
+
+val of_ast : ?env:(string * int) list -> Cparse.Ast.expr -> t option
+(** Convert a C expression to affine form, folding [#define]d names via
+    [env]; [None] for non-affine expressions (variable products,
+    non-constant division/modulo, calls, array accesses). *)

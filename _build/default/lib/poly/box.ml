@@ -1,0 +1,97 @@
+(** N-dimensional integer boxes (products of {!Interval}s).
+
+    Boxes model iteration domains, spatial blocks, halo rings and compute
+    regions. The §5 thread classification is computed as box volumes. *)
+
+type t = Interval.t array
+
+let make ivs : t = Array.of_list ivs
+
+let of_dims dims : t = Array.map (fun d -> Interval.make 0 (d - 1)) dims
+
+let rank (t : t) = Array.length t
+
+let is_empty (t : t) = Array.exists Interval.is_empty t
+
+let volume (t : t) =
+  if is_empty t then 0 else Array.fold_left (fun acc iv -> acc * Interval.length iv) 1 t
+
+let contains (t : t) point =
+  Array.length point = Array.length t
+  && Array.for_all2 (fun iv x -> Interval.contains iv x) t point
+
+let subset (a : t) (b : t) = Array.for_all2 Interval.subset a b
+
+let inter (a : t) (b : t) : t = Array.map2 Interval.inter a b
+
+let hull (a : t) (b : t) : t = Array.map2 Interval.hull a b
+
+(** Shrink every dimension by [k] on both ends. *)
+let shrink k (t : t) : t = Array.map (Interval.shrink k) t
+
+let grow k (t : t) : t = Array.map (Interval.grow k) t
+
+(** Shrink per dimension. *)
+let shrink_per dims (t : t) : t = Array.map2 Interval.shrink dims t
+
+let shift offsets (t : t) : t = Array.map2 Interval.shift offsets t
+
+let equal (a : t) (b : t) =
+  Array.length a = Array.length b
+  && ((is_empty a && is_empty b) || Array.for_all2 Interval.equal a b)
+
+let pp ppf (t : t) =
+  Fmt.pf ppf "%a" Fmt.(array ~sep:(any "x") Interval.pp) t
+
+let to_string t = Fmt.str "%a" pp t
+
+(** Iterate over all points, last dimension fastest (row-major). *)
+let iter f (t : t) =
+  let n = rank t in
+  if not (is_empty t) then begin
+    let point = Array.map (fun iv -> iv.Interval.lo) t in
+    let rec bump d =
+      if d < 0 then false
+      else if point.(d) < t.(d).Interval.hi then begin
+        point.(d) <- point.(d) + 1;
+        true
+      end
+      else begin
+        point.(d) <- t.(d).Interval.lo;
+        bump (d - 1)
+      end
+    in
+    let continue = ref true in
+    while !continue do
+      f (Array.copy point);
+      continue := bump (n - 1)
+    done
+  end
+
+let fold f acc t =
+  let acc = ref acc in
+  iter (fun p -> acc := f !acc p) t;
+  !acc
+
+(** Set difference [a \ b] as a list of disjoint boxes. Standard
+    dimension-by-dimension slab decomposition. *)
+let diff (a : t) (b : t) : t list =
+  if is_empty a then []
+  else
+    let i = inter a b in
+    if is_empty i then [ a ]
+    else begin
+      let pieces = ref [] in
+      let current = Array.copy a in
+      Array.iteri
+        (fun d _ ->
+          List.iter
+            (fun part ->
+              let piece = Array.copy current in
+              piece.(d) <- part;
+              if not (is_empty piece) then pieces := piece :: !pieces)
+            (Interval.diff current.(d) i.(d));
+          current.(d) <- i.(d))
+        a;
+      List.rev !pieces
+    end

@@ -1,0 +1,51 @@
+(** N-dimensional integer boxes (products of {!Interval}s).
+
+    Boxes model iteration domains, spatial blocks, halo rings and
+    compute regions; the §5 thread classification reduces to box
+    volumes. *)
+
+type t = Interval.t array
+
+val make : Interval.t list -> t
+
+val of_dims : int array -> t
+(** [[0, d_i - 1]] per dimension. *)
+
+val rank : t -> int
+
+val is_empty : t -> bool
+
+val volume : t -> int
+
+val contains : t -> int array -> bool
+
+val subset : t -> t -> bool
+
+val inter : t -> t -> t
+
+val hull : t -> t -> t
+
+val shrink : int -> t -> t
+(** Shrink every dimension by [k] on both ends. *)
+
+val grow : int -> t -> t
+
+val shrink_per : int array -> t -> t
+(** Per-dimension shrink amounts. *)
+
+val shift : int array -> t -> t
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string
+
+val iter : (int array -> unit) -> t -> unit
+(** Visit all points in row-major order (last dimension fastest); the
+    callback receives a fresh array each time. *)
+
+val fold : ('a -> int array -> 'a) -> 'a -> t -> 'a
+
+val diff : t -> t -> t list
+(** Set difference as disjoint boxes (slab decomposition). *)

@@ -1,0 +1,62 @@
+(** Dependence analysis for stencil schedules.
+
+    A stencil update [a(t+1, x) = f(a(t, x + o) | o in offsets)] induces
+    flow dependences with distance vectors [(1, -o)] in (time, space).
+    The checks below are what PPCG's scheduler establishes before AN5D's
+    backend may apply each blocking scheme (paper §4.3: "PPCG computes
+    various kinds of dependencies and allows loop rescheduling"). *)
+
+type vector = { dt : int; dspace : int array }
+
+let make ~dt ~dspace = { dt; dspace }
+
+let pp ppf { dt; dspace } =
+  Fmt.pf ppf "(%d; %a)" dt Fmt.(array ~sep:(any ",") int) dspace
+
+(** Dependence vectors of a stencil given its read offsets: one vector per
+    offset, time distance 1, spatial distance the negated offset. *)
+let of_offsets offsets =
+  List.map (fun o -> { dt = 1; dspace = Array.map Int.neg o }) offsets
+
+(** A schedule is legal iff every dependence is lexicographically positive
+    under it. For the identity (time-outer) schedule this just means
+    [dt > 0], which always holds for explicit stencils. *)
+let legal_time_outer deps = List.for_all (fun d -> d.dt > 0) deps
+
+(** Overlapped (redundant) temporal blocking is legal iff the halo covers
+    the dependence cone: after [bt] combined steps, information travels at
+    most [bt * max_offset] cells per dimension, which must be within the
+    per-dimension halo. *)
+let overlapped_tiling_legal ~bt ~halo deps =
+  legal_time_outer deps
+  && List.for_all
+       (fun d ->
+         Array.for_all2 (fun h ds -> bt * abs ds <= h) halo d.dspace)
+       deps
+
+(** Wavefront (skewed) execution along dimension [dim] with skew factor
+    [skew] is legal iff [skew * dt + dspace.(dim) >= 0] for all
+    dependences — i.e. the skewed hyperplane is a valid schedule
+    hyperplane. Classical result used by hybrid tiling's non-hexagonal
+    dimensions. *)
+let wavefront_legal ~dim ~skew deps =
+  List.for_all (fun d -> (skew * d.dt) + d.dspace.(dim) >= 0) deps
+
+(** Minimum legal skew for a wavefront along [dim]: the maximum of
+    [-dspace.(dim) / dt] over dependences, i.e. the stencil radius along
+    that dimension for unit-time dependences. *)
+let min_skew ~dim deps =
+  List.fold_left
+    (fun acc d ->
+      if d.dt <= 0 then acc
+      else max acc (int_of_float (ceil (float (-d.dspace.(dim)) /. float d.dt))))
+    0 deps
+
+(** The dependence radius per spatial dimension (how far information moves
+    in one time step): for stencils this equals the stencil radius. *)
+let radius deps ndims =
+  let r = Array.make ndims 0 in
+  List.iter
+    (fun d -> Array.iteri (fun i ds -> r.(i) <- max r.(i) (abs ds)) d.dspace)
+    deps;
+  r

@@ -1,0 +1,37 @@
+(** Dependence analysis for stencil schedules.
+
+    A stencil update [a(t+1, x) = f(a(t, x + o))] induces flow
+    dependences with distance vectors [(1, -o)]. These checks are what
+    PPCG's scheduler establishes before AN5D's backend applies each
+    blocking scheme (paper §4.3). *)
+
+type vector = { dt : int; dspace : int array }
+
+val make : dt:int -> dspace:int array -> vector
+
+val pp : Format.formatter -> vector -> unit
+
+val of_offsets : int array list -> vector list
+(** One dependence vector per read offset: time distance 1, spatial
+    distance the negated offset. *)
+
+val legal_time_outer : vector list -> bool
+(** The identity (time-outermost) schedule is legal iff every
+    dependence is carried by time. *)
+
+val overlapped_tiling_legal : bt:int -> halo:int array -> vector list -> bool
+(** Overlapped temporal blocking of degree [bt] is legal iff the
+    per-dimension halo covers the dependence cone
+    ([bt * |offset| <= halo] per dimension). *)
+
+val wavefront_legal : dim:int -> skew:int -> vector list -> bool
+(** Skewed (wavefront) execution along [dim] is legal iff the skewed
+    hyperplane is a valid schedule hyperplane. *)
+
+val min_skew : dim:int -> vector list -> int
+(** Smallest legal wavefront skew along [dim] (the stencil radius in
+    that dimension for unit-time dependences). *)
+
+val radius : vector list -> int -> int array
+(** Per-dimension dependence radius (how far information moves in one
+    time-step). *)

@@ -1,0 +1,60 @@
+(** Closed integer intervals [\[lo, hi\]].
+
+    An interval with [lo > hi] is empty; [empty] is the canonical empty
+    interval. Used as the 1-d building block of {!Box}. *)
+
+type t = { lo : int; hi : int }
+
+let make lo hi = { lo; hi }
+
+let empty = { lo = 1; hi = 0 }
+
+let is_empty t = t.lo > t.hi
+
+let length t = if is_empty t then 0 else t.hi - t.lo + 1
+
+let contains t x = t.lo <= x && x <= t.hi
+
+let subset a b = is_empty a || (b.lo <= a.lo && a.hi <= b.hi)
+
+let inter a b =
+  let lo = max a.lo b.lo and hi = min a.hi b.hi in
+  if lo > hi then empty else { lo; hi }
+
+(** Smallest interval containing both. *)
+let hull a b =
+  if is_empty a then b
+  else if is_empty b then a
+  else { lo = min a.lo b.lo; hi = max a.hi b.hi }
+
+(** Shrink both ends by [k] (grow when [k] is negative). *)
+let shrink k t =
+  let lo = t.lo + k and hi = t.hi - k in
+  if lo > hi then empty else { lo; hi }
+
+let grow k t = shrink (-k) t
+
+let shift k t = if is_empty t then t else { lo = t.lo + k; hi = t.hi + k }
+
+(** Set difference [a \ b] as at most two intervals. *)
+let diff a b =
+  if is_empty a then []
+  else
+    let i = inter a b in
+    if is_empty i then [ a ]
+    else
+      let left = { lo = a.lo; hi = i.lo - 1 } and right = { lo = i.hi + 1; hi = a.hi } in
+      List.filter (fun t -> not (is_empty t)) [ left; right ]
+
+let equal a b = (is_empty a && is_empty b) || (a.lo = b.lo && a.hi = b.hi)
+
+let pp ppf t = if is_empty t then Fmt.string ppf "[]" else Fmt.pf ppf "[%d,%d]" t.lo t.hi
+
+let to_string t = Fmt.str "%a" pp t
+
+(** Fold over the members in increasing order. *)
+let fold f acc t =
+  let rec go acc x = if x > t.hi then acc else go (f acc x) (x + 1) in
+  go acc t.lo
+
+let iter f t = fold (fun () x -> f x) () t

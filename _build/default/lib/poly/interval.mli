@@ -1,0 +1,44 @@
+(** Closed integer intervals [[lo, hi]]; [lo > hi] is empty. *)
+
+type t = { lo : int; hi : int }
+
+val make : int -> int -> t
+
+val empty : t
+
+val is_empty : t -> bool
+
+val length : t -> int
+(** Number of members; 0 when empty. *)
+
+val contains : t -> int -> bool
+
+val subset : t -> t -> bool
+
+val inter : t -> t -> t
+
+val hull : t -> t -> t
+(** Smallest interval containing both operands. *)
+
+val shrink : int -> t -> t
+(** Move both ends inward by [k] (may become empty). *)
+
+val grow : int -> t -> t
+(** Move both ends outward by [k]. *)
+
+val shift : int -> t -> t
+
+val diff : t -> t -> t list
+(** Set difference as at most two disjoint intervals. *)
+
+val equal : t -> t -> bool
+(** All empty intervals are equal. *)
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string
+
+val fold : ('a -> int -> 'a) -> 'a -> t -> 'a
+(** Fold over members in increasing order. *)
+
+val iter : (int -> unit) -> t -> unit

@@ -1,0 +1,55 @@
+(** Finite unions of disjoint integer boxes.
+
+    Regions let the execution model reason exactly about halo rings
+    (block minus compute region) and redundant thread counts without
+    enumerating cells. All constructors maintain disjointness, so
+    {!volume} is a plain sum. *)
+
+type t = Box.t list
+
+let empty : t = []
+
+let of_box b : t = if Box.is_empty b then [] else [ b ]
+
+let is_empty (t : t) = t = []
+
+let volume (t : t) = List.fold_left (fun acc b -> acc + Box.volume b) 0 t
+
+let contains (t : t) p = List.exists (fun b -> Box.contains b p) t
+
+(** [diff_box b r] = [b \ r] as disjoint boxes. *)
+let diff_box (b : Box.t) (t : t) : t =
+  List.fold_left
+    (fun pieces cut -> List.concat_map (fun piece -> Box.diff piece cut) pieces)
+    (of_box b) t
+
+(** Union; the second operand is cut against the first to stay disjoint. *)
+let union (a : t) (b : t) : t =
+  a @ List.concat_map (fun box -> diff_box box a) b
+
+let add_box (t : t) (b : Box.t) : t = union t (of_box b)
+
+let inter (a : t) (b : t) : t =
+  List.concat_map
+    (fun ba ->
+      List.filter_map
+        (fun bb ->
+          let i = Box.inter ba bb in
+          if Box.is_empty i then None else Some i)
+        b)
+    a
+
+let diff (a : t) (b : t) : t = List.concat_map (fun box -> diff_box box b) a
+
+let iter f (t : t) = List.iter (Box.iter f) t
+
+let fold f acc (t : t) = List.fold_left (fun acc b -> Box.fold f acc b) acc t
+
+let pp ppf (t : t) =
+  if is_empty t then Fmt.string ppf "{}"
+  else Fmt.pf ppf "{%a}" Fmt.(list ~sep:(any " u ") Box.pp) t
+
+let to_string t = Fmt.str "%a" pp t
+
+(** Semantic equality via double inclusion (volumes + containment). *)
+let equal (a : t) (b : t) = is_empty (diff a b) && is_empty (diff b a)

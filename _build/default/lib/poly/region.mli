@@ -1,0 +1,39 @@
+(** Finite unions of disjoint integer boxes.
+
+    All constructors maintain disjointness, so {!volume} is a plain sum.
+    Used for halo rings (block minus compute region) and redundant
+    thread counting without enumerating cells. *)
+
+type t = Box.t list
+
+val empty : t
+
+val of_box : Box.t -> t
+
+val is_empty : t -> bool
+
+val volume : t -> int
+
+val contains : t -> int array -> bool
+
+val diff_box : Box.t -> t -> t
+(** [diff_box b r] is [b \ r] as disjoint boxes. *)
+
+val union : t -> t -> t
+
+val add_box : t -> Box.t -> t
+
+val inter : t -> t -> t
+
+val diff : t -> t -> t
+
+val iter : (int array -> unit) -> t -> unit
+
+val fold : ('a -> int array -> 'a) -> 'a -> t -> 'a
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string
+
+val equal : t -> t -> bool
+(** Semantic equality (double inclusion). *)

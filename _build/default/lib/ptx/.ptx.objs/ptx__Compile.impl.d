@@ -1,0 +1,1 @@
+lib/ptx/compile.ml: An5d_core Array Config Isa List Stencil

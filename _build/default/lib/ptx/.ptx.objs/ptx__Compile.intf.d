@@ -1,0 +1,1 @@
+lib/ptx/compile.mli: An5d_core Isa Stencil

@@ -1,0 +1,1 @@
+lib/ptx/interp.ml: An5d_core Array Blocking Compile Config Execmodel Fmt Gpu Isa List Option Stencil

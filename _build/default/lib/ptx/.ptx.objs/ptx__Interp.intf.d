@@ -1,0 +1,1 @@
+lib/ptx/interp.mli: An5d_core Format Gpu Isa Stencil

@@ -1,0 +1,1 @@
+lib/ptx/isa.ml: Array Fmt List

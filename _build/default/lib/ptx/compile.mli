@@ -1,0 +1,23 @@
+(** Compilation of the AN5D schedule to PTX-lite (see {!Isa}).
+
+    Expression lowering fuses [x * y + acc] into [Fma] so the emitted
+    mix matches {!Stencil.Sexpr.classify_ops}; division stays a true
+    division so interpretation is bit-exact against the reference.
+    Star stencils use the diagonal-access-free tile (one plane),
+    everything else the general tile ([1 + 2*rad] planes). *)
+
+type layout = Diag_free | General
+
+val layout_of : Stencil.Pattern.t -> layout
+
+val tile_words : Stencil.Pattern.t -> n_thr:int -> int
+(** Shared-tile words per buffer under the PTX layouts. *)
+
+val head_length : ?warmup:bool -> degree:int -> rad:int -> planes:int -> unit -> int
+(** Head positions before the steady state (a multiple of [2*rad + 1],
+    as in Fig 5); [warmup] selects the longer non-lowermost stream
+    block's head (§4.2). *)
+
+val kernel : Stencil.Pattern.t -> An5d_core.Config.t -> degree:int -> Isa.program
+(** Compile a degree-[degree] kernel, including the warm-up head later
+    stream blocks execute under stream division (§4.2). *)

@@ -1,0 +1,268 @@
+(** SIMT interpreter for PTX-lite kernels.
+
+    Executes a compiled {!Isa.program} block by block on the simulated
+    GPU: every instruction is applied across all threads of the block
+    (branch-free, like the generated code), with predicates deciding
+    per-thread effect. Shared-memory traffic goes through
+    {!Gpu.Machine.Shared}, so tile staging is genuinely exercised at
+    the byte level.
+
+    Two invariants are checked by the test suite:
+    - the interpreted result is bit-identical to {!Stencil.Reference}
+      and {!An5d_core.Blocking};
+    - global-memory counts equal the §5 totals, while shared-memory
+      counts equal Table 2's *expected* column (the interpreter issues
+      one [ld.shared] per stencil point, before NVCC's column caching —
+      which is exactly the distinction Table 2 draws).
+
+    The interpreter also returns dynamic instruction counts per thread
+    block, including how many came from the inner loop vs the unrolled
+    phases — the quantity behind §4.3's observation that unrolling the
+    steady state hurts instruction fetch. *)
+
+open An5d_core
+
+type stats = {
+  dynamic : Isa.mix;  (** instructions executed, per thread block summed *)
+  inner_iterations : int;  (** steady-state loop trips across all blocks *)
+  blocks : int;
+  n_regs : int;
+}
+
+let pp_stats ppf s =
+  Fmt.pf ppf "%d blocks, %d inner trips, %d regs, dyn: %a" s.blocks
+    s.inner_iterations s.n_regs Isa.pp_mix s.dynamic
+
+(* Evaluate an operand. *)
+let value regs t = function Isa.Reg r -> regs.(r).(t) | Isa.Imm f -> f
+
+let kernel_call (pattern : Stencil.Pattern.t) (config : Config.t)
+    ~(machine : Gpu.Machine.t) ~degree ~(src : Stencil.Grid.t)
+    ~(dst : Stencil.Grid.t) =
+  let program = Compile.kernel pattern config ~degree in
+  let rad = pattern.Stencil.Pattern.radius in
+  let p = program.Isa.planes in
+  let dims = src.Stencil.Grid.dims in
+  let l = dims.(0) in
+  let nb = Array.length config.Config.bs in
+  let geo = Blocking.make_geometry config.Config.bs in
+  let n_thr = Config.n_thr config in
+  let prec = src.Stencil.Grid.prec in
+  let round = Stencil.Grid.round_to_prec prec in
+  let tile = Compile.tile_words pattern ~n_thr in
+  let halo = degree * rad in
+  let blocks_per_dim =
+    Array.init nb (fun i ->
+        let w = config.Config.bs.(i) - (2 * halo) in
+        if w <= 0 then invalid_arg "Interp: non-positive compute region";
+        (dims.(i + 1) + w - 1) / w)
+  in
+  let spatial_blocks = Array.fold_left ( * ) 1 blocks_per_dim in
+  (* stream division (§4.2): one launch-grid dimension per stream block *)
+  let n_sb =
+    match config.Config.hs with Some h -> (l + h - 1) / h | None -> 1
+  in
+  let n_blocks = n_sb * spatial_blocks in
+  let dyn = ref Isa.zero_mix in
+  let inner_trip_positions = ref 0 in
+  let idx_buf = Array.make (nb + 1) 0 in
+  Gpu.Machine.launch machine ~n_blocks ~n_thr (fun ctx ->
+      let sb = ctx.Gpu.Machine.block_id / spatial_blocks in
+      let k = ref (ctx.Gpu.Machine.block_id mod spatial_blocks) in
+      let origins =
+        Array.init nb (fun i ->
+            let below =
+              Array.fold_left ( * ) 1 (Array.sub blocks_per_dim (i + 1) (nb - i - 1))
+            in
+            let ki = !k / below in
+            k := !k mod below;
+            (ki * (config.Config.bs.(i) - (2 * halo))) - halo)
+      in
+      let gcoords =
+        Array.init n_thr (fun t -> Array.map2 ( + ) origins geo.Blocking.coords.(t))
+      in
+      let in_grid =
+        Array.init n_thr (fun t ->
+            let g = gcoords.(t) in
+            let ok = ref true in
+            for d = 0 to nb - 1 do
+              if g.(d) < 0 || g.(d) >= dims.(d + 1) then ok := false
+            done;
+            !ok)
+      in
+      let inplane_interior =
+        Array.init n_thr (fun t ->
+            let g = gcoords.(t) in
+            let ok = ref true in
+            for d = 0 to nb - 1 do
+              if g.(d) < rad || g.(d) >= dims.(d + 1) - rad then ok := false
+            done;
+            !ok)
+      in
+      let in_compute =
+        Array.init n_thr (fun t ->
+            in_grid.(t)
+            &&
+            let ok = ref true in
+            for d = 0 to nb - 1 do
+              let u = geo.Blocking.coords.(t).(d) in
+              if u < halo || u >= halo + (config.Config.bs.(d) - (2 * halo)) then
+                ok := false
+            done;
+            !ok)
+      in
+      let regs = Array.init program.Isa.n_regs (fun _ -> Array.make n_thr 0.0) in
+      let tiles =
+        [| Gpu.Machine.Shared.alloc ctx tile; Gpu.Machine.Shared.alloc ctx tile |]
+      in
+      let cur = ref 0 in
+      (* stream range and pipeline base of this stream block: the
+         lowermost runs the boundary-aware head from plane 0; later
+         blocks warm up from [s0 - degree*rad] with redundant work *)
+      let s0, s1 =
+        match config.Config.hs with
+        | None -> (0, l)
+        | Some h -> (sb * h, min ((sb + 1) * h) l)
+      in
+      let base = if s0 = 0 then 0 else s0 - (degree * rad) in
+      let head_blocks = if s0 = 0 then program.Isa.head else program.Isa.warmup in
+      let head_len = Array.length head_blocks in
+      let pred_holds pr t =
+        match pr with
+        | Isa.Always -> true
+        | Isa.In_grid -> in_grid.(t)
+        | Isa.Interior -> inplane_interior.(t)
+        | Isa.In_compute -> in_compute.(t)
+      in
+      let exec_instr pos i =
+        dyn := Isa.count_instr !dyn i;
+        match i with
+        | Isa.Ld_global { dst = d; plane; pred } ->
+            let j = base + pos + plane in
+            if j >= 0 && j < l then
+              for t = 0 to n_thr - 1 do
+                if pred_holds pred t then begin
+                  idx_buf.(0) <- j;
+                  Array.iteri (fun dd g -> idx_buf.(dd + 1) <- g) gcoords.(t);
+                  regs.(d).(t) <- Gpu.Machine.gm_read machine src idx_buf
+                end
+              done
+        | Isa.St_global { src = s; plane; pred } ->
+            let j = base + pos + plane in
+            (* only this stream block's output range is stored (4.2) *)
+            if j >= s0 && j < s1 then
+              for t = 0 to n_thr - 1 do
+                if pred_holds pred t then begin
+                  idx_buf.(0) <- j;
+                  Array.iteri (fun dd g -> idx_buf.(dd + 1) <- g) gcoords.(t);
+                  Gpu.Machine.gm_write machine dst idx_buf regs.(s).(t)
+                end
+              done
+        | Isa.St_shared { src = s; buf_slot } ->
+            let buf = tiles.(!cur) in
+            for t = 0 to n_thr - 1 do
+              Gpu.Machine.Shared.write buf ((buf_slot * n_thr) + t) regs.(s).(t)
+            done
+        | Isa.Ld_shared { dst = d; buf_slot; delta } ->
+            let buf = tiles.(!cur) in
+            (* neighbor_thread expects the full offset with the plane
+               delta in slot 0 *)
+            let off = Array.make (nb + 1) 0 in
+            Array.blit delta 0 off 1 nb;
+            for t = 0 to n_thr - 1 do
+              let tn = Blocking.neighbor_thread geo t off in
+              regs.(d).(t) <- Gpu.Machine.Shared.read buf ((buf_slot * n_thr) + tn)
+            done
+        | Isa.Bar_sync -> Gpu.Machine.barrier ctx
+        | Isa.Buf_switch -> cur := 1 - !cur
+        | Isa.Mov { dst = d; src = s } ->
+            for t = 0 to n_thr - 1 do
+              regs.(d).(t) <- value regs t s
+            done
+        | Isa.Add { dst = d; a; b } ->
+            for t = 0 to n_thr - 1 do
+              regs.(d).(t) <- value regs t a +. value regs t b
+            done
+        | Isa.Sub { dst = d; a; b } ->
+            for t = 0 to n_thr - 1 do
+              regs.(d).(t) <- value regs t a -. value regs t b
+            done
+        | Isa.Mul { dst = d; a; b } ->
+            for t = 0 to n_thr - 1 do
+              regs.(d).(t) <- value regs t a *. value regs t b
+            done
+        | Isa.Fma { dst = d; a; b; c } ->
+            for t = 0 to n_thr - 1 do
+              regs.(d).(t) <- (value regs t a *. value regs t b) +. value regs t c
+            done
+        | Isa.Div { dst = d; a; b } ->
+            for t = 0 to n_thr - 1 do
+              regs.(d).(t) <- value regs t a /. value regs t b
+            done
+        | Isa.Sqrt { dst = d; a } ->
+            for t = 0 to n_thr - 1 do
+              regs.(d).(t) <- sqrt (value regs t a)
+            done
+        | Isa.Neg { dst = d; a } ->
+            for t = 0 to n_thr - 1 do
+              regs.(d).(t) <- -.(value regs t a)
+            done
+        | Isa.Sel { dst = d; if_interior; otherwise; plane } ->
+            let j = base + pos + plane in
+            let stream_interior = j >= rad && j < l - rad in
+            for t = 0 to n_thr - 1 do
+              regs.(d).(t) <-
+                round
+                  (if stream_interior && inplane_interior.(t) then
+                     regs.(if_interior).(t)
+                   else regs.(otherwise).(t))
+            done
+      in
+      for pos = 0 to s1 - 1 + (degree * rad) - base do
+        let block =
+          if pos < head_len then head_blocks.(pos)
+          else begin
+            if (pos - head_len) mod p = 0 then incr inner_trip_positions;
+            program.Isa.inner.((pos - head_len) mod p)
+          end
+        in
+        List.iter (exec_instr pos) block
+      done);
+  {
+    dynamic = !dyn;
+    inner_iterations = !inner_trip_positions;
+    blocks = n_blocks;
+    n_regs = program.Isa.n_regs;
+  }
+
+(** Run [steps] time-steps by interpreting compiled kernels (host
+    chunking as in §4.3, stream division as in §4.2). Returns the final
+    grid and the aggregated dynamic stats. *)
+let run (pattern : Stencil.Pattern.t) (config : Config.t) ~(machine : Gpu.Machine.t)
+    ~steps (g : Stencil.Grid.t) =
+  let chunks = Execmodel.time_chunks ~bt:config.Config.bt ~it:steps in
+  let a = Stencil.Grid.copy g and b = Stencil.Grid.copy g in
+  let cur = ref a and nxt = ref b in
+  let stats = ref None in
+  List.iter
+    (fun degree ->
+      let s = kernel_call pattern config ~machine ~degree ~src:!cur ~dst:!nxt in
+      (stats :=
+         match !stats with
+         | None -> Some s
+         | Some acc ->
+             Some
+               {
+                 dynamic = Isa.add_mix acc.dynamic s.dynamic;
+                 inner_iterations = acc.inner_iterations + s.inner_iterations;
+                 blocks = acc.blocks + s.blocks;
+                 n_regs = max acc.n_regs s.n_regs;
+               });
+      let t = !cur in
+      cur := !nxt;
+      nxt := t)
+    chunks;
+  let zero =
+    { dynamic = Isa.zero_mix; inner_iterations = 0; blocks = 0; n_regs = 0 }
+  in
+  (!cur, Option.value ~default:zero !stats)

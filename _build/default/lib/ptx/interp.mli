@@ -1,0 +1,37 @@
+(** SIMT interpreter for PTX-lite kernels on the simulated GPU.
+
+    Invariants (asserted by the test suite): results are bit-identical
+    to {!Stencil.Reference} and {!An5d_core.Blocking}; global traffic
+    equals the §5 totals; shared traffic equals Table 2's *expected*
+    column (one [ld.shared] per stencil point — the pre-column-caching
+    count, which is precisely the distinction Table 2 draws). *)
+
+type stats = {
+  dynamic : Isa.mix;  (** instructions executed, summed over blocks *)
+  inner_iterations : int;  (** steady-state positions across all blocks *)
+  blocks : int;
+  n_regs : int;
+}
+
+val pp_stats : Format.formatter -> stats -> unit
+
+val kernel_call :
+  Stencil.Pattern.t ->
+  An5d_core.Config.t ->
+  machine:Gpu.Machine.t ->
+  degree:int ->
+  src:Stencil.Grid.t ->
+  dst:Stencil.Grid.t ->
+  stats
+(** Compile and interpret one kernel call.
+    @raise Invalid_argument on a non-positive compute region. *)
+
+val run :
+  Stencil.Pattern.t ->
+  An5d_core.Config.t ->
+  machine:Gpu.Machine.t ->
+  steps:int ->
+  Stencil.Grid.t ->
+  Stencil.Grid.t * stats
+(** Full run with §4.3 host chunking and §4.2 stream division; the
+    input grid is unchanged. *)

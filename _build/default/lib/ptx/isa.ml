@@ -1,0 +1,228 @@
+(** PTX-lite: a small virtual ISA for AN5D kernels.
+
+    The paper's authors validated their model "upon analyzing the
+    generated PTX code" (§5) and observed that unrolling the inner loop
+    "results in performance degradation due to increased instruction
+    fetch latency" (§4.3). To reason about such instruction-level
+    effects — and to validate the code generator more deeply than text
+    matching — this library compiles the LOAD/CALC/STORE schedule into
+    straight-line instruction blocks over a register machine and
+    interprets them SIMT-style on the simulated GPU.
+
+    The ISA is deliberately tiny: float registers, predicated global and
+    shared accesses, the arithmetic the stencil IR needs (with explicit
+    FMA), selects and barriers. Addresses are structured rather than
+    byte-level: a global access names a sub-plane (relative to the
+    block's pipeline) plus the thread's own column; a shared access
+    names a tile slot and an in-plane offset. *)
+
+(** Virtual float register. Fixed sub-plane registers reuse the
+    generated code's numbering (register [M] of time-step [T] is
+    [reg_id ~planes ~tstep ~id:M]); temporaries live above them. *)
+type reg = int
+
+let reg_id ~planes ~tstep ~id = (tstep * planes) + id
+
+type operand = Reg of reg | Imm of float
+
+(** Predicates guarding an instruction (the conditional branches the
+    macros hide, §4.3): evaluated per thread by the interpreter. *)
+type pred =
+  | Always
+  | In_grid  (** thread's cell is inside the grid *)
+  | Interior  (** cell interior and the sub-plane is stream-interior *)
+  | In_compute  (** thread inside the block's compute region *)
+
+(** One SIMT instruction. [plane] operands are *relative* positions in
+    the block's streaming pipeline; the interpreter adds the base. *)
+type instr =
+  | Ld_global of { dst : reg; plane : int; pred : pred }
+      (** load the thread's cell of a sub-plane *)
+  | St_global of { src : reg; plane : int; pred : pred }
+  | St_shared of { src : reg; buf_slot : int }
+      (** store the thread's value into the current shared tile at
+          plane-slot [buf_slot] (0 for star/associative tiles) *)
+  | Ld_shared of { dst : reg; buf_slot : int; delta : int array }
+      (** read a neighbor's value from the current tile: [delta] is the
+          in-plane offset (length N-1) *)
+  | Bar_sync
+  | Buf_switch  (** flip the double-buffered tile *)
+  | Mov of { dst : reg; src : operand }
+  | Add of { dst : reg; a : operand; b : operand }
+  | Sub of { dst : reg; a : operand; b : operand }
+  | Mul of { dst : reg; a : operand; b : operand }
+  | Fma of { dst : reg; a : operand; b : operand; c : operand }
+      (** dst = a * b + c *)
+  | Div of { dst : reg; a : operand; b : operand }
+  | Sqrt of { dst : reg; a : operand }
+  | Neg of { dst : reg; a : operand }
+  | Sel of { dst : reg; if_interior : reg; otherwise : reg; plane : int }
+      (** the branch-free halo overwrite of §4.1: threads whose cell is
+          interior (and the sub-plane at relative position [plane] is
+          stream-interior) keep the computed value, others the previous
+          time-step's *)
+
+(** A basic block: the instructions of one pipeline position. All
+    [plane] fields are relative to the position the block executes at. *)
+type block = instr list
+
+(** A compiled kernel. [head] holds one statically specialized block per
+    warm-up position; [inner] one block per rotation slot — the steady
+    state's loop body is their concatenation (it advances [2*rad + 1]
+    positions per iteration, §4.3), and the drain (tail) re-executes
+    inner blocks position by position. *)
+type program = {
+  degree : int;
+  planes : int;  (** rotation period [2*rad + 1] *)
+  head : block array;
+  warmup : block array;
+      (** the non-lowermost stream block's head (§4.2): starts
+          [degree * rad] planes below its output range with redundant
+          computation; CALC_T activates at [2*T*rad] instead of
+          [T*rad] *)
+  inner : block array;
+  n_regs : int;  (** registers used (fixed sub-plane set + temporaries) *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Statistics                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type mix = {
+  ld_global : int;
+  st_global : int;
+  ld_shared : int;
+  st_shared : int;
+  fma : int;
+  mul : int;
+  add : int;
+  other : int;  (** div, sqrt, neg *)
+  mov : int;
+  sel : int;
+  bar : int;
+  total : int;
+}
+
+let zero_mix =
+  {
+    ld_global = 0;
+    st_global = 0;
+    ld_shared = 0;
+    st_shared = 0;
+    fma = 0;
+    mul = 0;
+    add = 0;
+    other = 0;
+    mov = 0;
+    sel = 0;
+    bar = 0;
+    total = 0;
+  }
+
+let count_instr m = function
+  | Ld_global _ -> { m with ld_global = m.ld_global + 1; total = m.total + 1 }
+  | St_global _ -> { m with st_global = m.st_global + 1; total = m.total + 1 }
+  | Ld_shared _ -> { m with ld_shared = m.ld_shared + 1; total = m.total + 1 }
+  | St_shared _ -> { m with st_shared = m.st_shared + 1; total = m.total + 1 }
+  | Bar_sync -> { m with bar = m.bar + 1; total = m.total + 1 }
+  | Buf_switch -> { m with total = m.total + 1 }
+  | Mov _ -> { m with mov = m.mov + 1; total = m.total + 1 }
+  | Add _ | Sub _ -> { m with add = m.add + 1; total = m.total + 1 }
+  | Mul _ -> { m with mul = m.mul + 1; total = m.total + 1 }
+  | Fma _ -> { m with fma = m.fma + 1; total = m.total + 1 }
+  | Div _ | Sqrt _ | Neg _ -> { m with other = m.other + 1; total = m.total + 1 }
+  | Sel _ -> { m with sel = m.sel + 1; total = m.total + 1 }
+
+let block_mix b = List.fold_left count_instr zero_mix b
+
+let add_mix a b =
+  {
+    ld_global = a.ld_global + b.ld_global;
+    st_global = a.st_global + b.st_global;
+    ld_shared = a.ld_shared + b.ld_shared;
+    st_shared = a.st_shared + b.st_shared;
+    fma = a.fma + b.fma;
+    mul = a.mul + b.mul;
+    add = a.add + b.add;
+    other = a.other + b.other;
+    mov = a.mov + b.mov;
+    sel = a.sel + b.sel;
+    bar = a.bar + b.bar;
+    total = a.total + b.total;
+  }
+
+let scale_mix k m =
+  {
+    ld_global = k * m.ld_global;
+    st_global = k * m.st_global;
+    ld_shared = k * m.ld_shared;
+    st_shared = k * m.st_shared;
+    fma = k * m.fma;
+    mul = k * m.mul;
+    add = k * m.add;
+    other = k * m.other;
+    mov = k * m.mov;
+    sel = k * m.sel;
+    bar = k * m.bar;
+    total = k * m.total;
+  }
+
+(** Static instruction mix of the whole program text (both heads + one
+    inner loop body). *)
+let program_mix p =
+  let sum blocks = Array.fold_left (fun acc b -> add_mix acc (block_mix b)) zero_mix blocks in
+  add_mix (sum p.head) (add_mix (sum p.warmup) (sum p.inner))
+
+(** The inner loop's static code size in instructions — what the
+    instruction fetch path must sustain per iteration (§4.3's unrolling
+    observation). *)
+let inner_loop_size p =
+  Array.fold_left (fun acc b -> acc + List.length b) 0 p.inner
+
+let pp_mix ppf m =
+  Fmt.pf ppf
+    "ld.g %d st.g %d ld.s %d st.s %d fma %d mul %d add %d other %d mov %d sel %d \
+     bar %d (total %d)"
+    m.ld_global m.st_global m.ld_shared m.st_shared m.fma m.mul m.add m.other m.mov
+    m.sel m.bar m.total
+
+(* ------------------------------------------------------------------ *)
+(* Printing                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let pp_operand ppf = function
+  | Reg r -> Fmt.pf ppf "%%f%d" r
+  | Imm f -> Fmt.pf ppf "%g" f
+
+let pp_pred ppf = function
+  | Always -> ()
+  | In_grid -> Fmt.string ppf "@%ingrid "
+  | Interior -> Fmt.string ppf "@%interior "
+  | In_compute -> Fmt.string ppf "@%incompute "
+
+let pp_instr ppf = function
+  | Ld_global { dst; plane; pred } ->
+      Fmt.pf ppf "%ald.global %%f%d, [plane %+d]" pp_pred pred dst plane
+  | St_global { src; plane; pred } ->
+      Fmt.pf ppf "%ast.global [plane %+d], %%f%d" pp_pred pred plane src
+  | St_shared { src; buf_slot } -> Fmt.pf ppf "st.shared [tile+%d], %%f%d" buf_slot src
+  | Ld_shared { dst; buf_slot; delta } ->
+      Fmt.pf ppf "ld.shared %%f%d, [tile+%d, delta %a]" dst buf_slot
+        Fmt.(array ~sep:(any ",") int)
+        delta
+  | Bar_sync -> Fmt.string ppf "bar.sync"
+  | Buf_switch -> Fmt.string ppf "buf.switch"
+  | Mov { dst; src } -> Fmt.pf ppf "mov %%f%d, %a" dst pp_operand src
+  | Add { dst; a; b } -> Fmt.pf ppf "add %%f%d, %a, %a" dst pp_operand a pp_operand b
+  | Sub { dst; a; b } -> Fmt.pf ppf "sub %%f%d, %a, %a" dst pp_operand a pp_operand b
+  | Mul { dst; a; b } -> Fmt.pf ppf "mul %%f%d, %a, %a" dst pp_operand a pp_operand b
+  | Fma { dst; a; b; c } ->
+      Fmt.pf ppf "fma %%f%d, %a, %a, %a" dst pp_operand a pp_operand b pp_operand c
+  | Div { dst; a; b } -> Fmt.pf ppf "div %%f%d, %a, %a" dst pp_operand a pp_operand b
+  | Sqrt { dst; a } -> Fmt.pf ppf "sqrt %%f%d, %a" dst pp_operand a
+  | Neg { dst; a } -> Fmt.pf ppf "neg %%f%d, %a" dst pp_operand a
+  | Sel { dst; if_interior; otherwise; plane } ->
+      Fmt.pf ppf "sel %%f%d, %%f%d, %%f%d, @%%interior(plane %+d)" dst if_interior
+        otherwise plane
+
+let pp_block ppf b = Fmt.(list ~sep:(any "@\n") pp_instr) ppf b

@@ -1,0 +1,1 @@
+lib/report/tabular.ml: Buffer Char List Option String

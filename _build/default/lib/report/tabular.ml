@@ -1,0 +1,67 @@
+(** Plain-text table rendering and CSV emission for the experiment
+    harness: fixed-width columns, a rule under the header, right-aligned
+    numeric cells, RFC-4180-style CSV quoting, and URL-ish slugs for
+    deriving file names from section titles. *)
+
+let pad ~right w s =
+  let n = String.length s in
+  if n >= w then s
+  else if right then String.make (w - n) ' ' ^ s
+  else s ^ String.make (w - n) ' '
+
+let hrule widths = String.concat "-+-" (List.map (fun w -> String.make w '-') widths)
+
+(** Column widths: each column as wide as its widest cell or header. *)
+let widths ~header ~rows =
+  List.mapi
+    (fun i h ->
+      List.fold_left
+        (fun acc row ->
+          match List.nth_opt row i with
+          | Some cell -> max acc (String.length cell)
+          | None -> acc)
+        (String.length h) rows)
+    header
+
+(** Render a table to lines: header, rule, rows. The first column is
+    left-aligned, the rest right-aligned; short rows are padded with
+    empty cells. *)
+let render ~header ~rows =
+  let ws = widths ~header ~rows in
+  let ncols = List.length header in
+  let render_row row =
+    String.concat " | "
+      (List.mapi
+         (fun i cell -> pad ~right:(i > 0) (List.nth ws i) cell)
+         (List.init ncols (fun i -> Option.value ~default:"" (List.nth_opt row i))))
+  in
+  render_row header :: hrule ws :: List.map render_row rows
+
+(** Quote a CSV cell when it contains a delimiter, quote or newline. *)
+let csv_escape cell =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') cell then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' cell) ^ "\""
+  else cell
+
+let csv_line cells = String.concat "," (List.map csv_escape cells)
+
+let to_csv ~header ~rows =
+  String.concat "\n" (csv_line header :: List.map csv_line rows) ^ "\n"
+
+(** Lower-case, alphanumeric-and-dash slug of a title (for file names);
+    capped at 48 characters, never empty. *)
+let slug title =
+  let b = Buffer.create 32 in
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | '0' .. '9' -> Buffer.add_char b c
+      | 'A' .. 'Z' -> Buffer.add_char b (Char.lowercase_ascii c)
+      | ' ' | '-' | '_' ->
+          if Buffer.length b > 0 && Buffer.nth b (Buffer.length b - 1) <> '-' then
+            Buffer.add_char b '-'
+      | _ -> ())
+    title;
+  let s = Buffer.contents b in
+  let s = if String.length s > 48 then String.sub s 0 48 else s in
+  if s = "" then "table" else s

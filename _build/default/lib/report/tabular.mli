@@ -1,0 +1,22 @@
+(** Plain-text tables and CSV for the experiment harness. *)
+
+val pad : right:bool -> int -> string -> string
+
+val hrule : int list -> string
+
+val widths : header:string list -> rows:string list list -> int list
+
+val render : header:string list -> rows:string list list -> string list
+(** Header line, rule, then one line per row. First column
+    left-aligned, the rest right-aligned; ragged rows are padded. *)
+
+val csv_escape : string -> string
+
+val csv_line : string list -> string
+
+val to_csv : header:string list -> rows:string list list -> string
+(** Newline-terminated CSV document. *)
+
+val slug : string -> string
+(** File-name-safe slug of a section title (lower-case, dashes, max 48
+    chars, never empty). *)

@@ -1,0 +1,1 @@
+lib/stencil/detect.ml: Array Cparse Fmt Grid List Option Pattern Poly Sexpr Shape String

@@ -1,0 +1,1 @@
+lib/stencil/detect.mli: Cparse Grid Pattern

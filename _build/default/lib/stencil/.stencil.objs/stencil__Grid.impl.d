@@ -1,0 +1,1 @@
+lib/stencil/grid.ml: Array Float Fmt Int32 Poly

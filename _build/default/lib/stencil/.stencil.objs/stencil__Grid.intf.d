@@ -1,0 +1,1 @@
+lib/stencil/grid.mli: Format Poly

@@ -1,0 +1,1 @@
+lib/stencil/pattern.ml: Array Fmt Hashtbl Int List Option Poly Sexpr Shape

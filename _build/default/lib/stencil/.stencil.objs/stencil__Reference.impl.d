@@ -1,0 +1,1 @@
+lib/stencil/reference.ml: Array Grid Pattern Poly

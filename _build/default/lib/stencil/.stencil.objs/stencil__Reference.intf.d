@@ -1,0 +1,1 @@
+lib/stencil/reference.mli: Grid Pattern

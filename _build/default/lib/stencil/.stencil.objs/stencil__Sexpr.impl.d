@@ -1,0 +1,1 @@
+lib/stencil/sexpr.ml: Array Fmt Fun Hashtbl Int List Option Shape String

@@ -1,0 +1,1 @@
+lib/stencil/sexpr.mli: Format

@@ -1,0 +1,1 @@
+lib/stencil/shape.ml: Array Fmt Fun List Stdlib

@@ -1,0 +1,1 @@
+lib/stencil/shape.mli: Format

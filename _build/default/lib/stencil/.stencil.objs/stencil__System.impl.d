@@ -1,0 +1,1 @@
+lib/stencil/system.ml: Array Fmt Grid List Poly Shape

@@ -1,0 +1,1 @@
+lib/stencil/system.mli: Format Grid

@@ -1,0 +1,278 @@
+(** Stencil pattern detection from the C AST — the AN5D front-end rules
+    of §4.3:
+
+    - the innermost statement is a singleton assignment with one store;
+    - read addresses are static (loop variable plus constant per dim);
+    - all dimensions are iterated by one loop each, with multi-dimensional
+      array addressing;
+    - the time loop is outermost and the array is double-buffered through
+      [(t+1) % 2] / [t % 2] indexing, which makes all spatial iterations
+      of one time-step data independent;
+    - the loop right after the time loop is the streaming dimension.
+
+    Violations raise {!Rejected} with an explanation, mirroring how the
+    real AN5D backend bails out to plain PPCG code generation. *)
+
+exception Rejected of string
+
+let reject fmt = Fmt.kstr (fun s -> raise (Rejected s)) fmt
+
+type result = {
+  pattern : Pattern.t;
+  array_name : string;  (** the double-buffered state array *)
+  coef_arrays : string list;  (** coefficient array parameters read *)
+  grid_dims : int array option;  (** static spatial sizes, when known *)
+  elem_prec : Grid.precision;
+  time_var : string;
+  space_vars : string list;  (** outermost (streaming) first *)
+  time_bound : Cparse.Ast.expr;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Index analysis                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(** Match [e % 2] where [e] is affine; returns the affine dividend. *)
+let as_mod2 env e =
+  match e with
+  | Cparse.Ast.Binop (Cparse.Ast.Mod, lhs, Cparse.Ast.Int_lit 2) ->
+      Poly.Affine.of_ast ~env lhs
+  | _ -> None
+
+(** An index of the form [var + const] over exactly one spatial loop
+    variable; returns [(var, const)]. *)
+let as_var_plus_const env vars e =
+  match Poly.Affine.of_ast ~env e with
+  | None -> None
+  | Some a -> (
+      match Poly.Affine.vars a with
+      | [ v ] when List.mem v vars && Poly.Affine.coeff v a = 1 ->
+          Some (v, a.Poly.Affine.const)
+      | _ -> None)
+
+(* ------------------------------------------------------------------ *)
+(* Expression conversion                                               *)
+(* ------------------------------------------------------------------ *)
+
+type ctx = {
+  env : (string * int) list;  (** #define bindings *)
+  c_time_var : string;
+  c_space_vars : string list;
+  state_array : string;
+  scalar_params : string list;
+  c_coef_arrays : string list;
+}
+
+let spatial_offsets ctx idxs =
+  let n = List.length ctx.c_space_vars in
+  if List.length idxs <> n then
+    reject "array access has %d spatial subscripts, expected %d" (List.length idxs) n;
+  let off = Array.make n 0 in
+  List.iteri
+    (fun pos idx ->
+      let expected_var = List.nth ctx.c_space_vars pos in
+      match as_var_plus_const ctx.env ctx.c_space_vars idx with
+      | Some (v, c) when String.equal v expected_var -> off.(pos) <- c
+      | Some (v, _) ->
+          reject "subscript %d uses loop variable %s, expected %s (no transposition)"
+            pos v expected_var
+      | None -> reject "non-static array subscript (must be loop variable + constant)")
+    idxs;
+  off
+
+let rec convert ctx (e : Cparse.Ast.expr) : Sexpr.t =
+  let open Cparse.Ast in
+  match e with
+  | Int_lit n -> Sexpr.Const (float_of_int n)
+  | Float_lit f -> Sexpr.Const f
+  | Var v ->
+      if List.mem v ctx.scalar_params then Sexpr.Param v
+      else (
+        match List.assoc_opt v ctx.env with
+        | Some n -> Sexpr.Const (float_of_int n)
+        | None -> reject "free variable %s in stencil expression" v)
+  | Index (a, idxs) when String.equal a ctx.state_array -> (
+      match idxs with
+      | tidx :: rest -> (
+          match as_mod2 ctx.env tidx with
+          | Some aff
+            when Poly.Affine.coeff ctx.c_time_var aff = 1
+                 && aff.Poly.Affine.const mod 2 = 0
+                 && List.length (Poly.Affine.vars aff) = 1 ->
+              Sexpr.Cell (spatial_offsets ctx rest)
+          | Some _ -> reject "state array must be read from buffer t %% 2"
+          | None -> reject "state array read lacks modulo-2 time subscript")
+      | [] -> reject "state array read lacks subscripts")
+  | Index (c, idxs) ->
+      if not (List.mem c ctx.c_coef_arrays) then
+        reject "access to unknown array %s" c;
+      Sexpr.Coef (spatial_offsets ctx idxs)
+  | Unop (Neg, a) -> Sexpr.Neg (convert ctx a)
+  | Binop (Add, a, b) -> Sexpr.Add (convert ctx a, convert ctx b)
+  | Binop (Sub, a, b) -> Sexpr.Sub (convert ctx a, convert ctx b)
+  | Binop (Mul, a, b) -> Sexpr.Mul (convert ctx a, convert ctx b)
+  | Binop (Div, a, b) -> Sexpr.Div (convert ctx a, convert ctx b)
+  | Binop (Mod, _, _) -> reject "modulo outside a time subscript"
+  | Call (("sqrt" | "sqrtf"), [ a ]) -> Sexpr.Sqrt (convert ctx a)
+  | Call (f, _) -> reject "unsupported call to %s" f
+
+(* ------------------------------------------------------------------ *)
+(* Top-level detection                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let find_state_array (func : Cparse.Ast.func) env =
+  (* The state array is the parameter whose leading dimension is 2. *)
+  let is_state p =
+    match p.Cparse.Ast.p_dims with
+    | first :: _ :: _ -> (
+        match Poly.Affine.of_ast ~env first with
+        | Some a -> Poly.Affine.to_const a = Some 2
+        | None -> false)
+    | _ -> false
+  in
+  match List.filter is_state func.Cparse.Ast.f_params with
+  | [ p ] -> p
+  | [] -> reject "no double-buffered array parameter (leading dimension 2)"
+  | _ -> reject "multiple double-buffered arrays: multi-statement stencils unsupported"
+
+let static_dims env dims =
+  let consts =
+    List.map
+      (fun d ->
+        Option.bind (Poly.Affine.of_ast ~env d) Poly.Affine.to_const)
+      dims
+  in
+  if List.for_all Option.is_some consts then
+    Some (Array.of_list (List.map Option.get consts))
+  else None
+
+(** Detect the stencil in a parsed program. [param_values] supplies
+    concrete values for scalar parameters used in the computation (they
+    are runtime values in the C source); unlisted parameters default to
+    a fixed constant so simulation is always possible. *)
+let of_program ?(param_values = []) (prog : Cparse.Ast.program) : result =
+  let open Cparse.Ast in
+  let env = List.map (fun d -> (d.d_name, d.d_value)) prog.defines in
+  let func = prog.func in
+  let state = find_state_array func env in
+  let nest = loop_nest func.f_body in
+  (match nest with
+  | [] | [ _ ] -> reject "expected a time loop enclosing at least one spatial loop"
+  | _ -> ());
+  let time_loop = List.hd nest in
+  let space_loops = List.tl nest in
+  let innermost = List.nth nest (List.length nest - 1) in
+  let lhs, rhs =
+    match innermost.l_body with
+    | [ Assign (lhs, rhs) ] -> (lhs, rhs)
+    | [ _ ] -> reject "innermost statement must be an assignment"
+    | [] -> reject "empty innermost loop"
+    | _ -> reject "statement must be singleton (one store access)"
+  in
+  let time_var = time_loop.l_var in
+  let space_vars = List.map (fun l -> l.l_var) space_loops in
+  if List.length space_vars <> List.length state.p_dims - 1 then
+    reject "loop nest depth %d does not match array rank %d"
+      (List.length space_vars + 1)
+      (List.length state.p_dims);
+  let scalar_params =
+    List.filter_map
+      (fun p ->
+        if p.p_dims = [] && (p.p_type = Tfloat || p.p_type = Tdouble) then
+          Some p.p_name
+        else None)
+      func.f_params
+  in
+  let coef_array_params =
+    List.filter_map
+      (fun p ->
+        if p.p_dims <> [] && not (String.equal p.p_name state.p_name) then
+          Some p.p_name
+        else None)
+      func.f_params
+  in
+  let ctx =
+    {
+      env;
+      c_time_var = time_var;
+      c_space_vars = space_vars;
+      state_array = state.p_name;
+      scalar_params;
+      c_coef_arrays = coef_array_params;
+    }
+  in
+  (* LHS: a[(t+1) % 2][i][j]... with zero spatial offsets. *)
+  (match lhs with
+  | Index (a, tidx :: rest) when String.equal a state.p_name -> (
+      (match as_mod2 env tidx with
+      | Some aff
+        when Poly.Affine.coeff time_var aff = 1
+             && aff.Poly.Affine.const mod 2 = 1
+             && List.length (Poly.Affine.vars aff) = 1 ->
+          ()
+      | Some _ | None -> reject "store must target buffer (t + 1) %% 2");
+      let off = spatial_offsets ctx rest in
+      if Array.exists (fun c -> c <> 0) off then
+        reject "store offset must be the loop variables themselves")
+  | Index (a, _) -> reject "store must target the state array, not %s" a
+  | _ -> reject "left-hand side must be an array access");
+  let expr = convert ctx rhs in
+  let offsets = Sexpr.offsets expr in
+  if offsets = [] then reject "expression reads no cell of the previous time-step";
+  (* Time loop must be outermost and the schedule legal. *)
+  let deps = Poly.Dependence.of_offsets offsets in
+  if not (Poly.Dependence.legal_time_outer deps) then
+    reject "dependences are not carried by the time loop";
+  let rad = Shape.radius offsets in
+  (* Spatial loop bounds must keep every access in bounds: lo >= rad and
+     bound <= dim - rad, checked when sizes are static. *)
+  let grid_dims =
+    Option.map
+      (fun a -> Array.sub a 1 (Array.length a - 1))
+      (static_dims env state.p_dims)
+  in
+  (match grid_dims with
+  | Some dims ->
+      List.iteri
+        (fun d loop ->
+          let lo = Poly.Affine.of_ast ~env loop.l_init
+          and hi = Poly.Affine.of_ast ~env loop.l_bound in
+          match (Option.bind lo Poly.Affine.to_const, Option.bind hi Poly.Affine.to_const) with
+          | Some lo, Some hi ->
+              if lo < rad || hi > dims.(d) - rad then
+                reject
+                  "spatial loop %s ranges [%d,%d) but offsets of radius %d need \
+                   [%d,%d)"
+                  loop.l_var lo hi rad rad (dims.(d) - rad)
+          | _ -> ())
+        space_loops
+  | None -> ());
+  let used_params = Sexpr.params expr in
+  let param_value p =
+    match List.assoc_opt p param_values with
+    | Some v -> v
+    | None -> 2.5 (* deterministic default for runtime-only scalars *)
+  in
+  let pattern =
+    Pattern.make ~name:func.f_name ~dims:(List.length space_vars)
+      ~params:(List.map (fun p -> (p, param_value p)) used_params)
+      expr
+  in
+  let coef_arrays =
+    let used acc = function Sexpr.Coef _ -> true | _ -> acc in
+    if Sexpr.fold used false expr then coef_array_params else []
+  in
+  {
+    pattern;
+    array_name = state.p_name;
+    coef_arrays;
+    grid_dims;
+    elem_prec = (match state.p_type with Tfloat -> Grid.F32 | _ -> Grid.F64);
+    time_var;
+    space_vars;
+    time_bound = time_loop.l_bound;
+  }
+
+(** Convenience: parse then detect. *)
+let of_string ?param_values src =
+  of_program ?param_values (Cparse.Parser.program_of_string src)

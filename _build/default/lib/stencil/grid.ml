@@ -1,0 +1,120 @@
+(** Dense N-dimensional grids of floats, row-major.
+
+    Dimension 0 is the streaming dimension of N.5D blocking; the last
+    dimension is contiguous (what CUDA threads coalesce over). Grids
+    carry their element precision only as metadata ([prec]); values are
+    always stored as OCaml floats, with single-precision rounding applied
+    on store when [prec = F32] so that float/double benchmark variants
+    genuinely differ numerically. *)
+
+type precision = F32 | F64
+
+let bytes_per_word = function F32 -> 4 | F64 -> 8
+
+let precision_to_string = function F32 -> "float" | F64 -> "double"
+
+type t = {
+  dims : int array;
+  strides : int array;
+  data : float array;
+  prec : precision;
+}
+
+let strides_of_dims dims =
+  let n = Array.length dims in
+  let strides = Array.make n 1 in
+  for d = n - 2 downto 0 do
+    strides.(d) <- strides.(d + 1) * dims.(d + 1)
+  done;
+  strides
+
+let size_of_dims dims = Array.fold_left ( * ) 1 dims
+
+let create ?(prec = F64) dims =
+  if Array.length dims = 0 then invalid_arg "Grid.create: zero-rank grid";
+  Array.iter (fun d -> if d <= 0 then invalid_arg "Grid.create: non-positive dim") dims;
+  {
+    dims = Array.copy dims;
+    strides = strides_of_dims dims;
+    data = Array.make (size_of_dims dims) 0.0;
+    prec;
+  }
+
+let rank g = Array.length g.dims
+
+let size g = Array.length g.data
+
+let copy g = { g with data = Array.copy g.data; dims = Array.copy g.dims }
+
+let round_to_prec prec v =
+  match prec with F64 -> v | F32 -> Int32.float_of_bits (Int32.bits_of_float v)
+
+let linear g idx =
+  let n = Array.length g.dims in
+  let off = ref 0 in
+  for d = 0 to n - 1 do
+    let i = idx.(d) in
+    if i < 0 || i >= g.dims.(d) then
+      invalid_arg
+        (Fmt.str "Grid: index %d out of bounds [0,%d) in dim %d" i g.dims.(d) d);
+    off := !off + (i * g.strides.(d))
+  done;
+  !off
+
+let get g idx = g.data.(linear g idx)
+
+let set g idx v = g.data.(linear g idx) <- round_to_prec g.prec v
+
+(** Unchecked linear accessors for executor inner loops. *)
+let get_lin g off = g.data.(off)
+
+let set_lin g off v = g.data.(off) <- round_to_prec g.prec v
+
+(** Initialize with a function of the index. *)
+let init ?(prec = F64) dims f =
+  let g = create ~prec dims in
+  Poly.Box.iter (fun idx -> set g idx (f idx)) (Poly.Box.of_dims dims);
+  g
+
+(** Deterministic pseudo-random initialization; stable across runs so
+    executor comparisons are reproducible. Values in [0, 1). *)
+let init_random ?(prec = F64) ?(seed = 42) dims =
+  init ~prec dims (fun idx ->
+      let h =
+        Array.fold_left
+          (fun acc i -> (acc * 1103515245) + i + 12345)
+          seed idx
+      in
+      float (abs h mod 1_000_003) /. 1_000_003.0)
+
+let domain g : Poly.Box.t = Poly.Box.of_dims g.dims
+
+(** Interior of the grid at stencil radius [rad]: cells whose whole
+    neighborhood is in bounds; only these are updated (boundary cells hold
+    the boundary condition, paper §4.1). *)
+let interior ~rad g : Poly.Box.t = Poly.Box.shrink rad (domain g)
+
+let max_abs_diff a b =
+  if a.dims <> b.dims then invalid_arg "Grid.max_abs_diff: dimension mismatch";
+  let m = ref 0.0 in
+  Array.iteri (fun i va -> m := Float.max !m (Float.abs (va -. b.data.(i)))) a.data;
+  !m
+
+let equal ?(tol = 0.0) a b = a.dims = b.dims && max_abs_diff a b <= tol
+
+(** Relative L2 error of [b] against reference [a]. *)
+let rel_l2_error a b =
+  if a.dims <> b.dims then invalid_arg "Grid.rel_l2_error: dimension mismatch";
+  let num = ref 0.0 and den = ref 0.0 in
+  Array.iteri
+    (fun i va ->
+      let d = va -. b.data.(i) in
+      num := !num +. (d *. d);
+      den := !den +. (va *. va))
+    a.data;
+  if !den = 0.0 then sqrt !num else sqrt (!num /. !den)
+
+let pp ppf g =
+  Fmt.pf ppf "grid<%s>%a" (precision_to_string g.prec)
+    Fmt.(array ~sep:(any "x") int)
+    g.dims

@@ -1,0 +1,67 @@
+(** Dense N-dimensional grids of floats, row-major; dimension 0 is the
+    streaming dimension of N.5D blocking.
+
+    Values are stored as OCaml floats; with [prec = F32] every store is
+    rounded through single precision, so float/double benchmark
+    variants genuinely differ numerically. *)
+
+type precision = F32 | F64
+
+val bytes_per_word : precision -> int
+
+val precision_to_string : precision -> string
+
+type t = {
+  dims : int array;
+  strides : int array;  (** row-major; last dimension contiguous *)
+  data : float array;
+  prec : precision;
+}
+
+val create : ?prec:precision -> int array -> t
+(** Zero-initialized grid.
+    @raise Invalid_argument on a zero-rank grid or non-positive size. *)
+
+val rank : t -> int
+
+val size : t -> int
+
+val copy : t -> t
+
+val round_to_prec : precision -> float -> float
+(** Identity for [F64]; rounds through IEEE single for [F32]. *)
+
+val linear : t -> int array -> int
+(** Row-major linear offset of a multi-index (bounds-checked).
+    @raise Invalid_argument when out of bounds. *)
+
+val get : t -> int array -> float
+
+val set : t -> int array -> float -> unit
+(** Stores with precision rounding. *)
+
+val get_lin : t -> int -> float
+(** Unchecked linear accessor for executor inner loops. *)
+
+val set_lin : t -> int -> float -> unit
+
+val init : ?prec:precision -> int array -> (int array -> float) -> t
+
+val init_random : ?prec:precision -> ?seed:int -> int array -> t
+(** Deterministic pseudo-random values in [0, 1); stable across runs. *)
+
+val domain : t -> Poly.Box.t
+
+val interior : rad:int -> t -> Poly.Box.t
+(** Cells whose whole radius-[rad] neighborhood is in bounds — the only
+    cells a stencil sweep updates (§4.1 boundary handling). *)
+
+val max_abs_diff : t -> t -> float
+(** @raise Invalid_argument on dimension mismatch. *)
+
+val equal : ?tol:float -> t -> t -> bool
+
+val rel_l2_error : t -> t -> float
+(** Relative L2 error of the second grid against the first. *)
+
+val pp : Format.formatter -> t -> unit

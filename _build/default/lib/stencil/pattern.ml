@@ -1,0 +1,100 @@
+(** A detected stencil pattern: the unit AN5D compiles and optimizes.
+
+    Bundles the spatial shape, update expression and the §4.1/§4.2
+    classification that drives optimization selection:
+    - [Diag_free]    — star stencils: upper/lower sub-planes live in
+                       registers, shared memory only for the center plane;
+    - [Associative]  — box-like stencils computable by per-plane partial
+                       sums: same shared-memory footprint as stars;
+    - [General]      — everything else: [1 + 2*rad] planes in shared
+                       memory. *)
+
+type opt_class = Diag_free | Associative | General_box
+
+let opt_class_to_string = function
+  | Diag_free -> "diagonal-access-free"
+  | Associative -> "associative"
+  | General_box -> "general"
+
+type t = {
+  name : string;
+  dims : int;  (** number of spatial dimensions N *)
+  radius : int;
+  shape : Shape.kind;
+  expr : Sexpr.t;
+  offsets : int array list;  (** cells read, sorted *)
+  params : (string * float) list;  (** scalar parameter values, e.g. c0 *)
+}
+
+let validate t =
+  if t.dims < 1 then invalid_arg "Pattern: dims must be >= 1";
+  List.iter
+    (fun o ->
+      if Array.length o <> t.dims then
+        invalid_arg "Pattern: offset rank does not match dims")
+    t.offsets;
+  if Shape.radius t.offsets <> t.radius then
+    invalid_arg "Pattern: radius does not match offsets";
+  t
+
+let make ~name ~dims ~params expr =
+  let offsets = Sexpr.offsets expr in
+  let radius = Shape.radius offsets in
+  let shape = Shape.classify offsets in
+  validate { name; dims; radius; shape; expr; offsets; params }
+
+(** Optimization class (§4.1): stars are diagonal-access free; among the
+    rest, expressions computable by per-plane partial summation are
+    associative. *)
+let opt_class t =
+  match t.shape with
+  | Shape.Star -> Diag_free
+  | Shape.Box | Shape.General ->
+      if Sexpr.is_associative t.expr then Associative else General_box
+
+let flops_per_cell t = Sexpr.flops t.expr
+
+let ops_per_cell t = Sexpr.classify_ops t.expr
+
+let uses_division t = Sexpr.uses_division t.expr
+
+let param_value t name =
+  match List.assoc_opt name t.params with
+  | Some v -> v
+  | None -> invalid_arg (Fmt.str "Pattern %s: unbound parameter %s" t.name name)
+
+(** Compile the update into a closure over an offset reader. *)
+let compile t = Sexpr.compile ~param:(param_value t) t.expr
+
+(** Dependence vectors of the stencil (for legality checks). *)
+let dependences t = Poly.Dependence.of_offsets t.offsets
+
+(** Offsets grouped by sub-plane (coordinate along the streaming
+    dimension), ascending; used by the N.5D executor and codegen. *)
+let offsets_by_plane t =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun o ->
+      let p = o.(0) in
+      Hashtbl.replace tbl p (o :: (Option.value ~default:[] (Hashtbl.find_opt tbl p))))
+    t.offsets;
+  Hashtbl.fold (fun p os acc -> (p, List.rev os) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
+(** Largest in-plane (non-streaming) offset distance; determines how much
+    in-plane halo each shared-memory tile needs. *)
+let inplane_radius t =
+  List.fold_left
+    (fun r o ->
+      let m = ref 0 in
+      for d = 1 to Array.length o - 1 do
+        m := max !m (abs o.(d))
+      done;
+      max r !m)
+    0 t.offsets
+
+let pp ppf t =
+  Fmt.pf ppf "%s: %dD %a rad=%d %s, %d points, %d flop/cell" t.name t.dims
+    Shape.pp_kind t.shape t.radius
+    (opt_class_to_string (opt_class t))
+    (List.length t.offsets) (flops_per_cell t)

@@ -1,0 +1,55 @@
+(** A detected stencil pattern — the unit AN5D compiles and optimizes —
+    with the classification that drives optimization selection
+    (§4.1). *)
+
+type opt_class =
+  | Diag_free
+      (** star stencils: upper/lower sub-planes live in registers,
+          shared memory holds only the center plane *)
+  | Associative
+      (** computable by per-plane partial sums: same shared-memory
+          footprint as stars *)
+  | General_box  (** [1 + 2*rad] planes must stay in shared memory *)
+
+val opt_class_to_string : opt_class -> string
+
+type t = {
+  name : string;
+  dims : int;  (** number of spatial dimensions N *)
+  radius : int;
+  shape : Shape.kind;
+  expr : Sexpr.t;
+  offsets : int array list;  (** cells read, sorted *)
+  params : (string * float) list;  (** scalar parameter values *)
+}
+
+val make :
+  name:string -> dims:int -> params:(string * float) list -> Sexpr.t -> t
+(** Derives offsets, radius and shape from the expression.
+    @raise Invalid_argument on rank mismatches. *)
+
+val opt_class : t -> opt_class
+
+val flops_per_cell : t -> int
+(** Table 3 convention (see {!Sexpr.flops}). *)
+
+val ops_per_cell : t -> Sexpr.ops
+
+val uses_division : t -> bool
+
+val param_value : t -> string -> float
+(** @raise Invalid_argument on an unbound parameter. *)
+
+val compile : t -> (int array -> float) -> float
+(** The update as a closure over an offset reader. *)
+
+val dependences : t -> Poly.Dependence.vector list
+
+val offsets_by_plane : t -> (int * int array list) list
+(** Offsets grouped by streaming-dimension coordinate, ascending. *)
+
+val inplane_radius : t -> int
+(** Largest non-streaming offset component (sizes the in-plane halo of
+    a shared-memory tile). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,54 @@
+(** Naive reference executor.
+
+    Runs the stencil exactly as the C input describes it: a time loop
+    around a full sweep of the interior, double-buffered. Every optimized
+    executor in this repository is bit-compared against this one (the
+    paper's artifact likewise verifies GPU output against CPU-only
+    execution, §A.6). *)
+
+(** Apply one time-step: reads [src], writes [dst]. Boundary cells (those
+    whose neighborhood leaves the grid) are copied unchanged — they hold
+    the boundary condition. *)
+let step pattern ~(src : Grid.t) ~(dst : Grid.t) =
+  if src.Grid.dims <> dst.Grid.dims then invalid_arg "Reference.step: dim mismatch";
+  if Array.length src.Grid.dims <> pattern.Pattern.dims then
+    invalid_arg "Reference.step: grid rank does not match pattern";
+  let rad = pattern.Pattern.radius in
+  let update = Pattern.compile pattern in
+  let interior = Grid.interior ~rad src in
+  (* Copy first so halo cells are preserved; interior writes overwrite. *)
+  Array.blit src.Grid.data 0 dst.Grid.data 0 (Array.length src.Grid.data);
+  let idx_buf = Array.make pattern.Pattern.dims 0 in
+  Poly.Box.iter
+    (fun idx ->
+      let read off =
+        Array.iteri (fun d i -> idx_buf.(d) <- i + off.(d)) idx;
+        Grid.get src idx_buf
+      in
+      Grid.set dst idx (update read))
+    interior
+
+(** Run [steps] time-steps starting from [g]; returns the final grid.
+    Matches the C semantics: with double buffering the result of step [s]
+    lands in buffer [s mod 2]; we return whichever buffer holds the final
+    values. *)
+let run pattern ~steps g =
+  if steps < 0 then invalid_arg "Reference.run: negative step count";
+  let a = Grid.copy g in
+  let b = Grid.copy g in
+  let cur = ref a and nxt = ref b in
+  for _ = 1 to steps do
+    step pattern ~src:!cur ~dst:!nxt;
+    let t = !cur in
+    cur := !nxt;
+    nxt := t
+  done;
+  !cur
+
+(** FLOPs performed by [steps] sweeps (interior cells only) — the
+    denominator convention used for GFLOP/s everywhere in the paper. *)
+let total_flops pattern ~dims ~steps =
+  let interior = Poly.Box.shrink pattern.Pattern.radius (Poly.Box.of_dims dims) in
+  float (Poly.Box.volume interior)
+  *. float (Pattern.flops_per_cell pattern)
+  *. float steps

@@ -1,0 +1,17 @@
+(** Naive reference executor: the stencil exactly as the C input
+    describes it — a time loop around full double-buffered sweeps.
+    Every optimized executor is bit-compared against this one (the
+    artifact's CPU verification, §A.6). *)
+
+val step : Pattern.t -> src:Grid.t -> dst:Grid.t -> unit
+(** One time-step; boundary cells are copied unchanged.
+    @raise Invalid_argument on rank/dimension mismatches. *)
+
+val run : Pattern.t -> steps:int -> Grid.t -> Grid.t
+(** [steps] time-steps from the given initial grid; the input is not
+    modified.
+    @raise Invalid_argument on a negative step count. *)
+
+val total_flops : Pattern.t -> dims:int array -> steps:int -> float
+(** FLOPs of [steps] sweeps over the interior — the GFLOP/s denominator
+    convention used throughout the paper. *)

@@ -1,0 +1,295 @@
+(** Stencil arithmetic expression IR.
+
+    One expression describes the update of a cell from the previous
+    time-step: reads at static offsets ([Cell]), per-offset compile-time
+    coefficients ([Coef], valued deterministically), scalar parameters
+    ([Param], e.g. [c0] of j2d5pt), literals and arithmetic. This IR is
+    what pattern detection produces and what every executor (reference,
+    AN5D blocked, baselines) interprets, so all executors share one
+    semantics by construction. *)
+
+type t =
+  | Const of float
+  | Coef of int array  (** symbolic compile-time coefficient attached to an offset *)
+  | Param of string  (** scalar function parameter *)
+  | Cell of int array  (** read of the previous time-step at a spatial offset *)
+  | Neg of t
+  | Add of t * t
+  | Sub of t * t
+  | Mul of t * t
+  | Div of t * t
+  | Sqrt of t
+
+(* ------------------------------------------------------------------ *)
+(* Construction helpers                                                *)
+(* ------------------------------------------------------------------ *)
+
+let coef_mul o = Mul (Coef (Array.copy o), Cell (Array.copy o))
+
+(** Weighted sum [sum_o c_o * cell_o] over the given offsets, left-folded
+    in list order — the canonical synthetic star/box computation of
+    Table 3. *)
+let weighted_sum offsets =
+  match offsets with
+  | [] -> invalid_arg "Sexpr.weighted_sum: no offsets"
+  | first :: rest -> List.fold_left (fun acc o -> Add (acc, coef_mul o)) (coef_mul first) rest
+
+(* ------------------------------------------------------------------ *)
+(* Analysis                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let rec fold f acc e =
+  let acc = f acc e in
+  match e with
+  | Const _ | Coef _ | Param _ | Cell _ -> acc
+  | Neg a | Sqrt a -> fold f acc a
+  | Add (a, b) | Sub (a, b) | Mul (a, b) | Div (a, b) -> fold f (fold f acc a) b
+
+(** Offsets read by the expression, deduplicated and sorted. *)
+let offsets e =
+  let add acc = function Cell o -> o :: acc | _ -> acc in
+  Shape.sort_offsets (fold add [] e)
+
+let params e =
+  let add acc = function Param p -> p :: acc | _ -> acc in
+  List.sort_uniq String.compare (fold add [] e)
+
+(** FLOP count per the paper's convention (Table 3): every arithmetic
+    operator counts 1 as written (no CSE), except that under fast-math
+    [x / sqrt y] and [1.0 / sqrt y] fuse into a single rsqrt-and-multiply
+    — the fusion saves exactly one operation, which is how gradient2d's
+    19 FLOP/cell arises. *)
+let rec flops = function
+  | Const _ | Coef _ | Param _ | Cell _ -> 0
+  | Neg a -> flops a
+  | Add (a, b) | Sub (a, b) | Mul (a, b) -> 1 + flops a + flops b
+  | Div (Const 1.0, Sqrt a) -> 1 + flops a
+  | Div (a, Sqrt b) -> 2 + flops a + flops b
+  | Div (a, b) -> 1 + flops a + flops b
+  | Sqrt a -> 1 + flops a
+
+(** Operation mix for the ALU-efficiency model of §5. *)
+type ops = { fma : int; mul : int; add : int; other : int }
+
+let zero_ops = { fma = 0; mul = 0; add = 0; other = 0 }
+
+let total_ops o = o.fma + o.mul + o.add + o.other
+
+(** Weighted FLOPs with FMA counting 2 — the paper's [total_comp]
+    numerator per cell. *)
+let weighted_flops o = (2 * o.fma) + o.mul + o.add + o.other
+
+(** ALU efficiency [eff_ALU] of §5. *)
+let alu_efficiency o =
+  if total_ops o = 0 then 1.0 else float (weighted_flops o) /. float (2 * total_ops o)
+
+(** Raw operator counts (before FMA merging). Fast-math rules of §5:
+    - division by a loop-invariant (param/const) becomes a multiplication
+      and the dividend's sum is expanded over it, so the mul can fuse;
+    - [1/sqrt] is a single special-function op (counted in [other]);
+    - other divisions and sqrt count as [other]. *)
+let rec raw_counts e =
+  let ( ++ ) a b =
+    { fma = 0; mul = a.mul + b.mul; add = a.add + b.add; other = a.other + b.other }
+  in
+  match e with
+  | Const _ | Coef _ | Param _ | Cell _ -> zero_ops
+  | Neg a -> raw_counts a
+  | Add (a, b) | Sub (a, b) ->
+      let c = raw_counts a ++ raw_counts b in
+      { c with add = c.add + 1 }
+  | Mul (a, b) ->
+      let c = raw_counts a ++ raw_counts b in
+      { c with mul = c.mul + 1 }
+  | Div (Const 1.0, Sqrt a) ->
+      let c = raw_counts a in
+      { c with other = c.other + 1 }
+  | Div (a, (Param _ | Const _ | Coef _)) ->
+      (* Fast-math: [e / k] is [e * (1/k)]; when [e] is a sum the compiler
+         expands the reciprocal over the terms, merging into FMAs, so the
+         division itself contributes one multiplication. *)
+      let c = raw_counts a in
+      { c with mul = c.mul + 1 }
+  | Div (a, b) ->
+      let c = raw_counts a ++ raw_counts b in
+      { c with other = c.other + 1 }
+  | Sqrt a ->
+      let c = raw_counts a in
+      { c with other = c.other + 1 }
+
+(** Op mix after greedy FMA merging: every multiplication followed by an
+    addition fuses, i.e. [min(mul, add)] FMAs (§5: "all multiplications
+    except the last one are followed by an addition"). *)
+let classify_ops e =
+  let raw = raw_counts e in
+  let fused = min raw.mul raw.add in
+  { fma = fused; mul = raw.mul - fused; add = raw.add - fused; other = raw.other }
+
+(** Does the update use a division whose alternative fast-math
+    implementation exists (the paper's §7.1 double-precision pathology
+    concerns exactly these)? *)
+let uses_division e =
+  let check acc = function Div _ -> true | _ -> acc in
+  fold check false e
+
+let uses_sqrt e =
+  let check acc = function Sqrt _ -> true | _ -> acc in
+  fold check false e
+
+(* ------------------------------------------------------------------ *)
+(* Associativity analysis (paper §3, §4.1)                             *)
+(* ------------------------------------------------------------------ *)
+
+(** The plane of an offset: its coordinate along the streaming dimension
+    (dimension 0 in our layout). *)
+let plane_of_offset (o : int array) = o.(0)
+
+(** An expression is "associative" in the paper's sense when it can be
+    computed by partial summation over sub-planes: it must be a sum of
+    terms, each term reading cells from a single sub-plane, possibly
+    wrapped in one final cheap post-operation (division by an invariant).
+    Star stencils are handled by the separate diagonal-access-free path,
+    but they are also associative by this definition. *)
+let rec sum_terms = function
+  | Add (a, b) -> Option.bind (sum_terms a) (fun ta -> Option.map (fun tb -> ta @ tb) (sum_terms b))
+  | e -> Some [ e ]
+
+let term_planes term =
+  List.sort_uniq Int.compare (List.map plane_of_offset (offsets term))
+
+let is_associative e =
+  let body = match e with Div (num, (Param _ | Const _ | Coef _)) -> num | _ -> e in
+  match sum_terms body with
+  | None -> false
+  | Some terms -> List.for_all (fun t -> List.length (term_planes t) <= 1) terms
+
+(** Group the summands by sub-plane for partial summation: returns
+    [(plane, partial_expr) list] plus the post-operation to apply to the
+    completed sum, or [None] if the expression is not associative. *)
+let partial_sums e =
+  let body, post =
+    match e with
+    | Div (num, (Param _ as d)) -> (num, fun s -> Div (s, d))
+    | Div (num, (Const _ as d)) -> (num, fun s -> Div (s, d))
+    | _ -> (e, Fun.id)
+  in
+  match sum_terms body with
+  | None -> None
+  | Some terms ->
+      let tbl = Hashtbl.create 8 in
+      let ok =
+        List.for_all
+          (fun t ->
+            match term_planes t with
+            | [] | [ _ ] ->
+                let plane = match term_planes t with [ p ] -> p | _ -> 0 in
+                Hashtbl.replace tbl plane
+                  (match Hashtbl.find_opt tbl plane with
+                  | Some prev -> Add (prev, t)
+                  | None -> t);
+                true
+            | _ :: _ :: _ -> false)
+          terms
+      in
+      if not ok then None
+      else
+        let groups =
+          Hashtbl.fold (fun p e acc -> (p, e) :: acc) tbl []
+          |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+        in
+        Some (groups, post)
+
+(* ------------------------------------------------------------------ *)
+(* Evaluation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(** Deterministic compile-time value of a symbolic coefficient: a stable
+    pseudo-random value in [0.05, 0.2) derived from the offset, scaled so
+    weighted sums over up-to-9^3 points stay O(1) and iterated updates
+    remain numerically stable. *)
+let coef_value (o : int array) =
+  let h = Array.fold_left (fun acc x -> (acc * 31) + x + 17) 7 o in
+  let u = float (abs h mod 1000) /. 1000.0 in
+  0.05 +. (0.15 *. u)
+
+(** Compile to a closure evaluating the update; [param] resolves scalar
+    parameters once at compile time, [read] fetches the previous
+    time-step at an offset. Compiling once per pattern keeps executor
+    inner loops free of AST matching. *)
+let compile ~(param : string -> float) e : (int array -> float) -> float =
+  let rec go = function
+    | Const c -> fun _ -> c
+    | Coef o ->
+        let v = coef_value o in
+        fun _ -> v
+    | Param p ->
+        let v = param p in
+        fun _ -> v
+    | Cell o ->
+        let o = Array.copy o in
+        fun read -> read o
+    | Neg a ->
+        let fa = go a in
+        fun read -> -.fa read
+    | Add (a, b) ->
+        let fa = go a and fb = go b in
+        fun read -> fa read +. fb read
+    | Sub (a, b) ->
+        let fa = go a and fb = go b in
+        fun read -> fa read -. fb read
+    | Mul (a, b) ->
+        let fa = go a and fb = go b in
+        fun read -> fa read *. fb read
+    | Div (a, b) ->
+        let fa = go a and fb = go b in
+        fun read -> fa read /. fb read
+    | Sqrt a ->
+        let fa = go a in
+        fun read -> sqrt (fa read)
+  in
+  go e
+
+(** Compile the partial-summation evaluation of an associative
+    expression: per-plane compiled closures (ascending plane order) and
+    the numeric post-operation. The summation order — groups added in
+    ascending plane order — is exactly the order AN5D's generated CALC
+    macros accumulate partial sums as source sub-planes stream by
+    (§4.1), which differs from the source expression's order and hence
+    rounds differently; the artifact reports the same effect (§A.6). *)
+let compile_partial_sums ~(param : string -> float) e =
+  match partial_sums e with
+  | None -> None
+  | Some (groups, _post) ->
+      let post =
+        match e with
+        | Div (_, Param p) ->
+            let d = param p in
+            fun s -> s /. d
+        | Div (_, Const d) -> fun s -> s /. d
+        | Div (_, Coef o) ->
+            let d = coef_value o in
+            fun s -> s /. d
+        | _ -> Fun.id
+      in
+      let compiled =
+        List.map (fun (plane, g) -> (plane, compile ~param g)) groups
+      in
+      Some (compiled, post)
+
+(* ------------------------------------------------------------------ *)
+(* Printing                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let rec pp ppf = function
+  | Const c -> Fmt.float ppf c
+  | Coef o -> Fmt.pf ppf "c%a" Shape.pp_offset o
+  | Param p -> Fmt.string ppf p
+  | Cell o -> Fmt.pf ppf "f%a" Shape.pp_offset o
+  | Neg a -> Fmt.pf ppf "(-%a)" pp a
+  | Add (a, b) -> Fmt.pf ppf "(%a + %a)" pp a pp b
+  | Sub (a, b) -> Fmt.pf ppf "(%a - %a)" pp a pp b
+  | Mul (a, b) -> Fmt.pf ppf "(%a * %a)" pp a pp b
+  | Div (a, b) -> Fmt.pf ppf "(%a / %a)" pp a pp b
+  | Sqrt a -> Fmt.pf ppf "sqrt(%a)" pp a
+
+let to_string e = Fmt.str "%a" pp e

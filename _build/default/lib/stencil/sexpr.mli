@@ -1,0 +1,99 @@
+(** Stencil arithmetic expression IR: the update of one cell from the
+    previous time-step. Shared by detection, all executors, the code
+    generator and the performance model, so every component agrees on
+    semantics and operation counts by construction. *)
+
+type t =
+  | Const of float
+  | Coef of int array
+      (** symbolic compile-time coefficient attached to an offset,
+          valued deterministically by {!coef_value} *)
+  | Param of string  (** scalar function parameter (e.g. [c0]) *)
+  | Cell of int array  (** read of the previous time-step at an offset *)
+  | Neg of t
+  | Add of t * t
+  | Sub of t * t
+  | Mul of t * t
+  | Div of t * t
+  | Sqrt of t
+
+val coef_mul : int array -> t
+(** [Coef o * Cell o]. *)
+
+val weighted_sum : int array list -> t
+(** [sum_o c_o * cell_o], left-folded in list order — the canonical
+    synthetic star/box computation of Table 3.
+    @raise Invalid_argument on an empty offset list. *)
+
+val fold : ('a -> t -> 'a) -> 'a -> t -> 'a
+
+val offsets : t -> int array list
+(** Offsets read, deduplicated and sorted. *)
+
+val params : t -> string list
+
+val flops : t -> int
+(** FLOP count per the paper's Table 3 convention: every operator as
+    written counts 1 (no CSE), except fast-math [1/sqrt x] fuses to a
+    single rsqrt. *)
+
+(** Operation mix for the ALU-efficiency model of §5. *)
+type ops = { fma : int; mul : int; add : int; other : int }
+
+val zero_ops : ops
+
+val total_ops : ops -> int
+
+val weighted_flops : ops -> int
+(** FLOPs with FMA counting 2 — the paper's [total_comp] per cell. *)
+
+val alu_efficiency : ops -> float
+(** [eff_ALU = (2*fma + mul + add + other) / (2 * total)] (§5). *)
+
+val raw_counts : t -> ops
+(** Operator counts before FMA merging, under the fast-math rules of
+    §5 (division by an invariant becomes a fusable multiplication,
+    [1/sqrt] is one special-function op). *)
+
+val classify_ops : t -> ops
+(** After greedy FMA merging: [min(mul, add)] operations fuse. *)
+
+val uses_division : t -> bool
+(** The §7.1 double-precision pathology concerns exactly these. *)
+
+val uses_sqrt : t -> bool
+
+val plane_of_offset : int array -> int
+(** Coordinate along the streaming dimension (dimension 0). *)
+
+val is_associative : t -> bool
+(** Computable by per-plane partial summation: a sum of single-plane
+    terms, optionally wrapped in a final division by an invariant
+    (§4.1's associative-stencil condition). *)
+
+val partial_sums : t -> ((int * t) list * (t -> t)) option
+(** Summands grouped by sub-plane (ascending), plus the post-operation
+    applied to the completed sum; [None] if not associative. *)
+
+val coef_value : int array -> float
+(** Deterministic compile-time value of a symbolic coefficient, stable
+    across runs, in [0.05, 0.2). *)
+
+val compile : param:(string -> float) -> t -> (int array -> float) -> float
+(** Compile to a closure over an offset reader; parameters are resolved
+    once. Keeps executor inner loops free of AST matching. *)
+
+val compile_partial_sums :
+  param:(string -> float) ->
+  t ->
+  (((int * ((int array -> float) -> float)) list * (float -> float)) option)
+(** Partial-summation evaluation of an associative expression: per-plane
+    compiled closures (ascending plane order) plus the numeric
+    post-operation. The accumulation order matches AN5D's streaming CALC
+    macros (§4.1), which reassociates the source expression — the
+    rounding therefore differs from {!compile}, exactly like the real
+    artifact's GPU-vs-CPU error (§A.6). [None] if not associative. *)
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

@@ -1,0 +1,77 @@
+(** Stencil shapes (paper §2.1).
+
+    A shape is described by the set of spatial offsets the update reads
+    from the previous time-step. [Star] stencils only access neighbors
+    along one axis at a time (diagonal-access free); [Box] stencils read
+    the full [(2*rad+1)^N] cube; anything else is [General]. *)
+
+type kind = Star | Box | General
+
+let kind_to_string = function Star -> "star" | Box -> "box" | General -> "general"
+
+let pp_kind ppf k = Fmt.string ppf (kind_to_string k)
+
+(** Number of nonzero components of an offset. *)
+let nonzero_components o = Array.fold_left (fun n x -> if x = 0 then n else n + 1) 0 o
+
+let is_axial o = nonzero_components o <= 1
+
+(** Radius: the Chebyshev norm of the farthest offset. *)
+let radius offsets =
+  List.fold_left
+    (fun r o -> Array.fold_left (fun r x -> max r (abs x)) r o)
+    0 offsets
+
+let compare_offsets (a : int array) (b : int array) = Stdlib.compare a b
+
+let sort_offsets offsets = List.sort_uniq compare_offsets offsets
+
+(** All offsets of a star of radius [rad] in [dims] dimensions (the center
+    plus [2*rad] points per axis). *)
+let star_offsets ~dims ~rad =
+  let center = Array.make dims 0 in
+  let axial =
+    List.concat_map
+      (fun d ->
+        List.concat_map
+          (fun k ->
+            if k = 0 then []
+            else
+              let o = Array.make dims 0 in
+              o.(d) <- k;
+              [ o ])
+          (List.init ((2 * rad) + 1) (fun i -> i - rad)))
+      (List.init dims Fun.id)
+  in
+  sort_offsets (center :: axial)
+
+(** All offsets of the full box of radius [rad] in [dims] dimensions. *)
+let box_offsets ~dims ~rad =
+  let rec go d =
+    if d = 0 then [ [] ]
+    else
+      let rest = go (d - 1) in
+      List.concat_map
+        (fun k -> List.map (fun tl -> k :: tl) rest)
+        (List.init ((2 * rad) + 1) (fun i -> i - rad))
+  in
+  sort_offsets (List.map Array.of_list (go dims))
+
+(** Classify a set of offsets. A [Star] has only axial accesses; a [Box]
+    is exactly the full cube of its radius; everything else is
+    [General]. A star of radius 0 (single point) is classified [Star]. *)
+let classify offsets =
+  let offsets = sort_offsets offsets in
+  match offsets with
+  | [] -> General
+  | first :: _ ->
+      let dims = Array.length first in
+      let rad = radius offsets in
+      if List.for_all is_axial offsets then Star
+      else if List.length offsets = List.length (box_offsets ~dims ~rad)
+              && List.equal (fun a b -> compare_offsets a b = 0) offsets
+                   (box_offsets ~dims ~rad)
+      then Box
+      else General
+
+let pp_offset ppf o = Fmt.pf ppf "(%a)" Fmt.(array ~sep:(any ",") int) o

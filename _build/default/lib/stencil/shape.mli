@@ -1,0 +1,33 @@
+(** Stencil shapes (paper §2.1): star (axial accesses only), box (the
+    full [(2*rad+1)^N] cube), or general. *)
+
+type kind = Star | Box | General
+
+val kind_to_string : kind -> string
+
+val pp_kind : Format.formatter -> kind -> unit
+
+val nonzero_components : int array -> int
+
+val is_axial : int array -> bool
+(** At most one nonzero component (no diagonal access). *)
+
+val radius : int array list -> int
+(** Chebyshev norm of the farthest offset. *)
+
+val compare_offsets : int array -> int array -> int
+
+val sort_offsets : int array list -> int array list
+(** Sort and deduplicate. *)
+
+val star_offsets : dims:int -> rad:int -> int array list
+(** The center plus [2*rad] points per axis ([2*rad*dims + 1] total). *)
+
+val box_offsets : dims:int -> rad:int -> int array list
+(** The full cube ([(2*rad+1)^dims] points). *)
+
+val classify : int array list -> kind
+(** [Star] if all accesses are axial; [Box] if exactly the full cube of
+    the offsets' radius; [General] otherwise. *)
+
+val pp_offset : Format.formatter -> int array -> unit

@@ -1,0 +1,184 @@
+(** Multi-statement stencil systems — the paper's §8 future work
+    ("implement multi-output temporal blocking to optimize
+    multi-statement stencils") made concrete.
+
+    A system couples [S] state arrays: each time-step updates every
+    array from the previous values of *all* arrays,
+
+    {[ a_k(t+1, x) = f_k(a_0(t, .), ..., a_(S-1)(t, .)) ]}
+
+    which covers multi-field PDE solvers (wave equations as first-order
+    systems, reaction-diffusion, FDTD's staggered E/H fields). The
+    expression IR mirrors {!Sexpr} with reads tagged by component. *)
+
+type expr =
+  | Const of float
+  | Param of string
+  | Read of int * int array  (** component index, spatial offset *)
+  | Neg of expr
+  | Add of expr * expr
+  | Sub of expr * expr
+  | Mul of expr * expr
+  | Div of expr * expr
+  | Sqrt of expr
+
+type t = {
+  name : string;
+  dims : int;  (** spatial dimensions *)
+  components : (string * expr) list;  (** one update per state array *)
+  params : (string * float) list;
+}
+
+let rec fold_expr f acc e =
+  let acc = f acc e in
+  match e with
+  | Const _ | Param _ | Read _ -> acc
+  | Neg a | Sqrt a -> fold_expr f acc a
+  | Add (a, b) | Sub (a, b) | Mul (a, b) | Div (a, b) ->
+      fold_expr f (fold_expr f acc a) b
+
+(** Offsets read from component [k] by an expression. *)
+let reads_of ~component e =
+  let add acc = function
+    | Read (k, o) when k = component -> o :: acc
+    | _ -> acc
+  in
+  Shape.sort_offsets (fold_expr add [] e)
+
+(** All offsets read by an expression, over all components. *)
+let all_reads e =
+  let add acc = function Read (_, o) -> o :: acc | _ -> acc in
+  Shape.sort_offsets (fold_expr add [] e)
+
+let n_components t = List.length t.components
+
+let validate t =
+  if t.dims < 1 then invalid_arg "System: dims must be >= 1";
+  if t.components = [] then invalid_arg "System: no components";
+  List.iter
+    (fun (cname, e) ->
+      List.iter
+        (fun o ->
+          if Array.length o <> t.dims then
+            invalid_arg (Fmt.str "System %s: offset rank mismatch in %s" t.name cname))
+        (all_reads e);
+      let check acc = function
+        | Read (k, _) when k < 0 || k >= n_components t -> true
+        | _ -> acc
+      in
+      if fold_expr check false e then
+        invalid_arg (Fmt.str "System %s: component index out of range in %s" t.name cname))
+    t.components;
+  t
+
+let make ~name ~dims ~params components =
+  validate { name; dims; components; params }
+
+(** Radius of the whole system: information moves this far per step. *)
+let radius t =
+  List.fold_left
+    (fun r (_, e) -> max r (Shape.radius (all_reads e)))
+    0 t.components
+
+(** Per-component FLOP count, same convention as {!Sexpr.flops}. *)
+let rec flops_expr = function
+  | Const _ | Param _ | Read _ -> 0
+  | Neg a -> flops_expr a
+  | Add (a, b) | Sub (a, b) | Mul (a, b) -> 1 + flops_expr a + flops_expr b
+  | Div (Const 1.0, Sqrt a) -> 1 + flops_expr a
+  | Div (a, Sqrt b) -> 2 + flops_expr a + flops_expr b
+  | Div (a, b) -> 1 + flops_expr a + flops_expr b
+  | Sqrt a -> 1 + flops_expr a
+
+let flops_per_cell t =
+  List.fold_left (fun acc (_, e) -> acc + flops_expr e) 0 t.components
+
+let param_value t name =
+  match List.assoc_opt name t.params with
+  | Some v -> v
+  | None -> invalid_arg (Fmt.str "System %s: unbound parameter %s" t.name name)
+
+(** Compile one component's update to a closure over a tagged reader. *)
+let compile_component t e : (int -> int array -> float) -> float =
+  let rec go = function
+    | Const c -> fun _ -> c
+    | Param p ->
+        let v = param_value t p in
+        fun _ -> v
+    | Read (k, o) ->
+        let o = Array.copy o in
+        fun read -> read k o
+    | Neg a ->
+        let fa = go a in
+        fun read -> -.fa read
+    | Add (a, b) ->
+        let fa = go a and fb = go b in
+        fun read -> fa read +. fb read
+    | Sub (a, b) ->
+        let fa = go a and fb = go b in
+        fun read -> fa read -. fb read
+    | Mul (a, b) ->
+        let fa = go a and fb = go b in
+        fun read -> fa read *. fb read
+    | Div (a, b) ->
+        let fa = go a and fb = go b in
+        fun read -> fa read /. fb read
+    | Sqrt a ->
+        let fa = go a in
+        fun read -> sqrt (fa read)
+  in
+  go e
+
+let compile t = List.map (fun (_, e) -> compile_component t e) t.components
+
+(* ------------------------------------------------------------------ *)
+(* Reference executor                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(** One time-step of the whole system: all components read the previous
+    state of all arrays; boundary cells are frozen. *)
+let step t ~(src : Grid.t list) ~(dst : Grid.t list) =
+  if List.length src <> n_components t || List.length dst <> n_components t then
+    invalid_arg "System.step: component count mismatch";
+  let src = Array.of_list src and dst = Array.of_list dst in
+  let dims = src.(0).Grid.dims in
+  Array.iter
+    (fun g ->
+      if g.Grid.dims <> dims then invalid_arg "System.step: grids must agree")
+    src;
+  let rad = radius t in
+  let updates = Array.of_list (compile t) in
+  let interior = Grid.interior ~rad src.(0) in
+  Array.iteri
+    (fun k dstk ->
+      Array.blit src.(k).Grid.data 0 dstk.Grid.data 0 (Array.length dstk.Grid.data))
+    dst;
+  let idx_buf = Array.make t.dims 0 in
+  Poly.Box.iter
+    (fun idx ->
+      let read k off =
+        Array.iteri (fun d i -> idx_buf.(d) <- i + off.(d)) idx;
+        Grid.get src.(k) idx_buf
+      in
+      Array.iteri (fun k update -> Grid.set dst.(k) idx (update read)) updates)
+    interior
+
+(** Run [steps] time-steps; returns the final grids (input unchanged). *)
+let run t ~steps (gs : Grid.t list) =
+  if steps < 0 then invalid_arg "System.run: negative step count";
+  let cur = ref (List.map Grid.copy gs) and nxt = ref (List.map Grid.copy gs) in
+  for _ = 1 to steps do
+    step t ~src:!cur ~dst:!nxt;
+    let tmp = !cur in
+    cur := !nxt;
+    nxt := tmp
+  done;
+  !cur
+
+let total_flops t ~dims ~steps =
+  let interior = Poly.Box.shrink (radius t) (Poly.Box.of_dims dims) in
+  float (Poly.Box.volume interior) *. float (flops_per_cell t) *. float steps
+
+let pp ppf t =
+  Fmt.pf ppf "%s: %dD system of %d components, rad=%d, %d flop/cell" t.name t.dims
+    (n_components t) (radius t) (flops_per_cell t)

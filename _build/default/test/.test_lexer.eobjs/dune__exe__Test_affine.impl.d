@@ -1,0 +1,1 @@
+test/test_affine.ml: Affine Alcotest Cparse List Poly QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_artifact.ml: Alcotest An5d_core Artifact Config Filename Framework In_channel List String Sys

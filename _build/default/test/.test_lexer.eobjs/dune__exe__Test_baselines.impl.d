@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest An5d_core Baselines Config Execmodel Fmt Gpu List Model Option Poly QCheck QCheck_alcotest Stencil

@@ -1,0 +1,1 @@
+test/test_benchmarks.ml: Alcotest An5d_core Array Bench_defs Detect Float Gpu Grid List Option Pattern Reference Shape Stencil

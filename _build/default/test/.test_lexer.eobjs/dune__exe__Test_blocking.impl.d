@@ -1,0 +1,1 @@
+test/test_blocking.ml: Alcotest An5d_core Array Blocking Config Execmodel Fmt Gpu List Model QCheck QCheck_alcotest Stencil

@@ -1,0 +1,1 @@
+test/test_codegen.ml: Alcotest An5d_core Codegen_cuda Config Fmt Fun In_channel List QCheck QCheck_alcotest Stencil String

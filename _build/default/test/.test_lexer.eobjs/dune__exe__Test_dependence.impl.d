@@ -1,0 +1,1 @@
+test/test_dependence.ml: Alcotest Dependence List Poly QCheck QCheck_alcotest Stencil

@@ -1,0 +1,1 @@
+test/test_detect.ml: Alcotest Bench_defs Cparse Detect Grid List Pattern Sexpr Shape Stencil

@@ -1,0 +1,1 @@
+test/test_device.ml: Alcotest Bandwidth Counters Device Gpu Machine Stencil

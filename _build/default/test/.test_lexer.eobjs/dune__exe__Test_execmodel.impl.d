@@ -1,0 +1,1 @@
+test/test_execmodel.ml: Alcotest An5d_core Array Config Execmodel List QCheck QCheck_alcotest Stencil

@@ -1,0 +1,1 @@
+test/test_framework.ml: Alcotest An5d_core Blocking Config Filename Framework Gpu Stencil String Sys

@@ -1,0 +1,1 @@
+test/test_grid.ml: Alcotest Array Float Fmt Grid Hashtbl List Poly QCheck QCheck_alcotest Stencil

@@ -1,0 +1,1 @@
+test/test_lexer.ml: Alcotest Cparse Lexer List Srcloc String Token

@@ -1,0 +1,1 @@
+test/test_model.ml: Alcotest An5d_core Config Execmodel Fmt Gpu List Model QCheck QCheck_alcotest Registers Stencil

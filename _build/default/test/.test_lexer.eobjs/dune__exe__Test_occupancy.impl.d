@@ -1,0 +1,1 @@
+test/test_occupancy.ml: Alcotest Device Gpu Occupancy QCheck QCheck_alcotest

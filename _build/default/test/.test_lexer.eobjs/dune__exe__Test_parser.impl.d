@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest Ast Cparse Lexer List Parser Pretty QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_pattern.ml: Alcotest An5d_core Array Bench_defs Config Fmt List Option Pattern Poly Sexpr Shape Stencil

@@ -1,0 +1,1 @@
+test/test_ptx.ml: Alcotest An5d_core Array Blocking Compile Config Execmodel Fmt Gpu Interp Isa List Ptx QCheck QCheck_alcotest Stencil

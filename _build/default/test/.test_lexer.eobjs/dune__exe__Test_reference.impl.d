@@ -1,0 +1,1 @@
+test/test_reference.ml: Alcotest Array Float Grid Pattern Poly Reference Sexpr Shape Stencil

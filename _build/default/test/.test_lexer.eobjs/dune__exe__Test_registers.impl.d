@@ -1,0 +1,1 @@
+test/test_registers.ml: Alcotest An5d_core Fmt Gpu Grid List Registers Stencil

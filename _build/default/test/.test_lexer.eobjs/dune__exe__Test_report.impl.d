@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest Buffer List QCheck QCheck_alcotest Report String Tabular

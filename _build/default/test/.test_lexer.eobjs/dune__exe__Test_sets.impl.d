@@ -1,0 +1,1 @@
+test/test_sets.ml: Alcotest Array Box Interval List Poly QCheck QCheck_alcotest Region

@@ -1,0 +1,1 @@
+test/test_sexpr.ml: Alcotest Array List Option QCheck QCheck_alcotest Sexpr Shape Stencil

@@ -1,0 +1,1 @@
+test/test_shape.ml: Alcotest List QCheck QCheck_alcotest Shape Stencil

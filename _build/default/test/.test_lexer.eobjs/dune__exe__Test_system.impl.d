@@ -1,0 +1,1 @@
+test/test_system.ml: Alcotest An5d_core Config Fmt Gpu Grid List Multi_blocking Multi_codegen QCheck QCheck_alcotest Registers Stencil String System

@@ -1,0 +1,1 @@
+test/test_tuner.ml: Alcotest An5d_core Array Config Gpu List Model Stencil

@@ -1,0 +1,1 @@
+test/test_warp.ml: Alcotest An5d_core Bench_defs Blocking Config Execmodel Fmt Gpu List Option Stencil Warp

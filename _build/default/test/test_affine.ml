@@ -1,0 +1,94 @@
+(* Affine expression tests: algebra, evaluation, substitution, conversion
+   from C ASTs, plus QCheck properties for the ring laws. *)
+
+open Poly
+
+let affine = Alcotest.testable Affine.pp Affine.equal
+
+let v = Affine.var
+
+let test_construction () =
+  Alcotest.check affine "x + x = 2x" (Affine.var ~coeff:2 "x") (Affine.add (v "x") (v "x"));
+  Alcotest.check affine "x - x = 0" Affine.zero (Affine.sub (v "x") (v "x"));
+  Alcotest.check affine "scale 0" Affine.zero (Affine.scale 0 (Affine.add (v "x") (Affine.const 3)));
+  Alcotest.(check (option int)) "const" (Some 7) (Affine.to_const (Affine.const 7));
+  Alcotest.(check (option int)) "non-const" None (Affine.to_const (v "x"))
+
+let test_eval_subst () =
+  let e = Affine.add (Affine.var ~coeff:3 "i") (Affine.const 2) in
+  Alcotest.(check int) "eval" 14 (Affine.eval [ ("i", 4) ] e);
+  let substituted = Affine.subst "i" (Affine.add (v "j") (Affine.const 1)) e in
+  (* 3*(j+1) + 2 = 3j + 5 *)
+  Alcotest.check affine "subst" (Affine.add (Affine.var ~coeff:3 "j") (Affine.const 5)) substituted
+
+let of_src src = Affine.of_ast ~env:[ ("N", 10) ] (Cparse.Parser.expr_of_string src)
+
+let test_of_ast () =
+  (match of_src "i + 1" with
+  | Some a ->
+      Alcotest.(check int) "coeff i" 1 (Affine.coeff "i" a);
+      Alcotest.(check int) "const" 1 a.Affine.const
+  | None -> Alcotest.fail "affine expected");
+  (match of_src "2 * i - j + N" with
+  | Some a ->
+      Alcotest.(check int) "coeff i" 2 (Affine.coeff "i" a);
+      Alcotest.(check int) "coeff j" (-1) (Affine.coeff "j" a);
+      Alcotest.(check int) "N folded" 10 a.Affine.const
+  | None -> Alcotest.fail "affine expected");
+  (match of_src "N / 2 + N % 3" with
+  | Some a -> Alcotest.(check (option int)) "const div/mod" (Some 6) (Affine.to_const a)
+  | None -> Alcotest.fail "affine expected");
+  Alcotest.(check bool) "i*j rejected" true (of_src "i * j" = None);
+  Alcotest.(check bool) "i/j rejected" true (of_src "i / j" = None);
+  Alcotest.(check bool) "array access rejected" true (of_src "a[i]" = None);
+  Alcotest.(check bool) "call rejected" true (of_src "sqrt(i)" = None)
+
+(* QCheck: random affine expressions over two variables agree with direct
+   integer evaluation. *)
+let gen_affine =
+  QCheck.Gen.(
+    map3
+      (fun c ci cj ->
+        Affine.add (Affine.const c)
+          (Affine.add (Affine.var ~coeff:ci "i") (Affine.var ~coeff:cj "j")))
+      (int_range (-20) 20) (int_range (-20) 20) (int_range (-20) 20))
+
+let arb_affine = QCheck.make ~print:Affine.to_string gen_affine
+
+let prop_add_commutes =
+  QCheck.Test.make ~name:"addition commutes" ~count:200
+    (QCheck.pair arb_affine arb_affine)
+    (fun (a, b) -> Affine.equal (Affine.add a b) (Affine.add b a))
+
+let prop_eval_homomorphic =
+  QCheck.Test.make ~name:"eval is additive" ~count:200
+    (QCheck.triple arb_affine arb_affine (QCheck.pair QCheck.small_int QCheck.small_int))
+    (fun (a, b, (i, j)) ->
+      let env = [ ("i", i); ("j", j) ] in
+      Affine.eval env (Affine.add a b) = Affine.eval env a + Affine.eval env b)
+
+let prop_sub_inverse =
+  QCheck.Test.make ~name:"a - a = 0" ~count:200 arb_affine (fun a ->
+      Affine.equal Affine.zero (Affine.sub a a))
+
+let prop_scale_distributes =
+  QCheck.Test.make ~name:"scale distributes over add" ~count:200
+    (QCheck.triple QCheck.small_int arb_affine arb_affine)
+    (fun (k, a, b) ->
+      Affine.equal (Affine.scale k (Affine.add a b))
+        (Affine.add (Affine.scale k a) (Affine.scale k b)))
+
+let () =
+  Alcotest.run "affine"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "construction" `Quick test_construction;
+          Alcotest.test_case "eval and subst" `Quick test_eval_subst;
+          Alcotest.test_case "of_ast" `Quick test_of_ast;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_add_commutes; prop_eval_homomorphic; prop_sub_inverse; prop_scale_distributes ]
+      );
+    ]

@@ -1,0 +1,257 @@
+(* Structural tests of the generated CUDA source (§4.3, Fig 5): since
+   NVCC is unavailable, we assert the properties that define AN5D's
+   generated-code shape. *)
+
+open An5d_core
+
+let count_substring hay needle =
+  let n = String.length needle and h = String.length hay in
+  let rec go i acc =
+    if i + n > h then acc
+    else if String.sub hay i n = needle then go (i + 1) (acc + 1)
+    else go (i + 1) acc
+  in
+  go 0 0
+
+let contains hay needle = count_substring hay needle > 0
+
+(* index of the first occurrence of [needle] in [hay] at or after [start] *)
+let find_substring ?(start = 0) hay needle =
+  let n = String.length needle and h = String.length hay in
+  let rec go i =
+    if i + n > h then Alcotest.fail (Fmt.str "substring %S not found" needle)
+    else if String.sub hay i n = needle then i
+    else go (i + 1)
+  in
+  go start
+
+let j2d5pt_pattern =
+  Stencil.Pattern.make ~name:"j2d5pt" ~dims:2 ~params:[ ("c0", 2.5) ]
+    (Stencil.Sexpr.Div
+       ( Stencil.Sexpr.weighted_sum (Stencil.Shape.star_offsets ~dims:2 ~rad:1),
+         Stencil.Sexpr.Param "c0" ))
+
+let gen ?(prec = Stencil.Grid.F32) ?(dims = [| 1024; 1024 |]) pattern config =
+  Codegen_cuda.generate (Codegen_cuda.make ~pattern ~config ~prec ~dims)
+
+let cfg_bt4 = Config.make ~bt:4 ~bs:[| 256 |] ()
+
+let test_kernel_degrees () =
+  let cg =
+    Codegen_cuda.make ~pattern:j2d5pt_pattern ~config:cfg_bt4 ~prec:Stencil.Grid.F32
+      ~dims:[| 1024; 1024 |]
+  in
+  let degrees = Codegen_cuda.kernel_degrees cg in
+  (* the host's tail adjustment needs every degree the chunker emits *)
+  Alcotest.(check bool) "bt present" true (List.mem 4 degrees);
+  Alcotest.(check bool) "degree 1 present" true (List.mem 1 degrees);
+  List.iter
+    (fun d -> Alcotest.(check bool) "degrees within bt" true (d >= 1 && d <= 4))
+    degrees;
+  let src = gen j2d5pt_pattern cfg_bt4 in
+  List.iter
+    (fun d ->
+      Alcotest.(check bool)
+        (Fmt.str "kernel_j2d5pt_bt%d defined" d)
+        true
+        (contains src (Fmt.str "__global__ void kernel_j2d5pt_bt%d" d)))
+    degrees
+
+let test_fixed_register_names () =
+  let src = gen j2d5pt_pattern cfg_bt4 in
+  (* registers reg_T_M for T in 0..4, M in 0..2 (rad 1 -> 3 planes) *)
+  for t = 0 to 4 do
+    for m = 0 to 2 do
+      Alcotest.(check bool)
+        (Fmt.str "reg_%d_%d declared" t m)
+        true
+        (contains src (Fmt.str "reg_%d_%d" t m))
+    done
+  done;
+  (* no negative rotation ids anywhere *)
+  Alcotest.(check int) "no reg_X_-1" 0 (count_substring src "_-")
+
+let test_macro_structure () =
+  let src = gen j2d5pt_pattern cfg_bt4 in
+  (* one CALC macro per combined time-step of the top degree *)
+  for t = 1 to 4 do
+    Alcotest.(check bool) (Fmt.str "CALC%d defined" t) true
+      (contains src (Fmt.str "#define CALC%d(" t))
+  done;
+  Alcotest.(check bool) "LOAD defined" true (contains src "#define LOAD(");
+  Alcotest.(check bool) "STORE defined" true (contains src "#define STORE(");
+  (* double-buffer switch present; scalar smem wrapper present *)
+  Alcotest.(check bool) "buffer flip" true (contains src "__cur ^= 1");
+  Alcotest.(check bool) "__ld wrapper" true (contains src "__ld(");
+  Alcotest.(check bool) "two smem buffers" true (contains src "__sb[2][__TILE]")
+
+let test_three_phases () =
+  let src = gen j2d5pt_pattern cfg_bt4 in
+  Alcotest.(check bool) "head phase" true (contains src "head phase");
+  Alcotest.(check bool) "inner phase" true (contains src "inner phase");
+  Alcotest.(check bool) "tail phase" true (contains src "tail phase");
+  (* Fig 5: bt=4, rad=1 -> inner loop starts at base + 9 stepping 3 *)
+  Alcotest.(check bool) "steady state start" true (contains src "__i = __base + 9");
+  Alcotest.(check bool) "step 3" true (contains src "__i += 3")
+
+let test_head_phase_counts () =
+  (* Fig 5's head contains exactly one LOAD per position (9 for bt=4
+     rad=1) and a triangular number of CALCs. *)
+  let src = gen j2d5pt_pattern cfg_bt4 in
+  (* between "head phase" and "inner phase" of the degree-4 kernel *)
+  let k4 = find_substring src "__global__ void kernel_j2d5pt_bt4" in
+  let head_start = find_substring ~start:k4 src "head phase" in
+  let inner_start = find_substring ~start:k4 src "inner phase" in
+  let head = String.sub src head_start (inner_start - head_start) in
+  Alcotest.(check int) "9 loads in head" 9 (count_substring head "LOAD(");
+  (* CALC_T appears (9 - T*rad) times for T = 1..4, under threshold T*rad *)
+  List.iter
+    (fun t ->
+      Alcotest.(check int)
+        (Fmt.str "CALC%d count" t)
+        (9 - t)
+        (count_substring head (Fmt.str "CALC%d(" t)))
+    [ 1; 2; 3; 4 ]
+
+let test_stream_division_codegen () =
+  let cfg = Config.make ~hs:(Some 128) ~bt:2 ~bs:[| 64 |] () in
+  let src = gen j2d5pt_pattern cfg in
+  Alcotest.(check bool) "H define" true (contains src "#define __H 128");
+  Alcotest.(check bool) "lowermost branch" true (contains src "if (__stream_lo == 0)");
+  Alcotest.(check bool) "warmup base" true (contains src "__stream_lo - 2");
+  Alcotest.(check bool) "stream-range store guard" true
+    (contains src "__stream_lo <= (j)")
+
+let test_general_box_tile () =
+  let p =
+    Stencil.Pattern.make ~name:"b" ~dims:2 ~params:[]
+      (Stencil.Sexpr.weighted_sum (Stencil.Shape.box_offsets ~dims:2 ~rad:1))
+  in
+  let cfg = Config.make ~assoc_opt:false ~bt:2 ~bs:[| 64 |] () in
+  let src = gen p cfg in
+  (* general stencils keep 1 + 2*rad planes in the tile *)
+  Alcotest.(check bool) "tile multiplier 3" true (contains src "#define __TILE (3 * __NTHR)");
+  (* and store 1 + 2*rad values per thread per update *)
+  Alcotest.(check bool) "multi-store" true (contains src "__sb[__cur][2 * __NTHR + __lidx]")
+
+let test_host_structure () =
+  let src = gen j2d5pt_pattern cfg_bt4 in
+  Alcotest.(check bool) "host fn" true (contains src "void j2d5pt_host(");
+  Alcotest.(check bool) "steady loop" true (contains src "while (remaining > 2 * 4)");
+  (* statically generated tail branches for remaining = 1..8 *)
+  for r = 1 to 8 do
+    Alcotest.(check bool)
+      (Fmt.str "branch remaining==%d" r)
+      true
+      (contains src (Fmt.str "(remaining == %d)" r))
+  done;
+  Alcotest.(check bool) "scalar param forwarded" true (contains src ", c0);");
+  Alcotest.(check bool) "buffer swap" true (contains src "tmp = cur; cur = nxt; nxt = tmp;")
+
+let test_double_precision () =
+  let src = gen ~prec:Stencil.Grid.F64 j2d5pt_pattern cfg_bt4 in
+  Alcotest.(check bool) "double type" true (contains src "double reg_0_0");
+  Alcotest.(check bool) "no float decls" false (contains src "float reg_0_0")
+
+let test_reg_limit_flag () =
+  let cfg = Config.make ~reg_limit:(Some 64) ~bt:2 ~bs:[| 64 |] () in
+  let src = gen j2d5pt_pattern cfg in
+  Alcotest.(check bool) "maxrregcount" true (contains src "-maxrregcount=64")
+
+let test_deterministic () =
+  let a = gen j2d5pt_pattern cfg_bt4 and b = gen j2d5pt_pattern cfg_bt4 in
+  Alcotest.(check string) "deterministic output" a b
+
+let test_golden () =
+  (* full-text regression against the checked-in golden file; when the
+     generator changes intentionally, regenerate with the snippet in
+     test/golden/README *)
+  let golden =
+    In_channel.with_open_bin "golden/j2d5pt_bt2_f32.cu" In_channel.input_all
+  in
+  let current = gen ~dims:[| 256; 256 |] j2d5pt_pattern (Config.make ~bt:2 ~bs:[| 64 |] ()) in
+  if not (String.equal golden current) then begin
+    (* pinpoint the first divergent line for a useful failure message *)
+    let gl = String.split_on_char '\n' golden in
+    let cl = String.split_on_char '\n' current in
+    let rec first_diff i = function
+      | g :: gs, c :: cs -> if String.equal g c then first_diff (i + 1) (gs, cs) else (i, g, c)
+      | g :: _, [] -> (i, g, "<end of output>")
+      | [], c :: _ -> (i, "<end of golden>", c)
+      | [], [] -> (i, "", "")
+    in
+    let line, g, c = first_diff 1 (gl, cl) in
+    Alcotest.failf "golden mismatch at line %d:@.  golden:  %s@.  current: %s" line g c
+  end
+
+(* structural invariants over random configurations *)
+let prop_structure =
+  QCheck.Test.make ~name:"codegen structural invariants (random configs)" ~count:40
+    (QCheck.triple (QCheck.int_range 1 3) (QCheck.int_range 1 6) QCheck.bool)
+    (fun (rad, bt, star_shape) ->
+      QCheck.assume (64 > 2 * bt * rad);
+      let offsets =
+        if star_shape then Stencil.Shape.star_offsets ~dims:2 ~rad
+        else Stencil.Shape.box_offsets ~dims:2 ~rad
+      in
+      let pattern =
+        Stencil.Pattern.make ~name:"p" ~dims:2 ~params:[]
+          (Stencil.Sexpr.weighted_sum offsets)
+      in
+      let config = Config.make ~bt ~bs:[| 64 |] () in
+      let src = gen ~dims:[| 256; 256 |] pattern config in
+      let p = (2 * rad) + 1 in
+      (* no negative rotation id ever leaks into the text *)
+      count_substring src "_-" = 0
+      (* every needed degree has a kernel *)
+      && List.for_all
+           (fun d ->
+             contains src (Fmt.str "__global__ void kernel_p_bt%d" d))
+           (Codegen_cuda.kernel_degrees
+              (Codegen_cuda.make ~pattern ~config ~prec:Stencil.Grid.F32
+                 ~dims:[| 256; 256 |]))
+      (* the top-degree kernel declares the full register file *)
+      && List.for_all
+           (fun tstep ->
+             List.for_all
+               (fun id -> contains src (Fmt.str "reg_%d_%d" tstep id))
+               (List.init p Fun.id))
+           (List.init (bt + 1) Fun.id)
+      (* steady state advances p planes per trip *)
+      && contains src (Fmt.str "__i += %d" p))
+
+let prop_host_parity_branches =
+  QCheck.Test.make ~name:"host tail branches cover 1..2bt" ~count:20
+    (QCheck.int_range 1 8)
+    (fun bt ->
+      QCheck.assume (64 > 2 * bt);
+      let pattern =
+        Stencil.Pattern.make ~name:"p" ~dims:2 ~params:[]
+          (Stencil.Sexpr.weighted_sum (Stencil.Shape.star_offsets ~dims:2 ~rad:1))
+      in
+      let src = gen ~dims:[| 128; 128 |] pattern (Config.make ~bt ~bs:[| 64 |] ()) in
+      List.for_all
+        (fun r -> contains src (Fmt.str "(remaining == %d)" r))
+        (List.init (2 * bt) (fun i -> i + 1)))
+
+let () =
+  Alcotest.run "codegen"
+    [
+      ( "codegen",
+        [
+          Alcotest.test_case "kernel degrees" `Quick test_kernel_degrees;
+          Alcotest.test_case "fixed registers" `Quick test_fixed_register_names;
+          Alcotest.test_case "macro structure" `Quick test_macro_structure;
+          Alcotest.test_case "three phases" `Quick test_three_phases;
+          Alcotest.test_case "head phase counts" `Quick test_head_phase_counts;
+          Alcotest.test_case "stream division" `Quick test_stream_division_codegen;
+          Alcotest.test_case "general box tile" `Quick test_general_box_tile;
+          Alcotest.test_case "host structure" `Quick test_host_structure;
+          Alcotest.test_case "double precision" `Quick test_double_precision;
+          Alcotest.test_case "register limit flag" `Quick test_reg_limit_flag;
+          Alcotest.test_case "deterministic" `Quick test_deterministic;
+          Alcotest.test_case "golden file" `Quick test_golden;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_structure; prop_host_parity_branches ] );
+    ]

@@ -1,0 +1,69 @@
+(* Dependence analysis tests: legality of the schedules AN5D and the
+   baselines rely on. *)
+
+open Poly
+
+let star1 = Stencil.Shape.star_offsets ~dims:2 ~rad:1
+
+let deps_of offsets = Dependence.of_offsets offsets
+
+let test_of_offsets () =
+  let deps = deps_of star1 in
+  Alcotest.(check int) "one vector per offset" (List.length star1) (List.length deps);
+  List.iter (fun d -> Alcotest.(check int) "dt" 1 d.Dependence.dt) deps
+
+let test_time_outer () =
+  Alcotest.(check bool) "stencil is legal time-outer" true
+    (Dependence.legal_time_outer (deps_of star1));
+  let bogus = [ Dependence.make ~dt:0 ~dspace:[| 1; 0 |] ] in
+  Alcotest.(check bool) "same-step dependence rejected" false
+    (Dependence.legal_time_outer bogus)
+
+let test_overlapped_legality () =
+  let deps = deps_of (Stencil.Shape.box_offsets ~dims:2 ~rad:2) in
+  Alcotest.(check bool) "halo = bt*rad legal" true
+    (Dependence.overlapped_tiling_legal ~bt:3 ~halo:[| 6; 6 |] deps);
+  Alcotest.(check bool) "halo too small illegal" false
+    (Dependence.overlapped_tiling_legal ~bt:3 ~halo:[| 5; 6 |] deps);
+  Alcotest.(check bool) "excess halo legal" true
+    (Dependence.overlapped_tiling_legal ~bt:3 ~halo:[| 10; 10 |] deps)
+
+let test_wavefront () =
+  let deps = deps_of (Stencil.Shape.star_offsets ~dims:2 ~rad:2) in
+  Alcotest.(check int) "min skew = radius" 2 (Dependence.min_skew ~dim:0 deps);
+  Alcotest.(check bool) "skew rad legal" true (Dependence.wavefront_legal ~dim:0 ~skew:2 deps);
+  Alcotest.(check bool) "skew rad-1 illegal" false
+    (Dependence.wavefront_legal ~dim:0 ~skew:1 deps)
+
+let test_radius () =
+  let deps = deps_of (Stencil.Shape.star_offsets ~dims:3 ~rad:4) in
+  Alcotest.(check (array int)) "radius per dim" [| 4; 4; 4 |] (Dependence.radius deps 3);
+  (* anisotropic stencil *)
+  let offsets = [ [| 0; 0 |]; [| -2; 0 |]; [| 0; 1 |] ] in
+  Alcotest.(check (array int)) "anisotropic" [| 2; 1 |]
+    (Dependence.radius (deps_of offsets) 2)
+
+(* Property: for any radius, halo = bt*rad is exactly the legality
+   threshold of overlapped tiling. *)
+let prop_halo_threshold =
+  QCheck.Test.make ~name:"overlapped halo threshold is tight" ~count:100
+    (QCheck.pair (QCheck.int_range 1 4) (QCheck.int_range 1 6))
+    (fun (rad, bt) ->
+      let deps = deps_of (Stencil.Shape.star_offsets ~dims:2 ~rad) in
+      let h = bt * rad in
+      Dependence.overlapped_tiling_legal ~bt ~halo:[| h; h |] deps
+      && not (Dependence.overlapped_tiling_legal ~bt ~halo:[| h - 1; h - 1 |] deps))
+
+let () =
+  Alcotest.run "dependence"
+    [
+      ( "dependence",
+        [
+          Alcotest.test_case "of_offsets" `Quick test_of_offsets;
+          Alcotest.test_case "time outer" `Quick test_time_outer;
+          Alcotest.test_case "overlapped legality" `Quick test_overlapped_legality;
+          Alcotest.test_case "wavefront" `Quick test_wavefront;
+          Alcotest.test_case "radius" `Quick test_radius;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_halo_threshold ]);
+    ]

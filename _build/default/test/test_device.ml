@@ -1,0 +1,118 @@
+(* Device descriptor (Table 4) and bandwidth micro-benchmark tests. *)
+
+open Gpu
+
+let test_table4_v100 () =
+  let d = Device.v100 in
+  Alcotest.(check int) "SMs" 80 d.Device.sm_count;
+  Alcotest.(check (float 0.0)) "peak float" 15_700.0 d.Device.peak_gflops.Device.f32;
+  Alcotest.(check (float 0.0)) "peak double" 7_850.0 d.Device.peak_gflops.Device.f64;
+  Alcotest.(check (float 0.0)) "gm float" 791.0 d.Device.measured_gm_bw.Device.f32;
+  Alcotest.(check (float 0.0)) "gm double" 805.0 d.Device.measured_gm_bw.Device.f64;
+  Alcotest.(check (float 0.0)) "sm float" 10_650.0 d.Device.measured_sm_bw.Device.f32;
+  Alcotest.(check (float 0.0)) "sm double" 12_750.0 d.Device.measured_sm_bw.Device.f64;
+  Alcotest.(check (float 0.0)) "theoretical gm" 900.0 d.Device.peak_gm_bw;
+  Alcotest.(check int) "96KB smem" (96 * 1024) d.Device.smem_per_sm
+
+let test_table4_p100 () =
+  let d = Device.p100 in
+  Alcotest.(check int) "SMs" 56 d.Device.sm_count;
+  Alcotest.(check (float 0.0)) "peak float" 10_600.0 d.Device.peak_gflops.Device.f32;
+  Alcotest.(check (float 0.0)) "gm float" 535.0 d.Device.measured_gm_bw.Device.f32;
+  Alcotest.(check (float 0.0)) "sm double" 10_150.0 d.Device.measured_sm_bw.Device.f64;
+  Alcotest.(check int) "64KB smem" (64 * 1024) d.Device.smem_per_sm;
+  (* §7.2: P100's smem efficiency below V100's *)
+  Alcotest.(check bool) "efficiency ordering" true
+    (d.Device.smem_efficiency.Device.f32 < Device.v100.Device.smem_efficiency.Device.f32)
+
+let test_find () =
+  Alcotest.(check bool) "v100" true (Device.find "v100" = Some Device.v100);
+  Alcotest.(check bool) "P100 case-insensitive" true (Device.find "P100" = Some Device.p100);
+  Alcotest.(check bool) "full name" true
+    (Device.find "Tesla V100 SXM2" = Some Device.v100);
+  Alcotest.(check bool) "unknown" true (Device.find "a100" = None)
+
+let test_by_prec () =
+  Alcotest.(check (float 0.0)) "f32" 1.0
+    (Device.by_prec Stencil.Grid.F32 { Device.f32 = 1.0; f64 = 2.0 });
+  Alcotest.(check (float 0.0)) "f64" 2.0
+    (Device.by_prec Stencil.Grid.F64 { Device.f32 = 1.0; f64 = 2.0 })
+
+(* The bandwidth micro-benchmarks reproduce Table 4's measured rates by
+   construction, and count the right number of words. *)
+let test_babelstream () =
+  let r = Bandwidth.babelstream_copy ~n:1024 Device.v100 Stencil.Grid.F32 in
+  Alcotest.(check int) "copy words" (2 * 1024) r.Bandwidth.words_moved;
+  Alcotest.(check (float 1.0)) "copy rate = measured gm" 791.0 r.Bandwidth.gbps;
+  let t = Bandwidth.babelstream_triad ~n:1024 Device.p100 Stencil.Grid.F64 in
+  Alcotest.(check int) "triad words" (3 * 1024) t.Bandwidth.words_moved;
+  Alcotest.(check (float 1.0)) "triad rate" 540.0 t.Bandwidth.gbps
+
+let test_gpumembench () =
+  let r = Bandwidth.gpumembench_shared ~n_blocks:4 ~iters:16 Device.v100 Stencil.Grid.F32 in
+  (* writes: 256/block; reads: 256 x 16/block *)
+  Alcotest.(check int) "sweep words" (4 * 256 * 17) r.Bandwidth.words_moved;
+  Alcotest.(check (float 1.0)) "sweep rate" 10_650.0 r.Bandwidth.gbps
+
+let test_measured_peaks () =
+  let gm, sm = Bandwidth.measured_peaks Device.v100 Stencil.Grid.F64 in
+  Alcotest.(check (float 1.0)) "gm peak" 805.0 gm;
+  Alcotest.(check (float 1.0)) "sm peak" 12_750.0 sm
+
+let test_machine_counting () =
+  let m = Machine.create Device.v100 in
+  let g = Stencil.Grid.init_random [| 8 |] in
+  let v = Machine.gm_read m g [| 3 |] in
+  Machine.gm_write m g [| 4 |] v;
+  Alcotest.(check int) "reads" 1 m.Machine.counters.Counters.gm_reads;
+  Alcotest.(check int) "writes" 1 m.Machine.counters.Counters.gm_writes;
+  Alcotest.(check (float 0.0)) "write landed" v (Stencil.Grid.get g [| 4 |])
+
+let test_machine_launch_checks () =
+  let m = Machine.create Device.v100 in
+  (match Machine.launch m ~n_blocks:1 ~n_thr:2048 (fun _ -> ()) with
+  | exception Machine.Launch_failure _ -> ()
+  | _ -> Alcotest.fail "expected block size rejection");
+  match
+    Machine.launch m ~n_blocks:1 ~n_thr:128 (fun ctx ->
+        ignore (Machine.Shared.alloc ctx (100 * 1024)))
+  with
+  | exception Machine.Launch_failure _ -> ()
+  | _ -> Alcotest.fail "expected smem overflow"
+
+let test_shared_memory () =
+  let m = Machine.create Device.v100 in
+  Machine.launch m ~n_blocks:1 ~n_thr:32 (fun ctx ->
+      let buf = Machine.Shared.alloc ctx 64 in
+      Machine.Shared.write buf 5 1.5;
+      Alcotest.(check (float 0.0)) "read back" 1.5 (Machine.Shared.read buf 5);
+      Alcotest.(check (float 0.0)) "register read" 1.5
+        (Machine.Shared.read_as_register buf 5);
+      Alcotest.(check int) "size" 64 (Machine.Shared.size buf));
+  Alcotest.(check int) "one write" 1 m.Machine.counters.Counters.sm_writes;
+  (* read_as_register is uncounted *)
+  Alcotest.(check int) "one read" 1 m.Machine.counters.Counters.sm_reads
+
+let () =
+  Alcotest.run "device"
+    [
+      ( "table4",
+        [
+          Alcotest.test_case "v100" `Quick test_table4_v100;
+          Alcotest.test_case "p100" `Quick test_table4_p100;
+          Alcotest.test_case "find" `Quick test_find;
+          Alcotest.test_case "by_prec" `Quick test_by_prec;
+        ] );
+      ( "bandwidth",
+        [
+          Alcotest.test_case "babelstream" `Quick test_babelstream;
+          Alcotest.test_case "gpumembench" `Quick test_gpumembench;
+          Alcotest.test_case "measured peaks" `Quick test_measured_peaks;
+        ] );
+      ( "machine",
+        [
+          Alcotest.test_case "counting" `Quick test_machine_counting;
+          Alcotest.test_case "launch checks" `Quick test_machine_launch_checks;
+          Alcotest.test_case "shared memory" `Quick test_shared_memory;
+        ] );
+    ]

@@ -1,0 +1,116 @@
+(* End-to-end framework tests: C source in, CUDA text + verified
+   simulation out. *)
+
+open An5d_core
+
+let j2d5pt_src =
+  "#define SB 40\n\
+   void j2d5pt(double a[2][SB][SB], double c0, int timesteps) {\n\
+   for (int t = 0; t < timesteps; t++)\n\
+   for (int i = 1; i < SB - 1; i++)\n\
+   for (int j = 1; j < SB - 1; j++)\n\
+   a[(t+1)%2][i][j] = (0.25 * a[t%2][i][j] + 0.2 * a[t%2][i-1][j] + 0.15 * \
+   a[t%2][i+1][j] + 0.2 * a[t%2][i][j-1] + 0.2 * a[t%2][i][j+1]) / c0;\n\
+   }"
+
+let compile ?(bt = 2) ?(bs = [| 16 |]) ?param_values src =
+  Framework.compile ?param_values
+    ~config:(Config.make ~bt ~bs ())
+    (Framework.source_of_string src)
+
+let test_compile () =
+  let job = compile ~param_values:[ ("c0", 2.0) ] j2d5pt_src in
+  Alcotest.(check (array int)) "dims" [| 40; 40 |] job.Framework.dims;
+  Alcotest.(check bool) "prec" true (job.Framework.prec = Stencil.Grid.F64);
+  Alcotest.(check string) "name" "j2d5pt"
+    (Framework.pattern job).Stencil.Pattern.name
+
+let test_cuda_source () =
+  let job = compile j2d5pt_src in
+  let cuda = Framework.cuda_source job in
+  Alcotest.(check bool) "kernel present" true
+    (String.length cuda > 1000
+    &&
+    let rec has i =
+      i + 10 <= String.length cuda
+      && (String.sub cuda i 10 = "__global__" || has (i + 1))
+    in
+    has 0)
+
+let test_simulate_verified () =
+  let job = compile ~param_values:[ ("c0", 2.0) ] j2d5pt_src in
+  let g = Stencil.Grid.init_random [| 40; 40 |] in
+  let outcome = Framework.simulate ~device:Gpu.Device.v100 ~steps:5 job g in
+  Alcotest.(check bool) "verified" true (outcome.Framework.verified = Ok ());
+  Alcotest.(check bool) "did work" true
+    (outcome.Framework.counters.Gpu.Counters.gm_reads > 0);
+  Alcotest.(check int) "kernel calls (5 steps at bt 2 -> 3 calls)" 3
+    outcome.Framework.stats.Blocking.kernel_calls
+
+let test_simulate_no_verify () =
+  let job = compile j2d5pt_src in
+  let g = Stencil.Grid.init_random [| 40; 40 |] in
+  let outcome = Framework.simulate ~verify:false ~device:Gpu.Device.p100 ~steps:2 job g in
+  Alcotest.(check bool) "skipped" true (outcome.Framework.verified = Ok ())
+
+let test_compile_errors () =
+  let expect_error src =
+    match compile src with
+    | exception Framework.Compile_error _ -> ()
+    | _ -> Alcotest.fail "expected Compile_error"
+  in
+  expect_error "not C at all @@@";
+  expect_error "void f(int n) { }";
+  (* invalid configuration: halo swallows the block *)
+  (match compile ~bt:8 ~bs:[| 12 |] j2d5pt_src with
+  | exception Framework.Compile_error msg ->
+      Alcotest.(check bool) "mentions config" true
+        (String.length msg > 0)
+  | _ -> Alcotest.fail "expected config error")
+
+let test_grid_mismatch () =
+  let job = compile j2d5pt_src in
+  let g = Stencil.Grid.init_random [| 20; 20 |] in
+  match Framework.simulate ~device:Gpu.Device.v100 ~steps:1 job g with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected dimension mismatch"
+
+let test_dims_override () =
+  let job =
+    Framework.compile ~dims:[| 64; 48 |]
+      ~config:(Config.make ~bt:2 ~bs:[| 16 |] ())
+      (Framework.source_of_string j2d5pt_src)
+  in
+  Alcotest.(check (array int)) "override wins" [| 64; 48 |] job.Framework.dims;
+  let g = Stencil.Grid.init_random [| 64; 48 |] in
+  let outcome = Framework.simulate ~device:Gpu.Device.v100 ~steps:4 job g in
+  Alcotest.(check bool) "still verified" true (outcome.Framework.verified = Ok ())
+
+let test_source_of_file () =
+  let path = Filename.temp_file "an5d" ".c" in
+  let oc = open_out path in
+  output_string oc j2d5pt_src;
+  close_out oc;
+  let src = Framework.source_of_file path in
+  Alcotest.(check string) "origin" path src.Framework.origin;
+  let job =
+    Framework.compile ~config:(Config.make ~bt:1 ~bs:[| 16 |] ()) src
+  in
+  Alcotest.(check (array int)) "parsed from file" [| 40; 40 |] job.Framework.dims;
+  Sys.remove path
+
+let () =
+  Alcotest.run "framework"
+    [
+      ( "framework",
+        [
+          Alcotest.test_case "compile" `Quick test_compile;
+          Alcotest.test_case "cuda source" `Quick test_cuda_source;
+          Alcotest.test_case "simulate verified" `Quick test_simulate_verified;
+          Alcotest.test_case "simulate no verify" `Quick test_simulate_no_verify;
+          Alcotest.test_case "compile errors" `Quick test_compile_errors;
+          Alcotest.test_case "grid mismatch" `Quick test_grid_mismatch;
+          Alcotest.test_case "dims override" `Quick test_dims_override;
+          Alcotest.test_case "source of file" `Quick test_source_of_file;
+        ] );
+    ]

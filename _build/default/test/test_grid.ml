@@ -1,0 +1,127 @@
+(* Grid tests: layout, accessors, precision rounding, comparisons. *)
+
+open Stencil
+
+let test_layout () =
+  let g = Grid.create [| 3; 4; 5 |] in
+  Alcotest.(check int) "size" 60 (Grid.size g);
+  Alcotest.(check int) "rank" 3 (Grid.rank g);
+  (* row-major: last dim contiguous *)
+  Alcotest.(check int) "strides" 20 g.Grid.strides.(0);
+  Alcotest.(check int) "strides" 5 g.Grid.strides.(1);
+  Alcotest.(check int) "strides" 1 g.Grid.strides.(2)
+
+let test_get_set () =
+  let g = Grid.create [| 4; 4 |] in
+  Grid.set g [| 2; 3 |] 7.5;
+  Alcotest.(check (float 0.0)) "set/get" 7.5 (Grid.get g [| 2; 3 |]);
+  Alcotest.(check (float 0.0)) "others zero" 0.0 (Grid.get g [| 3; 2 |]);
+  Alcotest.check_raises "oob"
+    (Invalid_argument "Grid: index 4 out of bounds [0,4) in dim 0") (fun () ->
+      ignore (Grid.get g [| 4; 0 |]))
+
+let test_init () =
+  let g = Grid.init [| 3; 3 |] (fun i -> float ((i.(0) * 10) + i.(1))) in
+  Alcotest.(check (float 0.0)) "init fn" 21.0 (Grid.get g [| 2; 1 |])
+
+let test_precision () =
+  let g32 = Grid.create ~prec:Grid.F32 [| 2 |] in
+  let v = 0.1 in
+  Grid.set g32 [| 0 |] v;
+  let stored = Grid.get g32 [| 0 |] in
+  Alcotest.(check bool) "f32 rounds 0.1" true (stored <> v);
+  Alcotest.(check bool) "close" true (Float.abs (stored -. v) < 1e-7);
+  let g64 = Grid.create [| 2 |] in
+  Grid.set g64 [| 0 |] v;
+  Alcotest.(check (float 0.0)) "f64 exact" v (Grid.get g64 [| 0 |]);
+  Alcotest.(check int) "f32 word" 4 (Grid.bytes_per_word Grid.F32);
+  Alcotest.(check int) "f64 word" 8 (Grid.bytes_per_word Grid.F64)
+
+let test_random_deterministic () =
+  let a = Grid.init_random [| 5; 5 |] and b = Grid.init_random [| 5; 5 |] in
+  Alcotest.(check (float 0.0)) "same seed same data" 0.0 (Grid.max_abs_diff a b);
+  let c = Grid.init_random ~seed:7 [| 5; 5 |] in
+  Alcotest.(check bool) "different seed differs" true (Grid.max_abs_diff a c > 0.0)
+
+let test_comparisons () =
+  let a = Grid.init_random [| 4; 4 |] in
+  let b = Grid.copy a in
+  Grid.set b [| 1; 1 |] (Grid.get a [| 1; 1 |] +. 0.5);
+  Alcotest.(check (float 1e-12)) "max diff" 0.5 (Grid.max_abs_diff a b);
+  Alcotest.(check bool) "equal tol" true (Grid.equal ~tol:0.5 a b);
+  Alcotest.(check bool) "not equal" false (Grid.equal a b);
+  Alcotest.(check bool) "rel error positive" true (Grid.rel_l2_error a b > 0.0)
+
+let test_interior () =
+  let g = Grid.create [| 10; 8 |] in
+  Alcotest.(check int) "interior volume" (8 * 6) (Poly.Box.volume (Grid.interior ~rad:1 g));
+  Alcotest.(check int) "rad 2" (6 * 4) (Poly.Box.volume (Grid.interior ~rad:2 g));
+  Alcotest.(check bool) "rad too big empty" true
+    (Poly.Box.is_empty (Grid.interior ~rad:4 g))
+
+let test_invalid () =
+  Alcotest.check_raises "zero dim" (Invalid_argument "Grid.create: non-positive dim")
+    (fun () -> ignore (Grid.create [| 3; 0 |]));
+  Alcotest.check_raises "zero rank" (Invalid_argument "Grid.create: zero-rank grid")
+    (fun () -> ignore (Grid.create [||]))
+
+(* properties *)
+
+let gen_dims =
+  QCheck.Gen.(
+    let* rank = int_range 1 3 in
+    let* dims = list_repeat rank (int_range 1 12) in
+    return (Array.of_list dims))
+
+let arb_dims =
+  QCheck.make ~print:(fun d -> Fmt.str "%a" Fmt.(array ~sep:(any "x") int) d) gen_dims
+
+let prop_linear_bijective =
+  QCheck.Test.make ~name:"linear indexing is a bijection" ~count:100 arb_dims
+    (fun dims ->
+      let g = Grid.create dims in
+      let seen = Hashtbl.create 64 in
+      let ok = ref true in
+      Poly.Box.iter
+        (fun idx ->
+          let off = Grid.linear g idx in
+          if off < 0 || off >= Grid.size g || Hashtbl.mem seen off then ok := false;
+          Hashtbl.replace seen off ())
+        (Grid.domain g);
+      !ok && Hashtbl.length seen = Grid.size g)
+
+let prop_set_get_roundtrip =
+  QCheck.Test.make ~name:"set/get round trip (f64)" ~count:100
+    (QCheck.pair arb_dims QCheck.float)
+    (fun (dims, v) ->
+      QCheck.assume (Float.is_finite v);
+      let g = Grid.create dims in
+      let idx = Array.map (fun d -> d / 2) dims in
+      Grid.set g idx v;
+      Grid.get g idx = v)
+
+let prop_f32_idempotent =
+  QCheck.Test.make ~name:"f32 rounding is idempotent" ~count:200 QCheck.float
+    (fun v ->
+      QCheck.assume (Float.is_finite v);
+      let once = Grid.round_to_prec Grid.F32 v in
+      Grid.round_to_prec Grid.F32 once = once)
+
+let () =
+  Alcotest.run "grid"
+    [
+      ( "grid",
+        [
+          Alcotest.test_case "layout" `Quick test_layout;
+          Alcotest.test_case "get/set" `Quick test_get_set;
+          Alcotest.test_case "init" `Quick test_init;
+          Alcotest.test_case "precision" `Quick test_precision;
+          Alcotest.test_case "deterministic random" `Quick test_random_deterministic;
+          Alcotest.test_case "comparisons" `Quick test_comparisons;
+          Alcotest.test_case "interior" `Quick test_interior;
+          Alcotest.test_case "invalid" `Quick test_invalid;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_linear_bijective; prop_set_get_roundtrip; prop_f32_idempotent ] );
+    ]

@@ -1,0 +1,208 @@
+(* Performance-model tests (§5): bottleneck identification, efficiency
+   terms, totals, and the measurement layer's calibrated corrections. *)
+
+open An5d_core
+
+let star2d1r =
+  Stencil.Pattern.make ~name:"star2d1r" ~dims:2 ~params:[]
+    (Stencil.Sexpr.weighted_sum (Stencil.Shape.star_offsets ~dims:2 ~rad:1))
+
+let j2d5pt =
+  Stencil.Pattern.make ~name:"j2d5pt" ~dims:2 ~params:[ ("c0", 2.5) ]
+    (Stencil.Sexpr.Div
+       ( Stencil.Sexpr.weighted_sum (Stencil.Shape.star_offsets ~dims:2 ~rad:1),
+         Stencil.Sexpr.Param "c0" ))
+
+let em ?hs pattern ~bt ~bs dims = Execmodel.make pattern (Config.make ~hs ~bt ~bs ()) dims
+
+let full2d = [| 16384; 16384 |]
+
+let test_thread_class_small () =
+  (* Hand-checked tiny case: 2D star rad 1, bt 1, one block covering the
+     whole grid, no stream division. *)
+  let m = em star2d1r ~bt:1 ~bs:[| 12 |] [| 6; 8 |] in
+  let t = Model.Thread_class.per_call m ~b:1 in
+  (* loads: planes [0 - 1, 5 + 1] clamped -> 6 planes x in-grid threads.
+     block origin -1, width 12 -> covers columns -1..10, in-grid = 8 *)
+  Alcotest.(check int) "gm reads" (6 * 8) t.Model.Thread_class.gm_reads;
+  Alcotest.(check int) "gm writes" (6 * 8) t.Model.Thread_class.gm_writes;
+  (* computed planes at T=1: all 6; interior planes: 4; interior threads 6 *)
+  Alcotest.(check int) "cells" (4 * 6) t.Model.Thread_class.cells_updated;
+  (* smem: writes 12 threads x 6 planes x 1; reads 8 in-grid x 6 planes x 2 *)
+  Alcotest.(check int) "sm writes" (12 * 6) t.Model.Thread_class.sm_writes;
+  Alcotest.(check int) "sm reads" (8 * 6 * 2) t.Model.Thread_class.sm_reads
+
+let test_totals_scale_with_steps () =
+  let m = em star2d1r ~bt:2 ~bs:[| 16 |] [| 24; 24 |] in
+  let t4 = Model.Thread_class.for_run m ~steps:4 in
+  let t8 = Model.Thread_class.for_run m ~steps:8 in
+  Alcotest.(check int) "gm reads double" (2 * t4.Model.Thread_class.gm_reads)
+    t8.Model.Thread_class.gm_reads;
+  Alcotest.(check int) "cells double" (2 * t4.Model.Thread_class.cells_updated)
+    t8.Model.Thread_class.cells_updated
+
+let test_predict_bottleneck () =
+  let dev = Gpu.Device.v100 in
+  (* high temporal blocking on a big grid: shared memory bound (§7.2:
+     "our model predicts shared memory as the bottleneck in every case
+     except box3d3r/box3d4r") *)
+  let m = em ~hs:256 star2d1r ~bt:10 ~bs:[| 256 |] full2d in
+  let r = Model.Predict.evaluate dev ~prec:Stencil.Grid.F32 m ~steps:100 in
+  Alcotest.(check bool) "smem bound" true (r.Model.Predict.bottleneck = Model.Predict.Shared_memory);
+  (* bt = 1: global memory bound *)
+  let m1 = em star2d1r ~bt:1 ~bs:[| 256 |] full2d in
+  let r1 = Model.Predict.evaluate dev ~prec:Stencil.Grid.F32 m1 ~steps:100 in
+  Alcotest.(check bool) "gmem bound at bt=1" true
+    (r1.Model.Predict.bottleneck = Model.Predict.Global_memory);
+  (* temporal blocking must help: bt=10 predicted faster than bt=1 *)
+  Alcotest.(check bool) "bt10 faster" true
+    (r.Model.Predict.gflops > r1.Model.Predict.gflops)
+
+let test_predict_eff_alu () =
+  let m = em star2d1r ~bt:2 ~bs:[| 128 |] [| 512; 512 |] in
+  let r = Model.Predict.evaluate Gpu.Device.v100 ~prec:Stencil.Grid.F32 m ~steps:10 in
+  (* star2d1r: 4 fma + 1 mul -> 9/10 *)
+  Alcotest.(check (float 1e-9)) "eff_alu" 0.9 r.Model.Predict.eff_alu
+
+let test_paper_eff_sm () =
+  let dev = Gpu.Device.v100 in
+  (* 256 threads -> 8 blocks/SM -> 640-block wavefront *)
+  Alcotest.(check (float 1e-9)) "full wave" 1.0
+    (Model.Predict.paper_eff_sm dev ~n_thr:256 ~n_tb:640);
+  Alcotest.(check (float 1e-9)) "one block" (1.0 /. 640.0)
+    (Model.Predict.paper_eff_sm dev ~n_thr:256 ~n_tb:1)
+
+let test_measure_corrections () =
+  let dev = Gpu.Device.v100 in
+  let prec = Stencil.Grid.F32 in
+  let m = em ~hs:256 star2d1r ~bt:8 ~bs:[| 256 |] full2d in
+  let meas = Model.Measure.run dev ~prec m ~steps:100 in
+  (* measurement is slower than the model (the paper's accuracy < 1) *)
+  Alcotest.(check bool) "measured <= model" true
+    (meas.Model.Measure.gflops <= meas.Model.Measure.model.Model.Predict.gflops);
+  (* and the ratio on smem-bound kernels is near the device smem efficiency *)
+  let ratio =
+    meas.Model.Measure.gflops /. meas.Model.Measure.model.Model.Predict.gflops
+  in
+  Alcotest.(check bool) "accuracy in band" true (ratio > 0.4 && ratio < 0.95)
+
+let test_fp64_division_penalty () =
+  let dev = Gpu.Device.v100 in
+  Alcotest.(check (float 1e-9)) "float no penalty" 1.0
+    (Model.Measure.fp64_division_penalty dev ~prec:Stencil.Grid.F32 j2d5pt);
+  Alcotest.(check (float 1e-9)) "double sum no penalty" 1.0
+    (Model.Measure.fp64_division_penalty dev ~prec:Stencil.Grid.F64 star2d1r);
+  Alcotest.(check bool) "double division penalized" true
+    (Model.Measure.fp64_division_penalty dev ~prec:Stencil.Grid.F64 j2d5pt > 1.0)
+
+let test_reg_limit_search () =
+  let dev = Gpu.Device.v100 in
+  let m = em ~hs:256 star2d1r ~bt:10 ~bs:[| 256 |] full2d in
+  let lim, best = Model.Measure.with_reg_limit_search dev ~prec:Stencil.Grid.F32 m ~steps:100 in
+  (* the chosen limit must be at least as fast as no limit *)
+  let none = Model.Measure.run dev ~prec:Stencil.Grid.F32 m ~steps:100 in
+  Alcotest.(check bool) "search no worse than default" true
+    (best.Model.Measure.gflops >= none.Model.Measure.gflops);
+  (* and must not spill *)
+  Alcotest.(check bool) "no spilling chosen" true
+    ((not best.Model.Measure.registers.Registers.spills) || lim = None)
+
+let test_v100_beats_p100 () =
+  let m = em ~hs:256 star2d1r ~bt:8 ~bs:[| 256 |] full2d in
+  let v = Model.Measure.run Gpu.Device.v100 ~prec:Stencil.Grid.F32 m ~steps:100 in
+  let p = Model.Measure.run Gpu.Device.p100 ~prec:Stencil.Grid.F32 m ~steps:100 in
+  Alcotest.(check bool) "V100 faster (higher smem efficiency, §7.2)" true
+    (v.Model.Measure.gflops > p.Model.Measure.gflops)
+
+(* properties over random configurations *)
+
+let gen_model_case =
+  QCheck.Gen.(
+    let* bt = int_range 1 10 in
+    let* bs = oneofl [ 128; 256; 512 ] in
+    let* h = oneofl [ 256; 512; 1024 ] in
+    let* prec = oneofl [ Stencil.Grid.F32; Stencil.Grid.F64 ] in
+    let* dev_v100 = bool in
+    return (bt, bs, h, prec, dev_v100))
+
+let arb_model_case =
+  QCheck.make
+    ~print:(fun (bt, bs, h, prec, v) ->
+      Fmt.str "bt=%d bs=%d h=%d %s %s" bt bs h
+        (Stencil.Grid.precision_to_string prec)
+        (if v then "v100" else "p100"))
+    gen_model_case
+
+let prop_measured_bounded_by_model =
+  QCheck.Test.make ~name:"measured <= model prediction" ~count:80 arb_model_case
+    (fun (bt, bs, h, prec, v100) ->
+      let dev = if v100 then Gpu.Device.v100 else Gpu.Device.p100 in
+      let cfg = Config.make ~hs:(Some h) ~bt ~bs:[| bs |] () in
+      if not (Config.valid ~rad:1 ~max_threads:1024 cfg) then true
+      else begin
+        let em = Execmodel.make star2d1r cfg full2d in
+        let meas = Model.Measure.run dev ~prec em ~steps:100 in
+        meas.Model.Measure.gflops
+        <= meas.Model.Measure.model.Model.Predict.gflops +. 1e-6
+      end)
+
+let prop_model_time_scales_with_steps =
+  QCheck.Test.make ~name:"model time additive in full-degree chunks" ~count:40
+    (QCheck.pair (QCheck.int_range 1 8) (QCheck.int_range 1 5))
+    (fun (bt, mult) ->
+      let cfg = Config.make ~bt ~bs:[| 256 |] () in
+      if not (Config.valid ~rad:1 ~max_threads:1024 cfg) then true
+      else begin
+        let em = Execmodel.make star2d1r cfg [| 2048; 2048 |] in
+        (* 2*bt*k steps = k times the totals of 2*bt steps (even call
+           counts avoid the parity split) *)
+        let base = Model.Thread_class.for_run em ~steps:(2 * bt) in
+        let scaled = Model.Thread_class.for_run em ~steps:(2 * bt * mult) in
+        scaled.Model.Thread_class.gm_reads = mult * base.Model.Thread_class.gm_reads
+        && scaled.Model.Thread_class.sm_writes = mult * base.Model.Thread_class.sm_writes
+        && scaled.Model.Thread_class.cells_updated
+           = mult * base.Model.Thread_class.cells_updated
+      end)
+
+let prop_gm_writes_invariant =
+  QCheck.Test.make ~name:"gm writes = cells x full-degree calls" ~count:40
+    (QCheck.pair (QCheck.int_range 1 6) (QCheck.int_range 20 60))
+    (fun (bt, size) ->
+      let cfg = Config.make ~bt ~bs:[| 64 |] () in
+      if not (Config.valid ~rad:1 ~max_threads:1024 cfg) then true
+      else begin
+        let dims = [| size; size |] in
+        let em = Execmodel.make star2d1r cfg dims in
+        let t = Model.Thread_class.per_call em ~b:bt in
+        t.Model.Thread_class.gm_writes = size * size
+      end)
+
+let () =
+  Alcotest.run "model"
+    [
+      ( "thread classification",
+        [
+          Alcotest.test_case "hand-checked totals" `Quick test_thread_class_small;
+          Alcotest.test_case "scales with steps" `Quick test_totals_scale_with_steps;
+        ] );
+      ( "prediction",
+        [
+          Alcotest.test_case "bottlenecks" `Quick test_predict_bottleneck;
+          Alcotest.test_case "eff_alu" `Quick test_predict_eff_alu;
+          Alcotest.test_case "paper eff_sm" `Quick test_paper_eff_sm;
+        ] );
+      ( "measurement",
+        [
+          Alcotest.test_case "calibrated corrections" `Quick test_measure_corrections;
+          Alcotest.test_case "fp64 division penalty" `Quick test_fp64_division_penalty;
+          Alcotest.test_case "register-limit search" `Quick test_reg_limit_search;
+          Alcotest.test_case "V100 vs P100" `Quick test_v100_beats_p100;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_measured_bounded_by_model;
+            prop_model_time_scales_with_steps;
+            prop_gm_writes_invariant;
+          ] );
+    ]

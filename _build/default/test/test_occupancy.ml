@@ -1,0 +1,90 @@
+(* Occupancy calculator tests against the CUDA resource rules of §5. *)
+
+open Gpu
+
+let v100 = Device.v100
+
+let req ?(smem = 0) ?(regs = 32) n_thr =
+  { Occupancy.n_thr; smem_bytes = smem; regs_per_thread = regs }
+
+let test_thread_limit () =
+  let l = Occupancy.analyze v100 (req 256) in
+  Alcotest.(check int) "2048/256" 8 l.Occupancy.by_threads;
+  Alcotest.(check int) "binding" 8 l.Occupancy.resident_blocks;
+  Alcotest.(check (float 1e-9)) "full occupancy" 1.0 l.Occupancy.occupancy
+
+let test_smem_limit () =
+  (* 96KB per SM on V100: 40KB blocks -> 2 resident *)
+  let l = Occupancy.analyze v100 (req ~smem:(40 * 1024) 256) in
+  Alcotest.(check int) "smem-bound" 2 l.Occupancy.by_smem;
+  Alcotest.(check int) "resident" 2 l.Occupancy.resident_blocks;
+  Alcotest.(check (float 1e-9)) "occupancy" 0.25 l.Occupancy.occupancy
+
+let test_register_limit () =
+  (* 65536 regs per SM: 128 regs x 512 threads = 65536 -> exactly 1 *)
+  let l = Occupancy.analyze v100 (req ~regs:128 512) in
+  Alcotest.(check int) "reg-bound" 1 l.Occupancy.by_regs;
+  Alcotest.(check int) "resident" 1 l.Occupancy.resident_blocks;
+  (* 129 regs: none fit *)
+  let l2 = Occupancy.analyze v100 (req ~regs:129 512) in
+  Alcotest.(check int) "overflow" 0 l2.Occupancy.by_regs
+
+let test_block_hw_limit () =
+  (* tiny blocks: capped by the 32 blocks/SM hardware limit *)
+  let l = Occupancy.analyze v100 (req 32) in
+  Alcotest.(check int) "thread limit would be 64" 64 l.Occupancy.by_threads;
+  Alcotest.(check int) "hw cap 32" 32 l.Occupancy.resident_blocks
+
+let test_launchable () =
+  Alcotest.(check bool) "normal" true (Occupancy.launchable v100 (req 256));
+  Alcotest.(check bool) "smem too large" false
+    (Occupancy.launchable v100 (req ~smem:(100 * 1024) 256));
+  Alcotest.(check bool) "regs over 255" false
+    (Occupancy.launchable v100 (req ~regs:300 64))
+
+let test_eff_sm () =
+  (* 8 resident x 80 SMs = 640-block wavefront *)
+  let r = req 256 in
+  Alcotest.(check (float 1e-9)) "exact wave" 1.0 (Occupancy.eff_sm v100 r ~n_tb:640);
+  Alcotest.(check (float 1e-9)) "half wave" 0.5 (Occupancy.eff_sm v100 r ~n_tb:320);
+  (* 641 blocks -> 2 waves, 641/1280 *)
+  Alcotest.(check (float 1e-9)) "spill into second wave" (641.0 /. 1280.0)
+    (Occupancy.eff_sm v100 r ~n_tb:641);
+  Alcotest.(check (float 1e-9)) "zero blocks" 0.0 (Occupancy.eff_sm v100 r ~n_tb:0)
+
+let test_errors () =
+  Alcotest.check_raises "zero threads"
+    (Invalid_argument "Occupancy.analyze: n_thr must be positive") (fun () ->
+      ignore (Occupancy.analyze v100 (req 0)));
+  match Occupancy.analyze v100 (req 2048) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected block-size rejection"
+
+let prop_resident_is_min =
+  QCheck.Test.make ~name:"resident = min of limits" ~count:200
+    (QCheck.triple (QCheck.int_range 32 1024) (QCheck.int_range 0 96) (QCheck.int_range 16 255))
+    (fun (n_thr, smem_kb, regs) ->
+      let l =
+        Occupancy.analyze v100 (req ~smem:(smem_kb * 1024) ~regs n_thr)
+      in
+      l.Occupancy.resident_blocks
+      = max 0
+          (min
+             (min l.Occupancy.by_threads l.Occupancy.by_smem)
+             (min l.Occupancy.by_regs l.Occupancy.by_blocks)))
+
+let () =
+  Alcotest.run "occupancy"
+    [
+      ( "occupancy",
+        [
+          Alcotest.test_case "thread limit" `Quick test_thread_limit;
+          Alcotest.test_case "smem limit" `Quick test_smem_limit;
+          Alcotest.test_case "register limit" `Quick test_register_limit;
+          Alcotest.test_case "hw block limit" `Quick test_block_hw_limit;
+          Alcotest.test_case "launchable" `Quick test_launchable;
+          Alcotest.test_case "eff_sm" `Quick test_eff_sm;
+          Alcotest.test_case "errors" `Quick test_errors;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_resident_is_min ]);
+    ]

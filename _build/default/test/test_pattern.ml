@@ -1,0 +1,110 @@
+(* Pattern-level tests: classification plumbing, per-plane grouping,
+   in-plane radius, dependences, parameter handling, and the Config
+   effective-class interaction. *)
+
+open Stencil
+
+let star2d2r =
+  Pattern.make ~name:"star2d2r" ~dims:2 ~params:[]
+    (Sexpr.weighted_sum (Shape.star_offsets ~dims:2 ~rad:2))
+
+let box3d1r =
+  Pattern.make ~name:"box3d1r" ~dims:3 ~params:[]
+    (Sexpr.weighted_sum (Shape.box_offsets ~dims:3 ~rad:1))
+
+let test_offsets_by_plane () =
+  let groups = Pattern.offsets_by_plane star2d2r in
+  Alcotest.(check (list int)) "planes" [ -2; -1; 0; 1; 2 ] (List.map fst groups);
+  (* star: one offset per non-center plane, 2*rad+1 on the center *)
+  List.iter
+    (fun (p, offs) ->
+      Alcotest.(check int)
+        (Fmt.str "plane %d size" p)
+        (if p = 0 then 5 else 1)
+        (List.length offs))
+    groups;
+  let groups3 = Pattern.offsets_by_plane box3d1r in
+  Alcotest.(check (list int)) "box planes" [ -1; 0; 1 ] (List.map fst groups3);
+  List.iter
+    (fun (_, offs) -> Alcotest.(check int) "9 per plane" 9 (List.length offs))
+    groups3
+
+let test_inplane_radius () =
+  Alcotest.(check int) "star" 2 (Pattern.inplane_radius star2d2r);
+  Alcotest.(check int) "box" 1 (Pattern.inplane_radius box3d1r);
+  (* an anisotropic shape: streaming reach 2, in-plane reach 1 *)
+  let skewed =
+    Pattern.make ~name:"skewed" ~dims:2 ~params:[]
+      (Sexpr.Add (Sexpr.coef_mul [| -2; 0 |], Sexpr.coef_mul [| 0; 1 |]))
+  in
+  Alcotest.(check int) "anisotropic inplane" 1 (Pattern.inplane_radius skewed);
+  Alcotest.(check int) "full radius" 2 skewed.Pattern.radius
+
+let test_dependences () =
+  let deps = Pattern.dependences star2d2r in
+  Alcotest.(check int) "one per offset" 9 (List.length deps);
+  Alcotest.(check bool) "legal" true (Poly.Dependence.legal_time_outer deps)
+
+let test_params () =
+  let p =
+    Pattern.make ~name:"p" ~dims:2 ~params:[ ("c0", 4.0) ]
+      (Sexpr.Div (Sexpr.coef_mul [| 0; 0 |], Sexpr.Param "c0"))
+  in
+  Alcotest.(check (float 0.0)) "bound" 4.0 (Pattern.param_value p "c0");
+  Alcotest.check_raises "unbound" (Invalid_argument "Pattern p: unbound parameter zz")
+    (fun () -> ignore (Pattern.param_value p "zz"))
+
+let test_make_validation () =
+  (match
+     Pattern.make ~name:"bad" ~dims:3 ~params:[] (Sexpr.coef_mul [| 0; 0 |])
+   with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "rank mismatch must be rejected");
+  match Pattern.make ~name:"bad" ~dims:0 ~params:[] (Sexpr.Const 1.0) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "zero dims must be rejected"
+
+let test_effective_class () =
+  let open An5d_core in
+  let star_cfg = Config.make ~bt:2 ~bs:[| 16 |] () in
+  Alcotest.(check bool) "star stays diag-free" true
+    (Config.effective_class star_cfg star2d2r = Pattern.Diag_free);
+  (* diag off, assoc on: a star degrades to associative *)
+  let no_diag = Config.make ~diag_opt:false ~bt:2 ~bs:[| 16 |] () in
+  Alcotest.(check bool) "star w/o diag-opt is associative" true
+    (Config.effective_class no_diag star2d2r = Pattern.Associative);
+  (* both off: general *)
+  let neither = Config.make ~diag_opt:false ~assoc_opt:false ~bt:2 ~bs:[| 16 |] () in
+  Alcotest.(check bool) "general fallback" true
+    (Config.effective_class neither star2d2r = Pattern.General_box);
+  (* gradient2d is a star but NOT associative: with diag off it must
+     fall back to general, not associative *)
+  let grad =
+    (Option.get (Bench_defs.Benchmarks.find "gradient2d")).Bench_defs.Benchmarks.pattern
+  in
+  Alcotest.(check bool) "non-associative star w/o diag-opt" true
+    (Config.effective_class no_diag grad = Pattern.General_box)
+
+let test_compile_consistency () =
+  (* Pattern.compile and a manual Sexpr.compile agree *)
+  let read off = (2.0 *. float off.(0)) +. float off.(1) in
+  let v1 = Pattern.compile star2d2r read in
+  let v2 =
+    Sexpr.compile ~param:(fun _ -> assert false) star2d2r.Pattern.expr read
+  in
+  Alcotest.(check (float 0.0)) "same" v2 v1
+
+let () =
+  Alcotest.run "pattern"
+    [
+      ( "pattern",
+        [
+          Alcotest.test_case "offsets by plane" `Quick test_offsets_by_plane;
+          Alcotest.test_case "inplane radius" `Quick test_inplane_radius;
+          Alcotest.test_case "dependences" `Quick test_dependences;
+          Alcotest.test_case "params" `Quick test_params;
+          Alcotest.test_case "validation" `Quick test_make_validation;
+          Alcotest.test_case "effective class" `Quick test_effective_class;
+          Alcotest.test_case "compile consistency" `Quick test_compile_consistency;
+        ] );
+    ]

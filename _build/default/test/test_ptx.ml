@@ -1,0 +1,287 @@
+(* PTX-lite backend tests: compiled-schedule interpretation must match
+   the reference bit-for-bit; instruction mixes must match the §5
+   operation classification and Table 2's expected access counts. *)
+
+open An5d_core
+open Ptx
+
+let star ~dims rad =
+  Stencil.Pattern.make
+    ~name:(Fmt.str "star%dd%dr" dims rad)
+    ~dims ~params:[]
+    (Stencil.Sexpr.weighted_sum (Stencil.Shape.star_offsets ~dims ~rad))
+
+let box ~dims rad =
+  Stencil.Pattern.make
+    ~name:(Fmt.str "box%dd%dr" dims rad)
+    ~dims ~params:[]
+    (Stencil.Sexpr.weighted_sum (Stencil.Shape.box_offsets ~dims ~rad))
+
+let j2d5pt =
+  Stencil.Pattern.make ~name:"j2d5pt" ~dims:2 ~params:[ ("c0", 2.5) ]
+    (Stencil.Sexpr.Div
+       ( Stencil.Sexpr.weighted_sum (Stencil.Shape.star_offsets ~dims:2 ~rad:1),
+         Stencil.Sexpr.Param "c0" ))
+
+let interp pattern cfg dims ~steps =
+  let g = Stencil.Grid.init_random dims in
+  let reference = Stencil.Reference.run pattern ~steps g in
+  let machine = Gpu.Machine.create Gpu.Device.v100 in
+  let out, stats = Interp.run pattern cfg ~machine ~steps g in
+  (Stencil.Grid.max_abs_diff reference out, stats, machine)
+
+let check_exact name pattern cfg dims ~steps =
+  let d, _, _ = interp pattern cfg dims ~steps in
+  Alcotest.(check (float 0.0)) (name ^ " bit-exact") 0.0 d
+
+(* --- correctness --- *)
+
+let test_correctness () =
+  check_exact "star2d1r bt3" (star ~dims:2 1) (Config.make ~bt:3 ~bs:[| 16 |] ())
+    [| 30; 40 |] ~steps:7;
+  check_exact "star2d2r" (star ~dims:2 2) (Config.make ~bt:2 ~bs:[| 24 |] ())
+    [| 25; 33 |] ~steps:5;
+  check_exact "box2d1r" (box ~dims:2 1) (Config.make ~bt:2 ~bs:[| 12 |] ())
+    [| 20; 28 |] ~steps:6;
+  check_exact "box2d2r" (box ~dims:2 2) (Config.make ~bt:1 ~bs:[| 16 |] ())
+    [| 22; 26 |] ~steps:3;
+  check_exact "star3d1r" (star ~dims:3 1)
+    (Config.make ~bt:2 ~bs:[| 8; 10 |] ())
+    [| 12; 14; 15 |] ~steps:5;
+  check_exact "j2d5pt" j2d5pt (Config.make ~bt:4 ~bs:[| 20 |] ()) [| 32; 28 |] ~steps:9
+
+let test_f32 () =
+  let cfg = Config.make ~bt:2 ~bs:[| 16 |] () in
+  let g = Stencil.Grid.init_random ~prec:Stencil.Grid.F32 [| 24; 24 |] in
+  let reference = Stencil.Reference.run (star ~dims:2 1) ~steps:5 g in
+  let machine = Gpu.Machine.create ~prec:Stencil.Grid.F32 Gpu.Device.v100 in
+  let out, _ = Interp.run (star ~dims:2 1) cfg ~machine ~steps:5 g in
+  Alcotest.(check (float 0.0)) "f32 bit-exact" 0.0 (Stencil.Grid.max_abs_diff reference out)
+
+let test_matches_blocking () =
+  (* three executors, one semantics: reference = Blocking = Interp *)
+  let cfg = Config.make ~bt:3 ~bs:[| 14 |] () in
+  let dims = [| 26; 30 |] in
+  let g = Stencil.Grid.init_random dims in
+  let p = box ~dims:2 1 in
+  let m1 = Gpu.Machine.create Gpu.Device.v100 in
+  let em = Execmodel.make p cfg dims in
+  let blocked, _ = Blocking.run em ~machine:m1 ~steps:6 g in
+  let m2 = Gpu.Machine.create Gpu.Device.v100 in
+  let interpreted, _ = Interp.run p cfg ~machine:m2 ~steps:6 g in
+  Alcotest.(check (float 0.0)) "blocking = interp" 0.0
+    (Stencil.Grid.max_abs_diff blocked interpreted);
+  (* global traffic identical; shared reads differ (expected vs
+     practical, Table 2): box2d1r expected 6 vs practical 2 per cell *)
+  Alcotest.(check int) "gm reads equal" m1.Gpu.Machine.counters.Gpu.Counters.gm_reads
+    m2.Gpu.Machine.counters.Gpu.Counters.gm_reads;
+  Alcotest.(check int) "gm writes equal" m1.Gpu.Machine.counters.Gpu.Counters.gm_writes
+    m2.Gpu.Machine.counters.Gpu.Counters.gm_writes
+
+(* --- instruction mix --- *)
+
+let test_calc_mix_star () =
+  (* star2d1r CALC: 4 FMA + 1 MUL (classify_ops) + 2 ld.shared (Table 2
+     expected) + 1 st.shared + 1 sel + 1 bar + 1 buf-switch *)
+  let prog = Compile.kernel (star ~dims:2 1) (Config.make ~bt:1 ~bs:[| 16 |] ()) ~degree:1 in
+  Array.iter
+    (fun b ->
+      let m = Isa.block_mix b in
+      Alcotest.(check int) "fma" 4 m.Isa.fma;
+      Alcotest.(check int) "mul" 1 m.Isa.mul;
+      Alcotest.(check int) "ld.shared" 2 m.Isa.ld_shared;
+      Alcotest.(check int) "st.shared" 1 m.Isa.st_shared;
+      Alcotest.(check int) "sel" 1 m.Isa.sel;
+      Alcotest.(check int) "one load" 1 m.Isa.ld_global;
+      Alcotest.(check int) "one store" 1 m.Isa.st_global)
+    prog.Isa.inner
+
+let test_calc_mix_matches_classify () =
+  (* for weighted sums, the lowered fma/mul counts equal classify_ops *)
+  List.iter
+    (fun pattern ->
+      let ops = Stencil.Pattern.ops_per_cell pattern in
+      let prog =
+        Compile.kernel pattern
+          (Config.make ~bt:1 ~bs:(if pattern.Stencil.Pattern.dims = 2 then [| 32 |] else [| 12; 12 |]) ())
+          ~degree:1
+      in
+      let m = Isa.block_mix prog.Isa.inner.(0) in
+      Alcotest.(check int) (pattern.Stencil.Pattern.name ^ " fma") ops.Stencil.Sexpr.fma m.Isa.fma;
+      Alcotest.(check int) (pattern.Stencil.Pattern.name ^ " mul") ops.Stencil.Sexpr.mul m.Isa.mul)
+    [ star ~dims:2 1; star ~dims:2 3; box ~dims:2 2; star ~dims:3 2; box ~dims:3 1 ]
+
+let test_smem_expected_counts () =
+  (* dynamic ld.shared per computed cell = Table 2's expected column *)
+  let check name pattern bs dims expected =
+    let cfg = Config.make ~bt:1 ~bs () in
+    let _, stats, _ = interp pattern cfg dims ~steps:1 in
+    let em = Execmodel.make pattern cfg dims in
+    ignore em;
+    (* per CALC instance: total ld.shared / number of CALCs executed *)
+    let calcs = stats.Interp.dynamic.Isa.sel in
+    Alcotest.(check int) (name ^ " expected reads")
+      (expected * calcs)
+      stats.Interp.dynamic.Isa.ld_shared
+  in
+  check "star2d1r" (star ~dims:2 1) [| 16 |] [| 20; 24 |] 2;
+  check "box2d1r" (box ~dims:2 1) [| 12 |] [| 20; 24 |] 6;
+  check "star3d1r" (star ~dims:3 1) [| 8; 8 |] [| 12; 12; 12 |] 4;
+  check "box3d1r" (box ~dims:3 1) [| 8; 8 |] [| 12; 12; 12 |] 24
+
+let test_program_structure () =
+  let prog = Compile.kernel (star ~dims:2 1) (Config.make ~bt:4 ~bs:[| 32 |] ()) ~degree:4 in
+  (* Fig 5: bt=4 rad=1 -> head of 9 positions, 3 rotation slots *)
+  Alcotest.(check int) "head length" 9 (Array.length prog.Isa.head);
+  Alcotest.(check int) "rotation slots" 3 (Array.length prog.Isa.inner);
+  (* all inner blocks have the same mix (only register names rotate) *)
+  let m0 = Isa.block_mix prog.Isa.inner.(0) in
+  Array.iter
+    (fun b -> Alcotest.(check int) "same size" m0.Isa.total (Isa.block_mix b).Isa.total)
+    prog.Isa.inner;
+  (* head CALC counts grow triangularly: position p has min(p, 4) CALCs
+     for rad 1 -> sels sum to sum_{i=0}^{8} #active *)
+  let head_sels =
+    Array.fold_left (fun acc b -> acc + (Isa.block_mix b).Isa.sel) 0 prog.Isa.head
+  in
+  (* CALC_T active from position T: count = sum_T (9 - T) = 8+7+6+5 = 26 *)
+  Alcotest.(check int) "head sels" 26 head_sels
+
+let test_fetch_pressure () =
+  (* the §4.3 observation: the steady-state code the fetch path must
+     sustain grows linearly with the temporal degree *)
+  let size bt =
+    Isa.inner_loop_size
+      (Compile.kernel (star ~dims:2 1) (Config.make ~bt ~bs:[| 64 |] ()) ~degree:bt)
+  in
+  Alcotest.(check bool) "monotone in bt" true (size 8 > size 4 && size 4 > size 2);
+  (* register demand also grows with bt *)
+  let regs bt =
+    (Compile.kernel (star ~dims:2 1) (Config.make ~bt ~bs:[| 64 |] ()) ~degree:bt).Isa.n_regs
+  in
+  Alcotest.(check bool) "regs grow" true (regs 8 > regs 2)
+
+let test_general_layout () =
+  Alcotest.(check bool) "star layout" true
+    (Compile.layout_of (star ~dims:2 2) = Compile.Diag_free);
+  Alcotest.(check bool) "box layout" true
+    (Compile.layout_of (box ~dims:2 1) = Compile.General);
+  Alcotest.(check int) "star tile" 128 (Compile.tile_words (star ~dims:2 2) ~n_thr:128);
+  Alcotest.(check int) "box tile" (128 * 3) (Compile.tile_words (box ~dims:2 1) ~n_thr:128)
+
+(* --- stream division (§4.2) --- *)
+
+let test_stream_division_correct () =
+  check_exact "2d divided" (star ~dims:2 1)
+    (Config.make ~hs:(Some 8) ~bt:3 ~bs:[| 16 |] ())
+    [| 30; 40 |] ~steps:7;
+  check_exact "3d divided" (star ~dims:3 1)
+    (Config.make ~hs:(Some 5) ~bt:2 ~bs:[| 8; 10 |] ())
+    [| 12; 14; 15 |] ~steps:5;
+  check_exact "ragged stream blocks" (box ~dims:2 1)
+    (Config.make ~hs:(Some 7) ~bt:2 ~bs:[| 12 |] ())
+    [| 23; 17 |] ~steps:4
+
+let test_warmup_head_longer () =
+  let prog = Compile.kernel (star ~dims:2 1) (Config.make ~bt:4 ~bs:[| 32 |] ()) ~degree:4 in
+  (* lowermost: ceil((4+3)/3)*3 = 9; warmup: ceil((8+3)/3)*3 = 12 *)
+  Alcotest.(check int) "lowermost head" 9 (Array.length prog.Isa.head);
+  Alcotest.(check int) "warmup head" 12 (Array.length prog.Isa.warmup);
+  (* warmup CALC_T activates at 2*T*rad: fewer CALCs per early position *)
+  let sels blocks = Array.fold_left (fun a b -> a + (Isa.block_mix b).Isa.sel) 0 blocks in
+  Alcotest.(check bool) "warmup does redundant work later" true
+    (sels prog.Isa.warmup > 0 && sels prog.Isa.head > 0)
+
+let test_stream_division_traffic_matches_blocking () =
+  let cfg = Config.make ~hs:(Some 8) ~bt:2 ~bs:[| 14 |] () in
+  let dims = [| 26; 30 |] in
+  let pattern = star ~dims:2 1 in
+  let g = Stencil.Grid.init_random dims in
+  let m1 = Gpu.Machine.create Gpu.Device.v100 in
+  let em = Execmodel.make pattern cfg dims in
+  let blocked, _ = Blocking.run em ~machine:m1 ~steps:6 g in
+  let m2 = Gpu.Machine.create Gpu.Device.v100 in
+  let interpreted, _ = Interp.run pattern cfg ~machine:m2 ~steps:6 g in
+  Alcotest.(check (float 0.0)) "same result" 0.0
+    (Stencil.Grid.max_abs_diff blocked interpreted);
+  Alcotest.(check int) "gm reads equal (incl. warm-up redundancy)"
+    m1.Gpu.Machine.counters.Gpu.Counters.gm_reads
+    m2.Gpu.Machine.counters.Gpu.Counters.gm_reads;
+  Alcotest.(check int) "gm writes equal"
+    m1.Gpu.Machine.counters.Gpu.Counters.gm_writes
+    m2.Gpu.Machine.counters.Gpu.Counters.gm_writes
+
+let prop_interp_divided_equals_reference =
+  QCheck.Test.make ~name:"interp with stream division = reference" ~count:30
+    (QCheck.Gen.(
+       let* bt = int_range 1 3 in
+       let* extra = int_range 1 5 in
+       let* h = int_range 3 12 in
+       let* rows = int_range 10 30 in
+       let* cols = int_range 8 16 in
+       let* steps = int_range 1 6 in
+       return (bt, (2 * bt) + extra, h, rows, cols, steps))
+     |> QCheck.make ~print:(fun (b, bs, h, r, c, s) ->
+            Fmt.str "bt=%d bs=%d h=%d %dx%d steps=%d" b bs h r c s))
+    (fun (bt, bs, h, rows, cols, steps) ->
+      let pattern = star ~dims:2 1 in
+      let cfg = Config.make ~hs:(Some h) ~bt ~bs:[| bs |] () in
+      let g = Stencil.Grid.init_random [| rows; cols |] in
+      let reference = Stencil.Reference.run pattern ~steps g in
+      let machine = Gpu.Machine.create Gpu.Device.v100 in
+      let out, _ = Interp.run pattern cfg ~machine ~steps g in
+      Stencil.Grid.max_abs_diff reference out = 0.0)
+
+let prop_interp_equals_reference =
+  QCheck.Test.make ~name:"interp = reference (random configs)" ~count:40
+    (QCheck.Gen.(
+       let* rad = int_range 1 2 in
+       let* bt = int_range 1 3 in
+       let* extra = int_range 1 6 in
+       let* h = int_range (2 * rad) 24 in
+       let* w = int_range (2 * rad) 20 in
+       let* steps = int_range 0 6 in
+       let* is_star = bool in
+       return (rad, bt, (2 * bt * rad) + extra, h + 4, w + 4, steps, is_star))
+     |> QCheck.make ~print:(fun (r, b, bs, h, w, s, star) ->
+            Fmt.str "rad=%d bt=%d bs=%d %dx%d steps=%d star=%b" r b bs h w s star))
+    (fun (rad, bt, bs, h, w, steps, is_star) ->
+      let pattern = if is_star then star ~dims:2 rad else box ~dims:2 rad in
+      let cfg = Config.make ~bt ~bs:[| bs |] () in
+      let g = Stencil.Grid.init_random [| h; w |] in
+      let reference = Stencil.Reference.run pattern ~steps g in
+      let machine = Gpu.Machine.create Gpu.Device.v100 in
+      let out, _ = Interp.run pattern cfg ~machine ~steps g in
+      Stencil.Grid.max_abs_diff reference out = 0.0)
+
+let () =
+  Alcotest.run "ptx"
+    [
+      ( "correctness",
+        [
+          Alcotest.test_case "bit-exact" `Quick test_correctness;
+          Alcotest.test_case "f32" `Quick test_f32;
+          Alcotest.test_case "matches blocking" `Quick test_matches_blocking;
+        ] );
+      ( "instruction mix",
+        [
+          Alcotest.test_case "star CALC mix" `Quick test_calc_mix_star;
+          Alcotest.test_case "matches classify_ops" `Quick test_calc_mix_matches_classify;
+          Alcotest.test_case "Table 2 expected reads" `Quick test_smem_expected_counts;
+        ] );
+      ( "structure",
+        [
+          Alcotest.test_case "phases" `Quick test_program_structure;
+          Alcotest.test_case "fetch pressure" `Quick test_fetch_pressure;
+          Alcotest.test_case "layouts" `Quick test_general_layout;
+        ] );
+      ( "stream division",
+        [
+          Alcotest.test_case "correctness" `Quick test_stream_division_correct;
+          Alcotest.test_case "warmup head" `Quick test_warmup_head_longer;
+          Alcotest.test_case "traffic matches blocking" `Quick
+            test_stream_division_traffic_matches_blocking;
+          QCheck_alcotest.to_alcotest prop_interp_divided_equals_reference;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_interp_equals_reference ]);
+    ]

@@ -1,0 +1,76 @@
+(* Register-model tests (§4.2, §6.3, Fig 7). *)
+
+open An5d_core
+open Stencil
+
+let test_an5d_formulas () =
+  (* §6.3: float needs bT*(2rad+1) + bT + 20 *)
+  Alcotest.(check int) "float bt4 rad1" ((4 * 3) + 4 + 20)
+    (Registers.an5d_required ~prec:Grid.F32 ~bt:4 ~rad:1);
+  Alcotest.(check int) "float bt10 rad2" ((10 * 5) + 10 + 20)
+    (Registers.an5d_required ~prec:Grid.F32 ~bt:10 ~rad:2);
+  (* double: 2*bT*(2rad+1) + bT + 30 *)
+  Alcotest.(check int) "double bt4 rad1" ((2 * 4 * 3) + 4 + 30)
+    (Registers.an5d_required ~prec:Grid.F64 ~bt:4 ~rad:1)
+
+let test_limit_behavior () =
+  let a = Registers.an5d ~prec:Grid.F32 ~bt:4 ~rad:1 ~reg_limit:None in
+  Alcotest.(check int) "no limit uses required" a.Registers.required a.Registers.used;
+  Alcotest.(check bool) "no spill" false a.Registers.spills;
+  (* limit above requirement changes nothing *)
+  let b = Registers.an5d ~prec:Grid.F32 ~bt:4 ~rad:1 ~reg_limit:(Some 64) in
+  Alcotest.(check int) "loose limit" b.Registers.required b.Registers.used;
+  (* §7.1: at limit 32, AN5D does not spill for first/second-order Sconf kernels *)
+  List.iter
+    (fun rad ->
+      let r = Registers.an5d ~prec:Grid.F32 ~bt:4 ~rad ~reg_limit:(Some 32) in
+      Alcotest.(check bool) (Fmt.str "an5d rad %d no spill at 32" rad) false
+        r.Registers.spills)
+    [ 1; 2 ];
+  (* while STENCILGEN spills for the second-order stencils *)
+  let sg1 = Registers.stencilgen ~prec:Grid.F32 ~bt:4 ~rad:1 ~reg_limit:(Some 32) in
+  Alcotest.(check bool) "stencilgen rad1 ok at 32" false sg1.Registers.spills;
+  let sg2 = Registers.stencilgen ~prec:Grid.F32 ~bt:4 ~rad:2 ~reg_limit:(Some 32) in
+  Alcotest.(check bool) "stencilgen rad2 spills at 32" true sg2.Registers.spills
+
+let test_fig7_shape () =
+  (* Fig 7: STENCILGEN uses at least as many registers as AN5D for the
+     first-order kernels despite AN5D's +bT sub-plane registers. *)
+  List.iter
+    (fun rad ->
+      let a = Registers.an5d_required ~prec:Grid.F32 ~bt:4 ~rad in
+      let s = Registers.stencilgen_required ~prec:Grid.F32 ~bt:4 ~rad in
+      Alcotest.(check bool) (Fmt.str "rad %d: stencilgen >= an5d" rad) true (s >= a))
+    [ 1; 2; 3; 4 ]
+
+let test_feasibility () =
+  let v100 = Gpu.Device.v100 in
+  Alcotest.(check bool) "bt10 rad1 float feasible" true
+    (Registers.feasible v100 ~prec:Grid.F32 ~bt:10 ~rad:1 ~n_thr:256);
+  (* 255-register ceiling: double, high bt, high rad *)
+  Alcotest.(check bool) "bt16 rad4 double infeasible" false
+    (Registers.feasible v100 ~prec:Grid.F64 ~bt:16 ~rad:4 ~n_thr:256);
+  (* register file: big blocks with many registers *)
+  Alcotest.(check bool) "regfile bound" false
+    (Registers.feasible v100 ~prec:Grid.F64 ~bt:8 ~rad:2 ~n_thr:1024)
+
+let test_monotonicity () =
+  (* register demand grows with bt and rad *)
+  let f bt rad = Registers.an5d_required ~prec:Grid.F32 ~bt ~rad in
+  Alcotest.(check bool) "bt monotone" true (f 5 1 > f 4 1);
+  Alcotest.(check bool) "rad monotone" true (f 4 2 > f 4 1);
+  Alcotest.(check bool) "double > float" true
+    (Registers.an5d_required ~prec:Grid.F64 ~bt:4 ~rad:1 > f 4 1)
+
+let () =
+  Alcotest.run "registers"
+    [
+      ( "registers",
+        [
+          Alcotest.test_case "an5d formulas" `Quick test_an5d_formulas;
+          Alcotest.test_case "limits and spilling" `Quick test_limit_behavior;
+          Alcotest.test_case "fig7 shape" `Quick test_fig7_shape;
+          Alcotest.test_case "feasibility pruning" `Quick test_feasibility;
+          Alcotest.test_case "monotonicity" `Quick test_monotonicity;
+        ] );
+    ]

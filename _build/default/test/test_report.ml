@@ -1,0 +1,90 @@
+(* Table/CSV rendering tests for the experiment harness's Report
+   library. *)
+
+open Report
+
+let test_render_alignment () =
+  let lines =
+    Tabular.render
+      ~header:[ "name"; "value" ]
+      ~rows:[ [ "a"; "1" ]; [ "longer"; "12345" ] ]
+  in
+  Alcotest.(check (list string)) "layout"
+    [
+      "name   | value";
+      "-------+------";
+      "a      |     1";
+      "longer | 12345";
+    ]
+    lines
+
+let test_render_ragged () =
+  let lines = Tabular.render ~header:[ "a"; "b"; "c" ] ~rows:[ [ "x" ] ] in
+  Alcotest.(check int) "three lines" 3 (List.length lines);
+  (* missing cells become empty, row still has all separators *)
+  Alcotest.(check string) "padded row" "x |   |  " (List.nth lines 2)
+
+let test_widths () =
+  Alcotest.(check (list int)) "per-column max" [ 6; 5 ]
+    (Tabular.widths ~header:[ "name"; "value" ]
+       ~rows:[ [ "a"; "1" ]; [ "longer"; "12345" ] ])
+
+let test_csv_escaping () =
+  Alcotest.(check string) "plain" "abc" (Tabular.csv_escape "abc");
+  Alcotest.(check string) "comma" "\"a,b\"" (Tabular.csv_escape "a,b");
+  Alcotest.(check string) "quote doubled" "\"say \"\"hi\"\"\"" (Tabular.csv_escape "say \"hi\"");
+  Alcotest.(check string) "newline" "\"a\nb\"" (Tabular.csv_escape "a\nb");
+  Alcotest.(check string) "line" "a,\"b,c\",d" (Tabular.csv_line [ "a"; "b,c"; "d" ])
+
+let test_to_csv () =
+  Alcotest.(check string) "document" "h1,h2\n1,2\n"
+    (Tabular.to_csv ~header:[ "h1"; "h2" ] ~rows:[ [ "1"; "2" ] ])
+
+let test_slug () =
+  Alcotest.(check string) "basic" "table-5-tuned-configs" (Tabular.slug "Table 5 Tuned configs");
+  Alcotest.(check string) "specials dropped" "fig-6-v100-float" (Tabular.slug "Fig 6 -- V100 (float)");
+  Alcotest.(check string) "no repeats" "a-b" (Tabular.slug "a   -   b");
+  Alcotest.(check string) "empty fallback" "table" (Tabular.slug "!!!");
+  Alcotest.(check bool) "capped" true (String.length (Tabular.slug (String.make 100 'x')) <= 48)
+
+(* round trip: any cells survive CSV escaping unambiguously *)
+let prop_csv_roundtrip =
+  let unescape s =
+    if String.length s >= 2 && s.[0] = '"' then begin
+      (* strip outer quotes, collapse doubled quotes *)
+      let inner = String.sub s 1 (String.length s - 2) in
+      let b = Buffer.create (String.length inner) in
+      let i = ref 0 in
+      while !i < String.length inner do
+        if inner.[!i] = '"' && !i + 1 < String.length inner && inner.[!i + 1] = '"'
+        then begin
+          Buffer.add_char b '"';
+          i := !i + 2
+        end
+        else begin
+          Buffer.add_char b inner.[!i];
+          incr i
+        end
+      done;
+      Buffer.contents b
+    end
+    else s
+  in
+  QCheck.Test.make ~name:"csv escape round-trips" ~count:200
+    QCheck.(string_gen_of_size (QCheck.Gen.int_range 0 20) QCheck.Gen.printable)
+    (fun s -> unescape (Tabular.csv_escape s) = s)
+
+let () =
+  Alcotest.run "report"
+    [
+      ( "tabular",
+        [
+          Alcotest.test_case "alignment" `Quick test_render_alignment;
+          Alcotest.test_case "ragged rows" `Quick test_render_ragged;
+          Alcotest.test_case "widths" `Quick test_widths;
+          Alcotest.test_case "csv escaping" `Quick test_csv_escaping;
+          Alcotest.test_case "to_csv" `Quick test_to_csv;
+          Alcotest.test_case "slug" `Quick test_slug;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_csv_roundtrip ]);
+    ]

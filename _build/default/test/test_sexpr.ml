@@ -1,0 +1,145 @@
+(* Stencil expression IR tests: FLOP counting (Table 3 convention),
+   op classification for eff_ALU (§5), associativity analysis (§4.1),
+   and evaluation. *)
+
+open Stencil
+
+let star2 rad = Sexpr.weighted_sum (Shape.star_offsets ~dims:2 ~rad)
+
+let box2 rad = Sexpr.weighted_sum (Shape.box_offsets ~dims:2 ~rad)
+
+let test_flops_weighted_sums () =
+  Alcotest.(check int) "star2d1r" 9 (Sexpr.flops (star2 1));
+  Alcotest.(check int) "star2d4r" 33 (Sexpr.flops (star2 4));
+  Alcotest.(check int) "box2d2r" 49 (Sexpr.flops (box2 2));
+  Alcotest.(check int) "division adds one" 10
+    (Sexpr.flops (Sexpr.Div (star2 1, Sexpr.Param "c0")))
+
+let test_flops_fast_math () =
+  let inner = Sexpr.Param "c0" in
+  Alcotest.(check int) "rsqrt fusion: 1/sqrt(x) is 1 op" 1
+    (Sexpr.flops (Sexpr.Div (Sexpr.Const 1.0, Sexpr.Sqrt inner)));
+  Alcotest.(check int) "x/sqrt(y) is 2 ops" 2
+    (Sexpr.flops (Sexpr.Div (Sexpr.Param "a", Sexpr.Sqrt inner)));
+  Alcotest.(check int) "bare sqrt is 1 op" 1 (Sexpr.flops (Sexpr.Sqrt inner))
+
+let test_ops_classification () =
+  (* star2d1r: 5 muls, 4 adds -> 4 FMA + 1 mul (§5) *)
+  let ops = Sexpr.classify_ops (star2 1) in
+  Alcotest.(check int) "fma" 4 ops.Sexpr.fma;
+  Alcotest.(check int) "mul" 1 ops.Sexpr.mul;
+  Alcotest.(check int) "add" 0 ops.Sexpr.add;
+  Alcotest.(check int) "weighted = table3 flops" 9 (Sexpr.weighted_flops ops);
+  (* eff_ALU = (2*fma + rest) / (2 * total ops) = 9/10 *)
+  Alcotest.(check (float 1e-9)) "eff_alu" 0.9 (Sexpr.alu_efficiency ops)
+
+let test_ops_division_expansion () =
+  (* j2d5pt: division by c0 expands into the sum -> one extra mul that
+     fuses; 6 muls 4 adds -> 4 fma + 2 mul; weighted = 10 = Table 3 *)
+  let e = Sexpr.Div (star2 1, Sexpr.Param "c0") in
+  let ops = Sexpr.classify_ops e in
+  Alcotest.(check int) "weighted flops" 10 (Sexpr.weighted_flops ops);
+  Alcotest.(check int) "no special ops" 0 ops.Sexpr.other
+
+let test_uses_division () =
+  Alcotest.(check bool) "plain sum" false (Sexpr.uses_division (star2 1));
+  Alcotest.(check bool) "jacobi" true
+    (Sexpr.uses_division (Sexpr.Div (star2 1, Sexpr.Param "c0")));
+  Alcotest.(check bool) "sqrt" true (Sexpr.uses_sqrt (Sexpr.Sqrt (Sexpr.Param "x")))
+
+let test_offsets_params () =
+  let e = Sexpr.Div (star2 2, Sexpr.Param "c0") in
+  Alcotest.(check int) "offsets" 9 (List.length (Sexpr.offsets e));
+  Alcotest.(check (list string)) "params" [ "c0" ] (Sexpr.params e)
+
+let test_associativity () =
+  Alcotest.(check bool) "weighted box sum" true (Sexpr.is_associative (box2 1));
+  Alcotest.(check bool) "with final division" true
+    (Sexpr.is_associative (Sexpr.Div (box2 1, Sexpr.Param "c0")));
+  (* a product of sums across planes is not associative *)
+  let bad =
+    Sexpr.Mul
+      ( Sexpr.Add (Sexpr.Cell [| -1; 0 |], Sexpr.Cell [| 0; 0 |]),
+        Sexpr.Cell [| 1; 0 |] )
+  in
+  Alcotest.(check bool) "cross-plane product" false (Sexpr.is_associative bad);
+  (* sqrt of a sum: gradient-like, not a plain sum *)
+  Alcotest.(check bool) "sqrt wrapper" false
+    (Sexpr.is_associative (Sexpr.Sqrt (box2 1)))
+
+let test_partial_sums () =
+  match Sexpr.partial_sums (Sexpr.Div (box2 1, Sexpr.Param "c0")) with
+  | Some (groups, post) ->
+      Alcotest.(check (list int)) "planes" [ -1; 0; 1 ] (List.map fst groups);
+      (* the reassembled expression evaluates to the same value *)
+      let reassembled =
+        post
+          (List.fold_left
+             (fun acc (_, e) -> match acc with None -> Some e | Some a -> Some (Sexpr.Add (a, e)))
+             None groups
+          |> Option.get)
+      in
+      let read off = 1.0 +. (0.5 *. float off.(0)) +. (0.25 *. float off.(1)) in
+      let param _ = 2.5 in
+      let v1 = Sexpr.compile ~param (Sexpr.Div (box2 1, Sexpr.Param "c0")) read in
+      let v2 = Sexpr.compile ~param reassembled read in
+      Alcotest.(check (float 1e-12)) "same value" v1 v2
+  | None -> Alcotest.fail "box sum should be associative"
+
+let test_compile_eval () =
+  (* (2*f(0,0) + 3) / c0 with f(0,0) = 5, c0 = 2 -> 6.5 *)
+  let e =
+    Sexpr.Div
+      ( Sexpr.Add (Sexpr.Mul (Sexpr.Const 2.0, Sexpr.Cell [| 0; 0 |]), Sexpr.Const 3.0),
+        Sexpr.Param "c0" )
+  in
+  let v = Sexpr.compile ~param:(fun _ -> 2.0) e (fun _ -> 5.0) in
+  Alcotest.(check (float 1e-12)) "eval" 6.5 v;
+  (* sqrt and neg *)
+  let e2 = Sexpr.Neg (Sexpr.Sqrt (Sexpr.Const 9.0)) in
+  Alcotest.(check (float 1e-12)) "sqrt/neg" (-3.0)
+    (Sexpr.compile ~param:(fun _ -> 0.0) e2 (fun _ -> 0.0))
+
+let test_coef_deterministic () =
+  let a = Sexpr.coef_value [| 1; -1 |] and b = Sexpr.coef_value [| 1; -1 |] in
+  Alcotest.(check (float 0.0)) "stable" a b;
+  Alcotest.(check bool) "in range" true (a >= 0.05 && a < 0.2);
+  Alcotest.(check bool) "distinct offsets differ" true
+    (Sexpr.coef_value [| 0; 0 |] <> Sexpr.coef_value [| 0; 1 |])
+
+(* Property: weighted_flops of classify_ops equals flops for pure
+   weighted sums of any star/box shape (the Table 3 consistency). *)
+let prop_weighted_consistency =
+  QCheck.Test.make ~name:"classify_ops consistent with flops on sums" ~count:50
+    (QCheck.triple (QCheck.int_range 1 3) (QCheck.int_range 1 3) QCheck.bool)
+    (fun (dims, rad, star) ->
+      let offs =
+        if star then Shape.star_offsets ~dims ~rad else Shape.box_offsets ~dims ~rad
+      in
+      let e = Sexpr.weighted_sum offs in
+      Sexpr.weighted_flops (Sexpr.classify_ops e) = Sexpr.flops e)
+
+let () =
+  Alcotest.run "sexpr"
+    [
+      ( "flops",
+        [
+          Alcotest.test_case "weighted sums" `Quick test_flops_weighted_sums;
+          Alcotest.test_case "fast math" `Quick test_flops_fast_math;
+          Alcotest.test_case "op classification" `Quick test_ops_classification;
+          Alcotest.test_case "division expansion" `Quick test_ops_division_expansion;
+          Alcotest.test_case "uses division/sqrt" `Quick test_uses_division;
+        ] );
+      ( "analysis",
+        [
+          Alcotest.test_case "offsets and params" `Quick test_offsets_params;
+          Alcotest.test_case "associativity" `Quick test_associativity;
+          Alcotest.test_case "partial sums" `Quick test_partial_sums;
+        ] );
+      ( "evaluation",
+        [
+          Alcotest.test_case "compile/eval" `Quick test_compile_eval;
+          Alcotest.test_case "coef determinism" `Quick test_coef_deterministic;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_weighted_consistency ]);
+    ]

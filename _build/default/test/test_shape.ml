@@ -1,0 +1,72 @@
+(* Shape classification tests (§2.1): star vs box vs general, radii,
+   offset generators. *)
+
+open Stencil
+
+let test_star_offsets () =
+  Alcotest.(check int) "2D star rad 1" 5 (List.length (Shape.star_offsets ~dims:2 ~rad:1));
+  Alcotest.(check int) "2D star rad 4" 17 (List.length (Shape.star_offsets ~dims:2 ~rad:4));
+  Alcotest.(check int) "3D star rad 1" 7 (List.length (Shape.star_offsets ~dims:3 ~rad:1));
+  Alcotest.(check int) "3D star rad 3" 19 (List.length (Shape.star_offsets ~dims:3 ~rad:3))
+
+let test_box_offsets () =
+  Alcotest.(check int) "2D box rad 1" 9 (List.length (Shape.box_offsets ~dims:2 ~rad:1));
+  Alcotest.(check int) "2D box rad 2" 25 (List.length (Shape.box_offsets ~dims:2 ~rad:2));
+  Alcotest.(check int) "3D box rad 1" 27 (List.length (Shape.box_offsets ~dims:3 ~rad:1));
+  Alcotest.(check int) "3D box rad 4" 729 (List.length (Shape.box_offsets ~dims:3 ~rad:4))
+
+let test_radius () =
+  Alcotest.(check int) "star radius" 3 (Shape.radius (Shape.star_offsets ~dims:2 ~rad:3));
+  Alcotest.(check int) "box radius" 2 (Shape.radius (Shape.box_offsets ~dims:3 ~rad:2));
+  Alcotest.(check int) "single point" 0 (Shape.radius [ [| 0; 0 |] ])
+
+let kind = Alcotest.testable Shape.pp_kind ( = )
+
+let test_classify () =
+  Alcotest.check kind "star" Shape.Star (Shape.classify (Shape.star_offsets ~dims:2 ~rad:2));
+  Alcotest.check kind "box" Shape.Box (Shape.classify (Shape.box_offsets ~dims:3 ~rad:1));
+  Alcotest.check kind "point is star" Shape.Star (Shape.classify [ [| 0; 0 |] ]);
+  (* a box missing one corner is General *)
+  let partial =
+    List.filter (fun o -> o <> [| 1; 1 |]) (Shape.box_offsets ~dims:2 ~rad:1)
+  in
+  Alcotest.check kind "partial box" Shape.General (Shape.classify partial);
+  (* an L-shaped access with a diagonal is General *)
+  Alcotest.check kind "diagonal only" Shape.General
+    (Shape.classify [ [| 0; 0 |]; [| 1; 1 |] ])
+
+let test_sorted_unique () =
+  let offs = Shape.star_offsets ~dims:2 ~rad:1 in
+  let doubled = Shape.sort_offsets (offs @ offs) in
+  Alcotest.(check int) "dedup" (List.length offs) (List.length doubled)
+
+(* Property: stars are always subsets of the same-radius box. *)
+let prop_star_subset_box =
+  QCheck.Test.make ~name:"star subset of box" ~count:50
+    (QCheck.pair (QCheck.int_range 1 3) (QCheck.int_range 1 4))
+    (fun (dims, rad) ->
+      let star = Shape.star_offsets ~dims ~rad in
+      let box = Shape.box_offsets ~dims ~rad in
+      List.for_all (fun o -> List.exists (fun b -> b = o) box) star)
+
+let prop_box_size =
+  QCheck.Test.make ~name:"box has (2r+1)^d points" ~count:50
+    (QCheck.pair (QCheck.int_range 1 3) (QCheck.int_range 1 3))
+    (fun (dims, rad) ->
+      List.length (Shape.box_offsets ~dims ~rad)
+      = int_of_float (float ((2 * rad) + 1) ** float dims))
+
+let () =
+  Alcotest.run "shape"
+    [
+      ( "shape",
+        [
+          Alcotest.test_case "star offsets" `Quick test_star_offsets;
+          Alcotest.test_case "box offsets" `Quick test_box_offsets;
+          Alcotest.test_case "radius" `Quick test_radius;
+          Alcotest.test_case "classification" `Quick test_classify;
+          Alcotest.test_case "sorted unique" `Quick test_sorted_unique;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_star_subset_box; prop_box_size ] );
+    ]

@@ -1,0 +1,255 @@
+(* Multi-statement stencil systems (§8 future work): IR, reference
+   executor, and the multi-output N.5D prototype. *)
+
+open An5d_core
+open Stencil
+
+(* Damped wave equation as a 2-component first-order system:
+   u' = u + dt * v
+   v' = d * v + c * Laplacian(u)  *)
+let wave2d =
+  let dt = 0.3 and c = 0.25 and d = 0.995 in
+  let u o = System.Read (0, o) and v o = System.Read (1, o) in
+  let laplacian =
+    System.Add
+      ( System.Add
+          (System.Add (u [| -1; 0 |], u [| 1; 0 |]),
+           System.Add (u [| 0; -1 |], u [| 0; 1 |])),
+        System.Mul (System.Const (-4.0), u [| 0; 0 |]) )
+  in
+  System.make ~name:"wave2d" ~dims:2 ~params:[]
+    [
+      ("u", System.Add (u [| 0; 0 |], System.Mul (System.Const dt, v [| 0; 0 |])));
+      ("v",
+       System.Add
+         (System.Mul (System.Const d, v [| 0; 0 |]),
+          System.Mul (System.Const c, laplacian)));
+    ]
+
+(* Reaction-diffusion pair with cross-coupling and division. *)
+let react2d =
+  let a o = System.Read (0, o) and b o = System.Read (1, o) in
+  let avg f =
+    System.Mul
+      ( System.Const 0.2,
+        System.Add
+          ( System.Add (System.Add (f [| -1; 0 |], f [| 1; 0 |]), f [| 0; 0 |]),
+            System.Add (f [| 0; -1 |], f [| 0; 1 |]) ) )
+  in
+  System.make ~name:"react2d" ~dims:2 ~params:[ ("k", 3.0) ]
+    [
+      ("a", System.Add (avg a, System.Div (b [| 0; 0 |], System.Param "k")));
+      ("b", System.Sub (avg b, System.Div (a [| 0; 0 |], System.Param "k")));
+    ]
+
+let init_pair dims =
+  [ Grid.init_random dims; Grid.init_random ~seed:7 dims ]
+
+(* --- IR --- *)
+
+let test_ir () =
+  Alcotest.(check int) "components" 2 (System.n_components wave2d);
+  Alcotest.(check int) "radius" 1 (System.radius wave2d);
+  (* u update reads u and v at the center; v update reads 5 u's and v *)
+  let u_expr = List.assoc "u" wave2d.System.components in
+  let v_expr = List.assoc "v" wave2d.System.components in
+  Alcotest.(check int) "u reads of u" 1 (List.length (System.reads_of ~component:0 u_expr));
+  Alcotest.(check int) "v reads of u" 5 (List.length (System.reads_of ~component:0 v_expr));
+  Alcotest.(check bool) "flops positive" true (System.flops_per_cell wave2d > 0)
+
+let test_validation () =
+  let bad () =
+    System.make ~name:"bad" ~dims:2 ~params:[]
+      [ ("x", System.Read (3, [| 0; 0 |])) ]
+  in
+  (match bad () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected component range check");
+  match
+    System.make ~name:"bad2" ~dims:2 ~params:[] [ ("x", System.Read (0, [| 0 |])) ]
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected rank check"
+
+(* --- reference --- *)
+
+let test_reference_conservation () =
+  (* with zero velocity and pure averaging, a constant field is a fixed
+     point of the wave system *)
+  let dims = [| 12; 12 |] in
+  let u0 = Grid.init dims (fun _ -> 5.0) in
+  let v0 = Grid.init dims (fun _ -> 0.0) in
+  match System.run wave2d ~steps:5 [ u0; v0 ] with
+  | [ u; v ] ->
+      Alcotest.(check (float 0.0)) "u constant" 0.0 (Grid.max_abs_diff u0 u);
+      Alcotest.(check (float 0.0)) "v zero" 0.0 (Grid.max_abs_diff v0 v)
+  | _ -> Alcotest.fail "two components expected"
+
+let test_reference_boundary () =
+  let dims = [| 10; 10 |] in
+  let gs = init_pair dims in
+  match System.run wave2d ~steps:4 gs with
+  | [ u; _ ] ->
+      Alcotest.(check (float 0.0)) "boundary frozen"
+        (Grid.get (List.hd gs) [| 0; 5 |])
+        (Grid.get u [| 0; 5 |])
+  | _ -> Alcotest.fail "two components expected"
+
+(* --- multi-output blocked executor --- *)
+
+let check_blocked sys cfg dims ~steps =
+  let gs = init_pair dims in
+  let reference = System.run sys ~steps gs in
+  let machine = Gpu.Machine.create Gpu.Device.v100 in
+  let blocked, stats = Multi_blocking.run sys cfg ~machine ~steps gs in
+  List.iter2
+    (fun r b ->
+      Alcotest.(check (float 0.0)) "component bit-exact" 0.0 (Grid.max_abs_diff r b))
+    reference blocked;
+  stats
+
+let test_blocked_wave () =
+  let cfg = Config.make ~bt:2 ~bs:[| 14 |] () in
+  let stats = check_blocked wave2d cfg [| 22; 26 |] ~steps:6 in
+  Alcotest.(check int) "two components" 2 stats.Multi_blocking.components;
+  (* 6 steps at bt=2: the parity rule (§4.3) splits one chunk -> 4 calls *)
+  Alcotest.(check int) "calls" 4 stats.Multi_blocking.kernel_calls
+
+let test_blocked_wave_bt3 () =
+  ignore (check_blocked wave2d (Config.make ~bt:3 ~bs:[| 20 |] ()) [| 30; 24 |] ~steps:7)
+
+let test_blocked_react () =
+  ignore (check_blocked react2d (Config.make ~bt:2 ~bs:[| 12 |] ()) [| 20; 20 |] ~steps:5)
+
+let test_resources_scale_with_components () =
+  let cfg = Config.make ~bt:4 ~bs:[| 32 |] () in
+  let regs2 = Multi_blocking.regs_required wave2d ~prec:Grid.F32 ~bt:4 in
+  let single =
+    Registers.an5d_required ~prec:Grid.F32 ~bt:4 ~rad:1
+  in
+  Alcotest.(check bool) "2-component regs > single" true (regs2 > single);
+  Alcotest.(check int) "two double-buffered tiles" (2 * 2 * 32)
+    (Multi_blocking.smem_words wave2d cfg)
+
+let test_launch_failure () =
+  (* deep temporal blocking on a 2-component double-precision system
+     blows the 255-register budget: 2*18*6 + 18 + 30 = 264 *)
+  let cfg = Config.make ~bt:18 ~bs:[| 64 |] () in
+  let dims = [| 80; 80 |] in
+  let gs = init_pair dims in
+  let machine = Gpu.Machine.create ~prec:Grid.F64 Gpu.Device.v100 in
+  match Multi_blocking.run wave2d cfg ~machine ~steps:36 gs with
+  | exception Gpu.Machine.Launch_failure _ -> ()
+  | _ -> Alcotest.fail "expected register launch failure"
+
+(* --- multi-output codegen --- *)
+
+let contains hay needle =
+  let n = String.length needle and h = String.length hay in
+  let rec at i = i + n <= h && (String.sub hay i n = needle || at (i + 1)) in
+  at 0
+
+let count_substring hay needle =
+  let n = String.length needle and h = String.length hay in
+  let rec go i acc =
+    if i + n > h then acc
+    else if String.sub hay i n = needle then go (i + 1) (acc + 1)
+    else go (i + 1) acc
+  in
+  go 0 0
+
+let test_codegen_structure () =
+  let cg =
+    Multi_codegen.make ~system:wave2d
+      ~config:(Config.make ~bt:2 ~bs:[| 64 |] ())
+      ~prec:Grid.F64 ~dims:[| 256; 256 |]
+  in
+  let src = Multi_codegen.generate cg in
+  Alcotest.(check bool) "star layout" true (Multi_codegen.star_layout cg);
+  (* per-component register files and tiles *)
+  Alcotest.(check bool) "component-0 regs" true (contains src "reg_0_0_0");
+  Alcotest.(check bool) "component-1 regs" true (contains src "reg_1_2_2");
+  Alcotest.(check bool) "two tiles" true
+    (contains src "__sb0[2][__TILE]" && contains src "__sb1[2][__TILE]");
+  (* token-pasting register macro *)
+  Alcotest.(check bool) "RG macro" true (contains src "#define RG(c, t, m) reg_##c##_##t##_##m");
+  (* both components' arrays in the kernel signature *)
+  Alcotest.(check bool) "in0" true (contains src "__gmem_in0");
+  Alcotest.(check bool) "out1" true (contains src "__gmem_out1");
+  (* phases present, host with tail branches *)
+  Alcotest.(check bool) "head" true (contains src "head phase");
+  Alcotest.(check bool) "steady" true (contains src "steady state");
+  Alcotest.(check bool) "host" true (contains src "void wave2d_host(");
+  Alcotest.(check bool) "tail branch" true (contains src "(remaining == 4)")
+
+let test_codegen_kernels_per_degree () =
+  let cg =
+    Multi_codegen.make ~system:wave2d
+      ~config:(Config.make ~bt:3 ~bs:[| 64 |] ())
+      ~prec:Grid.F32 ~dims:[| 128; 128 |]
+  in
+  let src = Multi_codegen.generate cg in
+  List.iter
+    (fun d ->
+      Alcotest.(check bool)
+        (Fmt.str "kernel bt%d" d)
+        true
+        (contains src (Fmt.str "__global__ void kernel_wave2d_bt%d" d)))
+    (Multi_codegen.kernel_degrees cg);
+  (* every CALC advances both components: two RG(·, T, ·) assignments in
+     the interior branch per CALC macro *)
+  Alcotest.(check bool) "calc updates both" true
+    (count_substring src "RG(1, 1, k1) =" >= 1)
+
+let test_codegen_deterministic () =
+  let mk () =
+    Multi_codegen.generate
+      (Multi_codegen.make ~system:react2d
+         ~config:(Config.make ~bt:2 ~bs:[| 32 |] ())
+         ~prec:Grid.F64 ~dims:[| 64; 64 |])
+  in
+  Alcotest.(check string) "deterministic" (mk ()) (mk ())
+
+let prop_blocked_matches_reference =
+  QCheck.Test.make ~name:"multi-output blocking = reference" ~count:30
+    (QCheck.triple (QCheck.int_range 1 3) (QCheck.int_range 1 8)
+       (QCheck.pair (QCheck.int_range 10 26) (QCheck.int_range 10 22)))
+    (fun (bt, extra, (h, w)) ->
+      let bs = [| (2 * bt) + extra |] in
+      let cfg = Config.make ~bt ~bs () in
+      let dims = [| h; w |] in
+      let gs = init_pair dims in
+      let reference = System.run wave2d ~steps:5 gs in
+      let machine = Gpu.Machine.create Gpu.Device.v100 in
+      let blocked, _ = Multi_blocking.run wave2d cfg ~machine ~steps:5 gs in
+      List.for_all2 (fun r b -> Grid.max_abs_diff r b = 0.0) reference blocked)
+
+let () =
+  Alcotest.run "system"
+    [
+      ( "ir",
+        [
+          Alcotest.test_case "structure" `Quick test_ir;
+          Alcotest.test_case "validation" `Quick test_validation;
+        ] );
+      ( "reference",
+        [
+          Alcotest.test_case "fixed point" `Quick test_reference_conservation;
+          Alcotest.test_case "boundary" `Quick test_reference_boundary;
+        ] );
+      ( "multi-output blocking",
+        [
+          Alcotest.test_case "wave bt2" `Quick test_blocked_wave;
+          Alcotest.test_case "wave bt3" `Quick test_blocked_wave_bt3;
+          Alcotest.test_case "reaction pair" `Quick test_blocked_react;
+          Alcotest.test_case "resource scaling" `Quick test_resources_scale_with_components;
+          Alcotest.test_case "launch failure" `Quick test_launch_failure;
+          QCheck_alcotest.to_alcotest prop_blocked_matches_reference;
+        ] );
+      ( "multi-output codegen",
+        [
+          Alcotest.test_case "structure" `Quick test_codegen_structure;
+          Alcotest.test_case "kernels per degree" `Quick test_codegen_kernels_per_degree;
+          Alcotest.test_case "deterministic" `Quick test_codegen_deterministic;
+        ] );
+    ]

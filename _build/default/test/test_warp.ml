@@ -1,0 +1,154 @@
+(* Warp analysis tests (§8 future work) and the partial-sums execution
+   mode of the associative path (§4.1). *)
+
+open An5d_core
+
+let star3d1r =
+  Stencil.Pattern.make ~name:"star3d1r" ~dims:3 ~params:[]
+    (Stencil.Sexpr.weighted_sum (Stencil.Shape.star_offsets ~dims:3 ~rad:1))
+
+let star2d1r =
+  Stencil.Pattern.make ~name:"star2d1r" ~dims:2 ~params:[]
+    (Stencil.Sexpr.weighted_sum (Stencil.Shape.star_offsets ~dims:2 ~rad:1))
+
+let box2d1r =
+  Stencil.Pattern.make ~name:"box2d1r" ~dims:2 ~params:[]
+    (Stencil.Sexpr.weighted_sum (Stencil.Shape.box_offsets ~dims:2 ~rad:1))
+
+let em pattern ~bt ~bs dims = Execmodel.make pattern (Config.make ~bt ~bs ()) dims
+
+(* --- warp census --- *)
+
+let test_census_3d () =
+  (* 32x32 block, warps = rows of 32 threads. At tstep T with rad 1,
+     rows 0..T-1 and rows 31-T+1..31 are fully idle: 2*T idle warps. *)
+  let m = em star3d1r ~bt:4 ~bs:[| 32; 32 |] [| 64; 64; 64 |] in
+  List.iter
+    (fun tstep ->
+      let c = Warp.census m ~tstep in
+      Alcotest.(check int) (Fmt.str "T=%d total" tstep) 32 c.Warp.total_warps;
+      Alcotest.(check int) (Fmt.str "T=%d idle" tstep) (2 * tstep) c.Warp.idle_warps;
+      (* every remaining warp has halo lanes at its two ends *)
+      Alcotest.(check int)
+        (Fmt.str "T=%d partial" tstep)
+        (32 - (2 * tstep))
+        c.Warp.partial_warps)
+    [ 1; 2; 3; 4 ]
+
+let test_census_2d () =
+  (* 1D block of 256 threads: halo of T*rad at each end; fully idle
+     warps appear only when the halo covers whole 32-lane groups. *)
+  let m = em star2d1r ~bt:10 ~bs:[| 256 |] [| 512; 512 |] in
+  let c1 = Warp.census m ~tstep:1 in
+  Alcotest.(check int) "T=1: no idle warps" 0 c1.Warp.idle_warps;
+  Alcotest.(check int) "T=1: two divergent ends" 2 c1.Warp.partial_warps;
+  let c10 = Warp.census m ~tstep:10 in
+  Alcotest.(check int) "T=10 halo of 10 < 32: still no idle" 0 c10.Warp.idle_warps;
+  (* with rad 4 the halo reaches 40 threads at T=10: one idle warp each end *)
+  let star2d4r =
+    Stencil.Pattern.make ~name:"star2d4r" ~dims:2 ~params:[]
+      (Stencil.Sexpr.weighted_sum (Stencil.Shape.star_offsets ~dims:2 ~rad:4))
+  in
+  let m4 = em star2d4r ~bt:10 ~bs:[| 256 |] [| 512; 512 |] in
+  let c = Warp.census m4 ~tstep:10 in
+  Alcotest.(check int) "rad4 T=10: two idle warps" 2 c.Warp.idle_warps
+
+let test_idle_fraction () =
+  let m = em star3d1r ~bt:4 ~bs:[| 32; 32 |] [| 64; 64; 64 |] in
+  (* idle warps over T=1..4: 2+4+6+8 = 20 of 128 slots *)
+  Alcotest.(check (float 1e-9)) "fraction" (20.0 /. 128.0) (Warp.idle_fraction m);
+  Alcotest.(check (float 1e-9)) "speedup bound" (128.0 /. 108.0)
+    (Warp.elimination_speedup m);
+  (* higher temporal degree -> more idle work to eliminate *)
+  let m2 = em star3d1r ~bt:8 ~bs:[| 32; 32 |] [| 64; 64; 64 |] in
+  Alcotest.(check bool) "grows with bt" true
+    (Warp.idle_fraction m2 > Warp.idle_fraction m);
+  Alcotest.(check int) "profile length" 4 (List.length (Warp.profile m))
+
+(* --- partial-sums execution mode --- *)
+
+let run_mode mode pattern cfg dims ~steps =
+  let g = Stencil.Grid.init_random dims in
+  let em = Execmodel.make pattern cfg dims in
+  let machine = Gpu.Machine.create Gpu.Device.v100 in
+  let out, _ = Blocking.run ~mode em ~machine ~steps g in
+  (g, out, machine)
+
+let test_partial_sums_box () =
+  let cfg = Config.make ~bt:2 ~bs:[| 12 |] () in
+  let dims = [| 20; 28 |] in
+  let g, out, _ = run_mode Blocking.Partial_sums box2d1r cfg dims ~steps:5 in
+  let reference = Stencil.Reference.run box2d1r ~steps:5 g in
+  let err = Stencil.Grid.rel_l2_error reference out in
+  (* reassociated but numerically equivalent *)
+  Alcotest.(check bool) "tiny reassociation error" true (err < 1e-12);
+  Alcotest.(check bool) "results differ in last bits or agree" true
+    (Stencil.Grid.max_abs_diff reference out < 1e-12)
+
+let test_partial_sums_jacobi_post () =
+  (* division post-op applied after the partial sums *)
+  let p =
+    Stencil.Pattern.make ~name:"gol" ~dims:2 ~params:[ ("c0", 2.5) ]
+      (Stencil.Sexpr.Div
+         ( Stencil.Sexpr.weighted_sum (Stencil.Shape.box_offsets ~dims:2 ~rad:1),
+           Stencil.Sexpr.Param "c0" ))
+  in
+  let cfg = Config.make ~bt:2 ~bs:[| 14 |] () in
+  let dims = [| 22; 24 |] in
+  let g, out, _ = run_mode Blocking.Partial_sums p cfg dims ~steps:4 in
+  let reference = Stencil.Reference.run p ~steps:4 g in
+  Alcotest.(check bool) "post-op correct" true
+    (Stencil.Grid.rel_l2_error reference out < 1e-12)
+
+let test_partial_sums_traffic_identical () =
+  (* the evaluation strategy must not change the traffic accounting *)
+  let cfg = Config.make ~bt:2 ~bs:[| 12 |] () in
+  let dims = [| 20; 28 |] in
+  let _, _, m_direct = run_mode Blocking.Direct box2d1r cfg dims ~steps:4 in
+  let _, _, m_partial = run_mode Blocking.Partial_sums box2d1r cfg dims ~steps:4 in
+  let c1 = m_direct.Gpu.Machine.counters and c2 = m_partial.Gpu.Machine.counters in
+  Alcotest.(check int) "gm reads" c1.Gpu.Counters.gm_reads c2.Gpu.Counters.gm_reads;
+  Alcotest.(check int) "sm reads" c1.Gpu.Counters.sm_reads c2.Gpu.Counters.sm_reads;
+  Alcotest.(check int) "cells" c1.Gpu.Counters.cells_updated c2.Gpu.Counters.cells_updated
+
+let test_partial_sums_fallback () =
+  (* non-associative expressions silently use the direct path *)
+  let grad =
+    (Option.get (Bench_defs.Benchmarks.find "gradient2d")).Bench_defs.Benchmarks.pattern
+  in
+  let cfg = Config.make ~bt:2 ~bs:[| 14 |] () in
+  let dims = [| 22; 24 |] in
+  let g, out, _ = run_mode Blocking.Partial_sums grad cfg dims ~steps:3 in
+  let reference = Stencil.Reference.run grad ~steps:3 g in
+  Alcotest.(check (float 0.0)) "bit-exact via fallback" 0.0
+    (Stencil.Grid.max_abs_diff reference out)
+
+let test_partial_sums_star_exactness () =
+  (* star groups are single-plane sums evaluated in the same order as
+     the reference only per-plane; cross-plane order changes. Still
+     numerically equivalent to 1e-12. *)
+  let cfg = Config.make ~bt:3 ~bs:[| 16 |] () in
+  let dims = [| 30; 40 |] in
+  let g, out, _ = run_mode Blocking.Partial_sums star2d1r cfg dims ~steps:6 in
+  let reference = Stencil.Reference.run star2d1r ~steps:6 g in
+  Alcotest.(check bool) "equivalent" true
+    (Stencil.Grid.rel_l2_error reference out < 1e-12)
+
+let () =
+  Alcotest.run "warp"
+    [
+      ( "warp census",
+        [
+          Alcotest.test_case "3d census" `Quick test_census_3d;
+          Alcotest.test_case "2d census" `Quick test_census_2d;
+          Alcotest.test_case "idle fraction" `Quick test_idle_fraction;
+        ] );
+      ( "partial sums",
+        [
+          Alcotest.test_case "box" `Quick test_partial_sums_box;
+          Alcotest.test_case "jacobi post-op" `Quick test_partial_sums_jacobi_post;
+          Alcotest.test_case "traffic identical" `Quick test_partial_sums_traffic_identical;
+          Alcotest.test_case "fallback" `Quick test_partial_sums_fallback;
+          Alcotest.test_case "star exactness" `Quick test_partial_sums_star_exactness;
+        ] );
+    ]
