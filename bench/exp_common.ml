@@ -26,6 +26,10 @@ let setting_name s =
    for any step count, so we use the real 1000. *)
 let steps = 1000
 
+(* Worker domains for the block-parallel simulator executor
+   ([--domains N] on the harness command line). 1 = sequential. *)
+let domains = ref 1
+
 (* Sconf (§6.3): STENCILGEN's published parameters, with the temporal
    degree reduced where the halo would swallow the block (high-order 3D
    stencils, which STENCILGEN never published kernels for). *)

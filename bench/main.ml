@@ -22,18 +22,27 @@ let experiments =
     ("ptx", Exp_ptx.run, "PTX-lite instruction analysis and interpreted runs");
     ("verify", Exp_verify.run, "blocked executor vs CPU reference");
     ("validate", Exp_validate.run, "model totals vs simulator counters, exact");
+    ("scaling", Exp_scaling.run, "multicore block-parallel executor scaling");
     ("micro", Micro.run, "bechamel micro-benchmarks");
   ]
 
 let usage () =
-  print_endline "usage: main.exe [--csv DIR] [experiment...]";
+  print_endline "usage: main.exe [--csv DIR] [--domains N] [experiment...]";
   print_endline "experiments:";
   List.iter (fun (name, _, doc) -> Printf.printf "  %-8s %s\n" name doc) experiments
 
-(* Strip a leading [--csv DIR] option; returns the remaining args. *)
+(* Strip leading [--csv DIR] / [--domains N] options; returns the
+   remaining args. *)
 let rec parse_options = function
   | "--csv" :: dir :: rest ->
       Output.set_csv_dir (Some dir);
+      parse_options rest
+  | "--domains" :: n :: rest ->
+      (match int_of_string_opt n with
+      | Some d when d >= 1 -> Exp_common.domains := d
+      | _ ->
+          Printf.eprintf "--domains expects a positive integer, got %s\n" n;
+          exit 1);
       parse_options rest
   | args -> args
 

@@ -49,6 +49,13 @@ let steps_arg =
   let doc = "Number of time-steps." in
   Arg.(value & opt int 100 & info [ "steps" ] ~docv:"T" ~doc)
 
+let domains_arg =
+  let doc =
+    "Worker domains for the simulator executor (1 = sequential). The \
+     parallel runs are bit-identical to sequential ones."
+  in
+  Arg.(value & opt int 1 & info [ "domains" ] ~docv:"D" ~doc)
+
 let verbose_arg =
   let doc = "Enable debug logging of detection, tuning and simulation." in
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
@@ -138,12 +145,12 @@ let compile_cmd =
     Term.(const run $ logs_term $ input_file $ bt_arg $ bs_arg $ hs_arg $ reg_limit_arg $ output)
 
 let simulate_cmd =
-  let run () file bt bs hs reg_limit device steps =
+  let run () file bt bs hs reg_limit device steps domains =
     handle_errors (fun () ->
         let job = load_job ~file ~bt ~bs ~hs ~reg_limit in
         let dev = resolve_device device in
         let g = Stencil.Grid.init_random ~prec:job.Framework.prec job.Framework.dims in
-        let o = Framework.simulate ~device:dev ~steps job g in
+        let o = Framework.simulate ~domains ~device:dev ~steps job g in
         Fmt.pr "launch:     %a@." Blocking.pp_launch_stats o.Framework.stats;
         Fmt.pr "traffic:    %a@." Gpu.Counters.pp o.Framework.counters;
         (match o.Framework.verified with
@@ -160,14 +167,14 @@ let simulate_cmd =
     (Cmd.info "simulate" ~doc)
     Term.(
       const run $ logs_term $ input_file $ bt_arg $ bs_arg $ hs_arg $ reg_limit_arg
-      $ device_arg $ steps_arg)
+      $ device_arg $ steps_arg $ domains_arg)
 
 let tune_cmd =
   let stencil_arg =
     let doc = "Built-in benchmark name (see $(b,an5d list)) or a C file." in
     Arg.(required & opt (some string) None & info [ "stencil" ] ~docv:"NAME" ~doc)
   in
-  let run () stencil device prec steps =
+  let run () stencil device prec steps domains =
     handle_errors (fun () ->
         let dev = resolve_device device in
         let prec = resolve_prec prec in
@@ -186,7 +193,7 @@ let tune_cmd =
               end
               else failwith (Fmt.str "unknown stencil %s" stencil)
         in
-        let r = Model.Tuner.tune dev ~prec pattern ~dims_sizes:dims ~steps in
+        let r = Model.Tuner.tune ~domains dev ~prec pattern ~dims_sizes:dims ~steps in
         Fmt.pr "explored %d configurations, pruned %d by the register estimate@."
           r.Model.Tuner.explored r.Model.Tuner.pruned;
         Fmt.pr "model top-%d:@." (List.length r.Model.Tuner.top);
@@ -203,7 +210,9 @@ let tune_cmd =
   let doc = "Model-guided parameter tuning (the §6.3 procedure)." in
   Cmd.v
     (Cmd.info "tune" ~doc)
-    Term.(const run $ logs_term $ stencil_arg $ device_arg $ prec_arg $ steps_arg)
+    Term.(
+      const run $ logs_term $ stencil_arg $ device_arg $ prec_arg $ steps_arg
+      $ domains_arg)
 
 let ptx_cmd =
   let dump =

@@ -24,8 +24,10 @@ open An5d_core
 
 (** Advance [degree] steps non-redundantly with tile width [width]
     (must exceed [2 * rad * degree] so inverted tiles fit between
-    upright ones). *)
-let chunk pattern ~(machine : Gpu.Machine.t) ~degree:b ~width ~src ~dst =
+    upright ones). Tiles of each phase write disjoint row ranges and
+    read only rows they themselves produced (or the preceding phase
+    did), so a [pool] parallelizes each phase bit-identically. *)
+let chunk ?pool pattern ~(machine : Gpu.Machine.t) ~degree:b ~width ~src ~dst =
   let rad = pattern.Stencil.Pattern.radius in
   let dims = src.Stencil.Grid.dims in
   let l = dims.(0) in
@@ -33,16 +35,15 @@ let chunk pattern ~(machine : Gpu.Machine.t) ~degree:b ~width ~src ~dst =
     invalid_arg "Hybrid.chunk: tile width must exceed 2*rad*degree";
   let update = Stencil.Pattern.compile pattern in
   let ops = Stencil.Pattern.ops_per_cell pattern in
-  let counters = machine.Gpu.Machine.counters in
   let n = Array.length dims in
   let interior = Stencil.Grid.interior ~rad src in
   (* Time levels 0..b as full grids; every row is written exactly once
      per level, by either an upright or an inverted tile. *)
   let levels = Array.init (b + 1) (fun i -> if i = 0 then src else Stencil.Grid.create ~prec:src.Stencil.Grid.prec dims) in
-  let idx_buf = Array.make n 0 in
   (* Compute one row [r] of level [tstep] from level [tstep - 1]:
-     interior cells update, others copy. *)
-  let compute_row ~tstep r =
+     interior cells update, others copy. [counters] and [idx_buf] are
+     the calling block's lane shard and scratch. *)
+  let compute_row counters idx_buf ~tstep r =
     let lsrc = levels.(tstep - 1) and ldst = levels.(tstep) in
     let row_box =
       Poly.Box.make
@@ -75,46 +76,57 @@ let chunk pattern ~(machine : Gpu.Machine.t) ~degree:b ~width ~src ~dst =
     (s, if k = n_tiles - 1 then l else s + width)
   in
   (* Phase 1: upright trapezoids — shrink by rad per time level. *)
-  Gpu.Machine.launch machine ~n_blocks:n_tiles ~n_thr:(min 1024 row_cells) (fun ctx ->
+  Gpu.Machine.launch ?pool machine ~n_blocks:n_tiles ~n_thr:(min 1024 row_cells)
+    (fun ctx ->
+      let counters = ctx.Gpu.Machine.machine.Gpu.Machine.counters in
+      let idx_buf = Array.make n 0 in
       let s, e = tile_range ctx.Gpu.Machine.block_id in
       counters.Gpu.Counters.gm_reads <-
         counters.Gpu.Counters.gm_reads + ((e - s) * row_cells);
       for tstep = 1 to b do
         for r = s + (rad * tstep) to e - (rad * tstep) - 1 do
-          compute_row ~tstep r
+          compute_row counters idx_buf ~tstep r
         done
       done);
   (* Phase 2: inverted tiles centered on tile boundaries (including both
      domain edges) — grow by rad per time level. *)
-  Gpu.Machine.launch machine ~n_blocks:(n_tiles + 1) ~n_thr:(min 1024 row_cells)
+  Gpu.Machine.launch ?pool machine ~n_blocks:(n_tiles + 1) ~n_thr:(min 1024 row_cells)
     (fun ctx ->
+      let counters = ctx.Gpu.Machine.machine.Gpu.Machine.counters in
+      let idx_buf = Array.make n 0 in
       let c = if ctx.Gpu.Machine.block_id = n_tiles then l else ctx.Gpu.Machine.block_id * width in
       for tstep = 1 to b do
         let lo = max 0 (c - (rad * tstep)) and hi = min l (c + (rad * tstep)) in
         counters.Gpu.Counters.gm_reads <- counters.Gpu.Counters.gm_reads + ((hi - lo) * row_cells);
         for r = lo to hi - 1 do
-          compute_row ~tstep r
+          compute_row counters idx_buf ~tstep r
         done
       done;
       (* final level stored back *)
       let lo = max 0 (c - (rad * b)) and hi = min l (c + (rad * b)) in
       counters.Gpu.Counters.gm_writes <-
         counters.Gpu.Counters.gm_writes + ((hi - lo) * row_cells));
+  let counters = machine.Gpu.Machine.counters in
   counters.Gpu.Counters.gm_writes <- counters.Gpu.Counters.gm_writes + (l * row_cells);
   Array.blit levels.(b).Stencil.Grid.data 0 dst.Stencil.Grid.data 0
     (Array.length dst.Stencil.Grid.data)
 
-let run pattern ~machine ~bt ~width ~steps g =
+let run ?domains ?pool pattern ~machine ~bt ~width ~steps g =
   let chunks = Execmodel.time_chunks ~bt ~it:steps in
   let a = Stencil.Grid.copy g and b = Stencil.Grid.copy g in
   let cur = ref a and nxt = ref b in
-  List.iter
-    (fun degree ->
-      chunk pattern ~machine ~degree ~width ~src:!cur ~dst:!nxt;
-      let t = !cur in
-      cur := !nxt;
-      nxt := t)
-    chunks;
+  let exec pool =
+    List.iter
+      (fun degree ->
+        chunk ?pool pattern ~machine ~degree ~width ~src:!cur ~dst:!nxt;
+        let t = !cur in
+        cur := !nxt;
+        nxt := t)
+      chunks
+  in
+  (match pool with
+  | Some _ -> exec pool
+  | None -> Gpu.Pool.with_pool ?domains exec);
   !cur
 
 (* ------------------------------------------------------------------ *)
@@ -145,7 +157,7 @@ let predict (dev : Gpu.Device.t) ~prec pattern ~dims ~steps ~bt =
   (* largest cubic tile with its skirt that fits on chip *)
   let edge_for b =
     let rec grow e =
-      let total = int_of_float (float (e + (2 * rad * b)) ** float n) in
+      let total = Stencil.Shape.ipow (e + (2 * rad * b)) n in
       if total > capacity_words then e - 1 else grow (e + 1)
     in
     grow 1
@@ -153,7 +165,7 @@ let predict (dev : Gpu.Device.t) ~prec pattern ~dims ~steps ~bt =
   let rec usable_bt b = if b <= 1 then 1 else if edge_for b >= 2 then b else usable_bt (b - 1) in
   let bt = usable_bt bt in
   let edge = max 1 (edge_for bt) in
-  let tile_cells = int_of_float (float edge ** float n) in
+  let tile_cells = Stencil.Shape.ipow edge n in
   let cells = float (Array.fold_left ( * ) 1 dims) in
   (* non-redundant: one load + one store per cell per chunk, plus the
      skirt exchanged with neighboring tiles *)

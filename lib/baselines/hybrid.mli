@@ -12,6 +12,7 @@ val wavefront_efficiency : float
     across pipeline fill/drain. *)
 
 val chunk :
+  ?pool:Gpu.Pool.t ->
   Stencil.Pattern.t ->
   machine:Gpu.Machine.t ->
   degree:int ->
@@ -19,9 +20,13 @@ val chunk :
   src:Stencil.Grid.t ->
   dst:Stencil.Grid.t ->
   unit
-(** @raise Invalid_argument unless [width > 2*rad*degree]. *)
+(** A [pool] parallelizes the independent tiles of each phase
+    bit-identically.
+    @raise Invalid_argument unless [width > 2*rad*degree]. *)
 
 val run :
+  ?domains:int ->
+  ?pool:Gpu.Pool.t ->
   Stencil.Pattern.t ->
   machine:Gpu.Machine.t ->
   bt:int ->

@@ -23,28 +23,30 @@ type report = {
 (** Run [steps] sweeps with spatial tiling through the machine. The
     numerics are identical to the reference (same update order within a
     step); traffic is counted per tile: every cell of the tile+halo box
-    is read once, every tile cell written once. *)
-let run ?(tile = default_tile) pattern ~(machine : Gpu.Machine.t) ~steps g =
+    is read once, every tile cell written once. Tiles of one sweep
+    write disjoint boxes, so [domains]/[pool] parallelize them
+    bit-identically (as in {!An5d_core.Blocking.run}). *)
+let run ?(tile = default_tile) ?domains ?pool pattern ~(machine : Gpu.Machine.t)
+    ~steps g =
   let rad = pattern.Stencil.Pattern.radius in
   let dims = g.Stencil.Grid.dims in
   let n = Array.length dims in
   let update = Stencil.Pattern.compile pattern in
   let ops = Stencil.Pattern.ops_per_cell pattern in
-  let counters = machine.Gpu.Machine.counters in
   let tiles_per_dim = Array.map (fun d -> (d + tile - 1) / tile) dims in
   let n_tiles = Array.fold_left ( * ) 1 tiles_per_dim in
   let grid_box = Stencil.Grid.domain g in
   let interior = Stencil.Grid.interior ~rad g in
   let a = Stencil.Grid.copy g and b = Stencil.Grid.copy g in
   let cur = ref a and nxt = ref b in
-  let idx_buf = Array.make n 0 in
-  for _ = 1 to steps do
-    let src = !cur and dst = !nxt in
+  let sweep pool src dst =
     Array.blit src.Stencil.Grid.data 0 dst.Stencil.Grid.data 0
       (Array.length src.Stencil.Grid.data);
-    Gpu.Machine.launch machine ~n_blocks:n_tiles
-      ~n_thr:(min 1024 (int_of_float (float tile ** float (min 2 n))))
+    Gpu.Machine.launch ?pool machine ~n_blocks:n_tiles
+      ~n_thr:(min 1024 (Stencil.Shape.ipow tile (min 2 n)))
       (fun ctx ->
+        let counters = ctx.Gpu.Machine.machine.Gpu.Machine.counters in
+        let idx_buf = Array.make n 0 in
         let id = ref ctx.Gpu.Machine.block_id in
         let origin =
           Array.init n (fun d ->
@@ -77,11 +79,19 @@ let run ?(tile = default_tile) pattern ~(machine : Gpu.Machine.t) ~steps g =
                 counters.Gpu.Counters.cells_updated + 1
             end;
             counters.Gpu.Counters.gm_writes <- counters.Gpu.Counters.gm_writes + 1)
-          tile_box);
-    let t = !cur in
-    cur := !nxt;
-    nxt := t
-  done;
+          tile_box)
+  in
+  let exec pool =
+    for _ = 1 to steps do
+      sweep pool !cur !nxt;
+      let t = !cur in
+      cur := !nxt;
+      nxt := t
+    done
+  in
+  (match pool with
+  | Some _ -> exec pool
+  | None -> Gpu.Pool.with_pool ?domains exec);
   !cur
 
 (* ------------------------------------------------------------------ *)

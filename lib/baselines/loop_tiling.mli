@@ -20,13 +20,17 @@ type report = {
 
 val run :
   ?tile:int ->
+  ?domains:int ->
+  ?pool:Gpu.Pool.t ->
   Stencil.Pattern.t ->
   machine:Gpu.Machine.t ->
   steps:int ->
   Stencil.Grid.t ->
   Stencil.Grid.t
 (** Executor: numerically identical to the reference; traffic counted
-    per tile (tile + halo read once, every tile cell written). *)
+    per tile (tile + halo read once, every tile cell written).
+    [domains]/[pool] run the independent tiles of each sweep in
+    parallel, bit-identically to the sequential path. *)
 
 val predict :
   Gpu.Device.t ->

@@ -23,14 +23,15 @@ type report = {
 
 (** One temporal chunk of degree [b]: every block computes its halo'd
     region locally for [b] steps. Semantics match the reference
-    bit-for-bit (same update expression, boundary cells frozen). *)
-let chunk pattern ~(machine : Gpu.Machine.t) ~degree:b ~core ~src ~dst =
+    bit-for-bit (same update expression, boundary cells frozen). Blocks
+    store disjoint core boxes, so a [pool] parallelizes them
+    bit-identically. *)
+let chunk ?pool pattern ~(machine : Gpu.Machine.t) ~degree:b ~core ~src ~dst =
   let rad = pattern.Stencil.Pattern.radius in
   let dims = src.Stencil.Grid.dims in
   let n = Array.length dims in
   let update = Stencil.Pattern.compile pattern in
   let ops = Stencil.Pattern.ops_per_cell pattern in
-  let counters = machine.Gpu.Machine.counters in
   let halo = b * rad in
   let grid_box = Stencil.Grid.domain src in
   let interior = Stencil.Grid.interior ~rad src in
@@ -38,8 +39,9 @@ let chunk pattern ~(machine : Gpu.Machine.t) ~degree:b ~core ~src ~dst =
   let n_blocks = Array.fold_left ( * ) 1 blocks_per_dim in
   Array.blit src.Stencil.Grid.data 0 dst.Stencil.Grid.data 0
     (Array.length src.Stencil.Grid.data);
-  let idx_buf = Array.make n 0 in
-  Gpu.Machine.launch machine ~n_blocks ~n_thr:(min 1024 (core * core)) (fun ctx ->
+  Gpu.Machine.launch ?pool machine ~n_blocks ~n_thr:(min 1024 (core * core)) (fun ctx ->
+      let counters = ctx.Gpu.Machine.machine.Gpu.Machine.counters in
+      let idx_buf = Array.make n 0 in
       let id = ref ctx.Gpu.Machine.block_id in
       let origin =
         Array.init n (fun d ->
@@ -99,18 +101,23 @@ let chunk pattern ~(machine : Gpu.Machine.t) ~degree:b ~core ~src ~dst =
         core_box)
 
 (** Run [steps] steps with temporal chunks of [bt] on core blocks of
-    edge [core]. *)
-let run pattern ~machine ~bt ~core ~steps g =
+    edge [core]. [domains]/[pool] parallelize the blocks of each chunk. *)
+let run ?domains ?pool pattern ~machine ~bt ~core ~steps g =
   let chunks = Execmodel.time_chunks ~bt ~it:steps in
   let a = Stencil.Grid.copy g and b = Stencil.Grid.copy g in
   let cur = ref a and nxt = ref b in
-  List.iter
-    (fun degree ->
-      chunk pattern ~machine ~degree ~core ~src:!cur ~dst:!nxt;
-      let t = !cur in
-      cur := !nxt;
-      nxt := t)
-    chunks;
+  let exec pool =
+    List.iter
+      (fun degree ->
+        chunk ?pool pattern ~machine ~degree ~core ~src:!cur ~dst:!nxt;
+        let t = !cur in
+        cur := !nxt;
+        nxt := t)
+      chunks
+  in
+  (match pool with
+  | Some _ -> exec pool
+  | None -> Gpu.Pool.with_pool ?domains exec);
   !cur
 
 (* ------------------------------------------------------------------ *)

@@ -10,6 +10,7 @@ type report = {
 }
 
 val chunk :
+  ?pool:Gpu.Pool.t ->
   Stencil.Pattern.t ->
   machine:Gpu.Machine.t ->
   degree:int ->
@@ -18,9 +19,12 @@ val chunk :
   dst:Stencil.Grid.t ->
   unit
 (** One temporal chunk: every block computes its halo'd region locally
-    for [degree] steps; bit-matches the reference. *)
+    for [degree] steps; bit-matches the reference. A [pool]
+    parallelizes the independent blocks bit-identically. *)
 
 val run :
+  ?domains:int ->
+  ?pool:Gpu.Pool.t ->
   Stencil.Pattern.t ->
   machine:Gpu.Machine.t ->
   bt:int ->

@@ -118,7 +118,7 @@ let star ~dims x =
     (Sexpr.weighted_sum (Shape.star_offsets ~dims ~rad:x))
 
 let box ~dims x =
-  let pts = int_of_float (float ((2 * x) + 1) ** float dims) in
+  let pts = Shape.ipow ((2 * x) + 1) dims in
   make_benchmark
     ~name:(Fmt.str "box%dd%dr" dims x)
     ~dims ~rad:x

@@ -84,8 +84,9 @@ let neighbor_thread geo t off =
 (* One kernel call                                                     *)
 (* ------------------------------------------------------------------ *)
 
-let kernel_call ?(mode = Direct) (em : Execmodel.t) ~(machine : Gpu.Machine.t)
-    ~degree:b ~(src : Stencil.Grid.t) ~(dst : Stencil.Grid.t) =
+let kernel_call ?(mode = Direct) ?pool (em : Execmodel.t)
+    ~(machine : Gpu.Machine.t) ~degree:b ~(src : Stencil.Grid.t)
+    ~(dst : Stencil.Grid.t) =
   let pattern = em.Execmodel.pattern in
   let cfg = em.Execmodel.config in
   let dims = em.Execmodel.dims in
@@ -108,7 +109,6 @@ let kernel_call ?(mode = Direct) (em : Execmodel.t) ~(machine : Gpu.Machine.t)
   let ops = Stencil.Pattern.ops_per_cell pattern in
   let sm_writes_per_cell = Execmodel.smem_writes_per_cell em in
   let sm_reads_per_cell = Execmodel.smem_reads_practical em in
-  let counters = machine.Gpu.Machine.counters in
   (* Resource checks once per call. *)
   let smem_bytes = Execmodel.smem_bytes em ~prec in
   if smem_bytes > machine.Gpu.Machine.device.Gpu.Device.smem_per_sm then
@@ -133,8 +133,14 @@ let kernel_call ?(mode = Direct) (em : Execmodel.t) ~(machine : Gpu.Machine.t)
   let p = (2 * rad) + 1 in
   let slot j = ((j mod p) + p) mod p in
   let round = Stencil.Grid.round_to_prec prec in
-  let idx_buf = Array.make (nb + 1) 0 in
   let simulate_block ctx =
+    (* Everything mutable below is block-local (scratch buffer) or
+       lane-local (the ctx machine's counter shard), so blocks can run
+       on different domains without sharing state; dst stores of
+       distinct blocks are disjoint by construction. *)
+    let machine = ctx.Gpu.Machine.machine in
+    let counters = machine.Gpu.Machine.counters in
+    let idx_buf = Array.make (nb + 1) 0 in
     let block_id = ctx.Gpu.Machine.block_id in
     let sb = block_id / spatial_blocks in
     let k = ref (block_id mod spatial_blocks) in
@@ -267,7 +273,8 @@ let kernel_call ?(mode = Direct) (em : Execmodel.t) ~(machine : Gpu.Machine.t)
       done
     done
   in
-  Gpu.Machine.launch machine ~n_blocks:(n_sb * spatial_blocks) ~n_thr simulate_block
+  Gpu.Machine.launch ?pool machine ~n_blocks:(n_sb * spatial_blocks) ~n_thr
+    simulate_block
 
 (* ------------------------------------------------------------------ *)
 (* Full temporal-blocking run                                          *)
@@ -276,21 +283,32 @@ let kernel_call ?(mode = Direct) (em : Execmodel.t) ~(machine : Gpu.Machine.t)
 (** Advance [steps] time-steps with temporal blocking, chunked per §4.3.
     Returns the final grid and launch statistics. Both buffers start as
     copies of [g], matching the double-buffered host initialization of
-    the C pattern. *)
-let run ?mode (em : Execmodel.t) ~(machine : Gpu.Machine.t) ~steps
-    (g : Stencil.Grid.t) =
+    the C pattern.
+
+    [domains > 1] fans the independent thread blocks of every kernel
+    call out over that many domains (one pool, reused across the
+    calls); passing an existing [pool] instead reuses it and takes
+    precedence. Output grids and counters are bit-identical to the
+    sequential run in both execution modes. *)
+let run ?mode ?domains ?pool (em : Execmodel.t) ~(machine : Gpu.Machine.t)
+    ~steps (g : Stencil.Grid.t) =
   if g.Stencil.Grid.dims <> em.Execmodel.dims then
     invalid_arg "Blocking.run: grid dims do not match execution model";
   let chunks = Execmodel.time_chunks ~bt:em.Execmodel.config.Config.bt ~it:steps in
   let a = Stencil.Grid.copy g and b = Stencil.Grid.copy g in
   let cur = ref a and nxt = ref b in
-  List.iter
-    (fun degree ->
-      kernel_call ?mode em ~machine ~degree ~src:!cur ~dst:!nxt;
-      let t = !cur in
-      cur := !nxt;
-      nxt := t)
-    chunks;
+  let exec pool =
+    List.iter
+      (fun degree ->
+        kernel_call ?mode ?pool em ~machine ~degree ~src:!cur ~dst:!nxt;
+        let t = !cur in
+        cur := !nxt;
+        nxt := t)
+      chunks
+  in
+  (match pool with
+  | Some _ -> exec pool
+  | None -> Gpu.Pool.with_pool ?domains exec);
   let prec = g.Stencil.Grid.prec in
   let stats =
     {

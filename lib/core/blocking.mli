@@ -51,6 +51,7 @@ val pp_launch_stats : Format.formatter -> launch_stats -> unit
 
 val kernel_call :
   ?mode:exec_mode ->
+  ?pool:Gpu.Pool.t ->
   Execmodel.t ->
   machine:Gpu.Machine.t ->
   degree:int ->
@@ -59,12 +60,16 @@ val kernel_call :
   unit
 (** One temporal-blocking advancement of [degree] steps: reads [src],
     writes updated planes of [dst] (which must be pre-initialized with
-    the boundary values, e.g. as a copy of the initial grid).
+    the boundary values, e.g. as a copy of the initial grid). A [pool]
+    fans the independent thread blocks out over its domains with
+    bit-identical results and counters.
     @raise Gpu.Machine.Launch_failure when shared memory or registers
     exceed the device limits. *)
 
 val run :
   ?mode:exec_mode ->
+  ?domains:int ->
+  ?pool:Gpu.Pool.t ->
   Execmodel.t ->
   machine:Gpu.Machine.t ->
   steps:int ->
@@ -72,5 +77,10 @@ val run :
   Stencil.Grid.t * launch_stats
 (** Advance [steps] time-steps, chunked per §4.3's host logic; both
     internal buffers start as copies of the input (the double-buffered
-    host initialization of the C pattern).
+    host initialization of the C pattern). [domains > 1] runs the
+    thread blocks of every kernel call in parallel on a pool reused
+    across the calls (default: sequential); an explicit [pool] is
+    reused instead and takes precedence. Parallel runs are
+    bit-identical to sequential ones — same grids, same counters — in
+    both execution modes.
     @raise Invalid_argument when the grid does not match the model. *)

@@ -158,5 +158,5 @@ let smem_reads_practical t =
   | Stencil.Shape.Star -> smem_reads_expected t
   | Stencil.Shape.Box | Stencil.Shape.General ->
       (* columns of the (2rad+1)^(N-1) in-plane footprint minus own *)
-      let cols = int_of_float (float ((2 * r) + 1) ** float (n - 1)) in
+      let cols = Stencil.Shape.ipow ((2 * r) + 1) (n - 1) in
       cols - 1

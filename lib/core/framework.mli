@@ -50,6 +50,7 @@ type outcome = {
 val simulate :
   ?verify:bool ->
   ?mode:Blocking.exec_mode ->
+  ?domains:int ->
   device:Gpu.Device.t ->
   steps:int ->
   job ->
@@ -59,4 +60,7 @@ val simulate :
     (default true) compares against the naive reference, the artifact's
     CPU check (§A.6). With [mode = Partial_sums] verification reports
     the small reassociation error the real artifact also sees.
+    [domains > 1] runs the thread blocks of each kernel call in
+    parallel (default sequential; results are bit-identical either
+    way).
     @raise Invalid_argument when the grid does not match the job. *)

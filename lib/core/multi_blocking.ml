@@ -46,8 +46,9 @@ let regs_required (sys : Stencil.System.t) ~prec ~bt =
   let s = Stencil.System.n_components sys in
   (s * bt * Registers.plane_regs prec rad) + bt + Registers.an5d_overhead prec
 
-let kernel_call (sys : Stencil.System.t) (cfg : Config.t) ~(machine : Gpu.Machine.t)
-    ~degree:b ~(src : Stencil.Grid.t array) ~(dst : Stencil.Grid.t array) =
+let kernel_call ?pool (sys : Stencil.System.t) (cfg : Config.t)
+    ~(machine : Gpu.Machine.t) ~degree:b ~(src : Stencil.Grid.t array)
+    ~(dst : Stencil.Grid.t array) =
   let rad = Stencil.System.radius sys in
   let s = Stencil.System.n_components sys in
   let dims = src.(0).Stencil.Grid.dims in
@@ -57,7 +58,6 @@ let kernel_call (sys : Stencil.System.t) (cfg : Config.t) ~(machine : Gpu.Machin
   let n_thr = Config.n_thr cfg in
   let prec = src.(0).Stencil.Grid.prec in
   let updates = Array.of_list (Stencil.System.compile sys) in
-  let counters = machine.Gpu.Machine.counters in
   let smem_bytes = smem_words sys cfg * Stencil.Grid.bytes_per_word prec in
   if smem_bytes > machine.Gpu.Machine.device.Gpu.Device.smem_per_sm then
     raise
@@ -79,7 +79,6 @@ let kernel_call (sys : Stencil.System.t) (cfg : Config.t) ~(machine : Gpu.Machin
   let p = (2 * rad) + 1 in
   let slot j = ((j mod p) + p) mod p in
   let round = Stencil.Grid.round_to_prec prec in
-  let idx_buf = Array.make (nb + 1) 0 in
   (* ops: the whole system's per-cell FLOPs, charged once per cell (a
      prototype-level mix: no FMA classification for systems yet) *)
   let ops_per_cell =
@@ -96,6 +95,9 @@ let kernel_call (sys : Stencil.System.t) (cfg : Config.t) ~(machine : Gpu.Machin
       0 sys.Stencil.System.components
   in
   let simulate_block ctx =
+    let machine = ctx.Gpu.Machine.machine in
+    let counters = machine.Gpu.Machine.counters in
+    let idx_buf = Array.make (nb + 1) 0 in
     let k = ref ctx.Gpu.Machine.block_id in
     let origins =
       Array.init nb (fun i ->
@@ -204,24 +206,31 @@ let kernel_call (sys : Stencil.System.t) (cfg : Config.t) ~(machine : Gpu.Machin
       done
     done
   in
-  Gpu.Machine.launch machine ~n_blocks:spatial_blocks ~n_thr simulate_block
+  Gpu.Machine.launch ?pool machine ~n_blocks:spatial_blocks ~n_thr simulate_block
 
 (** Advance the system [steps] time-steps with temporal chunks of
-    [cfg.bt]; returns the final grids and launch statistics. *)
-let run (sys : Stencil.System.t) (cfg : Config.t) ~(machine : Gpu.Machine.t) ~steps
-    (gs : Stencil.Grid.t list) =
+    [cfg.bt]; returns the final grids and launch statistics.
+    [domains > 1] runs thread blocks in parallel (one pool reused
+    across the kernel calls), bit-identically to the sequential path. *)
+let run ?domains ?pool (sys : Stencil.System.t) (cfg : Config.t)
+    ~(machine : Gpu.Machine.t) ~steps (gs : Stencil.Grid.t list) =
   if List.length gs <> Stencil.System.n_components sys then
     invalid_arg "Multi_blocking.run: component count mismatch";
   let chunks = Execmodel.time_chunks ~bt:cfg.Config.bt ~it:steps in
   let cur = ref (Array.of_list (List.map Stencil.Grid.copy gs)) in
   let nxt = ref (Array.of_list (List.map Stencil.Grid.copy gs)) in
-  List.iter
-    (fun degree ->
-      kernel_call sys cfg ~machine ~degree ~src:!cur ~dst:!nxt;
-      let tmp = !cur in
-      cur := !nxt;
-      nxt := tmp)
-    chunks;
+  let exec pool =
+    List.iter
+      (fun degree ->
+        kernel_call ?pool sys cfg ~machine ~degree ~src:!cur ~dst:!nxt;
+        let tmp = !cur in
+        cur := !nxt;
+        nxt := tmp)
+      chunks
+  in
+  (match pool with
+  | Some _ -> exec pool
+  | None -> Gpu.Pool.with_pool ?domains exec);
   let prec = (List.hd gs).Stencil.Grid.prec in
   let rad = Stencil.System.radius sys in
   let dims = (List.hd gs).Stencil.Grid.dims in

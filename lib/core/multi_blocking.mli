@@ -24,6 +24,7 @@ val regs_required :
   Stencil.System.t -> prec:Stencil.Grid.precision -> bt:int -> int
 
 val kernel_call :
+  ?pool:Gpu.Pool.t ->
   Stencil.System.t ->
   Config.t ->
   machine:Gpu.Machine.t ->
@@ -31,10 +32,14 @@ val kernel_call :
   src:Stencil.Grid.t array ->
   dst:Stencil.Grid.t array ->
   unit
-(** @raise Gpu.Machine.Launch_failure when resources exceed the device.
+(** A [pool] fans the independent thread blocks out over its domains,
+    bit-identically to the sequential path.
+    @raise Gpu.Machine.Launch_failure when resources exceed the device.
     @raise Invalid_argument on a non-positive compute region. *)
 
 val run :
+  ?domains:int ->
+  ?pool:Gpu.Pool.t ->
   Stencil.System.t ->
   Config.t ->
   machine:Gpu.Machine.t ->
@@ -42,4 +47,5 @@ val run :
   Stencil.Grid.t list ->
   Stencil.Grid.t list * launch_stats
 (** Temporal chunks of [cfg.bt]; stream division is not supported by
-    the prototype (the [hs] field is ignored). *)
+    the prototype (the [hs] field is ignored). [domains]/[pool] run
+    thread blocks in parallel as in {!Blocking.run}. *)

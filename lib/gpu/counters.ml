@@ -61,6 +61,41 @@ let copy c =
     cells_updated = c.cells_updated;
   }
 
+(** Accumulate [src] into [into], field by field. Counters are plain
+    integer sums, so accumulation commutes and associates exactly —
+    per-domain shards merged in any order equal the sequential totals. *)
+let add_into src ~into =
+  into.gm_reads <- into.gm_reads + src.gm_reads;
+  into.gm_writes <- into.gm_writes + src.gm_writes;
+  into.sm_reads <- into.sm_reads + src.sm_reads;
+  into.sm_writes <- into.sm_writes + src.sm_writes;
+  into.fma <- into.fma + src.fma;
+  into.mul <- into.mul + src.mul;
+  into.add <- into.add + src.add;
+  into.other <- into.other + src.other;
+  into.kernel_launches <- into.kernel_launches + src.kernel_launches;
+  into.barriers <- into.barriers + src.barriers;
+  into.cells_updated <- into.cells_updated + src.cells_updated
+
+(** Fresh counter holding the field-wise sum. [merge [] = create ()]. *)
+let merge cs =
+  let acc = create () in
+  List.iter (fun c -> add_into c ~into:acc) cs;
+  acc
+
+let equal a b =
+  a.gm_reads = b.gm_reads
+  && a.gm_writes = b.gm_writes
+  && a.sm_reads = b.sm_reads
+  && a.sm_writes = b.sm_writes
+  && a.fma = b.fma
+  && a.mul = b.mul
+  && a.add = b.add
+  && a.other = b.other
+  && a.kernel_launches = b.kernel_launches
+  && a.barriers = b.barriers
+  && a.cells_updated = b.cells_updated
+
 (** Record the operation mix of one cell update. *)
 let add_ops c (ops : Stencil.Sexpr.ops) =
   c.fma <- c.fma + ops.Stencil.Sexpr.fma;

@@ -24,6 +24,18 @@ val reset : t -> unit
 
 val copy : t -> t
 
+val add_into : t -> into:t -> unit
+(** [add_into src ~into] accumulates [src] into [into], field by field.
+    Integer sums commute and associate exactly, so per-domain shards
+    merged in any order equal the sequential totals. *)
+
+val merge : t list -> t
+(** Fresh counter holding the field-wise sum; [merge [] = create ()]
+    and [merge [c]] is a copy of [c]. *)
+
+val equal : t -> t -> bool
+(** Field-for-field equality. *)
+
 val add_ops : t -> Stencil.Sexpr.ops -> unit
 (** Record the operation mix of one cell update. *)
 

@@ -2,9 +2,11 @@
 
     Executors run "kernels" block by block on the host while every
     global-memory, shared-memory and arithmetic operation is routed
-    through this module and counted. The simulation is deterministic and
-    sequential — thread blocks of one kernel launch are independent by
-    CUDA semantics, so serial execution preserves the result exactly.
+    through this module and counted. The simulation is deterministic:
+    thread blocks of one kernel launch are independent by CUDA
+    semantics, so they may run sequentially or fan out over a {!Pool}
+    of domains — either way the result is bit-identical and the merged
+    counters equal the sequential totals.
 
     Resource checks (threads per block, shared memory per block) are
     enforced at launch, mirroring what a real launch would reject. *)
@@ -97,8 +99,19 @@ let record_update ctx ops =
     ctx.machine.counters.Counters.cells_updated + 1
 
 (** Launch a kernel of [n_blocks] thread blocks of [n_thr] threads.
-    [f] simulates one whole block. *)
-let launch m ~n_blocks ~n_thr f =
+    [f] simulates one whole block and must route every counted access
+    through its [ctx.machine] (not a captured machine) so that parallel
+    launches can shard the counters.
+
+    With a [pool] of more than one lane, blocks are partitioned into
+    contiguous chunks across domains. Each lane gets a private shard
+    machine (same device and precision, fresh counters), so workers
+    never share mutable counter state; the shards are merged into
+    [m.counters] after the launch. Because blocks of one launch are
+    independent and write disjoint cells, the result grids are
+    bit-identical to the sequential path and the merged counters are
+    exactly the sequential totals (integer sums commute). *)
+let launch ?pool m ~n_blocks ~n_thr f =
   if n_thr <= 0 || n_thr > m.device.Device.max_threads_per_block then
     raise
       (Launch_failure
@@ -106,7 +119,22 @@ let launch m ~n_blocks ~n_thr f =
             m.device.Device.max_threads_per_block));
   if n_blocks <= 0 then raise (Launch_failure "empty launch grid");
   m.counters.Counters.kernel_launches <- m.counters.Counters.kernel_launches + 1;
-  for block_id = 0 to n_blocks - 1 do
-    let ctx = { machine = m; block_id; n_thr; smem_bytes = 0 } in
-    f ctx
-  done
+  match pool with
+  | Some pool when Pool.size pool > 1 && n_blocks > 1 ->
+      let shards =
+        Array.init (Pool.size pool) (fun _ -> { m with counters = Counters.create () })
+      in
+      Fun.protect
+        ~finally:(fun () ->
+          (* merge even when a block raised, so partial traffic is kept *)
+          Array.iter
+            (fun s -> Counters.add_into s.counters ~into:m.counters)
+            shards)
+        (fun () ->
+          Pool.run pool ~n:n_blocks (fun ~lane block_id ->
+              f { machine = shards.(lane); block_id; n_thr; smem_bytes = 0 }))
+  | _ ->
+      for block_id = 0 to n_blocks - 1 do
+        let ctx = { machine = m; block_id; n_thr; smem_bytes = 0 } in
+        f ctx
+      done

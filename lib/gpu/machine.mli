@@ -61,6 +61,14 @@ val barrier : block_ctx -> unit
 val record_update : block_ctx -> Stencil.Sexpr.ops -> unit
 (** Count the arithmetic of one cell update. *)
 
-val launch : t -> n_blocks:int -> n_thr:int -> (block_ctx -> unit) -> unit
-(** Run a kernel of [n_blocks] thread blocks; [f] simulates one block.
+val launch :
+  ?pool:Pool.t -> t -> n_blocks:int -> n_thr:int -> (block_ctx -> unit) -> unit
+(** Run a kernel of [n_blocks] thread blocks; [f] simulates one block
+    and must route every counted access through its [ctx.machine].
+    With a [pool] of more than one lane, blocks are partitioned into
+    contiguous chunks across domains, each lane counting into a private
+    shard machine; the shards are merged into the launch machine's
+    counters afterwards. Results and merged counters are bit-identical
+    to the sequential path (blocks are independent and integer counter
+    sums commute).
     @raise Launch_failure on invalid launch geometry. *)

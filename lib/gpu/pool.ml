@@ -1,0 +1,122 @@
+(** A fixed pool of worker domains for block-parallel kernel execution.
+
+    Thread blocks of one simulated kernel launch are independent by CUDA
+    semantics (see {!Machine}), so they can be fanned out across OCaml 5
+    domains. The pool is created once and reused across kernel calls —
+    domain spawning is far too expensive to pay per launch.
+
+    Scheduling is deliberately the dumbest thing that is deterministic:
+    the index range [0, n) is split into at most [size] contiguous
+    chunks, chunk [k] runs entirely on lane [k], and there is no work
+    stealing. Every lane therefore executes a fixed, run-independent
+    subset of the blocks, which is what makes the per-lane counter
+    shards of {!Machine.launch} merge to exactly the sequential totals.
+    Lane 0 is the calling domain itself, so a pool of size [d] spawns
+    only [d - 1] domains and the caller is never idle. *)
+
+type t = {
+  size : int;  (** parallel lanes, including the calling domain *)
+  mutex : Mutex.t;
+  work : Condition.t;  (** signals workers that a slot was filled *)
+  finished : Condition.t;  (** signals the caller that work drained *)
+  slots : (unit -> unit) option array;  (** one pending closure per worker *)
+  mutable pending : int;
+  mutable closed : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let size t = t.size
+
+(* Worker [i] sleeps until its slot is filled, runs the closure (which
+   traps its own exceptions), clears the slot and goes back to sleep.
+   Shutdown is a closed flag with an empty slot. *)
+let rec worker_loop pool i =
+  Mutex.lock pool.mutex;
+  while (not pool.closed) && pool.slots.(i) = None do
+    Condition.wait pool.work pool.mutex
+  done;
+  match pool.slots.(i) with
+  | None ->
+      (* closed and nothing to run *)
+      Mutex.unlock pool.mutex
+  | Some job ->
+      Mutex.unlock pool.mutex;
+      job ();
+      Mutex.lock pool.mutex;
+      pool.slots.(i) <- None;
+      pool.pending <- pool.pending - 1;
+      if pool.pending = 0 then Condition.broadcast pool.finished;
+      Mutex.unlock pool.mutex;
+      worker_loop pool i
+
+let create ?(domains = 1) () =
+  let size = max 1 domains in
+  let pool =
+    {
+      size;
+      mutex = Mutex.create ();
+      work = Condition.create ();
+      finished = Condition.create ();
+      slots = Array.make (max 0 (size - 1)) None;
+      pending = 0;
+      closed = false;
+      workers = [];
+    }
+  in
+  pool.workers <-
+    List.init (size - 1) (fun i -> Domain.spawn (fun () -> worker_loop pool i));
+  pool
+
+let shutdown pool =
+  Mutex.lock pool.mutex;
+  pool.closed <- true;
+  Condition.broadcast pool.work;
+  Mutex.unlock pool.mutex;
+  List.iter Domain.join pool.workers;
+  pool.workers <- []
+
+let run pool ~n f =
+  if n > 0 then begin
+    if pool.closed then invalid_arg "Pool.run: pool was shut down";
+    if pool.size = 1 || n = 1 then
+      for i = 0 to n - 1 do
+        f ~lane:0 i
+      done
+    else begin
+      let lanes = min pool.size n in
+      (* contiguous chunk [k*n/lanes, (k+1)*n/lanes) for lane k *)
+      let failures = Array.make lanes None in
+      let chunk k () =
+        let lo = k * n / lanes and hi = (k + 1) * n / lanes in
+        try
+          for i = lo to hi - 1 do
+            f ~lane:k i
+          done
+        with e -> failures.(k) <- Some e
+      in
+      Mutex.lock pool.mutex;
+      pool.pending <- lanes - 1;
+      for k = 1 to lanes - 1 do
+        pool.slots.(k - 1) <- Some (chunk k)
+      done;
+      Condition.broadcast pool.work;
+      Mutex.unlock pool.mutex;
+      (* lane 0 is the caller *)
+      chunk 0 ();
+      Mutex.lock pool.mutex;
+      while pool.pending > 0 do
+        Condition.wait pool.finished pool.mutex
+      done;
+      Mutex.unlock pool.mutex;
+      (* re-raise the failure of the lowest lane, mimicking where a
+         sequential loop would have stopped first *)
+      Array.iter (function Some e -> raise e | None -> ()) failures
+    end
+  end
+
+let with_pool ?(domains = 1) f =
+  if domains <= 1 then f None
+  else begin
+    let pool = create ~domains () in
+    Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f (Some pool))
+  end

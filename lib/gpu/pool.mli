@@ -1,0 +1,34 @@
+(** A fixed pool of worker domains for block-parallel kernel execution.
+
+    Thread blocks of one simulated kernel launch are independent, so
+    {!Machine.launch} can fan them out across OCaml 5 domains. The pool
+    is created once and reused across kernel calls; the index range of
+    each [run] is split into contiguous chunks, chunk [k] running
+    entirely on lane [k] (no work stealing), so every lane executes a
+    fixed, run-independent subset of the work. Lane 0 is the calling
+    domain itself: a pool of size [d] spawns [d - 1] domains. *)
+
+type t
+
+val create : ?domains:int -> unit -> t
+(** [create ~domains ()] spawns a pool of [max 1 domains] lanes
+    (default 1, which spawns nothing and runs everything inline). *)
+
+val size : t -> int
+(** Parallel lanes, including the calling domain. *)
+
+val run : t -> n:int -> (lane:int -> int -> unit) -> unit
+(** [run pool ~n f] calls [f ~lane i] for every [i] in [0, n), the
+    range statically partitioned into at most [size pool] contiguous
+    chunks; indices within a chunk run in increasing order on one lane.
+    Blocks until all chunks finish. If chunks raise, the exception of
+    the lowest-numbered lane is re-raised after all lanes drain.
+    @raise Invalid_argument on a pool that was shut down. *)
+
+val shutdown : t -> unit
+(** Join the worker domains. The pool must not be used afterwards. *)
+
+val with_pool : ?domains:int -> (t option -> 'a) -> 'a
+(** [with_pool ~domains f] runs [f (Some pool)] with a freshly created
+    pool and shuts it down afterwards — or [f None] when [domains <= 1],
+    selecting the zero-overhead sequential path. *)

@@ -84,8 +84,11 @@ let rank (dev : Gpu.Device.t) ~prec pattern ~dims_sizes ~steps =
 
 exception No_feasible_configuration of string
 
-(** Full §6.3 tuning: model-rank, measure the top [k], pick the winner. *)
-let tune ?(k = 5) (dev : Gpu.Device.t) ~prec pattern ~dims_sizes ~steps =
+(** Full §6.3 tuning: model-rank, measure the top [k], pick the winner.
+    [domains] measures the top-k candidates in parallel; the measurement
+    layer is purely analytic, so the result is identical to the
+    sequential sweep. *)
+let tune ?(k = 5) ?domains (dev : Gpu.Device.t) ~prec pattern ~dims_sizes ~steps =
   let explored, sorted = rank dev ~prec pattern ~dims_sizes ~steps in
   if sorted = [] then
     raise
@@ -98,18 +101,28 @@ let tune ?(k = 5) (dev : Gpu.Device.t) ~prec pattern ~dims_sizes ~steps =
         (Stencil.Grid.precision_to_string prec)
         explored (List.length sorted));
   let top = List.filteri (fun i _ -> i < k) sorted in
-  let measured =
-    List.map
-      (fun cand ->
-        let em = Execmodel.make pattern cand.config dims_sizes in
-        let reg_limit, m = Measure.with_reg_limit_search dev ~prec em ~steps in
-        let config = { cand.config with Config.reg_limit } in
-        Log.debug (fun l ->
-            l "candidate %a: predicted %.0f, measured %.0f GFLOP/s" Config.pp config
-              cand.predicted.Predict.gflops m.Measure.gflops);
-        (config, m, cand.predicted.Predict.gflops))
-      top
+  let top_arr = Array.of_list top in
+  let slots = Array.make (Array.length top_arr) None in
+  let measure_one _i cand =
+    let em = Execmodel.make pattern cand.config dims_sizes in
+    let reg_limit, m = Measure.with_reg_limit_search dev ~prec em ~steps in
+    let config = { cand.config with Config.reg_limit } in
+    (config, m, cand.predicted.Predict.gflops)
   in
+  Gpu.Pool.with_pool ?domains (fun pool ->
+      match pool with
+      | Some pool ->
+          Gpu.Pool.run pool ~n:(Array.length top_arr) (fun ~lane:_ i ->
+              slots.(i) <- Some (measure_one i top_arr.(i)))
+      | None ->
+          Array.iteri (fun i cand -> slots.(i) <- Some (measure_one i cand)) top_arr);
+  let measured = Array.to_list slots |> List.filter_map Fun.id in
+  List.iter
+    (fun (config, m, predicted) ->
+      Log.debug (fun l ->
+          l "candidate %a: predicted %.0f, measured %.0f GFLOP/s" Config.pp config
+            predicted m.Measure.gflops))
+    measured;
   let best_config, best_m, model_gflops =
     List.fold_left
       (fun (bc, bm, bp) (c, m, p) ->

@@ -46,10 +46,13 @@ exception No_feasible_configuration of string
 
 val tune :
   ?k:int ->
+  ?domains:int ->
   Gpu.Device.t ->
   prec:Stencil.Grid.precision ->
   Stencil.Pattern.t ->
   dims_sizes:int array ->
   steps:int ->
   result
-(** @raise No_feasible_configuration when pruning leaves nothing. *)
+(** [domains] measures the top-[k] candidates in parallel (the
+    measurement layer is analytic, so the result is unchanged).
+    @raise No_feasible_configuration when pruning leaves nothing. *)

@@ -11,6 +11,16 @@ let kind_to_string = function Star -> "star" | Box -> "box" | General -> "genera
 
 let pp_kind ppf k = Fmt.string ppf (kind_to_string k)
 
+(** Exact integer power by squaring. Point counts like [(2*rad+1)^N]
+    must stay exact — [int_of_float (float b ** float e)] drifts once
+    the result exceeds 2^53. *)
+let ipow b e =
+  if e < 0 then invalid_arg "Shape.ipow: negative exponent";
+  let rec go acc b e =
+    if e = 0 then acc else go (if e land 1 = 1 then acc * b else acc) (b * b) (e lsr 1)
+  in
+  go 1 b e
+
 (** Number of nonzero components of an offset. *)
 let nonzero_components o = Array.fold_left (fun n x -> if x = 0 then n else n + 1) 0 o
 

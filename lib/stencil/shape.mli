@@ -5,6 +5,11 @@ type kind = Star | Box | General
 
 val kind_to_string : kind -> string
 
+val ipow : int -> int -> int
+(** [ipow b e] is exactly [b{^e}] by integer squaring — unlike
+    [int_of_float (float b ** float e)], which drifts past 2{^53}.
+    @raise Invalid_argument on a negative exponent. *)
+
 val pp_kind : Format.formatter -> kind -> unit
 
 val nonzero_components : int array -> int

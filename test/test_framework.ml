@@ -53,20 +53,74 @@ let test_simulate_no_verify () =
   let outcome = Framework.simulate ~verify:false ~device:Gpu.Device.p100 ~steps:2 job g in
   Alcotest.(check bool) "skipped" true (outcome.Framework.verified = Ok ())
 
+let contains msg sub =
+  let n = String.length sub in
+  let rec go i = i + n <= String.length msg && (String.sub msg i n = sub || go (i + 1)) in
+  go 0
+
+let compile_error_message src =
+  match compile src with
+  | exception Framework.Compile_error msg -> msg
+  | _ -> Alcotest.fail "expected Compile_error"
+
 let test_compile_errors () =
-  let expect_error src =
-    match compile src with
-    | exception Framework.Compile_error _ -> ()
-    | _ -> Alcotest.fail "expected Compile_error"
-  in
-  expect_error "not C at all @@@";
-  expect_error "void f(int n) { }";
+  ignore (compile_error_message "not C at all @@@");
+  ignore (compile_error_message "void f(int n) { }");
   (* invalid configuration: halo swallows the block *)
   (match compile ~bt:8 ~bs:[| 12 |] j2d5pt_src with
   | exception Framework.Compile_error msg ->
       Alcotest.(check bool) "mentions config" true
         (String.length msg > 0)
   | _ -> Alcotest.fail "expected config error")
+
+(* Each front-end failure class surfaces as [Compile_error] with a
+   message naming the origin and the phase that rejected the source. *)
+let test_error_classification () =
+  (* lexical: a character no C token starts with *)
+  let msg = compile_error_message "void f() { @ }" in
+  Alcotest.(check bool) "lexical error tagged" true (contains msg "lexical error");
+  Alcotest.(check bool) "lexical error has origin" true (contains msg "<string>");
+  (* syntactic: well-formed tokens, ill-formed grammar *)
+  let msg = compile_error_message "void f(int a { }" in
+  Alcotest.(check bool) "syntax error tagged" true (contains msg "syntax error");
+  (* semantic: parses but is not a stencil *)
+  let msg = compile_error_message "void f(int n) { }" in
+  Alcotest.(check bool) "rejection tagged" true (contains msg "not an AN5D stencil")
+
+let j2d5pt_dynamic_src =
+  "void j2d5pt(double a[2][n][n], double c0, int n, int timesteps) {\n\
+   for (int t = 0; t < timesteps; t++)\n\
+   for (int i = 1; i < n - 1; i++)\n\
+   for (int j = 1; j < n - 1; j++)\n\
+   a[(t+1)%2][i][j] = (0.25 * a[t%2][i][j] + 0.2 * a[t%2][i-1][j] + 0.15 * \
+   a[t%2][i+1][j] + 0.2 * a[t%2][i][j-1] + 0.2 * a[t%2][i][j+1]) / c0;\n\
+   }"
+
+let test_dynamic_dims_need_override () =
+  (* dynamic loop bounds: compiling without ~dims must fail with the
+     dedicated message, and pass once ~dims is supplied *)
+  (match compile j2d5pt_dynamic_src with
+  | exception Framework.Compile_error msg ->
+      Alcotest.(check bool) "asks for ~dims" true (contains msg "dynamic")
+  | _ -> Alcotest.fail "expected dynamic-dims Compile_error");
+  let job =
+    Framework.compile ~dims:[| 40; 40 |]
+      ~config:(Config.make ~bt:2 ~bs:[| 16 |] ())
+      (Framework.source_of_string j2d5pt_dynamic_src)
+  in
+  Alcotest.(check (array int)) "override accepted" [| 40; 40 |] job.Framework.dims
+
+let test_source_of_file_missing () =
+  match Framework.source_of_file "/nonexistent/an5d/input.c" with
+  | exception Sys_error _ -> ()
+  | _ -> Alcotest.fail "expected Sys_error for a missing file"
+
+let test_simulate_domains () =
+  let job = compile ~param_values:[ ("c0", 2.0) ] j2d5pt_src in
+  let g = Stencil.Grid.init_random [| 40; 40 |] in
+  let outcome = Framework.simulate ~domains:4 ~device:Gpu.Device.v100 ~steps:5 job g in
+  Alcotest.(check bool) "parallel run verified bit-exact" true
+    (outcome.Framework.verified = Ok ())
 
 let test_grid_mismatch () =
   let job = compile j2d5pt_src in
@@ -109,6 +163,11 @@ let () =
           Alcotest.test_case "simulate verified" `Quick test_simulate_verified;
           Alcotest.test_case "simulate no verify" `Quick test_simulate_no_verify;
           Alcotest.test_case "compile errors" `Quick test_compile_errors;
+          Alcotest.test_case "error classification" `Quick test_error_classification;
+          Alcotest.test_case "dynamic dims need override" `Quick
+            test_dynamic_dims_need_override;
+          Alcotest.test_case "missing source file" `Quick test_source_of_file_missing;
+          Alcotest.test_case "simulate with domains" `Quick test_simulate_domains;
           Alcotest.test_case "grid mismatch" `Quick test_grid_mismatch;
           Alcotest.test_case "dims override" `Quick test_dims_override;
           Alcotest.test_case "source of file" `Quick test_source_of_file;

@@ -40,6 +40,41 @@ let test_sorted_unique () =
   let doubled = Shape.sort_offsets (offs @ offs) in
   Alcotest.(check int) "dedup" (List.length offs) (List.length doubled)
 
+(* --- exact integer power --- *)
+
+let test_ipow_basics () =
+  Alcotest.(check int) "b^0" 1 (Shape.ipow 7 0);
+  Alcotest.(check int) "0^0" 1 (Shape.ipow 0 0);
+  Alcotest.(check int) "0^5" 0 (Shape.ipow 0 5);
+  Alcotest.(check int) "1^big" 1 (Shape.ipow 1 62);
+  Alcotest.(check int) "2^10" 1024 (Shape.ipow 2 10);
+  Alcotest.(check int) "neg base" (-27) (Shape.ipow (-3) 3);
+  (match Shape.ipow 2 (-1) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument on negative exponent");
+  (* large exponents where float (**) drifts: 3^38 > 2^53 *)
+  let slow b e =
+    let r = ref 1 in
+    for _ = 1 to e do
+      r := !r * b
+    done;
+    !r
+  in
+  Alcotest.(check int) "3^38 exact" (slow 3 38) (Shape.ipow 3 38);
+  Alcotest.(check int) "7^22 exact" (slow 7 22) (Shape.ipow 7 22);
+  Alcotest.(check bool) "float power drifts on 3^38" true
+    (Shape.ipow 3 38 <> int_of_float (3.0 ** 38.0))
+
+let prop_ipow_matches_repeated_multiplication =
+  QCheck.Test.make ~name:"ipow = repeated multiplication" ~count:500
+    (QCheck.pair (QCheck.int_range (-9) 9) (QCheck.int_range 0 19))
+    (fun (b, e) ->
+      let r = ref 1 in
+      for _ = 1 to e do
+        r := !r * b
+      done;
+      Shape.ipow b e = !r)
+
 (* Property: stars are always subsets of the same-radius box. *)
 let prop_star_subset_box =
   QCheck.Test.make ~name:"star subset of box" ~count:50
@@ -66,7 +101,12 @@ let () =
           Alcotest.test_case "radius" `Quick test_radius;
           Alcotest.test_case "classification" `Quick test_classify;
           Alcotest.test_case "sorted unique" `Quick test_sorted_unique;
+          Alcotest.test_case "ipow" `Quick test_ipow_basics;
         ] );
       ( "properties",
-        List.map QCheck_alcotest.to_alcotest [ prop_star_subset_box; prop_box_size ] );
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_star_subset_box; prop_box_size;
+            prop_ipow_matches_repeated_multiplication;
+          ] );
     ]
