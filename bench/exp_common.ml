@@ -30,6 +30,10 @@ let steps = 1000
    ([--domains N] on the harness command line). 1 = sequential. *)
 let domains = ref 1
 
+(* Smoke mode ([--quick]): shrink grids and timing floors so the
+   harness finishes in seconds; used by CI. *)
+let quick = ref false
+
 (* Sconf (§6.3): STENCILGEN's published parameters, with the temporal
    degree reduced where the halo would swallow the block (high-order 3D
    stencils, which STENCILGEN never published kernels for). *)

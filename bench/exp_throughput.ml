@@ -1,0 +1,135 @@
+(* Simulator throughput: closure executor vs compiled execution plans.
+
+   Times the same runs under [impl = Closure] and [impl = Compiled] in
+   one process — blocked executor on a 2D and a 3D benchmark, plus the
+   CPU reference on both — and reports cells/s. Results also land in
+   BENCH_throughput.json so the speedup is machine-checkable. *)
+
+open An5d_core
+
+let bench name =
+  match Bench_defs.Benchmarks.find name with
+  | Some b -> b
+  | None -> failwith ("unknown benchmark " ^ name)
+
+(* Seconds per run, amortized: doubles the repeat count until one
+   timed batch exceeds the floor. *)
+let time_run f =
+  let floor = if !Exp_common.quick then 0.02 else 0.3 in
+  ignore (f ());
+  let rec go reps =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to reps do
+      ignore (f ())
+    done;
+    let dt = Unix.gettimeofday () -. t0 in
+    if dt >= floor then dt /. float reps else go (reps * 2)
+  in
+  go 1
+
+type case = {
+  label : string;
+  dims : int array;
+  steps : int;
+  cells : int;  (** interior cells updated per run: volume x steps *)
+  run : Blocking.impl -> unit;
+}
+
+let interior_volume dims rad =
+  Array.fold_left (fun acc d -> acc * (d - (2 * rad))) 1 dims
+
+let blocked_case b cfg dims steps =
+  let p = b.Bench_defs.Benchmarks.pattern in
+  let em = Execmodel.make p cfg dims in
+  let g = Stencil.Grid.init_random dims in
+  {
+    label = b.Bench_defs.Benchmarks.name ^ " blocked";
+    dims;
+    steps;
+    cells = interior_volume dims p.Stencil.Pattern.radius * steps;
+    run =
+      (fun impl ->
+        let machine = Gpu.Machine.create Gpu.Device.v100 in
+        ignore (Blocking.run ~impl ~domains:!Exp_common.domains em ~machine ~steps g));
+  }
+
+let reference_case b dims steps =
+  let p = b.Bench_defs.Benchmarks.pattern in
+  let g = Stencil.Grid.init_random dims in
+  let impl_of = function
+    | Blocking.Compiled -> Stencil.Reference.Compiled
+    | Blocking.Closure -> Stencil.Reference.Closure
+  in
+  {
+    label = b.Bench_defs.Benchmarks.name ^ " reference";
+    dims;
+    steps;
+    cells = interior_volume dims p.Stencil.Pattern.radius * steps;
+    run =
+      (fun impl -> ignore (Stencil.Reference.run ~impl:(impl_of impl) p ~steps g));
+  }
+
+let cases () =
+  let q = !Exp_common.quick in
+  let j2d = bench "j2d5pt" and j3d = bench "j3d27pt" in
+  let d2 = if q then [| 128; 128 |] else [| 512; 512 |] in
+  let d3 = if q then [| 24; 24; 24 |] else [| 64; 64; 64 |] in
+  [
+    blocked_case j2d (Config.make ~bt:4 ~bs:[| 64 |] ()) d2 8;
+    blocked_case j3d (Config.make ~bt:2 ~bs:[| 16; 16 |] ()) d3 4;
+    reference_case j2d d2 4;
+    reference_case j3d d3 2;
+  ]
+
+let json_of_results results =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"quick\": %b,\n  \"cases\": [\n" !Exp_common.quick);
+  List.iteri
+    (fun i (c, closure_cps, compiled_cps) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"name\": %S, \"dims\": [%s], \"steps\": %d,\n\
+           \     \"closure_cells_per_s\": %.6e, \"compiled_cells_per_s\": %.6e,\n\
+           \     \"speedup\": %.3f}%s\n"
+           c.label
+           (String.concat ", " (Array.to_list (Array.map string_of_int c.dims)))
+           c.steps closure_cps compiled_cps (compiled_cps /. closure_cps)
+           (if i = List.length results - 1 then "" else ","));
+    )
+    results;
+  Buffer.add_string buf "  ]\n}\n";
+  Buffer.contents buf
+
+let run () =
+  Output.section "Throughput -- closure executor vs compiled plans (cells/s)";
+  let results =
+    List.map
+      (fun c ->
+        let t_closure = time_run (fun () -> c.run Blocking.Closure) in
+        let t_compiled = time_run (fun () -> c.run Blocking.Compiled) in
+        let cps t = float c.cells /. t in
+        (c, cps t_closure, cps t_compiled))
+      (cases ())
+  in
+  let rows =
+    List.map
+      (fun (c, closure_cps, compiled_cps) ->
+        [
+          c.label;
+          Fmt.str "%a" Fmt.(array ~sep:(any "x") int) c.dims;
+          string_of_int c.steps;
+          Printf.sprintf "%.2e" closure_cps;
+          Printf.sprintf "%.2e" compiled_cps;
+          Printf.sprintf "%.2fx" (compiled_cps /. closure_cps);
+        ])
+      results
+  in
+  Output.table
+    ~header:[ "run"; "grid"; "steps"; "closure cells/s"; "compiled cells/s"; "speedup" ]
+    ~rows;
+  let json = json_of_results results in
+  Out_channel.with_open_bin "BENCH_throughput.json" (fun oc ->
+      Out_channel.output_string oc json);
+  print_endline "\nWrote BENCH_throughput.json"

@@ -23,11 +23,16 @@ let experiments =
     ("verify", Exp_verify.run, "blocked executor vs CPU reference");
     ("validate", Exp_validate.run, "model totals vs simulator counters, exact");
     ("scaling", Exp_scaling.run, "multicore block-parallel executor scaling");
+    ("throughput", Exp_throughput.run, "closure executor vs compiled plans, cells/s");
     ("micro", Micro.run, "bechamel micro-benchmarks");
   ]
 
+(* The [--quick] smoke subset: experiments fast enough for CI once
+   [Exp_common.quick] shrinks their grids. *)
+let smoke = [ "throughput" ]
+
 let usage () =
-  print_endline "usage: main.exe [--csv DIR] [--domains N] [experiment...]";
+  print_endline "usage: main.exe [--csv DIR] [--domains N] [--quick] [experiment...]";
   print_endline "experiments:";
   List.iter (fun (name, _, doc) -> Printf.printf "  %-8s %s\n" name doc) experiments
 
@@ -44,10 +49,18 @@ let rec parse_options = function
           Printf.eprintf "--domains expects a positive integer, got %s\n" n;
           exit 1);
       parse_options rest
+  | "--quick" :: rest ->
+      Exp_common.quick := true;
+      parse_options rest
   | args -> args
 
 let () =
   match parse_options (List.tl (Array.to_list Sys.argv)) with
+  | [] when !Exp_common.quick ->
+      Printf.printf "AN5D reproduction -- quick smoke subset\n";
+      List.iter
+        (fun (name, run, _) -> if List.mem name smoke then run ())
+        experiments
   | [] ->
       Printf.printf
         "AN5D reproduction -- regenerating all tables and figures (simulated \

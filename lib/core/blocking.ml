@@ -16,9 +16,14 @@
     around the update, so boundary sub-planes propagate through the
     register pipeline without global memory re-loads.
 
-    The numerics are bit-compared against {!Stencil.Reference} in the
-    test suite; the traffic counters are asserted against the §5
-    formulas. *)
+    Two implementations share the per-call {!Plan}: [Compiled] (the
+    default) drives the inner loops off the plan's flat tables with
+    analytic bulk counter updates; [Closure] is the legacy per-cell
+    closure path. The differential test suite proves them bit-identical
+    — same grids, field-for-field equal counters — in both execution
+    modes. The numerics are also bit-compared against
+    {!Stencil.Reference}, and the traffic counters asserted against the
+    §5 formulas. *)
 
 (** How CALC evaluates the update:
     - [Direct]: the expression as written (bit-identical to the
@@ -30,6 +35,11 @@
       error, §A.6). Falls back to [Direct] for non-associative
       expressions. *)
 type exec_mode = Direct | Partial_sums
+
+(** Which executor implementation runs the kernel: the table-driven
+    [Compiled] plan path (default) or the legacy per-cell [Closure]
+    path it is differentially tested against. *)
+type impl = Compiled | Closure
 
 type launch_stats = {
   n_tb : int;  (** thread blocks per kernel call (spatial) *)
@@ -45,236 +55,425 @@ let pp_launch_stats ppf s =
     s.kernel_calls (s.n_tb * s.n_stream_blocks) s.n_stream_blocks s.n_thr
     s.smem_bytes s.regs_per_thread
 
-(* Thread-block geometry: mapping between flat thread ids and block-local
-   coordinates along the blocked dimensions. *)
-type geometry = {
+(* Thread-block geometry lives in {!Plan}; re-exported here for the
+   warp analysis and the PTX interpreter. *)
+type geometry = Plan.geometry = {
   bs : int array;
   coords : int array array;  (** per thread *)
   strides : int array;
 }
 
-let make_geometry bs =
-  let nb = Array.length bs in
-  let strides = Array.make nb 1 in
-  for d = nb - 2 downto 0 do
-    strides.(d) <- strides.(d + 1) * bs.(d + 1)
-  done;
-  let n_thr = Array.fold_left ( * ) 1 bs in
-  let coords =
-    Array.init n_thr (fun t ->
-        Array.init nb (fun d -> t / strides.(d) mod bs.(d)))
-  in
-  { bs; coords; strides }
+let make_geometry = Plan.make_geometry
 
-(* Thread id of the block-local neighbor at the in-plane part of a full
-   stencil offset [off] (entry 0 is the streaming delta, skipped here),
-   clamped to the block edge (edge threads of the halo read their own
-   column; their values are invalid by then and never stored). *)
-let neighbor_thread geo t off =
-  let nb = Array.length geo.bs in
-  let tid = ref 0 in
-  for d = 0 to nb - 1 do
-    let u = geo.coords.(t).(d) + off.(d + 1) in
-    let u = if u < 0 then 0 else if u >= geo.bs.(d) then geo.bs.(d) - 1 else u in
-    tid := !tid + (u * geo.strides.(d))
-  done;
-  !tid
+let neighbor_thread = Plan.neighbor_thread
+
+(* ------------------------------------------------------------------ *)
+(* Per-block state shared by both implementations                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Everything below is block-local scratch: the spatial-block origin,
+   per-thread global coordinates and membership flags, and the fixed
+   register file. Blocks can run on different domains without sharing
+   state; dst stores of distinct blocks are disjoint by construction. *)
+type block_state = {
+  sb : int;  (** stream-block index *)
+  gcoords : int array array;
+  in_grid : bool array;
+  inplane_interior : bool array;
+  base : int array;  (** per-thread in-plane linear offset into the grids *)
+  n_in_grid : int;
+  n_interior : int;
+  n_store : int;  (** threads with [in_grid && store_ok] *)
+  reg_file : float array array array;  (** [.(tstep).(slot).(thread)] *)
+}
+
+let make_block_state (plan : Plan.t) ~degree:b block_id =
+  let nb = plan.Plan.nb in
+  let geo = plan.Plan.geo in
+  let n_thr = plan.Plan.n_thr in
+  let dims = plan.Plan.em.Execmodel.dims in
+  let sb = block_id / plan.Plan.spatial_blocks in
+  let k = ref (block_id mod plan.Plan.spatial_blocks) in
+  let origins =
+    Array.init nb (fun i ->
+        let below =
+          Array.fold_left ( * ) 1
+            (Array.sub plan.Plan.blocks_per_dim (i + 1) (nb - i - 1))
+        in
+        let ki = !k / below in
+        k := !k mod below;
+        Execmodel.block_origin ~b plan.Plan.em i ki)
+  in
+  let gcoords = Array.init n_thr (fun t -> Array.map2 ( + ) origins geo.coords.(t)) in
+  let in_grid =
+    Array.init n_thr (fun t ->
+        let g = gcoords.(t) in
+        let ok = ref true in
+        for d = 0 to nb - 1 do
+          if g.(d) < 0 || g.(d) >= dims.(d + 1) then ok := false
+        done;
+        !ok)
+  in
+  let rad = plan.Plan.rad in
+  let inplane_interior =
+    Array.init n_thr (fun t ->
+        let g = gcoords.(t) in
+        let ok = ref true in
+        for d = 0 to nb - 1 do
+          if g.(d) < rad || g.(d) >= dims.(d + 1) - rad then ok := false
+        done;
+        !ok)
+  in
+  (* In-plane part of the row-major linear index; only dereferenced for
+     in-grid threads (out-of-bound threads get a meaningless value). *)
+  let base =
+    Array.init n_thr (fun t ->
+        let g = gcoords.(t) in
+        let off = ref 0 in
+        for d = 0 to nb - 1 do
+          off := !off + (g.(d) * plan.Plan.gstrides.(d + 1))
+        done;
+        !off)
+  in
+  let count f =
+    let n = ref 0 in
+    for t = 0 to n_thr - 1 do
+      if f t then incr n
+    done;
+    !n
+  in
+  {
+    sb;
+    gcoords;
+    in_grid;
+    inplane_interior;
+    base;
+    n_in_grid = count (fun t -> in_grid.(t));
+    n_interior = count (fun t -> inplane_interior.(t));
+    n_store = count (fun t -> in_grid.(t) && plan.Plan.store_ok.(t));
+    reg_file =
+      Array.init (b + 1) (fun _ ->
+          Array.init plan.Plan.p (fun _ -> Array.make n_thr 0.0));
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Legacy per-cell closure implementation                              *)
+(* ------------------------------------------------------------------ *)
+
+let closure_block (plan : Plan.t) ~mode ~degree:b ~(src : Stencil.Grid.t)
+    ~(dst : Stencil.Grid.t) ctx =
+  let geo = plan.Plan.geo in
+  let nb = plan.Plan.nb in
+  let n_thr = plan.Plan.n_thr in
+  let rad = plan.Plan.rad in
+  let p = plan.Plan.p in
+  let l = plan.Plan.l in
+  let slot j = ((j mod p) + p) mod p in
+  let round = Stencil.Grid.round_to_prec plan.Plan.prec in
+  let update = plan.Plan.update in
+  let partial = match mode with Direct -> None | Partial_sums -> plan.Plan.partial in
+  let ops = plan.Plan.ops in
+  let sm_writes_per_cell = plan.Plan.sm_writes_per_cell in
+  let sm_reads_per_cell = plan.Plan.sm_reads_per_cell in
+  let machine = ctx.Gpu.Machine.machine in
+  let counters = machine.Gpu.Machine.counters in
+  let idx_buf = Array.make (nb + 1) 0 in
+  let st = make_block_state plan ~degree:b ctx.Gpu.Machine.block_id in
+  let { gcoords; in_grid; inplane_interior; reg_file; _ } = st in
+  let s0, s1 = Execmodel.stream_range plan.Plan.em st.sb in
+  let load_plane i =
+    let dst_plane = reg_file.(0).(slot i) in
+    for t = 0 to n_thr - 1 do
+      if in_grid.(t) then begin
+        let g = gcoords.(t) in
+        idx_buf.(0) <- i;
+        for d = 0 to nb - 1 do
+          idx_buf.(d + 1) <- g.(d)
+        done;
+        dst_plane.(t) <- Gpu.Machine.gm_read machine src idx_buf
+      end
+      else dst_plane.(t) <- 0.0
+    done
+  in
+  let compute_plane tstep j =
+    let dst_plane = reg_file.(tstep).(slot j) in
+    let src_planes = reg_file.(tstep - 1) in
+    let stream_boundary = j < rad || j >= l - rad in
+    (* Shared memory protocol: every thread (including out-of-bound
+       ones, §5) stores its register value(s) to the tile; one barrier
+       with double buffering, two without (§4.2). *)
+    counters.Gpu.Counters.sm_writes <-
+      counters.Gpu.Counters.sm_writes + (n_thr * sm_writes_per_cell);
+    counters.Gpu.Counters.barriers <-
+      counters.Gpu.Counters.barriers
+      + (if plan.Plan.em.Execmodel.config.Config.double_buffer then 1 else 2);
+    for t = 0 to n_thr - 1 do
+      if (not stream_boundary) && inplane_interior.(t) then begin
+        (* Interior cell: genuine stencil update. *)
+        let read off =
+          src_planes.(slot (j + off.(0))).(neighbor_thread geo t off)
+        in
+        let value =
+          match partial with
+          | None -> update read
+          | Some (groups, post) ->
+              (* accumulate per-plane partial sums in ascending plane
+                 order, as the streaming CALC macros do *)
+              post
+                (List.fold_left
+                   (fun acc (_, group) -> acc +. round (group read))
+                   0.0 groups)
+        in
+        dst_plane.(t) <- round value;
+        Gpu.Counters.add_ops counters ops;
+        counters.Gpu.Counters.cells_updated <- counters.Gpu.Counters.cells_updated + 1;
+        counters.Gpu.Counters.sm_reads <-
+          counters.Gpu.Counters.sm_reads + sm_reads_per_cell
+      end
+      else begin
+        (* Halo/boundary/out-of-bound: overwrite with the previous
+           time-step's value (§4.1) — keeps boundary sub-planes flowing
+           through registers. *)
+        dst_plane.(t) <- src_planes.(slot j).(t);
+        if in_grid.(t) then
+          counters.Gpu.Counters.sm_reads <-
+            counters.Gpu.Counters.sm_reads + sm_reads_per_cell
+      end
+    done
+  in
+  let halo_w = plan.Plan.halo_w and compute_w = plan.Plan.compute_w in
+  let store_plane j =
+    let src_plane = reg_file.(b).(slot j) in
+    for t = 0 to n_thr - 1 do
+      if in_grid.(t) then begin
+        (* Only the compute region stores (block-local coordinate at
+           distance >= halo from the block edge). *)
+        let in_compute = ref true in
+        for d = 0 to nb - 1 do
+          let u = geo.coords.(t).(d) in
+          if u < halo_w || u >= halo_w + compute_w.(d) then in_compute := false
+        done;
+        if !in_compute then begin
+          let g = gcoords.(t) in
+          idx_buf.(0) <- j;
+          for d = 0 to nb - 1 do
+            idx_buf.(d + 1) <- g.(d)
+          done;
+          Gpu.Machine.gm_write machine dst idx_buf src_plane.(t)
+        end
+      end
+    done
+  in
+  let load_lo = s0 - (b * rad) and load_hi = s1 - 1 + (b * rad) in
+  for i = load_lo to load_hi do
+    if i >= 0 && i < l then load_plane i;
+    for tstep = 1 to b do
+      let j = i - (tstep * rad) in
+      let lo = s0 - ((b - tstep) * rad) and hi = s1 - 1 + ((b - tstep) * rad) in
+      if j >= lo && j <= hi && j >= 0 && j < l then begin
+        compute_plane tstep j;
+        if tstep = b && j >= s0 && j < s1 then store_plane j
+      end
+    done
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Compiled (table-driven) implementation                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Same schedule, same arithmetic, same totals as [closure_block] — but
+   the inner loops index the plan's flat tables instead of calling
+   closures over offset arrays, plane accesses go through unchecked
+   linear reads at precomputed base offsets, and the counters advance in
+   per-plane bulk increments (per-thread membership counts are
+   block-level constants, so a plane's traffic is known analytically).
+   Bit-identity and counter equality are proven by the differential
+   tests. *)
+let compiled_block (plan : Plan.t) ~mode ~degree:b ~(src : Stencil.Grid.t)
+    ~(dst : Stencil.Grid.t) ctx =
+  let n_thr = plan.Plan.n_thr in
+  let rad = plan.Plan.rad in
+  let p = plan.Plan.p in
+  let l = plan.Plan.l in
+  let n_off = plan.Plan.n_off in
+  let plane_e = plan.Plan.plane_e in
+  let nbr = plan.Plan.nbr in
+  let store_ok = plan.Plan.store_ok in
+  let stride0 = plan.Plan.gstrides.(0) in
+  let round = Stencil.Grid.round_to_prec plan.Plan.prec in
+  let low = plan.Plan.low in
+  (* Evaluation strategy, resolved once per block: the flat linear form
+     when the expression is a plain weighted sum, the per-plane partial
+     groups in [Partial_sums] mode, the indexed closure otherwise. *)
+  let partial =
+    match mode with Direct -> None | Partial_sums -> low.Stencil.Sexpr.low_partial
+  in
+  let linear =
+    match partial with Some _ -> None | None -> low.Stencil.Sexpr.low_linear
+  in
+  let ops = plan.Plan.ops in
+  let sm_writes_per_plane = n_thr * plan.Plan.sm_writes_per_cell in
+  let sm_reads_per_cell = plan.Plan.sm_reads_per_cell in
+  let barriers_per_plane =
+    if plan.Plan.em.Execmodel.config.Config.double_buffer then 1 else 2
+  in
+  let counters = ctx.Gpu.Machine.machine.Gpu.Machine.counters in
+  let st = make_block_state plan ~degree:b ctx.Gpu.Machine.block_id in
+  let { in_grid; inplane_interior; base; reg_file; _ } = st in
+  let s0, s1 = Execmodel.stream_range plan.Plan.em st.sb in
+  (* Source sub-plane pointers for the current compute plane:
+     [plane_ptr.(e)] is the register plane holding streaming delta
+     [e - rad], refilled per plane so term reads are two array hops. *)
+  let plane_ptr = Array.make p reg_file.(0).(0) in
+  let load_plane i =
+    let dst_plane = reg_file.(0).(i mod p) in
+    let poff = i * stride0 in
+    for t = 0 to n_thr - 1 do
+      dst_plane.(t) <-
+        (if in_grid.(t) then Stencil.Grid.get_lin src (base.(t) + poff) else 0.0)
+    done;
+    Gpu.Counters.add_gm_reads counters st.n_in_grid
+  in
+  let compute_plane tstep j =
+    let dst_plane = reg_file.(tstep).(j mod p) in
+    let src_planes = reg_file.(tstep - 1) in
+    Gpu.Counters.add_sm_writes counters sm_writes_per_plane;
+    Gpu.Counters.add_barriers counters barriers_per_plane;
+    (* Every in-grid thread reads its column from the tile, interior or
+       not — same per-cell count on both branches of the closure path. *)
+    Gpu.Counters.add_sm_reads counters (sm_reads_per_cell * st.n_in_grid);
+    if j < rad || j >= l - rad then begin
+      (* Stream-boundary plane: every thread propagates the previous
+         time-step's value (§4.1). *)
+      let src_center = src_planes.(j mod p) in
+      Array.blit src_center 0 dst_plane 0 n_thr
+    end
+    else begin
+      let sb0 = (j - rad + p) mod p in
+      for e = 0 to p - 1 do
+        let s = sb0 + e in
+        plane_ptr.(e) <- src_planes.(if s >= p then s - p else s)
+      done;
+      let src_center = plane_ptr.(rad) in
+      (match linear, partial with
+      | Some lf, _ ->
+          (* Flat weighted-sum path: same left-to-right accumulation as
+             the compiled closure, so bit-identical. *)
+          let lt_off = lf.Stencil.Sexpr.lt_off in
+          let lt_coef = lf.Stencil.Sexpr.lt_coef in
+          let lt_scaled = lf.Stencil.Sexpr.lt_scaled in
+          let n_terms = Array.length lt_off in
+          for t = 0 to n_thr - 1 do
+            if inplane_interior.(t) then begin
+              let row = t * n_off in
+              let k0 = lt_off.(0) in
+              let v0 = plane_ptr.(plane_e.(k0)).(nbr.(row + k0)) in
+              let acc = ref (if lt_scaled.(0) then lt_coef.(0) *. v0 else v0) in
+              for q = 1 to n_terms - 1 do
+                let k = lt_off.(q) in
+                let v = plane_ptr.(plane_e.(k)).(nbr.(row + k)) in
+                acc := !acc +. (if lt_scaled.(q) then lt_coef.(q) *. v else v)
+              done;
+              let value =
+                match lf.Stencil.Sexpr.lt_post with
+                | Stencil.Sexpr.Post_none -> !acc
+                | Stencil.Sexpr.Post_div d -> !acc /. d
+              in
+              dst_plane.(t) <- round value
+            end
+            else dst_plane.(t) <- src_center.(t)
+          done
+      | None, Some (groups, post) ->
+          (* Per-plane partial sums in ascending plane order (§4.1). *)
+          let n_groups = Array.length groups in
+          for t = 0 to n_thr - 1 do
+            if inplane_interior.(t) then begin
+              let row = t * n_off in
+              let read k = plane_ptr.(plane_e.(k)).(nbr.(row + k)) in
+              let acc = ref 0.0 in
+              for gi = 0 to n_groups - 1 do
+                let g = groups.(gi) in
+                let gv =
+                  match g.Stencil.Sexpr.g_linear with
+                  | Some lf -> Stencil.Sexpr.eval_linear lf read
+                  | None -> g.Stencil.Sexpr.g_eval read
+                in
+                acc := !acc +. round gv
+              done;
+              dst_plane.(t) <- round (post !acc)
+            end
+            else dst_plane.(t) <- src_center.(t)
+          done
+      | None, None ->
+          (* General expression: the indexed closure (bit-identical to
+             the per-cell compile by construction). *)
+          let eval = low.Stencil.Sexpr.low_eval in
+          for t = 0 to n_thr - 1 do
+            if inplane_interior.(t) then begin
+              let row = t * n_off in
+              let read k = plane_ptr.(plane_e.(k)).(nbr.(row + k)) in
+              dst_plane.(t) <- round (eval read)
+            end
+            else dst_plane.(t) <- src_center.(t)
+          done);
+      Gpu.Counters.add_ops_n counters ops st.n_interior;
+      Gpu.Counters.add_cells_updated counters st.n_interior
+    end
+  in
+  let store_plane j =
+    let src_plane = reg_file.(b).(j mod p) in
+    let poff = j * stride0 in
+    for t = 0 to n_thr - 1 do
+      if in_grid.(t) && store_ok.(t) then
+        Stencil.Grid.set_lin dst (base.(t) + poff) src_plane.(t)
+    done;
+    Gpu.Counters.add_gm_writes counters st.n_store
+  in
+  let load_lo = s0 - (b * rad) and load_hi = s1 - 1 + (b * rad) in
+  for i = load_lo to load_hi do
+    if i >= 0 && i < l then load_plane i;
+    for tstep = 1 to b do
+      let j = i - (tstep * rad) in
+      let lo = s0 - ((b - tstep) * rad) and hi = s1 - 1 + ((b - tstep) * rad) in
+      if j >= lo && j <= hi && j >= 0 && j < l then begin
+        compute_plane tstep j;
+        if tstep = b && j >= s0 && j < s1 then store_plane j
+      end
+    done
+  done
 
 (* ------------------------------------------------------------------ *)
 (* One kernel call                                                     *)
 (* ------------------------------------------------------------------ *)
 
-let kernel_call ?(mode = Direct) ?pool (em : Execmodel.t)
+let kernel_call ?(mode = Direct) ?(impl = Compiled) ?pool (em : Execmodel.t)
     ~(machine : Gpu.Machine.t) ~degree:b ~(src : Stencil.Grid.t)
     ~(dst : Stencil.Grid.t) =
-  let pattern = em.Execmodel.pattern in
-  let cfg = em.Execmodel.config in
-  let dims = em.Execmodel.dims in
-  let rad = pattern.Stencil.Pattern.radius in
-  let l = dims.(0) in
-  let nb = Array.length cfg.Config.bs in
-  let geo = make_geometry cfg.Config.bs in
-  let n_thr = Config.n_thr cfg in
+  if
+    src.Stencil.Grid.dims <> em.Execmodel.dims
+    || dst.Stencil.Grid.dims <> em.Execmodel.dims
+  then invalid_arg "Blocking.kernel_call: grid dims do not match execution model";
   let prec = src.Stencil.Grid.prec in
-  let update = Stencil.Pattern.compile pattern in
-  (* partial-summation evaluation (associative path, §4.1) *)
-  let partial =
-    match mode with
-    | Direct -> None
-    | Partial_sums ->
-        Stencil.Sexpr.compile_partial_sums
-          ~param:(Stencil.Pattern.param_value pattern)
-          pattern.Stencil.Pattern.expr
-  in
-  let ops = Stencil.Pattern.ops_per_cell pattern in
-  let sm_writes_per_cell = Execmodel.smem_writes_per_cell em in
-  let sm_reads_per_cell = Execmodel.smem_reads_practical em in
+  let plan = Plan.get em ~degree:b ~prec in
   (* Resource checks once per call. *)
-  let smem_bytes = Execmodel.smem_bytes em ~prec in
-  if smem_bytes > machine.Gpu.Machine.device.Gpu.Device.smem_per_sm then
+  if plan.Plan.smem_bytes > machine.Gpu.Machine.device.Gpu.Device.smem_per_sm then
     raise
       (Gpu.Machine.Launch_failure
          (Fmt.str "AN5D kernel needs %d bytes of shared memory, SM has %d"
-            smem_bytes machine.Gpu.Machine.device.Gpu.Device.smem_per_sm));
-  let regs = Registers.an5d_required ~prec ~bt:b ~rad in
-  if regs > machine.Gpu.Machine.device.Gpu.Device.max_regs_per_thread then
+            plan.Plan.smem_bytes machine.Gpu.Machine.device.Gpu.Device.smem_per_sm));
+  if plan.Plan.regs > machine.Gpu.Machine.device.Gpu.Device.max_regs_per_thread then
     raise
       (Gpu.Machine.Launch_failure
-         (Fmt.str "AN5D kernel needs %d registers per thread, limit is %d" regs
-            machine.Gpu.Machine.device.Gpu.Device.max_regs_per_thread));
-  (* Launch grid: stream blocks x spatial blocks. *)
-  let blocks_per_dim =
-    Array.init nb (fun i ->
-        let w = Execmodel.compute_width ~b em i in
-        (dims.(i + 1) + w - 1) / w)
+         (Fmt.str "AN5D kernel needs %d registers per thread, limit is %d"
+            plan.Plan.regs machine.Gpu.Machine.device.Gpu.Device.max_regs_per_thread));
+  let block =
+    match impl with
+    | Compiled -> compiled_block plan ~mode ~degree:b ~src ~dst
+    | Closure -> closure_block plan ~mode ~degree:b ~src ~dst
   in
-  let spatial_blocks = Array.fold_left ( * ) 1 blocks_per_dim in
-  let n_sb = Execmodel.n_stream_blocks em in
-  let p = (2 * rad) + 1 in
-  let slot j = ((j mod p) + p) mod p in
-  let round = Stencil.Grid.round_to_prec prec in
-  let simulate_block ctx =
-    (* Everything mutable below is block-local (scratch buffer) or
-       lane-local (the ctx machine's counter shard), so blocks can run
-       on different domains without sharing state; dst stores of
-       distinct blocks are disjoint by construction. *)
-    let machine = ctx.Gpu.Machine.machine in
-    let counters = machine.Gpu.Machine.counters in
-    let idx_buf = Array.make (nb + 1) 0 in
-    let block_id = ctx.Gpu.Machine.block_id in
-    let sb = block_id / spatial_blocks in
-    let k = ref (block_id mod spatial_blocks) in
-    let origins =
-      Array.init nb (fun i ->
-          let below = Array.fold_left ( * ) 1 (Array.sub blocks_per_dim (i + 1) (nb - i - 1)) in
-          let ki = !k / below in
-          k := !k mod below;
-          Execmodel.block_origin ~b em i ki)
-    in
-    (* Per-thread global coordinates along blocked dims, in-grid and
-       interior flags (in-plane part). *)
-    let gcoords = Array.init n_thr (fun t -> Array.map2 ( + ) origins geo.coords.(t)) in
-    let in_grid =
-      Array.init n_thr (fun t ->
-          let g = gcoords.(t) in
-          let ok = ref true in
-          for d = 0 to nb - 1 do
-            if g.(d) < 0 || g.(d) >= dims.(d + 1) then ok := false
-          done;
-          !ok)
-    in
-    let inplane_interior =
-      Array.init n_thr (fun t ->
-          let g = gcoords.(t) in
-          let ok = ref true in
-          for d = 0 to nb - 1 do
-            if g.(d) < rad || g.(d) >= dims.(d + 1) - rad then ok := false
-          done;
-          !ok)
-    in
-    (* Fixed register file: regs.(T).(slot).(thread). *)
-    let reg_file =
-      Array.init (b + 1) (fun _ -> Array.init p (fun _ -> Array.make n_thr 0.0))
-    in
-    let s0, s1 = Execmodel.stream_range em sb in
-    let load_plane i =
-      let dst_plane = reg_file.(0).(slot i) in
-      for t = 0 to n_thr - 1 do
-        if in_grid.(t) then begin
-          let g = gcoords.(t) in
-          idx_buf.(0) <- i;
-          for d = 0 to nb - 1 do
-            idx_buf.(d + 1) <- g.(d)
-          done;
-          dst_plane.(t) <- Gpu.Machine.gm_read machine src idx_buf
-        end
-        else dst_plane.(t) <- 0.0
-      done
-    in
-    let compute_plane tstep j =
-      let dst_plane = reg_file.(tstep).(slot j) in
-      let src_planes = reg_file.(tstep - 1) in
-      let stream_boundary = j < rad || j >= l - rad in
-      (* Shared memory protocol: every thread (including out-of-bound
-         ones, §5) stores its register value(s) to the tile; one barrier
-         with double buffering, two without (§4.2). *)
-      counters.Gpu.Counters.sm_writes <-
-        counters.Gpu.Counters.sm_writes + (n_thr * sm_writes_per_cell);
-      counters.Gpu.Counters.barriers <-
-        counters.Gpu.Counters.barriers + (if cfg.Config.double_buffer then 1 else 2);
-      for t = 0 to n_thr - 1 do
-        if (not stream_boundary) && inplane_interior.(t) then begin
-          (* Interior cell: genuine stencil update. *)
-          let read off =
-            src_planes.(slot (j + off.(0))).(neighbor_thread geo t off)
-          in
-          let value =
-            match partial with
-            | None -> update read
-            | Some (groups, post) ->
-                (* accumulate per-plane partial sums in ascending plane
-                   order, as the streaming CALC macros do *)
-                post
-                  (List.fold_left
-                     (fun acc (_, group) -> acc +. round (group read))
-                     0.0 groups)
-          in
-          dst_plane.(t) <- round value;
-          Gpu.Counters.add_ops counters ops;
-          counters.Gpu.Counters.cells_updated <- counters.Gpu.Counters.cells_updated + 1;
-          counters.Gpu.Counters.sm_reads <-
-            counters.Gpu.Counters.sm_reads + sm_reads_per_cell
-        end
-        else begin
-          (* Halo/boundary/out-of-bound: overwrite with the previous
-             time-step's value (§4.1) — keeps boundary sub-planes flowing
-             through registers. *)
-          dst_plane.(t) <- src_planes.(slot j).(t);
-          if in_grid.(t) then
-            counters.Gpu.Counters.sm_reads <-
-              counters.Gpu.Counters.sm_reads + sm_reads_per_cell
-        end
-      done
-    in
-    let halo_w = Execmodel.halo ~b em in
-    let compute_w = Array.init nb (fun d -> Execmodel.compute_width ~b em d) in
-    let store_plane j =
-      let src_plane = reg_file.(b).(slot j) in
-      for t = 0 to n_thr - 1 do
-        if in_grid.(t) then begin
-          (* Only the compute region stores (block-local coordinate at
-             distance >= halo from the block edge). *)
-          let in_compute = ref true in
-          for d = 0 to nb - 1 do
-            let u = geo.coords.(t).(d) in
-            if u < halo_w || u >= halo_w + compute_w.(d) then in_compute := false
-          done;
-          if !in_compute then begin
-            let g = gcoords.(t) in
-            idx_buf.(0) <- j;
-            for d = 0 to nb - 1 do
-              idx_buf.(d + 1) <- g.(d)
-            done;
-            Gpu.Machine.gm_write machine dst idx_buf src_plane.(t)
-          end
-        end
-      done
-    in
-    let load_lo = s0 - (b * rad) and load_hi = s1 - 1 + (b * rad) in
-    for i = load_lo to load_hi do
-      if i >= 0 && i < l then load_plane i;
-      for tstep = 1 to b do
-        let j = i - (tstep * rad) in
-        let lo = s0 - ((b - tstep) * rad) and hi = s1 - 1 + ((b - tstep) * rad) in
-        if j >= lo && j <= hi && j >= 0 && j < l then begin
-          compute_plane tstep j;
-          if tstep = b && j >= s0 && j < s1 then store_plane j
-        end
-      done
-    done
-  in
-  Gpu.Machine.launch ?pool machine ~n_blocks:(n_sb * spatial_blocks) ~n_thr
-    simulate_block
+  Gpu.Machine.launch ?pool machine
+    ~n_blocks:(plan.Plan.n_sb * plan.Plan.spatial_blocks)
+    ~n_thr:plan.Plan.n_thr block
 
 (* ------------------------------------------------------------------ *)
 (* Full temporal-blocking run                                          *)
@@ -289,8 +488,8 @@ let kernel_call ?(mode = Direct) ?pool (em : Execmodel.t)
     call out over that many domains (one pool, reused across the
     calls); passing an existing [pool] instead reuses it and takes
     precedence. Output grids and counters are bit-identical to the
-    sequential run in both execution modes. *)
-let run ?mode ?domains ?pool (em : Execmodel.t) ~(machine : Gpu.Machine.t)
+    sequential run in both execution modes and both implementations. *)
+let run ?mode ?impl ?domains ?pool (em : Execmodel.t) ~(machine : Gpu.Machine.t)
     ~steps (g : Stencil.Grid.t) =
   if g.Stencil.Grid.dims <> em.Execmodel.dims then
     invalid_arg "Blocking.run: grid dims do not match execution model";
@@ -300,7 +499,7 @@ let run ?mode ?domains ?pool (em : Execmodel.t) ~(machine : Gpu.Machine.t)
   let exec pool =
     List.iter
       (fun degree ->
-        kernel_call ?mode ?pool em ~machine ~degree ~src:!cur ~dst:!nxt;
+        kernel_call ?mode ?impl ?pool em ~machine ~degree ~src:!cur ~dst:!nxt;
         let t = !cur in
         cur := !nxt;
         nxt := t)

@@ -10,8 +10,11 @@
     re-loads; halo and boundary threads overwrite their destination with
     the previous value instead of branching (§4.1).
 
-    Numerics are bit-compared against {!Stencil.Reference} and the
-    traffic counters against the §5 closed forms in the test suite. *)
+    Kernel calls run off a memoized {!Plan} (compiled once per
+    [(pattern, config, dims, precision, degree)]) through one of two
+    implementations proven bit-identical by the differential test
+    suite. Numerics are also bit-compared against {!Stencil.Reference}
+    and the traffic counters against the §5 closed forms. *)
 
 (** How CALC evaluates the update: [Direct] (the expression as written;
     bit-identical to the reference) or [Partial_sums] (the §4.1
@@ -22,10 +25,20 @@
     to [Direct] for non-associative expressions. *)
 type exec_mode = Direct | Partial_sums
 
+(** Which executor implementation runs the kernel: [Compiled] (default)
+    drives the inner loops off the plan's flat tables — lowered
+    expression terms, neighbor-thread and store-mask tables, unchecked
+    linear plane access — with analytic per-plane bulk counter updates;
+    [Closure] is the legacy per-cell closure path. Grids are
+    bit-identical and counters field-for-field equal between the two
+    (differentially tested); [Compiled] is just faster. *)
+type impl = Compiled | Closure
+
 (** Thread-block geometry: the mapping between flat thread ids and
-    block-local coordinates along the blocked dimensions (shared with
-    the {!Warp} analysis). *)
-type geometry = {
+    block-local coordinates along the blocked dimensions (defined in
+    {!Plan}; re-exported for the {!Warp} analysis and the PTX
+    interpreter). *)
+type geometry = Plan.geometry = {
   bs : int array;
   coords : int array array;  (** per thread *)
   strides : int array;
@@ -51,6 +64,7 @@ val pp_launch_stats : Format.formatter -> launch_stats -> unit
 
 val kernel_call :
   ?mode:exec_mode ->
+  ?impl:impl ->
   ?pool:Gpu.Pool.t ->
   Execmodel.t ->
   machine:Gpu.Machine.t ->
@@ -60,14 +74,17 @@ val kernel_call :
   unit
 (** One temporal-blocking advancement of [degree] steps: reads [src],
     writes updated planes of [dst] (which must be pre-initialized with
-    the boundary values, e.g. as a copy of the initial grid). A [pool]
+    the boundary values, e.g. as a copy of the initial grid). The plan
+    is fetched from the memo cache (compiled on first use). A [pool]
     fans the independent thread blocks out over its domains with
     bit-identical results and counters.
     @raise Gpu.Machine.Launch_failure when shared memory or registers
-    exceed the device limits. *)
+    exceed the device limits.
+    @raise Invalid_argument when a grid does not match the model. *)
 
 val run :
   ?mode:exec_mode ->
+  ?impl:impl ->
   ?domains:int ->
   ?pool:Gpu.Pool.t ->
   Execmodel.t ->
@@ -77,10 +94,11 @@ val run :
   Stencil.Grid.t * launch_stats
 (** Advance [steps] time-steps, chunked per §4.3's host logic; both
     internal buffers start as copies of the input (the double-buffered
-    host initialization of the C pattern). [domains > 1] runs the
-    thread blocks of every kernel call in parallel on a pool reused
-    across the calls (default: sequential); an explicit [pool] is
-    reused instead and takes precedence. Parallel runs are
-    bit-identical to sequential ones — same grids, same counters — in
-    both execution modes.
+    host initialization of the C pattern). All chunks of the run share
+    one memoized plan. [domains > 1] runs the thread blocks of every
+    kernel call in parallel on a pool reused across the calls (default:
+    sequential); an explicit [pool] is reused instead and takes
+    precedence. Parallel runs are bit-identical to sequential ones —
+    same grids, same counters — in both execution modes and both
+    implementations.
     @raise Invalid_argument when the grid does not match the model. *)

@@ -94,8 +94,10 @@ type outcome = {
     CALC evaluation strategy (partial sums reassociate, so verification
     then reports a small nonzero error, as the real artifact does).
     [domains > 1] executes the independent thread blocks of each kernel
-    call in parallel, bit-identically to the sequential run. *)
-let simulate ?(verify = true) ?mode ?domains ~device ~steps job grid =
+    call in parallel, bit-identically to the sequential run. [impl]
+    selects the executor implementation (default: the compiled plan
+    path; [Closure] is the bit-identical legacy path). *)
+let simulate ?(verify = true) ?mode ?impl ?domains ~device ~steps job grid =
   if grid.Stencil.Grid.dims <> job.dims then
     invalid_arg "Framework.simulate: grid does not match job dimensions";
   let machine = Gpu.Machine.create ~prec:job.prec device in
@@ -103,7 +105,7 @@ let simulate ?(verify = true) ?mode ?domains ~device ~steps job grid =
   Log.debug (fun m ->
       m "simulating %d steps of %s on %s with %a" steps
         (pattern job).Stencil.Pattern.name device.Gpu.Device.name Config.pp job.config);
-  let result, stats = Blocking.run ?mode ?domains em ~machine ~steps grid in
+  let result, stats = Blocking.run ?mode ?impl ?domains em ~machine ~steps grid in
   Log.info (fun m -> m "launch: %a" Blocking.pp_launch_stats stats);
   let verified =
     if not verify then Ok ()

@@ -50,6 +50,7 @@ type outcome = {
 val simulate :
   ?verify:bool ->
   ?mode:Blocking.exec_mode ->
+  ?impl:Blocking.impl ->
   ?domains:int ->
   device:Gpu.Device.t ->
   steps:int ->
@@ -62,5 +63,6 @@ val simulate :
     the small reassociation error the real artifact also sees.
     [domains > 1] runs the thread blocks of each kernel call in
     parallel (default sequential; results are bit-identical either
-    way).
+    way); [impl] selects the executor implementation (default: the
+    compiled plan path; [Closure] is the bit-identical legacy path).
     @raise Invalid_argument when the grid does not match the job. *)

@@ -46,19 +46,63 @@ let regs_required (sys : Stencil.System.t) ~prec ~bt =
   let s = Stencil.System.n_components sys in
   (s * bt * Registers.plane_regs prec rad) + bt + Registers.an5d_overhead prec
 
-let kernel_call ?pool (sys : Stencil.System.t) (cfg : Config.t)
-    ~(machine : Gpu.Machine.t) ~degree:b ~(src : Stencil.Grid.t array)
-    ~(dst : Stencil.Grid.t array) =
-  let rad = Stencil.System.radius sys in
-  let s = Stencil.System.n_components sys in
+(* Everything about a system kernel that depends only on (sys, cfg,
+   prec) — compiled geometry and update closures, resource footprint,
+   per-cell traffic constants. Hoisted out of [kernel_call] so a run's
+   chunks compile the system once (the single-output executor gets the
+   same treatment from {!Plan}). *)
+type prepared = {
+  sys : Stencil.System.t;
+  cfg : Config.t;
+  prec : Stencil.Grid.precision;
+  rad : int;
+  s : int;  (** components *)
+  geo : Blocking.geometry;
+  n_thr : int;
+  updates : ((int -> int array -> float) -> float) array;
+  smem_bytes : int;
+  regs : int;
+  ops_per_cell : Stencil.Sexpr.ops;
+  reads_per_cell : int;
+}
+
+let prepare (sys : Stencil.System.t) (cfg : Config.t) ~prec =
+  {
+    sys;
+    cfg;
+    prec;
+    rad = Stencil.System.radius sys;
+    s = Stencil.System.n_components sys;
+    geo = Blocking.make_geometry cfg.Config.bs;
+    n_thr = Config.n_thr cfg;
+    updates = Array.of_list (Stencil.System.compile sys);
+    smem_bytes = smem_words sys cfg * Stencil.Grid.bytes_per_word prec;
+    regs = regs_required sys ~prec ~bt:cfg.Config.bt;
+    (* ops: the whole system's per-cell FLOPs, charged once per cell (a
+       prototype-level mix: no FMA classification for systems yet) *)
+    ops_per_cell =
+      {
+        Stencil.Sexpr.fma = 0;
+        mul = 0;
+        add = Stencil.System.flops_per_cell sys;
+        other = 0;
+      };
+    reads_per_cell =
+      List.fold_left
+        (fun acc (_, e) -> acc + List.length (Stencil.System.all_reads e))
+        0 sys.Stencil.System.components;
+  }
+
+let kernel_call_prepared ?pool (pre : prepared) ~(machine : Gpu.Machine.t)
+    ~degree:b ~(src : Stencil.Grid.t array) ~(dst : Stencil.Grid.t array) =
+  let { sys; cfg; rad; s; geo; n_thr; updates; smem_bytes; ops_per_cell;
+        reads_per_cell; _ } =
+    pre
+  in
   let dims = src.(0).Stencil.Grid.dims in
   let l = dims.(0) in
   let nb = Array.length cfg.Config.bs in
-  let geo = Blocking.make_geometry cfg.Config.bs in
-  let n_thr = Config.n_thr cfg in
-  let prec = src.(0).Stencil.Grid.prec in
-  let updates = Array.of_list (Stencil.System.compile sys) in
-  let smem_bytes = smem_words sys cfg * Stencil.Grid.bytes_per_word prec in
+  let prec = pre.prec in
   if smem_bytes > machine.Gpu.Machine.device.Gpu.Device.smem_per_sm then
     raise
       (Gpu.Machine.Launch_failure
@@ -79,21 +123,6 @@ let kernel_call ?pool (sys : Stencil.System.t) (cfg : Config.t)
   let p = (2 * rad) + 1 in
   let slot j = ((j mod p) + p) mod p in
   let round = Stencil.Grid.round_to_prec prec in
-  (* ops: the whole system's per-cell FLOPs, charged once per cell (a
-     prototype-level mix: no FMA classification for systems yet) *)
-  let ops_per_cell =
-    {
-      Stencil.Sexpr.fma = 0;
-      mul = 0;
-      add = Stencil.System.flops_per_cell sys;
-      other = 0;
-    }
-  in
-  let reads_per_cell =
-    List.fold_left
-      (fun acc (_, e) -> acc + List.length (Stencil.System.all_reads e))
-      0 sys.Stencil.System.components
-  in
   let simulate_block ctx =
     let machine = ctx.Gpu.Machine.machine in
     let counters = machine.Gpu.Machine.counters in
@@ -208,21 +237,30 @@ let kernel_call ?pool (sys : Stencil.System.t) (cfg : Config.t)
   in
   Gpu.Machine.launch ?pool machine ~n_blocks:spatial_blocks ~n_thr simulate_block
 
+let kernel_call ?pool (sys : Stencil.System.t) (cfg : Config.t)
+    ~(machine : Gpu.Machine.t) ~degree ~(src : Stencil.Grid.t array)
+    ~(dst : Stencil.Grid.t array) =
+  let pre = prepare sys cfg ~prec:src.(0).Stencil.Grid.prec in
+  kernel_call_prepared ?pool pre ~machine ~degree ~src ~dst
+
 (** Advance the system [steps] time-steps with temporal chunks of
-    [cfg.bt]; returns the final grids and launch statistics.
-    [domains > 1] runs thread blocks in parallel (one pool reused
-    across the kernel calls), bit-identically to the sequential path. *)
+    [cfg.bt]; returns the final grids and launch statistics. The system
+    is compiled once for the whole run (all chunks share one
+    [prepared]). [domains > 1] runs thread blocks in parallel (one pool
+    reused across the kernel calls), bit-identically to the sequential
+    path. *)
 let run ?domains ?pool (sys : Stencil.System.t) (cfg : Config.t)
     ~(machine : Gpu.Machine.t) ~steps (gs : Stencil.Grid.t list) =
   if List.length gs <> Stencil.System.n_components sys then
     invalid_arg "Multi_blocking.run: component count mismatch";
   let chunks = Execmodel.time_chunks ~bt:cfg.Config.bt ~it:steps in
+  let pre = prepare sys cfg ~prec:(List.hd gs).Stencil.Grid.prec in
   let cur = ref (Array.of_list (List.map Stencil.Grid.copy gs)) in
   let nxt = ref (Array.of_list (List.map Stencil.Grid.copy gs)) in
   let exec pool =
     List.iter
       (fun degree ->
-        kernel_call ?pool sys cfg ~machine ~degree ~src:!cur ~dst:!nxt;
+        kernel_call_prepared ?pool pre ~machine ~degree ~src:!cur ~dst:!nxt;
         let tmp = !cur in
         cur := !nxt;
         nxt := tmp)

@@ -1,0 +1,242 @@
+(** Compiled execution plans for the N.5D blocked executor.
+
+    A plan flattens everything a kernel call's inner loops would
+    otherwise recompute per cell into arrays indexed directly:
+
+    - the update expression lowered to flat per-term
+      [(plane-slot, neighbor-index, coefficient)] arrays (or an indexed
+      closure when the expression is not a plain weighted sum), via
+      {!Stencil.Sexpr.lower};
+    - per-thread neighbor-thread tables ([n_thr x n_offsets], replacing
+      per-cell {!neighbor_thread} calls);
+    - row-major grid strides so plane loads/stores use the unchecked
+      linear accessors instead of bounds-checked multi-index math;
+    - the per-thread store mask (compute-region membership depends only
+      on block-local coordinates);
+    - the per-call launch geometry, resource footprint and per-cell
+      traffic constants.
+
+    Plans are memoized on [(pattern, config, dims, prec, degree)] —
+    with [reg_limit] stripped from the config, since the register cap
+    affects occupancy and spilling but not the executed schedule — so
+    the chunks of one run, repeated runs, and the tuner's reg-limit
+    variants all share one compilation. Every plan-path evaluation is
+    bit-identical to the legacy closure path; the differential test
+    suite proves it. *)
+
+(* ------------------------------------------------------------------ *)
+(* Thread-block geometry                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Mapping between flat thread ids and block-local coordinates along
+   the blocked dimensions (re-exported by {!Blocking} for the warp
+   analysis and the PTX interpreter). *)
+type geometry = {
+  bs : int array;
+  coords : int array array;  (** per thread *)
+  strides : int array;
+}
+
+let make_geometry bs =
+  let nb = Array.length bs in
+  let strides = Array.make nb 1 in
+  for d = nb - 2 downto 0 do
+    strides.(d) <- strides.(d + 1) * bs.(d + 1)
+  done;
+  let n_thr = Array.fold_left ( * ) 1 bs in
+  let coords =
+    Array.init n_thr (fun t ->
+        Array.init nb (fun d -> t / strides.(d) mod bs.(d)))
+  in
+  { bs; coords; strides }
+
+(* Thread id of the block-local neighbor at the in-plane part of a full
+   stencil offset [off] (entry 0 is the streaming delta, skipped here),
+   clamped to the block edge (edge threads of the halo read their own
+   column; their values are invalid by then and never stored). *)
+let neighbor_thread geo t off =
+  let nb = Array.length geo.bs in
+  let tid = ref 0 in
+  for d = 0 to nb - 1 do
+    let u = geo.coords.(t).(d) + off.(d + 1) in
+    let u = if u < 0 then 0 else if u >= geo.bs.(d) then geo.bs.(d) - 1 else u in
+    tid := !tid + (u * geo.strides.(d))
+  done;
+  !tid
+
+(* ------------------------------------------------------------------ *)
+(* The plan                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type t = {
+  em : Execmodel.t;
+  degree : int;
+  prec : Stencil.Grid.precision;
+  (* geometry *)
+  geo : geometry;
+  nb : int;
+  n_thr : int;
+  rad : int;
+  p : int;  (** register slots per time-step: [2*rad + 1] *)
+  l : int;  (** streaming-dimension length *)
+  (* flattened access patterns *)
+  n_off : int;
+  plane_e : int array;  (** per offset: streaming delta + rad, in [0, p) *)
+  nbr : int array;  (** [n_thr * n_off] clamped neighbor thread ids *)
+  low : Stencil.Sexpr.lowered;
+  (* the legacy closure path, hoisted here so it too compiles once *)
+  update : (int array -> float) -> float;
+  partial :
+    ((int * ((int array -> float) -> float)) list * (float -> float)) option;
+  (* per-cell traffic constants *)
+  ops : Stencil.Sexpr.ops;
+  sm_writes_per_cell : int;
+  sm_reads_per_cell : int;
+  (* launch geometry and resource footprint *)
+  smem_bytes : int;
+  regs : int;
+  blocks_per_dim : int array;
+  spatial_blocks : int;
+  n_sb : int;
+  halo_w : int;
+  compute_w : int array;
+  store_ok : bool array;  (** per thread: inside the compute region *)
+  gstrides : int array;  (** row-major strides of the run grids *)
+}
+
+let build (em : Execmodel.t) ~degree:b ~prec =
+  let pattern = em.Execmodel.pattern in
+  let cfg = em.Execmodel.config in
+  let dims = em.Execmodel.dims in
+  let rad = pattern.Stencil.Pattern.radius in
+  let nb = Array.length cfg.Config.bs in
+  let geo = make_geometry cfg.Config.bs in
+  let n_thr = Config.n_thr cfg in
+  let low = Stencil.Pattern.lower pattern in
+  let offs = low.Stencil.Sexpr.low_offsets in
+  let n_off = Array.length offs in
+  let plane_e = Array.map (fun o -> o.(0) + rad) offs in
+  let nbr = Array.make (max 1 (n_thr * n_off)) 0 in
+  for t = 0 to n_thr - 1 do
+    let row = t * n_off in
+    for k = 0 to n_off - 1 do
+      nbr.(row + k) <- neighbor_thread geo t offs.(k)
+    done
+  done;
+  let blocks_per_dim =
+    Array.init nb (fun i ->
+        let w = Execmodel.compute_width ~b em i in
+        (dims.(i + 1) + w - 1) / w)
+  in
+  let halo_w = Execmodel.halo ~b em in
+  let compute_w = Array.init nb (fun d -> Execmodel.compute_width ~b em d) in
+  let store_ok =
+    Array.init n_thr (fun t ->
+        let ok = ref true in
+        for d = 0 to nb - 1 do
+          let u = geo.coords.(t).(d) in
+          if u < halo_w || u >= halo_w + compute_w.(d) then ok := false
+        done;
+        !ok)
+  in
+  let n = Array.length dims in
+  let gstrides = Array.make n 1 in
+  for d = n - 2 downto 0 do
+    gstrides.(d) <- gstrides.(d + 1) * dims.(d + 1)
+  done;
+  {
+    em;
+    degree = b;
+    prec;
+    geo;
+    nb;
+    n_thr;
+    rad;
+    p = (2 * rad) + 1;
+    l = dims.(0);
+    n_off;
+    plane_e;
+    nbr;
+    low;
+    update = Stencil.Pattern.compile pattern;
+    partial =
+      Stencil.Sexpr.compile_partial_sums
+        ~param:(Stencil.Pattern.param_value pattern)
+        pattern.Stencil.Pattern.expr;
+    ops = Stencil.Pattern.ops_per_cell pattern;
+    sm_writes_per_cell = Execmodel.smem_writes_per_cell em;
+    sm_reads_per_cell = Execmodel.smem_reads_practical em;
+    smem_bytes = Execmodel.smem_bytes em ~prec;
+    regs = Registers.an5d_required ~prec ~bt:b ~rad;
+    blocks_per_dim;
+    spatial_blocks = Array.fold_left ( * ) 1 blocks_per_dim;
+    n_sb = Execmodel.n_stream_blocks em;
+    halo_w;
+    compute_w;
+    store_ok;
+    gstrides;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Memoization                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type key = {
+  k_pattern : Stencil.Pattern.t;
+  k_config : Config.t;
+  k_dims : int array;
+  k_prec : Stencil.Grid.precision;
+  k_degree : int;
+}
+
+let cache : (key, t) Hashtbl.t = Hashtbl.create 64
+
+let lock = Mutex.create ()
+
+let hits = ref 0
+
+let misses = ref 0
+
+type cache_stats = { cache_hits : int; cache_misses : int; cache_size : int }
+
+let cache_stats () =
+  Mutex.protect lock (fun () ->
+      { cache_hits = !hits; cache_misses = !misses; cache_size = Hashtbl.length cache })
+
+let reset_cache () =
+  Mutex.protect lock (fun () ->
+      Hashtbl.reset cache;
+      hits := 0;
+      misses := 0)
+
+(** The memoized plan for one kernel call. The key strips [reg_limit]
+    (it affects occupancy, never the executed schedule), so a run's
+    chunks, repeated runs, and the tuner's §6.3 register-limit variants
+    share one compilation. Patterns and configurations are pure data,
+    so structural equality is the right cache identity. *)
+let get (em : Execmodel.t) ~degree ~prec =
+  let key =
+    {
+      k_pattern = em.Execmodel.pattern;
+      k_config = { em.Execmodel.config with Config.reg_limit = None };
+      k_dims = em.Execmodel.dims;
+      k_prec = prec;
+      k_degree = degree;
+    }
+  in
+  match
+    Mutex.protect lock (fun () ->
+        match Hashtbl.find_opt cache key with
+        | Some plan ->
+            incr hits;
+            Some plan
+        | None -> None)
+  with
+  | Some plan -> plan
+  | None ->
+      (* build outside the lock; a racing duplicate build is harmless *)
+      let plan = build em ~degree ~prec in
+      Mutex.protect lock (fun () ->
+          incr misses;
+          if not (Hashtbl.mem cache key) then Hashtbl.add cache key plan);
+      plan

@@ -1,0 +1,73 @@
+(** Compiled execution plans for the N.5D blocked executor.
+
+    A plan is everything about one kernel call that depends only on
+    [(pattern, config, dims, precision, degree)] — not on the grids or
+    the stream position — compiled once and memoized: the thread-block
+    geometry, the update expression lowered to flat per-term tables
+    ({!Stencil.Sexpr.lower}), per-thread neighbor-thread and store-mask
+    tables, row-major grid strides for unchecked linear plane access,
+    and the launch/resource/traffic constants. The compiled executors
+    ({!Blocking}, {!Stencil.Reference}) drive their inner loops off
+    these arrays; the differential test suite proves the results
+    bit-identical (and the counters field-for-field equal) to the
+    legacy closure path. *)
+
+(** Thread-block geometry: the mapping between flat thread ids and
+    block-local coordinates along the blocked dimensions (re-exported
+    by {!Blocking} for the warp analysis and the PTX interpreter). *)
+type geometry = {
+  bs : int array;
+  coords : int array array;  (** per thread *)
+  strides : int array;
+}
+
+val make_geometry : int array -> geometry
+
+val neighbor_thread : geometry -> int -> int array -> int
+(** Thread id of the block-local neighbor at the in-plane part of a
+    full stencil offset (entry 0, the streaming delta, is skipped),
+    clamped to the block edge. *)
+
+type t = {
+  em : Execmodel.t;
+  degree : int;
+  prec : Stencil.Grid.precision;
+  geo : geometry;
+  nb : int;  (** blocked (non-streaming) dimensions *)
+  n_thr : int;
+  rad : int;
+  p : int;  (** register slots per time-step: [2*rad + 1] *)
+  l : int;  (** streaming-dimension length *)
+  n_off : int;
+  plane_e : int array;  (** per offset: streaming delta + rad, in [0, p) *)
+  nbr : int array;  (** [n_thr * n_off] clamped neighbor thread ids *)
+  low : Stencil.Sexpr.lowered;
+  update : (int array -> float) -> float;
+      (** the legacy closure path, hoisted so it too compiles once *)
+  partial :
+    ((int * ((int array -> float) -> float)) list * (float -> float)) option;
+  ops : Stencil.Sexpr.ops;
+  sm_writes_per_cell : int;
+  sm_reads_per_cell : int;
+  smem_bytes : int;
+  regs : int;
+  blocks_per_dim : int array;
+  spatial_blocks : int;
+  n_sb : int;  (** stream blocks *)
+  halo_w : int;
+  compute_w : int array;
+  store_ok : bool array;  (** per thread: inside the compute region *)
+  gstrides : int array;  (** row-major strides of the run grids *)
+}
+
+val get : Execmodel.t -> degree:int -> prec:Stencil.Grid.precision -> t
+(** The memoized plan for one kernel call. The cache key strips the
+    config's [reg_limit] (it affects occupancy, never the executed
+    schedule), so a run's chunks, repeated runs, and the tuner's
+    register-limit variants share one compilation. Thread-safe. *)
+
+type cache_stats = { cache_hits : int; cache_misses : int; cache_size : int }
+
+val cache_stats : unit -> cache_stats
+
+val reset_cache : unit -> unit

@@ -103,6 +103,31 @@ let add_ops c (ops : Stencil.Sexpr.ops) =
   c.add <- c.add + ops.Stencil.Sexpr.add;
   c.other <- c.other + ops.Stencil.Sexpr.other
 
+(* Bulk accumulators: the compiled-plan executors know per-plane traffic
+   analytically (per-thread counts are block-level constants), so they
+   add a whole plane's worth in one mutation instead of one per cell.
+   The totals are the same integer sums, so bulk and per-cell paths
+   agree field for field. *)
+
+let add_gm_reads c n = c.gm_reads <- c.gm_reads + n
+
+let add_gm_writes c n = c.gm_writes <- c.gm_writes + n
+
+let add_sm_reads c n = c.sm_reads <- c.sm_reads + n
+
+let add_sm_writes c n = c.sm_writes <- c.sm_writes + n
+
+let add_barriers c n = c.barriers <- c.barriers + n
+
+let add_cells_updated c n = c.cells_updated <- c.cells_updated + n
+
+(** [add_ops_n c ops n] records the mix of [n] identical cell updates. *)
+let add_ops_n c (ops : Stencil.Sexpr.ops) n =
+  c.fma <- c.fma + (ops.Stencil.Sexpr.fma * n);
+  c.mul <- c.mul + (ops.Stencil.Sexpr.mul * n);
+  c.add <- c.add + (ops.Stencil.Sexpr.add * n);
+  c.other <- c.other + (ops.Stencil.Sexpr.other * n)
+
 let gm_words c = c.gm_reads + c.gm_writes
 
 let sm_words c = c.sm_reads + c.sm_writes

@@ -39,6 +39,25 @@ val equal : t -> t -> bool
 val add_ops : t -> Stencil.Sexpr.ops -> unit
 (** Record the operation mix of one cell update. *)
 
+(** Bulk accumulators for the compiled-plan executors: per-plane traffic
+    is known analytically, so a whole plane is one increment instead of
+    one mutation per cell. Same integer sums, same totals. *)
+
+val add_gm_reads : t -> int -> unit
+
+val add_gm_writes : t -> int -> unit
+
+val add_sm_reads : t -> int -> unit
+
+val add_sm_writes : t -> int -> unit
+
+val add_barriers : t -> int -> unit
+
+val add_cells_updated : t -> int -> unit
+
+val add_ops_n : t -> Stencil.Sexpr.ops -> int -> unit
+(** The mix of [n] identical cell updates in one mutation. *)
+
 val gm_words : t -> int
 
 val sm_words : t -> int

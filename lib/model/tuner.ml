@@ -26,6 +26,10 @@ type result = {
   explored : int;  (** configurations enumerated *)
   pruned : int;  (** removed by the register estimate *)
   top : candidate list;  (** the model's top-k, best predicted first *)
+  verify : float option;
+      (** max abs deviation of the winner's executed run from the
+          reference on the [verify_dims] grid; [None] when not
+          requested *)
 }
 
 let bt_range dims = if dims <= 2 then List.init 16 (fun i -> i + 1) else List.init 8 (fun i -> i + 1)
@@ -87,8 +91,13 @@ exception No_feasible_configuration of string
 (** Full §6.3 tuning: model-rank, measure the top [k], pick the winner.
     [domains] measures the top-k candidates in parallel; the measurement
     layer is purely analytic, so the result is identical to the
-    sequential sweep. *)
-let tune ?(k = 5) ?domains (dev : Gpu.Device.t) ~prec pattern ~dims_sizes ~steps =
+    sequential sweep. [verify_dims] additionally executes the winning
+    configuration on a small grid of those sizes through the blocked
+    simulator (the compiled plan path — its plan is memoized, so the
+    winner's reg-limit variants share one compilation) and reports the
+    max abs deviation from the reference executor. *)
+let tune ?(k = 5) ?domains ?verify_dims (dev : Gpu.Device.t) ~prec pattern
+    ~dims_sizes ~steps =
   let explored, sorted = rank dev ~prec pattern ~dims_sizes ~steps in
   if sorted = [] then
     raise
@@ -130,6 +139,18 @@ let tune ?(k = 5) ?domains (dev : Gpu.Device.t) ~prec pattern ~dims_sizes ~steps
       (match measured with first :: _ -> first | [] -> assert false)
       measured
   in
+  let verify =
+    Option.map
+      (fun vdims ->
+        let vsteps = min steps (2 * best_config.Config.bt) in
+        let em = Execmodel.make pattern best_config vdims in
+        let machine = Gpu.Machine.create ~prec dev in
+        let g = Stencil.Grid.init_random ~prec vdims in
+        let result, _ = Blocking.run em ~machine ~steps:vsteps g in
+        let reference = Stencil.Reference.run pattern ~steps:vsteps g in
+        Stencil.Grid.max_abs_diff reference result)
+      verify_dims
+  in
   {
     best = best_config;
     tuned = best_m;
@@ -137,4 +158,5 @@ let tune ?(k = 5) ?domains (dev : Gpu.Device.t) ~prec pattern ~dims_sizes ~steps
     explored;
     pruned = explored - List.length sorted;
     top;
+    verify;
   }

@@ -14,6 +14,10 @@ type result = {
   explored : int;
   pruned : int;
   top : candidate list;  (** the model's top-k, best first *)
+  verify : float option;
+      (** max abs deviation of the winner's executed run from the
+          reference on the [verify_dims] grid; [None] when not
+          requested *)
 }
 
 val bt_range : int -> int list
@@ -47,6 +51,7 @@ exception No_feasible_configuration of string
 val tune :
   ?k:int ->
   ?domains:int ->
+  ?verify_dims:int array ->
   Gpu.Device.t ->
   prec:Stencil.Grid.precision ->
   Stencil.Pattern.t ->
@@ -54,5 +59,7 @@ val tune :
   steps:int ->
   result
 (** [domains] measures the top-[k] candidates in parallel (the
-    measurement layer is analytic, so the result is unchanged).
+    measurement layer is analytic, so the result is unchanged);
+    [verify_dims] additionally executes the winner on a small grid of
+    those sizes and reports the deviation from the reference.
     @raise No_feasible_configuration when pruning leaves nothing. *)

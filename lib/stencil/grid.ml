@@ -85,7 +85,10 @@ let init_random ?(prec = F64) ?(seed = 42) dims =
           (fun acc i -> (acc * 1103515245) + i + 12345)
           seed idx
       in
-      float (abs h mod 1_000_003) /. 1_000_003.0)
+      (* [abs min_int] is still [min_int]; masking the sign bit after
+         the [abs] keeps the value non-negative on that one hash while
+         leaving every other seed's stream unchanged. *)
+      float (abs h land max_int mod 1_000_003) /. 1_000_003.0)
 
 let domain g : Poly.Box.t = Poly.Box.of_dims g.dims
 

@@ -66,6 +66,10 @@ let param_value t name =
 (** Compile the update into a closure over an offset reader. *)
 let compile t = Sexpr.compile ~param:(param_value t) t.expr
 
+(** Lower the update for table-driven execution (the compiled-plan
+    layer); every path is bit-identical to {!compile}. *)
+let lower t = Sexpr.lower ~param:(param_value t) t.expr
+
 (** Dependence vectors of the stencil (for legality checks). *)
 let dependences t = Poly.Dependence.of_offsets t.offsets
 

@@ -43,6 +43,10 @@ val param_value : t -> string -> float
 val compile : t -> (int array -> float) -> float
 (** The update as a closure over an offset reader. *)
 
+val lower : t -> Sexpr.lowered
+(** The update lowered for table-driven execution (the compiled-plan
+    layer); bit-identical to {!compile} on every path. *)
+
 val dependences : t -> Poly.Dependence.vector list
 
 val offsets_by_plane : t -> (int * int array list) list

@@ -4,15 +4,38 @@
     around a full sweep of the interior, double-buffered. Every optimized
     executor in this repository is bit-compared against this one (the
     paper's artifact likewise verifies GPU output against CPU-only
-    execution, §A.6). *)
+    execution, §A.6).
 
-(** Apply one time-step: reads [src], writes [dst]. Boundary cells (those
-    whose neighborhood leaves the grid) are copied unchanged — they hold
-    the boundary condition. *)
-let step pattern ~(src : Grid.t) ~(dst : Grid.t) =
+    Two sweep implementations produce bit-identical grids: [Compiled]
+    (default) walks the interior with linear indices and per-offset
+    linear deltas off the lowered expression ({!Pattern.lower});
+    [Closure] is the legacy per-cell path through bounds-checked
+    multi-index reads. The differential tests compare them. *)
+
+type impl = Compiled | Closure
+
+(* One-entry lowering cache: verification loops call [step]/[run] many
+   times with the same pattern value, and patterns are immutable, so
+   physical equality identifies a reusable lowering. Worst case on a
+   race or a miss is a recompute. *)
+let lower_cache : (Pattern.t * Sexpr.lowered) option Atomic.t = Atomic.make None
+
+let lowered_of pattern =
+  match Atomic.get lower_cache with
+  | Some (p, low) when p == pattern -> low
+  | _ ->
+      let low = Pattern.lower pattern in
+      Atomic.set lower_cache (Some (pattern, low));
+      low
+
+let check_step pattern ~(src : Grid.t) ~(dst : Grid.t) =
   if src.Grid.dims <> dst.Grid.dims then invalid_arg "Reference.step: dim mismatch";
   if Array.length src.Grid.dims <> pattern.Pattern.dims then
-    invalid_arg "Reference.step: grid rank does not match pattern";
+    invalid_arg "Reference.step: grid rank does not match pattern"
+
+(* Legacy per-cell sweep: offset reads through bounds-checked
+   multi-index access, the update as a compiled closure. *)
+let step_closure pattern ~(src : Grid.t) ~(dst : Grid.t) =
   let rad = pattern.Pattern.radius in
   let update = Pattern.compile pattern in
   let interior = Grid.interior ~rad src in
@@ -28,17 +51,108 @@ let step pattern ~(src : Grid.t) ~(dst : Grid.t) =
       Grid.set dst idx (update read))
     interior
 
+(* Flat sweep: each stencil offset becomes one linear delta against the
+   cell's row-major position, the interior is walked recursively with
+   the innermost dimension contiguous, and the lowered expression is
+   evaluated inline (flat weighted-sum terms when available, the indexed
+   closure otherwise). Reads the same values and performs the same
+   arithmetic in the same order as [step_closure], so bit-identical. *)
+let step_lowered (low : Sexpr.lowered) ~rad ~(src : Grid.t) ~(dst : Grid.t) =
+  let dims = src.Grid.dims in
+  let strides = src.Grid.strides in
+  let n = Array.length dims in
+  let offs = low.Sexpr.low_offsets in
+  let delta =
+    Array.map
+      (fun off ->
+        let d = ref 0 in
+        Array.iteri (fun i o -> d := !d + (o * strides.(i))) off;
+        !d)
+      offs
+  in
+  Array.blit src.Grid.data 0 dst.Grid.data 0 (Array.length src.Grid.data);
+  let data = src.Grid.data in
+  match low.Sexpr.low_linear with
+  | Some lf ->
+      let lt_off = lf.Sexpr.lt_off in
+      let lt_coef = lf.Sexpr.lt_coef in
+      let lt_scaled = lf.Sexpr.lt_scaled in
+      let n_terms = Array.length lt_off in
+      let rec sweep d base =
+        if d = n - 1 then
+          for pos = base + rad to base + dims.(d) - rad - 1 do
+            let k0 = lt_off.(0) in
+            let v0 = data.(pos + delta.(k0)) in
+            let acc = ref (if lt_scaled.(0) then lt_coef.(0) *. v0 else v0) in
+            for q = 1 to n_terms - 1 do
+              let k = lt_off.(q) in
+              let v = data.(pos + delta.(k)) in
+              acc := !acc +. (if lt_scaled.(q) then lt_coef.(q) *. v else v)
+            done;
+            let value =
+              match lf.Sexpr.lt_post with
+              | Sexpr.Post_none -> !acc
+              | Sexpr.Post_div dv -> !acc /. dv
+            in
+            Grid.set_lin dst pos value
+          done
+        else
+          for i = rad to dims.(d) - rad - 1 do
+            sweep (d + 1) (base + (i * strides.(d)))
+          done
+      in
+      sweep 0 0
+  | None ->
+      let eval = low.Sexpr.low_eval in
+      let pos_ref = ref 0 in
+      let read k = data.(!pos_ref + delta.(k)) in
+      let rec sweep d base =
+        if d = n - 1 then
+          for pos = base + rad to base + dims.(d) - rad - 1 do
+            pos_ref := pos;
+            Grid.set_lin dst pos (eval read)
+          done
+        else
+          for i = rad to dims.(d) - rad - 1 do
+            sweep (d + 1) (base + (i * strides.(d)))
+          done
+      in
+      sweep 0 0
+
+(** Apply one time-step: reads [src], writes [dst]. Boundary cells (those
+    whose neighborhood leaves the grid) are copied unchanged — they hold
+    the boundary condition. *)
+let step ?(impl = Compiled) pattern ~(src : Grid.t) ~(dst : Grid.t) =
+  check_step pattern ~src ~dst;
+  match impl with
+  | Closure -> step_closure pattern ~src ~dst
+  | Compiled ->
+      step_lowered (lowered_of pattern) ~rad:pattern.Pattern.radius ~src ~dst
+
 (** Run [steps] time-steps starting from [g]; returns the final grid.
     Matches the C semantics: with double buffering the result of step [s]
     lands in buffer [s mod 2]; we return whichever buffer holds the final
-    values. *)
-let run pattern ~steps g =
+    values. The lowering is hoisted out of the time loop. *)
+let run ?(impl = Compiled) pattern ~steps g =
   if steps < 0 then invalid_arg "Reference.run: negative step count";
   let a = Grid.copy g in
   let b = Grid.copy g in
   let cur = ref a and nxt = ref b in
+  let do_step =
+    match impl with
+    | Closure ->
+        fun ~src ~dst ->
+          check_step pattern ~src ~dst;
+          step_closure pattern ~src ~dst
+    | Compiled ->
+        let low = lowered_of pattern in
+        let rad = pattern.Pattern.radius in
+        fun ~src ~dst ->
+          check_step pattern ~src ~dst;
+          step_lowered low ~rad ~src ~dst
+  in
   for _ = 1 to steps do
-    step pattern ~src:!cur ~dst:!nxt;
+    do_step ~src:!cur ~dst:!nxt;
     let t = !cur in
     cur := !nxt;
     nxt := t

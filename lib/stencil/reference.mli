@@ -3,13 +3,20 @@
     Every optimized executor is bit-compared against this one (the
     artifact's CPU verification, §A.6). *)
 
-val step : Pattern.t -> src:Grid.t -> dst:Grid.t -> unit
+(** Sweep implementation: [Compiled] (default) walks the interior with
+    linear indices and per-offset linear deltas off the lowered
+    expression ({!Pattern.lower}); [Closure] is the legacy per-cell
+    bounds-checked path. Bit-identical results, differentially
+    tested. *)
+type impl = Compiled | Closure
+
+val step : ?impl:impl -> Pattern.t -> src:Grid.t -> dst:Grid.t -> unit
 (** One time-step; boundary cells are copied unchanged.
     @raise Invalid_argument on rank/dimension mismatches. *)
 
-val run : Pattern.t -> steps:int -> Grid.t -> Grid.t
+val run : ?impl:impl -> Pattern.t -> steps:int -> Grid.t -> Grid.t
 (** [steps] time-steps from the given initial grid; the input is not
-    modified.
+    modified. The expression lowering is hoisted out of the time loop.
     @raise Invalid_argument on a negative step count. *)
 
 val total_flops : Pattern.t -> dims:int array -> steps:int -> float

@@ -277,6 +277,199 @@ let compile_partial_sums ~(param : string -> float) e =
       Some (compiled, post)
 
 (* ------------------------------------------------------------------ *)
+(* Flat lowering (the compiled-plan layer)                             *)
+(* ------------------------------------------------------------------ *)
+
+(** Compile to a closure reading cells by *index* into a fixed offsets
+    table instead of by offset array. The closure tree is identical to
+    {!compile}'s — same operations, same order, same rounding — so given
+    a reader with [read (index_of o) = read_by_offset o] the result is
+    bit-identical. [index] resolves each [Cell] offset once at compile
+    time, which is what lets executors replace per-cell offset
+    arithmetic with table lookups. *)
+let compile_indexed ~(param : string -> float) ~(index : int array -> int) e :
+    (int -> float) -> float =
+  let rec go = function
+    | Const c -> fun _ -> c
+    | Coef o ->
+        let v = coef_value o in
+        fun _ -> v
+    | Param p ->
+        let v = param p in
+        fun _ -> v
+    | Cell o ->
+        let k = index o in
+        fun read -> read k
+    | Neg a ->
+        let fa = go a in
+        fun read -> -.fa read
+    | Add (a, b) ->
+        let fa = go a and fb = go b in
+        fun read -> fa read +. fb read
+    | Sub (a, b) ->
+        let fa = go a and fb = go b in
+        fun read -> fa read -. fb read
+    | Mul (a, b) ->
+        let fa = go a and fb = go b in
+        fun read -> fa read *. fb read
+    | Div (a, b) ->
+        let fa = go a and fb = go b in
+        fun read -> fa read /. fb read
+    | Sqrt a ->
+        let fa = go a in
+        fun read -> sqrt (fa read)
+  in
+  go e
+
+type post_op = Post_none | Post_div of float
+
+(** Fully flattened linear combination: term [k] reads the cell at
+    offsets-table index [lt_off.(k)] and contributes it scaled by
+    [lt_coef.(k)] when [lt_scaled.(k)] (bare reads contribute the value
+    itself — skipping the multiplication keeps [1.0 *. x] rounding
+    questions out of the bit-identity argument). Terms are accumulated
+    left to right starting from term 0, exactly the left-leaning [Add]
+    spine {!weighted_sum} builds, then [lt_post] applies. *)
+type linear_form = {
+  lt_off : int array;
+  lt_coef : float array;
+  lt_scaled : bool array;
+  lt_post : post_op;
+}
+
+(** One per-plane partial-sum group of the §4.1 associative dataflow:
+    the flat form when the group is a pure linear combination, plus the
+    indexed closure that always works. *)
+type plane_group = {
+  g_plane : int;
+  g_linear : linear_form option;
+  g_eval : (int -> float) -> float;
+}
+
+(** Everything an executor inner loop needs, precompiled: the distinct
+    offsets (the read index space), an indexed closure bit-identical to
+    {!compile}, the flat linear form when the expression is a
+    left-leaning weighted sum (with an optional invariant-divisor
+    post-op), and the partial-summation groups mirroring
+    {!compile_partial_sums}. *)
+type lowered = {
+  low_offsets : int array array;
+  low_eval : (int -> float) -> float;
+  low_linear : linear_form option;
+  low_partial : (plane_group array * (float -> float)) option;
+}
+
+let apply_post p v = match p with Post_none -> v | Post_div d -> v /. d
+
+(** Evaluate a linear form against an indexed reader — the same
+    accumulation the executors inline. *)
+let eval_linear (lf : linear_form) (read : int -> float) =
+  let term k =
+    let v = read lf.lt_off.(k) in
+    if lf.lt_scaled.(k) then lf.lt_coef.(k) *. v else v
+  in
+  let acc = ref (term 0) in
+  for k = 1 to Array.length lf.lt_off - 1 do
+    acc := !acc +. term k
+  done;
+  apply_post lf.lt_post !acc
+
+(* The left spine of nested [Add]s, in evaluation order: the flat loop
+   [((t0 + t1) + t2) + ...] rounds identically to the closure tree only
+   on a left-leaning spine, so a right-nested [Add] stays one (opaque)
+   term and linearization fails over to the indexed closure. *)
+let rec add_spine acc = function
+  | Add (a, b) -> add_spine (b :: acc) a
+  | e -> e :: acc
+
+let scalar_value ~param = function
+  | Coef o -> Some (coef_value o)
+  | Param p -> Some (param p)
+  | Const c -> Some c
+  | _ -> None
+
+(* One linear term: [Cell], or [scalar * Cell] either way round
+   (IEEE 754 multiplication commutes bit-exactly). *)
+let linear_term ~param ~index = function
+  | Cell o -> Some (index o, 0.0, false)
+  | Mul (s, Cell o) | Mul (Cell o, s) -> (
+      match scalar_value ~param s with
+      | Some c -> Some (index o, c, true)
+      | None -> None)
+  | _ -> None
+
+let linearize_sum ~param ~index ~post body =
+  let terms = add_spine [] body in
+  let lowered = List.map (linear_term ~param ~index) terms in
+  if List.exists Option.is_none lowered then None
+  else
+    let ts = Array.of_list (List.map Option.get lowered) in
+    Some
+      {
+        lt_off = Array.map (fun (o, _, _) -> o) ts;
+        lt_coef = Array.map (fun (_, c, _) -> c) ts;
+        lt_scaled = Array.map (fun (_, _, s) -> s) ts;
+        lt_post = post;
+      }
+
+(** Lower an expression for table-driven execution. The indexed closure
+    is always bit-identical to {!compile}; the linear form, when
+    present, reproduces the closure's rounding exactly (left-spine
+    accumulation, divisor applied last, matching how {!compile}
+    evaluates [Div (sum, invariant)]). *)
+let lower ~(param : string -> float) e =
+  let offs = Array.of_list (offsets e) in
+  let tbl = Hashtbl.create 16 in
+  Array.iteri (fun k o -> Hashtbl.replace tbl o k) offs;
+  let index o =
+    match Hashtbl.find_opt tbl o with
+    | Some k -> k
+    | None -> invalid_arg "Sexpr.lower: offset not in table"
+  in
+  let low_linear =
+    match e with
+    | Div (body, ((Param _ | Const _ | Coef _) as d)) ->
+        linearize_sum ~param ~index
+          ~post:(Post_div (Option.get (scalar_value ~param d)))
+          body
+    | _ -> linearize_sum ~param ~index ~post:Post_none e
+  in
+  let low_partial =
+    match partial_sums e with
+    | None -> None
+    | Some (groups, _sym_post) ->
+        (* the numeric post mirrors compile_partial_sums exactly *)
+        let post =
+          match e with
+          | Div (_, Param p) ->
+              let d = param p in
+              fun s -> s /. d
+          | Div (_, Const d) -> fun s -> s /. d
+          | Div (_, Coef o) ->
+              let d = coef_value o in
+              fun s -> s /. d
+          | _ -> Fun.id
+        in
+        let gs =
+          List.map
+            (fun (plane, g) ->
+              {
+                g_plane = plane;
+                g_linear = linearize_sum ~param ~index ~post:Post_none g;
+                g_eval = compile_indexed ~param ~index g;
+              })
+            groups
+        in
+        Some (Array.of_list gs, post)
+  in
+  {
+    low_offsets = offs;
+    low_eval = compile_indexed ~param ~index e;
+    low_linear;
+    low_partial;
+  }
+
+(* ------------------------------------------------------------------ *)
 (* Printing                                                            *)
 (* ------------------------------------------------------------------ *)
 

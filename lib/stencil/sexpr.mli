@@ -94,6 +94,65 @@ val compile_partial_sums :
     rounding therefore differs from {!compile}, exactly like the real
     artifact's GPU-vs-CPU error (§A.6). [None] if not associative. *)
 
+val compile_indexed :
+  param:(string -> float) ->
+  index:(int array -> int) ->
+  t ->
+  (int -> float) ->
+  float
+(** Like {!compile}, but [Cell] reads go through an integer index
+    resolved once at compile time by [index]. The closure tree performs
+    the same operations in the same order as {!compile}, so with
+    [read (index o) = read_by_offset o] the result is bit-identical —
+    this is what lets executor inner loops replace per-cell offset
+    arithmetic with table lookups. *)
+
+type post_op = Post_none | Post_div of float
+
+(** Fully flattened linear combination: term [k] reads offsets-table
+    index [lt_off.(k)], scaled by [lt_coef.(k)] when [lt_scaled.(k)].
+    Terms accumulate left to right from term 0 (the left [Add] spine of
+    {!weighted_sum}), then [lt_post] applies — rounding-identical to the
+    compiled closure by construction. *)
+type linear_form = {
+  lt_off : int array;
+  lt_coef : float array;
+  lt_scaled : bool array;
+  lt_post : post_op;
+}
+
+(** One per-plane partial-sum group (§4.1): flat when linear, indexed
+    closure always. *)
+type plane_group = {
+  g_plane : int;
+  g_linear : linear_form option;
+  g_eval : (int -> float) -> float;
+}
+
+(** Precompiled table-driven execution form: the distinct offsets (the
+    read index space), an indexed closure bit-identical to {!compile},
+    the flat linear form when the expression is a left-leaning weighted
+    sum with an optional invariant-divisor post-op, and partial-sum
+    groups mirroring {!compile_partial_sums}. *)
+type lowered = {
+  low_offsets : int array array;
+  low_eval : (int -> float) -> float;
+  low_linear : linear_form option;
+  low_partial : (plane_group array * (float -> float)) option;
+}
+
+val apply_post : post_op -> float -> float
+
+val eval_linear : linear_form -> (int -> float) -> float
+(** Reference evaluation of a linear form — the same accumulation order
+    the executors inline. *)
+
+val lower : param:(string -> float) -> t -> lowered
+(** Lower for table-driven execution; every evaluation path is
+    bit-identical to the corresponding closure path ({!compile} /
+    {!compile_partial_sums}), which the differential test suite
+    asserts. *)
+
 val pp : Format.formatter -> t -> unit
 
 val to_string : t -> string

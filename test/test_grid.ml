@@ -59,6 +59,48 @@ let test_interior () =
   Alcotest.(check bool) "rad too big empty" true
     (Poly.Box.is_empty (Grid.interior ~rad:4 g))
 
+(* Pin the exact init_random stream: any change to the hash silently
+   invalidates every recorded simulator result, so the values are frozen
+   here verbatim. *)
+let test_random_golden () =
+  let g = Grid.init_random [| 3; 3 |] in
+  let expect =
+    [|
+      [| 0.57050828847513457; 0.57050728847813459; 0.5705062884811346 |];
+      [| 0.058573824278527163; 0.058572824281527158; 0.058571824284527146 |];
+      [| 0.54663936008191971; 0.54663836008491973; 0.54663736008791974 |];
+    |]
+  in
+  for i = 0 to 2 do
+    for j = 0 to 2 do
+      Alcotest.(check (float 0.0))
+        (Printf.sprintf "seed 42 (%d,%d)" i j)
+        expect.(i).(j)
+        (Grid.get g [| i; j |])
+    done
+  done;
+  let g7 = Grid.init_random ~seed:7 [| 3; 3 |] in
+  Alcotest.(check (float 0.0)) "seed 7 (0,0)" 0.05899682300953097 (Grid.get g7 [| 0; 0 |]);
+  Alcotest.(check (float 0.0)) "seed 7 (1,1)" 0.54706135881592355 (Grid.get g7 [| 1; 1 |])
+
+(* Regression: this seed's hash for cell [|0|] lands exactly on min_int,
+   where [abs] is a no-op and the old code produced a negative value. *)
+let test_random_min_int () =
+  let g = Grid.init_random ~seed:2656422768412173955 [| 1 |] in
+  Alcotest.(check (float 0.0)) "min_int hash maps to 0" 0.0 (Grid.get g [| 0 |])
+
+let test_random_range () =
+  List.iter
+    (fun seed ->
+      let g = Grid.init_random ~seed [| 6; 7 |] in
+      Poly.Box.iter
+        (fun idx ->
+          let v = Grid.get g idx in
+          if not (v >= 0.0 && v < 1.0) then
+            Alcotest.failf "seed %d: value %.17g out of [0,1)" seed v)
+        (Grid.domain g))
+    [ 0; 1; 42; 7; 123456789; max_int; min_int ]
+
 let test_invalid () =
   Alcotest.check_raises "zero dim" (Invalid_argument "Grid.create: non-positive dim")
     (fun () -> ignore (Grid.create [| 3; 0 |]));
@@ -117,6 +159,9 @@ let () =
           Alcotest.test_case "init" `Quick test_init;
           Alcotest.test_case "precision" `Quick test_precision;
           Alcotest.test_case "deterministic random" `Quick test_random_deterministic;
+          Alcotest.test_case "random golden values" `Quick test_random_golden;
+          Alcotest.test_case "random min_int hash" `Quick test_random_min_int;
+          Alcotest.test_case "random range" `Quick test_random_range;
           Alcotest.test_case "comparisons" `Quick test_comparisons;
           Alcotest.test_case "interior" `Quick test_interior;
           Alcotest.test_case "invalid" `Quick test_invalid;

@@ -1,0 +1,126 @@
+(* Unit tests for the simulated GPU machine's shared-memory substrate:
+   per-block smem accounting, capacity overflow, counted reads/writes
+   versus uncounted register-modeled reads, and precision rounding on
+   store. *)
+
+let dev = Gpu.Device.v100
+
+let words_available m = dev.Gpu.Device.smem_per_sm / Gpu.Machine.word_bytes m
+
+(* Run [f] inside a single-block launch and return the machine. *)
+let in_block ?prec f =
+  let m = Gpu.Machine.create ?prec dev in
+  Gpu.Machine.launch m ~n_blocks:1 ~n_thr:32 (fun ctx -> f ctx);
+  m
+
+let test_alloc_accounting () =
+  ignore
+    (in_block (fun ctx ->
+         let b1 = Gpu.Machine.Shared.alloc ctx 100 in
+         Alcotest.(check int) "size" 100 (Gpu.Machine.Shared.size b1);
+         Alcotest.(check int) "bytes after first alloc" (100 * 8) ctx.Gpu.Machine.smem_bytes;
+         let b2 = Gpu.Machine.Shared.alloc ctx 200 in
+         Alcotest.(check int) "size 2" 200 (Gpu.Machine.Shared.size b2);
+         Alcotest.(check int) "allocations accumulate" (300 * 8) ctx.Gpu.Machine.smem_bytes))
+
+let test_alloc_overflow () =
+  let m = Gpu.Machine.create dev in
+  let too_many = words_available m + 1 in
+  (match
+     Gpu.Machine.launch m ~n_blocks:1 ~n_thr:32 (fun ctx ->
+         ignore (Gpu.Machine.Shared.alloc ctx too_many))
+   with
+  | exception Gpu.Machine.Launch_failure _ -> ()
+  | () -> Alcotest.fail "oversized alloc must raise Launch_failure");
+  (* two allocations that only overflow together *)
+  let m = Gpu.Machine.create dev in
+  let half = (words_available m / 2) + 1 in
+  match
+    Gpu.Machine.launch m ~n_blocks:1 ~n_thr:32 (fun ctx ->
+        ignore (Gpu.Machine.Shared.alloc ctx half);
+        ignore (Gpu.Machine.Shared.alloc ctx half))
+  with
+  | exception Gpu.Machine.Launch_failure _ -> ()
+  | () -> Alcotest.fail "cumulative overflow must raise Launch_failure"
+
+(* Each block's accounting starts from zero: per-block tiles that fit
+   individually must not trip the capacity check across blocks. *)
+let test_per_block_reset () =
+  let m = Gpu.Machine.create dev in
+  let most = words_available m - 8 in
+  Gpu.Machine.launch m ~n_blocks:3 ~n_thr:32 (fun ctx ->
+      Alcotest.(check int) "fresh block accounting" 0 ctx.Gpu.Machine.smem_bytes;
+      ignore (Gpu.Machine.Shared.alloc ctx most))
+
+let test_counted_accesses () =
+  let m =
+    in_block (fun ctx ->
+        let b = Gpu.Machine.Shared.alloc ctx 16 in
+        for i = 0 to 15 do
+          Gpu.Machine.Shared.write b i (float i)
+        done;
+        for i = 0 to 15 do
+          Alcotest.(check (float 0.0)) "readback" (float i) (Gpu.Machine.Shared.read b i)
+        done;
+        (* register-modeled reads return the same values, uncounted *)
+        for i = 0 to 15 do
+          Alcotest.(check (float 0.0))
+            "register readback" (float i)
+            (Gpu.Machine.Shared.read_as_register b i)
+        done)
+  in
+  Alcotest.(check int) "writes counted" 16 m.Gpu.Machine.counters.Gpu.Counters.sm_writes;
+  Alcotest.(check int) "reads counted (read_as_register free)" 16
+    m.Gpu.Machine.counters.Gpu.Counters.sm_reads
+
+let test_f32_rounding () =
+  ignore
+    (in_block ~prec:Stencil.Grid.F32 (fun ctx ->
+         let b = Gpu.Machine.Shared.alloc ctx 4 in
+         Gpu.Machine.Shared.write b 0 0.1;
+         let stored = Gpu.Machine.Shared.read b 0 in
+         Alcotest.(check bool) "f32 store rounds" true (stored <> 0.1);
+         Alcotest.(check (float 1e-7)) "close to 0.1" 0.1 stored;
+         Alcotest.(check (float 0.0))
+           "matches Grid rounding"
+           (Stencil.Grid.round_to_prec Stencil.Grid.F32 0.1)
+           stored))
+
+let test_out_of_bounds () =
+  ignore
+    (in_block (fun ctx ->
+         let b = Gpu.Machine.Shared.alloc ctx 8 in
+         match Gpu.Machine.Shared.read b 8 with
+         | exception Invalid_argument _ -> ()
+         | _ -> Alcotest.fail "out-of-bounds read must raise"))
+
+let test_launch_checks () =
+  let m = Gpu.Machine.create dev in
+  (match Gpu.Machine.launch m ~n_blocks:1 ~n_thr:0 (fun _ -> ()) with
+  | exception Gpu.Machine.Launch_failure _ -> ()
+  | () -> Alcotest.fail "zero threads must fail");
+  (match
+     Gpu.Machine.launch m ~n_blocks:1
+       ~n_thr:(dev.Gpu.Device.max_threads_per_block + 1)
+       (fun _ -> ())
+   with
+  | exception Gpu.Machine.Launch_failure _ -> ()
+  | () -> Alcotest.fail "oversized block must fail");
+  match Gpu.Machine.launch m ~n_blocks:0 ~n_thr:32 (fun _ -> ()) with
+  | exception Gpu.Machine.Launch_failure _ -> ()
+  | () -> Alcotest.fail "empty grid must fail"
+
+let () =
+  Alcotest.run "machine"
+    [
+      ( "shared",
+        [
+          Alcotest.test_case "alloc accounting" `Quick test_alloc_accounting;
+          Alcotest.test_case "overflow" `Quick test_alloc_overflow;
+          Alcotest.test_case "per-block reset" `Quick test_per_block_reset;
+          Alcotest.test_case "counted accesses" `Quick test_counted_accesses;
+          Alcotest.test_case "f32 rounding" `Quick test_f32_rounding;
+          Alcotest.test_case "out of bounds" `Quick test_out_of_bounds;
+        ] );
+      ("launch", [ Alcotest.test_case "resource checks" `Quick test_launch_checks ]);
+    ]

@@ -24,16 +24,16 @@ let counters_t =
 
 (* Run [Blocking.run] with a given domain count; returns the output grid
    and the machine's merged counters. *)
-let run_blocking ?mode pattern cfg dims ~steps ~domains g =
+let run_blocking ?mode ?impl pattern cfg dims ~steps ~domains g =
   let em = Execmodel.make pattern cfg dims in
   let machine = Gpu.Machine.create Gpu.Device.v100 in
-  let out, _ = Blocking.run ?mode ~domains em ~machine ~steps g in
+  let out, _ = Blocking.run ?mode ?impl ~domains em ~machine ~steps g in
   (out, machine.Gpu.Machine.counters)
 
-let check_differential ?mode name pattern cfg dims ~steps ~domains =
+let check_differential ?mode ?impl name pattern cfg dims ~steps ~domains =
   let g = Stencil.Grid.init_random dims in
-  let seq, seq_c = run_blocking ?mode pattern cfg dims ~steps ~domains:1 g in
-  let par, par_c = run_blocking ?mode pattern cfg dims ~steps ~domains g in
+  let seq, seq_c = run_blocking ?mode ?impl pattern cfg dims ~steps ~domains:1 g in
+  let par, par_c = run_blocking ?mode ?impl pattern cfg dims ~steps ~domains g in
   Alcotest.(check (float 0.0))
     (name ^ " grid bit-identical")
     0.0
@@ -55,7 +55,11 @@ let test_direct_parallel () =
   (* more domains than blocks *)
   check_differential "d16 few blocks" (star ~dims:2 1)
     (Config.make ~bt:2 ~bs:[| 16 |] ())
-    [| 24; 20 |] ~steps:4 ~domains:16
+    [| 24; 20 |] ~steps:4 ~domains:16;
+  (* the legacy closure implementation parallelizes identically *)
+  check_differential ~impl:Blocking.Closure "closure impl d4" (star ~dims:2 1)
+    (Config.make ~bt:3 ~bs:[| 16 |] ())
+    [| 30; 40 |] ~steps:7 ~domains:4
 
 (* Regression: partial-sums mode reassociates arithmetic, so any change
    in per-block evaluation order would show up here — combined with
@@ -169,16 +173,18 @@ let gen_case =
     let* divide = bool in
     let* h = int_range 3 10 in
     let* mode = oneofl [ Blocking.Direct; Blocking.Partial_sums ] in
+    let* impl = oneofl [ Blocking.Compiled; Blocking.Closure ] in
     let* domains = oneofl [ 2; 4 ] in
     let bs = Array.make (dims_n - 1) bs_edge in
     return
       ( (dims_n, rad, bt, shape_star, bs, sizes),
-        (steps, (if divide then Some h else None), mode, domains) ))
+        (steps, (if divide then Some h else None), mode, impl, domains) ))
 
 let arb_case =
   QCheck.make
-    ~print:(fun ((d, r, bt, s, bs, sizes), (steps, h, mode, domains)) ->
-      Fmt.str "dims=%d rad=%d bt=%d star=%b bs=%a sizes=%a steps=%d h=%a mode=%s dom=%d"
+    ~print:(fun ((d, r, bt, s, bs, sizes), (steps, h, mode, impl, domains)) ->
+      Fmt.str
+        "dims=%d rad=%d bt=%d star=%b bs=%a sizes=%a steps=%d h=%a mode=%s impl=%s dom=%d"
         d r bt s
         Fmt.(array ~sep:(any ",") int)
         bs
@@ -187,20 +193,21 @@ let arb_case =
         Fmt.(option int)
         h
         (match mode with Blocking.Direct -> "direct" | Blocking.Partial_sums -> "psum")
+        (match impl with Blocking.Compiled -> "compiled" | Blocking.Closure -> "closure")
         domains)
     gen_case
 
 let prop_parallel_equals_sequential =
   QCheck.Test.make ~name:"parallel run = sequential run (grids and counters)"
     ~count:40 arb_case
-    (fun ((dims_n, rad, bt, shape_star, bs, sizes), (steps, hs, mode, domains)) ->
+    (fun ((dims_n, rad, bt, shape_star, bs, sizes), (steps, hs, mode, impl, domains)) ->
       let pattern = if shape_star then star ~dims:dims_n rad else box ~dims:dims_n rad in
       let cfg = Config.make ~hs ~bt ~bs () in
       if not (Config.valid ~rad ~max_threads:1024 cfg) then true
       else begin
         let g = Stencil.Grid.init_random sizes in
-        let seq, seq_c = run_blocking ~mode pattern cfg sizes ~steps ~domains:1 g in
-        let par, par_c = run_blocking ~mode pattern cfg sizes ~steps ~domains g in
+        let seq, seq_c = run_blocking ~mode ~impl pattern cfg sizes ~steps ~domains:1 g in
+        let par, par_c = run_blocking ~mode ~impl pattern cfg sizes ~steps ~domains g in
         Stencil.Grid.max_abs_diff seq par = 0.0 && Gpu.Counters.equal seq_c par_c
       end)
 

@@ -1,0 +1,386 @@
+(* Differential harness for the compiled execution-plan layer: the
+   table-driven [Compiled] executor must be *bit-identical* to the
+   legacy per-cell [Closure] path — same output grid word for word,
+   same counter totals field for field — across patterns (flat weighted
+   sums, division post-ops, sqrt and right-nested fallbacks), execution
+   modes, precisions, stream division, and pooled execution. Plus unit
+   tests for the expression lowering and the plan memo cache. *)
+
+open An5d_core
+
+let star ~dims rad =
+  Stencil.Pattern.make
+    ~name:(Fmt.str "star%dd%dr" dims rad)
+    ~dims ~params:[]
+    (Stencil.Sexpr.weighted_sum (Stencil.Shape.star_offsets ~dims ~rad))
+
+let box ~dims rad =
+  Stencil.Pattern.make
+    ~name:(Fmt.str "box%dd%dr" dims rad)
+    ~dims ~params:[]
+    (Stencil.Sexpr.weighted_sum (Stencil.Shape.box_offsets ~dims ~rad))
+
+let bench name =
+  (Option.get (Bench_defs.Benchmarks.find name)).Bench_defs.Benchmarks.pattern
+
+(* Non-linear expression: the lowering must fall back to the indexed
+   closure (sqrt has no flat weighted-sum form). *)
+let sqrt_pattern =
+  Stencil.Pattern.make ~name:"sqrtish" ~dims:2 ~params:[]
+    Stencil.Sexpr.(
+      Mul
+        ( Const 0.5,
+          Add (Cell [| 0; 0 |], Sqrt (Add (Const 2.0, Cell [| 1; 0 |]))) ))
+
+(* Right-nested additions: NOT the left spine [weighted_sum] builds, so
+   flattening must refuse (reassociating would change rounding) and the
+   indexed closure must carry the path. *)
+let right_nested_pattern =
+  Stencil.Pattern.make ~name:"right-nested" ~dims:2 ~params:[]
+    Stencil.Sexpr.(
+      Add
+        ( coef_mul [| -1; 0 |],
+          Add (coef_mul [| 0; 0 |], Add (coef_mul [| 1; 0 |], coef_mul [| 0; 1 |]))
+        ))
+
+let counters_t =
+  Alcotest.testable (fun ppf c -> Gpu.Counters.pp ppf c) Gpu.Counters.equal
+
+let run_impl ?mode ?domains ~impl ?prec pattern cfg dims ~steps g =
+  let em = Execmodel.make pattern cfg dims in
+  let machine = Gpu.Machine.create ?prec Gpu.Device.v100 in
+  let out, _ = Blocking.run ?mode ~impl ?domains em ~machine ~steps g in
+  (out, machine.Gpu.Machine.counters)
+
+let check_impls ?mode ?domains ?prec name pattern cfg dims ~steps =
+  let g = Stencil.Grid.init_random ?prec dims in
+  let com, com_c = run_impl ?mode ?domains ~impl:Blocking.Compiled ?prec pattern cfg dims ~steps g in
+  let clo, clo_c = run_impl ?mode ?domains ~impl:Blocking.Closure ?prec pattern cfg dims ~steps g in
+  Alcotest.(check (float 0.0))
+    (name ^ " grid bit-identical")
+    0.0
+    (Stencil.Grid.max_abs_diff clo com);
+  Alcotest.check counters_t (name ^ " counters exact") clo_c com_c
+
+(* --- fixed differential cases --- *)
+
+let test_flat_linear () =
+  check_impls "star2d1r bt3" (star ~dims:2 1)
+    (Config.make ~bt:3 ~bs:[| 16 |] ())
+    [| 30; 40 |] ~steps:7;
+  check_impls "star2d2r bt2" (star ~dims:2 2)
+    (Config.make ~bt:2 ~bs:[| 20 |] ())
+    [| 26; 30 |] ~steps:5;
+  check_impls "star3d1r bt2" (star ~dims:3 1)
+    (Config.make ~bt:2 ~bs:[| 8; 10 |] ())
+    [| 12; 14; 15 |] ~steps:5
+
+let test_division_post_op () =
+  (* j2d5pt / j3d27pt divide the sum by the scalar parameter c0: the
+     flat path must apply the same Post_div, in both modes. *)
+  check_impls "j2d5pt" (bench "j2d5pt")
+    (Config.make ~bt:3 ~bs:[| 16 |] ())
+    [| 30; 40 |] ~steps:7;
+  check_impls ~mode:Blocking.Partial_sums "j2d5pt psum" (bench "j2d5pt")
+    (Config.make ~bt:3 ~bs:[| 16 |] ())
+    [| 30; 40 |] ~steps:7;
+  check_impls "j3d27pt" (bench "j3d27pt")
+    (Config.make ~bt:1 ~bs:[| 8; 8 |] ())
+    [| 10; 12; 12 |] ~steps:4;
+  check_impls ~mode:Blocking.Partial_sums "j3d27pt psum" (bench "j3d27pt")
+    (Config.make ~bt:1 ~bs:[| 8; 8 |] ())
+    [| 10; 12; 12 |] ~steps:4
+
+let test_fallback_paths () =
+  check_impls "sqrt fallback" sqrt_pattern
+    (Config.make ~bt:2 ~bs:[| 14 |] ())
+    [| 24; 20 |] ~steps:5;
+  check_impls "right-nested fallback" right_nested_pattern
+    (Config.make ~bt:2 ~bs:[| 14 |] ())
+    [| 24; 20 |] ~steps:5;
+  check_impls "general box" (box ~dims:2 1)
+    (Config.make ~bt:2 ~bs:[| 12 |] ())
+    [| 20; 28 |] ~steps:6
+
+let test_modes_and_switches () =
+  check_impls ~mode:Blocking.Partial_sums "psum + stream division"
+    (star ~dims:2 1)
+    (Config.make ~hs:(Some 8) ~bt:3 ~bs:[| 16 |] ())
+    [| 30; 40 |] ~steps:7;
+  check_impls "no double buffer" (star ~dims:2 1)
+    (Config.make ~double_buffer:false ~bt:2 ~bs:[| 16 |] ())
+    [| 24; 20 |] ~steps:5;
+  check_impls "assoc off" (bench "j2d5pt")
+    (Config.make ~assoc_opt:false ~bt:2 ~bs:[| 16 |] ())
+    [| 24; 20 |] ~steps:5;
+  check_impls ~prec:Stencil.Grid.F32 "f32" (star ~dims:2 1)
+    (Config.make ~bt:3 ~bs:[| 16 |] ())
+    [| 30; 40 |] ~steps:7;
+  check_impls ~domains:4 "pooled compiled vs pooled closure" (star ~dims:2 1)
+    (Config.make ~hs:(Some 8) ~bt:3 ~bs:[| 16 |] ())
+    [| 30; 40 |] ~steps:7
+
+(* Compiled against the reference executor directly (Direct mode is
+   documented as bit-identical to the reference). *)
+let test_compiled_vs_reference () =
+  let pattern = bench "j2d5pt" in
+  let dims = [| 26; 24 |] in
+  let g = Stencil.Grid.init_random dims in
+  let out, _ =
+    run_impl ~impl:Blocking.Compiled pattern (Config.make ~bt:2 ~bs:[| 16 |] ()) dims ~steps:6 g
+  in
+  let r = Stencil.Reference.run pattern ~steps:6 g in
+  Alcotest.(check (float 0.0)) "blocked = reference" 0.0 (Stencil.Grid.max_abs_diff r out)
+
+(* --- the reference executor's own compiled sweep --- *)
+
+let test_reference_impls () =
+  List.iter
+    (fun (name, pattern, dims) ->
+      let g = Stencil.Grid.init_random dims in
+      let a = Stencil.Reference.run ~impl:Stencil.Reference.Compiled pattern ~steps:4 g in
+      let b = Stencil.Reference.run ~impl:Stencil.Reference.Closure pattern ~steps:4 g in
+      Alcotest.(check (float 0.0))
+        (name ^ " reference impls bit-identical")
+        0.0
+        (Stencil.Grid.max_abs_diff a b))
+    [
+      ("star2d1r", star ~dims:2 1, [| 20; 24 |]);
+      ("j2d5pt", bench "j2d5pt", [| 20; 24 |]);
+      ("box3d1r", box ~dims:3 1, [| 10; 12; 11 |]);
+      ("sqrt", sqrt_pattern, [| 18; 16 |]);
+      ("right-nested", right_nested_pattern, [| 18; 16 |]);
+      ("gradient2d", bench "gradient2d", [| 20; 24 |]);
+    ]
+
+(* --- lowering unit tests --- *)
+
+let test_lowering_forms () =
+  let low = Stencil.Pattern.lower (star ~dims:2 1) in
+  (match low.Stencil.Sexpr.low_linear with
+  | Some lf ->
+      Alcotest.(check int) "5 terms" 5 (Array.length lf.Stencil.Sexpr.lt_off);
+      Alcotest.(check bool) "no post" true (lf.Stencil.Sexpr.lt_post = Stencil.Sexpr.Post_none)
+  | None -> Alcotest.fail "weighted sum must flatten");
+  let j = bench "j2d5pt" in
+  let lowj = Stencil.Pattern.lower j in
+  (match lowj.Stencil.Sexpr.low_linear with
+  | Some lf ->
+      let c0 = Stencil.Pattern.param_value j "c0" in
+      Alcotest.(check bool) "div post" true
+        (lf.Stencil.Sexpr.lt_post = Stencil.Sexpr.Post_div c0)
+  | None -> Alcotest.fail "j2d5pt must flatten with a Post_div");
+  Alcotest.(check bool) "j2d5pt has partial groups" true
+    (lowj.Stencil.Sexpr.low_partial <> None);
+  let lowr = Stencil.Pattern.lower right_nested_pattern in
+  Alcotest.(check bool) "right-nested does not flatten" true
+    (lowr.Stencil.Sexpr.low_linear = None);
+  let lows = Stencil.Pattern.lower sqrt_pattern in
+  Alcotest.(check bool) "sqrt does not flatten" true
+    (lows.Stencil.Sexpr.low_linear = None)
+
+(* low_eval (and eval_linear when present) replay the closure tree
+   bit-exactly for arbitrary read values. *)
+let prop_lowered_eval_matches_compile =
+  QCheck.Test.make ~name:"lowered evaluation = compiled closure (bitwise)"
+    ~count:100
+    QCheck.(pair (int_range 0 4) (list_of_size (QCheck.Gen.return 32) (float_range (-10.) 10.)))
+    (fun (which, vals) ->
+      let pattern =
+        match which with
+        | 0 -> star ~dims:2 1
+        | 1 -> box ~dims:2 1
+        | 2 -> bench "j2d5pt"
+        | 3 -> sqrt_pattern
+        | _ -> right_nested_pattern
+      in
+      let vals = Array.of_list vals in
+      let update = Stencil.Pattern.compile pattern in
+      let low = Stencil.Pattern.lower pattern in
+      let offs = low.Stencil.Sexpr.low_offsets in
+      let value_at o =
+        (* deterministic per-offset value *)
+        let h = Array.fold_left (fun a i -> (a * 31) + i + 17) 7 o in
+        vals.(abs h mod Array.length vals) +. 2.5
+      in
+      let read_off = value_at in
+      let read_idx k = value_at offs.(k) in
+      let expect = update read_off in
+      let got = low.Stencil.Sexpr.low_eval read_idx in
+      Int64.bits_of_float got = Int64.bits_of_float expect
+      &&
+      match low.Stencil.Sexpr.low_linear with
+      | None -> true
+      | Some lf ->
+          Int64.bits_of_float (Stencil.Sexpr.eval_linear lf read_idx)
+          = Int64.bits_of_float expect)
+
+(* --- plan memo cache --- *)
+
+let test_cache_sharing () =
+  Plan.reset_cache ();
+  let pattern = star ~dims:2 1 in
+  let cfg = Config.make ~bt:3 ~bs:[| 16 |] () in
+  let dims = [| 30; 40 |] in
+  let g = Stencil.Grid.init_random dims in
+  (* steps=6 -> chunks [3; 3]: one compilation, one hit *)
+  ignore (run_impl ~impl:Blocking.Compiled pattern cfg dims ~steps:6 g);
+  let s1 = Plan.cache_stats () in
+  Alcotest.(check int) "one miss for equal-degree chunks" 1 s1.Plan.cache_misses;
+  Alcotest.(check bool) "chunks hit the cache" true (s1.Plan.cache_hits >= 1);
+  (* a second identical run adds only hits *)
+  ignore (run_impl ~impl:Blocking.Compiled pattern cfg dims ~steps:6 g);
+  let s2 = Plan.cache_stats () in
+  Alcotest.(check int) "no recompilation across runs" s1.Plan.cache_misses
+    s2.Plan.cache_misses;
+  Alcotest.(check bool) "more hits" true (s2.Plan.cache_hits > s1.Plan.cache_hits)
+
+let test_cache_reg_limit_invariance () =
+  Plan.reset_cache ();
+  let pattern = star ~dims:2 1 in
+  let dims = [| 24; 20 |] in
+  let em limit = Execmodel.make pattern (Config.make ~reg_limit:limit ~bt:2 ~bs:[| 14 |] ()) dims in
+  let p0 = Plan.get (em None) ~degree:2 ~prec:Stencil.Grid.F64 in
+  let p1 = Plan.get (em (Some 32)) ~degree:2 ~prec:Stencil.Grid.F64 in
+  let p2 = Plan.get (em (Some 64)) ~degree:2 ~prec:Stencil.Grid.F64 in
+  Alcotest.(check bool) "reg-limit variants share the plan" true (p0 == p1 && p1 == p2);
+  let s = Plan.cache_stats () in
+  Alcotest.(check int) "one compilation" 1 s.Plan.cache_misses;
+  Alcotest.(check int) "two hits" 2 s.Plan.cache_hits;
+  (* distinct degree or precision do recompile *)
+  let p3 = Plan.get (em None) ~degree:1 ~prec:Stencil.Grid.F64 in
+  let p4 = Plan.get (em None) ~degree:2 ~prec:Stencil.Grid.F32 in
+  Alcotest.(check bool) "degree in the key" true (p3 != p0);
+  Alcotest.(check bool) "precision in the key" true (p4 != p0);
+  Alcotest.(check int) "cache size" 3 (Plan.cache_stats ()).Plan.cache_size
+
+(* --- tuner verification hook --- *)
+
+let test_tuner_verify () =
+  let pattern = star ~dims:2 1 in
+  let r =
+    Model.Tuner.tune ~verify_dims:[| 40; 40 |] Gpu.Device.v100
+      ~prec:Stencil.Grid.F64 pattern ~dims_sizes:[| 16384; 16384 |] ~steps:100
+  in
+  match r.Model.Tuner.verify with
+  | Some d -> Alcotest.(check (float 0.0)) "winner verifies exactly" 0.0 d
+  | None -> Alcotest.fail "verify_dims must produce a deviation report"
+
+(* --- QCheck: random (pattern, config, mode, domains) --- *)
+
+let gen_case =
+  QCheck.Gen.(
+    let* dims_n = int_range 2 3 in
+    let* rad = int_range 1 (if dims_n = 2 then 3 else 2) in
+    let* bt = int_range 1 3 in
+    let* shape_star = bool in
+    let* with_div = bool in
+    let* extra = int_range 1 6 in
+    let bs_edge = (2 * bt * rad) + extra in
+    let* sizes =
+      match dims_n with
+      | 2 ->
+          let* a = int_range (2 * rad) 30 in
+          let* b = int_range (2 * rad) 20 in
+          return [| a + 4; b + 4 |]
+      | _ ->
+          let* a = int_range (2 * rad) 12 in
+          let* b = int_range (2 * rad) 10 in
+          let* c = int_range (2 * rad) 10 in
+          return [| a + 4; b + 4; c + 4 |]
+    in
+    let* steps = int_range 0 7 in
+    let* divide = bool in
+    let* h = int_range 3 10 in
+    let* mode = oneofl [ Blocking.Direct; Blocking.Partial_sums ] in
+    let* domains = oneofl [ 1; 4 ] in
+    let bs = Array.make (dims_n - 1) bs_edge in
+    return
+      ( (dims_n, rad, bt, shape_star, with_div, bs, sizes),
+        (steps, (if divide then Some h else None), mode, domains) ))
+
+let arb_case =
+  QCheck.make
+    ~print:(fun ((d, r, bt, s, dv, bs, sizes), (steps, h, mode, domains)) ->
+      Fmt.str
+        "dims=%d rad=%d bt=%d star=%b div=%b bs=%a sizes=%a steps=%d h=%a mode=%s dom=%d"
+        d r bt s dv
+        Fmt.(array ~sep:(any ",") int)
+        bs
+        Fmt.(array ~sep:(any ",") int)
+        sizes steps
+        Fmt.(option int)
+        h
+        (match mode with Blocking.Direct -> "direct" | Blocking.Partial_sums -> "psum")
+        domains)
+    gen_case
+
+let prop_compiled_equals_closure =
+  QCheck.Test.make ~name:"compiled plan = closure path (grids and counters)"
+    ~count:40 arb_case
+    (fun ((dims_n, rad, bt, shape_star, with_div, bs, sizes), (steps, hs, mode, domains)) ->
+      let base = if shape_star then star ~dims:dims_n rad else box ~dims:dims_n rad in
+      let pattern =
+        if with_div then
+          Stencil.Pattern.make ~name:(base.Stencil.Pattern.name ^ "-div")
+            ~dims:dims_n
+            ~params:[ ("c0", 2.5) ]
+            (Stencil.Sexpr.Div (base.Stencil.Pattern.expr, Stencil.Sexpr.Param "c0"))
+        else base
+      in
+      let cfg = Config.make ~hs ~bt ~bs () in
+      if not (Config.valid ~rad ~max_threads:1024 cfg) then true
+      else begin
+        let g = Stencil.Grid.init_random sizes in
+        let com, com_c = run_impl ~mode ~domains ~impl:Blocking.Compiled pattern cfg sizes ~steps g in
+        let clo, clo_c = run_impl ~mode ~impl:Blocking.Closure pattern cfg sizes ~steps g in
+        Stencil.Grid.max_abs_diff clo com = 0.0 && Gpu.Counters.equal clo_c com_c
+      end)
+
+let prop_reference_compiled_equals_closure =
+  QCheck.Test.make ~name:"reference compiled sweep = closure sweep" ~count:30
+    arb_case
+    (fun ((dims_n, rad, _, shape_star, with_div, _, sizes), (steps, _, _, _)) ->
+      let base = if shape_star then star ~dims:dims_n rad else box ~dims:dims_n rad in
+      let pattern =
+        if with_div then
+          Stencil.Pattern.make ~name:(base.Stencil.Pattern.name ^ "-div")
+            ~dims:dims_n
+            ~params:[ ("c0", 2.5) ]
+            (Stencil.Sexpr.Div (base.Stencil.Pattern.expr, Stencil.Sexpr.Param "c0"))
+        else base
+      in
+      let g = Stencil.Grid.init_random sizes in
+      let a = Stencil.Reference.run ~impl:Stencil.Reference.Compiled pattern ~steps g in
+      let b = Stencil.Reference.run ~impl:Stencil.Reference.Closure pattern ~steps g in
+      Stencil.Grid.max_abs_diff a b = 0.0)
+
+let () =
+  Alcotest.run "plan"
+    [
+      ( "differential",
+        [
+          Alcotest.test_case "flat linear stencils" `Quick test_flat_linear;
+          Alcotest.test_case "division post-op" `Quick test_division_post_op;
+          Alcotest.test_case "fallback paths" `Quick test_fallback_paths;
+          Alcotest.test_case "modes and switches" `Quick test_modes_and_switches;
+          Alcotest.test_case "compiled vs reference" `Quick test_compiled_vs_reference;
+          Alcotest.test_case "reference impls" `Quick test_reference_impls;
+        ] );
+      ( "lowering",
+        [
+          Alcotest.test_case "forms" `Quick test_lowering_forms;
+          QCheck_alcotest.to_alcotest prop_lowered_eval_matches_compile;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "sharing across chunks and runs" `Quick test_cache_sharing;
+          Alcotest.test_case "reg-limit invariance" `Quick test_cache_reg_limit_invariance;
+        ] );
+      ( "tuner", [ Alcotest.test_case "verify hook" `Quick test_tuner_verify ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_compiled_equals_closure;
+          QCheck_alcotest.to_alcotest prop_reference_compiled_equals_closure;
+        ] );
+    ]
