@@ -34,6 +34,14 @@ let domains = ref 1
    harness finishes in seconds; used by CI. *)
 let quick = ref false
 
+(* Observability ([--trace FILE] / [--metrics]): trace the whole
+   harness run into a Chrome trace_event file and/or print the metrics
+   registry snapshot at the end. CI runs the quick subset with
+   [--trace] and uploads the file as a workflow artifact. *)
+let trace_file : string option ref = ref None
+
+let metrics_flag = ref false
+
 (* Sconf (§6.3): STENCILGEN's published parameters, with the temporal
    degree reduced where the halo would swallow the block (high-order 3D
    stencils, which STENCILGEN never published kernels for). *)

@@ -99,7 +99,14 @@ let json_of_results results =
            (if i = List.length results - 1 then "" else ","));
     )
     results;
-  Buffer.add_string buf "  ]\n}\n";
+  Buffer.add_string buf "  ],\n";
+  (* Embed the metrics registry snapshot so the JSON records how much
+     simulated work produced these numbers (kernel launches, chunks,
+     global-memory traffic) alongside the cells/s themselves. *)
+  Buffer.add_string buf
+    (Printf.sprintf "  \"metrics\": %s\n"
+       (Obs.Export.metrics_json (Obs.Metrics.snapshot ())));
+  Buffer.add_string buf "}\n";
   Buffer.contents buf
 
 let run () =

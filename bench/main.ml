@@ -32,7 +32,9 @@ let experiments =
 let smoke = [ "throughput" ]
 
 let usage () =
-  print_endline "usage: main.exe [--csv DIR] [--domains N] [--quick] [experiment...]";
+  print_endline
+    "usage: main.exe [--csv DIR] [--domains N] [--quick] [--trace FILE] \
+     [--metrics] [experiment...]";
   print_endline "experiments:";
   List.iter (fun (name, _, doc) -> Printf.printf "  %-8s %s\n" name doc) experiments
 
@@ -52,29 +54,63 @@ let rec parse_options = function
   | "--quick" :: rest ->
       Exp_common.quick := true;
       parse_options rest
+  | "--trace" :: file :: rest ->
+      Exp_common.trace_file := Some file;
+      parse_options rest
+  | "--metrics" :: rest ->
+      Exp_common.metrics_flag := true;
+      parse_options rest
   | args -> args
+
+(* Write the recorded spans as Chrome trace_event JSON and re-validate
+   the file with the exporter's own checker — CI fails the run if the
+   exporter ever emits a file Perfetto could not load. *)
+let finish_obs () =
+  (match !Exp_common.trace_file with
+  | None -> ()
+  | Some path ->
+      Obs.Trace.set_enabled false;
+      let spans = Obs.Trace.events () in
+      let json = Obs.Export.chrome_json spans in
+      Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc json);
+      (match Obs.Export.validate_chrome json with
+      | Ok () -> Printf.printf "\nWrote %s (%d spans, validated)\n" path (List.length spans)
+      | Error msg ->
+          Printf.eprintf "invalid trace JSON in %s: %s\n" path msg;
+          exit 1));
+  if !Exp_common.metrics_flag then
+    Fmt.pr "@.%a@." Obs.Metrics.pp_snapshot (Obs.Metrics.snapshot ())
+
+let run_all selected =
+  if !Exp_common.trace_file <> None then begin
+    Obs.Trace.clear ();
+    Obs.Trace.set_enabled true
+  end;
+  Fun.protect ~finally:finish_obs (fun () -> List.iter (fun run -> run ()) selected)
 
 let () =
   match parse_options (List.tl (Array.to_list Sys.argv)) with
   | [] when !Exp_common.quick ->
       Printf.printf "AN5D reproduction -- quick smoke subset\n";
-      List.iter
-        (fun (name, run, _) -> if List.mem name smoke then run ())
-        experiments
+      run_all
+        (List.filter_map
+           (fun (name, run, _) -> if List.mem name smoke then Some run else None)
+           experiments)
   | [] ->
       Printf.printf
         "AN5D reproduction -- regenerating all tables and figures (simulated \
          P100/V100)\n";
-      List.iter (fun (_, run, _) -> run ()) experiments
+      run_all (List.map (fun (_, run, _) -> run) experiments)
   | args ->
       if List.mem "--help" args || List.mem "-h" args then usage ()
       else
-        List.iter
-          (fun name ->
-            match List.find_opt (fun (n, _, _) -> n = name) experiments with
-            | Some (_, run, _) -> run ()
-            | None ->
-                Printf.eprintf "unknown experiment %s\n" name;
-                usage ();
-                exit 1)
-          args
+        run_all
+          (List.map
+             (fun name ->
+               match List.find_opt (fun (n, _, _) -> n = name) experiments with
+               | Some (_, run, _) -> run
+               | None ->
+                   Printf.eprintf "unknown experiment %s\n" name;
+                   usage ();
+                   exit 1)
+             args)

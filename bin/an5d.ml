@@ -8,7 +8,11 @@
      an5d compile input.c --bt 4 --bs 256 -o out.cu
      an5d simulate input.c --bt 4 --bs 256 --steps 100 --device v100
      an5d tune    --stencil star2d1r --device v100 --prec float
-     an5d list *)
+     an5d list
+
+   simulate/tune/compare accept --trace FILE (write a Chrome trace_event
+   span trace, open in Perfetto) and --metrics (print the metrics
+   registry snapshot); see docs/OBSERVABILITY.md. *)
 
 open Cmdliner
 open An5d_core
@@ -59,6 +63,44 @@ let domains_arg =
 let verbose_arg =
   let doc = "Enable debug logging of detection, tuning and simulation." in
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
+
+let trace_arg =
+  let doc =
+    "Record a structured span trace of the run and write it to $(docv) as \
+     Chrome trace_event JSON (open in Perfetto, https://ui.perfetto.dev, or \
+     chrome://tracing). See docs/OBSERVABILITY.md for the span taxonomy."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let metrics_arg =
+  let doc =
+    "Print the metrics registry snapshot (counters, gauges, histograms — \
+     e.g. chunks_executed, plan_cache_hits, kernel_gm_words) after the run."
+  in
+  Arg.(value & flag & info [ "metrics" ] ~doc)
+
+(* Run [f] under the observability flags: [--trace FILE] enables the
+   span tracer and writes the Chrome JSON afterwards (even when [f]
+   fails — a partial trace is exactly what you want to see then);
+   [--metrics] prints the registry snapshot. *)
+let with_obs ~trace ~metrics f =
+  if trace <> None then begin
+    Obs.Trace.clear ();
+    Obs.Trace.set_enabled true
+  end;
+  let finish () =
+    (match trace with
+    | None -> ()
+    | Some path ->
+        Obs.Trace.set_enabled false;
+        let spans = Obs.Trace.events () in
+        Out_channel.with_open_bin path (fun oc ->
+            Out_channel.output_string oc (Obs.Export.chrome_json spans));
+        Fmt.pr "wrote %s (%d spans)@." path (List.length spans));
+    if metrics then
+      Fmt.pr "%a@." Obs.Metrics.pp_snapshot (Obs.Metrics.snapshot ())
+  in
+  Fun.protect ~finally:finish f
 
 let setup_logs verbose =
   Logs.set_reporter (Logs.format_reporter ());
@@ -145,8 +187,9 @@ let compile_cmd =
     Term.(const run $ logs_term $ input_file $ bt_arg $ bs_arg $ hs_arg $ reg_limit_arg $ output)
 
 let simulate_cmd =
-  let run () file bt bs hs reg_limit device steps domains =
+  let run () file bt bs hs reg_limit device steps domains trace metrics =
     handle_errors (fun () ->
+        with_obs ~trace ~metrics @@ fun () ->
         let job = load_job ~file ~bt ~bs ~hs ~reg_limit in
         let dev = resolve_device device in
         let g = Stencil.Grid.init_random ~prec:job.Framework.prec job.Framework.dims in
@@ -167,15 +210,16 @@ let simulate_cmd =
     (Cmd.info "simulate" ~doc)
     Term.(
       const run $ logs_term $ input_file $ bt_arg $ bs_arg $ hs_arg $ reg_limit_arg
-      $ device_arg $ steps_arg $ domains_arg)
+      $ device_arg $ steps_arg $ domains_arg $ trace_arg $ metrics_arg)
 
 let tune_cmd =
   let stencil_arg =
     let doc = "Built-in benchmark name (see $(b,an5d list)) or a C file." in
     Arg.(required & opt (some string) None & info [ "stencil" ] ~docv:"NAME" ~doc)
   in
-  let run () stencil device prec steps domains =
+  let run () stencil device prec steps domains trace metrics =
     handle_errors (fun () ->
+        with_obs ~trace ~metrics @@ fun () ->
         let dev = resolve_device device in
         let prec = resolve_prec prec in
         let pattern, dims =
@@ -212,7 +256,7 @@ let tune_cmd =
     (Cmd.info "tune" ~doc)
     Term.(
       const run $ logs_term $ stencil_arg $ device_arg $ prec_arg $ steps_arg
-      $ domains_arg)
+      $ domains_arg $ trace_arg $ metrics_arg)
 
 let ptx_cmd =
   let dump =
@@ -266,8 +310,9 @@ let compare_cmd =
     let doc = "Built-in benchmark name (see $(b,an5d list))." in
     Arg.(required & opt (some string) None & info [ "stencil" ] ~docv:"NAME" ~doc)
   in
-  let run () stencil device prec steps =
+  let run () stencil device prec steps trace metrics =
     handle_errors (fun () ->
+        with_obs ~trace ~metrics @@ fun () ->
         let dev = resolve_device device in
         let prec = resolve_prec prec in
         let b =
@@ -314,7 +359,9 @@ let compare_cmd =
   let doc = "Compare all frameworks on one stencil (one Fig 6 row)." in
   Cmd.v
     (Cmd.info "compare" ~doc)
-    Term.(const run $ logs_term $ stencil_arg $ device_arg $ prec_arg $ steps_arg)
+    Term.(
+      const run $ logs_term $ stencil_arg $ device_arg $ prec_arg $ steps_arg
+      $ trace_arg $ metrics_arg)
 
 let artifact_cmd =
   let out_dir =

@@ -112,6 +112,11 @@ let chunk ?pool pattern ~(machine : Gpu.Machine.t) ~degree:b ~width ~src ~dst =
     (Array.length dst.Stencil.Grid.data)
 
 let run ?domains ?pool pattern ~machine ~bt ~width ~steps g =
+  Obs.Trace.with_span "execute"
+    ~attrs:
+      [ ("baseline", Obs.Trace.Str "hybrid"); ("bt", Obs.Trace.Int bt);
+        ("steps", Obs.Trace.Int steps) ]
+  @@ fun () ->
   let chunks = Execmodel.time_chunks ~bt ~it:steps in
   let a = Stencil.Grid.copy g and b = Stencil.Grid.copy g in
   let cur = ref a and nxt = ref b in
@@ -200,6 +205,9 @@ let predict (dev : Gpu.Device.t) ~prec pattern ~dims ~steps ~bt =
     tile-size configurations; here the model is monotone in [bt] until
     the capacity cliff, so we sweep [bt] and keep the best. *)
 let tune (dev : Gpu.Device.t) ~prec pattern ~dims ~steps =
+  Obs.Trace.with_span "baseline.hybrid_tune"
+    ~attrs:[ ("pattern", Obs.Trace.Str pattern.Stencil.Pattern.name) ]
+  @@ fun () ->
   let candidates = List.init 20 (fun i -> i + 1) in
   List.fold_left
     (fun best bt ->

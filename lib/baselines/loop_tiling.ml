@@ -28,6 +28,11 @@ type report = {
     bit-identically (as in {!An5d_core.Blocking.run}). *)
 let run ?(tile = default_tile) ?domains ?pool pattern ~(machine : Gpu.Machine.t)
     ~steps g =
+  Obs.Trace.with_span "execute"
+    ~attrs:
+      [ ("baseline", Obs.Trace.Str "loop_tiling"); ("tile", Obs.Trace.Int tile);
+        ("steps", Obs.Trace.Int steps) ]
+  @@ fun () ->
   let rad = pattern.Stencil.Pattern.radius in
   let dims = g.Stencil.Grid.dims in
   let n = Array.length dims in

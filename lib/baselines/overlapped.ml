@@ -103,6 +103,11 @@ let chunk ?pool pattern ~(machine : Gpu.Machine.t) ~degree:b ~core ~src ~dst =
 (** Run [steps] steps with temporal chunks of [bt] on core blocks of
     edge [core]. [domains]/[pool] parallelize the blocks of each chunk. *)
 let run ?domains ?pool pattern ~machine ~bt ~core ~steps g =
+  Obs.Trace.with_span "execute"
+    ~attrs:
+      [ ("baseline", Obs.Trace.Str "overlapped"); ("bt", Obs.Trace.Int bt);
+        ("steps", Obs.Trace.Int steps) ]
+  @@ fun () ->
   let chunks = Execmodel.time_chunks ~bt ~it:steps in
   let a = Stencil.Grid.copy g and b = Stencil.Grid.copy g in
   let cur = ref a and nxt = ref b in

@@ -107,6 +107,10 @@ let measure (dev : Gpu.Device.t) ~prec (em : Execmodel.t) ~steps =
 (** Best STENCILGEN result over its register-limit choices (§6.3 applies
     the same {none, 32, 64} search to every framework). *)
 let measure_best (dev : Gpu.Device.t) ~prec (em : Execmodel.t) ~steps =
+  Obs.Trace.with_span "baseline.stencilgen_measure"
+    ~attrs:
+      [ ("pattern", Obs.Trace.Str em.Execmodel.pattern.Stencil.Pattern.name) ]
+  @@ fun () ->
   [ None; Some 32; Some 64 ]
   |> List.filter_map (fun reg_limit ->
          let cfg = { em.Execmodel.config with Config.reg_limit } in

@@ -24,6 +24,10 @@ type stats = {
 }
 
 let run ?stats_out pattern ~steps (g : Stencil.Grid.t) =
+  Obs.Trace.with_span "execute"
+    ~attrs:
+      [ ("baseline", Obs.Trace.Str "trapezoid"); ("steps", Obs.Trace.Int steps) ]
+  @@ fun () ->
   let rad = pattern.Stencil.Pattern.radius in
   let dims = g.Stencil.Grid.dims in
   let l = dims.(0) in

@@ -446,6 +446,10 @@ let compiled_block (plan : Plan.t) ~mode ~degree:b ~(src : Stencil.Grid.t)
 (* One kernel call                                                     *)
 (* ------------------------------------------------------------------ *)
 
+(* Observability: one [chunk] span and counter tick per temporal chunk,
+   one [kernel] span per launch (docs/OBSERVABILITY.md). *)
+let m_chunks_executed = Obs.Metrics.counter "chunks_executed"
+
 let kernel_call ?(mode = Direct) ?(impl = Compiled) ?pool (em : Execmodel.t)
     ~(machine : Gpu.Machine.t) ~degree:b ~(src : Stencil.Grid.t)
     ~(dst : Stencil.Grid.t) =
@@ -471,9 +475,12 @@ let kernel_call ?(mode = Direct) ?(impl = Compiled) ?pool (em : Execmodel.t)
     | Compiled -> compiled_block plan ~mode ~degree:b ~src ~dst
     | Closure -> closure_block plan ~mode ~degree:b ~src ~dst
   in
-  Gpu.Machine.launch ?pool machine
-    ~n_blocks:(plan.Plan.n_sb * plan.Plan.spatial_blocks)
-    ~n_thr:plan.Plan.n_thr block
+  let n_blocks = plan.Plan.n_sb * plan.Plan.spatial_blocks in
+  Obs.Trace.with_span "kernel"
+    ~attrs:
+      [ ("degree", Obs.Trace.Int b); ("blocks", Obs.Trace.Int n_blocks);
+        ("threads", Obs.Trace.Int plan.Plan.n_thr) ]
+    (fun () -> Gpu.Machine.launch ?pool machine ~n_blocks ~n_thr:plan.Plan.n_thr block)
 
 (* ------------------------------------------------------------------ *)
 (* Full temporal-blocking run                                          *)
@@ -499,15 +506,24 @@ let run ?mode ?impl ?domains ?pool (em : Execmodel.t) ~(machine : Gpu.Machine.t)
   let exec pool =
     List.iter
       (fun degree ->
-        kernel_call ?mode ?impl ?pool em ~machine ~degree ~src:!cur ~dst:!nxt;
+        Obs.Trace.with_span "chunk" ~attrs:[ ("degree", Obs.Trace.Int degree) ]
+          (fun () ->
+            kernel_call ?mode ?impl ?pool em ~machine ~degree ~src:!cur ~dst:!nxt);
+        Obs.Metrics.incr m_chunks_executed;
         let t = !cur in
         cur := !nxt;
         nxt := t)
       chunks
   in
-  (match pool with
-  | Some _ -> exec pool
-  | None -> Gpu.Pool.with_pool ?domains exec);
+  Obs.Trace.with_span "execute"
+    ~attrs:
+      [ ("pattern", Obs.Trace.Str em.Execmodel.pattern.Stencil.Pattern.name);
+        ("steps", Obs.Trace.Int steps);
+        ("bt", Obs.Trace.Int em.Execmodel.config.Config.bt) ]
+    (fun () ->
+      match pool with
+      | Some _ -> exec pool
+      | None -> Gpu.Pool.with_pool ?domains exec);
   let prec = g.Stencil.Grid.prec in
   let stats =
     {

@@ -39,6 +39,8 @@ exception Compile_error of string
 (** Parse, detect and configure a stencil job. [dims] overrides the grid
     sizes (required when the source uses dynamic sizes). *)
 let compile ?param_values ?dims ?prec ~config src =
+  Obs.Trace.with_span "compile" ~attrs:[ ("origin", Obs.Trace.Str src.origin) ]
+  @@ fun () ->
   let detection =
     try Stencil.Detect.of_string ?param_values src.text with
     | Cparse.Lexer.Error (msg, loc) ->
@@ -97,9 +99,17 @@ type outcome = {
     call in parallel, bit-identically to the sequential run. [impl]
     selects the executor implementation (default: the compiled plan
     path; [Closure] is the bit-identical legacy path). *)
+let g_verify_deviation = Obs.Metrics.gauge "simulate_max_abs_deviation"
+
 let simulate ?(verify = true) ?mode ?impl ?domains ~device ~steps job grid =
   if grid.Stencil.Grid.dims <> job.dims then
     invalid_arg "Framework.simulate: grid does not match job dimensions";
+  Obs.Trace.with_span "simulate"
+    ~attrs:
+      [ ("pattern", Obs.Trace.Str (pattern job).Stencil.Pattern.name);
+        ("device", Obs.Trace.Str device.Gpu.Device.name);
+        ("steps", Obs.Trace.Int steps) ]
+  @@ fun () ->
   let machine = Gpu.Machine.create ~prec:job.prec device in
   let em = execmodel job in
   Log.debug (fun m ->
@@ -109,10 +119,12 @@ let simulate ?(verify = true) ?mode ?impl ?domains ~device ~steps job grid =
   Log.info (fun m -> m "launch: %a" Blocking.pp_launch_stats stats);
   let verified =
     if not verify then Ok ()
-    else begin
-      let reference = Stencil.Reference.run (pattern job) ~steps grid in
-      let d = Stencil.Grid.max_abs_diff reference result in
-      if d = 0.0 then Ok () else Error d
-    end
+    else
+      Obs.Trace.with_span "verify" (fun () ->
+          let reference = Stencil.Reference.run (pattern job) ~steps grid in
+          let d = Stencil.Grid.max_abs_diff reference result in
+          Obs.Metrics.set_gauge g_verify_deviation d;
+          Obs.Trace.add_attrs [ ("max_abs_deviation", Obs.Trace.Float d) ];
+          if d = 0.0 then Ok () else Error d)
   in
   { result; stats; counters = machine.Gpu.Machine.counters; verified }

@@ -235,7 +235,12 @@ let kernel_call_prepared ?pool (pre : prepared) ~(machine : Gpu.Machine.t)
       done
     done
   in
-  Gpu.Machine.launch ?pool machine ~n_blocks:spatial_blocks ~n_thr simulate_block
+  Obs.Trace.with_span "kernel"
+    ~attrs:
+      [ ("degree", Obs.Trace.Int b); ("blocks", Obs.Trace.Int spatial_blocks);
+        ("threads", Obs.Trace.Int n_thr); ("components", Obs.Trace.Int s) ]
+    (fun () ->
+      Gpu.Machine.launch ?pool machine ~n_blocks:spatial_blocks ~n_thr simulate_block)
 
 let kernel_call ?pool (sys : Stencil.System.t) (cfg : Config.t)
     ~(machine : Gpu.Machine.t) ~degree ~(src : Stencil.Grid.t array)
@@ -249,6 +254,8 @@ let kernel_call ?pool (sys : Stencil.System.t) (cfg : Config.t)
     [prepared]). [domains > 1] runs thread blocks in parallel (one pool
     reused across the kernel calls), bit-identically to the sequential
     path. *)
+let m_chunks_executed = Obs.Metrics.counter "chunks_executed"
+
 let run ?domains ?pool (sys : Stencil.System.t) (cfg : Config.t)
     ~(machine : Gpu.Machine.t) ~steps (gs : Stencil.Grid.t list) =
   if List.length gs <> Stencil.System.n_components sys then
@@ -260,15 +267,24 @@ let run ?domains ?pool (sys : Stencil.System.t) (cfg : Config.t)
   let exec pool =
     List.iter
       (fun degree ->
-        kernel_call_prepared ?pool pre ~machine ~degree ~src:!cur ~dst:!nxt;
+        Obs.Trace.with_span "chunk" ~attrs:[ ("degree", Obs.Trace.Int degree) ]
+          (fun () ->
+            kernel_call_prepared ?pool pre ~machine ~degree ~src:!cur ~dst:!nxt);
+        Obs.Metrics.incr m_chunks_executed;
         let tmp = !cur in
         cur := !nxt;
         nxt := tmp)
       chunks
   in
-  (match pool with
-  | Some _ -> exec pool
-  | None -> Gpu.Pool.with_pool ?domains exec);
+  Obs.Trace.with_span "execute"
+    ~attrs:
+      [ ("system", Obs.Trace.Str sys.Stencil.System.name);
+        ("components", Obs.Trace.Int (Stencil.System.n_components sys));
+        ("steps", Obs.Trace.Int steps) ]
+    (fun () ->
+      match pool with
+      | Some _ -> exec pool
+      | None -> Gpu.Pool.with_pool ?domains exec);
   let prec = (List.hd gs).Stencil.Grid.prec in
   let rad = Stencil.System.radius sys in
   let dims = (List.hd gs).Stencil.Grid.dims in

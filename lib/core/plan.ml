@@ -197,6 +197,13 @@ let hits = ref 0
 
 let misses = ref 0
 
+(* The same hit/miss tallies, mirrored into the process-wide metrics
+   registry so trace-backed tests and the [--metrics] digests can
+   assert on them without reaching into this module. *)
+let m_hits = Obs.Metrics.counter "plan_cache_hits"
+
+let m_misses = Obs.Metrics.counter "plan_cache_misses"
+
 type cache_stats = { cache_hits : int; cache_misses : int; cache_size : int }
 
 let cache_stats () =
@@ -232,11 +239,20 @@ let get (em : Execmodel.t) ~degree ~prec =
             Some plan
         | None -> None)
   with
-  | Some plan -> plan
+  | Some plan ->
+      Obs.Metrics.incr m_hits;
+      plan
   | None ->
       (* build outside the lock; a racing duplicate build is harmless *)
-      let plan = build em ~degree ~prec in
+      let plan =
+        Obs.Trace.with_span "plan_compile"
+          ~attrs:
+            [ ("pattern", Obs.Trace.Str em.Execmodel.pattern.Stencil.Pattern.name);
+              ("degree", Obs.Trace.Int degree) ]
+          (fun () -> build em ~degree ~prec)
+      in
       Mutex.protect lock (fun () ->
           incr misses;
           if not (Hashtbl.mem cache key) then Hashtbl.add cache key plan);
+      Obs.Metrics.incr m_misses;
       plan

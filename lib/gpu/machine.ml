@@ -48,6 +48,14 @@ let gm_write_lin m (g : Stencil.Grid.t) off v =
 
 exception Launch_failure of string
 
+(* Observability: launches are counted in the metrics registry too (the
+   registry survives across machines, unlike [m.counters]), and every
+   launch records its global-memory words into a histogram so traffic
+   outliers are attributable per kernel. *)
+let m_kernel_launches = Obs.Metrics.counter "kernel_launches"
+
+let h_kernel_gm_words = Obs.Metrics.histogram "kernel_gm_words"
+
 type block_ctx = {
   machine : t;
   block_id : int;
@@ -119,6 +127,7 @@ let launch ?pool m ~n_blocks ~n_thr f =
             m.device.Device.max_threads_per_block));
   if n_blocks <= 0 then raise (Launch_failure "empty launch grid");
   m.counters.Counters.kernel_launches <- m.counters.Counters.kernel_launches + 1;
+  Obs.Metrics.incr m_kernel_launches;
   match pool with
   | Some pool when Pool.size pool > 1 && n_blocks > 1 ->
       let shards =
@@ -127,14 +136,24 @@ let launch ?pool m ~n_blocks ~n_thr f =
       Fun.protect
         ~finally:(fun () ->
           (* merge even when a block raised, so partial traffic is kept *)
+          let gm_words = ref 0 in
           Array.iter
-            (fun s -> Counters.add_into s.counters ~into:m.counters)
-            shards)
+            (fun s ->
+              gm_words := !gm_words + Counters.gm_words s.counters;
+              Counters.add_into s.counters ~into:m.counters)
+            shards;
+          Obs.Metrics.observe h_kernel_gm_words (float !gm_words))
         (fun () ->
           Pool.run pool ~n:n_blocks (fun ~lane block_id ->
               f { machine = shards.(lane); block_id; n_thr; smem_bytes = 0 }))
   | _ ->
-      for block_id = 0 to n_blocks - 1 do
-        let ctx = { machine = m; block_id; n_thr; smem_bytes = 0 } in
-        f ctx
-      done
+      let gm_words0 = Counters.gm_words m.counters in
+      Fun.protect
+        ~finally:(fun () ->
+          Obs.Metrics.observe h_kernel_gm_words
+            (float (Counters.gm_words m.counters - gm_words0)))
+        (fun () ->
+          for block_id = 0 to n_blocks - 1 do
+            let ctx = { machine = m; block_id; n_thr; smem_bytes = 0 } in
+            f ctx
+          done)

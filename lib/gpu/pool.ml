@@ -89,9 +89,13 @@ let run pool ~n f =
       let chunk k () =
         let lo = k * n / lanes and hi = (k + 1) * n / lanes in
         try
-          for i = lo to hi - 1 do
-            f ~lane:k i
-          done
+          Obs.Trace.with_span "lane"
+            ~attrs:[ ("lane", Obs.Trace.Int k); ("lo", Obs.Trace.Int lo);
+                     ("hi", Obs.Trace.Int hi) ]
+            (fun () ->
+              for i = lo to hi - 1 do
+                f ~lane:k i
+              done)
         with e -> failures.(k) <- Some e
       in
       Mutex.lock pool.mutex;

@@ -88,6 +88,16 @@ let rank (dev : Gpu.Device.t) ~prec pattern ~dims_sizes ~steps =
 
 exception No_feasible_configuration of string
 
+(* Observability: the pruning decision and the measured top-k are the
+   two §6.3 quantities later PRs need to attribute tuning cost; each
+   measured candidate gets its own span carrying the model's predicted
+   number next to the measured one. *)
+let m_candidates_pruned = Obs.Metrics.counter "tuner_candidates_pruned"
+
+let m_candidates_measured = Obs.Metrics.counter "tuner_candidates_measured"
+
+let g_best_gflops = Obs.Metrics.gauge "tuner_best_gflops"
+
 (** Full §6.3 tuning: model-rank, measure the top [k], pick the winner.
     [domains] measures the top-k candidates in parallel; the measurement
     layer is purely analytic, so the result is identical to the
@@ -98,7 +108,21 @@ exception No_feasible_configuration of string
     max abs deviation from the reference executor. *)
 let tune ?(k = 5) ?domains ?verify_dims (dev : Gpu.Device.t) ~prec pattern
     ~dims_sizes ~steps =
-  let explored, sorted = rank dev ~prec pattern ~dims_sizes ~steps in
+  Obs.Trace.with_span "tune"
+    ~attrs:
+      [ ("pattern", Obs.Trace.Str pattern.Stencil.Pattern.name);
+        ("device", Obs.Trace.Str dev.Gpu.Device.name);
+        ("prec", Obs.Trace.Str (Stencil.Grid.precision_to_string prec)) ]
+  @@ fun () ->
+  let explored, sorted =
+    Obs.Trace.with_span "rank" (fun () ->
+        let explored, sorted = rank dev ~prec pattern ~dims_sizes ~steps in
+        Obs.Trace.add_attrs
+          [ ("explored", Obs.Trace.Int explored);
+            ("feasible", Obs.Trace.Int (List.length sorted)) ];
+        (explored, sorted))
+  in
+  Obs.Metrics.add m_candidates_pruned (explored - List.length sorted);
   if sorted = [] then
     raise
       (No_feasible_configuration
@@ -113,9 +137,16 @@ let tune ?(k = 5) ?domains ?verify_dims (dev : Gpu.Device.t) ~prec pattern
   let top_arr = Array.of_list top in
   let slots = Array.make (Array.length top_arr) None in
   let measure_one _i cand =
+    Obs.Trace.with_span "candidate"
+      ~attrs:
+        [ ("config", Obs.Trace.Str (Fmt.str "%a" Config.pp cand.config));
+          ("predicted_gflops", Obs.Trace.Float cand.predicted.Predict.gflops) ]
+    @@ fun () ->
     let em = Execmodel.make pattern cand.config dims_sizes in
     let reg_limit, m = Measure.with_reg_limit_search dev ~prec em ~steps in
     let config = { cand.config with Config.reg_limit } in
+    Obs.Metrics.incr m_candidates_measured;
+    Obs.Trace.add_attrs [ ("measured_gflops", Obs.Trace.Float m.Measure.gflops) ];
     (config, m, cand.predicted.Predict.gflops)
   in
   Gpu.Pool.with_pool ?domains (fun pool ->
@@ -139,16 +170,18 @@ let tune ?(k = 5) ?domains ?verify_dims (dev : Gpu.Device.t) ~prec pattern
       (match measured with first :: _ -> first | [] -> assert false)
       measured
   in
+  Obs.Metrics.set_gauge g_best_gflops best_m.Measure.gflops;
   let verify =
     Option.map
       (fun vdims ->
-        let vsteps = min steps (2 * best_config.Config.bt) in
-        let em = Execmodel.make pattern best_config vdims in
-        let machine = Gpu.Machine.create ~prec dev in
-        let g = Stencil.Grid.init_random ~prec vdims in
-        let result, _ = Blocking.run em ~machine ~steps:vsteps g in
-        let reference = Stencil.Reference.run pattern ~steps:vsteps g in
-        Stencil.Grid.max_abs_diff reference result)
+        Obs.Trace.with_span "verify" (fun () ->
+            let vsteps = min steps (2 * best_config.Config.bt) in
+            let em = Execmodel.make pattern best_config vdims in
+            let machine = Gpu.Machine.create ~prec dev in
+            let g = Stencil.Grid.init_random ~prec vdims in
+            let result, _ = Blocking.run em ~machine ~steps:vsteps g in
+            let reference = Stencil.Reference.run pattern ~steps:vsteps g in
+            Stencil.Grid.max_abs_diff reference result))
       verify_dims
   in
   {

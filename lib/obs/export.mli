@@ -1,0 +1,45 @@
+(** Exporters for recorded traces and metric snapshots.
+
+    {!chrome_json} emits the Chrome [trace_event] format (a JSON object
+    with a ["traceEvents"] array of B/E duration events), which loads
+    directly into Perfetto ({:https://ui.perfetto.dev}) or Chrome's
+    [about:tracing]. {!summary_json} / {!summary_sexp} emit a flat
+    machine-readable digest of a metrics snapshot.
+
+    The module also carries a small self-contained JSON reader used to
+    validate exported traces — CI fails the build if the exporter ever
+    emits a file {!validate_chrome} rejects. *)
+
+val chrome_json : ?pid:int -> Trace.span list -> string
+(** Render spans as Chrome trace_event JSON. Every span becomes a
+    ["B"]/["E"] pair on its lane's [tid], replayed in the exact order
+    the lane recorded them, with the span's attributes in the begin
+    event's [args]. *)
+
+val metrics_json : Metrics.snapshot -> string
+(** One JSON object: [{"counters": {...}, "gauges": {...},
+    "histograms": {...}}]. *)
+
+val summary_json : span_count:int -> Metrics.snapshot -> string
+(** [{"spans": n, "metrics": <metrics_json>}]. *)
+
+val summary_sexp : span_count:int -> Metrics.snapshot -> string
+(** The same digest as an s-expression. *)
+
+(** Parsed JSON, for validation and tests. *)
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+val parse_json : string -> (json, string) result
+(** Strict recursive-descent parse of one JSON document. *)
+
+val validate_chrome : string -> (unit, string) result
+(** Check that a string is well-formed Chrome trace JSON: parses, has a
+    ["traceEvents"] array, every event has a valid phase, numeric [ts]
+    and non-negative integer [pid]/[tid], and per-[tid] the ["B"] and
+    ["E"] events balance like a bracket language (matching names). *)

@@ -1,0 +1,263 @@
+(** Metrics registry (see the interface for the model).
+
+    Counters and histograms keep one shard per domain, reached through
+    [Domain.DLS]: the write path is a domain-local lookup plus a plain
+    mutation, no locks. A shard registers itself into its metric's
+    shard list once, on the domain's first write, under the metric's
+    mutex. [snapshot] folds the shards; integer sums commute, so the
+    merged totals are independent of how work was split across domains
+    — the same algebra [Gpu.Counters.merge] relies on. *)
+
+let n_buckets = 64
+
+(* ------------------------------------------------------------------ *)
+(* Counters                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type counter = {
+  c_name : string;
+  c_mutex : Mutex.t;
+  c_shards : int ref list ref;
+  c_key : int ref Domain.DLS.key;
+}
+
+let make_counter name =
+  let shards = ref [] in
+  let mutex = Mutex.create () in
+  let key =
+    Domain.DLS.new_key (fun () ->
+        let r = ref 0 in
+        Mutex.protect mutex (fun () -> shards := r :: !shards);
+        r)
+  in
+  { c_name = name; c_mutex = mutex; c_shards = shards; c_key = key }
+
+let add c n =
+  let r = Domain.DLS.get c.c_key in
+  r := !r + n
+
+let incr c = add c 1
+
+(* ------------------------------------------------------------------ *)
+(* Gauges                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type gauge = {
+  g_name : string;
+  g_mutex : Mutex.t;
+  mutable g_value : float option;
+}
+
+let set_gauge g v = Mutex.protect g.g_mutex (fun () -> g.g_value <- Some v)
+
+(* ------------------------------------------------------------------ *)
+(* Histograms                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type hshard = {
+  mutable s_count : int;
+  mutable s_sum : float;
+  mutable s_min : float;
+  mutable s_max : float;
+  s_buckets : int array;
+}
+
+type histogram = {
+  h_name : string;
+  h_mutex : Mutex.t;
+  h_shards : hshard list ref;
+  h_key : hshard Domain.DLS.key;
+}
+
+let make_histogram name =
+  let shards = ref [] in
+  let mutex = Mutex.create () in
+  let key =
+    Domain.DLS.new_key (fun () ->
+        let s =
+          {
+            s_count = 0;
+            s_sum = 0.0;
+            s_min = infinity;
+            s_max = neg_infinity;
+            s_buckets = Array.make n_buckets 0;
+          }
+        in
+        Mutex.protect mutex (fun () -> shards := s :: !shards);
+        s)
+  in
+  { h_name = name; h_mutex = mutex; h_shards = shards; h_key = key }
+
+(* Bucket by the bit-width of the non-negative integer part: pure
+   integer math, so bucket counts are exact and merge-order free. *)
+let bucket_of v =
+  if Float.is_nan v || v <= 0.0 then 0
+  else begin
+    let n = int_of_float v in
+    let rec bits n acc = if n = 0 then acc else bits (n lsr 1) (acc + 1) in
+    min (n_buckets - 1) (bits n 0)
+  end
+
+let observe h v =
+  let s = Domain.DLS.get h.h_key in
+  s.s_count <- s.s_count + 1;
+  s.s_sum <- s.s_sum +. v;
+  if v < s.s_min then s.s_min <- v;
+  if v > s.s_max then s.s_max <- v;
+  let b = bucket_of v in
+  s.s_buckets.(b) <- s.s_buckets.(b) + 1
+
+(* ------------------------------------------------------------------ *)
+(* Registry                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let registry_mutex = Mutex.create ()
+
+let counters_tbl : (string, counter) Hashtbl.t = Hashtbl.create 32
+
+let gauges_tbl : (string, gauge) Hashtbl.t = Hashtbl.create 16
+
+let histograms_tbl : (string, histogram) Hashtbl.t = Hashtbl.create 16
+
+let intern tbl name make =
+  Mutex.protect registry_mutex (fun () ->
+      match Hashtbl.find_opt tbl name with
+      | Some m -> m
+      | None ->
+          let m = make name in
+          Hashtbl.add tbl name m;
+          m)
+
+let counter name = intern counters_tbl name make_counter
+
+let gauge name =
+  intern gauges_tbl name (fun g_name ->
+      { g_name; g_mutex = Mutex.create (); g_value = None })
+
+let histogram name = intern histograms_tbl name make_histogram
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot and reset                                                  *)
+(* ------------------------------------------------------------------ *)
+
+type hist = {
+  count : int;
+  sum : float;
+  vmin : float;
+  vmax : float;
+  buckets : int array;
+}
+
+type snapshot = {
+  counters : (string * int) list;
+  gauges : (string * float) list;
+  histograms : (string * hist) list;
+}
+
+let sorted_values tbl =
+  Hashtbl.fold (fun _ v acc -> v :: acc) tbl []
+
+let by_name name_of l = List.sort (fun a b -> compare (name_of a) (name_of b)) l
+
+let snapshot () =
+  Mutex.protect registry_mutex (fun () ->
+      let counters =
+        sorted_values counters_tbl
+        |> by_name (fun c -> c.c_name)
+        |> List.map (fun c ->
+               let total =
+                 Mutex.protect c.c_mutex (fun () ->
+                     List.fold_left (fun acc r -> acc + !r) 0 !(c.c_shards))
+               in
+               (c.c_name, total))
+      in
+      let gauges =
+        sorted_values gauges_tbl
+        |> by_name (fun g -> g.g_name)
+        |> List.filter_map (fun g ->
+               Mutex.protect g.g_mutex (fun () ->
+                   Option.map (fun v -> (g.g_name, v)) g.g_value))
+      in
+      let histograms =
+        sorted_values histograms_tbl
+        |> by_name (fun h -> h.h_name)
+        |> List.map (fun h ->
+               let merged =
+                 Mutex.protect h.h_mutex (fun () ->
+                     List.fold_left
+                       (fun acc s ->
+                         {
+                           count = acc.count + s.s_count;
+                           sum = acc.sum +. s.s_sum;
+                           vmin = Float.min acc.vmin s.s_min;
+                           vmax = Float.max acc.vmax s.s_max;
+                           buckets =
+                             Array.mapi
+                               (fun i b -> b + s.s_buckets.(i))
+                               acc.buckets;
+                         })
+                       {
+                         count = 0;
+                         sum = 0.0;
+                         vmin = infinity;
+                         vmax = neg_infinity;
+                         buckets = Array.make n_buckets 0;
+                       }
+                       !(h.h_shards))
+               in
+               (h.h_name, merged))
+      in
+      { counters; gauges; histograms })
+
+let reset () =
+  Mutex.protect registry_mutex (fun () ->
+      Hashtbl.iter
+        (fun _ c ->
+          Mutex.protect c.c_mutex (fun () ->
+              List.iter (fun r -> r := 0) !(c.c_shards)))
+        counters_tbl;
+      Hashtbl.iter
+        (fun _ g -> Mutex.protect g.g_mutex (fun () -> g.g_value <- None))
+        gauges_tbl;
+      Hashtbl.iter
+        (fun _ h ->
+          Mutex.protect h.h_mutex (fun () ->
+              List.iter
+                (fun s ->
+                  s.s_count <- 0;
+                  s.s_sum <- 0.0;
+                  s.s_min <- infinity;
+                  s.s_max <- neg_infinity;
+                  Array.fill s.s_buckets 0 n_buckets 0)
+                !(h.h_shards)))
+        histograms_tbl)
+
+let get_counter snap name =
+  match List.assoc_opt name snap.counters with Some v -> v | None -> 0
+
+let hist_equal a b =
+  a.count = b.count
+  && a.sum = b.sum
+  && (a.count = 0 || (a.vmin = b.vmin && a.vmax = b.vmax))
+  && a.buckets = b.buckets
+
+let snapshot_equal a b =
+  a.counters = b.counters
+  && a.gauges = b.gauges
+  && List.length a.histograms = List.length b.histograms
+  && List.for_all2
+       (fun (n1, h1) (n2, h2) -> n1 = n2 && hist_equal h1 h2)
+       a.histograms b.histograms
+
+let pp_snapshot ppf s =
+  Fmt.pf ppf "@[<v>";
+  List.iter (fun (n, v) -> Fmt.pf ppf "counter %-28s %d@," n v) s.counters;
+  List.iter (fun (n, v) -> Fmt.pf ppf "gauge   %-28s %g@," n v) s.gauges;
+  List.iter
+    (fun (n, h) ->
+      if h.count = 0 then Fmt.pf ppf "hist    %-28s (empty)@," n
+      else
+        Fmt.pf ppf "hist    %-28s n=%d sum=%g min=%g max=%g@," n h.count h.sum
+          h.vmin h.vmax)
+    s.histograms;
+  Fmt.pf ppf "@]"

@@ -1,0 +1,72 @@
+(** The simulator's metrics registry: named counters, gauges and
+    histograms that every layer reports into.
+
+    Counters and histograms are *domain-sharded*: each domain writes a
+    private shard through domain-local state, so {!Gpu.Pool} workers
+    never contend on the hot path, and {!snapshot} merges the shards —
+    the same integer-sum discipline as [Gpu.Counters.merge], so a
+    parallel run's snapshot equals the sequential run's (the property
+    test in test/test_obs.ml pins this). Gauges are last-write-wins
+    under a lock (they are set rarely, from control paths).
+
+    Handles are interned by name: [counter "x"] from two modules
+    returns the same metric. Metric names the simulator emits are
+    catalogued in docs/OBSERVABILITY.md. *)
+
+type counter
+
+type gauge
+
+type histogram
+
+val counter : string -> counter
+(** Intern (create or look up) the counter named [s]. *)
+
+val add : counter -> int -> unit
+
+val incr : counter -> unit
+
+val gauge : string -> gauge
+
+val set_gauge : gauge -> float -> unit
+
+val histogram : string -> histogram
+
+val observe : histogram -> float -> unit
+(** Record one observation. Bucketing is by the bit-width of the
+    integer part ([bucket k] holds values with integer part in
+    [2^(k-1), 2^k)), so bucket counts merge deterministically. *)
+
+(** A merged histogram: total count and sum, observed min/max, and the
+    power-of-two bucket counts. [vmin]/[vmax] are meaningless when
+    [count = 0]. *)
+type hist = {
+  count : int;
+  sum : float;
+  vmin : float;
+  vmax : float;
+  buckets : int array;
+}
+
+(** A point-in-time merge of every registered metric, each section
+    sorted by name. Gauges that were never set are omitted. *)
+type snapshot = {
+  counters : (string * int) list;
+  gauges : (string * float) list;
+  histograms : (string * hist) list;
+}
+
+val snapshot : unit -> snapshot
+(** Merge all domain shards. Quiesce worker domains first; snapshotting
+    while other domains write reads torn partial sums. *)
+
+val reset : unit -> unit
+(** Zero every shard of every metric and unset all gauges (the metrics
+    stay registered). *)
+
+val get_counter : snapshot -> string -> int
+(** Value of a counter in a snapshot; 0 when absent. *)
+
+val snapshot_equal : snapshot -> snapshot -> bool
+
+val pp_snapshot : Format.formatter -> snapshot -> unit

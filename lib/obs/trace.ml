@@ -1,0 +1,143 @@
+(** Structured span tracing (see the interface for the model).
+
+    Design notes:
+
+    - The enabled flag is an [Atomic.t] checked before anything else;
+      a disabled {!with_span} is one load and a branch around [f ()].
+    - Every domain that traces gets a private *lane*: a span stack (for
+      parent ids), a list of recorded spans, a per-lane action sequence
+      (so the exporter can replay begins and ends in exactly the order
+      they happened without timestamp tie-breaking), and a clamp that
+      keeps timestamps non-decreasing per lane even if the wall clock
+      steps. Lanes are domain-local state ([Domain.DLS]), so the hot
+      path never takes a lock; the global registry of lanes is only
+      touched once per domain, at first use.
+    - Span ids come from one process-wide atomic counter, so on a
+      single-lane (sequential) run id order is exactly begin order —
+      which is what the golden-trace regression test pins. *)
+
+type attr = Str of string | Int of int | Float of float | Bool of bool
+
+type span = {
+  id : int;
+  parent : int;
+  lane : int;
+  name : string;
+  mutable attrs : (string * attr) list;
+  t_begin : float;
+  mutable t_end : float;
+  seq_begin : int;
+  mutable seq_end : int;
+}
+
+type lane = {
+  lane_id : int;
+  mutable stack : span list;
+  mutable recorded : span list;  (** reverse begin order *)
+  mutable seq : int;  (** per-lane begin/end action counter *)
+  mutable last_ts : float;  (** monotonicity clamp *)
+}
+
+let enabled_flag = Atomic.make false
+
+let next_id = Atomic.make 0
+
+let next_lane = Atomic.make 0
+
+let registry_mutex = Mutex.create ()
+
+let lanes : lane list ref = ref []
+
+let lane_key =
+  Domain.DLS.new_key (fun () ->
+      let l =
+        {
+          lane_id = Atomic.fetch_and_add next_lane 1;
+          stack = [];
+          recorded = [];
+          seq = 0;
+          last_ts = 0.0;
+        }
+      in
+      Mutex.protect registry_mutex (fun () -> lanes := l :: !lanes);
+      l)
+
+let epoch = Unix.gettimeofday ()
+
+(* Microseconds since the tracer's epoch, clamped non-decreasing per
+   lane so parent intervals always contain their children even if the
+   wall clock steps backwards. *)
+let tick lane =
+  let t = (Unix.gettimeofday () -. epoch) *. 1e6 in
+  let t = if t < lane.last_ts then lane.last_ts else t in
+  lane.last_ts <- t;
+  t
+
+let enabled () = Atomic.get enabled_flag
+
+let set_enabled b = Atomic.set enabled_flag b
+
+let clear () =
+  Mutex.protect registry_mutex (fun () ->
+      List.iter (fun l -> l.recorded <- []) !lanes)
+
+let with_span ?(attrs = []) name f =
+  if not (Atomic.get enabled_flag) then f ()
+  else begin
+    let lane = Domain.DLS.get lane_key in
+    let parent = match lane.stack with [] -> -1 | s :: _ -> s.id in
+    let seq = lane.seq in
+    lane.seq <- seq + 1;
+    let ts = tick lane in
+    let sp =
+      {
+        id = Atomic.fetch_and_add next_id 1;
+        parent;
+        lane = lane.lane_id;
+        name;
+        attrs;
+        t_begin = ts;
+        t_end = ts;
+        seq_begin = seq;
+        seq_end = seq;
+      }
+    in
+    lane.stack <- sp :: lane.stack;
+    lane.recorded <- sp :: lane.recorded;
+    Fun.protect
+      ~finally:(fun () ->
+        (match lane.stack with s :: rest when s == sp -> lane.stack <- rest | _ -> ());
+        let seq = lane.seq in
+        lane.seq <- seq + 1;
+        sp.seq_end <- seq;
+        sp.t_end <- tick lane)
+      f
+  end
+
+let add_attrs attrs =
+  if Atomic.get enabled_flag then begin
+    let lane = Domain.DLS.get lane_key in
+    match lane.stack with
+    | [] -> ()
+    | sp :: _ -> sp.attrs <- sp.attrs @ attrs
+  end
+
+let events () =
+  let all =
+    Mutex.protect registry_mutex (fun () ->
+        List.concat_map (fun l -> l.recorded) !lanes)
+  in
+  List.sort (fun a b -> compare a.id b.id) all
+
+let span_count () =
+  Mutex.protect registry_mutex (fun () ->
+      List.fold_left (fun acc l -> acc + List.length l.recorded) 0 !lanes)
+
+let with_tracing f =
+  clear ();
+  set_enabled true;
+  let finally () = set_enabled false in
+  let v = Fun.protect ~finally f in
+  let evs = events () in
+  clear ();
+  (v, evs)

@@ -1,0 +1,61 @@
+(** Structured span tracing for the simulator.
+
+    A span is a named, timed interval of work; spans nest, forming one
+    tree per *lane* (per OCaml domain — the {!Gpu.Pool} workers record
+    into their own lanes without synchronizing on the hot path). The
+    tracer is a process-wide sink that is disabled by default:
+    {!with_span} on a disabled tracer is one atomic load and a branch,
+    so instrumentation can stay in the hot paths permanently.
+
+    Recorded spans are exported as Chrome [trace_event] JSON by
+    {!Export.chrome_json} (loadable in Perfetto / [about:tracing]) or
+    inspected directly via {!events}. See docs/OBSERVABILITY.md for the
+    span taxonomy the simulator emits. *)
+
+(** Attribute values attached to a span (rendered into the Chrome
+    event's [args]). *)
+type attr = Str of string | Int of int | Float of float | Bool of bool
+
+type span = {
+  id : int;  (** unique, allocated in begin order across all lanes *)
+  parent : int;  (** id of the enclosing span on the same lane, or -1 *)
+  lane : int;  (** the recording lane (Chrome [tid]) *)
+  name : string;
+  mutable attrs : (string * attr) list;
+  t_begin : float;  (** microseconds since the tracer's epoch *)
+  mutable t_end : float;
+  seq_begin : int;  (** per-lane action sequence of the begin *)
+  mutable seq_end : int;  (** per-lane action sequence of the end *)
+}
+
+val enabled : unit -> bool
+
+val set_enabled : bool -> unit
+(** Enable or disable recording. Spans already open keep recording
+    their end; new {!with_span} calls on a disabled tracer record
+    nothing and add near-zero cost. *)
+
+val clear : unit -> unit
+(** Drop all recorded spans (all lanes). Call between runs you want to
+    trace separately, while no spans are open. *)
+
+val with_span : ?attrs:(string * attr) list -> string -> (unit -> 'a) -> 'a
+(** [with_span ?attrs name f] runs [f ()] inside a span. The span ends
+    when [f] returns or raises; the function's value (or exception)
+    passes through unchanged. Disabled tracer: exactly [f ()]. *)
+
+val add_attrs : (string * attr) list -> unit
+(** Append attributes to the innermost open span of the calling lane
+    (for values only known mid-span, e.g. a measured GFLOP/s). No-op
+    when disabled or outside any span. *)
+
+val events : unit -> span list
+(** All recorded spans, merged across lanes, sorted by [id] (begin
+    order). Quiesce worker domains before calling; reading while other
+    lanes record is racy. *)
+
+val span_count : unit -> int
+
+val with_tracing : (unit -> 'a) -> 'a * span list
+(** [with_tracing f]: clear, enable, run [f], disable; returns [f]'s
+    value and the recorded spans. Test/tooling convenience. *)
