@@ -26,21 +26,18 @@ let setting_name s =
    for any step count, so we use the real 1000. *)
 let steps = 1000
 
-(* Worker domains for the block-parallel simulator executor
-   ([--domains N] on the harness command line). 1 = sequential. *)
-let domains = ref 1
+(* The cross-cutting run flags ([--domains N], [--impl], [--mode],
+   [--trace FILE], [--metrics], [--no-verify]), parsed off the harness
+   command line by {!An5d_core.Run_args.parse} — the same parser the
+   [an5d] CLI terms are built from. [main] applies the trace/metrics
+   sinks via [Run_config.with_obs] around the whole harness run; CI
+   runs the quick subset with [--trace] and uploads the file as a
+   workflow artifact. *)
+let run_config = ref Run_config.default
 
 (* Smoke mode ([--quick]): shrink grids and timing floors so the
    harness finishes in seconds; used by CI. *)
 let quick = ref false
-
-(* Observability ([--trace FILE] / [--metrics]): trace the whole
-   harness run into a Chrome trace_event file and/or print the metrics
-   registry snapshot at the end. CI runs the quick subset with
-   [--trace] and uploads the file as a workflow artifact. *)
-let trace_file : string option ref = ref None
-
-let metrics_flag = ref false
 
 (* Sconf (§6.3): STENCILGEN's published parameters, with the temporal
    degree reduced where the halo would swallow the block (high-order 3D

@@ -1,0 +1,178 @@
+(* Serving-layer throughput: cold vs warm vs coalesced (BENCH_serve.json).
+
+   Serves repeated j2d5pt simulate and tune requests through an
+   [An5d_serve.Session] and times three regimes: cold (fresh session,
+   empty caches), warm (same request again — a cache hit), and
+   coalesced (a batch of identical requests fanned over pool lanes, so
+   all but one wait for the single computation). The warm-vs-cold
+   speedup lands in BENCH_serve.json and must be at least 10x. *)
+
+open An5d_core
+module Session = An5d_serve.Session
+module Request = An5d_serve.Request
+
+let source =
+  lazy
+    (match Request.resolve_source "j2d5pt" with
+    | Ok s -> s
+    | Error msg -> failwith msg)
+
+let dims () = if !Exp_common.quick then [| 96; 96 |] else [| 256; 256 |]
+
+let steps () = if !Exp_common.quick then 8 else 20
+
+let sim_request () =
+  Request.simulate ~dims:(dims ()) ~seed:1
+    ~config:(Config.make ~bt:4 ~bs:[| 32 |] ())
+    ~device:Gpu.Device.v100 ~steps:(steps ()) (Lazy.force source)
+
+let tune_request () =
+  match
+    Request.tune ~k:3 ~dims:(dims ()) ~device:Gpu.Device.v100
+      ~prec:Stencil.Grid.F64 ~steps:(steps ()) (Lazy.force source)
+  with
+  | Ok r -> r
+  | Error msg -> failwith msg
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (Unix.gettimeofday () -. t0, r)
+
+let expect_done name (r : Session.response) =
+  match r.Session.status with
+  | Session.Done _ -> ()
+  | Session.Degraded _ -> failwith (name ^ ": unexpectedly degraded")
+  | Session.Cancelled -> failwith (name ^ ": unexpectedly cancelled")
+  | Session.Failed msg -> failwith (name ^ ": " ^ msg)
+
+(* Seconds per cold request: every repetition gets a fresh session, so
+   nothing is cached. *)
+let cold_time name mk reps =
+  let total = ref 0.0 in
+  for _ = 1 to reps do
+    let s = Session.create () in
+    let dt, r = time (fun () -> Session.submit s (mk ())) in
+    expect_done name r;
+    Session.shutdown s;
+    total := !total +. dt
+  done;
+  !total /. float reps
+
+(* Seconds per warm request: one priming submit, then [reps] repeats
+   of the identical request in the same session — all cache hits. *)
+let warm_time name mk session reps =
+  expect_done name (Session.submit session (mk ()));
+  let dt, () =
+    time (fun () ->
+        for _ = 1 to reps do
+          expect_done name (Session.submit session (mk ()))
+        done)
+  in
+  dt /. float reps
+
+(* Seconds per request of a batch of identical requests over [lanes]
+   pool domains: one computes, the rest wait on the in-flight entry or
+   hit the cache. Returns the served-kind census of the batch. *)
+let coalesced_time name mk ~lanes ~batch =
+  let s =
+    Session.create
+      ~config:{ Session.default_config with Session.domains = lanes }
+      ()
+  in
+  let reqs = List.init batch (fun _ -> mk ()) in
+  let dt, responses = time (fun () -> Session.submit_batch s reqs) in
+  List.iter (expect_done name) responses;
+  let census k =
+    List.length (List.filter (fun r -> r.Session.served = k) responses)
+  in
+  let counts =
+    (census Session.Cold, census Session.Warm, census Session.Coalesced)
+  in
+  Session.shutdown s;
+  (dt /. float batch, counts)
+
+type case_result = {
+  name : string;
+  cold : float;
+  warm : float;
+  coal : float;
+  counts : int * int * int;
+}
+
+let json_of_results ~lanes ~batch results =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"quick\": %b,\n  \"cases\": [\n" !Exp_common.quick);
+  List.iteri
+    (fun i r ->
+      let ncold, nwarm, ncoal = r.counts in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"name\": %S,\n\
+           \     \"cold_s\": %.6e, \"warm_s\": %.6e, \"coalesced_s_per_req\": %.6e,\n\
+           \     \"warm_speedup\": %.1f, \"coalesced_speedup\": %.1f,\n\
+           \     \"warm_speedup_ok\": %b,\n\
+           \     \"batch\": {\"lanes\": %d, \"requests\": %d, \"cold\": %d, \
+            \"warm\": %d, \"coalesced\": %d}}%s\n"
+           r.name r.cold r.warm r.coal (r.cold /. r.warm) (r.cold /. r.coal)
+           (r.cold /. r.warm >= 10.0)
+           lanes batch ncold nwarm ncoal
+           (if i = List.length results - 1 then "" else ",")))
+    results;
+  Buffer.add_string buf "  ],\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"metrics\": %s\n"
+       (Obs.Export.metrics_json (Obs.Metrics.snapshot ())));
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let run () =
+  Output.section "Serving -- cold vs warm vs coalesced (lib/serve session)";
+  let reps_cold = if !Exp_common.quick then 2 else 3 in
+  let reps_warm = if !Exp_common.quick then 50 else 200 in
+  let lanes = 4 and batch = 8 in
+  let cases =
+    [ ("simulate j2d5pt", sim_request); ("tune j2d5pt", tune_request) ]
+  in
+  let results =
+    List.map
+      (fun (name, mk) ->
+        let cold = cold_time name mk reps_cold in
+        let session = Session.create () in
+        let warm = warm_time name mk session reps_warm in
+        Session.shutdown session;
+        let coal, counts = coalesced_time name mk ~lanes ~batch in
+        { name; cold; warm; coal; counts })
+      cases
+  in
+  let rows =
+    List.map
+      (fun r ->
+        let ncold, nwarm, ncoal = r.counts in
+        [
+          r.name;
+          Printf.sprintf "%.2e" r.cold;
+          Printf.sprintf "%.2e" r.warm;
+          Printf.sprintf "%.0fx" (r.cold /. r.warm);
+          Printf.sprintf "%.2e" r.coal;
+          Printf.sprintf "%d/%d/%d" ncold nwarm ncoal;
+        ])
+      results
+  in
+  Output.table
+    ~header:
+      [ "request"; "cold s"; "warm s"; "warm speedup"; "coalesced s/req";
+        "batch cold/warm/coal" ]
+    ~rows;
+  List.iter
+    (fun r ->
+      if r.cold /. r.warm < 10.0 then
+        Printf.printf "WARNING: %s warm speedup %.1fx below the 10x target\n"
+          r.name (r.cold /. r.warm))
+    results;
+  let json = json_of_results ~lanes ~batch results in
+  Out_channel.with_open_bin "BENCH_serve.json" (fun oc ->
+      Out_channel.output_string oc json);
+  print_endline "\nWrote BENCH_serve.json"

@@ -50,7 +50,10 @@ let blocked_case b cfg dims steps =
     run =
       (fun impl ->
         let machine = Gpu.Machine.create Gpu.Device.v100 in
-        ignore (Blocking.run ~impl ~domains:!Exp_common.domains em ~machine ~steps g));
+        ignore
+          (Blocking.run_cfg
+             (Run_config.with_impl impl !Exp_common.run_config)
+             em ~machine ~steps g));
   }
 
 let reference_case b dims steps =

@@ -39,7 +39,7 @@ let run () =
         let em = Execmodel.make pattern cfg dims in
         let machine = Gpu.Machine.create Gpu.Device.v100 in
         let g = Stencil.Grid.init_random dims in
-        let _ = Blocking.run ~domains:!Exp_common.domains em ~machine ~steps g in
+        let _ = Blocking.run_cfg !Exp_common.run_config em ~machine ~steps g in
         let c = machine.Gpu.Machine.counters in
         let t = Model.Thread_class.for_run em ~steps in
         let agree =

@@ -20,7 +20,7 @@ let verify b =
   let g = Stencil.Grid.init_random dims in
   let steps = 4 in
   let reference = Stencil.Reference.run p ~steps g in
-  let out, stats = Blocking.run ~domains:!Exp_common.domains em ~machine ~steps g in
+  let out, stats = Blocking.run_cfg !Exp_common.run_config em ~machine ~steps g in
   (Stencil.Grid.max_abs_diff reference out, stats, machine.Gpu.Machine.counters)
 
 (* Partial-sums mode reassociates the arithmetic (the §4.1 associative
@@ -39,8 +39,9 @@ let verify_partial_sums b =
   let g = Stencil.Grid.init_random dims in
   let reference = Stencil.Reference.run p ~steps:4 g in
   let out, _ =
-    Blocking.run ~mode:Blocking.Partial_sums ~domains:!Exp_common.domains em ~machine
-      ~steps:4 g
+    Blocking.run_cfg
+      (Run_config.with_mode Run_config.Partial_sums !Exp_common.run_config)
+      em ~machine ~steps:4 g
   in
   Stencil.Grid.rel_l2_error reference out
 

@@ -24,72 +24,54 @@ let experiments =
     ("validate", Exp_validate.run, "model totals vs simulator counters, exact");
     ("scaling", Exp_scaling.run, "multicore block-parallel executor scaling");
     ("throughput", Exp_throughput.run, "closure executor vs compiled plans, cells/s");
+    ("serve", Exp_serve.run, "batch serving layer: cold vs warm vs coalesced");
     ("micro", Micro.run, "bechamel micro-benchmarks");
   ]
 
 (* The [--quick] smoke subset: experiments fast enough for CI once
    [Exp_common.quick] shrinks their grids. *)
-let smoke = [ "throughput" ]
+let smoke = [ "throughput"; "serve" ]
 
 let usage () =
-  print_endline
-    "usage: main.exe [--csv DIR] [--domains N] [--quick] [--trace FILE] \
-     [--metrics] [experiment...]";
+  print_endline "usage: main.exe [--csv DIR] [--quick] [run flags] [experiment...]";
+  print_endline "run flags (shared with the an5d CLI):";
+  print_string An5d_core.Run_args.usage;
   print_endline "experiments:";
   List.iter (fun (name, _, doc) -> Printf.printf "  %-8s %s\n" name doc) experiments
 
-(* Strip leading [--csv DIR] / [--domains N] options; returns the
-   remaining args. *)
+(* Strip the harness-specific options; the cross-cutting run flags
+   ([--domains], [--trace], [--metrics], ...) are handled afterwards by
+   [Run_args.parse] — one parser shared with the [an5d] CLI. *)
 let rec parse_options = function
   | "--csv" :: dir :: rest ->
       Output.set_csv_dir (Some dir);
       parse_options rest
-  | "--domains" :: n :: rest ->
-      (match int_of_string_opt n with
-      | Some d when d >= 1 -> Exp_common.domains := d
-      | _ ->
-          Printf.eprintf "--domains expects a positive integer, got %s\n" n;
-          exit 1);
-      parse_options rest
   | "--quick" :: rest ->
       Exp_common.quick := true;
       parse_options rest
-  | "--trace" :: file :: rest ->
-      Exp_common.trace_file := Some file;
-      parse_options rest
-  | "--metrics" :: rest ->
-      Exp_common.metrics_flag := true;
-      parse_options rest
-  | args -> args
+  | arg :: rest -> arg :: parse_options rest
+  | [] -> []
 
-(* Write the recorded spans as Chrome trace_event JSON and re-validate
-   the file with the exporter's own checker — CI fails the run if the
-   exporter ever emits a file Perfetto could not load. *)
-let finish_obs () =
-  (match !Exp_common.trace_file with
-  | None -> ()
-  | Some path ->
-      Obs.Trace.set_enabled false;
-      let spans = Obs.Trace.events () in
-      let json = Obs.Export.chrome_json spans in
-      Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc json);
-      (match Obs.Export.validate_chrome json with
-      | Ok () -> Printf.printf "\nWrote %s (%d spans, validated)\n" path (List.length spans)
-      | Error msg ->
-          Printf.eprintf "invalid trace JSON in %s: %s\n" path msg;
-          exit 1));
-  if !Exp_common.metrics_flag then
-    Fmt.pr "@.%a@." Obs.Metrics.pp_snapshot (Obs.Metrics.snapshot ())
-
+(* [Run_config.with_obs] writes and validates the Chrome trace and
+   prints the metrics snapshot — CI fails the run if the exporter ever
+   emits a file Perfetto could not load. *)
 let run_all selected =
-  if !Exp_common.trace_file <> None then begin
-    Obs.Trace.clear ();
-    Obs.Trace.set_enabled true
-  end;
-  Fun.protect ~finally:finish_obs (fun () -> List.iter (fun run -> run ()) selected)
+  An5d_core.Run_config.with_obs !Exp_common.run_config (fun () ->
+      List.iter (fun run -> run ()) selected)
 
 let () =
-  match parse_options (List.tl (Array.to_list Sys.argv)) with
+  let argv = parse_options (List.tl (Array.to_list Sys.argv)) in
+  let argv =
+    match An5d_core.Run_args.parse argv with
+    | Ok (cfg, rest) ->
+        Exp_common.run_config := cfg;
+        rest
+    | Error msg ->
+        Printf.eprintf "%s\n" msg;
+        usage ();
+        exit 1
+  in
+  match argv with
   | [] when !Exp_common.quick ->
       Printf.printf "AN5D reproduction -- quick smoke subset\n";
       run_all

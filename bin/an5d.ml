@@ -53,54 +53,56 @@ let steps_arg =
   let doc = "Number of time-steps." in
   Arg.(value & opt int 100 & info [ "steps" ] ~docv:"T" ~doc)
 
-let domains_arg =
-  let doc =
-    "Worker domains for the simulator executor (1 = sequential). The \
-     parallel runs are bit-identical to sequential ones."
-  in
-  Arg.(value & opt int 1 & info [ "domains" ] ~docv:"D" ~doc)
-
 let verbose_arg =
   let doc = "Enable debug logging of detection, tuning and simulation." in
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
 
-let trace_arg =
-  let doc =
-    "Record a structured span trace of the run and write it to $(docv) as \
-     Chrome trace_event JSON (open in Perfetto, https://ui.perfetto.dev, or \
-     chrome://tracing). See docs/OBSERVABILITY.md for the span taxonomy."
-  in
-  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+(* The cross-cutting run flags ([--domains], [--mode], [--impl],
+   [--trace], [--metrics], [--no-verify]) assemble into one
+   [Run_config.t]. The doc strings come from [Run_args] so the manpage
+   matches [bench/main --help] — both front ends share one flag
+   vocabulary. *)
+let mode_conv =
+  Arg.conv
+    ( (fun s -> Result.map_error (fun e -> `Msg e) (Run_config.mode_of_string s)),
+      fun ppf m -> Fmt.string ppf (Run_config.mode_to_string m) )
 
-let metrics_arg =
-  let doc =
-    "Print the metrics registry snapshot (counters, gauges, histograms — \
-     e.g. chunks_executed, plan_cache_hits, kernel_gm_words) after the run."
-  in
-  Arg.(value & flag & info [ "metrics" ] ~doc)
+let impl_conv =
+  Arg.conv
+    ( (fun s -> Result.map_error (fun e -> `Msg e) (Run_config.impl_of_string s)),
+      fun ppf i -> Fmt.string ppf (Run_config.impl_to_string i) )
 
-(* Run [f] under the observability flags: [--trace FILE] enables the
-   span tracer and writes the Chrome JSON afterwards (even when [f]
-   fails — a partial trace is exactly what you want to see then);
-   [--metrics] prints the registry snapshot. *)
-let with_obs ~trace ~metrics f =
-  if trace <> None then begin
-    Obs.Trace.clear ();
-    Obs.Trace.set_enabled true
-  end;
-  let finish () =
-    (match trace with
-    | None -> ()
-    | Some path ->
-        Obs.Trace.set_enabled false;
-        let spans = Obs.Trace.events () in
-        Out_channel.with_open_bin path (fun oc ->
-            Out_channel.output_string oc (Obs.Export.chrome_json spans));
-        Fmt.pr "wrote %s (%d spans)@." path (List.length spans));
-    if metrics then
-      Fmt.pr "%a@." Obs.Metrics.pp_snapshot (Obs.Metrics.snapshot ())
+let run_config_term =
+  let mode =
+    Arg.(
+      value
+      & opt mode_conv Run_config.default.Run_config.mode
+      & info [ "mode" ] ~docv:"MODE" ~doc:Run_args.mode_doc)
   in
-  Fun.protect ~finally:finish f
+  let impl =
+    Arg.(
+      value
+      & opt impl_conv Run_config.default.Run_config.impl
+      & info [ "impl" ] ~docv:"IMPL" ~doc:Run_args.impl_doc)
+  in
+  let domains =
+    Arg.(
+      value
+      & opt int Run_config.default.Run_config.domains
+      & info [ "domains" ] ~docv:"D" ~doc:Run_args.domains_doc)
+  in
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE" ~doc:Run_args.trace_doc)
+  in
+  let metrics = Arg.(value & flag & info [ "metrics" ] ~doc:Run_args.metrics_doc) in
+  let no_verify = Arg.(value & flag & info [ "no-verify" ] ~doc:Run_args.verify_doc) in
+  let build mode impl domains trace metrics no_verify =
+    Run_config.make ~mode ~impl ~domains ~verify:(not no_verify) ~trace ~metrics ()
+  in
+  Term.(const build $ mode $ impl $ domains $ trace $ metrics $ no_verify)
 
 let setup_logs verbose =
   Logs.set_reporter (Logs.format_reporter ());
@@ -187,18 +189,20 @@ let compile_cmd =
     Term.(const run $ logs_term $ input_file $ bt_arg $ bs_arg $ hs_arg $ reg_limit_arg $ output)
 
 let simulate_cmd =
-  let run () file bt bs hs reg_limit device steps domains trace metrics =
+  let run () file bt bs hs reg_limit device steps cfg =
     handle_errors (fun () ->
-        with_obs ~trace ~metrics @@ fun () ->
+        Run_config.with_obs cfg @@ fun () ->
         let job = load_job ~file ~bt ~bs ~hs ~reg_limit in
         let dev = resolve_device device in
         let g = Stencil.Grid.init_random ~prec:job.Framework.prec job.Framework.dims in
-        let o = Framework.simulate ~domains ~device:dev ~steps job g in
+        let o = Framework.simulate_cfg ~cfg ~device:dev ~steps job g in
         Fmt.pr "launch:     %a@." Blocking.pp_launch_stats o.Framework.stats;
         Fmt.pr "traffic:    %a@." Gpu.Counters.pp o.Framework.counters;
-        (match o.Framework.verified with
-        | Ok () -> Fmt.pr "verify:     PASS (bit-exact vs CPU reference)@."
-        | Error d -> Fmt.pr "verify:     FAIL (max abs deviation %.3e)@." d);
+        (if not cfg.Run_config.verify then Fmt.pr "verify:     skipped@."
+         else
+           match o.Framework.verified with
+           | Ok () -> Fmt.pr "verify:     PASS (bit-exact vs CPU reference)@."
+           | Error d -> Fmt.pr "verify:     FAIL (max abs deviation %.3e)@." d);
         let em = Framework.execmodel job in
         let report = Model.Predict.evaluate dev ~prec:job.Framework.prec em ~steps in
         Fmt.pr "model:      %a@." Model.Predict.pp report;
@@ -210,16 +214,16 @@ let simulate_cmd =
     (Cmd.info "simulate" ~doc)
     Term.(
       const run $ logs_term $ input_file $ bt_arg $ bs_arg $ hs_arg $ reg_limit_arg
-      $ device_arg $ steps_arg $ domains_arg $ trace_arg $ metrics_arg)
+      $ device_arg $ steps_arg $ run_config_term)
 
 let tune_cmd =
   let stencil_arg =
     let doc = "Built-in benchmark name (see $(b,an5d list)) or a C file." in
     Arg.(required & opt (some string) None & info [ "stencil" ] ~docv:"NAME" ~doc)
   in
-  let run () stencil device prec steps domains trace metrics =
+  let run () stencil device prec steps cfg =
     handle_errors (fun () ->
-        with_obs ~trace ~metrics @@ fun () ->
+        Run_config.with_obs cfg @@ fun () ->
         let dev = resolve_device device in
         let prec = resolve_prec prec in
         let pattern, dims =
@@ -237,7 +241,7 @@ let tune_cmd =
               end
               else failwith (Fmt.str "unknown stencil %s" stencil)
         in
-        let r = Model.Tuner.tune ~domains dev ~prec pattern ~dims_sizes:dims ~steps in
+        let r = Model.Tuner.tune_cfg ~cfg dev ~prec pattern ~dims_sizes:dims ~steps in
         Fmt.pr "explored %d configurations, pruned %d by the register estimate@."
           r.Model.Tuner.explored r.Model.Tuner.pruned;
         Fmt.pr "model top-%d:@." (List.length r.Model.Tuner.top);
@@ -256,7 +260,7 @@ let tune_cmd =
     (Cmd.info "tune" ~doc)
     Term.(
       const run $ logs_term $ stencil_arg $ device_arg $ prec_arg $ steps_arg
-      $ domains_arg $ trace_arg $ metrics_arg)
+      $ run_config_term)
 
 let ptx_cmd =
   let dump =
@@ -310,9 +314,9 @@ let compare_cmd =
     let doc = "Built-in benchmark name (see $(b,an5d list))." in
     Arg.(required & opt (some string) None & info [ "stencil" ] ~docv:"NAME" ~doc)
   in
-  let run () stencil device prec steps trace metrics =
+  let run () stencil device prec steps cfg =
     handle_errors (fun () ->
-        with_obs ~trace ~metrics @@ fun () ->
+        Run_config.with_obs cfg @@ fun () ->
         let dev = resolve_device device in
         let prec = resolve_prec prec in
         let b =
@@ -351,7 +355,7 @@ let compare_cmd =
           in
           print "AN5D (Sconf)" m.Model.Measure.gflops
         end;
-        let tuned = Model.Tuner.tune dev ~prec pattern ~dims_sizes:dims ~steps in
+        let tuned = Model.Tuner.tune_cfg ~cfg dev ~prec pattern ~dims_sizes:dims ~steps in
         Fmt.pr "  %-22s %8.0f GFLOP/s  (%a)@." "AN5D (Tuned)"
           tuned.Model.Tuner.tuned.Model.Measure.gflops Config.pp tuned.Model.Tuner.best;
         print "model prediction" tuned.Model.Tuner.model_gflops)
@@ -361,7 +365,7 @@ let compare_cmd =
     (Cmd.info "compare" ~doc)
     Term.(
       const run $ logs_term $ stencil_arg $ device_arg $ prec_arg $ steps_arg
-      $ trace_arg $ metrics_arg)
+      $ run_config_term)
 
 let artifact_cmd =
   let out_dir =
@@ -399,13 +403,158 @@ let list_cmd =
   let doc = "List the built-in Table 3 benchmarks." in
   Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
 
+(* ------------------------------------------------------------------ *)
+(* Serving modes (lib/serve)                                           *)
+(* ------------------------------------------------------------------ *)
+
+module Session = An5d_serve.Session
+module Request = An5d_serve.Request
+
+let queue_arg =
+  let doc =
+    "Accepted backlog per batch; requests beyond $(docv) are shed to the \
+     degraded bt=1 path instead of waiting."
+  in
+  Arg.(value & opt int Session.default_config.Session.queue_capacity
+       & info [ "queue" ] ~docv:"N" ~doc)
+
+let deadline_arg =
+  let doc =
+    "Default per-request deadline in seconds (from submission to execution \
+     start); late requests are served by the degraded bt=1 path."
+  in
+  Arg.(value & opt (some float) None & info [ "deadline" ] ~docv:"S" ~doc)
+
+let session_of ~cfg ~queue ~deadline =
+  Session.create
+    ~config:
+      {
+        Session.default_config with
+        Session.domains = cfg.Run_config.domains;
+        queue_capacity = queue;
+        default_deadline = deadline;
+      }
+    ()
+
+let served_str = function
+  | Session.Cold -> "cold"
+  | Session.Warm -> "warm"
+  | Session.Coalesced -> "coalesced"
+
+let shed_str = function
+  | Session.Overload -> "overload"
+  | Session.Deadline_exceeded -> "deadline exceeded"
+
+let pp_payload ppf = function
+  | Session.Compiled { cuda; _ } ->
+      Fmt.pf ppf "compiled, %d bytes of CUDA" (String.length cuda)
+  | Session.Simulated { outcome; config } ->
+      Fmt.pf ppf "%a, %a, verify %s" Config.pp config Blocking.pp_launch_stats
+        outcome.Framework.stats
+        (match outcome.Framework.verified with
+        | Ok () -> "ok"
+        | Error d -> Fmt.str "FAIL (%.3e)" d)
+  | Session.Tuned r ->
+      Fmt.pf ppf "best %a, %.0f GFLOP/s tuned" Config.pp r.Model.Tuner.best
+        r.Model.Tuner.tuned.Model.Measure.gflops
+
+let print_response req (r : Session.response) =
+  let label = Fmt.str "%a" Request.pp req in
+  match r.Session.status with
+  | Session.Done p ->
+      Fmt.pr "%-28s %-9s %6.1f ms  %a@." label (served_str r.Session.served)
+        (1e3 *. r.Session.latency) pp_payload p
+  | Session.Degraded (p, shed) ->
+      Fmt.pr "%-28s DEGRADED (%s) %6.1f ms  %a@." label (shed_str shed)
+        (1e3 *. r.Session.latency) pp_payload p
+  | Session.Cancelled -> Fmt.pr "%-28s CANCELLED@." label
+  | Session.Failed msg -> Fmt.pr "%-28s FAILED: %s@." label msg
+
+let request_lines text =
+  String.split_on_char '\n' text
+  |> List.mapi (fun i l -> (i + 1, String.trim l))
+  |> List.filter (fun (_, l) -> l <> "" && l.[0] <> '#')
+
+let batch_cmd =
+  let file_arg =
+    let doc =
+      "Request file: one request per line, [simulate|tune|compile] STENCIL \
+       [key=value...]; blank lines and # comments ignored. See docs/SERVING.md."
+    in
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
+  in
+  let run () file queue deadline cfg =
+    handle_errors (fun () ->
+        Run_config.with_obs cfg @@ fun () ->
+        let lines =
+          request_lines (In_channel.with_open_bin file In_channel.input_all)
+        in
+        let reqs =
+          List.map
+            (fun (n, l) ->
+              match Request.of_line l with
+              | Ok r -> r
+              | Error msg -> failwith (Fmt.str "%s:%d: %s" file n msg))
+            lines
+        in
+        let session = session_of ~cfg ~queue ~deadline in
+        Fun.protect ~finally:(fun () -> Session.shutdown session) @@ fun () ->
+        let responses = Session.submit_batch session reqs in
+        List.iter2 print_response reqs responses;
+        Fmt.pr "%a@." Session.pp_stats (Session.stats session))
+  in
+  let doc =
+    "Serve a file of simulate/tune/compile requests through a caching batch \
+     session (repeated and concurrent identical requests are served once)."
+  in
+  Cmd.v
+    (Cmd.info "batch" ~doc)
+    Term.(const run $ logs_term $ file_arg $ queue_arg $ deadline_arg $ run_config_term)
+
+let serve_cmd =
+  let run () queue deadline cfg =
+    handle_errors (fun () ->
+        Run_config.with_obs cfg @@ fun () ->
+        let session = session_of ~cfg ~queue ~deadline in
+        Fun.protect ~finally:(fun () -> Session.shutdown session) @@ fun () ->
+        Fmt.pr
+          "an5d serving on stdin: KIND STENCIL [key=value...] per line, plus \
+           'stats' and 'cancel ID'; EOF finishes.@.";
+        let rec loop () =
+          match In_channel.input_line In_channel.stdin with
+          | None -> ()
+          | Some line ->
+              let l = String.trim line in
+              (if l = "" || l.[0] = '#' then ()
+               else if l = "stats" then
+                 Fmt.pr "%a@." Session.pp_stats (Session.stats session)
+               else if String.length l > 7 && String.sub l 0 7 = "cancel " then
+                 Session.cancel session
+                   (String.trim (String.sub l 7 (String.length l - 7)))
+               else
+                 match Request.of_line l with
+                 | Error msg -> Fmt.epr "an5d: %s@." msg
+                 | Ok req -> print_response req (Session.submit session req));
+              loop ()
+        in
+        loop ();
+        Fmt.pr "%a@." Session.pp_stats (Session.stats session))
+  in
+  let doc =
+    "Persistent serving session on stdin: one request per line, responses \
+     served through the compile/tune/outcome caches."
+  in
+  Cmd.v
+    (Cmd.info "serve" ~doc)
+    Term.(const run $ logs_term $ queue_arg $ deadline_arg $ run_config_term)
+
 let main_cmd =
   let doc = "AN5D: automated stencil framework with high-degree temporal blocking" in
   let info = Cmd.info "an5d" ~version:"1.0.0" ~doc in
   Cmd.group info
     [
       detect_cmd; compile_cmd; simulate_cmd; tune_cmd; compare_cmd; ptx_cmd;
-      artifact_cmd; list_cmd;
+      artifact_cmd; list_cmd; batch_cmd; serve_cmd;
     ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -33,13 +33,16 @@
       stream by. Reassociates the arithmetic, so results differ from
       the reference in the last bits (like the artifact's GPU-vs-CPU
       error, §A.6). Falls back to [Direct] for non-associative
-      expressions. *)
-type exec_mode = Direct | Partial_sums
+      expressions. Canonically defined in {!Run_config} (the unified
+    request API); re-exported here so executor call sites keep reading
+    [Blocking.Direct]. *)
+type exec_mode = Run_config.exec_mode = Direct | Partial_sums
 
 (** Which executor implementation runs the kernel: the table-driven
     [Compiled] plan path (default) or the legacy per-cell [Closure]
-    path it is differentially tested against. *)
-type impl = Compiled | Closure
+    path it is differentially tested against. Re-export of
+    {!Run_config.impl}. *)
+type impl = Run_config.impl = Compiled | Closure
 
 type launch_stats = {
   n_tb : int;  (** thread blocks per kernel call (spatial) *)
@@ -491,15 +494,19 @@ let kernel_call ?(mode = Direct) ?(impl = Compiled) ?pool (em : Execmodel.t)
     copies of [g], matching the double-buffered host initialization of
     the C pattern.
 
-    [domains > 1] fans the independent thread blocks of every kernel
-    call out over that many domains (one pool, reused across the
-    calls); passing an existing [pool] instead reuses it and takes
-    precedence. Output grids and counters are bit-identical to the
-    sequential run in both execution modes and both implementations. *)
-let run ?mode ?impl ?domains ?pool (em : Execmodel.t) ~(machine : Gpu.Machine.t)
-    ~steps (g : Stencil.Grid.t) =
+    The unified-API entrypoint: [cfg] carries mode, impl and domains
+    ([cfg.verify]/[cfg.trace]/[cfg.metrics] are the caller's concern —
+    this layer only executes). [cfg.domains > 1] fans the independent
+    thread blocks of every kernel call out over that many domains (one
+    pool, reused across the calls); passing an existing [pool] instead
+    reuses it and takes precedence. Output grids and counters are
+    bit-identical to the sequential run in both execution modes and
+    both implementations. *)
+let run_cfg ?pool (cfg : Run_config.t) (em : Execmodel.t)
+    ~(machine : Gpu.Machine.t) ~steps (g : Stencil.Grid.t) =
   if g.Stencil.Grid.dims <> em.Execmodel.dims then
     invalid_arg "Blocking.run: grid dims do not match execution model";
+  let mode = cfg.Run_config.mode and impl = cfg.Run_config.impl in
   let chunks = Execmodel.time_chunks ~bt:em.Execmodel.config.Config.bt ~it:steps in
   let a = Stencil.Grid.copy g and b = Stencil.Grid.copy g in
   let cur = ref a and nxt = ref b in
@@ -508,7 +515,7 @@ let run ?mode ?impl ?domains ?pool (em : Execmodel.t) ~(machine : Gpu.Machine.t)
       (fun degree ->
         Obs.Trace.with_span "chunk" ~attrs:[ ("degree", Obs.Trace.Int degree) ]
           (fun () ->
-            kernel_call ?mode ?impl ?pool em ~machine ~degree ~src:!cur ~dst:!nxt);
+            kernel_call ~mode ~impl ?pool em ~machine ~degree ~src:!cur ~dst:!nxt);
         Obs.Metrics.incr m_chunks_executed;
         let t = !cur in
         cur := !nxt;
@@ -523,7 +530,7 @@ let run ?mode ?impl ?domains ?pool (em : Execmodel.t) ~(machine : Gpu.Machine.t)
     (fun () ->
       match pool with
       | Some _ -> exec pool
-      | None -> Gpu.Pool.with_pool ?domains exec);
+      | None -> Gpu.Pool.with_pool ~domains:cfg.Run_config.domains exec);
   let prec = g.Stencil.Grid.prec in
   let stats =
     {
@@ -538,3 +545,8 @@ let run ?mode ?impl ?domains ?pool (em : Execmodel.t) ~(machine : Gpu.Machine.t)
     }
   in
   (!cur, stats)
+
+(* Deprecated optional-argument wrapper; equivalent to [run_cfg] with
+   the same fields (proven by test/test_serve.ml). *)
+let run ?mode ?impl ?domains ?pool em ~machine ~steps g =
+  run_cfg ?pool (Run_config.make ?mode ?impl ?domains ()) em ~machine ~steps g

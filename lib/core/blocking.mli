@@ -22,8 +22,9 @@
     ascending plane order; reassociates the arithmetic like the real
     generated kernels, so results differ from the reference in the last
     bits — the artifact's reported GPU-vs-CPU error, §A.6). Falls back
-    to [Direct] for non-associative expressions. *)
-type exec_mode = Direct | Partial_sums
+    to [Direct] for non-associative expressions. Canonically defined in
+    {!Run_config}; re-exported here for executor call sites. *)
+type exec_mode = Run_config.exec_mode = Direct | Partial_sums
 
 (** Which executor implementation runs the kernel: [Compiled] (default)
     drives the inner loops off the plan's flat tables — lowered
@@ -31,8 +32,9 @@ type exec_mode = Direct | Partial_sums
     linear plane access — with analytic per-plane bulk counter updates;
     [Closure] is the legacy per-cell closure path. Grids are
     bit-identical and counters field-for-field equal between the two
-    (differentially tested); [Compiled] is just faster. *)
-type impl = Compiled | Closure
+    (differentially tested); [Compiled] is just faster. Re-export of
+    {!Run_config.impl}. *)
+type impl = Run_config.impl = Compiled | Closure
 
 (** Thread-block geometry: the mapping between flat thread ids and
     block-local coordinates along the blocked dimensions (defined in
@@ -82,6 +84,27 @@ val kernel_call :
     exceed the device limits.
     @raise Invalid_argument when a grid does not match the model. *)
 
+val run_cfg :
+  ?pool:Gpu.Pool.t ->
+  Run_config.t ->
+  Execmodel.t ->
+  machine:Gpu.Machine.t ->
+  steps:int ->
+  Stencil.Grid.t ->
+  Stencil.Grid.t * launch_stats
+(** Advance [steps] time-steps, chunked per §4.3's host logic; both
+    internal buffers start as copies of the input (the double-buffered
+    host initialization of the C pattern). All chunks of the run share
+    one memoized plan. The config's [mode], [impl] and [domains] fields
+    drive the executor ([verify]/[trace]/[metrics] are the caller's
+    concern). [domains > 1] runs the thread blocks of every kernel call
+    in parallel on a pool reused across the calls (default:
+    sequential); an explicit [pool] is reused instead and takes
+    precedence. Parallel runs are bit-identical to sequential ones —
+    same grids, same counters — in both execution modes and both
+    implementations.
+    @raise Invalid_argument when the grid does not match the model. *)
+
 val run :
   ?mode:exec_mode ->
   ?impl:impl ->
@@ -92,13 +115,6 @@ val run :
   steps:int ->
   Stencil.Grid.t ->
   Stencil.Grid.t * launch_stats
-(** Advance [steps] time-steps, chunked per §4.3's host logic; both
-    internal buffers start as copies of the input (the double-buffered
-    host initialization of the C pattern). All chunks of the run share
-    one memoized plan. [domains > 1] runs the thread blocks of every
-    kernel call in parallel on a pool reused across the calls (default:
-    sequential); an explicit [pool] is reused instead and takes
-    precedence. Parallel runs are bit-identical to sequential ones —
-    same grids, same counters — in both execution modes and both
-    implementations.
-    @raise Invalid_argument when the grid does not match the model. *)
+(** Deprecated optional-argument wrapper around {!run_cfg}; equivalent
+    field-for-field (asserted by the wrapper-equivalence tests in
+    test/test_serve.ml). Prefer {!run_cfg}. *)

@@ -19,13 +19,27 @@ type source = { text : string; origin : string }
 
 let source_of_string ?(origin = "<string>") text = { text; origin }
 
+exception Compile_error of string
+
+(* Front-door discipline: every failure a bad request can provoke —
+   including an unreadable path — surfaces as [Compile_error], so
+   long-lived servers route it to a Failed response instead of dying
+   on an escaped [Sys_error]. *)
 let source_of_file path =
-  let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in_noerr ic)
-    (fun () ->
-      let text = really_input_string ic (in_channel_length ic) in
-      { text; origin = path })
+  match open_in_bin path with
+  | exception Sys_error msg -> raise (Compile_error msg)
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          match really_input_string ic (in_channel_length ic) with
+          | exception Sys_error msg -> raise (Compile_error msg)
+          | text -> { text; origin = path })
+
+let source_of_file_result path =
+  match source_of_file path with
+  | src -> Ok src
+  | exception Compile_error msg -> Error msg
 
 type job = {
   detection : Stencil.Detect.result;
@@ -33,8 +47,6 @@ type job = {
   prec : Stencil.Grid.precision;
   dims : int array;
 }
-
-exception Compile_error of string
 
 (** Parse, detect and configure a stencil job. [dims] overrides the grid
     sizes (required when the source uses dynamic sizes). *)
@@ -101,7 +113,7 @@ type outcome = {
     path; [Closure] is the bit-identical legacy path). *)
 let g_verify_deviation = Obs.Metrics.gauge "simulate_max_abs_deviation"
 
-let simulate ?(verify = true) ?mode ?impl ?domains ~device ~steps job grid =
+let simulate_cfg ?(cfg = Run_config.default) ~device ~steps job grid =
   if grid.Stencil.Grid.dims <> job.dims then
     invalid_arg "Framework.simulate: grid does not match job dimensions";
   Obs.Trace.with_span "simulate"
@@ -115,10 +127,10 @@ let simulate ?(verify = true) ?mode ?impl ?domains ~device ~steps job grid =
   Log.debug (fun m ->
       m "simulating %d steps of %s on %s with %a" steps
         (pattern job).Stencil.Pattern.name device.Gpu.Device.name Config.pp job.config);
-  let result, stats = Blocking.run ?mode ?impl ?domains em ~machine ~steps grid in
+  let result, stats = Blocking.run_cfg cfg em ~machine ~steps grid in
   Log.info (fun m -> m "launch: %a" Blocking.pp_launch_stats stats);
   let verified =
-    if not verify then Ok ()
+    if not cfg.Run_config.verify then Ok ()
     else
       Obs.Trace.with_span "verify" (fun () ->
           let reference = Stencil.Reference.run (pattern job) ~steps grid in
@@ -128,3 +140,10 @@ let simulate ?(verify = true) ?mode ?impl ?domains ~device ~steps job grid =
           if d = 0.0 then Ok () else Error d)
   in
   { result; stats; counters = machine.Gpu.Machine.counters; verified }
+
+(* Deprecated optional-argument wrapper; equivalent to [simulate_cfg]
+   with the same fields (proven by test/test_serve.ml). *)
+let simulate ?(verify = true) ?mode ?impl ?domains ~device ~steps job grid =
+  simulate_cfg
+    ~cfg:(Run_config.make ~verify ?mode ?impl ?domains ())
+    ~device ~steps job grid

@@ -6,8 +6,18 @@ type source = { text : string; origin : string }
 
 val source_of_string : ?origin:string -> string -> source
 
+exception Compile_error of string
+(** Any front-door failure — reading the source path, lexical,
+    syntactic, detection or configuration — with a human-readable
+    message locating the problem. Servers can treat every request
+    rejection uniformly by catching this one exception. *)
+
 val source_of_file : string -> source
-(** @raise Sys_error when the file cannot be read. *)
+(** @raise Compile_error when the file cannot be read (the underlying
+    [Sys_error] never escapes). *)
+
+val source_of_file_result : string -> (source, string) result
+(** Exception-free variant of {!source_of_file}. *)
 
 type job = {
   detection : Stencil.Detect.result;
@@ -15,10 +25,6 @@ type job = {
   prec : Stencil.Grid.precision;
   dims : int array;
 }
-
-exception Compile_error of string
-(** Lexical, syntactic, detection or configuration failure, with a
-    human-readable message locating the problem. *)
 
 val compile :
   ?param_values:(string * float) list ->
@@ -47,6 +53,25 @@ type outcome = {
       (** [Error d]: max abs deviation [d] from the reference *)
 }
 
+val simulate_cfg :
+  ?cfg:Run_config.t ->
+  device:Gpu.Device.t ->
+  steps:int ->
+  job ->
+  Stencil.Grid.t ->
+  outcome
+(** Run the blocked schedule on the simulated device under a unified
+    {!Run_config} (default {!Run_config.default}): [cfg.verify]
+    compares against the naive reference, the artifact's CPU check
+    (§A.6); with [cfg.mode = Partial_sums] verification reports the
+    small reassociation error the real artifact also sees;
+    [cfg.domains > 1] runs the thread blocks of each kernel call in
+    parallel (results are bit-identical either way); [cfg.impl]
+    selects the executor implementation. [cfg.trace]/[cfg.metrics] are
+    not acted on here — wrap the call in {!Run_config.with_obs} for
+    that (the CLI does).
+    @raise Invalid_argument when the grid does not match the job. *)
+
 val simulate :
   ?verify:bool ->
   ?mode:Blocking.exec_mode ->
@@ -57,12 +82,6 @@ val simulate :
   job ->
   Stencil.Grid.t ->
   outcome
-(** Run the blocked schedule on the simulated device; [verify]
-    (default true) compares against the naive reference, the artifact's
-    CPU check (§A.6). With [mode = Partial_sums] verification reports
-    the small reassociation error the real artifact also sees.
-    [domains > 1] runs the thread blocks of each kernel call in
-    parallel (default sequential; results are bit-identical either
-    way); [impl] selects the executor implementation (default: the
-    compiled plan path; [Closure] is the bit-identical legacy path).
-    @raise Invalid_argument when the grid does not match the job. *)
+(** Deprecated optional-argument wrapper around {!simulate_cfg};
+    equivalent field-for-field (asserted by the wrapper-equivalence
+    tests in test/test_serve.ml). Prefer {!simulate_cfg}. *)

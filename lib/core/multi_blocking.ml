@@ -251,12 +251,14 @@ let kernel_call ?pool (sys : Stencil.System.t) (cfg : Config.t)
 (** Advance the system [steps] time-steps with temporal chunks of
     [cfg.bt]; returns the final grids and launch statistics. The system
     is compiled once for the whole run (all chunks share one
-    [prepared]). [domains > 1] runs thread blocks in parallel (one pool
-    reused across the kernel calls), bit-identically to the sequential
+    [prepared]). Of the {!Run_config} only [domains] matters to the
+    prototype ([mode]/[impl] have a single implementation here);
+    [domains > 1] runs thread blocks in parallel (one pool reused
+    across the kernel calls), bit-identically to the sequential
     path. *)
 let m_chunks_executed = Obs.Metrics.counter "chunks_executed"
 
-let run ?domains ?pool (sys : Stencil.System.t) (cfg : Config.t)
+let run_cfg ?pool (rc : Run_config.t) (sys : Stencil.System.t) (cfg : Config.t)
     ~(machine : Gpu.Machine.t) ~steps (gs : Stencil.Grid.t list) =
   if List.length gs <> Stencil.System.n_components sys then
     invalid_arg "Multi_blocking.run: component count mismatch";
@@ -284,7 +286,7 @@ let run ?domains ?pool (sys : Stencil.System.t) (cfg : Config.t)
     (fun () ->
       match pool with
       | Some _ -> exec pool
-      | None -> Gpu.Pool.with_pool ?domains exec);
+      | None -> Gpu.Pool.with_pool ~domains:rc.Run_config.domains exec);
   let prec = (List.hd gs).Stencil.Grid.prec in
   let rad = Stencil.System.radius sys in
   let dims = (List.hd gs).Stencil.Grid.dims in
@@ -307,3 +309,8 @@ let run ?domains ?pool (sys : Stencil.System.t) (cfg : Config.t)
     }
   in
   (Array.to_list !cur, stats)
+
+(* Deprecated optional-argument wrapper; equivalent to [run_cfg] with
+   the same domains field (proven by test/test_serve.ml). *)
+let run ?domains ?pool sys cfg ~machine ~steps gs =
+  run_cfg ?pool (Run_config.make ?domains ()) sys cfg ~machine ~steps gs

@@ -37,6 +37,21 @@ val kernel_call :
     @raise Gpu.Machine.Launch_failure when resources exceed the device.
     @raise Invalid_argument on a non-positive compute region. *)
 
+val run_cfg :
+  ?pool:Gpu.Pool.t ->
+  Run_config.t ->
+  Stencil.System.t ->
+  Config.t ->
+  machine:Gpu.Machine.t ->
+  steps:int ->
+  Stencil.Grid.t list ->
+  Stencil.Grid.t list * launch_stats
+(** Temporal chunks of [cfg.bt]; stream division is not supported by
+    the prototype (the [hs] field is ignored). Of the {!Run_config}
+    only [domains] matters here — the prototype has a single
+    implementation and evaluation mode; [domains]/[pool] run thread
+    blocks in parallel as in {!Blocking.run_cfg}. *)
+
 val run :
   ?domains:int ->
   ?pool:Gpu.Pool.t ->
@@ -46,6 +61,5 @@ val run :
   steps:int ->
   Stencil.Grid.t list ->
   Stencil.Grid.t list * launch_stats
-(** Temporal chunks of [cfg.bt]; stream division is not supported by
-    the prototype (the [hs] field is ignored). [domains]/[pool] run
-    thread blocks in parallel as in {!Blocking.run}. *)
+(** Deprecated optional-argument wrapper around {!run_cfg}; equivalent
+    for the same [domains]. Prefer {!run_cfg}. *)

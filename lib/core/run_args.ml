@@ -1,0 +1,56 @@
+(* Shared parsing of the cross-cutting run flags. See run_args.mli. *)
+
+let domains_doc =
+  "Worker domains for the block-parallel simulator executor (1 = sequential; \
+   parallel runs are bit-identical to sequential ones)."
+
+let impl_doc = "Executor implementation: compiled (default) or closure."
+
+let mode_doc = "CALC evaluation mode: direct (default) or partial-sums."
+
+let trace_doc =
+  "Record a structured span trace of the run and write it as Chrome \
+   trace_event JSON (open in Perfetto, https://ui.perfetto.dev). See \
+   docs/OBSERVABILITY.md for the span taxonomy."
+
+let metrics_doc =
+  "Print the metrics registry snapshot (counters, gauges, histograms) after \
+   the run."
+
+let verify_doc = "Disable the CPU-reference verification of simulated results."
+
+let usage =
+  String.concat "\n"
+    [
+      "  --domains N     " ^ domains_doc;
+      "  --impl IMPL     " ^ impl_doc;
+      "  --mode MODE     " ^ mode_doc;
+      "  --trace FILE    " ^ trace_doc;
+      "  --metrics       " ^ metrics_doc;
+      "  --no-verify     " ^ verify_doc;
+    ]
+
+let parse ?(init = Run_config.default) args =
+  let rec go cfg rest = function
+    | [] -> Ok (cfg, List.rev rest)
+    | "--domains" :: v :: tl -> (
+        match int_of_string_opt v with
+        | Some d when d >= 1 -> go (Run_config.with_domains d cfg) rest tl
+        | _ -> Error (Fmt.str "--domains expects a positive integer, got %s" v))
+    | "--impl" :: v :: tl -> (
+        match Run_config.impl_of_string v with
+        | Ok i -> go (Run_config.with_impl i cfg) rest tl
+        | Error e -> Error e)
+    | "--mode" :: v :: tl -> (
+        match Run_config.mode_of_string v with
+        | Ok m -> go (Run_config.with_mode m cfg) rest tl
+        | Error e -> Error e)
+    | "--trace" :: v :: tl -> go (Run_config.with_trace (Some v) cfg) rest tl
+    | "--metrics" :: tl -> go (Run_config.with_metrics true cfg) rest tl
+    | "--no-verify" :: tl -> go (Run_config.with_verify false cfg) rest tl
+    | "--verify" :: tl -> go (Run_config.with_verify true cfg) rest tl
+    | [ flag ] when List.mem flag [ "--domains"; "--impl"; "--mode"; "--trace" ] ->
+        Error (Fmt.str "%s expects an argument" flag)
+    | a :: tl -> go cfg (a :: rest) tl
+  in
+  go init [] args

@@ -1,0 +1,113 @@
+(** The unified execution-request configuration — one record carrying
+    every cross-cutting knob of a simulate/tune/compile run (CALC
+    evaluation mode, executor implementation, worker domains,
+    verification, trace sink, metrics flag).
+
+    Before this module the knobs sprawled as optional arguments
+    duplicated across {!Framework.simulate}, {!Blocking.run},
+    {!Multi_blocking.run}, [Tuner.tune], [bin/an5d] and [bench/main].
+    The [*_cfg] entrypoints of those modules now take a [Run_config.t];
+    the old optional-argument signatures remain as thin deprecated
+    wrappers (proven equivalent by [test/test_serve.ml]).
+
+    A [Run_config.t] also renders to a stable s-expression
+    ({!to_sexp}) and a semantic {!cache_key}, which is what makes the
+    request keys of the [An5d_serve] serving layer well-defined. *)
+
+(** How CALC evaluates the update — the canonical definition;
+    {!Blocking.exec_mode} re-exports it. [Direct] is the expression as
+    written (bit-identical to the reference); [Partial_sums] is the
+    §4.1 associative dataflow, which reassociates the arithmetic like
+    the real generated kernels. *)
+type exec_mode = Direct | Partial_sums
+
+(** Which executor implementation runs the kernels — canonical
+    definition, re-exported as {!Blocking.impl}. [Compiled] (default)
+    drives the inner loops off the memoized plan tables; [Closure] is
+    the bit-identical legacy per-cell path. *)
+type impl = Compiled | Closure
+
+type t = {
+  mode : exec_mode;
+  impl : impl;
+  domains : int;  (** worker domains for block-parallel execution; 1 = sequential *)
+  verify : bool;  (** compare the result against the CPU reference *)
+  trace : string option;
+      (** span-trace sink: write Chrome trace_event JSON here (see
+          docs/OBSERVABILITY.md); [None] disables tracing *)
+  metrics : bool;  (** print the metrics registry snapshot afterwards *)
+}
+
+val default : t
+(** [Direct], [Compiled], 1 domain, verification on, no trace sink, no
+    metrics — exactly the historical defaults of the wrapped optional
+    arguments. *)
+
+val make :
+  ?mode:exec_mode ->
+  ?impl:impl ->
+  ?domains:int ->
+  ?verify:bool ->
+  ?trace:string option ->
+  ?metrics:bool ->
+  unit ->
+  t
+(** Builder over {!default}. *)
+
+(** Functional updates, for deriving one request's config from a
+    session default. *)
+
+val with_mode : exec_mode -> t -> t
+
+val with_impl : impl -> t -> t
+
+val with_domains : int -> t -> t
+
+val with_verify : bool -> t -> t
+
+val with_trace : string option -> t -> t
+
+val with_metrics : bool -> t -> t
+
+val mode_to_string : exec_mode -> string
+
+val mode_of_string : string -> (exec_mode, string) result
+(** ["direct"] and ["partial-sums"] (also ["partial_sums"]). *)
+
+val impl_to_string : impl -> string
+
+val impl_of_string : string -> (impl, string) result
+(** ["compiled"] and ["closure"]. *)
+
+val to_sexp : t -> string
+(** Full stable rendering, e.g.
+    [(run-config (mode direct) (impl compiled) (domains 1) (verify true)
+      (trace ()) (metrics false))]. *)
+
+val cache_key : t -> string
+(** The semantic part of {!to_sexp}: only the fields that can change a
+    served result — [mode], [impl] and [verify]. [domains] is excluded
+    because parallel runs are proven bit-identical to sequential ones,
+    and [trace]/[metrics] because observability never alters results.
+    Two configs with equal [cache_key] produce bit-identical outcomes
+    for the same job, device, steps and input grid. *)
+
+val equal : t -> t -> bool
+
+val hash : t -> int
+(** Hash of {!cache_key} — configs that serve identical results hash
+    identically. *)
+
+val pp : Format.formatter -> t -> unit
+
+val with_obs : t -> (unit -> 'a) -> 'a
+(** Run a thunk under the config's observability sinks: when [trace]
+    is set, clear and enable the span tracer and afterwards (also on
+    exceptions — a partial trace is exactly what you want then) write
+    the Chrome trace_event JSON to the file, validating it with
+    {!Obs.Export.validate_chrome}; when [metrics] is set, print the
+    registry snapshot at the end. This is the single implementation of
+    the [--trace FILE] / [--metrics] behavior shared by [bin/an5d] and
+    [bench/main].
+    @raise Failure when the exporter emits JSON its own validator
+    rejects (CI treats that as a build break). *)

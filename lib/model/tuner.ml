@@ -99,15 +99,16 @@ let m_candidates_measured = Obs.Metrics.counter "tuner_candidates_measured"
 let g_best_gflops = Obs.Metrics.gauge "tuner_best_gflops"
 
 (** Full §6.3 tuning: model-rank, measure the top [k], pick the winner.
-    [domains] measures the top-k candidates in parallel; the measurement
-    layer is purely analytic, so the result is identical to the
-    sequential sweep. [verify_dims] additionally executes the winning
-    configuration on a small grid of those sizes through the blocked
-    simulator (the compiled plan path — its plan is memoized, so the
-    winner's reg-limit variants share one compilation) and reports the
-    max abs deviation from the reference executor. *)
-let tune ?(k = 5) ?domains ?verify_dims (dev : Gpu.Device.t) ~prec pattern
-    ~dims_sizes ~steps =
+    The unified-API entrypoint: of the {!Run_config} only [domains]
+    matters — it measures the top-k candidates in parallel; the
+    measurement layer is purely analytic, so the result is identical to
+    the sequential sweep. [verify_dims] additionally executes the
+    winning configuration on a small grid of those sizes through the
+    blocked simulator (the compiled plan path — its plan is memoized,
+    so the winner's reg-limit variants share one compilation) and
+    reports the max abs deviation from the reference executor. *)
+let tune_cfg ?(k = 5) ?(cfg = Run_config.default) ?verify_dims
+    (dev : Gpu.Device.t) ~prec pattern ~dims_sizes ~steps =
   Obs.Trace.with_span "tune"
     ~attrs:
       [ ("pattern", Obs.Trace.Str pattern.Stencil.Pattern.name);
@@ -149,7 +150,7 @@ let tune ?(k = 5) ?domains ?verify_dims (dev : Gpu.Device.t) ~prec pattern
     Obs.Trace.add_attrs [ ("measured_gflops", Obs.Trace.Float m.Measure.gflops) ];
     (config, m, cand.predicted.Predict.gflops)
   in
-  Gpu.Pool.with_pool ?domains (fun pool ->
+  Gpu.Pool.with_pool ~domains:cfg.Run_config.domains (fun pool ->
       match pool with
       | Some pool ->
           Gpu.Pool.run pool ~n:(Array.length top_arr) (fun ~lane:_ i ->
@@ -193,3 +194,10 @@ let tune ?(k = 5) ?domains ?verify_dims (dev : Gpu.Device.t) ~prec pattern
     top;
     verify;
   }
+
+(* Deprecated optional-argument wrapper; equivalent to [tune_cfg] with
+   the same domains field (proven by test/test_serve.ml). *)
+let tune ?k ?domains ?verify_dims dev ~prec pattern ~dims_sizes ~steps =
+  tune_cfg ?k
+    ~cfg:(Run_config.make ?domains ())
+    ?verify_dims dev ~prec pattern ~dims_sizes ~steps

@@ -48,6 +48,23 @@ val rank :
 
 exception No_feasible_configuration of string
 
+val tune_cfg :
+  ?k:int ->
+  ?cfg:Run_config.t ->
+  ?verify_dims:int array ->
+  Gpu.Device.t ->
+  prec:Stencil.Grid.precision ->
+  Stencil.Pattern.t ->
+  dims_sizes:int array ->
+  steps:int ->
+  result
+(** The unified-API entrypoint. Of the {!Run_config} only [domains]
+    matters: it measures the top-[k] candidates in parallel (the
+    measurement layer is analytic, so the result is unchanged);
+    [verify_dims] additionally executes the winner on a small grid of
+    those sizes and reports the deviation from the reference.
+    @raise No_feasible_configuration when pruning leaves nothing. *)
+
 val tune :
   ?k:int ->
   ?domains:int ->
@@ -58,8 +75,5 @@ val tune :
   dims_sizes:int array ->
   steps:int ->
   result
-(** [domains] measures the top-[k] candidates in parallel (the
-    measurement layer is analytic, so the result is unchanged);
-    [verify_dims] additionally executes the winner on a small grid of
-    those sizes and reports the deviation from the reference.
-    @raise No_feasible_configuration when pruning leaves nothing. *)
+(** Deprecated optional-argument wrapper around {!tune_cfg};
+    equivalent for the same [domains]. Prefer {!tune_cfg}. *)

@@ -1,0 +1,133 @@
+(** PTX-lite: a small virtual ISA for AN5D kernels.
+
+    The paper's authors validated their model "upon analyzing the
+    generated PTX code" (§5) and observed that unrolling the inner loop
+    "results in performance degradation due to increased instruction
+    fetch latency" (§4.3). To reason about such instruction-level
+    effects — and to validate the code generator more deeply than text
+    matching — this library compiles the LOAD/CALC/STORE schedule into
+    straight-line instruction blocks over a register machine and
+    interprets them SIMT-style on the simulated GPU.
+
+    The ISA is deliberately tiny: float registers, predicated global and
+    shared accesses, the arithmetic the stencil IR needs (with explicit
+    FMA), selects and barriers. Addresses are structured rather than
+    byte-level: a global access names a sub-plane (relative to the
+    block's pipeline) plus the thread's own column; a shared access
+    names a tile slot and an in-plane offset. *)
+
+type reg = int
+(** Virtual float register. Fixed sub-plane registers reuse the
+    generated code's numbering (register [M] of time-step [T] is
+    [reg_id ~planes ~tstep ~id:M]); temporaries live above them. *)
+
+val reg_id : planes:int -> tstep:int -> id:int -> reg
+
+type operand = Reg of reg | Imm of float
+
+(** Predicates guarding an instruction (the conditional branches the
+    macros hide, §4.3): evaluated per thread by the interpreter. *)
+type pred =
+  | Always
+  | In_grid  (** thread's cell is inside the grid *)
+  | Interior  (** cell interior and the sub-plane is stream-interior *)
+  | In_compute  (** thread inside the block's compute region *)
+
+(** One SIMT instruction. [plane] operands are *relative* positions in
+    the block's streaming pipeline; the interpreter adds the base. *)
+type instr =
+  | Ld_global of { dst : reg; plane : int; pred : pred }
+      (** load the thread's cell of a sub-plane *)
+  | St_global of { src : reg; plane : int; pred : pred }
+  | St_shared of { src : reg; buf_slot : int }
+      (** store the thread's value into the current shared tile at
+          plane-slot [buf_slot] (0 for star/associative tiles) *)
+  | Ld_shared of { dst : reg; buf_slot : int; delta : int array }
+      (** read a neighbor's value from the current tile: [delta] is the
+          in-plane offset (length N-1) *)
+  | Bar_sync
+  | Buf_switch  (** flip the double-buffered tile *)
+  | Mov of { dst : reg; src : operand }
+  | Add of { dst : reg; a : operand; b : operand }
+  | Sub of { dst : reg; a : operand; b : operand }
+  | Mul of { dst : reg; a : operand; b : operand }
+  | Fma of { dst : reg; a : operand; b : operand; c : operand }
+      (** dst = a * b + c *)
+  | Div of { dst : reg; a : operand; b : operand }
+  | Sqrt of { dst : reg; a : operand }
+  | Neg of { dst : reg; a : operand }
+  | Sel of { dst : reg; if_interior : reg; otherwise : reg; plane : int }
+      (** the branch-free halo overwrite of §4.1: threads whose cell is
+          interior (and the sub-plane at relative position [plane] is
+          stream-interior) keep the computed value, others the previous
+          time-step's *)
+
+type block = instr list
+(** A basic block: the instructions of one pipeline position. All
+    [plane] fields are relative to the position the block executes at. *)
+
+(** A compiled kernel. [head] holds one statically specialized block per
+    warm-up position; [inner] one block per rotation slot — the steady
+    state's loop body is their concatenation (it advances [2*rad + 1]
+    positions per iteration, §4.3), and the drain (tail) re-executes
+    inner blocks position by position. *)
+type program = {
+  degree : int;
+  planes : int;  (** rotation period [2*rad + 1] *)
+  head : block array;
+  warmup : block array;
+      (** the non-lowermost stream block's head (§4.2): starts
+          [degree * rad] planes below its output range with redundant
+          computation; CALC_T activates at [2*T*rad] instead of
+          [T*rad] *)
+  inner : block array;
+  n_regs : int;  (** registers used (fixed sub-plane set + temporaries) *)
+}
+
+(** {1 Statistics} *)
+
+type mix = {
+  ld_global : int;
+  st_global : int;
+  ld_shared : int;
+  st_shared : int;
+  fma : int;
+  mul : int;
+  add : int;
+  other : int;  (** div, sqrt, neg *)
+  mov : int;
+  sel : int;
+  bar : int;
+  total : int;
+}
+
+val zero_mix : mix
+
+val count_instr : mix -> instr -> mix
+
+val block_mix : block -> mix
+
+val add_mix : mix -> mix -> mix
+
+val scale_mix : int -> mix -> mix
+
+val program_mix : program -> mix
+(** Static instruction mix of the whole program text (both heads + one
+    inner loop body). *)
+
+val inner_loop_size : program -> int
+(** The inner loop's static code size in instructions — what the
+    instruction fetch path must sustain per iteration (§4.3's unrolling
+    observation). *)
+
+val pp_mix : Format.formatter -> mix -> unit
+
+(** {1 Printing} *)
+
+val pp_operand : Format.formatter -> operand -> unit
+
+val pp_pred : Format.formatter -> pred -> unit
+
+val pp_instr : Format.formatter -> instr -> unit
+
+val pp_block : Format.formatter -> block -> unit

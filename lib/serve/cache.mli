@@ -1,0 +1,60 @@
+(** Keyed LRU+TTL cache with in-flight request coalescing — the
+    building block of the serving layer's compile, tune and outcome
+    caches.
+
+    Keys are the stable strings produced by the request layer (source
+    digest + config/dims/precision s-expressions + the semantic
+    {!An5d_core.Run_config.cache_key}), so two requests share an entry
+    exactly when they are proven to produce bit-identical results.
+
+    Concurrency: safe across OCaml domains (the {!Gpu.Pool} lanes of a
+    serving session). {!find_or_compute} coalesces concurrent misses of
+    one key: the first caller computes while the others block on a
+    condition variable and are handed the finished value — N identical
+    in-flight requests trigger exactly one computation. A computation
+    that raises wakes the waiters, and the first of them retries (so
+    one poisoned request cannot wedge the key).
+
+    Instrumented: each cache interns
+    [serve_<name>_cache_{hits,misses,coalesced,evictions,expired}]
+    counters in the {!Obs.Metrics} registry. *)
+
+type 'v t
+
+val create :
+  ?ttl:float -> ?clock:(unit -> float) -> ?capacity:int -> name:string -> unit -> 'v t
+(** [create ~name ()] makes an empty cache. [capacity] (default 64)
+    bounds the number of ready entries — inserting beyond it evicts the
+    least-recently-used entry. [ttl] (default: none) expires entries
+    that many seconds after insertion, measured by [clock] (default
+    [Unix.gettimeofday]; injectable for tests). *)
+
+(** How a lookup was served: [Hit] — entry was ready; [Miss] — this
+    caller computed it; [Coalesced] — another in-flight caller computed
+    it while this one waited. *)
+type served = Hit | Miss | Coalesced
+
+val find_or_compute : 'v t -> key:string -> (unit -> 'v) -> 'v * served
+(** Return the cached value for [key], computing and inserting it on a
+    miss. Expired entries count as misses. The exception of a failed
+    computation propagates to the computing caller; waiting callers
+    retry the computation themselves. *)
+
+val find : 'v t -> key:string -> 'v option
+(** Peek without computing or coalescing (still refreshes LRU order and
+    counts a hit/miss; an in-flight entry reads as [None]). *)
+
+type stats = {
+  hits : int;
+  misses : int;
+  coalesced : int;
+  evictions : int;
+  expired : int;
+  size : int;  (** ready entries currently cached *)
+}
+
+val stats : 'v t -> stats
+
+val clear : 'v t -> unit
+(** Drop all ready entries (in-flight computations finish and insert
+    normally). Statistics are kept. *)

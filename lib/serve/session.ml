@@ -1,0 +1,353 @@
+(* The batch-serving session. See session.mli and docs/SERVING.md. *)
+
+open An5d_core
+
+let src_log = Logs.Src.create "an5d.serve" ~doc:"AN5D batch serving session"
+
+module Log = (val Logs.src_log src_log : Logs.LOG)
+
+type config = {
+  domains : int;
+  queue_capacity : int;
+  default_deadline : float option;
+  job_capacity : int;
+  job_ttl : float option;
+  tune_capacity : int;
+  tune_ttl : float option;
+  outcome_capacity : int;
+  outcome_ttl : float option;
+  clock : unit -> float;
+}
+
+let default_config =
+  {
+    domains = 1;
+    queue_capacity = 64;
+    default_deadline = None;
+    job_capacity = 64;
+    job_ttl = None;
+    tune_capacity = 64;
+    tune_ttl = None;
+    outcome_capacity = 64;
+    outcome_ttl = None;
+    clock = Unix.gettimeofday;
+  }
+
+type served = Cold | Warm | Coalesced
+
+type shed = Overload | Deadline_exceeded
+
+type payload =
+  | Compiled of { job : Framework.job; cuda : string }
+  | Simulated of { outcome : Framework.outcome; config : Config.t }
+  | Tuned of Model.Tuner.result
+
+type status =
+  | Done of payload
+  | Degraded of payload * shed
+  | Cancelled
+  | Failed of string
+
+type response = {
+  id : string option;
+  status : status;
+  served : served;
+  latency : float;
+}
+
+type t = {
+  cfg : config;
+  pool : Gpu.Pool.t option;
+  jobs : Framework.job Cache.t;
+  tunes : Model.Tuner.result Cache.t;
+  outcomes : Framework.outcome Cache.t;
+  cancelled_ids : (string, unit) Hashtbl.t;
+  cancel_lock : Mutex.t;
+  batch_lock : Mutex.t;  (** one batch on the pool at a time *)
+  total : int Atomic.t;
+  degraded : int Atomic.t;
+  cancelled : int Atomic.t;
+  failed : int Atomic.t;
+}
+
+(* Observability: the serving taxonomy of docs/OBSERVABILITY.md. *)
+let g_queue_depth = Obs.Metrics.gauge "serve_queue_depth"
+
+let m_requests = Obs.Metrics.counter "serve_requests_total"
+
+let m_degraded = Obs.Metrics.counter "serve_requests_degraded"
+
+let m_cancelled = Obs.Metrics.counter "serve_requests_cancelled"
+
+let m_failed = Obs.Metrics.counter "serve_requests_failed"
+
+let h_latency = Obs.Metrics.histogram "serve_request_latency_us"
+
+let create ?(config = default_config) () =
+  {
+    cfg = config;
+    pool =
+      (if config.domains > 1 then Some (Gpu.Pool.create ~domains:config.domains ())
+       else None);
+    jobs =
+      Cache.create ?ttl:config.job_ttl ~clock:config.clock
+        ~capacity:config.job_capacity ~name:"job" ();
+    tunes =
+      Cache.create ?ttl:config.tune_ttl ~clock:config.clock
+        ~capacity:config.tune_capacity ~name:"tune" ();
+    outcomes =
+      Cache.create ?ttl:config.outcome_ttl ~clock:config.clock
+        ~capacity:config.outcome_capacity ~name:"outcome" ();
+    cancelled_ids = Hashtbl.create 16;
+    cancel_lock = Mutex.create ();
+    batch_lock = Mutex.create ();
+    total = Atomic.make 0;
+    degraded = Atomic.make 0;
+    cancelled = Atomic.make 0;
+    failed = Atomic.make 0;
+  }
+
+let cancel t id =
+  Mutex.protect t.cancel_lock (fun () -> Hashtbl.replace t.cancelled_ids id ())
+
+let is_cancelled t = function
+  | None -> false
+  | Some id -> Mutex.protect t.cancel_lock (fun () -> Hashtbl.mem t.cancelled_ids id)
+
+let served_of_cache = function
+  | Cache.Hit -> Warm
+  | Cache.Miss -> Cold
+  | Cache.Coalesced -> Coalesced
+
+(* ------------------------------------------------------------------ *)
+(* Request execution                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let job_for t (spec : Request.spec) =
+  Cache.find_or_compute t.jobs ~key:(Request.spec_key spec) (fun () ->
+      Framework.compile ?dims:spec.Request.dims ?prec:spec.Request.prec
+        ~config:spec.Request.config spec.Request.source)
+
+(* Requests execute sequentially within their pool lane: the lane IS
+   the parallelism, so nested [domains] are forced to 1. *)
+let lane_run run = Run_config.with_domains 1 run
+
+let do_compile t spec =
+  let job, c = job_for t spec in
+  (Compiled { job; cuda = Framework.cuda_source job }, served_of_cache c)
+
+let do_simulate t req (spec : Request.spec) ~device ~steps ~seed ~run =
+  let key = Request.key req in
+  let outcome, c =
+    Cache.find_or_compute t.outcomes ~key (fun () ->
+        let job, _ = job_for t spec in
+        let grid =
+          Stencil.Grid.init_random ~prec:job.Framework.prec ~seed
+            job.Framework.dims
+        in
+        Framework.simulate_cfg ~cfg:(lane_run run) ~device ~steps job grid)
+  in
+  (Simulated { outcome; config = spec.Request.config }, served_of_cache c)
+
+let do_tune t req ~pattern ~device ~prec ~dims ~steps ~k =
+  let result, c =
+    Cache.find_or_compute t.tunes ~key:(Request.key req) (fun () ->
+        Model.Tuner.tune_cfg ~k device ~prec pattern ~dims_sizes:dims ~steps)
+  in
+  (Tuned result, served_of_cache c)
+
+(* Degraded service (§overload/deadline in docs/SERVING.md): a direct
+   low-degree [bt = 1] run — the cheapest correct answer the session
+   can produce. Simulation skips verification; tuning skips the ranked
+   search and measures the single fallback configuration. Degraded
+   runs bypass the caches so shed traffic cannot evict tuned-for
+   entries. *)
+let fallback_config (base : Config.t) = { base with Config.bt = 1; hs = None }
+
+let do_compile_degraded t spec =
+  (* compiling has no cheaper fallback; serve it as-is *)
+  fst (do_compile t spec)
+
+let do_simulate_degraded _t (spec : Request.spec) ~device ~steps ~seed ~run =
+  let config = fallback_config spec.Request.config in
+  let job =
+    Framework.compile ?dims:spec.Request.dims ?prec:spec.Request.prec ~config
+      spec.Request.source
+  in
+  let grid =
+    Stencil.Grid.init_random ~prec:job.Framework.prec ~seed job.Framework.dims
+  in
+  let cfg =
+    lane_run run |> Run_config.with_verify false |> Run_config.with_mode Direct
+  in
+  let outcome = Framework.simulate_cfg ~cfg ~device ~steps job grid in
+  Simulated { outcome; config }
+
+let do_tune_degraded _t ~pattern ~device ~prec ~dims ~steps =
+  let nb = pattern.Stencil.Pattern.dims in
+  let config =
+    Config.make ~bt:1 ~bs:(List.hd (Model.Tuner.bs_choices nb)) ()
+  in
+  let em = Execmodel.make pattern config dims in
+  let reg_limit, m = Model.Measure.with_reg_limit_search device ~prec em ~steps in
+  let predicted = Model.Predict.evaluate device ~prec em ~steps in
+  Tuned
+    {
+      Model.Tuner.best = { config with Config.reg_limit };
+      tuned = m;
+      model_gflops = predicted.Model.Predict.gflops;
+      explored = 1;
+      pruned = 0;
+      top = [];
+      verify = None;
+    }
+
+let execute t req =
+  match req.Request.body with
+  | Request.Compile spec -> do_compile t spec
+  | Request.Simulate { spec; device; steps; seed; run } ->
+      do_simulate t req spec ~device ~steps ~seed ~run
+  | Request.Tune { pattern; device; prec; dims; steps; k; _ } ->
+      do_tune t req ~pattern ~device ~prec ~dims ~steps ~k
+
+let execute_degraded t req =
+  match req.Request.body with
+  | Request.Compile spec -> do_compile_degraded t spec
+  | Request.Simulate { spec; device; steps; seed; run } ->
+      do_simulate_degraded t spec ~device ~steps ~seed ~run
+  | Request.Tune { pattern; device; prec; dims; steps; _ } ->
+      do_tune_degraded t ~pattern ~device ~prec ~dims ~steps
+
+let shed_to_string = function
+  | Overload -> "overload"
+  | Deadline_exceeded -> "deadline"
+
+let process_one t ~enqueued ~overloaded req =
+  Atomic.incr t.total;
+  Obs.Metrics.incr m_requests;
+  Obs.Trace.with_span "serve.request"
+    ~attrs:[ ("kind", Obs.Trace.Str (Request.kind req)) ]
+  @@ fun () ->
+  let finish status served =
+    let latency = t.cfg.clock () -. enqueued in
+    Obs.Metrics.observe h_latency (latency *. 1e6);
+    { id = req.Request.id; status; served; latency }
+  in
+  if is_cancelled t req.Request.id then begin
+    Atomic.incr t.cancelled;
+    Obs.Metrics.incr m_cancelled;
+    Obs.Trace.add_attrs [ ("outcome", Obs.Trace.Str "cancelled") ];
+    finish Cancelled Cold
+  end
+  else begin
+    let deadline =
+      match req.Request.deadline with
+      | Some _ as d -> d
+      | None -> t.cfg.default_deadline
+    in
+    let late =
+      match deadline with
+      | Some d -> t.cfg.clock () -. enqueued > d
+      | None -> false
+    in
+    let shed =
+      if overloaded then Some Overload
+      else if late then Some Deadline_exceeded
+      else None
+    in
+    match shed with
+    | Some reason -> (
+        Atomic.incr t.degraded;
+        Obs.Metrics.incr m_degraded;
+        Obs.Trace.add_attrs
+          [ ("outcome", Obs.Trace.Str ("degraded:" ^ shed_to_string reason)) ];
+        Log.info (fun m ->
+            m "shedding %a to bt=1 (%s)" Request.pp req (shed_to_string reason));
+        match execute_degraded t req with
+        | payload -> finish (Degraded (payload, reason)) Cold
+        | exception e ->
+            Atomic.incr t.failed;
+            Obs.Metrics.incr m_failed;
+            finish (Failed (Printexc.to_string e)) Cold)
+    | None -> (
+        match execute t req with
+        | payload, served ->
+            Obs.Trace.add_attrs [ ("outcome", Obs.Trace.Str "ok") ];
+            finish (Done payload) served
+        | exception Framework.Compile_error msg ->
+            Atomic.incr t.failed;
+            Obs.Metrics.incr m_failed;
+            Obs.Trace.add_attrs [ ("outcome", Obs.Trace.Str "failed") ];
+            finish (Failed msg) Cold
+        | exception e ->
+            Atomic.incr t.failed;
+            Obs.Metrics.incr m_failed;
+            Obs.Trace.add_attrs [ ("outcome", Obs.Trace.Str "failed") ];
+            finish (Failed (Printexc.to_string e)) Cold)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Batch scheduling over the pool                                      *)
+(* ------------------------------------------------------------------ *)
+
+let submit_batch t reqs =
+  Mutex.protect t.batch_lock @@ fun () ->
+  let arr = Array.of_list reqs in
+  let n = Array.length arr in
+  if n = 0 then []
+  else begin
+    let enqueued = t.cfg.clock () in
+    let results = Array.make n None in
+    let pending = Atomic.make n in
+    Obs.Metrics.set_gauge g_queue_depth (float n);
+    Obs.Trace.with_span "serve.batch" ~attrs:[ ("requests", Obs.Trace.Int n) ]
+      (fun () ->
+        let process i =
+          let overloaded = i >= t.cfg.queue_capacity in
+          results.(i) <- Some (process_one t ~enqueued ~overloaded arr.(i));
+          Obs.Metrics.set_gauge g_queue_depth
+            (float (Atomic.fetch_and_add pending (-1) - 1))
+        in
+        match t.pool with
+        | Some pool -> Gpu.Pool.run pool ~n (fun ~lane:_ i -> process i)
+        | None ->
+            for i = 0 to n - 1 do
+              process i
+            done);
+    Array.to_list (Array.map Option.get results)
+  end
+
+let submit t req = List.hd (submit_batch t [ req ])
+
+type stats = {
+  total : int;
+  degraded : int;
+  cancelled : int;
+  failed : int;
+  jobs : Cache.stats;
+  tunes : Cache.stats;
+  outcomes : Cache.stats;
+}
+
+let stats (t : t) =
+  {
+    total = Atomic.get t.total;
+    degraded = Atomic.get t.degraded;
+    cancelled = Atomic.get t.cancelled;
+    failed = Atomic.get t.failed;
+    jobs = Cache.stats t.jobs;
+    tunes = Cache.stats t.tunes;
+    outcomes = Cache.stats t.outcomes;
+  }
+
+let pp_cache_stats ppf (name, (s : Cache.stats)) =
+  Fmt.pf ppf "%s cache: %d hit, %d miss, %d coalesced, %d evicted, %d expired, %d live"
+    name s.Cache.hits s.Cache.misses s.Cache.coalesced s.Cache.evictions
+    s.Cache.expired s.Cache.size
+
+let pp_stats ppf s =
+  Fmt.pf ppf "@[<v>%d requests (%d degraded, %d cancelled, %d failed)@,%a@,%a@,%a@]"
+    s.total s.degraded s.cancelled s.failed pp_cache_stats ("job", s.jobs)
+    pp_cache_stats ("tune", s.tunes) pp_cache_stats ("outcome", s.outcomes)
+
+let shutdown t = Option.iter Gpu.Pool.shutdown t.pool

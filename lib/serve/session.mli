@@ -1,0 +1,111 @@
+(** A persistent batch-serving session: accepts compile / simulate /
+    tune requests and serves them through keyed caches with in-flight
+    coalescing, scheduled over a reusable {!Gpu.Pool} of worker
+    domains, with per-request deadlines, cancellation and graceful
+    degradation (see docs/SERVING.md).
+
+    Three caches back the session:
+    - {b jobs}: compiled {!Framework.job}s keyed by (source digest,
+      config, dims, precision) — {!Request.spec_key};
+    - {b tunes}: [Tuner.result]s keyed additionally by device, dims,
+      steps and [k];
+    - {b outcomes}: full simulate outcomes keyed by the job key plus
+      device, steps, input seed and the semantic
+      {!An5d_core.Run_config.cache_key} (the simulator is
+      deterministic, so a repeated request is served the identical
+      bits — asserted by the QCheck differential in
+      test/test_serve.ml).
+
+    Overload and lateness degrade rather than fail: a request past the
+    {!config.queue_capacity} bound or whose deadline expired while it
+    queued is served by a direct low-degree [bt = 1] run and reported
+    as [Degraded], never dropped. *)
+
+open An5d_core
+
+type config = {
+  domains : int;  (** pool lanes executing batch requests (1 = inline) *)
+  queue_capacity : int;
+      (** accepted backlog per batch; requests beyond it are shed to
+          the degraded path *)
+  default_deadline : float option;
+      (** seconds from submission to execution start, when the request
+          carries none; [None] = no deadline *)
+  job_capacity : int;
+  job_ttl : float option;
+  tune_capacity : int;
+  tune_ttl : float option;
+  outcome_capacity : int;
+  outcome_ttl : float option;
+  clock : unit -> float;  (** injectable for deadline/TTL tests *)
+}
+
+val default_config : config
+(** 1 domain, queue capacity 64, no default deadline, 64-entry caches,
+    no TTLs, [Unix.gettimeofday]. *)
+
+(** How a response was produced: [Cold] — computed by this request;
+    [Warm] — served from a cache; [Coalesced] — computed once by a
+    concurrent identical request this one waited for. *)
+type served = Cold | Warm | Coalesced
+
+type shed = Overload | Deadline_exceeded
+
+type payload =
+  | Compiled of { job : Framework.job; cuda : string }
+  | Simulated of { outcome : Framework.outcome; config : Config.t }
+      (** [config] is the kernel configuration actually run — the
+          requested one, or the [bt = 1] fallback when degraded *)
+  | Tuned of Model.Tuner.result
+
+type status =
+  | Done of payload
+  | Degraded of payload * shed
+      (** served by the [bt = 1] fallback (verification skipped), with
+          the reason it was shed *)
+  | Cancelled
+  | Failed of string
+      (** front-door rejection or execution failure; the session never
+          dies on a bad request *)
+
+type response = {
+  id : string option;
+  status : status;
+  served : served;
+  latency : float;  (** seconds from batch submission to completion *)
+}
+
+type t
+
+val create : ?config:config -> unit -> t
+
+val submit : t -> Request.t -> response
+
+val submit_batch : t -> Request.t list -> response list
+(** Serve a batch: requests fan out over the session pool (responses
+    come back in request order), identical concurrent requests
+    coalesce into one computation, requests beyond
+    [config.queue_capacity] or past their deadline degrade. One batch
+    runs at a time; concurrent calls serialize. *)
+
+val cancel : t -> string -> unit
+(** Mark a request id cancelled: any not-yet-started request carrying
+    it (in this or a later batch) gets a [Cancelled] response. Sticky
+    for the session's lifetime. *)
+
+type stats = {
+  total : int;
+  degraded : int;
+  cancelled : int;
+  failed : int;
+  jobs : Cache.stats;
+  tunes : Cache.stats;
+  outcomes : Cache.stats;
+}
+
+val stats : t -> stats
+
+val pp_stats : Format.formatter -> stats -> unit
+
+val shutdown : t -> unit
+(** Join the pool domains. The session must not be used afterwards. *)

@@ -1,0 +1,22 @@
+#!/bin/sh
+# Interface hygiene: every module under lib/ must have an explicit
+# .mli, so the public surface of each library is deliberate (and odoc
+# documents all of it). Run from the repository root; exits non-zero
+# listing any module that lacks one.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+missing=0
+for ml in lib/*/*.ml; do
+  if [ ! -f "${ml}i" ]; then
+    echo "missing interface: ${ml}i" >&2
+    missing=$((missing + 1))
+  fi
+done
+
+if [ "$missing" -gt 0 ]; then
+  echo "check_mli: $missing module(s) without a .mli" >&2
+  exit 1
+fi
+echo "check_mli: every lib/ module has a .mli"

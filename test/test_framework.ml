@@ -111,9 +111,16 @@ let test_dynamic_dims_need_override () =
   Alcotest.(check (array int)) "override accepted" [| 40; 40 |] job.Framework.dims
 
 let test_source_of_file_missing () =
-  match Framework.source_of_file "/nonexistent/an5d/input.c" with
-  | exception Sys_error _ -> ()
-  | _ -> Alcotest.fail "expected Sys_error for a missing file"
+  (match Framework.source_of_file "/nonexistent/an5d/input.c" with
+  | exception Framework.Compile_error msg ->
+      Alcotest.(check bool) "message names the path" true
+        (contains msg "/nonexistent/an5d/input.c")
+  | exception Sys_error _ ->
+      Alcotest.fail "Sys_error leaked through the compile front door"
+  | _ -> Alcotest.fail "expected Compile_error for a missing file");
+  match Framework.source_of_file_result "/nonexistent/an5d/input.c" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected Error for a missing file"
 
 let test_simulate_domains () =
   let job = compile ~param_values:[ ("c0", 2.0) ] j2d5pt_src in

@@ -1,0 +1,610 @@
+(* The serving layer and the unified Run_config API.
+
+   - Cache: LRU eviction, TTL expiry (injected clock), in-flight
+     coalescing and holder-failure un-poisoning across real domains.
+   - Session: served simulate requests are *bit-identical* to direct
+     [Framework.simulate_cfg] runs (QCheck differential over random
+     configurations), repeats are served warm, identical concurrent
+     requests coalesce to one computation, deadline/overload requests
+     degrade to a bt=1 run instead of failing, cancellation and
+     failure isolation.
+   - Run_config/Run_args: stable renderings, semantic cache keys, the
+     shared flag parser.
+   - The deprecated optional-argument wrappers ([Blocking.run],
+     [Framework.simulate], [Tuner.tune], [Multi_blocking.run]) are
+     equivalent to their [*_cfg] replacements. *)
+
+open An5d_core
+module Cache = An5d_serve.Cache
+module Request = An5d_serve.Request
+module Session = An5d_serve.Session
+
+(* A param-free j2d5pt with static 40x40 sizes — every request can go
+   through the real compile front door. *)
+let j2d5pt_src =
+  "#define SB 40\n\
+   void j2d5pt(double a[2][SB][SB], int timesteps) {\n\
+   for (int t = 0; t < timesteps; t++)\n\
+   for (int i = 1; i < SB - 1; i++)\n\
+   for (int j = 1; j < SB - 1; j++)\n\
+   a[(t+1)%2][i][j] = 0.25 * a[t%2][i][j] + 0.2 * a[t%2][i-1][j] + 0.15 * \
+   a[t%2][i+1][j] + 0.2 * a[t%2][i][j-1] + 0.2 * a[t%2][i][j+1];\n\
+   }"
+
+let source = Framework.source_of_string ~origin:"j2d5pt-test" j2d5pt_src
+
+let counters_t =
+  Alcotest.testable (fun ppf c -> Gpu.Counters.pp ppf c) Gpu.Counters.equal
+
+let config_str c = Fmt.str "%a" Config.pp c
+
+(* ------------------------------------------------------------------ *)
+(* Cache                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_cache_hit_miss () =
+  let c = Cache.create ~name:"hm" () in
+  let v, s = Cache.find_or_compute c ~key:"a" (fun () -> 1) in
+  Alcotest.(check int) "computed" 1 v;
+  Alcotest.(check bool) "miss" true (s = Cache.Miss);
+  let v, s = Cache.find_or_compute c ~key:"a" (fun () -> 99) in
+  Alcotest.(check int) "cached" 1 v;
+  Alcotest.(check bool) "hit" true (s = Cache.Hit);
+  Alcotest.(check (option int)) "find" (Some 1) (Cache.find c ~key:"a");
+  Alcotest.(check (option int)) "find absent" None (Cache.find c ~key:"b");
+  let st = Cache.stats c in
+  Alcotest.(check int) "hits" 2 st.Cache.hits;
+  Alcotest.(check int) "misses" 2 st.Cache.misses;
+  Alcotest.(check int) "size" 1 st.Cache.size;
+  Cache.clear c;
+  Alcotest.(check int) "cleared" 0 (Cache.stats c).Cache.size
+
+let test_cache_ttl () =
+  let now = ref 0.0 in
+  let c = Cache.create ~ttl:10.0 ~clock:(fun () -> !now) ~name:"ttl" () in
+  ignore (Cache.find_or_compute c ~key:"k" (fun () -> 1));
+  now := 5.0;
+  Alcotest.(check (option int)) "alive at 5s" (Some 1) (Cache.find c ~key:"k");
+  now := 10.0;
+  Alcotest.(check (option int)) "expired at 10s" None (Cache.find c ~key:"k");
+  Alcotest.(check int) "expiry counted" 1 (Cache.stats c).Cache.expired;
+  (* recomputing after expiry restarts the clock *)
+  let v, s = Cache.find_or_compute c ~key:"k" (fun () -> 2) in
+  Alcotest.(check int) "recomputed" 2 v;
+  Alcotest.(check bool) "as a miss" true (s = Cache.Miss)
+
+let test_cache_lru () =
+  let c = Cache.create ~capacity:2 ~name:"lru" () in
+  ignore (Cache.find_or_compute c ~key:"a" (fun () -> 1));
+  ignore (Cache.find_or_compute c ~key:"b" (fun () -> 2));
+  ignore (Cache.find c ~key:"a");
+  (* b is now least recently used *)
+  ignore (Cache.find_or_compute c ~key:"c" (fun () -> 3));
+  Alcotest.(check (option int)) "a survives" (Some 1) (Cache.find c ~key:"a");
+  Alcotest.(check (option int)) "b evicted" None (Cache.find c ~key:"b");
+  Alcotest.(check (option int)) "c present" (Some 3) (Cache.find c ~key:"c");
+  Alcotest.(check int) "one eviction" 1 (Cache.stats c).Cache.evictions;
+  Alcotest.(check int) "size bounded" 2 (Cache.stats c).Cache.size
+
+let test_cache_coalescing () =
+  let c = Cache.create ~name:"coal" () in
+  let computes = Atomic.make 0 in
+  let started = Atomic.make false in
+  let holder =
+    Domain.spawn (fun () ->
+        Cache.find_or_compute c ~key:"k" (fun () ->
+            Atomic.set started true;
+            Unix.sleepf 0.2;
+            Atomic.incr computes;
+            42))
+  in
+  while not (Atomic.get started) do
+    Domain.cpu_relax ()
+  done;
+  let waiters =
+    List.init 2 (fun _ ->
+        Domain.spawn (fun () ->
+            Cache.find_or_compute c ~key:"k" (fun () ->
+                Atomic.incr computes;
+                0)))
+  in
+  let v0, s0 = Domain.join holder in
+  let ws = List.map Domain.join waiters in
+  Alcotest.(check int) "computed exactly once" 1 (Atomic.get computes);
+  Alcotest.(check int) "holder value" 42 v0;
+  Alcotest.(check bool) "holder was the miss" true (s0 = Cache.Miss);
+  List.iter
+    (fun (v, s) ->
+      Alcotest.(check int) "waiter got the shared value" 42 v;
+      Alcotest.(check bool) "waiter coalesced" true (s = Cache.Coalesced))
+    ws;
+  Alcotest.(check int) "coalesced counted" 2 (Cache.stats c).Cache.coalesced
+
+let test_cache_unpoison () =
+  let c = Cache.create ~name:"unpoison" () in
+  let started = Atomic.make false in
+  let holder =
+    Domain.spawn (fun () ->
+        match
+          Cache.find_or_compute c ~key:"k" (fun () ->
+              Atomic.set started true;
+              Unix.sleepf 0.1;
+              failwith "boom")
+        with
+        | _ -> false
+        | exception Failure _ -> true)
+  in
+  while not (Atomic.get started) do
+    Domain.cpu_relax ()
+  done;
+  let waiter =
+    Domain.spawn (fun () -> Cache.find_or_compute c ~key:"k" (fun () -> 7))
+  in
+  Alcotest.(check bool) "holder raised" true (Domain.join holder);
+  let v, s = Domain.join waiter in
+  Alcotest.(check int) "waiter recomputed after failure" 7 v;
+  Alcotest.(check bool) "served as a miss, not coalesced" true (s = Cache.Miss)
+
+(* ------------------------------------------------------------------ *)
+(* Run_config / Run_args                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_run_config_render () =
+  Alcotest.(check string)
+    "default sexp"
+    "(run-config (mode direct) (impl compiled) (verify true) (domains 1) \
+     (trace ()) (metrics false))"
+    (Run_config.to_sexp Run_config.default);
+  let t =
+    Run_config.make ~mode:Run_config.Partial_sums ~impl:Run_config.Closure
+      ~domains:4 ~verify:false ~trace:(Some "t.json") ~metrics:true ()
+  in
+  Alcotest.(check string)
+    "full sexp"
+    "(run-config (mode partial-sums) (impl closure) (verify false) (domains 4) \
+     (trace (t.json)) (metrics true))"
+    (Run_config.to_sexp t)
+
+let test_run_config_cache_key () =
+  (* domains/trace/metrics never change served bits, so they are not in
+     the key *)
+  let a = Run_config.default in
+  let b =
+    Run_config.make ~domains:8 ~trace:(Some "x.json") ~metrics:true ()
+  in
+  Alcotest.(check string)
+    "semantic key ignores observability"
+    (Run_config.cache_key a) (Run_config.cache_key b);
+  Alcotest.(check int) "hash agrees" (Run_config.hash a) (Run_config.hash b);
+  let c = Run_config.with_mode Run_config.Partial_sums a in
+  Alcotest.(check bool)
+    "mode changes the key" true
+    (Run_config.cache_key a <> Run_config.cache_key c);
+  let d = Run_config.with_verify false a in
+  Alcotest.(check bool)
+    "verify changes the key" true
+    (Run_config.cache_key a <> Run_config.cache_key d)
+
+let test_run_config_strings () =
+  Alcotest.(check bool)
+    "mode round trip" true
+    (Run_config.mode_of_string "partial-sums" = Ok Run_config.Partial_sums
+    && Run_config.mode_of_string "partial_sums" = Ok Run_config.Partial_sums
+    && Run_config.mode_of_string "direct" = Ok Run_config.Direct);
+  Alcotest.(check bool)
+    "impl round trip" true
+    (Run_config.impl_of_string "compiled" = Ok Run_config.Compiled
+    && Run_config.impl_of_string "closure" = Ok Run_config.Closure);
+  Alcotest.(check bool)
+    "bad values rejected" true
+    (Result.is_error (Run_config.mode_of_string "fast")
+    && Result.is_error (Run_config.impl_of_string "jit"))
+
+let test_run_args_parse () =
+  match
+    Run_args.parse
+      [
+        "--domains"; "4"; "--impl"; "closure"; "--mode"; "partial-sums";
+        "--trace"; "t.json"; "--metrics"; "--no-verify"; "fig6"; "table5";
+      ]
+  with
+  | Error msg -> Alcotest.fail msg
+  | Ok (cfg, rest) ->
+      Alcotest.(check int) "domains" 4 cfg.Run_config.domains;
+      Alcotest.(check bool) "impl" true (cfg.Run_config.impl = Run_config.Closure);
+      Alcotest.(check bool) "mode" true
+        (cfg.Run_config.mode = Run_config.Partial_sums);
+      Alcotest.(check (option string)) "trace" (Some "t.json") cfg.Run_config.trace;
+      Alcotest.(check bool) "metrics" true cfg.Run_config.metrics;
+      Alcotest.(check bool) "no-verify" false cfg.Run_config.verify;
+      Alcotest.(check (list string)) "rest in order" [ "fig6"; "table5" ] rest
+
+let test_run_args_errors () =
+  let is_err args = Result.is_error (Run_args.parse args) in
+  Alcotest.(check bool) "missing value" true (is_err [ "--domains" ]);
+  Alcotest.(check bool) "non-positive" true (is_err [ "--domains"; "0" ]);
+  Alcotest.(check bool) "not a number" true (is_err [ "--domains"; "x" ]);
+  Alcotest.(check bool) "bad impl" true (is_err [ "--impl"; "jit" ]);
+  Alcotest.(check bool) "bad mode" true (is_err [ "--mode"; "fast" ]);
+  (* later flags win; unknown args pass through untouched *)
+  match Run_args.parse [ "--no-verify"; "--verify"; "--unknown" ] with
+  | Error msg -> Alcotest.fail msg
+  | Ok (cfg, rest) ->
+      Alcotest.(check bool) "verify restored" true cfg.Run_config.verify;
+      Alcotest.(check (list string)) "unknown passes through" [ "--unknown" ] rest
+
+(* ------------------------------------------------------------------ *)
+(* Deprecated wrappers = the *_cfg entrypoints                         *)
+(* ------------------------------------------------------------------ *)
+
+let star2d =
+  Stencil.Pattern.make ~name:"star2d1r" ~dims:2 ~params:[]
+    (Stencil.Sexpr.weighted_sum (Stencil.Shape.star_offsets ~dims:2 ~rad:1))
+
+let test_wrapper_blocking () =
+  let dims = [| 30; 26 |] in
+  let em = Execmodel.make star2d (Config.make ~bt:2 ~bs:[| 12 |] ()) dims in
+  let g = Stencil.Grid.init_random dims in
+  let run_old () =
+    let machine = Gpu.Machine.create Gpu.Device.v100 in
+    let out, stats =
+      Blocking.run ~mode:Blocking.Partial_sums ~impl:Blocking.Closure ~domains:3
+        em ~machine ~steps:5 g
+    in
+    (out, stats, machine.Gpu.Machine.counters)
+  in
+  let run_new () =
+    let machine = Gpu.Machine.create Gpu.Device.v100 in
+    let cfg =
+      Run_config.make ~mode:Run_config.Partial_sums ~impl:Run_config.Closure
+        ~domains:3 ()
+    in
+    let out, stats = Blocking.run_cfg cfg em ~machine ~steps:5 g in
+    (out, stats, machine.Gpu.Machine.counters)
+  in
+  let o1, s1, c1 = run_old () and o2, s2, c2 = run_new () in
+  Alcotest.(check (float 0.0)) "grids" 0.0 (Stencil.Grid.max_abs_diff o1 o2);
+  Alcotest.(check bool) "stats" true (s1 = s2);
+  Alcotest.check counters_t "counters" c1 c2
+
+let test_wrapper_framework () =
+  let job =
+    Framework.compile ~config:(Config.make ~bt:2 ~bs:[| 16 |] ()) source
+  in
+  let g = Stencil.Grid.init_random ~prec:job.Framework.prec job.Framework.dims in
+  let o1 =
+    Framework.simulate ~verify:true ~mode:Blocking.Direct ~domains:2
+      ~device:Gpu.Device.v100 ~steps:5 job g
+  in
+  let o2 =
+    Framework.simulate_cfg
+      ~cfg:(Run_config.make ~verify:true ~mode:Run_config.Direct ~domains:2 ())
+      ~device:Gpu.Device.v100 ~steps:5 job g
+  in
+  Alcotest.(check (float 0.0))
+    "grids" 0.0
+    (Stencil.Grid.max_abs_diff o1.Framework.result o2.Framework.result);
+  Alcotest.(check bool) "stats" true (o1.Framework.stats = o2.Framework.stats);
+  Alcotest.check counters_t "counters" o1.Framework.counters o2.Framework.counters;
+  Alcotest.(check bool) "verified" true
+    (o1.Framework.verified = o2.Framework.verified)
+
+let test_wrapper_tuner () =
+  let dims = [| 40; 40 |] in
+  let r1 =
+    Model.Tuner.tune ~k:2 ~domains:2 Gpu.Device.v100 ~prec:Stencil.Grid.F64
+      star2d ~dims_sizes:dims ~steps:8
+  in
+  let r2 =
+    Model.Tuner.tune_cfg ~k:2
+      ~cfg:(Run_config.make ~domains:2 ())
+      Gpu.Device.v100 ~prec:Stencil.Grid.F64 star2d ~dims_sizes:dims ~steps:8
+  in
+  Alcotest.(check string) "best" (config_str r1.Model.Tuner.best)
+    (config_str r2.Model.Tuner.best);
+  Alcotest.(check (float 0.0))
+    "gflops" r1.Model.Tuner.tuned.Model.Measure.gflops
+    r2.Model.Tuner.tuned.Model.Measure.gflops;
+  Alcotest.(check int) "explored" r1.Model.Tuner.explored r2.Model.Tuner.explored;
+  Alcotest.(check int) "pruned" r1.Model.Tuner.pruned r2.Model.Tuner.pruned
+
+let wave2d =
+  let dt = 0.3 and c = 0.25 and d = 0.995 in
+  let u o = Stencil.System.Read (0, o) and v o = Stencil.System.Read (1, o) in
+  let laplacian =
+    Stencil.System.Add
+      ( Stencil.System.Add
+          ( Stencil.System.Add (u [| -1; 0 |], u [| 1; 0 |]),
+            Stencil.System.Add (u [| 0; -1 |], u [| 0; 1 |]) ),
+        Stencil.System.Mul (Stencil.System.Const (-4.0), u [| 0; 0 |]) )
+  in
+  Stencil.System.make ~name:"wave2d" ~dims:2 ~params:[]
+    [
+      ( "u",
+        Stencil.System.Add
+          (u [| 0; 0 |], Stencil.System.Mul (Stencil.System.Const dt, v [| 0; 0 |]))
+      );
+      ( "v",
+        Stencil.System.Add
+          ( Stencil.System.Mul (Stencil.System.Const d, v [| 0; 0 |]),
+            Stencil.System.Mul (Stencil.System.Const c, laplacian) ) );
+    ]
+
+let test_wrapper_multi_blocking () =
+  let dims = [| 20; 24 |] in
+  let cfg = Config.make ~bt:2 ~bs:[| 12 |] () in
+  let gs () = [ Stencil.Grid.init_random dims; Stencil.Grid.init_random ~seed:7 dims ] in
+  let machine1 = Gpu.Machine.create Gpu.Device.v100 in
+  let out1, stats1 =
+    Multi_blocking.run ~domains:3 wave2d cfg ~machine:machine1 ~steps:4 (gs ())
+  in
+  let machine2 = Gpu.Machine.create Gpu.Device.v100 in
+  let out2, stats2 =
+    Multi_blocking.run_cfg
+      (Run_config.make ~domains:3 ())
+      wave2d cfg ~machine:machine2 ~steps:4 (gs ())
+  in
+  List.iter2
+    (fun a b ->
+      Alcotest.(check (float 0.0)) "component" 0.0 (Stencil.Grid.max_abs_diff a b))
+    out1 out2;
+  Alcotest.(check bool) "stats" true (stats1 = stats2)
+
+(* ------------------------------------------------------------------ *)
+(* Session                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let sim_req ?id ?deadline ?(seed = 1) ?(bt = 2) ?(bs = [| 16 |])
+    ?(dims = [| 40; 40 |]) ?(steps = 5) () =
+  Request.simulate ?id ?deadline ~dims ~seed
+    ~config:(Config.make ~bt ~bs ())
+    ~device:Gpu.Device.v100 ~steps source
+
+let direct_outcome ?(seed = 1) ?(bt = 2) ?(bs = [| 16 |]) ?(dims = [| 40; 40 |])
+    ?(steps = 5) () =
+  let job = Framework.compile ~dims ~config:(Config.make ~bt ~bs ()) source in
+  let g = Stencil.Grid.init_random ~prec:job.Framework.prec ~seed dims in
+  Framework.simulate_cfg ~device:Gpu.Device.v100 ~steps job g
+
+let served_outcome name (r : Session.response) =
+  match r.Session.status with
+  | Session.Done (Session.Simulated { outcome; _ }) -> outcome
+  | Session.Failed msg -> Alcotest.fail (name ^ ": failed: " ^ msg)
+  | _ -> Alcotest.fail (name ^ ": not a Done simulate response")
+
+let with_session ?config f =
+  let s = Session.create ?config () in
+  Fun.protect ~finally:(fun () -> Session.shutdown s) (fun () -> f s)
+
+let test_session_differential_fixed () =
+  with_session @@ fun s ->
+  let o = served_outcome "fixed" (Session.submit s (sim_req ())) in
+  let d = direct_outcome () in
+  Alcotest.(check (float 0.0))
+    "grid bit-identical" 0.0
+    (Stencil.Grid.max_abs_diff o.Framework.result d.Framework.result);
+  Alcotest.check counters_t "counters exact" d.Framework.counters
+    o.Framework.counters;
+  Alcotest.(check bool) "verified" true (o.Framework.verified = Ok ())
+
+let test_session_warm_repeat () =
+  with_session @@ fun s ->
+  let r1 = Session.submit s (sim_req ()) in
+  let r2 = Session.submit s (sim_req ()) in
+  Alcotest.(check bool) "first cold" true (r1.Session.served = Session.Cold);
+  Alcotest.(check bool) "repeat warm" true (r2.Session.served = Session.Warm);
+  let o1 = served_outcome "cold" r1 and o2 = served_outcome "warm" r2 in
+  Alcotest.(check (float 0.0))
+    "identical bits" 0.0
+    (Stencil.Grid.max_abs_diff o1.Framework.result o2.Framework.result);
+  (* a different seed is a different request *)
+  let r3 = Session.submit s (sim_req ~seed:2 ()) in
+  Alcotest.(check bool) "new seed cold" true (r3.Session.served = Session.Cold)
+
+let test_session_coalescing () =
+  with_session ~config:{ Session.default_config with Session.domains = 4 }
+  @@ fun s ->
+  let reqs = List.init 4 (fun _ -> sim_req ()) in
+  let responses = Session.submit_batch s reqs in
+  let census k =
+    List.length (List.filter (fun r -> r.Session.served = k) responses)
+  in
+  Alcotest.(check int) "exactly one computation" 1 (census Session.Cold);
+  Alcotest.(check int) "everyone served" 4 (List.length responses);
+  let d = direct_outcome () in
+  List.iter
+    (fun r ->
+      let o = served_outcome "coalesced" r in
+      Alcotest.(check (float 0.0))
+        "every response bit-identical to direct" 0.0
+        (Stencil.Grid.max_abs_diff o.Framework.result d.Framework.result))
+    responses
+
+let test_session_deadline () =
+  with_session @@ fun s ->
+  let r = Session.submit s (sim_req ~deadline:(-1.0) ()) in
+  (match r.Session.status with
+  | Session.Degraded (Session.Simulated { config; outcome }, Session.Deadline_exceeded)
+    ->
+      Alcotest.(check int) "fallback is bt=1" 1 config.Config.bt;
+      (* degraded service still computes the right grid: any valid
+         schedule is exact in Direct mode *)
+      let d = direct_outcome () in
+      Alcotest.(check (float 0.0))
+        "degraded grid still correct" 0.0
+        (Stencil.Grid.max_abs_diff outcome.Framework.result d.Framework.result)
+  | _ -> Alcotest.fail "expected Degraded Deadline_exceeded");
+  (* the session-wide default deadline degrades the same way *)
+  with_session
+    ~config:{ Session.default_config with Session.default_deadline = Some (-1.0) }
+  @@ fun s2 ->
+  match (Session.submit s2 (sim_req ())).Session.status with
+  | Session.Degraded (_, Session.Deadline_exceeded) -> ()
+  | _ -> Alcotest.fail "expected default-deadline degradation"
+
+let test_session_overload () =
+  with_session ~config:{ Session.default_config with Session.queue_capacity = 1 }
+  @@ fun s ->
+  let responses = Session.submit_batch s (List.init 3 (fun _ -> sim_req ())) in
+  (match (List.nth responses 0).Session.status with
+  | Session.Done _ -> ()
+  | _ -> Alcotest.fail "first request within capacity must be Done");
+  List.iter
+    (fun (r : Session.response) ->
+      match r.Session.status with
+      | Session.Degraded (Session.Simulated { config; _ }, Session.Overload) ->
+          Alcotest.(check int) "shed to bt=1" 1 config.Config.bt
+      | _ -> Alcotest.fail "requests beyond capacity must degrade, not fail")
+    (List.tl responses);
+  let st = Session.stats s in
+  Alcotest.(check int) "degraded counted" 2 st.Session.degraded
+
+let test_session_cancel () =
+  with_session @@ fun s ->
+  Session.cancel s "doomed";
+  let r = Session.submit s (sim_req ~id:"doomed" ()) in
+  Alcotest.(check bool) "cancelled" true (r.Session.status = Session.Cancelled);
+  (* cancellation is per-id, sticky, and does not leak to others *)
+  let r2 = Session.submit s (sim_req ~id:"alive" ()) in
+  (match r2.Session.status with
+  | Session.Done _ -> ()
+  | _ -> Alcotest.fail "other ids unaffected");
+  let r3 = Session.submit s (sim_req ~id:"doomed" ()) in
+  Alcotest.(check bool) "sticky" true (r3.Session.status = Session.Cancelled)
+
+let test_session_failure_isolation () =
+  with_session @@ fun s ->
+  let bad =
+    Request.simulate ~config:(Config.make ~bt:2 ~bs:[| 16 |] ())
+      ~device:Gpu.Device.v100 ~steps:3
+      (Framework.source_of_string ~origin:"garbage" "not C at all @@@")
+  in
+  (match (Session.submit s bad).Session.status with
+  | Session.Failed _ -> ()
+  | _ -> Alcotest.fail "expected Failed for garbage source");
+  (* the session survives and serves the next request *)
+  match (Session.submit s (sim_req ())).Session.status with
+  | Session.Done _ -> ()
+  | _ -> Alcotest.fail "session must keep serving after a failure"
+
+let test_session_tune () =
+  with_session @@ fun s ->
+  let req =
+    match
+      Request.tune ~k:2 ~device:Gpu.Device.v100 ~prec:Stencil.Grid.F64 ~steps:8
+        source
+    with
+    | Ok r -> r
+    | Error msg -> Alcotest.fail msg
+  in
+  let direct =
+    let r = Stencil.Detect.of_string j2d5pt_src in
+    Model.Tuner.tune_cfg ~k:2 Gpu.Device.v100 ~prec:Stencil.Grid.F64
+      r.Stencil.Detect.pattern ~dims_sizes:[| 40; 40 |] ~steps:8
+  in
+  (match (Session.submit s req).Session.status with
+  | Session.Done (Session.Tuned r) ->
+      Alcotest.(check string) "same best config"
+        (config_str direct.Model.Tuner.best)
+        (config_str r.Model.Tuner.best);
+      Alcotest.(check (float 0.0))
+        "same tuned gflops" direct.Model.Tuner.tuned.Model.Measure.gflops
+        r.Model.Tuner.tuned.Model.Measure.gflops
+  | _ -> Alcotest.fail "expected Done Tuned");
+  (* repeat is a tune-cache hit *)
+  let r2 = Session.submit s req in
+  Alcotest.(check bool) "tune warm" true (r2.Session.served = Session.Warm)
+
+let test_session_compile () =
+  with_session @@ fun s ->
+  let req = Request.compile ~config:(Config.make ~bt:2 ~bs:[| 16 |] ()) source in
+  (match (Session.submit s req).Session.status with
+  | Session.Done (Session.Compiled { cuda; _ }) ->
+      Alcotest.(check bool) "cuda generated" true (String.length cuda > 1000)
+  | _ -> Alcotest.fail "expected Done Compiled");
+  let r2 = Session.submit s req in
+  Alcotest.(check bool) "job cache warm" true (r2.Session.served = Session.Warm)
+
+(* --- QCheck differential: served = direct, bit for bit --- *)
+
+let gen_case =
+  QCheck.Gen.(
+    let* bt = int_range 1 3 in
+    let* extra = int_range 1 6 in
+    let* a = int_range 12 32 in
+    let* b = int_range 12 26 in
+    let* steps = int_range 0 7 in
+    let* seed = int_range 0 5 in
+    return (bt, [| (2 * bt) + extra |], [| a; b |], steps, seed))
+
+let arb_case =
+  QCheck.make
+    ~print:(fun (bt, bs, dims, steps, seed) ->
+      Fmt.str "bt=%d bs=%a dims=%a steps=%d seed=%d" bt
+        Fmt.(array ~sep:(any ",") int)
+        bs
+        Fmt.(array ~sep:(any ",") int)
+        dims steps seed)
+    gen_case
+
+let prop_served_equals_direct =
+  (* one session for all cases: repeats may be served warm, which must
+     not change the bits *)
+  let session = Session.create () in
+  QCheck.Test.make ~name:"served simulate = direct Framework.simulate_cfg"
+    ~count:15 arb_case (fun (bt, bs, dims, steps, seed) ->
+      let cfg = Config.make ~bt ~bs () in
+      if not (Config.valid ~rad:1 ~max_threads:1024 cfg) then true
+      else begin
+        let r = Session.submit session (sim_req ~seed ~bt ~bs ~dims ~steps ()) in
+        let o = served_outcome "qcheck" r in
+        let d = direct_outcome ~seed ~bt ~bs ~dims ~steps () in
+        Stencil.Grid.max_abs_diff o.Framework.result d.Framework.result = 0.0
+        && Gpu.Counters.equal o.Framework.counters d.Framework.counters
+        && o.Framework.verified = d.Framework.verified
+      end)
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "cache",
+        [
+          Alcotest.test_case "hit/miss/stats" `Quick test_cache_hit_miss;
+          Alcotest.test_case "ttl expiry" `Quick test_cache_ttl;
+          Alcotest.test_case "lru eviction" `Quick test_cache_lru;
+          Alcotest.test_case "coalescing" `Quick test_cache_coalescing;
+          Alcotest.test_case "holder failure un-poisons" `Quick test_cache_unpoison;
+        ] );
+      ( "run-config",
+        [
+          Alcotest.test_case "renderings" `Quick test_run_config_render;
+          Alcotest.test_case "cache key" `Quick test_run_config_cache_key;
+          Alcotest.test_case "string conversions" `Quick test_run_config_strings;
+          Alcotest.test_case "shared flag parser" `Quick test_run_args_parse;
+          Alcotest.test_case "flag parser errors" `Quick test_run_args_errors;
+        ] );
+      ( "wrappers",
+        [
+          Alcotest.test_case "Blocking.run" `Quick test_wrapper_blocking;
+          Alcotest.test_case "Framework.simulate" `Quick test_wrapper_framework;
+          Alcotest.test_case "Tuner.tune" `Quick test_wrapper_tuner;
+          Alcotest.test_case "Multi_blocking.run" `Quick test_wrapper_multi_blocking;
+        ] );
+      ( "session",
+        [
+          Alcotest.test_case "differential (fixed)" `Quick
+            test_session_differential_fixed;
+          Alcotest.test_case "warm repeat" `Quick test_session_warm_repeat;
+          Alcotest.test_case "coalescing" `Quick test_session_coalescing;
+          Alcotest.test_case "deadline degrades" `Quick test_session_deadline;
+          Alcotest.test_case "overload degrades" `Quick test_session_overload;
+          Alcotest.test_case "cancellation" `Quick test_session_cancel;
+          Alcotest.test_case "failure isolation" `Quick
+            test_session_failure_isolation;
+          Alcotest.test_case "tune served and cached" `Quick test_session_tune;
+          Alcotest.test_case "compile served and cached" `Quick
+            test_session_compile;
+        ] );
+      ( "properties",
+        [ QCheck_alcotest.to_alcotest prop_served_equals_direct ] );
+    ]
