@@ -1,9 +1,13 @@
-(* Simulator throughput: closure executor vs compiled execution plans.
+(* Simulator throughput: closure executor vs compiled plans vs the
+   unsafe-indexed bigarray fast path.
 
-   Times the same runs under [impl = Closure] and [impl = Compiled] in
-   one process — blocked executor on a 2D and a 3D benchmark, plus the
-   CPU reference on both — and reports cells/s. Results also land in
-   BENCH_throughput.json so the speedup is machine-checkable. *)
+   Times the same runs under [impl = Closure], [impl = Compiled] and
+   [impl = Bigarray] in one process — blocked executor on a 2D and a 3D
+   benchmark in both precisions, plus the CPU reference on both — and
+   reports cells/s. Results land in BENCH_throughput.json so the
+   speedups are machine-checkable, and the blocked f64 cases enforce a
+   bigarray-over-compiled floor: the run *fails* if the unsafe storage
+   path stops paying for itself. *)
 
 open An5d_core
 
@@ -27,23 +31,42 @@ let time_run f =
   in
   go 1
 
+(* The bigarray-over-compiled floor on the gated blocked cases. Quick
+   mode runs tiny grids where fixed per-block overheads dominate and
+   timing noise is large, so CI gates a relaxed floor; the committed
+   BENCH_throughput.json is produced in full mode against the real
+   one. *)
+let bigarray_floor () = if !Exp_common.quick then 1.1 else 1.5
+
 type case = {
   label : string;
+  base : string;  (** benchmark name, for pairing the f32/f64 split *)
+  prec : Stencil.Grid.precision;
+  gated : bool;  (** enforce the bigarray-over-compiled floor *)
   dims : int array;
   steps : int;
   cells : int;  (** interior cells updated per run: volume x steps *)
   run : Blocking.impl -> unit;
 }
 
+(* Per-case measurements, in impl order closure/compiled/bigarray. *)
+type measured = { case : case; closure : float; compiled : float; bigarray : float }
+
 let interior_volume dims rad =
   Array.fold_left (fun acc d -> acc * (d - (2 * rad))) 1 dims
 
-let blocked_case b cfg dims steps =
+let blocked_case ?(prec = Stencil.Grid.F64) ?(gated = false) b cfg dims steps =
   let p = b.Bench_defs.Benchmarks.pattern in
   let em = Execmodel.make p cfg dims in
-  let g = Stencil.Grid.init_random dims in
+  let g = Stencil.Grid.init_random ~prec dims in
+  let suffix =
+    match prec with Stencil.Grid.F64 -> "" | Stencil.Grid.F32 -> " f32"
+  in
   {
-    label = b.Bench_defs.Benchmarks.name ^ " blocked";
+    label = b.Bench_defs.Benchmarks.name ^ " blocked" ^ suffix;
+    base = b.Bench_defs.Benchmarks.name;
+    prec;
+    gated;
     dims;
     steps;
     cells = interior_volume dims p.Stencil.Pattern.radius * steps;
@@ -62,9 +85,13 @@ let reference_case b dims steps =
   let impl_of = function
     | Blocking.Compiled -> Stencil.Reference.Compiled
     | Blocking.Closure -> Stencil.Reference.Closure
+    | Blocking.Bigarray -> Stencil.Reference.Bigarray
   in
   {
     label = b.Bench_defs.Benchmarks.name ^ " reference";
+    base = b.Bench_defs.Benchmarks.name;
+    prec = Stencil.Grid.F64;
+    gated = false;
     dims;
     steps;
     cells = interior_volume dims p.Stencil.Pattern.radius * steps;
@@ -77,31 +104,70 @@ let cases () =
   let j2d = bench "j2d5pt" and j3d = bench "j3d27pt" in
   let d2 = if q then [| 128; 128 |] else [| 512; 512 |] in
   let d3 = if q then [| 24; 24; 24 |] else [| 64; 64; 64 |] in
+  let cfg2 = Config.make ~bt:4 ~bs:[| 64 |] () in
+  let cfg3 = Config.make ~bt:2 ~bs:[| 16; 16 |] () in
   [
-    blocked_case j2d (Config.make ~bt:4 ~bs:[| 64 |] ()) d2 8;
-    blocked_case j3d (Config.make ~bt:2 ~bs:[| 16; 16 |] ()) d3 4;
+    blocked_case ~gated:true j2d cfg2 d2 8;
+    blocked_case ~gated:true j3d cfg3 d3 4;
+    blocked_case ~prec:Stencil.Grid.F32 j2d cfg2 d2 8;
+    blocked_case ~prec:Stencil.Grid.F32 j3d cfg3 d3 4;
     reference_case j2d d2 4;
     reference_case j3d d3 2;
   ]
 
+(* The f32-vs-f64 bigarray throughput split on the blocked pairs: with
+   genuine 32-bit storage, the f32 variant moves half the bytes. *)
+let split_of results =
+  List.filter_map
+    (fun m ->
+      if m.case.gated then
+        List.find_map
+          (fun m32 ->
+            if
+              m32.case.base = m.case.base
+              && m32.case.prec = Stencil.Grid.F32
+              && m32.case.label <> m.case.label
+            then Some (m.case.base, m.bigarray, m32.bigarray)
+            else None)
+          results
+      else None)
+    results
+
 let json_of_results results =
-  let buf = Buffer.create 1024 in
+  let buf = Buffer.create 2048 in
   Buffer.add_string buf "{\n";
   Buffer.add_string buf
-    (Printf.sprintf "  \"quick\": %b,\n  \"cases\": [\n" !Exp_common.quick);
+    (Printf.sprintf "  \"quick\": %b,\n  \"bigarray_floor\": %.2f,\n  \"cases\": [\n"
+       !Exp_common.quick (bigarray_floor ()));
   List.iteri
-    (fun i (c, closure_cps, compiled_cps) ->
+    (fun i m ->
       Buffer.add_string buf
         (Printf.sprintf
-           "    {\"name\": %S, \"dims\": [%s], \"steps\": %d,\n\
+           "    {\"name\": %S, \"dims\": [%s], \"steps\": %d, \"prec\": %S,\n\
            \     \"closure_cells_per_s\": %.6e, \"compiled_cells_per_s\": %.6e,\n\
-           \     \"speedup\": %.3f}%s\n"
-           c.label
-           (String.concat ", " (Array.to_list (Array.map string_of_int c.dims)))
-           c.steps closure_cps compiled_cps (compiled_cps /. closure_cps)
+           \     \"bigarray_cells_per_s\": %.6e,\n\
+           \     \"speedup\": %.3f, \"speedup_bigarray_over_compiled\": %.3f}%s\n"
+           m.case.label
+           (String.concat ", " (Array.to_list (Array.map string_of_int m.case.dims)))
+           m.case.steps
+           (Stencil.Grid.precision_to_string m.case.prec)
+           m.closure m.compiled m.bigarray (m.compiled /. m.closure)
+           (m.bigarray /. m.compiled)
            (if i = List.length results - 1 then "" else ","));
     )
     results;
+  Buffer.add_string buf "  ],\n";
+  Buffer.add_string buf "  \"bigarray_f32_vs_f64\": [\n";
+  let split = split_of results in
+  List.iteri
+    (fun i (name, b64, b32) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"name\": %S, \"f64_cells_per_s\": %.6e, \"f32_cells_per_s\": %.6e, \
+            \"f32_over_f64\": %.3f}%s\n"
+           name b64 b32 (b32 /. b64)
+           (if i = List.length split - 1 then "" else ",")))
+    split;
   Buffer.add_string buf "  ],\n";
   (* Embed the metrics registry snapshot so the JSON records how much
      simulated work produced these numbers (kernel launches, chunks,
@@ -112,34 +178,62 @@ let json_of_results results =
   Buffer.add_string buf "}\n";
   Buffer.contents buf
 
+(* The machine-checked acceptance gate: blocked f64 cases must show the
+   bigarray path at least [bigarray_floor] times the compiled path. *)
+let enforce_floor results =
+  let floor = bigarray_floor () in
+  List.iter
+    (fun m ->
+      if m.case.gated then begin
+        let ratio = m.bigarray /. m.compiled in
+        if ratio < floor then
+          failwith
+            (Printf.sprintf
+               "throughput floor violated: %s bigarray/compiled = %.2fx < %.2fx"
+               m.case.label ratio floor)
+      end)
+    results
+
 let run () =
-  Output.section "Throughput -- closure executor vs compiled plans (cells/s)";
+  Output.section
+    "Throughput -- closure vs compiled plans vs bigarray kernels (cells/s)";
   let results =
     List.map
       (fun c ->
         let t_closure = time_run (fun () -> c.run Blocking.Closure) in
         let t_compiled = time_run (fun () -> c.run Blocking.Compiled) in
+        let t_bigarray = time_run (fun () -> c.run Blocking.Bigarray) in
         let cps t = float c.cells /. t in
-        (c, cps t_closure, cps t_compiled))
+        { case = c; closure = cps t_closure; compiled = cps t_compiled;
+          bigarray = cps t_bigarray })
       (cases ())
   in
   let rows =
     List.map
-      (fun (c, closure_cps, compiled_cps) ->
+      (fun m ->
         [
-          c.label;
-          Fmt.str "%a" Fmt.(array ~sep:(any "x") int) c.dims;
-          string_of_int c.steps;
-          Printf.sprintf "%.2e" closure_cps;
-          Printf.sprintf "%.2e" compiled_cps;
-          Printf.sprintf "%.2fx" (compiled_cps /. closure_cps);
+          m.case.label;
+          Fmt.str "%a" Fmt.(array ~sep:(any "x") int) m.case.dims;
+          string_of_int m.case.steps;
+          Printf.sprintf "%.2e" m.closure;
+          Printf.sprintf "%.2e" m.compiled;
+          Printf.sprintf "%.2e" m.bigarray;
+          Printf.sprintf "%.2fx" (m.compiled /. m.closure);
+          Printf.sprintf "%.2fx" (m.bigarray /. m.compiled);
         ])
       results
   in
   Output.table
-    ~header:[ "run"; "grid"; "steps"; "closure cells/s"; "compiled cells/s"; "speedup" ]
+    ~header:
+      [ "run"; "grid"; "steps"; "closure c/s"; "compiled c/s"; "bigarray c/s";
+        "compiled/closure"; "bigarray/compiled" ]
     ~rows;
+  List.iter
+    (fun (name, b64, b32) ->
+      Fmt.pr "bigarray f32/f64 split %s: %.2fx@." name (b32 /. b64))
+    (split_of results);
   let json = json_of_results results in
   Out_channel.with_open_bin "BENCH_throughput.json" (fun oc ->
       Out_channel.output_string oc json);
-  print_endline "\nWrote BENCH_throughput.json"
+  print_endline "\nWrote BENCH_throughput.json";
+  enforce_floor results

@@ -36,10 +36,8 @@ let initial_plate () =
       300.0 +. (400.0 *. exp (-.((dx *. dx) +. (dy *. dy)) /. 50.0)))
 
 let stats label g =
-  let hot = Array.fold_left Float.max neg_infinity g.Stencil.Grid.data in
-  let mean =
-    Array.fold_left ( +. ) 0.0 g.Stencil.Grid.data /. float (Stencil.Grid.size g)
-  in
+  let hot = Stencil.Grid.fold Float.max neg_infinity g in
+  let mean = Stencil.Grid.fold ( +. ) 0.0 g /. float (Stencil.Grid.size g) in
   Fmt.pr "%-22s peak %.1f K, mean %.2f K@." label hot mean
 
 let () =

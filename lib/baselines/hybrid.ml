@@ -108,8 +108,7 @@ let chunk ?pool pattern ~(machine : Gpu.Machine.t) ~degree:b ~width ~src ~dst =
         counters.Gpu.Counters.gm_writes + ((hi - lo) * row_cells));
   let counters = machine.Gpu.Machine.counters in
   counters.Gpu.Counters.gm_writes <- counters.Gpu.Counters.gm_writes + (l * row_cells);
-  Array.blit levels.(b).Stencil.Grid.data 0 dst.Stencil.Grid.data 0
-    (Array.length dst.Stencil.Grid.data)
+  Stencil.Grid.blit ~src:levels.(b) ~dst
 
 let run ?domains ?pool pattern ~machine ~bt ~width ~steps g =
   Obs.Trace.with_span "execute"

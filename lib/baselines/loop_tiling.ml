@@ -45,8 +45,7 @@ let run ?(tile = default_tile) ?domains ?pool pattern ~(machine : Gpu.Machine.t)
   let a = Stencil.Grid.copy g and b = Stencil.Grid.copy g in
   let cur = ref a and nxt = ref b in
   let sweep pool src dst =
-    Array.blit src.Stencil.Grid.data 0 dst.Stencil.Grid.data 0
-      (Array.length src.Stencil.Grid.data);
+    Stencil.Grid.blit ~src ~dst;
     Gpu.Machine.launch ?pool machine ~n_blocks:n_tiles
       ~n_thr:(min 1024 (Stencil.Shape.ipow tile (min 2 n)))
       (fun ctx ->

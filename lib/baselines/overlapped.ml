@@ -37,8 +37,7 @@ let chunk ?pool pattern ~(machine : Gpu.Machine.t) ~degree:b ~core ~src ~dst =
   let interior = Stencil.Grid.interior ~rad src in
   let blocks_per_dim = Array.map (fun d -> (d + core - 1) / core) dims in
   let n_blocks = Array.fold_left ( * ) 1 blocks_per_dim in
-  Array.blit src.Stencil.Grid.data 0 dst.Stencil.Grid.data 0
-    (Array.length src.Stencil.Grid.data);
+  Stencil.Grid.blit ~src ~dst;
   Gpu.Machine.launch ?pool machine ~n_blocks ~n_thr:(min 1024 (core * core)) (fun ctx ->
       let counters = ctx.Gpu.Machine.machine.Gpu.Machine.counters in
       let idx_buf = Array.make n 0 in

@@ -16,14 +16,16 @@
     around the update, so boundary sub-planes propagate through the
     register pipeline without global memory re-loads.
 
-    Two implementations share the per-call {!Plan}: [Compiled] (the
+    Three implementations share the per-call {!Plan}: [Compiled] (the
     default) drives the inner loops off the plan's flat tables with
-    analytic bulk counter updates; [Closure] is the legacy per-cell
-    closure path. The differential test suite proves them bit-identical
-    — same grids, field-for-field equal counters — in both execution
-    modes. The numerics are also bit-compared against
-    {!Stencil.Reference}, and the traffic counters asserted against the
-    §5 formulas. *)
+    analytic bulk counter updates; [Bigarray] additionally runs the
+    plan's unsafe-indexed monomorphic fast path ({!Plan.execute_block})
+    over the flat grid buffers where it applies, falling back to the
+    compiled path elsewhere; [Closure] is the legacy per-cell closure
+    path. The differential test suite proves them bit-identical — same
+    grids, field-for-field equal counters — in both execution modes.
+    The numerics are also bit-compared against {!Stencil.Reference},
+    and the traffic counters asserted against the §5 formulas. *)
 
 (** How CALC evaluates the update:
     - [Direct]: the expression as written (bit-identical to the
@@ -39,10 +41,10 @@
 type exec_mode = Run_config.exec_mode = Direct | Partial_sums
 
 (** Which executor implementation runs the kernel: the table-driven
-    [Compiled] plan path (default) or the legacy per-cell [Closure]
-    path it is differentially tested against. Re-export of
-    {!Run_config.impl}. *)
-type impl = Run_config.impl = Compiled | Closure
+    [Compiled] plan path (default), the unsafe-indexed [Bigarray] fast
+    path, or the legacy per-cell [Closure] path they are differentially
+    tested against. Re-export of {!Run_config.impl}. *)
+type impl = Run_config.impl = Compiled | Closure | Bigarray
 
 type launch_stats = {
   n_tb : int;  (** thread blocks per kernel call (spatial) *)
@@ -71,14 +73,13 @@ let make_geometry = Plan.make_geometry
 let neighbor_thread = Plan.neighbor_thread
 
 (* ------------------------------------------------------------------ *)
-(* Per-block state shared by both implementations                      *)
+(* Per-block state shared by the implementations                       *)
 (* ------------------------------------------------------------------ *)
 
-(* Everything below is block-local scratch: the spatial-block origin,
-   per-thread global coordinates and membership flags, and the fixed
-   register file. Blocks can run on different domains without sharing
-   state; dst stores of distinct blocks are disjoint by construction. *)
-type block_state = {
+(* Block-local scratch (spatial-block origin, per-thread membership
+   flags, the fixed register file) lives in {!Plan} next to the unsafe
+   executor it also serves; aliased here for the local executors. *)
+type block_state = Plan.block_state = {
   sb : int;  (** stream-block index *)
   gcoords : int array array;
   in_grid : bool array;
@@ -90,74 +91,7 @@ type block_state = {
   reg_file : float array array array;  (** [.(tstep).(slot).(thread)] *)
 }
 
-let make_block_state (plan : Plan.t) ~degree:b block_id =
-  let nb = plan.Plan.nb in
-  let geo = plan.Plan.geo in
-  let n_thr = plan.Plan.n_thr in
-  let dims = plan.Plan.em.Execmodel.dims in
-  let sb = block_id / plan.Plan.spatial_blocks in
-  let k = ref (block_id mod plan.Plan.spatial_blocks) in
-  let origins =
-    Array.init nb (fun i ->
-        let below =
-          Array.fold_left ( * ) 1
-            (Array.sub plan.Plan.blocks_per_dim (i + 1) (nb - i - 1))
-        in
-        let ki = !k / below in
-        k := !k mod below;
-        Execmodel.block_origin ~b plan.Plan.em i ki)
-  in
-  let gcoords = Array.init n_thr (fun t -> Array.map2 ( + ) origins geo.coords.(t)) in
-  let in_grid =
-    Array.init n_thr (fun t ->
-        let g = gcoords.(t) in
-        let ok = ref true in
-        for d = 0 to nb - 1 do
-          if g.(d) < 0 || g.(d) >= dims.(d + 1) then ok := false
-        done;
-        !ok)
-  in
-  let rad = plan.Plan.rad in
-  let inplane_interior =
-    Array.init n_thr (fun t ->
-        let g = gcoords.(t) in
-        let ok = ref true in
-        for d = 0 to nb - 1 do
-          if g.(d) < rad || g.(d) >= dims.(d + 1) - rad then ok := false
-        done;
-        !ok)
-  in
-  (* In-plane part of the row-major linear index; only dereferenced for
-     in-grid threads (out-of-bound threads get a meaningless value). *)
-  let base =
-    Array.init n_thr (fun t ->
-        let g = gcoords.(t) in
-        let off = ref 0 in
-        for d = 0 to nb - 1 do
-          off := !off + (g.(d) * plan.Plan.gstrides.(d + 1))
-        done;
-        !off)
-  in
-  let count f =
-    let n = ref 0 in
-    for t = 0 to n_thr - 1 do
-      if f t then incr n
-    done;
-    !n
-  in
-  {
-    sb;
-    gcoords;
-    in_grid;
-    inplane_interior;
-    base;
-    n_in_grid = count (fun t -> in_grid.(t));
-    n_interior = count (fun t -> inplane_interior.(t));
-    n_store = count (fun t -> in_grid.(t) && plan.Plan.store_ok.(t));
-    reg_file =
-      Array.init (b + 1) (fun _ ->
-          Array.init plan.Plan.p (fun _ -> Array.make n_thr 0.0));
-  }
+let make_block_state = Plan.make_block_state
 
 (* ------------------------------------------------------------------ *)
 (* Legacy per-cell closure implementation                              *)
@@ -477,6 +411,13 @@ let kernel_call ?(mode = Direct) ?(impl = Compiled) ?pool (em : Execmodel.t)
     match impl with
     | Compiled -> compiled_block plan ~mode ~degree:b ~src ~dst
     | Closure -> closure_block plan ~mode ~degree:b ~src ~dst
+    | Bigarray ->
+        (* Unsafe monomorphic fast path where the plan supports it
+           (Direct mode, flat weighted-sum form); the checked compiled
+           path — bit-identical by construction — everywhere else. *)
+        if Plan.unsafe_capable plan ~mode then
+          Plan.execute_block plan ~degree:b ~src ~dst
+        else compiled_block plan ~mode ~degree:b ~src ~dst
   in
   let n_blocks = plan.Plan.n_sb * plan.Plan.spatial_blocks in
   Obs.Trace.with_span "kernel"

@@ -30,11 +30,14 @@ type exec_mode = Run_config.exec_mode = Direct | Partial_sums
     drives the inner loops off the plan's flat tables — lowered
     expression terms, neighbor-thread and store-mask tables, unchecked
     linear plane access — with analytic per-plane bulk counter updates;
-    [Closure] is the legacy per-cell closure path. Grids are
-    bit-identical and counters field-for-field equal between the two
-    (differentially tested); [Compiled] is just faster. Re-export of
+    [Bigarray] runs the plan's unsafe-indexed monomorphic fast path
+    ({!Plan.execute_block}) over the flat grid buffers where it applies
+    (Direct mode, flat weighted-sum form) and the compiled path
+    elsewhere; [Closure] is the legacy per-cell closure path. Grids are
+    bit-identical and counters field-for-field equal between all three
+    (differentially tested); they only differ in speed. Re-export of
     {!Run_config.impl}. *)
-type impl = Run_config.impl = Compiled | Closure
+type impl = Run_config.impl = Compiled | Closure | Bigarray
 
 (** Thread-block geometry: the mapping between flat thread ids and
     block-local coordinates along the blocked dimensions (defined in

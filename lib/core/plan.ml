@@ -178,6 +178,319 @@ let build (em : Execmodel.t) ~degree:b ~prec =
   }
 
 (* ------------------------------------------------------------------ *)
+(* Per-block execution state                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Everything below is block-local scratch: the spatial-block origin,
+   per-thread global coordinates and membership flags, and the fixed
+   register file. Blocks can run on different domains without sharing
+   state; dst stores of distinct blocks are disjoint by construction.
+   Shared by every executor implementation ({!Blocking} re-exports). *)
+type block_state = {
+  sb : int;  (** stream-block index *)
+  gcoords : int array array;
+  in_grid : bool array;
+  inplane_interior : bool array;
+  base : int array;  (** per-thread in-plane linear offset into the grids *)
+  n_in_grid : int;
+  n_interior : int;
+  n_store : int;  (** threads with [in_grid && store_ok] *)
+  reg_file : float array array array;  (** [.(tstep).(slot).(thread)] *)
+}
+
+let make_block_state (plan : t) ~degree:b block_id =
+  let nb = plan.nb in
+  let geo = plan.geo in
+  let n_thr = plan.n_thr in
+  let dims = plan.em.Execmodel.dims in
+  let sb = block_id / plan.spatial_blocks in
+  let k = ref (block_id mod plan.spatial_blocks) in
+  let origins =
+    Array.init nb (fun i ->
+        let below =
+          Array.fold_left ( * ) 1
+            (Array.sub plan.blocks_per_dim (i + 1) (nb - i - 1))
+        in
+        let ki = !k / below in
+        k := !k mod below;
+        Execmodel.block_origin ~b plan.em i ki)
+  in
+  let gcoords = Array.init n_thr (fun t -> Array.map2 ( + ) origins geo.coords.(t)) in
+  let in_grid =
+    Array.init n_thr (fun t ->
+        let g = gcoords.(t) in
+        let ok = ref true in
+        for d = 0 to nb - 1 do
+          if g.(d) < 0 || g.(d) >= dims.(d + 1) then ok := false
+        done;
+        !ok)
+  in
+  let rad = plan.rad in
+  let inplane_interior =
+    Array.init n_thr (fun t ->
+        let g = gcoords.(t) in
+        let ok = ref true in
+        for d = 0 to nb - 1 do
+          if g.(d) < rad || g.(d) >= dims.(d + 1) - rad then ok := false
+        done;
+        !ok)
+  in
+  (* In-plane part of the row-major linear index; only dereferenced for
+     in-grid threads (out-of-bound threads get a meaningless value). *)
+  let base =
+    Array.init n_thr (fun t ->
+        let g = gcoords.(t) in
+        let off = ref 0 in
+        for d = 0 to nb - 1 do
+          off := !off + (g.(d) * plan.gstrides.(d + 1))
+        done;
+        !off)
+  in
+  let count f =
+    let n = ref 0 in
+    for t = 0 to n_thr - 1 do
+      if f t then incr n
+    done;
+    !n
+  in
+  {
+    sb;
+    gcoords;
+    in_grid;
+    inplane_interior;
+    base;
+    n_in_grid = count (fun t -> in_grid.(t));
+    n_interior = count (fun t -> inplane_interior.(t));
+    n_store = count (fun t -> in_grid.(t) && plan.store_ok.(t));
+    reg_file =
+      Array.init (b + 1) (fun _ -> Array.init plan.p (fun _ -> Array.make n_thr 0.0));
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Unsafe-indexed block executor (the [Bigarray] impl fast path)       *)
+(* ------------------------------------------------------------------ *)
+
+(* Whether {!execute_block} can run this plan: the unsafe fast path
+   covers the flat weighted-sum linear form in [Direct] mode — exactly
+   the shape of every paper benchmark. Everything else (partial-sums
+   dataflow, non-linear expressions) takes the checked compiled path in
+   {!Blocking}, which is bit-identical by construction. *)
+let unsafe_capable (plan : t) ~(mode : Run_config.exec_mode) =
+  mode = Run_config.Direct && plan.low.Stencil.Sexpr.low_linear <> None
+
+(* Validate the unsafe-index contract once per block, before any
+   unchecked access (the production-side "index oracle"; the fuzz suite
+   re-proves the same bounds independently):
+
+   - every plan table entry indexes its target array in range
+     ([lt_off] into the offset tables, [plane_e] into the [p] register
+     slots, [nbr] into the [n_thr] threads);
+   - every in-grid thread's in-plane base offset lies in [0, stride0),
+     so [base + i*stride0 < l*stride0 = size] for stream planes
+     [i < l] — loads and stores only happen for in-grid threads
+     (interior/boundary peeling: out-of-grid and halo threads never
+     touch global memory on this path).
+
+   A violation raises instead of reading out of bounds; it cannot occur
+   for plans built by {!build} (offsets are bounded by the pattern
+   radius and neighbor ids are clamped), which the raise documents. *)
+let validate_unsafe_contract (plan : t) (lf : Stencil.Sexpr.linear_form)
+    (st : block_state) =
+  let fail what = invalid_arg ("Plan.execute_block: " ^ what) in
+  let n_off = plan.n_off and n_thr = plan.n_thr and p = plan.p in
+  Array.iter
+    (fun k -> if k < 0 || k >= n_off then fail "term offset index out of range")
+    lf.Stencil.Sexpr.lt_off;
+  Array.iter
+    (fun e -> if e < 0 || e >= p then fail "plane slot out of range")
+    plan.plane_e;
+  Array.iter
+    (fun t -> if t < 0 || t >= n_thr then fail "neighbor thread out of range")
+    plan.nbr;
+  let stride0 = plan.gstrides.(0) in
+  if stride0 <= 0 then fail "non-positive plane stride";
+  for t = 0 to n_thr - 1 do
+    if st.in_grid.(t) && (st.base.(t) < 0 || st.base.(t) >= stride0) then
+      fail "in-grid thread base offset outside its plane"
+  done
+
+(* The [Bigarray] implementation of one thread block: the same schedule,
+   arithmetic order and bulk counter updates as [Blocking.compiled_block]
+   (bit-identity and counter equality are proven by test/test_storage.ml
+   and test/test_plan.ml), but the hot loops are monomorphic by
+   precision — the grid buffer constructor is matched once per block —
+   and walk precomputed linear offsets with
+   [Bigarray.Array1.unsafe_get/unsafe_set] under the contract validated
+   above. F32 stores quantize through a one-element f32 scratch cell
+   (hardware double->single->double, bit-identical to
+   [Grid.round_to_prec F32]) instead of a per-cell closure call. *)
+let execute_block (plan : t) ~degree:b ~(src : Stencil.Grid.t)
+    ~(dst : Stencil.Grid.t) ctx =
+  let n_thr = plan.n_thr in
+  let rad = plan.rad in
+  let p = plan.p in
+  let l = plan.l in
+  let n_off = plan.n_off in
+  let plane_e = plan.plane_e in
+  let nbr = plan.nbr in
+  let store_ok = plan.store_ok in
+  let stride0 = plan.gstrides.(0) in
+  let lf =
+    match plan.low.Stencil.Sexpr.low_linear with
+    | Some lf -> lf
+    | None -> invalid_arg "Plan.execute_block: expression has no linear form"
+  in
+  let lt_off = lf.Stencil.Sexpr.lt_off in
+  let lt_coef = lf.Stencil.Sexpr.lt_coef in
+  let lt_scaled = lf.Stencil.Sexpr.lt_scaled in
+  let n_terms = Array.length lt_off in
+  let has_div, div =
+    match lf.Stencil.Sexpr.lt_post with
+    | Stencil.Sexpr.Post_none -> (false, 1.0)
+    | Stencil.Sexpr.Post_div d -> (true, d)
+  in
+  let ops = plan.ops in
+  let sm_writes_per_plane = n_thr * plan.sm_writes_per_cell in
+  let sm_reads_per_cell = plan.sm_reads_per_cell in
+  let barriers_per_plane =
+    if plan.em.Execmodel.config.Config.double_buffer then 1 else 2
+  in
+  let counters = ctx.Gpu.Machine.machine.Gpu.Machine.counters in
+  let st = make_block_state plan ~degree:b ctx.Gpu.Machine.block_id in
+  let { in_grid; inplane_interior; base; reg_file; _ } = st in
+  validate_unsafe_contract plan lf st;
+  let s0, s1 = Execmodel.stream_range plan.em st.sb in
+  let plane_ptr = Array.make p reg_file.(0).(0) in
+  let is_f32 = plan.prec = Stencil.Grid.F32 in
+  let q32 = Bigarray.Array1.create Bigarray.float32 Bigarray.c_layout 1 in
+  (* Plane load/store, monomorphic per precision: [0 <= base t < stride0]
+     for in-grid threads (validated above) and [0 <= i < l] at every call
+     site, so [base t + i*stride0] is in [0, size). *)
+  let load_plane, store_plane =
+    match (src.Stencil.Grid.buf, dst.Stencil.Grid.buf) with
+    | Stencil.Grid.B64 sba, Stencil.Grid.B64 dba ->
+        ( (fun i ->
+            let dst_plane = reg_file.(0).(i mod p) in
+            let poff = i * stride0 in
+            for t = 0 to n_thr - 1 do
+              Array.unsafe_set dst_plane t
+                (if Array.unsafe_get in_grid t then
+                   Bigarray.Array1.unsafe_get sba (Array.unsafe_get base t + poff)
+                 else 0.0)
+            done;
+            Gpu.Counters.add_gm_reads counters st.n_in_grid),
+          fun j ->
+            let src_plane = reg_file.(b).(j mod p) in
+            let poff = j * stride0 in
+            for t = 0 to n_thr - 1 do
+              if Array.unsafe_get in_grid t && Array.unsafe_get store_ok t then
+                Bigarray.Array1.unsafe_set dba
+                  (Array.unsafe_get base t + poff)
+                  (Array.unsafe_get src_plane t)
+            done;
+            Gpu.Counters.add_gm_writes counters st.n_store )
+    | Stencil.Grid.B32 sba, Stencil.Grid.B32 dba ->
+        ( (fun i ->
+            let dst_plane = reg_file.(0).(i mod p) in
+            let poff = i * stride0 in
+            for t = 0 to n_thr - 1 do
+              Array.unsafe_set dst_plane t
+                (if Array.unsafe_get in_grid t then
+                   Bigarray.Array1.unsafe_get sba (Array.unsafe_get base t + poff)
+                 else 0.0)
+            done;
+            Gpu.Counters.add_gm_reads counters st.n_in_grid),
+          fun j ->
+            let src_plane = reg_file.(b).(j mod p) in
+            let poff = j * stride0 in
+            for t = 0 to n_thr - 1 do
+              if Array.unsafe_get in_grid t && Array.unsafe_get store_ok t then
+                Bigarray.Array1.unsafe_set dba
+                  (Array.unsafe_get base t + poff)
+                  (Array.unsafe_get src_plane t)
+            done;
+            Gpu.Counters.add_gm_writes counters st.n_store )
+    | _ -> invalid_arg "Plan.execute_block: src/dst precision mismatch"
+  in
+  (* Register-file compute plane: grid-free (float arrays only). Unsafe
+     register indexing is covered by the validated contract: [t < n_thr]
+     bounds every per-thread array, [plane_e]/[nbr]/[lt_off] entries are
+     range-checked above, and [row + k <= (n_thr-1)*n_off + (n_off-1)]
+     stays inside the [n_thr*n_off] neighbor table. *)
+  let compute_plane tstep j =
+    let dst_plane = reg_file.(tstep).(j mod p) in
+    let src_planes = reg_file.(tstep - 1) in
+    Gpu.Counters.add_sm_writes counters sm_writes_per_plane;
+    Gpu.Counters.add_barriers counters barriers_per_plane;
+    Gpu.Counters.add_sm_reads counters (sm_reads_per_cell * st.n_in_grid);
+    if j < rad || j >= l - rad then
+      (* Stream-boundary plane: propagate the previous time-step (§4.1). *)
+      Array.blit src_planes.(j mod p) 0 dst_plane 0 n_thr
+    else begin
+      let sb0 = (j - rad + p) mod p in
+      for e = 0 to p - 1 do
+        let s = sb0 + e in
+        plane_ptr.(e) <- src_planes.(if s >= p then s - p else s)
+      done;
+      let src_center = plane_ptr.(rad) in
+      for t = 0 to n_thr - 1 do
+        if Array.unsafe_get inplane_interior t then begin
+          let row = t * n_off in
+          let k0 = Array.unsafe_get lt_off 0 in
+          let v0 =
+            Array.unsafe_get
+              (Array.unsafe_get plane_ptr (Array.unsafe_get plane_e k0))
+              (Array.unsafe_get nbr (row + k0))
+          in
+          let acc =
+            ref
+              (if Array.unsafe_get lt_scaled 0 then
+                 Array.unsafe_get lt_coef 0 *. v0
+               else v0)
+          in
+          for q = 1 to n_terms - 1 do
+            let k = Array.unsafe_get lt_off q in
+            let v =
+              Array.unsafe_get
+                (Array.unsafe_get plane_ptr (Array.unsafe_get plane_e k))
+                (Array.unsafe_get nbr (row + k))
+            in
+            acc :=
+              !acc
+              +.
+              if Array.unsafe_get lt_scaled q then Array.unsafe_get lt_coef q *. v
+              else v
+          done;
+          let value = if has_div then !acc /. div else !acc in
+          let value =
+            if is_f32 then begin
+              Bigarray.Array1.unsafe_set q32 0 value;
+              Bigarray.Array1.unsafe_get q32 0
+            end
+            else value
+          in
+          Array.unsafe_set dst_plane t value
+        end
+        else Array.unsafe_set dst_plane t (Array.unsafe_get src_center t)
+      done;
+      Gpu.Counters.add_ops_n counters ops st.n_interior;
+      Gpu.Counters.add_cells_updated counters st.n_interior
+    end
+  in
+  let load_lo = s0 - (b * rad) and load_hi = s1 - 1 + (b * rad) in
+  for i = load_lo to load_hi do
+    if i >= 0 && i < l then load_plane i;
+    for tstep = 1 to b do
+      let j = i - (tstep * rad) in
+      let lo = s0 - ((b - tstep) * rad) and hi = s1 - 1 + ((b - tstep) * rad) in
+      if j >= lo && j <= hi && j >= 0 && j < l then begin
+        compute_plane tstep j;
+        if tstep = b && j >= s0 && j < s1 then store_plane j
+      end
+    done
+  done
+
+(* ------------------------------------------------------------------ *)
 (* Memoization                                                         *)
 (* ------------------------------------------------------------------ *)
 

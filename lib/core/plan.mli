@@ -60,6 +60,49 @@ type t = {
   gstrides : int array;  (** row-major strides of the run grids *)
 }
 
+(** Block-local execution state shared by every executor implementation
+    (re-exported by {!Blocking}): the spatial-block origin, per-thread
+    global coordinates and membership flags, per-thread in-plane linear
+    base offsets, and the fixed register file. Blocks can run on
+    different domains without sharing state. *)
+type block_state = {
+  sb : int;  (** stream-block index *)
+  gcoords : int array array;
+  in_grid : bool array;
+  inplane_interior : bool array;
+  base : int array;  (** per-thread in-plane linear offset into the grids *)
+  n_in_grid : int;
+  n_interior : int;
+  n_store : int;  (** threads with [in_grid && store_ok] *)
+  reg_file : float array array array;  (** [.(tstep).(slot).(thread)] *)
+}
+
+val make_block_state : t -> degree:int -> int -> block_state
+(** [make_block_state plan ~degree block_id]. *)
+
+val unsafe_capable : t -> mode:Run_config.exec_mode -> bool
+(** Whether {!execute_block} can run this plan: [Direct] mode and a flat
+    weighted-sum linear form (the shape of every paper benchmark). Other
+    plans take the checked compiled path in {!Blocking}. *)
+
+val execute_block :
+  t ->
+  degree:int ->
+  src:Stencil.Grid.t ->
+  dst:Stencil.Grid.t ->
+  Gpu.Machine.block_ctx ->
+  unit
+(** The [Bigarray] implementation of one thread block: same schedule,
+    arithmetic order and counter totals as the compiled path, but with
+    monomorphic-by-precision inner loops over the flat grid buffers
+    using unchecked indexing. The unsafe-index contract (every table
+    entry in range, every in-grid base offset inside its plane — the
+    interior/boundary peeling invariant) is validated once per block
+    before any unchecked access and raises [Invalid_argument] on
+    violation instead of reading out of bounds. Requires
+    {!unsafe_capable}; raises [Invalid_argument] otherwise, or on a
+    src/dst precision mismatch. *)
+
 val get : Execmodel.t -> degree:int -> prec:Stencil.Grid.precision -> t
 (** The memoized plan for one kernel call. The cache key strips the
     config's [reg_limit] (it affects occupancy, never the executed

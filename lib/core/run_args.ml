@@ -4,7 +4,7 @@ let domains_doc =
   "Worker domains for the block-parallel simulator executor (1 = sequential; \
    parallel runs are bit-identical to sequential ones)."
 
-let impl_doc = "Executor implementation: compiled (default) or closure."
+let impl_doc = "Executor implementation: compiled (default), closure, or bigarray (unsafe-indexed fast path)."
 
 let mode_doc = "CALC evaluation mode: direct (default) or partial-sums."
 

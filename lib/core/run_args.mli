@@ -9,7 +9,7 @@ val parse :
 (** [parse args] folds the recognized flags into [init] (default
     {!Run_config.default}) and returns the remaining arguments in
     order. Recognized:
-    [--domains N] (positive), [--impl compiled|closure],
+    [--domains N] (positive), [--impl compiled|closure|bigarray],
     [--mode direct|partial-sums], [--trace FILE], [--metrics],
     [--no-verify], [--verify]. Returns [Error] on a malformed value or
     a flag missing its argument. *)

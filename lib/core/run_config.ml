@@ -2,7 +2,7 @@
 
 type exec_mode = Direct | Partial_sums
 
-type impl = Compiled | Closure
+type impl = Compiled | Closure | Bigarray
 
 type t = {
   mode : exec_mode;
@@ -41,12 +41,16 @@ let mode_of_string = function
   | "partial-sums" | "partial_sums" -> Ok Partial_sums
   | s -> Error (Fmt.str "unknown mode %s (expected direct or partial-sums)" s)
 
-let impl_to_string = function Compiled -> "compiled" | Closure -> "closure"
+let impl_to_string = function
+  | Compiled -> "compiled"
+  | Closure -> "closure"
+  | Bigarray -> "bigarray"
 
 let impl_of_string = function
   | "compiled" -> Ok Compiled
   | "closure" -> Ok Closure
-  | s -> Error (Fmt.str "unknown impl %s (expected compiled or closure)" s)
+  | "bigarray" -> Ok Bigarray
+  | s -> Error (Fmt.str "unknown impl %s (expected compiled, closure or bigarray)" s)
 
 (* The semantic fields first, so [cache_key] is a prefix-style subset
    of [to_sexp] and both stay in sync by construction. *)

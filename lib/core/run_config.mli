@@ -24,8 +24,11 @@ type exec_mode = Direct | Partial_sums
 (** Which executor implementation runs the kernels — canonical
     definition, re-exported as {!Blocking.impl}. [Compiled] (default)
     drives the inner loops off the memoized plan tables; [Closure] is
-    the bit-identical legacy per-cell path. *)
-type impl = Compiled | Closure
+    the bit-identical legacy per-cell path; [Bigarray] is the
+    unsafe-indexed monomorphic fast path over the flat grid buffers
+    ({!Plan.execute_block}), bit-identical again and gated by the
+    storage differential suite plus the BENCH_throughput floor. *)
+type impl = Compiled | Closure | Bigarray
 
 type t = {
   mode : exec_mode;
@@ -77,7 +80,7 @@ val mode_of_string : string -> (exec_mode, string) result
 val impl_to_string : impl -> string
 
 val impl_of_string : string -> (impl, string) result
-(** ["compiled"] and ["closure"]. *)
+(** ["compiled"], ["closure"] and ["bigarray"]. *)
 
 val to_sexp : t -> string
 (** Full stable rendering, e.g.

@@ -79,10 +79,26 @@ let prec_str = function
   | None -> "auto"
   | Some p -> Stencil.Grid.precision_to_string p
 
+(* Precision-correct digests: with bigarray storage the precision
+   changes the stored element type, so a spec that omits [prec] must
+   key identically to one spelling out the precision the source
+   detects to — the compiled job is the same job. Canonicalize by
+   resolving the detected element type; sources that fail detection
+   keep the literal "auto" (they fail identically at compile time, so
+   coalescing them is still sound). *)
+let resolved_prec s =
+  match s.prec with
+  | Some _ -> s.prec
+  | None -> (
+      match Stencil.Detect.of_string s.source.Framework.text with
+      | r -> Some r.Stencil.Detect.elem_prec
+      | exception _ -> None)
+
 let spec_key s =
   Fmt.str "(job (src %s) (config %s) (dims %s) (prec %s))"
     (Digest.to_hex (Digest.string s.source.Framework.text))
-    (Config.to_string s.config) (dims_str s.dims) (prec_str s.prec)
+    (Config.to_string s.config) (dims_str s.dims)
+    (prec_str (resolved_prec s))
 
 let key t =
   match t.body with

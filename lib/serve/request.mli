@@ -88,7 +88,12 @@ val tune :
 val spec_key : spec -> string
 (** Stable cache key of a compile request: digest of the source text
     plus the configuration, dims and precision renderings. Two specs
-    with equal keys compile to interchangeable jobs. *)
+    with equal keys compile to interchangeable jobs. The precision is
+    canonicalized before rendering: when [prec = None] the key uses
+    the element precision detected from the source (storage precision
+    changes the stored bits, so an omitted [prec] must coalesce with a
+    spelled-out one only when they resolve to the same element type);
+    sources that fail detection keep the literal ["auto"]. *)
 
 val key : t -> string
 (** Stable cache key of the whole request. For [Simulate] it extends
@@ -110,7 +115,7 @@ val of_line : string -> (t, string) result
     [simulate|tune|compile], STENCIL a benchmark name or C file path,
     and the options are [bt=4] [bs=32x16] [hs=256] [reg-limit=64]
     [dims=512x512] [prec=float|double] [device=v100|p100] [steps=100]
-    [seed=1] [k=5] [mode=direct|partial-sums] [impl=compiled|closure]
+    [seed=1] [k=5] [mode=direct|partial-sums] [impl=compiled|closure|bigarray]
     [verify=true|false] [id=NAME] [deadline=SECONDS].
     Blank lines and [#] comments are the caller's concern. *)
 

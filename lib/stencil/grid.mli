@@ -1,9 +1,14 @@
-(** Dense N-dimensional grids of floats, row-major; dimension 0 is the
-    streaming dimension of N.5D blocking.
+(** Dense N-dimensional grids of floats, row-major, backed by flat
+    [Bigarray.Array1] buffers (C layout); dimension 0 is the streaming
+    dimension of N.5D blocking.
 
-    Values are stored as OCaml floats; with [prec = F32] every store is
-    rounded through single precision, so float/double benchmark
-    variants genuinely differ numerically. *)
+    The stored element type follows the grid's precision: an [F32] grid
+    owns a 32-bit buffer (every store quantizes through IEEE single —
+    the same rounding as the historical [round_to_prec F32]), an [F64]
+    grid a 64-bit one. Float/double variants therefore differ both
+    numerically and in bytes moved, and the flat buffer supports
+    zero-copy slicing ([sub]) and wrapping ([of_bigarray]) for
+    sharding. *)
 
 type precision = F32 | F64
 
@@ -11,16 +16,32 @@ val bytes_per_word : precision -> int
 
 val precision_to_string : precision -> string
 
+type f32buf = (float, Bigarray.float32_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type f64buf = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type buf = B32 of f32buf | B64 of f64buf
+(** Flat storage tagged by element type. Hot loops match once on the
+    constructor and then run monomorphic: inside an arm the element kind
+    is statically known, so bigarray access compiles to direct loads. *)
+
 type t = {
   dims : int array;
   strides : int array;  (** row-major; last dimension contiguous *)
-  data : float array;
-  prec : precision;
+  buf : buf;
+  prec : precision;  (** always agrees with the [buf] constructor *)
 }
+
+val buf_size : buf -> int
 
 val create : ?prec:precision -> int array -> t
 (** Zero-initialized grid.
     @raise Invalid_argument on a zero-rank grid or non-positive size. *)
+
+val of_bigarray : dims:int array -> buf -> t
+(** Wrap an existing flat buffer as a grid — shares storage, no copy.
+    Precision is the buffer's own element type.
+    @raise Invalid_argument when the buffer length does not match [dims]. *)
 
 val rank : t -> int
 
@@ -38,12 +59,50 @@ val linear : t -> int array -> int
 val get : t -> int array -> float
 
 val set : t -> int array -> float -> unit
-(** Stores with precision rounding. *)
+(** Stores with precision rounding (an [F32] store quantizes). *)
 
 val get_lin : t -> int -> float
-(** Unchecked linear accessor for executor inner loops. *)
+(** Bounds-checked linear accessor. *)
 
 val set_lin : t -> int -> float -> unit
+(** Bounds-checked linear store; quantizes on [F32] grids. *)
+
+val unsafe_get_lin : t -> int -> float
+(** Unchecked linear load. Contract: the caller must have proven
+    [0 <= off < size g] {e before} the access — in the executors this is
+    the interior/boundary peeling invariant (only in-grid threads and
+    interior positions reach the unsafe path; boundary cells take the
+    checked path or a blit). Only the audited hot-loop modules
+    ([Stencil.Reference], [An5d_core.Plan]) may call this;
+    scripts/check_unsafe.sh enforces the allowlist. *)
+
+val unsafe_set_lin : t -> int -> float -> unit
+(** Unchecked linear store; same contract as {!unsafe_get_lin}. *)
+
+val blit : src:t -> dst:t -> unit
+(** Whole-grid copy as one flat memcpy.
+    @raise Invalid_argument on dimension or precision mismatch. *)
+
+val sub : t -> lo:int -> hi:int -> t
+(** Plane range [lo, hi) along the streaming dimension, {e sharing}
+    storage with the parent grid (writes through the view are visible in
+    the parent) — the zero-copy building block for sharding.
+    @raise Invalid_argument on an empty or out-of-range plane range. *)
+
+val fill : t -> float -> unit
+
+val fold : ('a -> float -> 'a) -> 'a -> t -> 'a
+(** Fold over values in linear (row-major) order. *)
+
+val iter : (float -> unit) -> t -> unit
+
+val to_array : t -> float array
+(** Fresh boxed copy of the values, linear order (test/debug surface). *)
+
+val digest : t -> string
+(** Hex digest of dims, precision and the raw stored words.
+    Precision-correct: an [F32] grid digests its 32-bit words, so grids
+    differing only in storage precision never collide. *)
 
 val init : ?prec:precision -> int array -> (int array -> float) -> t
 

@@ -5,10 +5,14 @@
 
 (** Sweep implementation: [Compiled] (default) walks the interior with
     linear indices and per-offset linear deltas off the lowered
-    expression ({!Pattern.lower}); [Closure] is the legacy per-cell
-    bounds-checked path. Bit-identical results, differentially
-    tested. *)
-type impl = Compiled | Closure
+    expression ({!Pattern.lower}), through bounds-checked monomorphic
+    buffer access; [Bigarray] is the same sweep through unchecked
+    indexing, guarded by a once-per-sweep proof that every interior
+    position plus every lowered delta stays inside the flat buffer (the
+    peeling invariant — boundary cells are blitted, never swept);
+    [Closure] is the legacy per-cell bounds-checked path. Bit-identical
+    results, differentially tested. *)
+type impl = Compiled | Closure | Bigarray
 
 val step : ?impl:impl -> Pattern.t -> src:Grid.t -> dst:Grid.t -> unit
 (** One time-step; boundary cells are copied unchanged.

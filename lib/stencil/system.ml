@@ -149,10 +149,7 @@ let step t ~(src : Grid.t list) ~(dst : Grid.t list) =
   let rad = radius t in
   let updates = Array.of_list (compile t) in
   let interior = Grid.interior ~rad src.(0) in
-  Array.iteri
-    (fun k dstk ->
-      Array.blit src.(k).Grid.data 0 dstk.Grid.data 0 (Array.length dstk.Grid.data))
-    dst;
+  Array.iteri (fun k dstk -> Grid.blit ~src:src.(k) ~dst:dstk) dst;
   let idx_buf = Array.make t.dims 0 in
   Poly.Box.iter
     (fun idx ->

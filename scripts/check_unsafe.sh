@@ -1,0 +1,39 @@
+#!/bin/sh
+# Unsafe-indexing hygiene: Bigarray's unchecked accessors skip bounds
+# checks, so every call site must sit behind the interior/boundary
+# peeling proof documented in Grid's interface. Only the definition
+# site and the two audited hot-loop modules may mention them; anything
+# else in shipped code (lib/, bin/, bench/, examples/) is rejected.
+# Tests are exempt — they exercise the accessors' contract on purpose.
+# Run from the repository root; exits non-zero listing violations.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+allowed="lib/stencil/grid.ml lib/stencil/grid.mli lib/stencil/reference.ml lib/core/plan.ml"
+
+is_allowed() {
+  for a in $allowed; do
+    [ "$1" = "$a" ] && return 0
+  done
+  return 1
+}
+
+violations=0
+for f in $(grep -rlE 'unsafe_(get|set)' lib bin bench examples 2>/dev/null || true); do
+  case "$f" in
+  *.ml | *.mli) ;;
+  *) continue ;;
+  esac
+  if ! is_allowed "$f"; then
+    echo "unsafe accessor outside the audited hot loops: $f" >&2
+    grep -nE 'unsafe_(get|set)' "$f" | head -5 >&2
+    violations=$((violations + 1))
+  fi
+done
+
+if [ "$violations" -gt 0 ]; then
+  echo "check_unsafe: $violations file(s) use unchecked indexing outside the allowlist" >&2
+  exit 1
+fi
+echo "check_unsafe: unchecked indexing confined to the audited modules"

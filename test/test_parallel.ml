@@ -30,8 +30,8 @@ let run_blocking ?mode ?impl pattern cfg dims ~steps ~domains g =
   let out, _ = Blocking.run ?mode ?impl ~domains em ~machine ~steps g in
   (out, machine.Gpu.Machine.counters)
 
-let check_differential ?mode ?impl name pattern cfg dims ~steps ~domains =
-  let g = Stencil.Grid.init_random dims in
+let check_differential ?mode ?impl ?prec name pattern cfg dims ~steps ~domains =
+  let g = Stencil.Grid.init_random ?prec dims in
   let seq, seq_c = run_blocking ?mode ?impl pattern cfg dims ~steps ~domains:1 g in
   let par, par_c = run_blocking ?mode ?impl pattern cfg dims ~steps ~domains g in
   Alcotest.(check (float 0.0))
@@ -58,6 +58,15 @@ let test_direct_parallel () =
     [| 24; 20 |] ~steps:4 ~domains:16;
   (* the legacy closure implementation parallelizes identically *)
   check_differential ~impl:Blocking.Closure "closure impl d4" (star ~dims:2 1)
+    (Config.make ~bt:3 ~bs:[| 16 |] ())
+    [| 30; 40 |] ~steps:7 ~domains:4;
+  (* ... and so does the unsafe-indexed bigarray fast path, over the
+     flat storage, in both precisions *)
+  check_differential ~impl:Blocking.Bigarray "bigarray impl d4" (star ~dims:2 1)
+    (Config.make ~bt:3 ~bs:[| 16 |] ())
+    [| 30; 40 |] ~steps:7 ~domains:4;
+  check_differential ~impl:Blocking.Bigarray ~prec:Stencil.Grid.F32
+    "bigarray f32 impl d4" (star ~dims:2 1)
     (Config.make ~bt:3 ~bs:[| 16 |] ())
     [| 30; 40 |] ~steps:7 ~domains:4
 
@@ -173,18 +182,19 @@ let gen_case =
     let* divide = bool in
     let* h = int_range 3 10 in
     let* mode = oneofl [ Blocking.Direct; Blocking.Partial_sums ] in
-    let* impl = oneofl [ Blocking.Compiled; Blocking.Closure ] in
+    let* impl = oneofl [ Blocking.Compiled; Blocking.Closure; Blocking.Bigarray ] in
+    let* prec = oneofl [ Stencil.Grid.F64; Stencil.Grid.F32 ] in
     let* domains = oneofl [ 2; 4 ] in
     let bs = Array.make (dims_n - 1) bs_edge in
     return
       ( (dims_n, rad, bt, shape_star, bs, sizes),
-        (steps, (if divide then Some h else None), mode, impl, domains) ))
+        (steps, (if divide then Some h else None), mode, impl, prec, domains) ))
 
 let arb_case =
   QCheck.make
-    ~print:(fun ((d, r, bt, s, bs, sizes), (steps, h, mode, impl, domains)) ->
+    ~print:(fun ((d, r, bt, s, bs, sizes), (steps, h, mode, impl, prec, domains)) ->
       Fmt.str
-        "dims=%d rad=%d bt=%d star=%b bs=%a sizes=%a steps=%d h=%a mode=%s impl=%s dom=%d"
+        "dims=%d rad=%d bt=%d star=%b bs=%a sizes=%a steps=%d h=%a mode=%s impl=%s prec=%s dom=%d"
         d r bt s
         Fmt.(array ~sep:(any ",") int)
         bs
@@ -192,20 +202,23 @@ let arb_case =
         sizes steps
         Fmt.(option int)
         h
-        (match mode with Blocking.Direct -> "direct" | Blocking.Partial_sums -> "psum")
-        (match impl with Blocking.Compiled -> "compiled" | Blocking.Closure -> "closure")
+        (Run_config.mode_to_string mode)
+        (Run_config.impl_to_string impl)
+        (Stencil.Grid.precision_to_string prec)
         domains)
     gen_case
 
 let prop_parallel_equals_sequential =
   QCheck.Test.make ~name:"parallel run = sequential run (grids and counters)"
     ~count:40 arb_case
-    (fun ((dims_n, rad, bt, shape_star, bs, sizes), (steps, hs, mode, impl, domains)) ->
+    (fun
+      ((dims_n, rad, bt, shape_star, bs, sizes), (steps, hs, mode, impl, prec, domains))
+    ->
       let pattern = if shape_star then star ~dims:dims_n rad else box ~dims:dims_n rad in
       let cfg = Config.make ~hs ~bt ~bs () in
       if not (Config.valid ~rad ~max_threads:1024 cfg) then true
       else begin
-        let g = Stencil.Grid.init_random sizes in
+        let g = Stencil.Grid.init_random ~prec sizes in
         let seq, seq_c = run_blocking ~mode ~impl pattern cfg sizes ~steps ~domains:1 g in
         let par, par_c = run_blocking ~mode ~impl pattern cfg sizes ~steps ~domains g in
         Stencil.Grid.max_abs_diff seq par = 0.0 && Gpu.Counters.equal seq_c par_c

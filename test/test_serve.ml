@@ -194,7 +194,11 @@ let test_run_config_strings () =
   Alcotest.(check bool)
     "impl round trip" true
     (Run_config.impl_of_string "compiled" = Ok Run_config.Compiled
-    && Run_config.impl_of_string "closure" = Ok Run_config.Closure);
+    && Run_config.impl_of_string "closure" = Ok Run_config.Closure
+    && Run_config.impl_of_string "bigarray" = Ok Run_config.Bigarray);
+  Alcotest.(check string)
+    "bigarray renders" "bigarray"
+    (Run_config.impl_to_string Run_config.Bigarray);
   Alcotest.(check bool)
     "bad values rejected" true
     (Result.is_error (Run_config.mode_of_string "fast")
@@ -355,16 +359,19 @@ let test_wrapper_multi_blocking () =
 (* ------------------------------------------------------------------ *)
 
 let sim_req ?id ?deadline ?(seed = 1) ?(bt = 2) ?(bs = [| 16 |])
-    ?(dims = [| 40; 40 |]) ?(steps = 5) () =
-  Request.simulate ?id ?deadline ~dims ~seed
+    ?(dims = [| 40; 40 |]) ?(steps = 5) ?(impl = Run_config.Compiled) ?prec () =
+  Request.simulate ?id ?deadline ~dims ?prec ~seed
+    ~run:(Run_config.with_impl impl Run_config.default)
     ~config:(Config.make ~bt ~bs ())
     ~device:Gpu.Device.v100 ~steps source
 
 let direct_outcome ?(seed = 1) ?(bt = 2) ?(bs = [| 16 |]) ?(dims = [| 40; 40 |])
-    ?(steps = 5) () =
-  let job = Framework.compile ~dims ~config:(Config.make ~bt ~bs ()) source in
+    ?(steps = 5) ?(impl = Run_config.Compiled) ?prec () =
+  let job = Framework.compile ~dims ?prec ~config:(Config.make ~bt ~bs ()) source in
   let g = Stencil.Grid.init_random ~prec:job.Framework.prec ~seed dims in
-  Framework.simulate_cfg ~device:Gpu.Device.v100 ~steps job g
+  Framework.simulate_cfg
+    ~cfg:(Run_config.with_impl impl Run_config.default)
+    ~device:Gpu.Device.v100 ~steps job g
 
 let served_outcome name (r : Session.response) =
   match r.Session.status with
@@ -525,6 +532,73 @@ let test_session_compile () =
   let r2 = Session.submit s req in
   Alcotest.(check bool) "job cache warm" true (r2.Session.served = Session.Warm)
 
+(* Served bigarray-impl runs must be bit-identical to direct ones in
+   both storage precisions (the serve layer is a pure router). *)
+let test_session_bigarray_impl () =
+  with_session @@ fun s ->
+  List.iter
+    (fun (name, prec) ->
+      let r =
+        Session.submit s (sim_req ~impl:Run_config.Bigarray ?prec ~steps:6 ())
+      in
+      let o = served_outcome name r in
+      let d = direct_outcome ~impl:Run_config.Bigarray ?prec ~steps:6 () in
+      Alcotest.(check (float 0.0))
+        (name ^ " grid") 0.0
+        (Stencil.Grid.max_abs_diff o.Framework.result d.Framework.result);
+      Alcotest.check counters_t (name ^ " counters") d.Framework.counters
+        o.Framework.counters)
+    [
+      ("bigarray auto-prec", None);
+      ("bigarray f64", Some Stencil.Grid.F64);
+      ("bigarray f32", Some Stencil.Grid.F32);
+    ]
+
+(* Cache keys canonicalize the precision: a spec omitting [prec] must
+   key identically to one spelling out what the source detects to
+   (here: double), and differently from every other precision. *)
+let test_spec_key_precision_canonical () =
+  let spec prec =
+    { Request.source; config = Config.make ~bt:2 ~bs:[| 16 |] (); dims = None; prec }
+  in
+  Alcotest.(check string)
+    "omitted prec keys as the detected double"
+    (Request.spec_key (spec (Some Stencil.Grid.F64)))
+    (Request.spec_key (spec None));
+  Alcotest.(check bool)
+    "f32 override keys differently" true
+    (Request.spec_key (spec (Some Stencil.Grid.F32))
+    <> Request.spec_key (spec None));
+  (* undetectable sources keep the literal auto marker rather than
+     raising out of a key computation *)
+  let garbage =
+    { Request.source = Framework.source_of_string ~origin:"garbage" "@@@ not C";
+      config = Config.make ~bt:2 ~bs:[| 16 |] (); dims = None; prec = None }
+  in
+  Alcotest.(check bool) "garbage keys as auto, distinct from explicit" true
+    (Request.spec_key garbage
+    <> Request.spec_key { garbage with Request.prec = Some Stencil.Grid.F64 });
+  (* and an explicitly-float source canonicalizes to float *)
+  let f32_src =
+    Framework.source_of_string ~origin:"f32-src"
+      (String.concat ""
+         [ "#define SB 20\n";
+           "void s(float a[2][SB][SB], int timesteps) {\n";
+           "for (int t = 0; t < timesteps; t++)\n";
+           "for (int i = 1; i < SB - 1; i++)\n";
+           "for (int j = 1; j < SB - 1; j++)\n";
+           "a[(t+1)%2][i][j] = 0.5f * a[t%2][i][j] + 0.5f * a[t%2][i-1][j];\n";
+           "}" ])
+  in
+  let f32_spec prec =
+    { Request.source = f32_src; config = Config.make ~bt:2 ~bs:[| 16 |] ();
+      dims = None; prec }
+  in
+  Alcotest.(check string)
+    "float source canonicalizes to float"
+    (Request.spec_key (f32_spec (Some Stencil.Grid.F32)))
+    (Request.spec_key (f32_spec None))
+
 (* --- QCheck differential: served = direct, bit for bit --- *)
 
 let gen_case =
@@ -535,30 +609,42 @@ let gen_case =
     let* b = int_range 12 26 in
     let* steps = int_range 0 7 in
     let* seed = int_range 0 5 in
-    return (bt, [| (2 * bt) + extra |], [| a; b |], steps, seed))
+    let* impl =
+      oneofl [ Run_config.Compiled; Run_config.Closure; Run_config.Bigarray ]
+    in
+    let* prec = oneofl [ None; Some Stencil.Grid.F64; Some Stencil.Grid.F32 ] in
+    return (bt, [| (2 * bt) + extra |], [| a; b |], steps, seed, impl, prec))
 
 let arb_case =
   QCheck.make
-    ~print:(fun (bt, bs, dims, steps, seed) ->
-      Fmt.str "bt=%d bs=%a dims=%a steps=%d seed=%d" bt
+    ~print:(fun (bt, bs, dims, steps, seed, impl, prec) ->
+      Fmt.str "bt=%d bs=%a dims=%a steps=%d seed=%d impl=%s prec=%s" bt
         Fmt.(array ~sep:(any ",") int)
         bs
         Fmt.(array ~sep:(any ",") int)
-        dims steps seed)
+        dims steps seed
+        (Run_config.impl_to_string impl)
+        (match prec with
+        | None -> "auto"
+        | Some p -> Stencil.Grid.precision_to_string p))
     gen_case
 
 let prop_served_equals_direct =
   (* one session for all cases: repeats may be served warm, which must
-     not change the bits *)
+     not change the bits. The case matrix spans the full storage
+     dimension — implementation (closure/compiled/bigarray) crossed
+     with precision (auto/f64/f32). *)
   let session = Session.create () in
   QCheck.Test.make ~name:"served simulate = direct Framework.simulate_cfg"
-    ~count:15 arb_case (fun (bt, bs, dims, steps, seed) ->
+    ~count:24 arb_case (fun (bt, bs, dims, steps, seed, impl, prec) ->
       let cfg = Config.make ~bt ~bs () in
       if not (Config.valid ~rad:1 ~max_threads:1024 cfg) then true
       else begin
-        let r = Session.submit session (sim_req ~seed ~bt ~bs ~dims ~steps ()) in
+        let r =
+          Session.submit session (sim_req ~seed ~bt ~bs ~dims ~steps ~impl ?prec ())
+        in
         let o = served_outcome "qcheck" r in
-        let d = direct_outcome ~seed ~bt ~bs ~dims ~steps () in
+        let d = direct_outcome ~seed ~bt ~bs ~dims ~steps ~impl ?prec () in
         Stencil.Grid.max_abs_diff o.Framework.result d.Framework.result = 0.0
         && Gpu.Counters.equal o.Framework.counters d.Framework.counters
         && o.Framework.verified = d.Framework.verified
@@ -604,6 +690,10 @@ let () =
           Alcotest.test_case "tune served and cached" `Quick test_session_tune;
           Alcotest.test_case "compile served and cached" `Quick
             test_session_compile;
+          Alcotest.test_case "bigarray impl served" `Quick
+            test_session_bigarray_impl;
+          Alcotest.test_case "spec_key precision canonical" `Quick
+            test_spec_key_precision_canonical;
         ] );
       ( "properties",
         [ QCheck_alcotest.to_alcotest prop_served_equals_direct ] );

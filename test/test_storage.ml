@@ -1,0 +1,636 @@
+(* Storage differential harness for the bigarray grid backend.
+
+   The unsafe-indexed [Bigarray] executors (Stencil.Reference and the
+   blocked Plan.execute_block fast path) must be *bit-identical* to the
+   checked [Compiled] and [Closure] paths — same grid word for word,
+   same counters field for field — across random stencils, grid shapes
+   (including size-1 dims and radius-equal edges where the interior is
+   empty), precisions and execution modes. On top of the differentials:
+   property tests that the unsafe accessors agree with the checked ones
+   on every in-bounds index, an index-oracle fuzz proving the peeling
+   invariant (interior position + neighbor delta always lands in
+   range), f32 store-quantization regressions, pinned golden-seed grids
+   in both precisions, and unit tests for blit/sub/of_bigarray/digest.
+
+   Set AN5D_PREC=f32|f64 to pin every randomized case to one storage
+   precision (CI runs the suite once per value). *)
+
+open An5d_core
+
+(* --- precision pinning via AN5D_PREC --- *)
+
+let forced_prec =
+  match Option.map String.lowercase_ascii (Sys.getenv_opt "AN5D_PREC") with
+  | Some ("f32" | "float") -> Some Stencil.Grid.F32
+  | Some ("f64" | "double") -> Some Stencil.Grid.F64
+  | Some s -> failwith ("AN5D_PREC expects f32 or f64, got " ^ s)
+  | None -> None
+
+let gen_prec =
+  match forced_prec with
+  | Some p -> QCheck.Gen.return p
+  | None -> QCheck.Gen.oneofl [ Stencil.Grid.F64; Stencil.Grid.F32 ]
+
+(* --- pattern zoo --- *)
+
+let star ~dims rad =
+  Stencil.Pattern.make
+    ~name:(Fmt.str "star%dd%dr" dims rad)
+    ~dims ~params:[]
+    (Stencil.Sexpr.weighted_sum (Stencil.Shape.star_offsets ~dims ~rad))
+
+let box ~dims rad =
+  Stencil.Pattern.make
+    ~name:(Fmt.str "box%dd%dr" dims rad)
+    ~dims ~params:[]
+    (Stencil.Sexpr.weighted_sum (Stencil.Shape.box_offsets ~dims ~rad))
+
+let with_div pattern =
+  Stencil.Pattern.make
+    ~name:(pattern.Stencil.Pattern.name ^ "-div")
+    ~dims:pattern.Stencil.Pattern.dims
+    ~params:[ ("c0", 2.5) ]
+    (Stencil.Sexpr.Div (pattern.Stencil.Pattern.expr, Stencil.Sexpr.Param "c0"))
+
+(* Non-linear: exercises the eval fallback inside the Bigarray impls. *)
+let sqrt_pattern =
+  Stencil.Pattern.make ~name:"sqrtish" ~dims:2 ~params:[]
+    Stencil.Sexpr.(
+      Mul
+        ( Const 0.5,
+          Add (Cell [| 0; 0 |], Sqrt (Add (Const 2.0, Cell [| 1; 0 |]))) ))
+
+let counters_t =
+  Alcotest.testable (fun ppf c -> Gpu.Counters.pp ppf c) Gpu.Counters.equal
+
+(* ------------------------------------------------------------------ *)
+(* Reference-executor differential: Bigarray vs Closure vs Compiled    *)
+(* ------------------------------------------------------------------ *)
+
+(* Dims generator that deliberately includes degenerate shapes: size-1
+   dimensions and edges exactly equal to the stencil diameter, so empty
+   and single-cell interiors are fuzzed, not just the fat path. *)
+let gen_ref_case =
+  QCheck.Gen.(
+    let* dims_n = int_range 2 3 in
+    let* rad = int_range 1 2 in
+    let* shape_star = bool in
+    let* divided = bool in
+    let* prec = gen_prec in
+    let* steps = int_range 0 4 in
+    let edge =
+      frequency
+        [
+          (1, return 1);                    (* size-1 dim: empty interior *)
+          (1, return (2 * rad));            (* below diameter: empty interior *)
+          (1, return ((2 * rad) + 1));      (* single interior cell per axis *)
+          (4, int_range ((2 * rad) + 2) (if dims_n = 2 then 24 else 12));
+        ]
+    in
+    let* dims = array_repeat dims_n edge in
+    let base = if shape_star then star ~dims:dims_n rad else box ~dims:dims_n rad in
+    let pattern = if divided then with_div base else base in
+    return (pattern, dims, prec, steps))
+
+let arb_ref_case =
+  QCheck.make
+    ~print:(fun (p, dims, prec, steps) ->
+      Fmt.str "%s dims=%a prec=%s steps=%d" p.Stencil.Pattern.name
+        Fmt.(array ~sep:(any "x") int)
+        dims
+        (Stencil.Grid.precision_to_string prec)
+        steps)
+    gen_ref_case
+
+let ref_run impl (pattern, dims, prec, steps) =
+  let g = Stencil.Grid.init_random ~prec dims in
+  Stencil.Reference.run ~impl pattern ~steps g
+
+let prop_ref_bigarray_equals_compiled =
+  QCheck.Test.make
+    ~name:"reference: bigarray sweep = compiled sweep (bitwise)" ~count:200
+    arb_ref_case
+    (fun case ->
+      Stencil.Grid.max_abs_diff
+        (ref_run Stencil.Reference.Compiled case)
+        (ref_run Stencil.Reference.Bigarray case)
+      = 0.0)
+
+let prop_ref_bigarray_equals_closure =
+  QCheck.Test.make
+    ~name:"reference: bigarray sweep = closure sweep (bitwise)" ~count:200
+    arb_ref_case
+    (fun case ->
+      Stencil.Grid.max_abs_diff
+        (ref_run Stencil.Reference.Closure case)
+        (ref_run Stencil.Reference.Bigarray case)
+      = 0.0)
+
+(* The non-linear fallback inside the Bigarray impl must also agree. *)
+let test_ref_bigarray_fallback () =
+  List.iter
+    (fun (name, prec) ->
+      let g = Stencil.Grid.init_random ~prec [| 14; 12 |] in
+      let a = Stencil.Reference.run ~impl:Stencil.Reference.Closure sqrt_pattern ~steps:3 g in
+      let b = Stencil.Reference.run ~impl:Stencil.Reference.Bigarray sqrt_pattern ~steps:3 g in
+      Alcotest.(check (float 0.0)) name 0.0 (Stencil.Grid.max_abs_diff a b))
+    [ ("sqrt fallback f64", Stencil.Grid.F64); ("sqrt fallback f32", Stencil.Grid.F32) ]
+
+(* Fixed degenerate shapes, checked explicitly so shrinkage in the fuzz
+   generator can never silently stop covering them. *)
+let test_ref_degenerate_shapes () =
+  List.iter
+    (fun (name, pattern, dims) ->
+      List.iter
+        (fun prec ->
+          let g = Stencil.Grid.init_random ~prec dims in
+          let a = Stencil.Reference.run ~impl:Stencil.Reference.Closure pattern ~steps:3 g in
+          let b = Stencil.Reference.run ~impl:Stencil.Reference.Bigarray pattern ~steps:3 g in
+          Alcotest.(check (float 0.0))
+            (Fmt.str "%s %s" name (Stencil.Grid.precision_to_string prec))
+            0.0 (Stencil.Grid.max_abs_diff a b))
+        [ Stencil.Grid.F64; Stencil.Grid.F32 ])
+    [
+      ("size-1 stream dim", star ~dims:2 1, [| 1; 8 |]);
+      ("size-1 inner dim", star ~dims:2 1, [| 8; 1 |]);
+      ("radius-equal edge", star ~dims:2 2, [| 4; 9 |]);
+      ("single interior cell", box ~dims:2 1, [| 3; 3 |]);
+      ("3d pencil", star ~dims:3 1, [| 9; 1; 3 |]);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Blocked-executor differential: Bigarray kernels vs compiled plans   *)
+(* ------------------------------------------------------------------ *)
+
+let run_blocked ~mode ~impl ~prec pattern cfg dims ~steps g =
+  let em = Execmodel.make pattern cfg dims in
+  let machine = Gpu.Machine.create ~prec Gpu.Device.v100 in
+  let out, _ = Blocking.run ~mode ~impl em ~machine ~steps g in
+  (out, machine.Gpu.Machine.counters)
+
+let gen_blocked_case =
+  QCheck.Gen.(
+    let* dims_n = int_range 2 3 in
+    let* rad = int_range 1 (if dims_n = 2 then 3 else 2) in
+    let* bt = int_range 1 3 in
+    let* shape_star = bool in
+    let* divided = bool in
+    let* prec = gen_prec in
+    let* extra = int_range 1 6 in
+    let bs_edge = (2 * bt * rad) + extra in
+    let* sizes =
+      match dims_n with
+      | 2 ->
+          let* a = int_range (2 * rad) 30 in
+          let* b = int_range (2 * rad) 20 in
+          return [| a + 4; b + 4 |]
+      | _ ->
+          let* a = int_range (2 * rad) 12 in
+          let* b = int_range (2 * rad) 10 in
+          let* c = int_range (2 * rad) 10 in
+          return [| a + 4; b + 4; c + 4 |]
+    in
+    let* steps = int_range 0 6 in
+    let* divide = bool in
+    let* h = int_range 3 10 in
+    let bs = Array.make (dims_n - 1) bs_edge in
+    let base = if shape_star then star ~dims:dims_n rad else box ~dims:dims_n rad in
+    let pattern = if divided then with_div base else base in
+    return (pattern, rad, bt, bs, sizes, prec, steps, (if divide then Some h else None)))
+
+let arb_blocked_case =
+  QCheck.make
+    ~print:(fun (p, rad, bt, bs, sizes, prec, steps, hs) ->
+      Fmt.str "%s rad=%d bt=%d bs=%a sizes=%a prec=%s steps=%d hs=%a"
+        p.Stencil.Pattern.name rad bt
+        Fmt.(array ~sep:(any ",") int)
+        bs
+        Fmt.(array ~sep:(any "x") int)
+        sizes
+        (Stencil.Grid.precision_to_string prec)
+        steps
+        Fmt.(option int)
+        hs)
+    gen_blocked_case
+
+let blocked_prop mode (pattern, rad, bt, bs, sizes, prec, steps, hs) =
+  let cfg = Config.make ~hs ~bt ~bs () in
+  if not (Config.valid ~rad ~max_threads:1024 cfg) then true
+  else begin
+    let g = Stencil.Grid.init_random ~prec sizes in
+    let big, big_c =
+      run_blocked ~mode ~impl:Blocking.Bigarray ~prec pattern cfg sizes ~steps g
+    in
+    let com, com_c =
+      run_blocked ~mode ~impl:Blocking.Compiled ~prec pattern cfg sizes ~steps g
+    in
+    Stencil.Grid.max_abs_diff com big = 0.0 && Gpu.Counters.equal com_c big_c
+  end
+
+let prop_blocked_bigarray_direct =
+  QCheck.Test.make
+    ~name:"blocked direct: bigarray kernels = compiled plans (grids and counters)"
+    ~count:200 arb_blocked_case
+    (blocked_prop Blocking.Direct)
+
+let prop_blocked_bigarray_psum =
+  QCheck.Test.make
+    ~name:"blocked partial-sums: bigarray impl = compiled plans (grids and counters)"
+    ~count:200 arb_blocked_case
+    (blocked_prop Blocking.Partial_sums)
+
+(* Closure is the slowest executor; a smaller sample still ties all
+   three implementations together through one shared oracle. *)
+let prop_blocked_bigarray_vs_closure =
+  QCheck.Test.make
+    ~name:"blocked: bigarray impl = closure path" ~count:60 arb_blocked_case
+    (fun (pattern, rad, bt, bs, sizes, prec, steps, hs) ->
+      let cfg = Config.make ~hs ~bt ~bs () in
+      if not (Config.valid ~rad ~max_threads:1024 cfg) then true
+      else begin
+        let g = Stencil.Grid.init_random ~prec sizes in
+        let big, big_c =
+          run_blocked ~mode:Blocking.Direct ~impl:Blocking.Bigarray ~prec pattern
+            cfg sizes ~steps g
+        in
+        let clo, clo_c =
+          run_blocked ~mode:Blocking.Direct ~impl:Blocking.Closure ~prec pattern
+            cfg sizes ~steps g
+        in
+        Stencil.Grid.max_abs_diff clo big = 0.0 && Gpu.Counters.equal clo_c big_c
+      end)
+
+(* Fixed case with counters spelled out via Alcotest, so a failure
+   prints the exact counter field that diverged. *)
+let test_blocked_fixed () =
+  List.iter
+    (fun (name, mode, prec) ->
+      let pattern = with_div (star ~dims:2 1) in
+      let cfg = Config.make ~bt:3 ~bs:[| 16 |] () in
+      let dims = [| 30; 40 |] in
+      let g = Stencil.Grid.init_random ~prec dims in
+      let big, big_c = run_blocked ~mode ~impl:Blocking.Bigarray ~prec pattern cfg dims ~steps:7 g in
+      let com, com_c = run_blocked ~mode ~impl:Blocking.Compiled ~prec pattern cfg dims ~steps:7 g in
+      Alcotest.(check (float 0.0)) (name ^ " grid") 0.0 (Stencil.Grid.max_abs_diff com big);
+      Alcotest.check counters_t (name ^ " counters") com_c big_c)
+    [
+      ("direct f64", Blocking.Direct, Stencil.Grid.F64);
+      ("direct f32", Blocking.Direct, Stencil.Grid.F32);
+      ("psum f64", Blocking.Partial_sums, Stencil.Grid.F64);
+      ("psum f32", Blocking.Partial_sums, Stencil.Grid.F32);
+    ]
+
+(* unsafe_capable gates the fast path: Partial_sums and non-linear
+   lowerings must refuse (they fall back to the compiled plan). *)
+let test_unsafe_capable_gate () =
+  let em = Execmodel.make (star ~dims:2 1) (Config.make ~bt:2 ~bs:[| 16 |] ()) [| 20; 24 |] in
+  let plan = Plan.get em ~degree:2 ~prec:Stencil.Grid.F64 in
+  Alcotest.(check bool) "direct + linear capable" true
+    (Plan.unsafe_capable plan ~mode:Run_config.Direct);
+  Alcotest.(check bool) "partial sums refused" false
+    (Plan.unsafe_capable plan ~mode:Run_config.Partial_sums);
+  let em_sqrt = Execmodel.make sqrt_pattern (Config.make ~bt:2 ~bs:[| 16 |] ()) [| 20; 24 |] in
+  let plan_sqrt = Plan.get em_sqrt ~degree:2 ~prec:Stencil.Grid.F64 in
+  Alcotest.(check bool) "non-linear refused" false
+    (Plan.unsafe_capable plan_sqrt ~mode:Run_config.Direct)
+
+(* ------------------------------------------------------------------ *)
+(* Unsafe accessors vs checked accessors                               *)
+(* ------------------------------------------------------------------ *)
+
+let gen_dims =
+  QCheck.Gen.(
+    let* rank = int_range 1 3 in
+    let* dims = list_repeat rank (int_range 1 10) in
+    return (Array.of_list dims))
+
+let arb_grid =
+  QCheck.make
+    ~print:(fun (dims, prec, seed) ->
+      Fmt.str "%a %s seed=%d"
+        Fmt.(array ~sep:(any "x") int)
+        dims
+        (Stencil.Grid.precision_to_string prec)
+        seed)
+    QCheck.Gen.(
+      let* dims = gen_dims in
+      let* prec = gen_prec in
+      let* seed = int_range 0 1000 in
+      return (dims, prec, seed))
+
+let prop_unsafe_get_agrees =
+  QCheck.Test.make ~name:"unsafe_get_lin = get_lin on every in-bounds index"
+    ~count:200 arb_grid
+    (fun (dims, prec, seed) ->
+      let g = Stencil.Grid.init_random ~prec ~seed dims in
+      let ok = ref true in
+      for off = 0 to Stencil.Grid.size g - 1 do
+        if
+          Int64.bits_of_float (Stencil.Grid.unsafe_get_lin g off)
+          <> Int64.bits_of_float (Stencil.Grid.get_lin g off)
+        then ok := false
+      done;
+      !ok)
+
+let prop_unsafe_set_agrees =
+  QCheck.Test.make
+    ~name:"unsafe_set_lin stores the same bits as set_lin (incl. f32 quantization)"
+    ~count:200
+    (QCheck.pair arb_grid QCheck.float)
+    (fun ((dims, prec, seed), v) ->
+      QCheck.assume (Float.is_finite v);
+      let a = Stencil.Grid.init_random ~prec ~seed dims in
+      let b = Stencil.Grid.copy a in
+      let ok = ref true in
+      for off = 0 to Stencil.Grid.size a - 1 do
+        Stencil.Grid.set_lin a off (v +. float off);
+        Stencil.Grid.unsafe_set_lin b off (v +. float off);
+        if
+          Int64.bits_of_float (Stencil.Grid.get_lin a off)
+          <> Int64.bits_of_float (Stencil.Grid.get_lin b off)
+        then ok := false
+      done;
+      !ok)
+
+(* ------------------------------------------------------------------ *)
+(* Index oracle: the peeling invariant                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* The unsafe executors prove in-boundedness once per sweep: every
+   interior position plus every precomputed neighbor delta stays inside
+   [0, size). The oracle replays that proof index by index against the
+   checked [linear], so the peeling logic can never drift from the
+   multi-index arithmetic it summarizes. *)
+let gen_oracle_case =
+  QCheck.Gen.(
+    let* dims_n = int_range 2 3 in
+    let* rad = int_range 1 2 in
+    let* shape_star = bool in
+    let* dims =
+      array_repeat dims_n (int_range ((2 * rad) + 1) (if dims_n = 2 then 20 else 10))
+    in
+    return (dims, rad, shape_star))
+
+let prop_index_oracle =
+  QCheck.Test.make
+    ~name:"index oracle: interior position + delta always in range" ~count:200
+    (QCheck.make
+       ~print:(fun (dims, rad, star) ->
+         Fmt.str "%a rad=%d star=%b" Fmt.(array ~sep:(any "x") int) dims rad star)
+       gen_oracle_case)
+    (fun (dims, rad, shape_star) ->
+      let offsets =
+        if shape_star then Stencil.Shape.star_offsets ~dims:(Array.length dims) ~rad
+        else Stencil.Shape.box_offsets ~dims:(Array.length dims) ~rad
+      in
+      let g = Stencil.Grid.create dims in
+      let delta =
+        List.map
+          (fun off ->
+            (* delta of an offset = dot(strides, off); computed here the
+               slow way through two checked linearizations *)
+            let at = Array.map (fun d -> d / 2) dims in
+            let shifted = Array.mapi (fun k o -> at.(k) + o) off in
+            Stencil.Grid.linear g shifted - Stencil.Grid.linear g at)
+          offsets
+      in
+      let size = Stencil.Grid.size g in
+      let ok = ref true in
+      Poly.Box.iter
+        (fun idx ->
+          let pos = Stencil.Grid.linear g idx in
+          List.iteri
+            (fun k off ->
+              let d = List.nth delta k in
+              let neighbor = pos + d in
+              if neighbor < 0 || neighbor >= size then ok := false
+              else begin
+                (* the linear walk must agree with multi-index addressing *)
+                let shifted = Array.mapi (fun i o -> idx.(i) + o) off in
+                if Stencil.Grid.linear g shifted <> neighbor then ok := false
+              end)
+            offsets)
+        (Stencil.Grid.interior ~rad g);
+      !ok)
+
+(* The executors' cheaper once-per-sweep bound check (min/max interior
+   position against each delta) must imply the per-index property. *)
+let prop_peel_bounds_summary =
+  QCheck.Test.make
+    ~name:"index oracle: min/max-position bound check covers all interior indices"
+    ~count:200
+    (QCheck.make
+       ~print:(fun (dims, rad, star) ->
+         Fmt.str "%a rad=%d star=%b" Fmt.(array ~sep:(any "x") int) dims rad star)
+       gen_oracle_case)
+    (fun (dims, rad, shape_star) ->
+      let offsets =
+        if shape_star then Stencil.Shape.star_offsets ~dims:(Array.length dims) ~rad
+        else Stencil.Shape.box_offsets ~dims:(Array.length dims) ~rad
+      in
+      let g = Stencil.Grid.create dims in
+      let lo = Array.map (fun _ -> rad) dims in
+      let hi = Array.map (fun d -> d - rad - 1) dims in
+      let min_pos = Stencil.Grid.linear g lo and max_pos = Stencil.Grid.linear g hi in
+      let size = Stencil.Grid.size g in
+      List.for_all
+        (fun off ->
+          let at = Array.map (fun d -> d / 2) dims in
+          let shifted = Array.mapi (fun k o -> at.(k) + o) off in
+          let d = Stencil.Grid.linear g shifted - Stencil.Grid.linear g at in
+          (* exactly the executors' check ... *)
+          min_pos + d >= 0 && max_pos + d < size)
+        offsets)
+
+(* ------------------------------------------------------------------ *)
+(* f32 storage quantization                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Regression for the latent inconsistency the bigarray backend fixed:
+   an F32 grid's stored word is always a single-precision value, so a
+   get after a set returns [round_to_prec F32 v] — never the unrounded
+   double the old boxed-array storage could leak. *)
+let prop_f32_store_roundtrip =
+  QCheck.Test.make ~name:"f32 set/get round-trips through IEEE single"
+    ~count:300 QCheck.float
+    (fun v ->
+      QCheck.assume (Float.is_finite v);
+      let g = Stencil.Grid.create ~prec:Stencil.Grid.F32 [| 2; 2 |] in
+      Stencil.Grid.set g [| 1; 1 |] v;
+      let stored = Stencil.Grid.get g [| 1; 1 |] in
+      Int64.bits_of_float stored
+      = Int64.bits_of_float (Stencil.Grid.round_to_prec Stencil.Grid.F32 v)
+      && (* and the stored word is a fixed point of the rounding *)
+      Int64.bits_of_float (Stencil.Grid.round_to_prec Stencil.Grid.F32 stored)
+      = Int64.bits_of_float stored)
+
+let test_f32_store_examples () =
+  let g = Stencil.Grid.create ~prec:Stencil.Grid.F32 [| 3 |] in
+  Stencil.Grid.set g [| 0 |] 0.1;
+  Alcotest.(check (float 0.0)) "0.1 quantized"
+    (Int32.float_of_bits (Int32.bits_of_float 0.1))
+    (Stencil.Grid.get g [| 0 |]);
+  Stencil.Grid.set_lin g 1 1.5;
+  Alcotest.(check (float 0.0)) "1.5 exact in single" 1.5 (Stencil.Grid.get_lin g 1);
+  (* f64 grids never quantize *)
+  let h = Stencil.Grid.create [| 1 |] in
+  Stencil.Grid.set h [| 0 |] 0.1;
+  Alcotest.(check (float 0.0)) "f64 exact" 0.1 (Stencil.Grid.get h [| 0 |])
+
+(* ------------------------------------------------------------------ *)
+(* Golden-seed grids, both precisions                                  *)
+(* ------------------------------------------------------------------ *)
+
+let read_golden_bits path =
+  In_channel.with_open_text path In_channel.input_lines
+  |> List.filter_map (fun line ->
+         let line = String.trim line in
+         if line = "" || line.[0] = '#' then None
+         else
+           Scanf.sscanf line "%d %d %Lx" (fun i j bits -> Some ((i, j), bits)))
+
+let test_golden_f64 () =
+  let g = Stencil.Grid.init_random [| 3; 3 |] in
+  List.iter
+    (fun ((i, j), bits) ->
+      Alcotest.(check int64)
+        (Printf.sprintf "f64 (%d,%d)" i j)
+        bits
+        (Int64.bits_of_float (Stencil.Grid.get g [| i; j |])))
+    (read_golden_bits "golden/init_random_3x3_f64.bits")
+
+let test_golden_f32 () =
+  let g = Stencil.Grid.init_random ~prec:Stencil.Grid.F32 [| 3; 3 |] in
+  List.iter
+    (fun ((i, j), bits) ->
+      Alcotest.(check int32)
+        (Printf.sprintf "f32 (%d,%d)" i j)
+        (Int64.to_int32 bits)
+        (Int32.bits_of_float (Stencil.Grid.get g [| i; j |])))
+    (read_golden_bits "golden/init_random_3x3_f32.bits")
+
+(* ------------------------------------------------------------------ *)
+(* Storage-surface unit tests: blit, sub, of_bigarray, digest          *)
+(* ------------------------------------------------------------------ *)
+
+let test_blit () =
+  let src = Stencil.Grid.init_random [| 4; 5 |] in
+  let dst = Stencil.Grid.create [| 4; 5 |] in
+  Stencil.Grid.blit ~src ~dst;
+  Alcotest.(check (float 0.0)) "copied" 0.0 (Stencil.Grid.max_abs_diff src dst);
+  let odd = Stencil.Grid.create [| 5; 4 |] in
+  Alcotest.(check bool) "dim mismatch raises" true
+    (match Stencil.Grid.blit ~src ~dst:odd with
+    | () -> false
+    | exception Invalid_argument _ -> true);
+  let f32 = Stencil.Grid.create ~prec:Stencil.Grid.F32 [| 4; 5 |] in
+  Alcotest.(check bool) "precision mismatch raises" true
+    (match Stencil.Grid.blit ~src ~dst:f32 with
+    | () -> false
+    | exception Invalid_argument _ -> true)
+
+let test_sub_shares_storage () =
+  let g = Stencil.Grid.init_random [| 6; 4 |] in
+  let view = Stencil.Grid.sub g ~lo:2 ~hi:5 in
+  Alcotest.(check (array int)) "view dims" [| 3; 4 |] view.Stencil.Grid.dims;
+  Alcotest.(check (float 0.0)) "view reads parent"
+    (Stencil.Grid.get g [| 2; 1 |])
+    (Stencil.Grid.get view [| 0; 1 |]);
+  (* writes through the view land in the parent: sharing, not a copy *)
+  Stencil.Grid.set view [| 1; 2 |] 42.0;
+  Alcotest.(check (float 0.0)) "write visible in parent" 42.0
+    (Stencil.Grid.get g [| 3; 2 |]);
+  Alcotest.(check bool) "empty range raises" true
+    (match Stencil.Grid.sub g ~lo:3 ~hi:3 with
+    | _ -> false
+    | exception Invalid_argument _ -> true);
+  Alcotest.(check bool) "out of range raises" true
+    (match Stencil.Grid.sub g ~lo:0 ~hi:7 with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_of_bigarray () =
+  let ba = Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout 12 in
+  Bigarray.Array1.fill ba 3.25;
+  let g = Stencil.Grid.of_bigarray ~dims:[| 3; 4 |] (Stencil.Grid.B64 ba) in
+  Alcotest.(check (float 0.0)) "wraps values" 3.25 (Stencil.Grid.get g [| 2; 3 |]);
+  Alcotest.(check bool) "f64 precision from buffer" true
+    (g.Stencil.Grid.prec = Stencil.Grid.F64);
+  (* shares storage with the donor buffer *)
+  Bigarray.Array1.set ba 0 9.0;
+  Alcotest.(check (float 0.0)) "donor write visible" 9.0 (Stencil.Grid.get g [| 0; 0 |]);
+  let f32ba = Bigarray.Array1.create Bigarray.float32 Bigarray.c_layout 4 in
+  let g32 = Stencil.Grid.of_bigarray ~dims:[| 2; 2 |] (Stencil.Grid.B32 f32ba) in
+  Alcotest.(check bool) "f32 precision from buffer" true
+    (g32.Stencil.Grid.prec = Stencil.Grid.F32);
+  Alcotest.(check bool) "length mismatch raises" true
+    (match Stencil.Grid.of_bigarray ~dims:[| 5 |] (Stencil.Grid.B64 ba) with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_digest_precision_correct () =
+  let f64 = Stencil.Grid.init_random [| 4; 4 |] in
+  let f32 = Stencil.Grid.init_random ~prec:Stencil.Grid.F32 [| 4; 4 |] in
+  Alcotest.(check bool) "precisions never collide" true
+    (Stencil.Grid.digest f64 <> Stencil.Grid.digest f32);
+  Alcotest.(check string) "stable" (Stencil.Grid.digest f64)
+    (Stencil.Grid.digest (Stencil.Grid.copy f64));
+  let tweaked = Stencil.Grid.copy f64 in
+  Stencil.Grid.set tweaked [| 2; 2 |] 0.75;
+  Alcotest.(check bool) "value-sensitive" true
+    (Stencil.Grid.digest f64 <> Stencil.Grid.digest tweaked);
+  (* an f32 digest covers the quantized words: two doubles that quantize
+     to the same single must digest identically *)
+  let a = Stencil.Grid.create ~prec:Stencil.Grid.F32 [| 2 |] in
+  let b = Stencil.Grid.create ~prec:Stencil.Grid.F32 [| 2 |] in
+  Stencil.Grid.set a [| 0 |] 0.1;
+  Stencil.Grid.set b [| 0 |] (Stencil.Grid.round_to_prec Stencil.Grid.F32 0.1);
+  Alcotest.(check string) "quantized words digest" (Stencil.Grid.digest a)
+    (Stencil.Grid.digest b)
+
+let () =
+  Alcotest.run "storage"
+    [
+      ( "reference differential",
+        [
+          QCheck_alcotest.to_alcotest prop_ref_bigarray_equals_compiled;
+          QCheck_alcotest.to_alcotest prop_ref_bigarray_equals_closure;
+          Alcotest.test_case "non-linear fallback" `Quick test_ref_bigarray_fallback;
+          Alcotest.test_case "degenerate shapes" `Quick test_ref_degenerate_shapes;
+        ] );
+      ( "blocked differential",
+        [
+          QCheck_alcotest.to_alcotest prop_blocked_bigarray_direct;
+          QCheck_alcotest.to_alcotest prop_blocked_bigarray_psum;
+          QCheck_alcotest.to_alcotest prop_blocked_bigarray_vs_closure;
+          Alcotest.test_case "fixed cases with counters" `Quick test_blocked_fixed;
+          Alcotest.test_case "unsafe_capable gate" `Quick test_unsafe_capable_gate;
+        ] );
+      ( "unsafe accessors",
+        [
+          QCheck_alcotest.to_alcotest prop_unsafe_get_agrees;
+          QCheck_alcotest.to_alcotest prop_unsafe_set_agrees;
+        ] );
+      ( "index oracle",
+        [
+          QCheck_alcotest.to_alcotest prop_index_oracle;
+          QCheck_alcotest.to_alcotest prop_peel_bounds_summary;
+        ] );
+      ( "f32 storage",
+        [
+          QCheck_alcotest.to_alcotest prop_f32_store_roundtrip;
+          Alcotest.test_case "quantization examples" `Quick test_f32_store_examples;
+        ] );
+      ( "golden seeds",
+        [
+          Alcotest.test_case "f64 3x3 seed 42" `Quick test_golden_f64;
+          Alcotest.test_case "f32 3x3 seed 42" `Quick test_golden_f32;
+        ] );
+      ( "storage surface",
+        [
+          Alcotest.test_case "blit" `Quick test_blit;
+          Alcotest.test_case "sub shares storage" `Quick test_sub_shares_storage;
+          Alcotest.test_case "of_bigarray" `Quick test_of_bigarray;
+          Alcotest.test_case "digest precision-correct" `Quick test_digest_precision_correct;
+        ] );
+    ]
