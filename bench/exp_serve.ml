@@ -173,6 +173,7 @@ let run () =
           r.name (r.cold /. r.warm))
     results;
   let json = json_of_results ~lanes ~batch results in
-  Out_channel.with_open_bin "BENCH_serve.json" (fun oc ->
-      Out_channel.output_string oc json);
-  print_endline "\nWrote BENCH_serve.json"
+  let written =
+    Output.write_bench_json ~quick:!Exp_common.quick "BENCH_serve.json" json
+  in
+  Printf.printf "\nWrote %s\n" written

@@ -25,12 +25,13 @@ let experiments =
     ("scaling", Exp_scaling.run, "multicore block-parallel executor scaling");
     ("throughput", Exp_throughput.run, "closure vs compiled vs bigarray kernels, cells/s");
     ("serve", Exp_serve.run, "batch serving layer: cold vs warm vs coalesced");
+    ("shard", Exp_shard.run, "halo-exchange sharding: cadence and pool throughput");
     ("micro", Micro.run, "bechamel micro-benchmarks");
   ]
 
 (* The [--quick] smoke subset: experiments fast enough for CI once
    [Exp_common.quick] shrinks their grids. *)
-let smoke = [ "throughput"; "serve" ]
+let smoke = [ "throughput"; "serve"; "shard" ]
 
 let usage () =
   print_endline "usage: main.exe [--csv DIR] [--quick] [run flags] [experiment...]";

@@ -36,6 +36,43 @@ let section title =
   tables_in_section := 0;
   Printf.printf "\n=== %s ===\n\n" title
 
+(* ------------------------------------------------------------------ *)
+(* Guarded BENCH_*.json writer                                         *)
+(* ------------------------------------------------------------------ *)
+
+let contains_substring hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+(* The committed BENCH_*.json files are full-mode runs; CI smokes the
+   experiments with --quick on tiny grids. A quick run must never
+   clobber full-mode numbers: when the target already holds a
+   ["quick": false] result, a quick write is redirected to
+   NAME.quick.json instead (CI uploads both via the BENCH_*.json
+   artifact glob). Returns the path actually written. *)
+let write_bench_json ~quick path json =
+  let holds_full_run =
+    Sys.file_exists path
+    && contains_substring
+         (In_channel.with_open_bin path In_channel.input_all)
+         "\"quick\": false"
+  in
+  let target =
+    if quick && holds_full_run then begin
+      let redirected =
+        Filename.remove_extension path ^ ".quick" ^ Filename.extension path
+      in
+      Printf.printf
+        "NOTE: %s holds full-mode results; quick output redirected to %s\n" path
+        redirected;
+      redirected
+    end
+    else path
+  in
+  Out_channel.with_open_bin target (fun oc -> Out_channel.output_string oc json);
+  target
+
 let gflops f = if f <= 0.0 then "-" else Printf.sprintf "%.0f" f
 
 let fixed1 f = Printf.sprintf "%.1f" f

@@ -91,6 +91,12 @@ let run_config_term =
       & opt int Run_config.default.Run_config.domains
       & info [ "domains" ] ~docv:"D" ~doc:Run_args.domains_doc)
   in
+  let shards =
+    Arg.(
+      value
+      & opt int Run_config.default.Run_config.shards
+      & info [ "shards" ] ~docv:"N" ~doc:Run_args.shards_doc)
+  in
   let trace =
     Arg.(
       value
@@ -99,10 +105,11 @@ let run_config_term =
   in
   let metrics = Arg.(value & flag & info [ "metrics" ] ~doc:Run_args.metrics_doc) in
   let no_verify = Arg.(value & flag & info [ "no-verify" ] ~doc:Run_args.verify_doc) in
-  let build mode impl domains trace metrics no_verify =
-    Run_config.make ~mode ~impl ~domains ~verify:(not no_verify) ~trace ~metrics ()
+  let build mode impl domains shards trace metrics no_verify =
+    Run_config.make ~mode ~impl ~domains ~shards ~verify:(not no_verify) ~trace
+      ~metrics ()
   in
-  Term.(const build $ mode $ impl $ domains $ trace $ metrics $ no_verify)
+  Term.(const build $ mode $ impl $ domains $ shards $ trace $ metrics $ no_verify)
 
 let setup_logs verbose =
   Logs.set_reporter (Logs.format_reporter ());

@@ -427,6 +427,93 @@ let kernel_call ?(mode = Direct) ?(impl = Compiled) ?pool (em : Execmodel.t)
     (fun () -> Gpu.Machine.launch ?pool machine ~n_blocks ~n_thr:plan.Plan.n_thr block)
 
 (* ------------------------------------------------------------------ *)
+(* Sharded halo-exchange run                                           *)
+(* ------------------------------------------------------------------ *)
+
+(** Communication-avoiding sharded execution (docs/SHARDING.md):
+    decompose the grid along the streaming dimension into [cfg.shards]
+    subgrids with ghost zones of width [bt * rad], advance every shard
+    one temporal chunk per round through the ordinary {!kernel_call} —
+    each shard on its own {!Gpu.Pool} lane — and refresh the ghosts
+    between rounds with zero-copy sub-view blits ({!Shard.run}). One
+    exchange buys a whole chunk: a degree-[b] call invalidates at most
+    [b * rad <= bt * rad] planes inward from a subgrid edge, so every
+    owned plane stays bit-correct until the next refresh.
+
+    Result grids are bit-identical to the resident path in both modes
+    and all implementations (differentially fuzzed in
+    test/test_shard.ml). Counters are the merge of the per-shard
+    machines: for [shards = 1] they equal the resident run's exactly;
+    for [shards > 1] they are deterministic and impl-invariant but
+    include the redundant ghost-zone compute the decomposition trades
+    for fewer synchronizations. [stats] reports the per-chunk stream
+    blocks summed over shards and [kernel_calls = chunks * shards]. *)
+let run_sharded ?pool (cfg : Run_config.t) (em : Execmodel.t)
+    ~(machine : Gpu.Machine.t) ~steps (g : Stencil.Grid.t) =
+  if g.Stencil.Grid.dims <> em.Execmodel.dims then
+    invalid_arg "Blocking.run: grid dims do not match execution model";
+  let shards = cfg.Run_config.shards in
+  let rad = em.Execmodel.pattern.Stencil.Pattern.radius in
+  let bt = em.Execmodel.config.Config.bt in
+  let decomp = Shard.make ~shards ~halo:(bt * rad) ~l:em.Execmodel.dims.(0) in
+  let chunks = Execmodel.time_chunks ~bt ~it:steps in
+  let mode = cfg.Run_config.mode and impl = cfg.Run_config.impl in
+  (* Per-shard execution models over the extended subranges; extents of
+     equal length share compiled plans through the process-wide memo
+     cache. *)
+  let ems =
+    Array.init shards (fun k ->
+        let lo, hi = Shard.extent decomp k in
+        let sdims = Array.copy em.Execmodel.dims in
+        sdims.(0) <- hi - lo;
+        Execmodel.make em.Execmodel.pattern em.Execmodel.config sdims)
+  in
+  (* Per-shard machines (same device and precision, private counters):
+     lanes never share mutable counter state; merged below, the same
+     discipline as {!Gpu.Machine.launch}. *)
+  let machines =
+    Array.init shards (fun _ ->
+        Gpu.Machine.create ~prec:machine.Gpu.Machine.prec
+          machine.Gpu.Machine.device)
+  in
+  let advance ~shard ~degree ~src ~dst =
+    kernel_call ~mode ~impl ems.(shard) ~machine:machines.(shard) ~degree ~src
+      ~dst
+  in
+  let execute pool = Shard.run ?pool decomp ~chunks ~grid:g ~advance in
+  let result =
+    Obs.Trace.with_span "execute"
+      ~attrs:
+        [ ("pattern", Obs.Trace.Str em.Execmodel.pattern.Stencil.Pattern.name);
+          ("steps", Obs.Trace.Int steps);
+          ("bt", Obs.Trace.Int bt);
+          ("shards", Obs.Trace.Int shards) ]
+      (fun () ->
+        match pool with
+        | Some _ -> execute pool
+        | None -> Gpu.Pool.with_pool ~domains:cfg.Run_config.domains execute)
+  in
+  Array.iter
+    (fun (m : Gpu.Machine.t) ->
+      Gpu.Counters.add_into m.Gpu.Machine.counters
+        ~into:machine.Gpu.Machine.counters)
+    machines;
+  Obs.Metrics.add m_chunks_executed (List.length chunks);
+  let prec = g.Stencil.Grid.prec in
+  let stats =
+    {
+      n_tb = Execmodel.n_tb em;
+      n_stream_blocks =
+        Array.fold_left (fun acc sem -> acc + Execmodel.n_stream_blocks sem) 0 ems;
+      n_thr = Config.n_thr em.Execmodel.config;
+      smem_bytes = Execmodel.smem_bytes em ~prec;
+      regs_per_thread = Registers.an5d_required ~prec ~bt ~rad;
+      kernel_calls = List.length chunks * shards;
+    }
+  in
+  (result, stats)
+
+(* ------------------------------------------------------------------ *)
 (* Full temporal-blocking run                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -445,6 +532,8 @@ let kernel_call ?(mode = Direct) ?(impl = Compiled) ?pool (em : Execmodel.t)
     both implementations. *)
 let run_cfg ?pool (cfg : Run_config.t) (em : Execmodel.t)
     ~(machine : Gpu.Machine.t) ~steps (g : Stencil.Grid.t) =
+  if cfg.Run_config.shards <> 1 then run_sharded ?pool cfg em ~machine ~steps g
+  else begin
   if g.Stencil.Grid.dims <> em.Execmodel.dims then
     invalid_arg "Blocking.run: grid dims do not match execution model";
   let mode = cfg.Run_config.mode and impl = cfg.Run_config.impl in
@@ -486,6 +575,7 @@ let run_cfg ?pool (cfg : Run_config.t) (em : Execmodel.t)
     }
   in
   (!cur, stats)
+  end
 
 (* Deprecated optional-argument wrapper; equivalent to [run_cfg] with
    the same fields (proven by test/test_serve.ml). *)

@@ -98,15 +98,46 @@ val run_cfg :
 (** Advance [steps] time-steps, chunked per §4.3's host logic; both
     internal buffers start as copies of the input (the double-buffered
     host initialization of the C pattern). All chunks of the run share
-    one memoized plan. The config's [mode], [impl] and [domains] fields
-    drive the executor ([verify]/[trace]/[metrics] are the caller's
-    concern). [domains > 1] runs the thread blocks of every kernel call
-    in parallel on a pool reused across the calls (default:
-    sequential); an explicit [pool] is reused instead and takes
-    precedence. Parallel runs are bit-identical to sequential ones —
-    same grids, same counters — in both execution modes and both
-    implementations.
+    one memoized plan. The config's [mode], [impl], [domains] and
+    [shards] fields drive the executor ([verify]/[trace]/[metrics] are
+    the caller's concern). [domains > 1] runs the thread blocks of
+    every kernel call in parallel on a pool reused across the calls
+    (default: sequential); an explicit [pool] is reused instead and
+    takes precedence. Parallel runs are bit-identical to sequential
+    ones — same grids, same counters — in both execution modes and
+    both implementations. [shards <> 1] dispatches to {!run_sharded}.
     @raise Invalid_argument when the grid does not match the model. *)
+
+val run_sharded :
+  ?pool:Gpu.Pool.t ->
+  Run_config.t ->
+  Execmodel.t ->
+  machine:Gpu.Machine.t ->
+  steps:int ->
+  Stencil.Grid.t ->
+  Stencil.Grid.t * launch_stats
+(** The communication-avoiding sharded schedule (docs/SHARDING.md):
+    the grid is decomposed along the streaming dimension into
+    [cfg.shards] subgrids with ghost zones of width [bt * rad]; every
+    temporal chunk, all shards advance one {!kernel_call} on their own
+    private buffer — fanned over the pool, one shard per lane — and
+    ghost planes are refreshed between chunks by zero-copy
+    {!Stencil.Grid.sub}/[blit] exchange ({!Shard.run}), so halo
+    traffic scales as [steps / bt], not [steps].
+
+    Result grids are bit-identical to {!run_cfg}'s resident path in
+    both modes and all implementations. Counters merge the per-shard
+    machines: with [shards = 1] they equal the resident run's
+    field-for-field (the schedule degenerates to it exactly — the
+    differential fuzz in test/test_shard.ml pins both claims); with
+    [shards > 1] they additionally count the redundant ghost-zone
+    compute traded for fewer synchronizations, deterministically and
+    impl-invariantly. [stats] sums per-chunk stream blocks over shards
+    and reports [kernel_calls = chunks * shards]. Normally reached via
+    {!run_cfg}'s dispatch; exposed so tests and benches can force the
+    shard machinery at [shards = 1].
+    @raise Invalid_argument when the grid does not match the model, or
+    when [cfg.shards < 1] or exceeds the streaming-dimension size. *)
 
 val run :
   ?mode:exec_mode ->

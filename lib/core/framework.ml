@@ -120,7 +120,8 @@ let simulate_cfg ?(cfg = Run_config.default) ~device ~steps job grid =
     ~attrs:
       [ ("pattern", Obs.Trace.Str (pattern job).Stencil.Pattern.name);
         ("device", Obs.Trace.Str device.Gpu.Device.name);
-        ("steps", Obs.Trace.Int steps) ]
+        ("steps", Obs.Trace.Int steps);
+        ("shards", Obs.Trace.Int cfg.Run_config.shards) ]
   @@ fun () ->
   let machine = Gpu.Machine.create ~prec:job.prec device in
   let em = execmodel job in

@@ -362,7 +362,16 @@ let execute_block (plan : t) ~degree:b ~(src : Stencil.Grid.t)
   let s0, s1 = Execmodel.stream_range plan.em st.sb in
   let plane_ptr = Array.make p reg_file.(0).(0) in
   let is_f32 = plan.prec = Stencil.Grid.F32 in
-  let q32 = Bigarray.Array1.create Bigarray.float32 Bigarray.c_layout 1 in
+  (* Whole-plane f32 quantization scratch: interior values land here
+     first and are read back after the thread loop. Batching keeps the
+     hardware double->single->double round-trip (bit-identical to
+     [Grid.round_to_prec F32]) off the per-cell dependency chain, where
+     the immediate store->load reload stalled the 2D stencils whose
+     per-cell flop count is too small to hide it. *)
+  let q32 =
+    Bigarray.Array1.create Bigarray.float32 Bigarray.c_layout
+      (if is_f32 then n_thr else 1)
+  in
   (* Plane load/store, monomorphic per precision: [0 <= base t < stride0]
      for in-grid threads (validated above) and [0 <= i < l] at every call
      site, so [base t + i*stride0] is in [0, size). *)
@@ -462,17 +471,16 @@ let execute_block (plan : t) ~degree:b ~(src : Stencil.Grid.t)
               else v
           done;
           let value = if has_div then !acc /. div else !acc in
-          let value =
-            if is_f32 then begin
-              Bigarray.Array1.unsafe_set q32 0 value;
-              Bigarray.Array1.unsafe_get q32 0
-            end
-            else value
-          in
-          Array.unsafe_set dst_plane t value
+          if is_f32 then Bigarray.Array1.unsafe_set q32 t value
+          else Array.unsafe_set dst_plane t value
         end
         else Array.unsafe_set dst_plane t (Array.unsafe_get src_center t)
       done;
+      if is_f32 then
+        for t = 0 to n_thr - 1 do
+          if Array.unsafe_get inplane_interior t then
+            Array.unsafe_set dst_plane t (Bigarray.Array1.unsafe_get q32 t)
+        done;
       Gpu.Counters.add_ops_n counters ops st.n_interior;
       Gpu.Counters.add_cells_updated counters st.n_interior
     end

@@ -4,6 +4,12 @@ let domains_doc =
   "Worker domains for the block-parallel simulator executor (1 = sequential; \
    parallel runs are bit-identical to sequential ones)."
 
+let shards_doc =
+  "Halo-exchange domain decomposition: split the grid into N subgrids along \
+   the streaming dimension with bt*radius-wide ghost zones, exchanged once \
+   per temporal chunk (1 = resident single-owner execution; sharded results \
+   are bit-identical, see docs/SHARDING.md)."
+
 let impl_doc = "Executor implementation: compiled (default), closure, or bigarray (unsafe-indexed fast path)."
 
 let mode_doc = "CALC evaluation mode: direct (default) or partial-sums."
@@ -23,6 +29,7 @@ let usage =
   String.concat "\n"
     [
       "  --domains N     " ^ domains_doc;
+      "  --shards N      " ^ shards_doc;
       "  --impl IMPL     " ^ impl_doc;
       "  --mode MODE     " ^ mode_doc;
       "  --trace FILE    " ^ trace_doc;
@@ -37,6 +44,10 @@ let parse ?(init = Run_config.default) args =
         match int_of_string_opt v with
         | Some d when d >= 1 -> go (Run_config.with_domains d cfg) rest tl
         | _ -> Error (Fmt.str "--domains expects a positive integer, got %s" v))
+    | "--shards" :: v :: tl -> (
+        match int_of_string_opt v with
+        | Some s when s >= 1 -> go (Run_config.with_shards s cfg) rest tl
+        | _ -> Error (Fmt.str "--shards expects a positive integer, got %s" v))
     | "--impl" :: v :: tl -> (
         match Run_config.impl_of_string v with
         | Ok i -> go (Run_config.with_impl i cfg) rest tl
@@ -49,7 +60,9 @@ let parse ?(init = Run_config.default) args =
     | "--metrics" :: tl -> go (Run_config.with_metrics true cfg) rest tl
     | "--no-verify" :: tl -> go (Run_config.with_verify false cfg) rest tl
     | "--verify" :: tl -> go (Run_config.with_verify true cfg) rest tl
-    | [ flag ] when List.mem flag [ "--domains"; "--impl"; "--mode"; "--trace" ] ->
+    | [ flag ]
+      when List.mem flag [ "--domains"; "--shards"; "--impl"; "--mode"; "--trace" ]
+      ->
         Error (Fmt.str "%s expects an argument" flag)
     | a :: tl -> go cfg (a :: rest) tl
   in

@@ -1,15 +1,17 @@
 (** Shared command-line handling for the cross-cutting run flags
-    ([--domains], [--impl], [--mode], [--trace], [--metrics],
-    [--no-verify]) — one parser producing a {!Run_config.t}, used by
-    both [bin/an5d] (behind its cmdliner terms) and [bench/main]
-    (directly on its argv list), so the two front ends cannot drift. *)
+    ([--domains], [--shards], [--impl], [--mode], [--trace],
+    [--metrics], [--no-verify]) — one parser producing a
+    {!Run_config.t}, used by both [bin/an5d] (behind its cmdliner
+    terms) and [bench/main] (directly on its argv list), so the two
+    front ends cannot drift. *)
 
 val parse :
   ?init:Run_config.t -> string list -> (Run_config.t * string list, string) result
 (** [parse args] folds the recognized flags into [init] (default
     {!Run_config.default}) and returns the remaining arguments in
     order. Recognized:
-    [--domains N] (positive), [--impl compiled|closure|bigarray],
+    [--domains N] (positive), [--shards N] (positive),
+    [--impl compiled|closure|bigarray],
     [--mode direct|partial-sums], [--trace FILE], [--metrics],
     [--no-verify], [--verify]. Returns [Error] on a malformed value or
     a flag missing its argument. *)
@@ -21,6 +23,8 @@ val usage : string
     terms of [bin/an5d] so the manpages match [bench/main --help]. *)
 
 val domains_doc : string
+
+val shards_doc : string
 
 val impl_doc : string
 

@@ -8,25 +8,29 @@ type t = {
   mode : exec_mode;
   impl : impl;
   domains : int;
+  shards : int;
   verify : bool;
   trace : string option;
   metrics : bool;
 }
 
 let default =
-  { mode = Direct; impl = Compiled; domains = 1; verify = true; trace = None;
-    metrics = false }
+  { mode = Direct; impl = Compiled; domains = 1; shards = 1; verify = true;
+    trace = None; metrics = false }
 
 let make ?(mode = default.mode) ?(impl = default.impl)
-    ?(domains = default.domains) ?(verify = default.verify)
-    ?(trace = default.trace) ?(metrics = default.metrics) () =
-  { mode; impl; domains; verify; trace; metrics }
+    ?(domains = default.domains) ?(shards = default.shards)
+    ?(verify = default.verify) ?(trace = default.trace)
+    ?(metrics = default.metrics) () =
+  { mode; impl; domains; shards; verify; trace; metrics }
 
 let with_mode mode t = { t with mode }
 
 let with_impl impl t = { t with impl }
 
 let with_domains domains t = { t with domains }
+
+let with_shards shards t = { t with shards }
 
 let with_verify verify t = { t with verify }
 
@@ -53,10 +57,13 @@ let impl_of_string = function
   | s -> Error (Fmt.str "unknown impl %s (expected compiled, closure or bigarray)" s)
 
 (* The semantic fields first, so [cache_key] is a prefix-style subset
-   of [to_sexp] and both stay in sync by construction. *)
+   of [to_sexp] and both stay in sync by construction. [shards] is
+   semantic — unlike [domains] — because a sharded outcome carries the
+   per-shard launch statistics and merged counters, which differ from
+   the resident run's even though the grids are bit-identical. *)
 let semantic_sexp t =
-  Fmt.str "(mode %s) (impl %s) (verify %b)" (mode_to_string t.mode)
-    (impl_to_string t.impl) t.verify
+  Fmt.str "(mode %s) (impl %s) (shards %d) (verify %b)" (mode_to_string t.mode)
+    (impl_to_string t.impl) t.shards t.verify
 
 let to_sexp t =
   Fmt.str "(run-config %s (domains %d) (trace %s) (metrics %b))"

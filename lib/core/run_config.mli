@@ -34,6 +34,12 @@ type t = {
   mode : exec_mode;
   impl : impl;
   domains : int;  (** worker domains for block-parallel execution; 1 = sequential *)
+  shards : int;
+      (** halo-exchange domain decomposition along the streaming
+          dimension: [shards > 1] splits the grid into that many
+          subgrids with ghost zones of width [bt * radius] and runs
+          them through the communication-avoiding {!Shard} executor
+          (see docs/SHARDING.md); 1 = resident single-owner execution *)
   verify : bool;  (** compare the result against the CPU reference *)
   trace : string option;
       (** span-trace sink: write Chrome trace_event JSON here (see
@@ -42,14 +48,15 @@ type t = {
 }
 
 val default : t
-(** [Direct], [Compiled], 1 domain, verification on, no trace sink, no
-    metrics — exactly the historical defaults of the wrapped optional
-    arguments. *)
+(** [Direct], [Compiled], 1 domain, 1 shard, verification on, no trace
+    sink, no metrics — exactly the historical defaults of the wrapped
+    optional arguments. *)
 
 val make :
   ?mode:exec_mode ->
   ?impl:impl ->
   ?domains:int ->
+  ?shards:int ->
   ?verify:bool ->
   ?trace:string option ->
   ?metrics:bool ->
@@ -65,6 +72,8 @@ val with_mode : exec_mode -> t -> t
 val with_impl : impl -> t -> t
 
 val with_domains : int -> t -> t
+
+val with_shards : int -> t -> t
 
 val with_verify : bool -> t -> t
 
@@ -84,16 +93,20 @@ val impl_of_string : string -> (impl, string) result
 
 val to_sexp : t -> string
 (** Full stable rendering, e.g.
-    [(run-config (mode direct) (impl compiled) (domains 1) (verify true)
-      (trace ()) (metrics false))]. *)
+    [(run-config (mode direct) (impl compiled) (shards 1) (verify true)
+      (domains 1) (trace ()) (metrics false))]. *)
 
 val cache_key : t -> string
 (** The semantic part of {!to_sexp}: only the fields that can change a
-    served result — [mode], [impl] and [verify]. [domains] is excluded
-    because parallel runs are proven bit-identical to sequential ones,
-    and [trace]/[metrics] because observability never alters results.
-    Two configs with equal [cache_key] produce bit-identical outcomes
-    for the same job, device, steps and input grid. *)
+    served result — [mode], [impl], [shards] and [verify]. [domains]
+    is excluded because parallel runs are proven bit-identical to
+    sequential ones — grids {e and} counters; [shards] is included
+    because a sharded outcome's launch statistics and merged counters
+    legitimately differ from the resident run's (the result grids stay
+    bit-identical); [trace]/[metrics] are excluded because
+    observability never alters results. Two configs with equal
+    [cache_key] produce bit-identical outcomes for the same job,
+    device, steps and input grid. *)
 
 val equal : t -> t -> bool
 

@@ -244,6 +244,10 @@ let apply_opt o (k, v) =
   | "impl" ->
       let* i = Run_config.impl_of_string v in
       Ok { o with run = Run_config.with_impl i o.run }
+  | "shards" ->
+      let* n = parse_int k v in
+      if n >= 1 then Ok { o with run = Run_config.with_shards n o.run }
+      else Error (Fmt.str "shards expects a positive integer, got %s" v)
   | "verify" ->
       let* b = parse_bool k v in
       Ok { o with run = Run_config.with_verify b o.run }

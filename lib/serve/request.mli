@@ -116,7 +116,7 @@ val of_line : string -> (t, string) result
     and the options are [bt=4] [bs=32x16] [hs=256] [reg-limit=64]
     [dims=512x512] [prec=float|double] [device=v100|p100] [steps=100]
     [seed=1] [k=5] [mode=direct|partial-sums] [impl=compiled|closure|bigarray]
-    [verify=true|false] [id=NAME] [deadline=SECONDS].
+    [shards=N] [verify=true|false] [id=NAME] [deadline=SECONDS].
     Blank lines and [#] comments are the caller's concern. *)
 
 val pp : Format.formatter -> t -> unit

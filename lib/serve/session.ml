@@ -129,7 +129,10 @@ let job_for t (spec : Request.spec) =
         ~config:spec.Request.config spec.Request.source)
 
 (* Requests execute sequentially within their pool lane: the lane IS
-   the parallelism, so nested [domains] are forced to 1. *)
+   the parallelism, so nested [domains] are forced to 1. [shards]
+   passes through untouched — a sharded request keeps its decomposition
+   (the cache key includes it) but its shards advance sequentially
+   inside the lane, which is bit-identical by the shard differential. *)
 let lane_run run = Run_config.with_domains 1 run
 
 let do_compile t spec =

@@ -1,0 +1,175 @@
+(* Halo-exchange domain decomposition and the round/exchange schedule.
+   See shard.mli for the contract and docs/SHARDING.md for the cone
+   argument that makes the exchange cadence correct. *)
+
+type range = { lo : int; hi : int }
+
+(* One ghost-refresh blit: global planes [glo, ghi) are pulled into a
+   shard's buffer from the buffer of [owner], which owns them. *)
+type piece = { owner : int; glo : int; ghi : int }
+
+type t = {
+  n : int;
+  l : int;
+  halo_w : int;
+  owned_r : range array;  (** disjoint cover of [0, l) *)
+  ext_r : range array;  (** owned plus ghost zones, clamped to [0, l) *)
+  pulls : piece array array;  (** per shard, split at owner boundaries *)
+}
+
+let shards t = t.n
+
+let halo t = t.halo_w
+
+let owned t k =
+  let r = t.owned_r.(k) in
+  (r.lo, r.hi)
+
+let extent t k =
+  let r = t.ext_r.(k) in
+  (r.lo, r.hi)
+
+let make ~shards:n ~halo:h ~l =
+  if n < 1 then invalid_arg "Shard.make: shards must be >= 1";
+  if h < 0 then invalid_arg "Shard.make: negative halo width";
+  if n > l then
+    invalid_arg
+      (Fmt.str "Shard.make: %d shards over %d planes (every shard must own a plane)"
+         n l);
+  let owned_r =
+    Array.init n (fun k -> { lo = k * l / n; hi = (k + 1) * l / n })
+  in
+  let ext_r =
+    Array.init n (fun k ->
+        { lo = max 0 (owned_r.(k).lo - h); hi = min l (owned_r.(k).hi + h) })
+  in
+  (* Owner of a global plane. Setup-time only, so a scan is fine. *)
+  let owner_of p =
+    let rec go k = if p < owned_r.(k).hi then k else go (k + 1) in
+    go 0
+  in
+  (* A ghost range may span several owners when shards are narrower
+     than the halo; split it so every piece blits from one buffer. *)
+  let pulls_for k =
+    let split (a, b) =
+      let rec go acc glo =
+        if glo >= b then List.rev acc
+        else
+          let o = owner_of glo in
+          let stop = min b owned_r.(o).hi in
+          go ({ owner = o; glo; ghi = stop } :: acc) stop
+      in
+      go [] a
+    in
+    Array.of_list
+      (List.concat_map split
+         [ (ext_r.(k).lo, owned_r.(k).lo); (owned_r.(k).hi, ext_r.(k).hi) ])
+  in
+  { n; l; halo_w = h; owned_r; ext_r; pulls = Array.init n pulls_for }
+
+(* ------------------------------------------------------------------ *)
+(* Observability                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let m_halo_exchanges = Obs.Metrics.counter "halo_exchanges"
+
+let m_halo_words = Obs.Metrics.counter "halo_words_exchanged"
+
+let m_shard_steps = Obs.Metrics.counter "shard_steps"
+
+let m_grid_allocs = Obs.Metrics.counter "shard_grid_allocations"
+
+(* Every full grid buffer this module allocates goes through one of
+   these — the counter is the no-allocation-on-the-hot-path witness
+   (2 * shards + 1 per run, independent of the chunk count). *)
+let counted_copy g =
+  Obs.Metrics.incr m_grid_allocs;
+  Stencil.Grid.copy g
+
+let counted_create ~prec dims =
+  Obs.Metrics.incr m_grid_allocs;
+  Stencil.Grid.create ~prec dims
+
+(* ------------------------------------------------------------------ *)
+(* The sharded schedule                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Zero-copy view of global planes [glo, ghi) inside shard [k]'s
+   private buffer. *)
+let view t k buf ~glo ~ghi =
+  let base = t.ext_r.(k).lo in
+  Stencil.Grid.sub buf ~lo:(glo - base) ~hi:(ghi - base)
+
+(* Refresh every ghost zone from its owners' buffers. Sources are
+   owned planes and destinations ghost planes, so no piece ever reads
+   a region another piece writes — the order is free. *)
+let exchange t cur ~plane_words =
+  Obs.Metrics.incr m_halo_exchanges;
+  Obs.Trace.with_span "halo_exchange" (fun () ->
+      let words = ref 0 in
+      Array.iteri
+        (fun k pieces ->
+          Array.iter
+            (fun p ->
+              Stencil.Grid.blit
+                ~src:(view t p.owner cur.(p.owner) ~glo:p.glo ~ghi:p.ghi)
+                ~dst:(view t k cur.(k) ~glo:p.glo ~ghi:p.ghi);
+              words := !words + ((p.ghi - p.glo) * plane_words))
+            pieces)
+        t.pulls;
+      Obs.Trace.add_attrs [ ("words", Obs.Trace.Int !words) ];
+      Obs.Metrics.add m_halo_words !words)
+
+let run ?pool t ~chunks ~grid ~advance =
+  if grid.Stencil.Grid.dims.(0) <> t.l then
+    invalid_arg "Shard.run: grid does not match the decomposition";
+  let prec = grid.Stencil.Grid.prec in
+  let plane_words = Stencil.Grid.size grid / t.l in
+  Obs.Trace.with_span "shard_execute"
+    ~attrs:
+      [ ("shards", Obs.Trace.Int t.n);
+        ("halo", Obs.Trace.Int t.halo_w);
+        ("chunks", Obs.Trace.Int (List.length chunks)) ]
+  @@ fun () ->
+  (* Per-shard double buffers over the extended (owned + ghost) range,
+     both starting as copies of the input — the same double-buffered
+     host initialization as the resident path, per shard. *)
+  let cur =
+    Array.init t.n (fun k ->
+        let lo, hi = extent t k in
+        counted_copy (Stencil.Grid.sub grid ~lo ~hi))
+  in
+  let nxt = Array.init t.n (fun k -> counted_copy cur.(k)) in
+  List.iter
+    (fun degree ->
+      (* Ghosts are exact copies of the owners' planes at the current
+         time level; one refresh buys the whole chunk (degree <= bt,
+         staleness reaches at most degree * rad <= halo planes). *)
+      if t.n > 1 then exchange t cur ~plane_words;
+      Obs.Trace.with_span "chunk" ~attrs:[ ("degree", Obs.Trace.Int degree) ]
+        (fun () ->
+          match pool with
+          | Some p when Gpu.Pool.size p > 1 ->
+              Gpu.Pool.run p ~n:t.n (fun ~lane:_ k ->
+                  advance ~shard:k ~degree ~src:cur.(k) ~dst:nxt.(k))
+          | _ ->
+              for k = 0 to t.n - 1 do
+                advance ~shard:k ~degree ~src:cur.(k) ~dst:nxt.(k)
+              done);
+      Obs.Metrics.add m_shard_steps (degree * t.n);
+      for k = 0 to t.n - 1 do
+        let tmp = cur.(k) in
+        cur.(k) <- nxt.(k);
+        nxt.(k) <- tmp
+      done)
+    chunks;
+  (* Final assembly: owned ranges partition [0, l), so blitting each
+     shard's owned planes covers every cell exactly once. *)
+  let out = counted_create ~prec grid.Stencil.Grid.dims in
+  Array.iteri
+    (fun k r ->
+      Stencil.Grid.blit
+        ~src:(view t k cur.(k) ~glo:r.lo ~ghi:r.hi)
+        ~dst:(Stencil.Grid.sub out ~lo:r.lo ~hi:r.hi))
+    t.owned_r;
+  out

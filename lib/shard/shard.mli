@@ -1,0 +1,82 @@
+(** Communication-avoiding halo-exchange domain decomposition.
+
+    A grid is split along the streaming dimension into [shards]
+    contiguous owner ranges; each shard holds a private buffer covering
+    its owned planes plus ghost zones of [halo = bt * radius] planes on
+    each interior side. The wide ghost zone is the temporal-blocking
+    trade one level up: a kernel chunk of degree [b <= bt] invalidates
+    at most [b * radius] planes inward from a subgrid edge, so every
+    owned plane stays bit-correct for a whole chunk and halos need
+    refreshing only once per chunk — [steps / bt] exchanges instead of
+    [steps] (docs/SHARDING.md spells out the cone argument).
+
+    The exchange is zero-copy on the hot path: ghost planes are pulled
+    from the owners' buffers with {!Stencil.Grid.blit} over
+    {!Stencil.Grid.sub} views — no full-grid buffer is allocated after
+    setup, which the [shard_grid_allocations] counter asserts in the
+    tests. This module owns the decomposition geometry and the
+    round/exchange schedule only; the actual kernel execution is
+    injected by the caller ({!An5d_core.Blocking} passes its
+    [kernel_call]), keeping this layer below the executor in the
+    dependency order. *)
+
+(** Decomposition of [l] planes into owner ranges with ghost extents. *)
+type t
+
+val make : shards:int -> halo:int -> l:int -> t
+(** [make ~shards ~halo ~l] splits planes [0, l) into [shards]
+    contiguous owner ranges of near-equal size ([owned k] is
+    [[k*l/shards, (k+1)*l/shards)], so non-divisible sizes spread the
+    remainder) and extends each by up to [halo] ghost planes on every
+    side interior to the grid. Ghost ranges may span several owners
+    (shards narrower than the halo are legal; the exchange then pulls
+    from each overlapped owner).
+    @raise Invalid_argument when [shards < 1], [halo < 0], or
+    [shards > l] (every shard must own at least one plane). *)
+
+val shards : t -> int
+
+val halo : t -> int
+
+val owned : t -> int -> int * int
+(** Global plane range [lo, hi) owned by a shard. Owner ranges
+    partition [0, l). *)
+
+val extent : t -> int -> int * int
+(** Global plane range of a shard's private buffer: its owned range
+    plus ghost zones, clamped to [0, l). *)
+
+(** {1 Observability}
+
+    Counters reported to {!Obs.Metrics} (docs/OBSERVABILITY.md):
+    [halo_exchanges] — exchange rounds performed (one per temporal
+    chunk when [shards > 1]); [halo_words_exchanged] — grid words
+    blitted into ghost zones; [shard_steps] — time-steps advanced
+    summed over shards (chunk degree × shards per round);
+    [shard_grid_allocations] — full grid buffers allocated by this
+    module (setup and final assembly only: [2 * shards + 1] per run,
+    independent of the step count — the no-allocation-on-the-hot-path
+    witness). *)
+
+val run :
+  ?pool:Gpu.Pool.t ->
+  t ->
+  chunks:int list ->
+  grid:Stencil.Grid.t ->
+  advance:
+    (shard:int -> degree:int -> src:Stencil.Grid.t -> dst:Stencil.Grid.t -> unit) ->
+  Stencil.Grid.t
+(** Run the sharded schedule: per temporal chunk, refresh every ghost
+    zone from its owners' buffers (all buffers are at the same time
+    level), fan [advance] out over the shards — one call per shard,
+    each on its own pool lane when a [pool] is given — and flip the
+    per-shard double buffers. [advance ~shard ~degree ~src ~dst] must
+    advance the private subgrid [src] by [degree] steps into [dst]
+    exactly as the resident executor would a full grid (subgrid edges
+    get the §4.1 boundary treatment; the ghost width makes that
+    correct, see docs/SHARDING.md). Returns a freshly assembled grid
+    of the owned planes. Chunk degrees must not exceed the [halo /
+    radius] budget the decomposition was built for — callers derive
+    both from the same [bt].
+    @raise Invalid_argument when [grid] has fewer planes than the
+    decomposition was built for. *)

@@ -152,17 +152,17 @@ let test_cache_unpoison () =
 let test_run_config_render () =
   Alcotest.(check string)
     "default sexp"
-    "(run-config (mode direct) (impl compiled) (verify true) (domains 1) \
-     (trace ()) (metrics false))"
+    "(run-config (mode direct) (impl compiled) (shards 1) (verify true) \
+     (domains 1) (trace ()) (metrics false))"
     (Run_config.to_sexp Run_config.default);
   let t =
     Run_config.make ~mode:Run_config.Partial_sums ~impl:Run_config.Closure
-      ~domains:4 ~verify:false ~trace:(Some "t.json") ~metrics:true ()
+      ~domains:4 ~shards:2 ~verify:false ~trace:(Some "t.json") ~metrics:true ()
   in
   Alcotest.(check string)
     "full sexp"
-    "(run-config (mode partial-sums) (impl closure) (verify false) (domains 4) \
-     (trace (t.json)) (metrics true))"
+    "(run-config (mode partial-sums) (impl closure) (shards 2) (verify false) \
+     (domains 4) (trace (t.json)) (metrics true))"
     (Run_config.to_sexp t)
 
 let test_run_config_cache_key () =
@@ -183,7 +183,13 @@ let test_run_config_cache_key () =
   let d = Run_config.with_verify false a in
   Alcotest.(check bool)
     "verify changes the key" true
-    (Run_config.cache_key a <> Run_config.cache_key d)
+    (Run_config.cache_key a <> Run_config.cache_key d);
+  (* shards IS semantic: a sharded outcome's stats/counters differ from
+     the resident ones even though the grids are bit-identical *)
+  let e = Run_config.with_shards 4 a in
+  Alcotest.(check bool)
+    "shards changes the key" true
+    (Run_config.cache_key a <> Run_config.cache_key e)
 
 let test_run_config_strings () =
   Alcotest.(check bool)

@@ -568,6 +568,47 @@ let test_of_bigarray () =
     | _ -> false
     | exception Invalid_argument _ -> true)
 
+(* Aliasing semantics the halo-exchange path depends on: sibling
+   sub-views share the parent's buffer, blits between them land in the
+   parent, and an overlapping blit behaves like memmove (reads complete
+   as-if before writes). *)
+let test_sibling_views_alias () =
+  let g = Stencil.Grid.init_random [| 8; 3 |] in
+  (* what memmove semantics must produce: planes 2..5 get old 0..3 *)
+  let expect = Stencil.Grid.copy g in
+  for i = 0 to 3 do
+    for j = 0 to 2 do
+      Stencil.Grid.set expect [| i + 2; j |] (Stencil.Grid.get g [| i; j |])
+    done
+  done;
+  let a = Stencil.Grid.sub g ~lo:0 ~hi:4 in
+  let b = Stencil.Grid.sub g ~lo:2 ~hi:6 in
+  Stencil.Grid.blit ~src:a ~dst:b;
+  Alcotest.(check (float 0.0)) "overlapping sibling blit = memmove" 0.0
+    (Stencil.Grid.max_abs_diff expect g);
+  (* disjoint sibling blit: the ghost-refresh shape, visible in the
+     parent *)
+  let h = Stencil.Grid.init_random ~seed:7 [| 6; 2 |] in
+  let src = Stencil.Grid.sub h ~lo:0 ~hi:2 in
+  let dst = Stencil.Grid.sub h ~lo:4 ~hi:6 in
+  Stencil.Grid.blit ~src ~dst;
+  Alcotest.(check (float 0.0)) "disjoint sibling blit lands in parent"
+    (Stencil.Grid.get h [| 1; 1 |])
+    (Stencil.Grid.get h [| 5; 1 |]);
+  (* two of_bigarray wrappers over one donor alias each other *)
+  let ba = Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout 6 in
+  Bigarray.Array1.fill ba 0.0;
+  let g1 = Stencil.Grid.of_bigarray ~dims:[| 2; 3 |] (Stencil.Grid.B64 ba) in
+  let g2 = Stencil.Grid.of_bigarray ~dims:[| 6 |] (Stencil.Grid.B64 ba) in
+  Stencil.Grid.set g1 [| 1; 2 |] 5.0;
+  Alcotest.(check (float 0.0)) "of_bigarray wrappers alias" 5.0
+    (Stencil.Grid.get g2 [| 5 |]);
+  (* sub of a sub still addresses the root buffer *)
+  let deep = Stencil.Grid.sub (Stencil.Grid.sub g ~lo:1 ~hi:7) ~lo:1 ~hi:3 in
+  Stencil.Grid.set deep [| 0; 0 |] 11.25;
+  Alcotest.(check (float 0.0)) "nested sub writes root" 11.25
+    (Stencil.Grid.get g [| 2; 0 |])
+
 let test_digest_precision_correct () =
   let f64 = Stencil.Grid.init_random [| 4; 4 |] in
   let f32 = Stencil.Grid.init_random ~prec:Stencil.Grid.F32 [| 4; 4 |] in
@@ -631,6 +672,8 @@ let () =
           Alcotest.test_case "blit" `Quick test_blit;
           Alcotest.test_case "sub shares storage" `Quick test_sub_shares_storage;
           Alcotest.test_case "of_bigarray" `Quick test_of_bigarray;
+          Alcotest.test_case "sibling views and aliasing" `Quick
+            test_sibling_views_alias;
           Alcotest.test_case "digest precision-correct" `Quick test_digest_precision_correct;
         ] );
     ]
