@@ -1,13 +1,16 @@
 (* Simulator throughput: closure executor vs compiled plans vs the
-   unsafe-indexed bigarray fast path.
+   unsafe-indexed bigarray fast path vs the sliding-window streaming
+   executor.
 
-   Times the same runs under [impl = Closure], [impl = Compiled] and
-   [impl = Bigarray] in one process — blocked executor on a 2D and a 3D
+   Times the same runs under [impl = Closure], [Compiled], [Bigarray]
+   and [Streaming] in one process — blocked executor on a 2D and a 3D
    benchmark in both precisions, plus the CPU reference on both — and
    reports cells/s. Results land in BENCH_throughput.json so the
-   speedups are machine-checkable, and the blocked f64 cases enforce a
-   bigarray-over-compiled floor: the run *fails* if the unsafe storage
-   path stops paying for itself. *)
+   speedups are machine-checkable, and the blocked cases enforce two
+   floors: bigarray-over-compiled (f64) and streaming-over-bigarray
+   (both precisions) — the run *fails* if either fast path stops paying
+   for itself, or if a gated stencil silently dispatches to the generic
+   streaming kernel instead of its specialized one. *)
 
 open An5d_core
 
@@ -38,6 +41,14 @@ let time_run f =
    one. *)
 let bigarray_floor () = if !Exp_common.quick then 1.1 else 1.5
 
+(* The streaming-over-bigarray floor on the blocked cases, both
+   precisions. The sliding window removes the per-plane plane-pointer
+   refill and the per-term double indirection; the fused/chunked
+   kernels are what the reuse buys, so the gate catches either layer
+   regressing. Quick mode's tiny grids leave little for the window to
+   amortize, so CI only requires parity there. *)
+let streaming_floor () = if !Exp_common.quick then 1.0 else 1.3
+
 (* Floor on the per-case f32-over-f64 bigarray split. An F32 grid moves
    half the bytes, but the simulator's compute is double-precision
    either way and f32 pays a quantization fixup pass per plane, so the
@@ -52,14 +63,24 @@ type case = {
   base : string;  (** benchmark name, for pairing the f32/f64 split *)
   prec : Stencil.Grid.precision;
   gated : bool;  (** enforce the bigarray-over-compiled floor *)
+  sgated : bool;
+      (** enforce the streaming-over-bigarray floor and the
+          specialized-kernel dispatch (no silent generic fallback) *)
+  kernel : string;  (** streaming kernel shape the lowering dispatches to *)
   dims : int array;
   steps : int;
   cells : int;  (** interior cells updated per run: volume x steps *)
   run : Blocking.impl -> unit;
 }
 
-(* Per-case measurements, in impl order closure/compiled/bigarray. *)
-type measured = { case : case; closure : float; compiled : float; bigarray : float }
+(* Per-case measurements, in impl order closure/compiled/bigarray/streaming. *)
+type measured = {
+  case : case;
+  closure : float;
+  compiled : float;
+  bigarray : float;
+  streaming : float;
+}
 
 let interior_volume dims rad =
   Array.fold_left (fun acc d -> acc * (d - (2 * rad))) 1 dims
@@ -76,6 +97,10 @@ let blocked_case ?(prec = Stencil.Grid.F64) ?(gated = false) b cfg dims steps =
     base = b.Bench_defs.Benchmarks.name;
     prec;
     gated;
+    sgated = true;
+    kernel =
+      Stencil.Sexpr.kernel_shape_name
+        (Stencil.Pattern.lower p).Stencil.Sexpr.low_kernel;
     dims;
     steps;
     cells = interior_volume dims p.Stencil.Pattern.radius * steps;
@@ -94,13 +119,19 @@ let reference_case b dims steps =
   let impl_of = function
     | Blocking.Compiled -> Stencil.Reference.Compiled
     | Blocking.Closure -> Stencil.Reference.Closure
-    | Blocking.Bigarray -> Stencil.Reference.Bigarray
+    (* The reference has no sliding-window variant; [Streaming] times
+       its bigarray path so the column stays comparable. *)
+    | Blocking.Bigarray | Blocking.Streaming -> Stencil.Reference.Bigarray
   in
   {
     label = b.Bench_defs.Benchmarks.name ^ " reference";
     base = b.Bench_defs.Benchmarks.name;
     prec = Stencil.Grid.F64;
     gated = false;
+    sgated = false;
+    kernel =
+      Stencil.Sexpr.kernel_shape_name
+        (Stencil.Pattern.lower p).Stencil.Sexpr.low_kernel;
     dims;
     steps;
     cells = interior_volume dims p.Stencil.Pattern.radius * steps;
@@ -147,23 +178,33 @@ let json_of_results results =
   Buffer.add_string buf "{\n";
   Buffer.add_string buf
     (Printf.sprintf
-       "  \"quick\": %b,\n  \"bigarray_floor\": %.2f,\n  \"split_floor\": %.2f,\n\
+       "  \"quick\": %b,\n  \"bigarray_floor\": %.2f,\n\
+       \  \"streaming_floor\": %.2f,\n  \"split_floor\": %.2f,\n\
+       \  \"gc_space_overhead\": %s,\n\
        \  \"cases\": [\n"
-       !Exp_common.quick (bigarray_floor ()) (split_floor ()));
+       !Exp_common.quick (bigarray_floor ()) (streaming_floor ())
+       (split_floor ())
+       (match !Exp_common.run_config.Run_config.gc_space_overhead with
+       | None -> "null"
+       | Some o -> string_of_int o));
   List.iteri
     (fun i m ->
       Buffer.add_string buf
         (Printf.sprintf
            "    {\"name\": %S, \"dims\": [%s], \"steps\": %d, \"prec\": %S,\n\
+           \     \"kernel\": %S,\n\
            \     \"closure_cells_per_s\": %.6e, \"compiled_cells_per_s\": %.6e,\n\
-           \     \"bigarray_cells_per_s\": %.6e,\n\
-           \     \"speedup\": %.3f, \"speedup_bigarray_over_compiled\": %.3f}%s\n"
+           \     \"bigarray_cells_per_s\": %.6e, \"streaming_cells_per_s\": %.6e,\n\
+           \     \"speedup\": %.3f, \"speedup_bigarray_over_compiled\": %.3f,\n\
+           \     \"speedup_streaming_over_bigarray\": %.3f}%s\n"
            m.case.label
            (String.concat ", " (Array.to_list (Array.map string_of_int m.case.dims)))
            m.case.steps
            (Stencil.Grid.precision_to_string m.case.prec)
-           m.closure m.compiled m.bigarray (m.compiled /. m.closure)
+           m.case.kernel m.closure m.compiled m.bigarray m.streaming
+           (m.compiled /. m.closure)
            (m.bigarray /. m.compiled)
+           (m.streaming /. m.bigarray)
            (if i = List.length results - 1 then "" else ","));
     )
     results;
@@ -182,7 +223,8 @@ let json_of_results results =
   Buffer.add_string buf "  ],\n";
   (* Embed the metrics registry snapshot so the JSON records how much
      simulated work produced these numbers (kernel launches, chunks,
-     global-memory traffic) alongside the cells/s themselves. *)
+     global-memory traffic, per-shape streaming_dispatch_* counts)
+     alongside the cells/s themselves. *)
   Buffer.add_string buf
     (Printf.sprintf "  \"metrics\": %s\n"
        (Obs.Export.metrics_json (Obs.Metrics.snapshot ())));
@@ -191,8 +233,10 @@ let json_of_results results =
 
 (* The machine-checked acceptance gates: blocked f64 cases must show
    the bigarray path at least [bigarray_floor] times the compiled path,
-   and each blocked pair's f32 variant at least [split_floor] times its
-   f64 throughput on the bigarray path. *)
+   every blocked case the streaming path at least [streaming_floor]
+   times the bigarray path on a *specialized* (non-generic) kernel, and
+   each blocked pair's f32 variant at least [split_floor] times its f64
+   throughput on the bigarray path. *)
 let enforce_floor results =
   let floor = bigarray_floor () in
   List.iter
@@ -206,29 +250,50 @@ let enforce_floor results =
                m.case.label ratio floor)
       end)
     results;
-  let sfloor = split_floor () in
+  let sfloor = streaming_floor () in
+  List.iter
+    (fun m ->
+      if m.case.sgated then begin
+        (* A gated stencil regressing to the generic kernel means the
+           lowering lost its linear form — that must fail loudly, not
+           just run slower. *)
+        if m.case.kernel = "generic" then
+          failwith
+            (Printf.sprintf
+               "streaming dispatch violated: %s fell back to the generic kernel"
+               m.case.label);
+        let ratio = m.streaming /. m.bigarray in
+        if ratio < sfloor then
+          failwith
+            (Printf.sprintf
+               "throughput floor violated: %s streaming/bigarray = %.2fx < %.2fx"
+               m.case.label ratio sfloor)
+      end)
+    results;
+  let pfloor = split_floor () in
   List.iter
     (fun (name, b64, b32) ->
       let ratio = b32 /. b64 in
-      if ratio < sfloor then
+      if ratio < pfloor then
         failwith
           (Printf.sprintf
              "f32/f64 split floor violated: %s bigarray f32/f64 = %.2fx < %.2fx"
-             name ratio sfloor))
+             name ratio pfloor))
     (split_of results)
 
 let run () =
   Output.section
-    "Throughput -- closure vs compiled plans vs bigarray kernels (cells/s)";
+    "Throughput -- closure vs compiled vs bigarray vs streaming (cells/s)";
   let results =
     List.map
       (fun c ->
         let t_closure = time_run (fun () -> c.run Blocking.Closure) in
         let t_compiled = time_run (fun () -> c.run Blocking.Compiled) in
         let t_bigarray = time_run (fun () -> c.run Blocking.Bigarray) in
+        let t_streaming = time_run (fun () -> c.run Blocking.Streaming) in
         let cps t = float c.cells /. t in
         { case = c; closure = cps t_closure; compiled = cps t_compiled;
-          bigarray = cps t_bigarray })
+          bigarray = cps t_bigarray; streaming = cps t_streaming })
       (cases ())
   in
   let rows =
@@ -237,19 +302,20 @@ let run () =
         [
           m.case.label;
           Fmt.str "%a" Fmt.(array ~sep:(any "x") int) m.case.dims;
-          string_of_int m.case.steps;
+          m.case.kernel;
           Printf.sprintf "%.2e" m.closure;
           Printf.sprintf "%.2e" m.compiled;
           Printf.sprintf "%.2e" m.bigarray;
-          Printf.sprintf "%.2fx" (m.compiled /. m.closure);
+          Printf.sprintf "%.2e" m.streaming;
           Printf.sprintf "%.2fx" (m.bigarray /. m.compiled);
+          Printf.sprintf "%.2fx" (m.streaming /. m.bigarray);
         ])
       results
   in
   Output.table
     ~header:
-      [ "run"; "grid"; "steps"; "closure c/s"; "compiled c/s"; "bigarray c/s";
-        "compiled/closure"; "bigarray/compiled" ]
+      [ "run"; "grid"; "kernel"; "closure c/s"; "compiled c/s"; "bigarray c/s";
+        "streaming c/s"; "ba/comp"; "stream/ba" ]
     ~rows;
   List.iter
     (fun (name, b64, b32) ->

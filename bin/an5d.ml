@@ -105,11 +105,19 @@ let run_config_term =
   in
   let metrics = Arg.(value & flag & info [ "metrics" ] ~doc:Run_args.metrics_doc) in
   let no_verify = Arg.(value & flag & info [ "no-verify" ] ~doc:Run_args.verify_doc) in
-  let build mode impl domains shards trace metrics no_verify =
-    Run_config.make ~mode ~impl ~domains ~shards ~verify:(not no_verify) ~trace
-      ~metrics ()
+  let gc_space_overhead =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "gc-space-overhead" ] ~docv:"N" ~doc:Run_args.gc_space_overhead_doc)
   in
-  Term.(const build $ mode $ impl $ domains $ shards $ trace $ metrics $ no_verify)
+  let build mode impl domains shards trace metrics no_verify gc_space_overhead =
+    Run_config.make ~mode ~impl ~domains ~shards ~verify:(not no_verify) ~trace
+      ~metrics ~gc_space_overhead ()
+  in
+  Term.(
+    const build $ mode $ impl $ domains $ shards $ trace $ metrics $ no_verify
+    $ gc_space_overhead)
 
 let setup_logs verbose =
   Logs.set_reporter (Logs.format_reporter ());

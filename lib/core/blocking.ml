@@ -42,9 +42,11 @@ type exec_mode = Run_config.exec_mode = Direct | Partial_sums
 
 (** Which executor implementation runs the kernel: the table-driven
     [Compiled] plan path (default), the unsafe-indexed [Bigarray] fast
-    path, or the legacy per-cell [Closure] path they are differentially
-    tested against. Re-export of {!Run_config.impl}. *)
-type impl = Run_config.impl = Compiled | Closure | Bigarray
+    path, the sliding-window [Streaming] register-reuse path
+    ({!Stream_exec}) with shape-specialized fused kernels, or the legacy
+    per-cell [Closure] path they are all differentially tested against.
+    Re-export of {!Run_config.impl}. *)
+type impl = Run_config.impl = Compiled | Closure | Bigarray | Streaming
 
 type launch_stats = {
   n_tb : int;  (** thread blocks per kernel call (spatial) *)
@@ -297,6 +299,7 @@ let compiled_block (plan : Plan.t) ~mode ~degree:b ~(src : Stencil.Grid.t)
           (* Flat weighted-sum path: same left-to-right accumulation as
              the compiled closure, so bit-identical. *)
           let lt_off = lf.Stencil.Sexpr.lt_off in
+          let lt_off2 = lf.Stencil.Sexpr.lt_off2 in
           let lt_coef = lf.Stencil.Sexpr.lt_coef in
           let lt_scaled = lf.Stencil.Sexpr.lt_scaled in
           let n_terms = Array.length lt_off in
@@ -305,10 +308,22 @@ let compiled_block (plan : Plan.t) ~mode ~degree:b ~(src : Stencil.Grid.t)
               let row = t * n_off in
               let k0 = lt_off.(0) in
               let v0 = plane_ptr.(plane_e.(k0)).(nbr.(row + k0)) in
+              (* Folded pair (§4.2): the mirror read is added before the
+                 scaling, as in the source [c * (a + b)]. *)
+              let k2 = lt_off2.(0) in
+              let v0 =
+                if k2 >= 0 then v0 +. plane_ptr.(plane_e.(k2)).(nbr.(row + k2))
+                else v0
+              in
               let acc = ref (if lt_scaled.(0) then lt_coef.(0) *. v0 else v0) in
               for q = 1 to n_terms - 1 do
                 let k = lt_off.(q) in
                 let v = plane_ptr.(plane_e.(k)).(nbr.(row + k)) in
+                let k2 = lt_off2.(q) in
+                let v =
+                  if k2 >= 0 then v +. plane_ptr.(plane_e.(k2)).(nbr.(row + k2))
+                  else v
+                in
                 acc := !acc +. (if lt_scaled.(q) then lt_coef.(q) *. v else v)
               done;
               let value =
@@ -387,6 +402,14 @@ let compiled_block (plan : Plan.t) ~mode ~degree:b ~(src : Stencil.Grid.t)
    one [kernel] span per launch (docs/OBSERVABILITY.md). *)
 let m_chunks_executed = Obs.Metrics.counter "chunks_executed"
 
+(* Per-shape streaming dispatch counters ([streaming_dispatch_fused5pt],
+   ...): one tick per kernel call that takes the sliding-window path,
+   keyed by {!Plan.kernel_name}; [streaming_dispatch_fallback] counts
+   calls the capability gate sent to the checked compiled path instead.
+   Counters are interned by name, so the per-call lookup is a hash probe
+   — docs/OBSERVABILITY.md lists the names. *)
+let m_streaming_fallback = Obs.Metrics.counter "streaming_dispatch_fallback"
+
 let kernel_call ?(mode = Direct) ?(impl = Compiled) ?pool (em : Execmodel.t)
     ~(machine : Gpu.Machine.t) ~degree:b ~(src : Stencil.Grid.t)
     ~(dst : Stencil.Grid.t) =
@@ -418,6 +441,20 @@ let kernel_call ?(mode = Direct) ?(impl = Compiled) ?pool (em : Execmodel.t)
         if Plan.unsafe_capable plan ~mode then
           Plan.execute_block plan ~degree:b ~src ~dst
         else compiled_block plan ~mode ~degree:b ~src ~dst
+    | Streaming ->
+        (* Sliding-window register-reuse path, same capability gate as
+           [Bigarray]. The dispatch is recorded per kernel shape so the
+           bench and CI can prove a gated stencil really took its
+           specialized kernel. *)
+        if Plan.unsafe_capable plan ~mode then begin
+          Obs.Metrics.incr
+            (Obs.Metrics.counter ("streaming_dispatch_" ^ Plan.kernel_name plan));
+          Stream_exec.execute_block plan ~degree:b ~src ~dst
+        end
+        else begin
+          Obs.Metrics.incr m_streaming_fallback;
+          compiled_block plan ~mode ~degree:b ~src ~dst
+        end
   in
   let n_blocks = plan.Plan.n_sb * plan.Plan.spatial_blocks in
   Obs.Trace.with_span "kernel"

@@ -33,11 +33,14 @@ type exec_mode = Run_config.exec_mode = Direct | Partial_sums
     [Bigarray] runs the plan's unsafe-indexed monomorphic fast path
     ({!Plan.execute_block}) over the flat grid buffers where it applies
     (Direct mode, flat weighted-sum form) and the compiled path
-    elsewhere; [Closure] is the legacy per-cell closure path. Grids are
-    bit-identical and counters field-for-field equal between all three
-    (differentially tested); they only differ in speed. Re-export of
-    {!Run_config.impl}. *)
-type impl = Run_config.impl = Compiled | Closure | Bigarray
+    elsewhere; [Streaming] is the sliding-window register-reuse path
+    ({!Stream_exec}) with shape-specialized fused kernels, under the
+    same capability gate (per-shape dispatch recorded in the
+    [streaming_dispatch_*] metrics); [Closure] is the legacy per-cell
+    closure path. Grids are bit-identical and counters field-for-field
+    equal between all four (differentially tested); they only differ in
+    speed. Re-export of {!Run_config.impl}. *)
+type impl = Run_config.impl = Compiled | Closure | Bigarray | Streaming
 
 (** Thread-block geometry: the mapping between flat thread ids and
     block-local coordinates along the blocked dimensions (defined in

@@ -83,6 +83,14 @@ type t = {
   n_off : int;
   plane_e : int array;  (** per offset: streaming delta + rad, in [0, p) *)
   nbr : int array;  (** [n_thr * n_off] clamped neighbor thread ids *)
+  (* term-major hoisted tables (empty when no linear form): the
+     [plane_e.(lt_off.(q))] / [nbr.(row + lt_off.(q))] double
+     indirection resolved once per term at build time, so streaming
+     kernels index one table per read. *)
+  t_plane : int array;  (** [n_terms] register plane slot of term [q] *)
+  t_nbr : int array array;  (** [n_terms][n_thr] neighbor thread of term [q] *)
+  t_plane2 : int array;  (** slot of the folded mirror read, [-1] unpaired *)
+  t_nbr2 : int array array;  (** mirror neighbor rows; [[||]] when unpaired *)
   low : Stencil.Sexpr.lowered;
   (* the legacy closure path, hoisted here so it too compiles once *)
   update : (int array -> float) -> float;
@@ -123,6 +131,20 @@ let build (em : Execmodel.t) ~degree:b ~prec =
       nbr.(row + k) <- neighbor_thread geo t offs.(k)
     done
   done;
+  let t_plane, t_nbr, t_plane2, t_nbr2 =
+    match low.Stencil.Sexpr.low_linear with
+    | None -> ([||], [||], [||], [||])
+    | Some lf ->
+        let col k = Array.init n_thr (fun t -> nbr.((t * n_off) + k)) in
+        ( Array.map (fun k -> plane_e.(k)) lf.Stencil.Sexpr.lt_off,
+          Array.map col lf.Stencil.Sexpr.lt_off,
+          Array.map
+            (fun k2 -> if k2 >= 0 then plane_e.(k2) else -1)
+            lf.Stencil.Sexpr.lt_off2,
+          Array.map
+            (fun k2 -> if k2 >= 0 then col k2 else [||])
+            lf.Stencil.Sexpr.lt_off2 )
+  in
   let blocks_per_dim =
     Array.init nb (fun i ->
         let w = Execmodel.compute_width ~b em i in
@@ -157,6 +179,10 @@ let build (em : Execmodel.t) ~degree:b ~prec =
     n_off;
     plane_e;
     nbr;
+    t_plane;
+    t_nbr;
+    t_plane2;
+    t_nbr2;
     low;
     update = Stencil.Pattern.compile pattern;
     partial =
@@ -278,13 +304,22 @@ let make_block_state (plan : t) ~degree:b block_id =
 let unsafe_capable (plan : t) ~(mode : Run_config.exec_mode) =
   mode = Run_config.Direct && plan.low.Stencil.Sexpr.low_linear <> None
 
+(* Stable name of the streaming kernel this plan dispatches to — pure
+   lowering metadata, used for the per-shape dispatch counters and the
+   bench JSON's kernel column. *)
+let kernel_name (plan : t) =
+  Stencil.Sexpr.kernel_shape_name plan.low.Stencil.Sexpr.low_kernel
+
 (* Validate the unsafe-index contract once per block, before any
    unchecked access (the production-side "index oracle"; the fuzz suite
    re-proves the same bounds independently):
 
    - every plan table entry indexes its target array in range
-     ([lt_off] into the offset tables, [plane_e] into the [p] register
-     slots, [nbr] into the [n_thr] threads);
+     ([lt_off] into the offset tables, [lt_off2] likewise or [-1],
+     [plane_e] into the [p] register slots, [nbr] into the [n_thr]
+     threads, and the term-major hoisted tables [t_plane]/[t_nbr]/
+     [t_plane2]/[t_nbr2] consumed by the streaming window kernels with
+     one row of [n_thr] entries per term);
    - every in-grid thread's in-plane base offset lies in [0, stride0),
      so [base + i*stride0 < l*stride0 = size] for stream planes
      [i < l] — loads and stores only happen for in-grid threads
@@ -302,17 +337,104 @@ let validate_unsafe_contract (plan : t) (lf : Stencil.Sexpr.linear_form)
     (fun k -> if k < 0 || k >= n_off then fail "term offset index out of range")
     lf.Stencil.Sexpr.lt_off;
   Array.iter
+    (fun k2 -> if k2 < -1 || k2 >= n_off then fail "pair offset index out of range")
+    lf.Stencil.Sexpr.lt_off2;
+  Array.iter
     (fun e -> if e < 0 || e >= p then fail "plane slot out of range")
     plan.plane_e;
   Array.iter
     (fun t -> if t < 0 || t >= n_thr then fail "neighbor thread out of range")
     plan.nbr;
+  let n_terms = Array.length lf.Stencil.Sexpr.lt_off in
+  if Array.length plan.t_plane <> n_terms || Array.length plan.t_nbr <> n_terms
+     || Array.length plan.t_plane2 <> n_terms
+     || Array.length plan.t_nbr2 <> n_terms
+  then fail "term-major table length mismatch";
+  Array.iter
+    (fun e -> if e < 0 || e >= p then fail "term plane slot out of range")
+    plan.t_plane;
+  Array.iter
+    (fun e -> if e < -1 || e >= p then fail "pair plane slot out of range")
+    plan.t_plane2;
+  let check_rows rows required =
+    Array.iteri
+      (fun q row ->
+        if Array.length row <> (if required || plan.t_plane2.(q) >= 0 then n_thr else 0)
+        then fail "term neighbor row length mismatch";
+        Array.iter
+          (fun t -> if t < 0 || t >= n_thr then fail "term neighbor out of range")
+          row)
+      rows
+  in
+  check_rows plan.t_nbr true;
+  check_rows plan.t_nbr2 false;
   let stride0 = plan.gstrides.(0) in
   if stride0 <= 0 then fail "non-positive plane stride";
   for t = 0 to n_thr - 1 do
     if st.in_grid.(t) && (st.base.(t) < 0 || st.base.(t) >= stride0) then
       fail "in-grid thread base offset outside its plane"
   done
+
+(* Plane load/store closures, monomorphic per precision: the buffer
+   constructor is matched once per block, so inside each closure the
+   element kind is statically known and bigarray access compiles to
+   direct loads. [0 <= base t < stride0] for in-grid threads (validated
+   by the contract above) and [0 <= i < l] at every call site, so
+   [base t + i*stride0] is in [0, size). Loads land in
+   [reg_file.(0).(i mod p)], stores read [reg_file.(degree).(j mod p)];
+   counters tick the per-plane global-memory traffic. Shared by
+   {!execute_block} and the sliding-window {!Stream_exec}. *)
+let plane_io (plan : t) ~degree:b ~(src : Stencil.Grid.t) ~(dst : Stencil.Grid.t)
+    (st : block_state) counters =
+  let n_thr = plan.n_thr in
+  let p = plan.p in
+  let stride0 = plan.gstrides.(0) in
+  let store_ok = plan.store_ok in
+  let { in_grid; base; reg_file; _ } = st in
+  match (src.Stencil.Grid.buf, dst.Stencil.Grid.buf) with
+  | Stencil.Grid.B64 sba, Stencil.Grid.B64 dba ->
+      ( (fun i ->
+          let dst_plane = reg_file.(0).(i mod p) in
+          let poff = i * stride0 in
+          for t = 0 to n_thr - 1 do
+            Array.unsafe_set dst_plane t
+              (if Array.unsafe_get in_grid t then
+                 Bigarray.Array1.unsafe_get sba (Array.unsafe_get base t + poff)
+               else 0.0)
+          done;
+          Gpu.Counters.add_gm_reads counters st.n_in_grid),
+        fun j ->
+          let src_plane = reg_file.(b).(j mod p) in
+          let poff = j * stride0 in
+          for t = 0 to n_thr - 1 do
+            if Array.unsafe_get in_grid t && Array.unsafe_get store_ok t then
+              Bigarray.Array1.unsafe_set dba
+                (Array.unsafe_get base t + poff)
+                (Array.unsafe_get src_plane t)
+          done;
+          Gpu.Counters.add_gm_writes counters st.n_store )
+  | Stencil.Grid.B32 sba, Stencil.Grid.B32 dba ->
+      ( (fun i ->
+          let dst_plane = reg_file.(0).(i mod p) in
+          let poff = i * stride0 in
+          for t = 0 to n_thr - 1 do
+            Array.unsafe_set dst_plane t
+              (if Array.unsafe_get in_grid t then
+                 Bigarray.Array1.unsafe_get sba (Array.unsafe_get base t + poff)
+               else 0.0)
+          done;
+          Gpu.Counters.add_gm_reads counters st.n_in_grid),
+        fun j ->
+          let src_plane = reg_file.(b).(j mod p) in
+          let poff = j * stride0 in
+          for t = 0 to n_thr - 1 do
+            if Array.unsafe_get in_grid t && Array.unsafe_get store_ok t then
+              Bigarray.Array1.unsafe_set dba
+                (Array.unsafe_get base t + poff)
+                (Array.unsafe_get src_plane t)
+          done;
+          Gpu.Counters.add_gm_writes counters st.n_store )
+  | _ -> invalid_arg "Plan.execute_block: src/dst precision mismatch"
 
 (* The [Bigarray] implementation of one thread block: the same schedule,
    arithmetic order and bulk counter updates as [Blocking.compiled_block]
@@ -333,14 +455,13 @@ let execute_block (plan : t) ~degree:b ~(src : Stencil.Grid.t)
   let n_off = plan.n_off in
   let plane_e = plan.plane_e in
   let nbr = plan.nbr in
-  let store_ok = plan.store_ok in
-  let stride0 = plan.gstrides.(0) in
   let lf =
     match plan.low.Stencil.Sexpr.low_linear with
     | Some lf -> lf
     | None -> invalid_arg "Plan.execute_block: expression has no linear form"
   in
   let lt_off = lf.Stencil.Sexpr.lt_off in
+  let lt_off2 = lf.Stencil.Sexpr.lt_off2 in
   let lt_coef = lf.Stencil.Sexpr.lt_coef in
   let lt_scaled = lf.Stencil.Sexpr.lt_scaled in
   let n_terms = Array.length lt_off in
@@ -357,7 +478,7 @@ let execute_block (plan : t) ~degree:b ~(src : Stencil.Grid.t)
   in
   let counters = ctx.Gpu.Machine.machine.Gpu.Machine.counters in
   let st = make_block_state plan ~degree:b ctx.Gpu.Machine.block_id in
-  let { in_grid; inplane_interior; base; reg_file; _ } = st in
+  let { inplane_interior; reg_file; _ } = st in
   validate_unsafe_contract plan lf st;
   let s0, s1 = Execmodel.stream_range plan.em st.sb in
   let plane_ptr = Array.make p reg_file.(0).(0) in
@@ -372,55 +493,7 @@ let execute_block (plan : t) ~degree:b ~(src : Stencil.Grid.t)
     Bigarray.Array1.create Bigarray.float32 Bigarray.c_layout
       (if is_f32 then n_thr else 1)
   in
-  (* Plane load/store, monomorphic per precision: [0 <= base t < stride0]
-     for in-grid threads (validated above) and [0 <= i < l] at every call
-     site, so [base t + i*stride0] is in [0, size). *)
-  let load_plane, store_plane =
-    match (src.Stencil.Grid.buf, dst.Stencil.Grid.buf) with
-    | Stencil.Grid.B64 sba, Stencil.Grid.B64 dba ->
-        ( (fun i ->
-            let dst_plane = reg_file.(0).(i mod p) in
-            let poff = i * stride0 in
-            for t = 0 to n_thr - 1 do
-              Array.unsafe_set dst_plane t
-                (if Array.unsafe_get in_grid t then
-                   Bigarray.Array1.unsafe_get sba (Array.unsafe_get base t + poff)
-                 else 0.0)
-            done;
-            Gpu.Counters.add_gm_reads counters st.n_in_grid),
-          fun j ->
-            let src_plane = reg_file.(b).(j mod p) in
-            let poff = j * stride0 in
-            for t = 0 to n_thr - 1 do
-              if Array.unsafe_get in_grid t && Array.unsafe_get store_ok t then
-                Bigarray.Array1.unsafe_set dba
-                  (Array.unsafe_get base t + poff)
-                  (Array.unsafe_get src_plane t)
-            done;
-            Gpu.Counters.add_gm_writes counters st.n_store )
-    | Stencil.Grid.B32 sba, Stencil.Grid.B32 dba ->
-        ( (fun i ->
-            let dst_plane = reg_file.(0).(i mod p) in
-            let poff = i * stride0 in
-            for t = 0 to n_thr - 1 do
-              Array.unsafe_set dst_plane t
-                (if Array.unsafe_get in_grid t then
-                   Bigarray.Array1.unsafe_get sba (Array.unsafe_get base t + poff)
-                 else 0.0)
-            done;
-            Gpu.Counters.add_gm_reads counters st.n_in_grid),
-          fun j ->
-            let src_plane = reg_file.(b).(j mod p) in
-            let poff = j * stride0 in
-            for t = 0 to n_thr - 1 do
-              if Array.unsafe_get in_grid t && Array.unsafe_get store_ok t then
-                Bigarray.Array1.unsafe_set dba
-                  (Array.unsafe_get base t + poff)
-                  (Array.unsafe_get src_plane t)
-            done;
-            Gpu.Counters.add_gm_writes counters st.n_store )
-    | _ -> invalid_arg "Plan.execute_block: src/dst precision mismatch"
-  in
+  let load_plane, store_plane = plane_io plan ~degree:b ~src ~dst st counters in
   (* Register-file compute plane: grid-free (float arrays only). Unsafe
      register indexing is covered by the validated contract: [t < n_thr]
      bounds every per-thread array, [plane_e]/[nbr]/[lt_off] entries are
@@ -451,6 +524,15 @@ let execute_block (plan : t) ~degree:b ~(src : Stencil.Grid.t)
               (Array.unsafe_get plane_ptr (Array.unsafe_get plane_e k0))
               (Array.unsafe_get nbr (row + k0))
           in
+          let k2 = Array.unsafe_get lt_off2 0 in
+          let v0 =
+            if k2 >= 0 then
+              v0
+              +. Array.unsafe_get
+                   (Array.unsafe_get plane_ptr (Array.unsafe_get plane_e k2))
+                   (Array.unsafe_get nbr (row + k2))
+            else v0
+          in
           let acc =
             ref
               (if Array.unsafe_get lt_scaled 0 then
@@ -463,6 +545,15 @@ let execute_block (plan : t) ~degree:b ~(src : Stencil.Grid.t)
               Array.unsafe_get
                 (Array.unsafe_get plane_ptr (Array.unsafe_get plane_e k))
                 (Array.unsafe_get nbr (row + k))
+            in
+            let k2 = Array.unsafe_get lt_off2 q in
+            let v =
+              if k2 >= 0 then
+                v
+                +. Array.unsafe_get
+                     (Array.unsafe_get plane_ptr (Array.unsafe_get plane_e k2))
+                     (Array.unsafe_get nbr (row + k2))
+              else v
             in
             acc :=
               !acc
@@ -525,6 +616,10 @@ let m_hits = Obs.Metrics.counter "plan_cache_hits"
 
 let m_misses = Obs.Metrics.counter "plan_cache_misses"
 
+(* Resident-plan count, exported so cache growth shows up in bench
+   JSON's embedded snapshot alongside the hit/miss counters. *)
+let m_size = Obs.Metrics.gauge "plan_cache_size"
+
 type cache_stats = { cache_hits : int; cache_misses : int; cache_size : int }
 
 let cache_stats () =
@@ -535,7 +630,8 @@ let reset_cache () =
   Mutex.protect lock (fun () ->
       Hashtbl.reset cache;
       hits := 0;
-      misses := 0)
+      misses := 0);
+  Obs.Metrics.set_gauge m_size 0.0
 
 (** The memoized plan for one kernel call. The key strips [reg_limit]
     (it affects occupancy, never the executed schedule), so a run's
@@ -572,8 +668,12 @@ let get (em : Execmodel.t) ~degree ~prec =
               ("degree", Obs.Trace.Int degree) ]
           (fun () -> build em ~degree ~prec)
       in
-      Mutex.protect lock (fun () ->
-          incr misses;
-          if not (Hashtbl.mem cache key) then Hashtbl.add cache key plan);
+      let size =
+        Mutex.protect lock (fun () ->
+            incr misses;
+            if not (Hashtbl.mem cache key) then Hashtbl.add cache key plan;
+            Hashtbl.length cache)
+      in
       Obs.Metrics.incr m_misses;
+      Obs.Metrics.set_gauge m_size (float size);
       plan

@@ -41,6 +41,16 @@ type t = {
   n_off : int;
   plane_e : int array;  (** per offset: streaming delta + rad, in [0, p) *)
   nbr : int array;  (** [n_thr * n_off] clamped neighbor thread ids *)
+  t_plane : int array;
+      (** term-major: register plane slot of linear term [q]
+          ([plane_e.(lt_off.(q))] hoisted at build time); empty when the
+          plan has no linear form *)
+  t_nbr : int array array;
+      (** term-major: [n_terms][n_thr] neighbor thread ids of term [q] *)
+  t_plane2 : int array;
+      (** plane slot of the folded mirror read, [-1] when unpaired *)
+  t_nbr2 : int array array;
+      (** mirror neighbor rows of folded pairs; [[||]] when unpaired *)
   low : Stencil.Sexpr.lowered;
   update : (int array -> float) -> float;
       (** the legacy closure path, hoisted so it too compiles once *)
@@ -84,6 +94,43 @@ val unsafe_capable : t -> mode:Run_config.exec_mode -> bool
 (** Whether {!execute_block} can run this plan: [Direct] mode and a flat
     weighted-sum linear form (the shape of every paper benchmark). Other
     plans take the checked compiled path in {!Blocking}. *)
+
+val kernel_name : t -> string
+(** Stable name of the streaming kernel this plan's lowering dispatches
+    to ({!Stencil.Sexpr.kernel_shape_name}): ["fused5pt"], ["wide27pt"],
+    ["folded5pt"], ["generic"], ... Used for the per-shape dispatch
+    counters and bench JSON. *)
+
+val validate_unsafe_contract : t -> Stencil.Sexpr.linear_form -> block_state -> unit
+(** The validate-then-unsafe peeling contract, checked once per block
+    before any unchecked access (see [scripts/check_unsafe.sh]): every
+    plan table entry indexes its target in range — [lt_off]/[lt_off2]
+    into the offsets table, [plane_e] into the [p] register slots, [nbr]
+    and the term-major [t_plane]/[t_nbr]/[t_plane2]/[t_nbr2] rows used
+    by the sliding-window kernels into slots/threads — and every
+    in-grid thread's in-plane base offset lies in [0, stride0), so
+    [base + i*stride0] is in bounds for all stream planes [i < l].
+    Raises [Invalid_argument] on violation instead of reading out of
+    bounds. Exposed for {!Stream_exec}, which must establish the same
+    contract before its unsafe window-rotation loops. *)
+
+val plane_io :
+  t ->
+  degree:int ->
+  src:Stencil.Grid.t ->
+  dst:Stencil.Grid.t ->
+  block_state ->
+  Gpu.Counters.t ->
+  (int -> unit) * (int -> unit)
+(** [(load_plane, store_plane)] closures, monomorphic by precision
+    (the buffer constructor is matched once per block). [load_plane i]
+    fills [reg_file.(0).(i mod p)] from stream plane [i] (out-of-grid
+    threads read 0) and ticks the global-read counter;
+    [store_plane j] writes [reg_file.(degree).(j mod p)] back for
+    storing threads and ticks the global-write counter. Callers must
+    have validated the unsafe contract first and only pass
+    [0 <= i < l]. Shared by {!execute_block} and {!Stream_exec}.
+    @raise Invalid_argument on a src/dst precision mismatch. *)
 
 val execute_block :
   t ->

@@ -10,7 +10,10 @@ let shards_doc =
    per temporal chunk (1 = resident single-owner execution; sharded results \
    are bit-identical, see docs/SHARDING.md)."
 
-let impl_doc = "Executor implementation: compiled (default), closure, or bigarray (unsafe-indexed fast path)."
+let impl_doc =
+  "Executor implementation: compiled (default), closure, bigarray \
+   (unsafe-indexed fast path), or streaming (sliding-window register-reuse \
+   path with shape-specialized kernels)."
 
 let mode_doc = "CALC evaluation mode: direct (default) or partial-sums."
 
@@ -25,6 +28,12 @@ let metrics_doc =
 
 let verify_doc = "Disable the CPU-reference verification of simulated results."
 
+let gc_space_overhead_doc =
+  "GC pacing for throughput runs: apply Gc.set with this space_overhead \
+   percentage (OCaml default 120) before executing. Larger values trade heap \
+   headroom for fewer major collections; never alters results (see \
+   docs/SIMULATOR.md)."
+
 let usage =
   String.concat "\n"
     [
@@ -35,6 +44,7 @@ let usage =
       "  --trace FILE    " ^ trace_doc;
       "  --metrics       " ^ metrics_doc;
       "  --no-verify     " ^ verify_doc;
+      "  --gc-space-overhead N  " ^ gc_space_overhead_doc;
     ]
 
 let parse ?(init = Run_config.default) args =
@@ -60,8 +70,17 @@ let parse ?(init = Run_config.default) args =
     | "--metrics" :: tl -> go (Run_config.with_metrics true cfg) rest tl
     | "--no-verify" :: tl -> go (Run_config.with_verify false cfg) rest tl
     | "--verify" :: tl -> go (Run_config.with_verify true cfg) rest tl
+    | "--gc-space-overhead" :: v :: tl -> (
+        match int_of_string_opt v with
+        | Some o when o >= 1 ->
+            go (Run_config.with_gc_space_overhead (Some o) cfg) rest tl
+        | _ ->
+            Error
+              (Fmt.str "--gc-space-overhead expects a positive integer, got %s" v))
     | [ flag ]
-      when List.mem flag [ "--domains"; "--shards"; "--impl"; "--mode"; "--trace" ]
+      when List.mem flag
+             [ "--domains"; "--shards"; "--impl"; "--mode"; "--trace";
+               "--gc-space-overhead" ]
       ->
         Error (Fmt.str "%s expects an argument" flag)
     | a :: tl -> go cfg (a :: rest) tl

@@ -1,9 +1,9 @@
 (** Shared command-line handling for the cross-cutting run flags
     ([--domains], [--shards], [--impl], [--mode], [--trace],
-    [--metrics], [--no-verify]) — one parser producing a
-    {!Run_config.t}, used by both [bin/an5d] (behind its cmdliner
-    terms) and [bench/main] (directly on its argv list), so the two
-    front ends cannot drift. *)
+    [--metrics], [--no-verify], [--gc-space-overhead]) — one parser
+    producing a {!Run_config.t}, used by both [bin/an5d] (behind its
+    cmdliner terms) and [bench/main] (directly on its argv list), so
+    the two front ends cannot drift. *)
 
 val parse :
   ?init:Run_config.t -> string list -> (Run_config.t * string list, string) result
@@ -11,10 +11,11 @@ val parse :
     {!Run_config.default}) and returns the remaining arguments in
     order. Recognized:
     [--domains N] (positive), [--shards N] (positive),
-    [--impl compiled|closure|bigarray],
+    [--impl compiled|closure|bigarray|streaming],
     [--mode direct|partial-sums], [--trace FILE], [--metrics],
-    [--no-verify], [--verify]. Returns [Error] on a malformed value or
-    a flag missing its argument. *)
+    [--no-verify], [--verify], [--gc-space-overhead N] (positive;
+    applied by {!Run_config.with_obs}). Returns [Error] on a malformed
+    value or a flag missing its argument. *)
 
 val usage : string
 (** One line per recognized flag, for embedding in [--help] output. *)
@@ -35,3 +36,5 @@ val trace_doc : string
 val metrics_doc : string
 
 val verify_doc : string
+
+val gc_space_overhead_doc : string

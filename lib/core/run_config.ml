@@ -2,7 +2,7 @@
 
 type exec_mode = Direct | Partial_sums
 
-type impl = Compiled | Closure | Bigarray
+type impl = Compiled | Closure | Bigarray | Streaming
 
 type t = {
   mode : exec_mode;
@@ -12,17 +12,19 @@ type t = {
   verify : bool;
   trace : string option;
   metrics : bool;
+  gc_space_overhead : int option;
 }
 
 let default =
   { mode = Direct; impl = Compiled; domains = 1; shards = 1; verify = true;
-    trace = None; metrics = false }
+    trace = None; metrics = false; gc_space_overhead = None }
 
 let make ?(mode = default.mode) ?(impl = default.impl)
     ?(domains = default.domains) ?(shards = default.shards)
     ?(verify = default.verify) ?(trace = default.trace)
-    ?(metrics = default.metrics) () =
-  { mode; impl; domains; shards; verify; trace; metrics }
+    ?(metrics = default.metrics) ?(gc_space_overhead = default.gc_space_overhead)
+    () =
+  { mode; impl; domains; shards; verify; trace; metrics; gc_space_overhead }
 
 let with_mode mode t = { t with mode }
 
@@ -38,6 +40,8 @@ let with_trace trace t = { t with trace }
 
 let with_metrics metrics t = { t with metrics }
 
+let with_gc_space_overhead gc_space_overhead t = { t with gc_space_overhead }
+
 let mode_to_string = function Direct -> "direct" | Partial_sums -> "partial-sums"
 
 let mode_of_string = function
@@ -49,12 +53,17 @@ let impl_to_string = function
   | Compiled -> "compiled"
   | Closure -> "closure"
   | Bigarray -> "bigarray"
+  | Streaming -> "streaming"
 
 let impl_of_string = function
   | "compiled" -> Ok Compiled
   | "closure" -> Ok Closure
   | "bigarray" -> Ok Bigarray
-  | s -> Error (Fmt.str "unknown impl %s (expected compiled, closure or bigarray)" s)
+  | "streaming" -> Ok Streaming
+  | s ->
+      Error
+        (Fmt.str "unknown impl %s (expected compiled, closure, bigarray or streaming)"
+           s)
 
 (* The semantic fields first, so [cache_key] is a prefix-style subset
    of [to_sexp] and both stay in sync by construction. [shards] is
@@ -66,10 +75,11 @@ let semantic_sexp t =
     (impl_to_string t.impl) t.shards t.verify
 
 let to_sexp t =
-  Fmt.str "(run-config %s (domains %d) (trace %s) (metrics %b))"
+  Fmt.str "(run-config %s (domains %d) (trace %s) (metrics %b) (gc-space-overhead %s))"
     (semantic_sexp t) t.domains
     (match t.trace with None -> "()" | Some f -> Fmt.str "(%s)" f)
     t.metrics
+    (match t.gc_space_overhead with None -> "()" | Some o -> Fmt.str "(%d)" o)
 
 let cache_key t = Fmt.str "(run-key %s)" (semantic_sexp t)
 
@@ -80,6 +90,15 @@ let hash t = Hashtbl.hash (cache_key t)
 let pp ppf t = Fmt.string ppf (to_sexp t)
 
 let with_obs t f =
+  (* GC pacing: a larger space_overhead trades heap headroom for fewer
+     major collections during throughput runs. Applied here (not in the
+     executors) so one knob covers every entrypoint; never restored —
+     the knob sets process-wide policy for the whole bench/CLI run. *)
+  (match t.gc_space_overhead with
+  | None -> ()
+  | Some o ->
+      if o < 1 then invalid_arg "Run_config.with_obs: gc_space_overhead must be >= 1";
+      Gc.set { (Gc.get ()) with Gc.space_overhead = o });
   if t.trace <> None then begin
     Obs.Trace.clear ();
     Obs.Trace.set_enabled true

@@ -27,8 +27,12 @@ type exec_mode = Direct | Partial_sums
     the bit-identical legacy per-cell path; [Bigarray] is the
     unsafe-indexed monomorphic fast path over the flat grid buffers
     ({!Plan.execute_block}), bit-identical again and gated by the
-    storage differential suite plus the BENCH_throughput floor. *)
-type impl = Compiled | Closure | Bigarray
+    storage differential suite plus the BENCH_throughput floor;
+    [Streaming] is the sliding-window register-reuse executor
+    ({!Stream_exec}) with shape-specialized fused kernels, bit-identical
+    once more (grids and simulated counters) and gated by its own
+    differential suite plus a streaming-over-bigarray floor. *)
+type impl = Compiled | Closure | Bigarray | Streaming
 
 type t = {
   mode : exec_mode;
@@ -45,6 +49,12 @@ type t = {
       (** span-trace sink: write Chrome trace_event JSON here (see
           docs/OBSERVABILITY.md); [None] disables tracing *)
   metrics : bool;  (** print the metrics registry snapshot afterwards *)
+  gc_space_overhead : int option;
+      (** GC pacing for throughput runs: when set, {!with_obs} applies
+          [Gc.set] with this [space_overhead] (percent; OCaml default
+          120) before running the thunk. Larger values trade heap
+          headroom for fewer major collections. Non-semantic — never
+          alters results (docs/SIMULATOR.md). *)
 }
 
 val default : t
@@ -60,6 +70,7 @@ val make :
   ?verify:bool ->
   ?trace:string option ->
   ?metrics:bool ->
+  ?gc_space_overhead:int option ->
   unit ->
   t
 (** Builder over {!default}. *)
@@ -81,6 +92,8 @@ val with_trace : string option -> t -> t
 
 val with_metrics : bool -> t -> t
 
+val with_gc_space_overhead : int option -> t -> t
+
 val mode_to_string : exec_mode -> string
 
 val mode_of_string : string -> (exec_mode, string) result
@@ -89,12 +102,12 @@ val mode_of_string : string -> (exec_mode, string) result
 val impl_to_string : impl -> string
 
 val impl_of_string : string -> (impl, string) result
-(** ["compiled"], ["closure"] and ["bigarray"]. *)
+(** ["compiled"], ["closure"], ["bigarray"] and ["streaming"]. *)
 
 val to_sexp : t -> string
 (** Full stable rendering, e.g.
     [(run-config (mode direct) (impl compiled) (shards 1) (verify true)
-      (domains 1) (trace ()) (metrics false))]. *)
+      (domains 1) (trace ()) (metrics false) (gc-space-overhead ()))]. *)
 
 val cache_key : t -> string
 (** The semantic part of {!to_sexp}: only the fields that can change a
@@ -122,8 +135,11 @@ val with_obs : t -> (unit -> 'a) -> 'a
     exceptions — a partial trace is exactly what you want then) write
     the Chrome trace_event JSON to the file, validating it with
     {!Obs.Export.validate_chrome}; when [metrics] is set, print the
-    registry snapshot at the end. This is the single implementation of
-    the [--trace FILE] / [--metrics] behavior shared by [bin/an5d] and
+    registry snapshot at the end; when [gc_space_overhead] is set,
+    apply it via [Gc.set] first (process-wide, not restored). This is
+    the single implementation of the [--trace FILE] / [--metrics] /
+    [--gc-space-overhead] behavior shared by [bin/an5d] and
     [bench/main].
     @raise Failure when the exporter emits JSON its own validator
-    rejects (CI treats that as a build break). *)
+    rejects (CI treats that as a build break).
+    @raise Invalid_argument when [gc_space_overhead < 1]. *)

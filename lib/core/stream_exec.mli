@@ -1,0 +1,51 @@
+(** Sliding-window streaming executor — the [Streaming] impl behind
+    {!Blocking.kernel_call}.
+
+    The host-side realization of AN5D's streaming-dimension register
+    reuse (§3–§4.2) on top of {!Plan}: per time-step level a circular
+    window of [p = 2*rad + 1] source-plane references advances one
+    plane per streaming step — rotate [p - 1] references, bind only the
+    incoming plane — instead of rebuilding the whole plane-pointer
+    table per plane. The inner loop over the positioned window is
+    specialized once per block by the lowering's
+    {!Stencil.Sexpr.kernel_shape}:
+
+    - [K_fused 3/5/7/9] — fully unrolled monomorphic kernels, every
+      plane slot / neighbor row / coefficient hoisted into locals;
+    - [K_wide n] (all terms scaled, [n >= 9]) — chunked accumulation,
+      9 unrolled terms per chunk through a per-thread accumulator
+      plane (e.g. j3d27pt);
+    - [K_folded n] and the remaining wide/mixed shapes — pair-aware
+      term-major loop consuming the §4.2 symmetric-coefficient folds;
+    - [K_generic] never reaches this module ({!Plan.unsafe_capable} is
+      false without a flat linear form — {!Blocking} falls back to the
+      checked compiled path and ticks [streaming_dispatch_fallback]).
+
+    {b Unsafe window-rotation contract} (see [scripts/check_unsafe.sh]):
+    all unchecked indexing below — the window rotation into the fixed
+    register file, the kernels' hoisted term-major table reads, the
+    plane I/O base offsets — is covered by
+    {!Plan.validate_unsafe_contract}, established once per block before
+    the sweep; a malformed plan raises [Invalid_argument] there instead
+    of reading out of bounds.
+
+    Grids {e and} simulated GPU counters are bit-identical to every
+    other impl: identical load/store/compute schedule, identical
+    left-to-right accumulation order, identical bulk counter calls in
+    the same order (host-side register reuse is invisible to the
+    modeled schedule). Proven by the differential suite in
+    test/test_streaming.ml and the golden-bit regressions in
+    test/golden/. *)
+
+val execute_block :
+  Plan.t ->
+  degree:int ->
+  src:Stencil.Grid.t ->
+  dst:Stencil.Grid.t ->
+  Gpu.Machine.block_ctx ->
+  unit
+(** One thread block of the streaming implementation — same signature
+    and same observable behavior as {!Plan.execute_block}. Requires
+    {!Plan.unsafe_capable}; raises [Invalid_argument] otherwise (no
+    linear form), on a src/dst precision mismatch, or on a
+    validate-then-unsafe contract violation. *)

@@ -112,6 +112,7 @@ let step_lowered ~unsafe (low : Sexpr.lowered) ~rad ~(src : Grid.t) ~(dst : Grid
   match low.Sexpr.low_linear with
   | Some lf ->
       let lt_off = lf.Sexpr.lt_off in
+      let lt_off2 = lf.Sexpr.lt_off2 in
       let lt_coef = lf.Sexpr.lt_coef in
       let lt_scaled = lf.Sexpr.lt_scaled in
       let n_terms = Array.length lt_off in
@@ -120,14 +121,24 @@ let step_lowered ~unsafe (low : Sexpr.lowered) ~rad ~(src : Grid.t) ~(dst : Grid
         | Sexpr.Post_none -> (false, 1.0)
         | Sexpr.Post_div dv -> (true, dv)
       in
+      (* Folded-pair terms (lt_off2 >= 0) read the mirror cell and add it
+         before the optional scaling — same shape as the source tree. *)
       let checked_row_f64 (s : Grid.f64buf) (d : Grid.f64buf) base =
         for pos = base + rad to base + last - rad - 1 do
           let k0 = lt_off.(0) in
           let v0 = Bigarray.Array1.get s (pos + delta.(k0)) in
+          let k2 = lt_off2.(0) in
+          let v0 =
+            if k2 >= 0 then v0 +. Bigarray.Array1.get s (pos + delta.(k2)) else v0
+          in
           let acc = ref (if lt_scaled.(0) then lt_coef.(0) *. v0 else v0) in
           for q = 1 to n_terms - 1 do
             let k = lt_off.(q) in
             let v = Bigarray.Array1.get s (pos + delta.(k)) in
+            let k2 = lt_off2.(q) in
+            let v =
+              if k2 >= 0 then v +. Bigarray.Array1.get s (pos + delta.(k2)) else v
+            in
             acc := !acc +. (if lt_scaled.(q) then lt_coef.(q) *. v else v)
           done;
           Bigarray.Array1.set d pos (if has_div then !acc /. div else !acc)
@@ -137,10 +148,18 @@ let step_lowered ~unsafe (low : Sexpr.lowered) ~rad ~(src : Grid.t) ~(dst : Grid
         for pos = base + rad to base + last - rad - 1 do
           let k0 = lt_off.(0) in
           let v0 = Bigarray.Array1.get s (pos + delta.(k0)) in
+          let k2 = lt_off2.(0) in
+          let v0 =
+            if k2 >= 0 then v0 +. Bigarray.Array1.get s (pos + delta.(k2)) else v0
+          in
           let acc = ref (if lt_scaled.(0) then lt_coef.(0) *. v0 else v0) in
           for q = 1 to n_terms - 1 do
             let k = lt_off.(q) in
             let v = Bigarray.Array1.get s (pos + delta.(k)) in
+            let k2 = lt_off2.(q) in
+            let v =
+              if k2 >= 0 then v +. Bigarray.Array1.get s (pos + delta.(k2)) else v
+            in
             acc := !acc +. (if lt_scaled.(q) then lt_coef.(q) *. v else v)
           done;
           Bigarray.Array1.set d pos (if has_div then !acc /. div else !acc)
@@ -150,6 +169,12 @@ let step_lowered ~unsafe (low : Sexpr.lowered) ~rad ~(src : Grid.t) ~(dst : Grid
         for pos = base + rad to base + last - rad - 1 do
           let k0 = Array.unsafe_get lt_off 0 in
           let v0 = Bigarray.Array1.unsafe_get s (pos + Array.unsafe_get delta k0) in
+          let k2 = Array.unsafe_get lt_off2 0 in
+          let v0 =
+            if k2 >= 0 then
+              v0 +. Bigarray.Array1.unsafe_get s (pos + Array.unsafe_get delta k2)
+            else v0
+          in
           let acc =
             ref
               (if Array.unsafe_get lt_scaled 0 then
@@ -159,6 +184,12 @@ let step_lowered ~unsafe (low : Sexpr.lowered) ~rad ~(src : Grid.t) ~(dst : Grid
           for q = 1 to n_terms - 1 do
             let k = Array.unsafe_get lt_off q in
             let v = Bigarray.Array1.unsafe_get s (pos + Array.unsafe_get delta k) in
+            let k2 = Array.unsafe_get lt_off2 q in
+            let v =
+              if k2 >= 0 then
+                v +. Bigarray.Array1.unsafe_get s (pos + Array.unsafe_get delta k2)
+              else v
+            in
             acc :=
               !acc
               +. (if Array.unsafe_get lt_scaled q then Array.unsafe_get lt_coef q *. v
@@ -171,6 +202,12 @@ let step_lowered ~unsafe (low : Sexpr.lowered) ~rad ~(src : Grid.t) ~(dst : Grid
         for pos = base + rad to base + last - rad - 1 do
           let k0 = Array.unsafe_get lt_off 0 in
           let v0 = Bigarray.Array1.unsafe_get s (pos + Array.unsafe_get delta k0) in
+          let k2 = Array.unsafe_get lt_off2 0 in
+          let v0 =
+            if k2 >= 0 then
+              v0 +. Bigarray.Array1.unsafe_get s (pos + Array.unsafe_get delta k2)
+            else v0
+          in
           let acc =
             ref
               (if Array.unsafe_get lt_scaled 0 then
@@ -180,6 +217,12 @@ let step_lowered ~unsafe (low : Sexpr.lowered) ~rad ~(src : Grid.t) ~(dst : Grid
           for q = 1 to n_terms - 1 do
             let k = Array.unsafe_get lt_off q in
             let v = Bigarray.Array1.unsafe_get s (pos + Array.unsafe_get delta k) in
+            let k2 = Array.unsafe_get lt_off2 q in
+            let v =
+              if k2 >= 0 then
+                v +. Bigarray.Array1.unsafe_get s (pos + Array.unsafe_get delta k2)
+              else v
+            in
             acc :=
               !acc
               +. (if Array.unsafe_get lt_scaled q then Array.unsafe_get lt_coef q *. v

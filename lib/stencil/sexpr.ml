@@ -327,11 +327,17 @@ type post_op = Post_none | Post_div of float
     offsets-table index [lt_off.(k)] and contributes it scaled by
     [lt_coef.(k)] when [lt_scaled.(k)] (bare reads contribute the value
     itself — skipping the multiplication keeps [1.0 *. x] rounding
-    questions out of the bit-identity argument). Terms are accumulated
-    left to right starting from term 0, exactly the left-leaning [Add]
-    spine {!weighted_sum} builds, then [lt_post] applies. *)
+    questions out of the bit-identity argument). A term with
+    [lt_off2.(k) >= 0] is a folded symmetric pair [c * (a + b)] (§4.2):
+    the second read is added to the first *before* the optional scaling,
+    exactly how the source tree [Mul (c, Add (a, b))] evaluates, so the
+    fold is a coverage extension rather than a reassociation. Terms are
+    accumulated left to right starting from term 0, exactly the
+    left-leaning [Add] spine {!weighted_sum} builds, then [lt_post]
+    applies. *)
 type linear_form = {
   lt_off : int array;
+  lt_off2 : int array;  (** second read of a folded pair, [-1] if unpaired *)
   lt_coef : float array;
   lt_scaled : bool array;
   lt_post : post_op;
@@ -346,16 +352,47 @@ type plane_group = {
   g_eval : (int -> float) -> float;
 }
 
+(** Which specialized streaming kernel a lowered expression dispatches
+    to (docs/SIMULATOR.md): fully unrolled fused kernels for the small
+    star/box arities, a chunked wide kernel for larger linear forms, a
+    pair-aware kernel when symmetric folding produced [c*(a+b)] terms,
+    and the generic per-term interpreter otherwise. Classification is
+    static metadata from lowering — executors agree on it by
+    construction. *)
+type kernel_shape =
+  | K_fused of int  (** fully unrolled; arity in {3,5,7,9} *)
+  | K_wide of int  (** chunked accumulation for any other linear arity *)
+  | K_folded of int  (** pair-aware; the int counts distinct points read *)
+  | K_generic  (** no flat linear form — per-term fallback *)
+
+let kernel_shape_of_linear = function
+  | None -> K_generic
+  | Some lf ->
+      let terms = Array.length lf.lt_off in
+      let pairs =
+        Array.fold_left (fun n k2 -> if k2 >= 0 then n + 1 else n) 0 lf.lt_off2
+      in
+      if pairs > 0 then K_folded (terms + pairs)
+      else if terms = 3 || terms = 5 || terms = 7 || terms = 9 then K_fused terms
+      else K_wide terms
+
+let kernel_shape_name = function
+  | K_fused n -> Printf.sprintf "fused%dpt" n
+  | K_wide n -> Printf.sprintf "wide%dpt" n
+  | K_folded n -> Printf.sprintf "folded%dpt" n
+  | K_generic -> "generic"
+
 (** Everything an executor inner loop needs, precompiled: the distinct
     offsets (the read index space), an indexed closure bit-identical to
     {!compile}, the flat linear form when the expression is a
     left-leaning weighted sum (with an optional invariant-divisor
-    post-op), and the partial-summation groups mirroring
-    {!compile_partial_sums}. *)
+    post-op), the streaming-kernel classification derived from it, and
+    the partial-summation groups mirroring {!compile_partial_sums}. *)
 type lowered = {
   low_offsets : int array array;
   low_eval : (int -> float) -> float;
   low_linear : linear_form option;
+  low_kernel : kernel_shape;
   low_partial : (plane_group array * (float -> float)) option;
 }
 
@@ -366,6 +403,8 @@ let apply_post p v = match p with Post_none -> v | Post_div d -> v /. d
 let eval_linear (lf : linear_form) (read : int -> float) =
   let term k =
     let v = read lf.lt_off.(k) in
+    let k2 = lf.lt_off2.(k) in
+    let v = if k2 >= 0 then v +. read k2 else v in
     if lf.lt_scaled.(k) then lf.lt_coef.(k) *. v else v
   in
   let acc = ref (term 0) in
@@ -388,13 +427,23 @@ let scalar_value ~param = function
   | Const c -> Some c
   | _ -> None
 
-(* One linear term: [Cell], or [scalar * Cell] either way round
-   (IEEE 754 multiplication commutes bit-exactly). *)
+(* One linear term as (off, off2, coef, scaled): [Cell], or
+   [scalar * Cell] either way round (IEEE 754 multiplication commutes
+   bit-exactly), or a folded symmetric pair — [Add (Cell a, Cell b)],
+   bare or scaled. The pair cases evaluate as [c *. (va +. vb)], exactly
+   the shape of the source sub-tree, so flattening them preserves
+   rounding while extending the fast path to §4.2-style
+   symmetric-coefficient stencils. *)
 let linear_term ~param ~index = function
-  | Cell o -> Some (index o, 0.0, false)
+  | Cell o -> Some (index o, -1, 0.0, false)
+  | Add (Cell a, Cell b) -> Some (index a, index b, 0.0, false)
   | Mul (s, Cell o) | Mul (Cell o, s) -> (
       match scalar_value ~param s with
-      | Some c -> Some (index o, c, true)
+      | Some c -> Some (index o, -1, c, true)
+      | None -> None)
+  | Mul (s, Add (Cell a, Cell b)) | Mul (Add (Cell a, Cell b), s) -> (
+      match scalar_value ~param s with
+      | Some c -> Some (index a, index b, c, true)
       | None -> None)
   | _ -> None
 
@@ -406,9 +455,10 @@ let linearize_sum ~param ~index ~post body =
     let ts = Array.of_list (List.map Option.get lowered) in
     Some
       {
-        lt_off = Array.map (fun (o, _, _) -> o) ts;
-        lt_coef = Array.map (fun (_, c, _) -> c) ts;
-        lt_scaled = Array.map (fun (_, _, s) -> s) ts;
+        lt_off = Array.map (fun (o, _, _, _) -> o) ts;
+        lt_off2 = Array.map (fun (_, o2, _, _) -> o2) ts;
+        lt_coef = Array.map (fun (_, _, c, _) -> c) ts;
+        lt_scaled = Array.map (fun (_, _, _, s) -> s) ts;
         lt_post = post;
       }
 
@@ -466,6 +516,7 @@ let lower ~(param : string -> float) e =
     low_offsets = offs;
     low_eval = compile_indexed ~param ~index e;
     low_linear;
+    low_kernel = kernel_shape_of_linear low_linear;
     low_partial;
   }
 

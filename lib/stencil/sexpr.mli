@@ -111,11 +111,15 @@ type post_op = Post_none | Post_div of float
 
 (** Fully flattened linear combination: term [k] reads offsets-table
     index [lt_off.(k)], scaled by [lt_coef.(k)] when [lt_scaled.(k)].
+    When [lt_off2.(k) >= 0] the term is a folded symmetric pair
+    [c * (a + b)] (§4.2): the second read adds to the first *before*
+    scaling, matching the source sub-tree [Mul (c, Add (a, b))] exactly.
     Terms accumulate left to right from term 0 (the left [Add] spine of
     {!weighted_sum}), then [lt_post] applies — rounding-identical to the
     compiled closure by construction. *)
 type linear_form = {
   lt_off : int array;
+  lt_off2 : int array;  (** second read of a folded pair, [-1] if unpaired *)
   lt_coef : float array;
   lt_scaled : bool array;
   lt_post : post_op;
@@ -129,15 +133,36 @@ type plane_group = {
   g_eval : (int -> float) -> float;
 }
 
+(** Which specialized streaming kernel a lowered expression dispatches
+    to (docs/SIMULATOR.md): fully unrolled fused kernels for arities
+    3/5/7/9, a chunked wide kernel for other linear arities, a
+    pair-aware kernel when symmetric folding produced [c*(a+b)] terms,
+    and the generic per-term interpreter when no flat linear form
+    exists. *)
+type kernel_shape =
+  | K_fused of int  (** fully unrolled; arity in {3,5,7,9} *)
+  | K_wide of int  (** chunked accumulation for any other linear arity *)
+  | K_folded of int  (** pair-aware; the int counts distinct points read *)
+  | K_generic  (** no flat linear form — per-term fallback *)
+
+val kernel_shape_of_linear : linear_form option -> kernel_shape
+(** Static classification used by the streaming executor's dispatch. *)
+
+val kernel_shape_name : kernel_shape -> string
+(** Stable name for metrics/bench JSON: ["fused5pt"], ["wide27pt"],
+    ["folded5pt"], ["generic"]. *)
+
 (** Precompiled table-driven execution form: the distinct offsets (the
     read index space), an indexed closure bit-identical to {!compile},
     the flat linear form when the expression is a left-leaning weighted
-    sum with an optional invariant-divisor post-op, and partial-sum
-    groups mirroring {!compile_partial_sums}. *)
+    sum with an optional invariant-divisor post-op, the streaming-kernel
+    classification derived from it, and partial-sum groups mirroring
+    {!compile_partial_sums}. *)
 type lowered = {
   low_offsets : int array array;
   low_eval : (int -> float) -> float;
   low_linear : linear_form option;
+  low_kernel : kernel_shape;
   low_partial : (plane_group array * (float -> float)) option;
 }
 

@@ -2,15 +2,18 @@
 # Unsafe-indexing hygiene: Bigarray's unchecked accessors skip bounds
 # checks, so every call site must sit behind the interior/boundary
 # peeling proof documented in Grid's interface. Only the definition
-# site and the two audited hot-loop modules may mention them; anything
+# site and the audited hot-loop modules may mention them; anything
 # else in shipped code (lib/, bin/, bench/, examples/) is rejected.
+# stream_exec.ml is on the list for its sliding-window rotation loops:
+# every unsafe access there is covered by the validate-then-unsafe
+# contract (Plan.validate_unsafe_contract, see stream_exec.mli).
 # Tests are exempt — they exercise the accessors' contract on purpose.
 # Run from the repository root; exits non-zero listing violations.
 set -eu
 
 cd "$(dirname "$0")/.."
 
-allowed="lib/stencil/grid.ml lib/stencil/grid.mli lib/stencil/reference.ml lib/core/plan.ml"
+allowed="lib/stencil/grid.ml lib/stencil/grid.mli lib/stencil/reference.ml lib/core/plan.ml lib/core/stream_exec.ml"
 
 is_allowed() {
   for a in $allowed; do

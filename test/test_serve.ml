@@ -153,16 +153,17 @@ let test_run_config_render () =
   Alcotest.(check string)
     "default sexp"
     "(run-config (mode direct) (impl compiled) (shards 1) (verify true) \
-     (domains 1) (trace ()) (metrics false))"
+     (domains 1) (trace ()) (metrics false) (gc-space-overhead ()))"
     (Run_config.to_sexp Run_config.default);
   let t =
     Run_config.make ~mode:Run_config.Partial_sums ~impl:Run_config.Closure
-      ~domains:4 ~shards:2 ~verify:false ~trace:(Some "t.json") ~metrics:true ()
+      ~domains:4 ~shards:2 ~verify:false ~trace:(Some "t.json") ~metrics:true
+      ~gc_space_overhead:(Some 200) ()
   in
   Alcotest.(check string)
     "full sexp"
     "(run-config (mode partial-sums) (impl closure) (shards 2) (verify false) \
-     (domains 4) (trace (t.json)) (metrics true))"
+     (domains 4) (trace (t.json)) (metrics true) (gc-space-overhead (200)))"
     (Run_config.to_sexp t)
 
 let test_run_config_cache_key () =
@@ -201,10 +202,14 @@ let test_run_config_strings () =
     "impl round trip" true
     (Run_config.impl_of_string "compiled" = Ok Run_config.Compiled
     && Run_config.impl_of_string "closure" = Ok Run_config.Closure
-    && Run_config.impl_of_string "bigarray" = Ok Run_config.Bigarray);
+    && Run_config.impl_of_string "bigarray" = Ok Run_config.Bigarray
+    && Run_config.impl_of_string "streaming" = Ok Run_config.Streaming);
   Alcotest.(check string)
     "bigarray renders" "bigarray"
     (Run_config.impl_to_string Run_config.Bigarray);
+  Alcotest.(check string)
+    "streaming renders" "streaming"
+    (Run_config.impl_to_string Run_config.Streaming);
   Alcotest.(check bool)
     "bad values rejected" true
     (Result.is_error (Run_config.mode_of_string "fast")
@@ -215,7 +220,8 @@ let test_run_args_parse () =
     Run_args.parse
       [
         "--domains"; "4"; "--impl"; "closure"; "--mode"; "partial-sums";
-        "--trace"; "t.json"; "--metrics"; "--no-verify"; "fig6"; "table5";
+        "--trace"; "t.json"; "--metrics"; "--no-verify";
+        "--gc-space-overhead"; "240"; "fig6"; "table5";
       ]
   with
   | Error msg -> Alcotest.fail msg
@@ -227,6 +233,8 @@ let test_run_args_parse () =
       Alcotest.(check (option string)) "trace" (Some "t.json") cfg.Run_config.trace;
       Alcotest.(check bool) "metrics" true cfg.Run_config.metrics;
       Alcotest.(check bool) "no-verify" false cfg.Run_config.verify;
+      Alcotest.(check (option int)) "gc-space-overhead" (Some 240)
+        cfg.Run_config.gc_space_overhead;
       Alcotest.(check (list string)) "rest in order" [ "fig6"; "table5" ] rest
 
 let test_run_args_errors () =
@@ -236,6 +244,15 @@ let test_run_args_errors () =
   Alcotest.(check bool) "not a number" true (is_err [ "--domains"; "x" ]);
   Alcotest.(check bool) "bad impl" true (is_err [ "--impl"; "jit" ]);
   Alcotest.(check bool) "bad mode" true (is_err [ "--mode"; "fast" ]);
+  Alcotest.(check bool)
+    "gc overhead missing value" true
+    (is_err [ "--gc-space-overhead" ]);
+  Alcotest.(check bool)
+    "gc overhead non-positive" true
+    (is_err [ "--gc-space-overhead"; "0" ]);
+  Alcotest.(check bool)
+    "gc overhead not a number" true
+    (is_err [ "--gc-space-overhead"; "x" ]);
   (* later flags win; unknown args pass through untouched *)
   match Run_args.parse [ "--no-verify"; "--verify"; "--unknown" ] with
   | Error msg -> Alcotest.fail msg
@@ -616,7 +633,9 @@ let gen_case =
     let* steps = int_range 0 7 in
     let* seed = int_range 0 5 in
     let* impl =
-      oneofl [ Run_config.Compiled; Run_config.Closure; Run_config.Bigarray ]
+      oneofl
+        [ Run_config.Compiled; Run_config.Closure; Run_config.Bigarray;
+          Run_config.Streaming ]
     in
     let* prec = oneofl [ None; Some Stencil.Grid.F64; Some Stencil.Grid.F32 ] in
     return (bt, [| (2 * bt) + extra |], [| a; b |], steps, seed, impl, prec))

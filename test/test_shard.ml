@@ -207,7 +207,8 @@ let prop_matrix =
                  iname)
             ~count:200 arb_shard_case
             (shard_prop ~shards ~impl))
-        [ ("compiled", Blocking.Compiled); ("bigarray", Blocking.Bigarray) ])
+        [ ("compiled", Blocking.Compiled); ("bigarray", Blocking.Bigarray);
+          ("streaming", Blocking.Streaming) ])
     [ 1; 2; 4 ]
 
 (* Counter impl-invariance at shards > 1: the redundant ghost compute

@@ -1,0 +1,459 @@
+(* Differential harness for the sliding-window streaming executor.
+
+   The [Streaming] impl (Stream_exec) must be *bit-identical* to the
+   [Bigarray] and [Compiled] paths — same grid word for word, same
+   simulated counters field for field — across every kernel shape it
+   specializes (fused 3/5/7/9-point, chunked wide, folded symmetric
+   pairs, mixed scaled/bare terms), both precisions, and both the
+   resident and the sharded schedule. On top of the differentials:
+   unit tests pinning each pattern to the kernel shape its lowering
+   must classify to (a gated benchmark silently regressing to the
+   generic kernel is a failure, not a slowdown), reference-executor
+   equality for the symmetric-folded form, golden-bit regressions for
+   a folded stencil in both precisions, and assertions on the
+   streaming_dispatch_* counters and the plan_cache_size gauge.
+
+   Set AN5D_PREC=f32|f64 to pin every randomized case to one storage
+   precision (CI runs the suite once per value). Set AN5D_WRITE_GOLDEN
+   to regenerate the golden-bit files (run from test/ so golden/
+   resolves). *)
+
+open An5d_core
+
+(* --- precision pinning via AN5D_PREC --- *)
+
+let forced_prec =
+  match Option.map String.lowercase_ascii (Sys.getenv_opt "AN5D_PREC") with
+  | Some ("f32" | "float") -> Some Stencil.Grid.F32
+  | Some ("f64" | "double") -> Some Stencil.Grid.F64
+  | Some s -> failwith ("AN5D_PREC expects f32 or f64, got " ^ s)
+  | None -> None
+
+let gen_prec =
+  match forced_prec with
+  | Some p -> QCheck.Gen.return p
+  | None -> QCheck.Gen.oneofl [ Stencil.Grid.F64; Stencil.Grid.F32 ]
+
+(* --- pattern zoo --- *)
+
+let star ~dims rad =
+  Stencil.Pattern.make
+    ~name:(Fmt.str "star%dd%dr" dims rad)
+    ~dims ~params:[]
+    (Stencil.Sexpr.weighted_sum (Stencil.Shape.star_offsets ~dims ~rad))
+
+let box ~dims rad =
+  Stencil.Pattern.make
+    ~name:(Fmt.str "box%dd%dr" dims rad)
+    ~dims ~params:[]
+    (Stencil.Sexpr.weighted_sum (Stencil.Shape.box_offsets ~dims ~rad))
+
+let with_div pattern =
+  Stencil.Pattern.make
+    ~name:(pattern.Stencil.Pattern.name ^ "-div")
+    ~dims:pattern.Stencil.Pattern.dims
+    ~params:[ ("c0", 2.5) ]
+    (Stencil.Sexpr.Div (pattern.Stencil.Pattern.expr, Stencil.Sexpr.Param "c0"))
+
+(* Symmetric-coefficient 5-point star, written in the §4.2 folded form
+   [c * (a + b)]: three linear terms carrying five reads (one unpaired
+   center, two mirror pairs) — lowers to [K_folded 5]. *)
+let sym5 =
+  Stencil.Pattern.make ~name:"sym5pt" ~dims:2 ~params:[]
+    Stencil.Sexpr.(
+      Add
+        ( Add
+            ( Mul (Const 0.5, Cell [| 0; 0 |]),
+              Mul (Const 0.125, Add (Cell [| -1; 0 |], Cell [| 1; 0 |])) ),
+          Mul (Const 0.12, Add (Cell [| 0; -1 |], Cell [| 0; 1 |])) ))
+
+(* A folded pair with *no* scaling plus a scaled center: exercises the
+   bare-pair branch (pair read without coefficient) of every impl. *)
+let sym3 =
+  Stencil.Pattern.make ~name:"sym3pt" ~dims:2 ~params:[]
+    Stencil.Sexpr.(
+      Add
+        ( Mul (Const 0.25, Cell [| 0; 0 |]),
+          Add (Cell [| -1; 0 |], Cell [| 1; 0 |]) ))
+
+(* 3 collinear points: the smallest fused arity. *)
+let line3 =
+  Stencil.Pattern.make ~name:"line3pt" ~dims:2 ~params:[]
+    (Stencil.Sexpr.weighted_sum [ [| -1; 0 |]; [| 0; 0 |]; [| 1; 0 |] ])
+
+(* Non-linear: never reaches Stream_exec — the capability gate must
+   fall back to the compiled path (and tick the fallback counter). *)
+let sqrt_pattern =
+  Stencil.Pattern.make ~name:"sqrtish" ~dims:2 ~params:[]
+    Stencil.Sexpr.(
+      Mul
+        ( Const 0.5,
+          Add (Cell [| 0; 0 |], Sqrt (Add (Const 2.0, Cell [| 1; 0 |]))) ))
+
+let counters_t =
+  Alcotest.testable (fun ppf c -> Gpu.Counters.pp ppf c) Gpu.Counters.equal
+
+(* ------------------------------------------------------------------ *)
+(* Kernel-shape classification                                         *)
+(* ------------------------------------------------------------------ *)
+
+let kname p =
+  Stencil.Sexpr.kernel_shape_name
+    (Stencil.Pattern.lower p).Stencil.Sexpr.low_kernel
+
+let bench name =
+  match Bench_defs.Benchmarks.find name with
+  | Some b -> b.Bench_defs.Benchmarks.pattern
+  | None -> failwith ("unknown benchmark " ^ name)
+
+let test_kernel_shapes () =
+  List.iter
+    (fun (expect, p) -> Alcotest.(check string) (p.Stencil.Pattern.name ^ " shape") expect (kname p))
+    [
+      ("fused3pt", line3);
+      ("fused5pt", star ~dims:2 1);
+      ("fused5pt", with_div (star ~dims:2 1));
+      ("fused7pt", star ~dims:3 1);
+      ("fused9pt", star ~dims:2 2);
+      ("fused9pt", box ~dims:2 1);
+      ("wide27pt", box ~dims:3 1);
+      ("wide13pt", star ~dims:3 2);
+      ("folded5pt", sym5);
+      ("folded5pt", with_div sym5);
+      ("folded3pt", sym3);
+      ("generic", sqrt_pattern);
+      (* the gated bench stencils must classify to their specialized
+         kernels — the BENCH gate and CI depend on it *)
+      ("fused5pt", bench "j2d5pt");
+      ("wide27pt", bench "j3d27pt");
+    ]
+
+(* Folding only applies to expressions *written* as [c * (a + b)]: the
+   expanded form [c*a + c*b] keeps one read per term (different
+   rounding order, so it must not silently re-associate). *)
+let test_no_spurious_folding () =
+  let expanded =
+    Stencil.Pattern.make ~name:"expanded" ~dims:2 ~params:[]
+      Stencil.Sexpr.(
+        Add
+          ( Add
+              ( Mul (Const 0.125, Cell [| -1; 0 |]),
+                Mul (Const 0.125, Cell [| 1; 0 |]) ),
+            Mul (Const 0.5, Cell [| 0; 0 |]) ))
+  in
+  Alcotest.(check string) "expanded stays unfolded" "fused3pt" (kname expanded)
+
+(* ------------------------------------------------------------------ *)
+(* Blocked differential: Streaming vs Bigarray vs Compiled             *)
+(* ------------------------------------------------------------------ *)
+
+let run_blocked ~mode ~impl ~shards ~prec pattern cfg dims ~steps g =
+  let em = Execmodel.make pattern cfg dims in
+  let machine = Gpu.Machine.create ~prec Gpu.Device.v100 in
+  let rc = Run_config.make ~mode ~impl ~shards () in
+  let out, _ = Blocking.run_cfg rc em ~machine ~steps g in
+  (out, machine.Gpu.Machine.counters)
+
+(* The shape matrix: fused star arities, chunked/term-major boxes,
+   folded symmetric forms, with and without the Post_div tail, both
+   precisions, resident and 4-shard schedules. *)
+let gen_stream_case =
+  QCheck.Gen.(
+    let* variant = int_range 0 3 in
+    let* dims_n = if variant >= 2 then return 2 else int_range 2 3 in
+    let* rad =
+      if variant >= 2 then return 1
+      else int_range 1 (if dims_n = 2 then 3 else 2)
+    in
+    let* bt = int_range 1 3 in
+    let* divided = bool in
+    let* prec = gen_prec in
+    let* extra = int_range 1 6 in
+    let bs_edge = (2 * bt * rad) + extra in
+    let* sizes =
+      match dims_n with
+      | 2 ->
+          let* a = int_range (2 * rad) 30 in
+          let* b = int_range (2 * rad) 20 in
+          return [| a + 4; b + 4 |]
+      | _ ->
+          let* a = int_range (2 * rad) 12 in
+          let* b = int_range (2 * rad) 10 in
+          let* c = int_range (2 * rad) 10 in
+          return [| a + 4; b + 4; c + 4 |]
+    in
+    let* steps = int_range 0 6 in
+    let* shards = oneofl [ 1; 4 ] in
+    let base =
+      match variant with
+      | 0 -> star ~dims:dims_n rad
+      | 1 -> box ~dims:dims_n rad
+      | 2 -> sym5
+      | _ -> sym3
+    in
+    let pattern = if divided then with_div base else base in
+    let bs = Array.make (dims_n - 1) bs_edge in
+    return (pattern, rad, bt, bs, sizes, prec, steps, shards))
+
+let arb_stream_case =
+  QCheck.make
+    ~print:(fun (p, rad, bt, bs, sizes, prec, steps, shards) ->
+      Fmt.str "%s (%s) rad=%d bt=%d bs=%a sizes=%a prec=%s steps=%d shards=%d"
+        p.Stencil.Pattern.name (kname p) rad bt
+        Fmt.(array ~sep:(any ",") int)
+        bs
+        Fmt.(array ~sep:(any "x") int)
+        sizes
+        (Stencil.Grid.precision_to_string prec)
+        steps shards)
+    gen_stream_case
+
+let stream_prop other (pattern, rad, bt, bs, sizes, prec, steps, shards) =
+  let cfg = Config.make ~bt ~bs () in
+  if not (Config.valid ~rad ~max_threads:1024 cfg) then true
+  else begin
+    let g = Stencil.Grid.init_random ~prec sizes in
+    let stm, stm_c =
+      run_blocked ~mode:Blocking.Direct ~impl:Blocking.Streaming ~shards ~prec
+        pattern cfg sizes ~steps g
+    in
+    let oth, oth_c =
+      run_blocked ~mode:Blocking.Direct ~impl:other ~shards ~prec pattern cfg
+        sizes ~steps g
+    in
+    Stencil.Grid.digest stm = Stencil.Grid.digest oth
+    && Gpu.Counters.equal stm_c oth_c
+  end
+
+let prop_streaming_vs_bigarray =
+  QCheck.Test.make
+    ~name:"blocked: streaming = bigarray (grid digests and counters)" ~count:200
+    arb_stream_case
+    (stream_prop Blocking.Bigarray)
+
+let prop_streaming_vs_compiled =
+  QCheck.Test.make
+    ~name:"blocked: streaming = compiled plans (grid digests and counters)"
+    ~count:200 arb_stream_case
+    (stream_prop Blocking.Compiled)
+
+(* Partial_sums reassociates, so the capability gate must route the
+   Streaming impl through the checked compiled path — results must
+   still match [impl = Compiled] exactly. *)
+let prop_streaming_psum_fallback =
+  QCheck.Test.make
+    ~name:"blocked partial-sums: streaming falls back = compiled" ~count:60
+    arb_stream_case
+    (fun (pattern, rad, bt, bs, sizes, prec, steps, shards) ->
+      let cfg = Config.make ~bt ~bs () in
+      if not (Config.valid ~rad ~max_threads:1024 cfg) then true
+      else begin
+        let g = Stencil.Grid.init_random ~prec sizes in
+        let stm, stm_c =
+          run_blocked ~mode:Blocking.Partial_sums ~impl:Blocking.Streaming
+            ~shards ~prec pattern cfg sizes ~steps g
+        in
+        let com, com_c =
+          run_blocked ~mode:Blocking.Partial_sums ~impl:Blocking.Compiled
+            ~shards ~prec pattern cfg sizes ~steps g
+        in
+        Stencil.Grid.digest stm = Stencil.Grid.digest com
+        && Gpu.Counters.equal stm_c com_c
+      end)
+
+(* Fixed cases through every specialized kernel, with counters spelled
+   out via Alcotest so a failure names the diverging field. *)
+let test_fixed_shapes () =
+  List.iter
+    (fun (pattern, rad, bt, bs, dims) ->
+      List.iter
+        (fun prec ->
+          List.iter
+            (fun shards ->
+              let name =
+                Fmt.str "%s (%s) %s shards=%d" pattern.Stencil.Pattern.name
+                  (kname pattern)
+                  (Stencil.Grid.precision_to_string prec)
+                  shards
+              in
+              let cfg = Config.make ~bt ~bs () in
+              Alcotest.(check bool) (name ^ " cfg valid") true
+                (Config.valid ~rad ~max_threads:1024 cfg);
+              let g = Stencil.Grid.init_random ~prec dims in
+              let stm, stm_c =
+                run_blocked ~mode:Blocking.Direct ~impl:Blocking.Streaming
+                  ~shards ~prec pattern cfg dims ~steps:5 g
+              in
+              let big, big_c =
+                run_blocked ~mode:Blocking.Direct ~impl:Blocking.Bigarray
+                  ~shards ~prec pattern cfg dims ~steps:5 g
+              in
+              Alcotest.(check string) (name ^ " grid") (Stencil.Grid.digest big)
+                (Stencil.Grid.digest stm);
+              Alcotest.check counters_t (name ^ " counters") big_c stm_c)
+            [ 1; 4 ])
+        [ Stencil.Grid.F64; Stencil.Grid.F32 ])
+    [
+      (line3, 1, 2, [| 8 |], [| 18; 12 |]);
+      (with_div (star ~dims:2 1), 1, 3, [| 10 |], [| 24; 16 |]);
+      (star ~dims:3 1, 1, 2, [| 6; 6 |], [| 12; 10; 10 |]);
+      (box ~dims:2 1, 1, 2, [| 8 |], [| 20; 14 |]);
+      (box ~dims:3 1, 1, 1, [| 5; 5 |], [| 10; 9; 9 |]);
+      (star ~dims:3 2, 2, 1, [| 7; 7 |], [| 13; 11; 11 |]);
+      (sym5, 1, 2, [| 8 |], [| 18; 14 |]);
+      (sym3, 1, 2, [| 8 |], [| 18; 14 |]);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Reference executors on the folded form                              *)
+(* ------------------------------------------------------------------ *)
+
+(* The symmetric fold extends into the CPU reference's linear rows
+   (checked and unsafe): all three reference impls must agree bitwise
+   on a folded stencil, or the fold changed the rounding. *)
+let test_reference_folded () =
+  List.iter
+    (fun (pattern, prec) ->
+      let g = Stencil.Grid.init_random ~prec [| 17; 13 |] in
+      let r impl = Stencil.Reference.run ~impl pattern ~steps:4 g in
+      let clo = r Stencil.Reference.Closure in
+      let com = r Stencil.Reference.Compiled in
+      let big = r Stencil.Reference.Bigarray in
+      let name =
+        Fmt.str "%s %s" pattern.Stencil.Pattern.name
+          (Stencil.Grid.precision_to_string prec)
+      in
+      Alcotest.(check string) (name ^ " compiled") (Stencil.Grid.digest clo)
+        (Stencil.Grid.digest com);
+      Alcotest.(check string) (name ^ " bigarray") (Stencil.Grid.digest clo)
+        (Stencil.Grid.digest big))
+    [
+      (sym5, Stencil.Grid.F64);
+      (sym5, Stencil.Grid.F32);
+      (with_div sym5, Stencil.Grid.F64);
+      (sym3, Stencil.Grid.F64);
+      (sym3, Stencil.Grid.F32);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Golden-bit regression: folded stencil through the streaming path    *)
+(* ------------------------------------------------------------------ *)
+
+let golden_run prec =
+  let dims = [| 12; 9 |] in
+  let g = Stencil.Grid.init_random ~prec dims in
+  let em = Execmodel.make sym5 (Config.make ~bt:2 ~bs:[| 6 |] ()) dims in
+  let machine = Gpu.Machine.create ~prec Gpu.Device.v100 in
+  let out, _ =
+    Blocking.run_cfg
+      (Run_config.make ~impl:Run_config.Streaming ())
+      em ~machine ~steps:5 g
+  in
+  out
+
+let bits_of_cell prec g i j =
+  match prec with
+  | Stencil.Grid.F64 -> Int64.bits_of_float (Stencil.Grid.get g [| i; j |])
+  | Stencil.Grid.F32 ->
+      Int64.of_int32 (Int32.bits_of_float (Stencil.Grid.get g [| i; j |]))
+
+let write_golden path prec g =
+  Out_channel.with_open_text path (fun oc ->
+      Printf.fprintf oc
+        "# sym5pt streaming, init_random seed default, 12x9 %s, bt=2 bs=6 steps=5\n"
+        (Stencil.Grid.precision_to_string prec);
+      for i = 0 to 11 do
+        for j = 0 to 8 do
+          Printf.fprintf oc "%d %d %Lx\n" i j (bits_of_cell prec g i j)
+        done
+      done)
+
+let read_golden_bits path =
+  In_channel.with_open_text path In_channel.input_lines
+  |> List.filter_map (fun line ->
+         let line = String.trim line in
+         if line = "" || line.[0] = '#' then None
+         else
+           Scanf.sscanf line "%d %d %Lx" (fun i j bits -> Some ((i, j), bits)))
+
+let test_golden prec path () =
+  let out = golden_run prec in
+  if Sys.getenv_opt "AN5D_WRITE_GOLDEN" <> None then write_golden path prec out;
+  let cells = read_golden_bits path in
+  Alcotest.(check int) "cell count" (12 * 9) (List.length cells);
+  List.iter
+    (fun ((i, j), bits) ->
+      Alcotest.(check int64)
+        (Printf.sprintf "(%d,%d)" i j)
+        bits
+        (bits_of_cell prec out i j))
+    cells
+
+(* ------------------------------------------------------------------ *)
+(* Dispatch counters and the plan-cache gauge                          *)
+(* ------------------------------------------------------------------ *)
+
+let counter_value name =
+  Obs.Metrics.get_counter (Obs.Metrics.snapshot ()) name
+
+let test_dispatch_counters () =
+  let dims = [| 20; 14 |] in
+  let cfg = Config.make ~bt:2 ~bs:[| 8 |] () in
+  let run ~mode pattern =
+    let g = Stencil.Grid.init_random dims in
+    ignore
+      (run_blocked ~mode ~impl:Blocking.Streaming ~shards:1
+         ~prec:Stencil.Grid.F64 pattern cfg dims ~steps:4 g)
+  in
+  let before = counter_value "streaming_dispatch_fused5pt" in
+  run ~mode:Blocking.Direct (star ~dims:2 1);
+  Alcotest.(check bool) "fused5pt dispatch ticked" true
+    (counter_value "streaming_dispatch_fused5pt" > before);
+  let before = counter_value "streaming_dispatch_folded5pt" in
+  run ~mode:Blocking.Direct sym5;
+  Alcotest.(check bool) "folded5pt dispatch ticked" true
+    (counter_value "streaming_dispatch_folded5pt" > before);
+  (* non-linear and partial-sums requests take the checked path *)
+  let before = counter_value "streaming_dispatch_fallback" in
+  run ~mode:Blocking.Direct sqrt_pattern;
+  run ~mode:Blocking.Partial_sums (star ~dims:2 1);
+  Alcotest.(check bool) "fallback ticked twice" true
+    (counter_value "streaming_dispatch_fallback" >= before + 2);
+  (* the plan cache surfaced its stats: counters moved and the resident
+     gauge is live *)
+  let snap = Obs.Metrics.snapshot () in
+  Alcotest.(check bool) "plan_cache hits+misses > 0" true
+    (Obs.Metrics.get_counter snap "plan_cache_hits"
+     + Obs.Metrics.get_counter snap "plan_cache_misses"
+    > 0);
+  (match List.assoc_opt "plan_cache_size" snap.Obs.Metrics.gauges with
+  | Some v -> Alcotest.(check bool) "plan_cache_size gauge >= 1" true (v >= 1.0)
+  | None -> Alcotest.fail "plan_cache_size gauge not in snapshot")
+
+let () =
+  Alcotest.run "streaming"
+    [
+      ( "kernel shapes",
+        [
+          Alcotest.test_case "classification" `Quick test_kernel_shapes;
+          Alcotest.test_case "no spurious folding" `Quick test_no_spurious_folding;
+        ] );
+      ( "differential",
+        [
+          QCheck_alcotest.to_alcotest prop_streaming_vs_bigarray;
+          QCheck_alcotest.to_alcotest prop_streaming_vs_compiled;
+          QCheck_alcotest.to_alcotest prop_streaming_psum_fallback;
+          Alcotest.test_case "fixed kernel matrix" `Quick test_fixed_shapes;
+        ] );
+      ( "reference folded",
+        [ Alcotest.test_case "three impls agree" `Quick test_reference_folded ] );
+      ( "golden bits",
+        [
+          Alcotest.test_case "sym5pt f64" `Quick
+            (test_golden Stencil.Grid.F64 "golden/streaming_sym5pt_f64.bits");
+          Alcotest.test_case "sym5pt f32" `Quick
+            (test_golden Stencil.Grid.F32 "golden/streaming_sym5pt_f32.bits");
+        ] );
+      ( "observability",
+        [ Alcotest.test_case "dispatch counters" `Quick test_dispatch_counters ] );
+    ]
