@@ -5,7 +5,16 @@
    empty caches), warm (same request again — a cache hit), and
    coalesced (a batch of identical requests fanned over pool lanes, so
    all but one wait for the single computation). The warm-vs-cold
-   speedup lands in BENCH_serve.json and must be at least 10x. *)
+   speedup lands in BENCH_serve.json and must be at least 10x.
+
+   Two gated production-serve cases ride along:
+   - warm restart: a fresh session seeded from a [Session.dump] file
+     serves the request warm; load-plus-serve must beat a cold compute
+     by at least 5x (the gate fails the run in full mode, warns in
+     quick mode);
+   - cross-device transfer: tuning a second device seeded by the first
+     device's winner must explore at most half the candidates of an
+     unseeded search while landing an equal-or-better winner. *)
 
 open An5d_core
 module Session = An5d_serve.Session
@@ -26,10 +35,10 @@ let sim_request () =
     ~config:(Config.make ~bt:4 ~bs:[| 32 |] ())
     ~device:Gpu.Device.v100 ~steps:(steps ()) (Lazy.force source)
 
-let tune_request () =
+let tune_request ?(device = Gpu.Device.v100) () =
   match
-    Request.tune ~k:3 ~dims:(dims ()) ~device:Gpu.Device.v100
-      ~prec:Stencil.Grid.F64 ~steps:(steps ()) (Lazy.force source)
+    Request.tune ~k:3 ~dims:(dims ()) ~device ~prec:Stencil.Grid.F64
+      ~steps:(steps ()) (Lazy.force source)
   with
   | Ok r -> r
   | Error msg -> failwith msg
@@ -100,7 +109,94 @@ type case_result = {
   counts : int * int * int;
 }
 
-let json_of_results ~lanes ~batch results =
+(* A failed gate kills a full-mode run (the committed BENCH_serve.json
+   must only ever hold passing numbers) and warns in quick mode, where
+   the tiny problem sizes make timing ratios noisy. *)
+let gate ok msg =
+  if not ok then
+    if !Exp_common.quick then Printf.printf "WARNING: %s\n" msg
+    else failwith msg
+
+(* --- Warm restart: dump, reload into a fresh session, serve ------- *)
+
+type restart_result = { r_cold : float; r_restart : float; r_entries : int }
+
+let restart_case () =
+  let path = Filename.temp_file "an5d-bench" ".cache" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+  @@ fun () ->
+  let s = Session.create () in
+  expect_done "restart prime simulate" (Session.submit s (sim_request ()));
+  expect_done "restart prime tune" (Session.submit s (tune_request ()));
+  let entries =
+    match Session.dump s ~path with
+    | Ok n -> n
+    | Error msg -> failwith ("restart dump: " ^ msg)
+  in
+  Session.shutdown s;
+  let reps = if !Exp_common.quick then 2 else 3 in
+  let cold = cold_time "restart cold" sim_request reps in
+  (* warm restart: load + serve together, so the dump-parsing cost is
+     charged against the speedup *)
+  let total = ref 0.0 in
+  for _ = 1 to reps do
+    let s2 = Session.create () in
+    let dt, r =
+      time (fun () ->
+          (match Session.load s2 ~path with
+          | Ok _ -> ()
+          | Error msg -> failwith ("restart load: " ^ msg));
+          Session.submit s2 (sim_request ()))
+    in
+    expect_done "restart warm" r;
+    if r.Session.served <> Session.Warm then
+      failwith "restart: the reloaded session did not serve warm";
+    Session.shutdown s2;
+    total := !total +. dt
+  done;
+  { r_cold = cold; r_restart = !total /. float reps; r_entries = entries }
+
+(* --- Cross-device transfer: seeded tuning prunes the search ------- *)
+
+type transfer_result = {
+  t_unseeded : int;
+  t_seeded : int;
+  t_unseeded_gflops : float;
+  t_seeded_gflops : float;
+}
+
+let tuned name (r : Session.response) =
+  expect_done name r;
+  match r.Session.status with
+  | Session.Done (Session.Tuned t) -> t
+  | _ -> failwith (name ^ ": not a tune response")
+
+let transfer_case () =
+  (* baseline: the second device tuned alone — a full unseeded search *)
+  let s = Session.create () in
+  let unseeded =
+    tuned "p100 unseeded"
+      (Session.submit s (tune_request ~device:Gpu.Device.p100 ()))
+  in
+  Session.shutdown s;
+  (* transfer: tune the first device, whose winner seeds the second *)
+  let s = Session.create () in
+  expect_done "v100 tune" (Session.submit s (tune_request ()));
+  let seeded =
+    tuned "p100 seeded"
+      (Session.submit s (tune_request ~device:Gpu.Device.p100 ()))
+  in
+  Session.shutdown s;
+  if seeded.Model.Tuner.seeded = None then
+    failwith "transfer: the second-device tune was not seeded";
+  {
+    t_unseeded = unseeded.Model.Tuner.explored;
+    t_seeded = seeded.Model.Tuner.explored;
+    t_unseeded_gflops = unseeded.Model.Tuner.tuned.Model.Measure.gflops;
+    t_seeded_gflops = seeded.Model.Tuner.tuned.Model.Measure.gflops;
+  }
+
+let json_of_results ~lanes ~batch ~restart ~transfer results =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf "{\n";
   Buffer.add_string buf
@@ -123,6 +219,24 @@ let json_of_results ~lanes ~batch results =
     results;
   Buffer.add_string buf "  ],\n";
   Buffer.add_string buf
+    (Printf.sprintf
+       "  \"restart\": {\"cold_s\": %.6e, \"restart_s\": %.6e, \"speedup\": \
+        %.1f, \"entries\": %d, \"ok\": %b},\n"
+       restart.r_cold restart.r_restart
+       (restart.r_cold /. restart.r_restart)
+       restart.r_entries
+       (restart.r_cold /. restart.r_restart >= 5.0));
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"transfer\": {\"unseeded_candidates\": %d, \"seeded_candidates\": \
+        %d, \"candidate_ratio\": %.3f, \"unseeded_gflops\": %.3f, \
+        \"seeded_gflops\": %.3f, \"ok\": %b},\n"
+       transfer.t_unseeded transfer.t_seeded
+       (float transfer.t_seeded /. float transfer.t_unseeded)
+       transfer.t_unseeded_gflops transfer.t_seeded_gflops
+       (2 * transfer.t_seeded <= transfer.t_unseeded
+       && transfer.t_seeded_gflops >= transfer.t_unseeded_gflops -. 1e-9));
+  Buffer.add_string buf
     (Printf.sprintf "  \"metrics\": %s\n"
        (Obs.Export.metrics_json (Obs.Metrics.snapshot ())));
   Buffer.add_string buf "}\n";
@@ -134,7 +248,10 @@ let run () =
   let reps_warm = if !Exp_common.quick then 50 else 200 in
   let lanes = 4 and batch = 8 in
   let cases =
-    [ ("simulate j2d5pt", sim_request); ("tune j2d5pt", tune_request) ]
+    [
+      ("simulate j2d5pt", sim_request);
+      ("tune j2d5pt", fun () -> tune_request ());
+    ]
   in
   let results =
     List.map
@@ -172,7 +289,32 @@ let run () =
         Printf.printf "WARNING: %s warm speedup %.1fx below the 10x target\n"
           r.name (r.cold /. r.warm))
     results;
-  let json = json_of_results ~lanes ~batch results in
+  let restart = restart_case () in
+  Printf.printf
+    "\nwarm restart: cold %.2es, load+serve %.2es (%.1fx, %d entries)\n"
+    restart.r_cold restart.r_restart
+    (restart.r_cold /. restart.r_restart)
+    restart.r_entries;
+  gate
+    (restart.r_cold /. restart.r_restart >= 5.0)
+    (Printf.sprintf "warm restart speedup %.1fx below the 5x gate"
+       (restart.r_cold /. restart.r_restart));
+  let transfer = transfer_case () in
+  Printf.printf
+    "tune transfer: %d candidates unseeded -> %d seeded (%.2fx), gflops %.2f \
+     -> %.2f\n"
+    transfer.t_unseeded transfer.t_seeded
+    (float transfer.t_seeded /. float transfer.t_unseeded)
+    transfer.t_unseeded_gflops transfer.t_seeded_gflops;
+  gate
+    (2 * transfer.t_seeded <= transfer.t_unseeded)
+    (Printf.sprintf "seeded tune explored %d of %d candidates, above the 0.5x \
+                     gate" transfer.t_seeded transfer.t_unseeded);
+  gate
+    (transfer.t_seeded_gflops >= transfer.t_unseeded_gflops -. 1e-9)
+    (Printf.sprintf "seeded winner %.3f gflops below the unseeded %.3f"
+       transfer.t_seeded_gflops transfer.t_unseeded_gflops);
+  let json = json_of_results ~lanes ~batch ~restart ~transfer results in
   let written =
     Output.write_bench_json ~quick:!Exp_common.quick "BENCH_serve.json" json
   in

@@ -424,6 +424,9 @@ let list_cmd =
 
 module Session = An5d_serve.Session
 module Request = An5d_serve.Request
+module Wire = An5d_serve.Wire
+module Server = An5d_serve.Server
+module Admission = An5d_serve.Admission
 
 let queue_arg =
   let doc =
@@ -526,42 +529,210 @@ let batch_cmd =
     (Cmd.info "batch" ~doc)
     Term.(const run $ logs_term $ file_arg $ queue_arg $ deadline_arg $ run_config_term)
 
+let socket_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"ADDR" ~doc:Run_args.socket_doc)
+
+let cache_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cache" ] ~docv:"FILE" ~doc:Run_args.cache_doc)
+
+let admit_burst_arg =
+  Arg.(value & opt int 32 & info [ "admit-burst" ] ~docv:"N" ~doc:Run_args.admit_burst_doc)
+
+let admit_rate_arg =
+  Arg.(
+    value & opt float 0.0 & info [ "admit-rate" ] ~docv:"R" ~doc:Run_args.admit_rate_doc)
+
+let load_cache session = function
+  | None -> ()
+  | Some path ->
+      if Sys.file_exists path then (
+        match Session.load session ~path with
+        | Ok n -> Fmt.pr "loaded %d cached entries from %s@." n path
+        | Error msg -> Fmt.epr "an5d: %s (starting cold)@." msg)
+
+let dump_cache session = function
+  | None -> ()
+  | Some path -> (
+      match Session.dump session ~path with
+      | Ok n -> Fmt.pr "dumped %d cache entries to %s@." n path
+      | Error msg -> Fmt.epr "an5d: cache dump failed: %s@." msg)
+
 let serve_cmd =
-  let run () queue deadline cfg =
+  let run () queue deadline cfg socket cache admit_burst admit_rate =
     handle_errors (fun () ->
         Run_config.with_obs cfg @@ fun () ->
         let session = session_of ~cfg ~queue ~deadline in
         Fun.protect ~finally:(fun () -> Session.shutdown session) @@ fun () ->
-        Fmt.pr
-          "an5d serving on stdin: KIND STENCIL [key=value...] per line, plus \
-           'stats' and 'cancel ID'; EOF finishes.@.";
+        load_cache session cache;
+        match socket with
+        | Some addr_str -> (
+            let addr =
+              match Server.sockaddr_of_string addr_str with
+              | Ok a -> a
+              | Error msg -> failwith msg
+            in
+            let admission =
+              if admit_rate > 0.0 then
+                Admission.create ~burst:admit_burst ~rate:admit_rate ()
+              else Admission.unlimited ()
+            in
+            match Server.start ~admission ~session addr with
+            | Error msg -> failwith msg
+            | Ok server ->
+                Fmt.pr
+                  "an5d serving the framed wire protocol on %s (SIGINT or \
+                   SIGTERM stops)@."
+                  addr_str;
+                let stop_requested = Atomic.make false in
+                let handler _ = Atomic.set stop_requested true in
+                Sys.set_signal Sys.sigint (Sys.Signal_handle handler);
+                Sys.set_signal Sys.sigterm (Sys.Signal_handle handler);
+                while not (Atomic.get stop_requested) do
+                  Thread.delay 0.05
+                done;
+                Server.stop server;
+                dump_cache session cache;
+                Fmt.pr "%a@." Session.pp_stats (Session.stats session))
+        | None ->
+            Fmt.pr
+              "an5d serving on stdin: KIND STENCIL [key=value...] per line, \
+               plus 'stats' and 'cancel ID'; EOF finishes.@.";
+            let rec loop () =
+              match In_channel.input_line In_channel.stdin with
+              | None -> ()
+              | Some line ->
+                  let l = String.trim line in
+                  (if l = "" || l.[0] = '#' then ()
+                   else if l = "stats" then
+                     Fmt.pr "%a@." Session.pp_stats (Session.stats session)
+                   else if String.length l > 7 && String.sub l 0 7 = "cancel " then
+                     Session.cancel session
+                       (String.trim (String.sub l 7 (String.length l - 7)))
+                   else
+                     match Request.of_line l with
+                     | Error msg -> Fmt.epr "an5d: %s@." msg
+                     | Ok req -> print_response req (Session.submit session req));
+                  loop ()
+            in
+            loop ();
+            dump_cache session cache;
+            Fmt.pr "%a@." Session.pp_stats (Session.stats session))
+  in
+  let doc =
+    "Persistent serving session: one request per line on stdin, or — with \
+     $(b,--socket) — the framed wire protocol for many concurrent clients, \
+     with per-client admission control and cache persistence."
+  in
+  Cmd.v
+    (Cmd.info "serve" ~doc)
+    Term.(
+      const run $ logs_term $ queue_arg $ deadline_arg $ run_config_term
+      $ socket_arg $ cache_arg $ admit_burst_arg $ admit_rate_arg)
+
+let client_cmd =
+  let addr_arg =
+    let doc = "Server address (Unix-domain path, HOST:PORT or :PORT)." in
+    Arg.(required & opt (some string) None & info [ "socket" ] ~docv:"ADDR" ~doc)
+  in
+  let id_arg =
+    let doc = "Client id proposed at handshake (server assigns one if empty)." in
+    Arg.(value & opt string "" & info [ "id" ] ~docv:"NAME" ~doc)
+  in
+  let file_arg =
+    let doc =
+      "Request file, one line each (same grammar as $(b,an5d batch), plus the \
+       bare verb 'stats'); default: stdin."
+    in
+    Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
+  in
+  let run () addr_str id file =
+    handle_errors (fun () ->
+        let addr =
+          match Server.sockaddr_of_string addr_str with
+          | Ok a -> a
+          | Error msg -> failwith msg
+        in
+        let domain =
+          match addr with
+          | Unix.ADDR_UNIX _ -> Unix.PF_UNIX
+          | Unix.ADDR_INET _ -> Unix.PF_INET
+        in
+        let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+        Fun.protect ~finally:(fun () ->
+            try Unix.close fd with Unix.Unix_error _ -> ())
+        @@ fun () ->
+        (try Unix.connect fd addr
+         with Unix.Unix_error (e, _, _) ->
+           failwith (Fmt.str "cannot connect to %s: %s" addr_str (Unix.error_message e)));
+        let send frame =
+          match Wire.write_frame fd frame with
+          | Ok () -> ()
+          | Error msg -> failwith ("connection lost: " ^ msg)
+        in
+        let recv () =
+          match Wire.read_frame fd with
+          | Ok f -> f
+          | Error e -> failwith ("connection: " ^ Wire.read_error_to_string e)
+        in
+        send (Wire.Hello { version = Wire.version; client = id });
+        (match recv () with
+        | Wire.Hello { client; _ } -> Fmt.pr "connected as %s@." client
+        | Wire.Error { message; _ } -> failwith message
+        | f -> failwith (Fmt.str "unexpected handshake reply %a" Wire.pp_frame f));
+        let print_reply = function
+          | Wire.Response { id; status; served; latency; payload } ->
+              Fmt.pr "%-12s %-9s %6.1f ms  %s%s@." status served (1e3 *. latency)
+                (match id with Some i -> "[" ^ i ^ "] " | None -> "")
+                (Wire.json_to_string payload)
+          | Wire.Stats { body } -> (
+              match body with
+              | Wire.Obj fields -> (
+                  match List.assoc_opt "pretty" fields with
+                  | Some (Wire.Str p) -> Fmt.pr "%s@." p
+                  | _ -> Fmt.pr "%s@." (Wire.json_to_string body))
+              | _ -> Fmt.pr "%s@." (Wire.json_to_string body))
+          | Wire.Error { message; _ } -> Fmt.epr "an5d: server: %s@." message
+          | f -> Fmt.epr "an5d: unexpected frame %a@." Wire.pp_frame f
+        in
+        let ic =
+          match file with
+          | Some path -> In_channel.open_bin path
+          | None -> In_channel.stdin
+        in
+        Fun.protect ~finally:(fun () ->
+            if file <> None then In_channel.close_noerr ic)
+        @@ fun () ->
         let rec loop () =
-          match In_channel.input_line In_channel.stdin with
+          match In_channel.input_line ic with
           | None -> ()
           | Some line ->
               let l = String.trim line in
               (if l = "" || l.[0] = '#' then ()
-               else if l = "stats" then
-                 Fmt.pr "%a@." Session.pp_stats (Session.stats session)
-               else if String.length l > 7 && String.sub l 0 7 = "cancel " then
-                 Session.cancel session
-                   (String.trim (String.sub l 7 (String.length l - 7)))
-               else
-                 match Request.of_line l with
-                 | Error msg -> Fmt.epr "an5d: %s@." msg
-                 | Ok req -> print_response req (Session.submit session req));
+               else if l = "stats" then begin
+                 send (Wire.Stats { body = Wire.Null });
+                 print_reply (recv ())
+               end
+               else begin
+                 send (Wire.Request { id = None; line = l });
+                 print_reply (recv ())
+               end);
               loop ()
         in
-        loop ();
-        Fmt.pr "%a@." Session.pp_stats (Session.stats session))
+        loop ())
   in
   let doc =
-    "Persistent serving session on stdin: one request per line, responses \
-     served through the compile/tune/outcome caches."
+    "Drive a framed-protocol serving session ($(b,an5d serve --socket)) from \
+     the command line: handshake, send request lines, print responses."
   in
   Cmd.v
-    (Cmd.info "serve" ~doc)
-    Term.(const run $ logs_term $ queue_arg $ deadline_arg $ run_config_term)
+    (Cmd.info "client" ~doc)
+    Term.(const run $ logs_term $ addr_arg $ id_arg $ file_arg)
 
 let main_cmd =
   let doc = "AN5D: automated stencil framework with high-degree temporal blocking" in
@@ -569,7 +740,7 @@ let main_cmd =
   Cmd.group info
     [
       detect_cmd; compile_cmd; simulate_cmd; tune_cmd; compare_cmd; ptx_cmd;
-      artifact_cmd; list_cmd; batch_cmd; serve_cmd;
+      artifact_cmd; list_cmd; batch_cmd; serve_cmd; client_cmd;
     ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -34,6 +34,32 @@ let gc_space_overhead_doc =
    headroom for fewer major collections; never alters results (see \
    docs/SIMULATOR.md)."
 
+(* Serving front-end flags (bin/an5d serve/client). They do not fold
+   into a Run_config — the serve layer consumes them directly — but
+   their doc strings live here with the rest of the shared flag
+   vocabulary so the manpages and docs/SERVING.md stay in step. *)
+
+let socket_doc =
+  "Serve the framed wire protocol on this address instead of lines on stdin: \
+   HOST:PORT or :PORT for TCP (empty host = loopback), anything else a \
+   Unix-domain socket path. Many clients multiplex onto the one session; see \
+   docs/SERVING.md."
+
+let cache_doc =
+  "Cache persistence file: load it at startup when present (a dump with a \
+   stale format or cache-key schema is refused with a warning and the \
+   session starts cold), dump the caches and transfer winners to it on clean \
+   shutdown."
+
+let admit_burst_doc =
+  "Admission token-bucket capacity per client, in requests. A client's \
+   burst-exhausted requests are shed to the degraded bt=1 path — still \
+   served, never dropped."
+
+let admit_rate_doc =
+  "Admission token refill rate per client, in requests per second; 0 \
+   disables admission control (every request admitted)."
+
 let usage =
   String.concat "\n"
     [

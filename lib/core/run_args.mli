@@ -38,3 +38,15 @@ val metrics_doc : string
 val verify_doc : string
 
 val gc_space_overhead_doc : string
+
+(** Serving front-end flags ([an5d serve]/[an5d client]); consumed by
+    the serve layer rather than folded into a {!Run_config.t}, but
+    documented here with the rest of the shared vocabulary. *)
+
+val socket_doc : string
+
+val cache_doc : string
+
+val admit_burst_doc : string
+
+val admit_rate_doc : string

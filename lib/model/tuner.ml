@@ -30,6 +30,9 @@ type result = {
       (** max abs deviation of the winner's executed run from the
           reference on the [verify_dims] grid; [None] when not
           requested *)
+  seeded : Config.t option;
+      (** the transferred winner that restricted this search to its
+          neighborhood, when the search was seeded *)
 }
 
 let bt_range dims = if dims <= 2 then List.init 16 (fun i -> i + 1) else List.init 8 (fun i -> i + 1)
@@ -52,10 +55,51 @@ let search_space ~dims =
         (bs_choices dims))
     (bt_range dims)
 
-let enumerate (dev : Gpu.Device.t) ~prec pattern ~dims_sizes =
+(* ------------------------------------------------------------------ *)
+(* Cross-device transfer: the seeded neighborhood search               *)
+(* ------------------------------------------------------------------ *)
+
+let idx_of eq v xs =
+  let rec go i = function
+    | [] -> None
+    | x :: tl -> if eq x v then Some i else go (i + 1) tl
+  in
+  go 0 xs
+
+(* Elements of [xs] within [span] index positions of [v]; the whole
+   list when [v] is not a member (an out-of-space seed must widen, not
+   narrow, the search). *)
+let around ~span eq v xs =
+  match idx_of eq v xs with
+  | None -> xs
+  | Some i -> List.filteri (fun j _ -> abs (j - i) <= span) xs
+
+(** The transfer neighborhood of a seed configuration: temporal degrees
+    within 2 of the seed's (the knob that shifts most across device
+    generations — "Revisiting Temporal Blocking Stencil Optimizations"
+    finds the winning b_T moves with every generation), block sizes and
+    stream lengths within one choice of the seed's. 45 of 144
+    configurations for 2D, 30 of 64 for 3D — always at most half the
+    full space, which is the pruning-rate win BENCH_serve.json gates. *)
+let neighborhood ~dims (seed : Config.t) =
+  let bts = around ~span:2 ( = ) seed.Config.bt (bt_range dims) in
+  let bss = around ~span:1 ( = ) seed.Config.bs (bs_choices dims) in
+  let hss =
+    match seed.Config.hs with
+    | None -> hs_choices dims
+    | Some h -> around ~span:1 ( = ) h (hs_choices dims)
+  in
+  List.concat_map
+    (fun bt ->
+      List.concat_map
+        (fun bs -> List.map (fun h -> Config.make ~bt ~bs ~hs:(Some h) ()) hss)
+        bss)
+    bts
+
+let enumerate ?space (dev : Gpu.Device.t) ~prec pattern ~dims_sizes =
   let dims = pattern.Stencil.Pattern.dims in
   let rad = pattern.Stencil.Pattern.radius in
-  let space = search_space ~dims in
+  let space = match space with Some s -> s | None -> search_space ~dims in
   let explored = List.length space in
   let feasible =
     List.filter
@@ -70,8 +114,8 @@ let enumerate (dev : Gpu.Device.t) ~prec pattern ~dims_sizes =
   (explored, feasible)
 
 (** Rank all feasible configurations by predicted performance. *)
-let rank (dev : Gpu.Device.t) ~prec pattern ~dims_sizes ~steps =
-  let explored, feasible = enumerate dev ~prec pattern ~dims_sizes in
+let rank ?space (dev : Gpu.Device.t) ~prec pattern ~dims_sizes ~steps =
+  let explored, feasible = enumerate ?space dev ~prec pattern ~dims_sizes in
   let candidates =
     List.map
       (fun config ->
@@ -98,6 +142,8 @@ let m_candidates_measured = Obs.Metrics.counter "tuner_candidates_measured"
 
 let g_best_gflops = Obs.Metrics.gauge "tuner_best_gflops"
 
+let m_seeded_searches = Obs.Metrics.counter "tuner_seeded_searches"
+
 (** Full §6.3 tuning: model-rank, measure the top [k], pick the winner.
     The unified-API entrypoint: of the {!Run_config} only [domains]
     matters — it measures the top-k candidates in parallel; the
@@ -107,23 +153,40 @@ let g_best_gflops = Obs.Metrics.gauge "tuner_best_gflops"
     blocked simulator (the compiled plan path — its plan is memoized,
     so the winner's reg-limit variants share one compilation) and
     reports the max abs deviation from the reference executor. *)
-let tune_cfg ?(k = 5) ?(cfg = Run_config.default) ?verify_dims
+let rec tune_cfg ?(k = 5) ?(cfg = Run_config.default) ?verify_dims ?seed_config
     (dev : Gpu.Device.t) ~prec pattern ~dims_sizes ~steps =
   Obs.Trace.with_span "tune"
     ~attrs:
       [ ("pattern", Obs.Trace.Str pattern.Stencil.Pattern.name);
         ("device", Obs.Trace.Str dev.Gpu.Device.name);
-        ("prec", Obs.Trace.Str (Stencil.Grid.precision_to_string prec)) ]
+        ("prec", Obs.Trace.Str (Stencil.Grid.precision_to_string prec));
+        ("seeded", Obs.Trace.Bool (seed_config <> None)) ]
   @@ fun () ->
+  let space =
+    Option.map
+      (fun seed ->
+        Obs.Metrics.incr m_seeded_searches;
+        neighborhood ~dims:pattern.Stencil.Pattern.dims seed)
+      seed_config
+  in
   let explored, sorted =
     Obs.Trace.with_span "rank" (fun () ->
-        let explored, sorted = rank dev ~prec pattern ~dims_sizes ~steps in
+        let explored, sorted = rank ?space dev ~prec pattern ~dims_sizes ~steps in
         Obs.Trace.add_attrs
           [ ("explored", Obs.Trace.Int explored);
             ("feasible", Obs.Trace.Int (List.length sorted)) ];
         (explored, sorted))
   in
   Obs.Metrics.add m_candidates_pruned (explored - List.length sorted);
+  if sorted = [] && seed_config <> None then begin
+    (* a seed whose whole neighborhood is infeasible on this device
+       must widen back to the full search, not fail *)
+    Log.info (fun m ->
+        m "seed neighborhood infeasible on %s; falling back to the full space"
+          dev.Gpu.Device.name);
+    tune_cfg ~k ~cfg ?verify_dims dev ~prec pattern ~dims_sizes ~steps
+  end
+  else begin
   if sorted = [] then
     raise
       (No_feasible_configuration
@@ -193,7 +256,9 @@ let tune_cfg ?(k = 5) ?(cfg = Run_config.default) ?verify_dims
     pruned = explored - List.length sorted;
     top;
     verify;
+    seeded = seed_config;
   }
+  end
 
 (* Deprecated optional-argument wrapper; equivalent to [tune_cfg] with
    the same domains field (proven by test/test_serve.ml). *)

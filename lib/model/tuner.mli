@@ -18,6 +18,10 @@ type result = {
       (** max abs deviation of the winner's executed run from the
           reference on the [verify_dims] grid; [None] when not
           requested *)
+  seeded : Config.t option;
+      (** the transferred winner that restricted this search to its
+          neighborhood, when the search was seeded (see
+          {!neighborhood}) *)
 }
 
 val bt_range : int -> int list
@@ -29,15 +33,28 @@ val hs_choices : int -> int list
 
 val search_space : dims:int -> Config.t list
 
+val neighborhood : dims:int -> Config.t -> Config.t list
+(** The cross-device transfer neighborhood of a seed configuration:
+    temporal degrees within two index positions of the seed's, block
+    sizes and stream lengths within one choice. 45 of 144
+    configurations for 2D, 30 of 64 for 3D — always at most half the
+    full space. A seed value outside the paper's search space widens
+    that knob back to its full range (an out-of-space seed must never
+    narrow the search). *)
+
 val enumerate :
+  ?space:Config.t list ->
   Gpu.Device.t ->
   prec:Stencil.Grid.precision ->
   Stencil.Pattern.t ->
   dims_sizes:int array ->
   int * Config.t list
-(** [(explored, feasible)] after halo/thread/register/smem pruning. *)
+(** [(explored, feasible)] after halo/thread/register/smem pruning.
+    [space] (default {!search_space}) restricts the enumeration, e.g.
+    to a transfer {!neighborhood}. *)
 
 val rank :
+  ?space:Config.t list ->
   Gpu.Device.t ->
   prec:Stencil.Grid.precision ->
   Stencil.Pattern.t ->
@@ -52,6 +69,7 @@ val tune_cfg :
   ?k:int ->
   ?cfg:Run_config.t ->
   ?verify_dims:int array ->
+  ?seed_config:Config.t ->
   Gpu.Device.t ->
   prec:Stencil.Grid.precision ->
   Stencil.Pattern.t ->
@@ -63,6 +81,11 @@ val tune_cfg :
     measurement layer is analytic, so the result is unchanged);
     [verify_dims] additionally executes the winner on a small grid of
     those sizes and reports the deviation from the reference.
+    [seed_config] — a winner transferred from another device —
+    restricts the ranked space to its {!neighborhood}; when the whole
+    neighborhood is infeasible on this device the search silently
+    widens back to the full space (the result's [seeded] field then
+    reads [None]).
     @raise No_feasible_configuration when pruning leaves nothing. *)
 
 val tune :

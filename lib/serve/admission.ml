@@ -1,0 +1,99 @@
+(* Per-client token-bucket admission control. See admission.mli. *)
+
+type bucket = {
+  mutable tokens : float;
+  mutable last_refill : float;
+  mutable admitted : int;
+  mutable shed : int;
+  shed_counter : Obs.Metrics.counter;
+}
+
+type t = {
+  burst : float;
+  rate : float;  (* tokens per second; infinity = never shed *)
+  clock : unit -> float;
+  buckets : (string, bucket) Hashtbl.t;
+  lock : Mutex.t;
+}
+
+let m_sheds_total = Obs.Metrics.counter "admission_sheds_total"
+
+let m_admitted_total = Obs.Metrics.counter "admission_admitted_total"
+
+(* Client ids come off the wire; keep metric names sane. *)
+let sanitize id =
+  let b = Buffer.create (String.length id) in
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' | '.' ->
+          if Buffer.length b < 48 then Buffer.add_char b c
+      | _ -> if Buffer.length b < 48 then Buffer.add_char b '_')
+    id;
+  if Buffer.length b = 0 then "anonymous" else Buffer.contents b
+
+let create ?(clock = Unix.gettimeofday) ?(burst = 32) ?(rate = 16.0) () =
+  if burst < 1 then invalid_arg "Admission.create: burst must be positive";
+  if rate <= 0.0 then invalid_arg "Admission.create: rate must be positive";
+  {
+    burst = float burst;
+    rate;
+    clock;
+    buckets = Hashtbl.create 16;
+    lock = Mutex.create ();
+  }
+
+let unlimited () = create ~rate:infinity ()
+
+let bucket_for t client =
+  match Hashtbl.find_opt t.buckets client with
+  | Some b -> b
+  | None ->
+      let b =
+        {
+          tokens = t.burst;
+          last_refill = t.clock ();
+          admitted = 0;
+          shed = 0;
+          shed_counter =
+            Obs.Metrics.counter
+              ("admission_sheds_per_client_" ^ sanitize client);
+        }
+      in
+      Hashtbl.replace t.buckets client b;
+      b
+
+let admit t ~client =
+  Mutex.protect t.lock @@ fun () ->
+  let b = bucket_for t client in
+  let now = t.clock () in
+  (if Float.is_finite t.rate then
+     let dt = Float.max 0.0 (now -. b.last_refill) in
+     b.tokens <- Float.min t.burst (b.tokens +. (dt *. t.rate)));
+  b.last_refill <- now;
+  if (not (Float.is_finite t.rate)) || b.tokens >= 1.0 then begin
+    if Float.is_finite t.rate then b.tokens <- b.tokens -. 1.0;
+    b.admitted <- b.admitted + 1;
+    Obs.Metrics.incr m_admitted_total;
+    true
+  end
+  else begin
+    b.shed <- b.shed + 1;
+    Obs.Metrics.incr b.shed_counter;
+    Obs.Metrics.incr m_sheds_total;
+    false
+  end
+
+type stat = { admitted : int; shed : int; tokens : float }
+
+let sheds t ~client =
+  Mutex.protect t.lock @@ fun () ->
+  match Hashtbl.find_opt t.buckets client with Some b -> b.shed | None -> 0
+
+let stats t =
+  Mutex.protect t.lock @@ fun () ->
+  Hashtbl.fold
+    (fun client (b : bucket) acc ->
+      (client, { admitted = b.admitted; shed = b.shed; tokens = b.tokens }) :: acc)
+    t.buckets []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)

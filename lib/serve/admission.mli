@@ -1,0 +1,48 @@
+(** Per-client admission control for the socket serving front end: a
+    token bucket per client id, layered {e in front of} the session's
+    [queue_capacity]/deadline shedding so one flooding client cannot
+    starve the others (docs/SERVING.md §admission).
+
+    Every client accrues [rate] tokens per second up to [burst]; a
+    request consumes one token, and a client with an empty bucket is
+    {e shed} — the server still serves it through the degraded
+    [bt = 1] path ({!Session.submit_shed}), never drops it. Buckets are
+    independent, so a quiet client's tokens are untouched by a
+    flooder — the fairness test in test/test_wire.ml pins the exact
+    per-client shed accounting.
+
+    Shed decisions increment the global [admission_sheds_total] counter
+    and a per-client [admission_sheds_per_client_<id>] counter in
+    {!Obs.Metrics} (ids sanitized to metric-name characters); exact
+    integer accounting is also kept internally and exposed via
+    {!stats}. Thread-safe. *)
+
+type t
+
+val create : ?clock:(unit -> float) -> ?burst:int -> ?rate:float -> unit -> t
+(** [create ()] makes an admission controller. [burst] (default 32) is
+    the bucket capacity in requests; [rate] (default 16.0) the refill
+    rate in requests per second; [clock] (default [Unix.gettimeofday])
+    is injectable for deterministic tests. [rate = infinity] admits
+    everything (the line-mode default).
+    @raise Invalid_argument when [burst < 1] or [rate <= 0]. *)
+
+val unlimited : unit -> t
+(** An admission controller that never sheds. *)
+
+val admit : t -> client:string -> bool
+(** Take one token from [client]'s bucket; [false] means the request
+    must be shed (served degraded, not dropped). A client seen for the
+    first time starts with a full bucket. *)
+
+type stat = {
+  admitted : int;  (** requests that consumed a token *)
+  shed : int;  (** requests refused a token *)
+  tokens : float;  (** bucket level at the last [admit] call *)
+}
+
+val sheds : t -> client:string -> int
+(** Exact shed count for one client (0 when never seen). *)
+
+val stats : t -> (string * stat) list
+(** Per-client accounting, sorted by client id. *)

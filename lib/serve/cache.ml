@@ -180,6 +180,27 @@ let stats t =
   Mutex.unlock t.lock;
   s
 
+let export t =
+  Mutex.lock t.lock;
+  let entries =
+    Hashtbl.fold
+      (fun k e acc ->
+        match e with
+        | Ready { value; last_use; expires } when not (expired_entry t expires) ->
+            (last_use, k, value) :: acc
+        | Ready _ | In_flight -> acc)
+      t.tbl []
+  in
+  Mutex.unlock t.lock;
+  (* least-recently-used first, so [import] replays the LRU order *)
+  List.sort (fun (a, _, _) (b, _, _) -> compare a b) entries
+  |> List.map (fun (_, k, v) -> (k, v))
+
+let import t entries =
+  Mutex.lock t.lock;
+  List.iter (fun (key, value) -> insert t key value) entries;
+  Mutex.unlock t.lock
+
 let clear t =
   Mutex.lock t.lock;
   let ready_keys =

@@ -55,6 +55,17 @@ type stats = {
 
 val stats : 'v t -> stats
 
+val export : 'v t -> (string * 'v) list
+(** Snapshot the live (ready, unexpired) entries, least recently used
+    first — the order {!import} wants so a replay reconstructs the LRU
+    ranking. In-flight markers are skipped. *)
+
+val import : 'v t -> (string * 'v) list -> unit
+(** Insert entries as if each had just been computed (fresh TTL, most
+    recently used last; capacity is enforced, evicting as usual).
+    Counts neither hits nor misses — a warm restart must not skew the
+    ratio statistics. Used by {!Session.load}. *)
+
 val clear : 'v t -> unit
 (** Drop all ready entries (in-flight computations finish and insert
     normally). Statistics are kept. *)

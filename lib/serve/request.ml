@@ -113,6 +113,55 @@ let key t =
         (Stencil.Grid.precision_to_string prec)
         (dims_str (Some dims)) steps k
 
+(* The device-agnostic projection of the tune key: what cross-device
+   transfer indexes winners by. Everything of [key]'s Tune branch
+   except the device. *)
+let transfer_key t =
+  match t.body with
+  | Compile _ | Simulate _ -> None
+  | Tune { source_digest; prec; dims; steps; k; _ } ->
+      Some
+        (Fmt.str "(tune-transfer (src %s) (prec %s) (dims %s) (steps %d) (k %d))"
+           source_digest
+           (Stencil.Grid.precision_to_string prec)
+           (dims_str (Some dims)) steps k)
+
+(* Self-maintaining schema fingerprint: renders every key former over
+   fixed probe inputs, so any change to a key grammar — fields, order,
+   canonicalization — changes the digest and stale dumps refuse to
+   load (Persist). The probe source deliberately fails detection
+   (exercising the "auto" precision branch deterministically). *)
+let key_schema_digest =
+  let source = Framework.source_of_string ~origin:"schema-probe" "schema probe" in
+  let config = Config.make ~bt:2 ~bs:[| 16 |] () in
+  let spec = { source; config; dims = Some [| 8; 8 |]; prec = None } in
+  let sim =
+    { id = None; deadline = None;
+      body =
+        Simulate
+          { spec = { spec with prec = Some Stencil.Grid.F64 };
+            device = Gpu.Device.v100; steps = 1; seed = 0;
+            run = Run_config.default } }
+  in
+  let tun =
+    { id = None; deadline = None;
+      body =
+        Tune
+          { pattern =
+              Stencil.Pattern.make ~name:"schema-probe" ~dims:2 ~params:[]
+                (Stencil.Sexpr.weighted_sum
+                   (Stencil.Shape.star_offsets ~dims:2 ~rad:1));
+            source_digest = Digest.to_hex (Digest.string "schema probe");
+            device = Gpu.Device.v100; prec = Stencil.Grid.F64;
+            dims = [| 8; 8 |]; steps = 1; k = 1 } }
+  in
+  Digest.to_hex
+    (Digest.string
+       (String.concat "|"
+          [ spec_key spec; key sim; key tun;
+            Option.get (transfer_key tun);
+            Run_config.cache_key Run_config.default ]))
+
 let kind t =
   match t.body with
   | Compile _ -> "compile"

@@ -102,6 +102,22 @@ val key : t -> string
     bits; for [Tune], source digest, device, precision, dims, steps
     and [k]. *)
 
+val transfer_key : t -> string option
+(** The {e device-agnostic} part of a tune request's cache key: equal
+    for two tune requests that differ only in target device. This is
+    what the session's cross-device tune transfer indexes its winner
+    registry by — a cached winner under the same transfer key on
+    another device seeds this device's search (docs/SERVING.md
+    §transfer). [None] for compile/simulate requests. *)
+
+val key_schema_digest : string
+(** Digest of the cache-key grammar this build writes: sample
+    renderings of {!spec_key}, {!key} (simulate and tune) and
+    {!An5d_core.Run_config.cache_key} over fixed probe inputs. Any
+    change to a key format changes this digest, which is exactly what
+    {!Session.load} uses to refuse dumps written by builds with a
+    different key schema. *)
+
 val kind : t -> string
 (** ["compile"], ["simulate"] or ["tune"] (for metrics/span labels). *)
 

@@ -1,0 +1,43 @@
+(** The socket serving front end: a Unix-domain or TCP listener
+    multiplexing many concurrent clients onto one {!Session} over the
+    framed {!Wire} protocol (docs/SERVING.md §socket server).
+
+    One thread per client; requests funnel into the session, which
+    serializes execution batches, so service is bit-identical to the
+    line mode (pinned by the socket differential in
+    test/test_wire.ml). Per-client ids come from the [Hello]
+    handshake and feed the {!Admission} token bucket — a flooding
+    client is shed to the degraded path while quiet clients keep their
+    own full buckets.
+
+    Fault containment: a client disconnecting mid-request, stalling
+    mid-frame, or sending garbage affects only its own connection.
+    Malformed payloads are answered with framed [Error]s; oversized
+    frames close that connection; [SIGPIPE] is ignored so vanishing
+    peers surface as write errors. The session is never poisoned — the
+    fault-injection tests in test/test_wire.ml pin this. *)
+
+type t
+
+val sockaddr_of_string : string -> (Unix.sockaddr, string) result
+(** [HOST:PORT] or [:PORT] (TCP; empty host = loopback) — anything
+    else is a Unix-domain socket path. *)
+
+val start :
+  ?admission:Admission.t ->
+  ?backlog:int ->
+  session:Session.t ->
+  Unix.sockaddr ->
+  (t, string) result
+(** Bind, listen and start the accept thread. A Unix-domain path that
+    already exists as a stale socket is unlinked first. [admission]
+    defaults to {!Admission.unlimited}. *)
+
+val addr : t -> Unix.sockaddr
+(** The bound address (useful with TCP port 0: the kernel-assigned
+    port). *)
+
+val stop : t -> unit
+(** Close the listener and all client connections, then join every
+    thread. Idempotent. The shared session is left running — shutting
+    it down is the caller's business. *)

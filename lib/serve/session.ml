@@ -61,6 +61,12 @@ type t = {
   jobs : Framework.job Cache.t;
   tunes : Model.Tuner.result Cache.t;
   outcomes : Framework.outcome Cache.t;
+  winners : (string, string * Config.t) Hashtbl.t;
+      (** tune-transfer registry: {!Request.transfer_key} to the
+          (device name, winning config) of the last full tune, so a
+          tune of the same stencil on a {e different} device seeds its
+          search from this winner's neighborhood *)
+  winners_lock : Mutex.t;
   cancelled_ids : (string, unit) Hashtbl.t;
   cancel_lock : Mutex.t;
   batch_lock : Mutex.t;  (** one batch on the pool at a time *)
@@ -98,6 +104,8 @@ let create ?(config = default_config) () =
     outcomes =
       Cache.create ?ttl:config.outcome_ttl ~clock:config.clock
         ~capacity:config.outcome_capacity ~name:"outcome" ();
+    winners = Hashtbl.create 16;
+    winners_lock = Mutex.create ();
     cancelled_ids = Hashtbl.create 16;
     cancel_lock = Mutex.create ();
     batch_lock = Mutex.create ();
@@ -152,10 +160,37 @@ let do_simulate t req (spec : Request.spec) ~device ~steps ~seed ~run =
   in
   (Simulated { outcome; config = spec.Request.config }, served_of_cache c)
 
+(* Cross-device tune transfer (docs/SERVING.md §transfer): a tune miss
+   first consults the winners registry under the request's
+   device-agnostic transfer key; a winner recorded by a *different*
+   device seeds the tuner, restricting the ranked space to the winner's
+   neighborhood (<= half the full space — the pruning-rate win
+   bench/exp_serve.ml gates). Every full tune records its winner. *)
 let do_tune t req ~pattern ~device ~prec ~dims ~steps ~k =
+  let tkey = Request.transfer_key req in
+  let seed_config =
+    match tkey with
+    | None -> None
+    | Some tk ->
+        Mutex.protect t.winners_lock (fun () ->
+            match Hashtbl.find_opt t.winners tk with
+            | Some (dev_name, cfg) when dev_name <> device.Gpu.Device.name ->
+                Some cfg
+            | Some _ | None -> None)
+  in
   let result, c =
     Cache.find_or_compute t.tunes ~key:(Request.key req) (fun () ->
-        Model.Tuner.tune_cfg ~k device ~prec pattern ~dims_sizes:dims ~steps)
+        let r =
+          Model.Tuner.tune_cfg ?seed_config ~k device ~prec pattern
+            ~dims_sizes:dims ~steps
+        in
+        Option.iter
+          (fun tk ->
+            Mutex.protect t.winners_lock (fun () ->
+                Hashtbl.replace t.winners tk
+                  (device.Gpu.Device.name, r.Model.Tuner.best)))
+          tkey;
+        r)
   in
   (Tuned result, served_of_cache c)
 
@@ -203,6 +238,7 @@ let do_tune_degraded _t ~pattern ~device ~prec ~dims ~steps =
       pruned = 0;
       top = [];
       verify = None;
+      seeded = None;
     }
 
 let execute t req =
@@ -322,11 +358,109 @@ let submit_batch t reqs =
 
 let submit t req = List.hd (submit_batch t [ req ])
 
+(* Admission-control shed (the {!Server}'s token bucket): the request
+   is still served — through the degraded [bt = 1] path, reported
+   [Degraded (_, Overload)] — never dropped. *)
+let submit_shed t req =
+  Mutex.protect t.batch_lock @@ fun () ->
+  process_one t ~enqueued:(t.cfg.clock ()) ~overloaded:true req
+
+(* ------------------------------------------------------------------ *)
+(* Cache persistence                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* The marshalled dump payload: every cached value wrapped as a
+   digest-checked [Persist.entry], plus the transfer-winner registry
+   (plain data). All three cache value types — [Framework.job]
+   (detection AST + config), [Model.Tuner.result] (measurements,
+   predictions, configs) and [Framework.outcome] (Bigarray-backed grid,
+   counters, launch stats) — are closure-free, so [Marshal] round-trips
+   them bit-identically. *)
+type dump_payload = {
+  d_jobs : Persist.entry list;
+  d_tunes : Persist.entry list;
+  d_outcomes : Persist.entry list;
+  d_winners : (string * (string * Config.t)) list;
+}
+
+let h_persist_dump = Obs.Metrics.histogram "cache_persist_dump_us"
+
+let h_persist_load = Obs.Metrics.histogram "cache_persist_load_us"
+
+let dump t ~path =
+  let t0 = Unix.gettimeofday () in
+  let entries cache =
+    List.map (fun (key, v) -> Persist.entry_of ~key v) (Cache.export cache)
+  in
+  let payload =
+    {
+      d_jobs = entries t.jobs;
+      d_tunes = entries t.tunes;
+      d_outcomes = entries t.outcomes;
+      d_winners =
+        Mutex.protect t.winners_lock (fun () ->
+            Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.winners []);
+    }
+  in
+  let n =
+    List.length payload.d_jobs + List.length payload.d_tunes
+    + List.length payload.d_outcomes
+  in
+  let r = Persist.write ~path ~schema:Request.key_schema_digest payload in
+  Obs.Metrics.observe h_persist_dump ((Unix.gettimeofday () -. t0) *. 1e6);
+  (match r with
+  | Ok () ->
+      Log.info (fun m ->
+          m "dumped %d cache entries and %d transfer winners to %s" n
+            (List.length payload.d_winners) path)
+  | Error msg -> Log.warn (fun m -> m "cache dump to %s failed: %s" path msg));
+  Result.map (fun () -> n) r
+
+let load t ~path =
+  let t0 = Unix.gettimeofday () in
+  let finish r =
+    Obs.Metrics.observe h_persist_load ((Unix.gettimeofday () -. t0) *. 1e6);
+    (match r with
+    | Ok n -> Log.info (fun m -> m "loaded %d cache entries from %s" n path)
+    | Error msg -> Log.warn (fun m -> m "refusing cache dump %s: %s" path msg));
+    r
+  in
+  match Persist.read ~path ~schema:Request.key_schema_digest with
+  | Error msg -> finish (Error msg)
+  | Ok (payload : dump_payload) -> (
+      let unpack entries =
+        List.fold_left
+          (fun acc (e : Persist.entry) ->
+            match acc with
+            | Error _ -> acc
+            | Ok vs -> (
+                match Persist.entry_value e with
+                | Ok v -> Ok ((e.Persist.key, v) :: vs)
+                | Error _ as err -> err))
+          (Ok []) entries
+        |> Result.map List.rev
+      in
+      match
+        (unpack payload.d_jobs, unpack payload.d_tunes, unpack payload.d_outcomes)
+      with
+      | Ok js, Ok ts, Ok os ->
+          Cache.import t.jobs js;
+          Cache.import t.tunes ts;
+          Cache.import t.outcomes os;
+          Mutex.protect t.winners_lock (fun () ->
+              List.iter
+                (fun (k, v) -> Hashtbl.replace t.winners k v)
+                payload.d_winners);
+          finish (Ok (List.length js + List.length ts + List.length os))
+      | Error msg, _, _ | _, Error msg, _ | _, _, Error msg ->
+          finish (Error msg))
+
 type stats = {
   total : int;
   degraded : int;
   cancelled : int;
   failed : int;
+  winners : int;
   jobs : Cache.stats;
   tunes : Cache.stats;
   outcomes : Cache.stats;
@@ -338,19 +472,33 @@ let stats (t : t) =
     degraded = Atomic.get t.degraded;
     cancelled = Atomic.get t.cancelled;
     failed = Atomic.get t.failed;
+    winners = Mutex.protect t.winners_lock (fun () -> Hashtbl.length t.winners);
     jobs = Cache.stats t.jobs;
     tunes = Cache.stats t.tunes;
     outcomes = Cache.stats t.outcomes;
   }
 
+(* Hit ratio over all lookups of a cache. Coalesced lookups were served
+   without recomputation but not from a ready entry, so they count in
+   the denominator only — the ratio reads "fraction of lookups answered
+   instantly". *)
+let hit_ratio (s : Cache.stats) =
+  let lookups = s.Cache.hits + s.Cache.misses + s.Cache.coalesced in
+  if lookups = 0 then 0.0 else 100.0 *. float s.Cache.hits /. float lookups
+
 let pp_cache_stats ppf (name, (s : Cache.stats)) =
-  Fmt.pf ppf "%s cache: %d hit, %d miss, %d coalesced, %d evicted, %d expired, %d live"
+  Fmt.pf ppf
+    "%s cache: %d hit, %d miss, %d coalesced, %d evicted, %d expired, %d live, \
+     %.1f%% hit-ratio"
     name s.Cache.hits s.Cache.misses s.Cache.coalesced s.Cache.evictions
-    s.Cache.expired s.Cache.size
+    s.Cache.expired s.Cache.size (hit_ratio s)
 
 let pp_stats ppf s =
-  Fmt.pf ppf "@[<v>%d requests (%d degraded, %d cancelled, %d failed)@,%a@,%a@,%a@]"
-    s.total s.degraded s.cancelled s.failed pp_cache_stats ("job", s.jobs)
-    pp_cache_stats ("tune", s.tunes) pp_cache_stats ("outcome", s.outcomes)
+  Fmt.pf ppf
+    "@[<v>%d requests (%d degraded, %d cancelled, %d failed), %d transfer \
+     winners@,%a@,%a@,%a@]"
+    s.total s.degraded s.cancelled s.failed s.winners pp_cache_stats
+    ("job", s.jobs) pp_cache_stats ("tune", s.tunes) pp_cache_stats
+    ("outcome", s.outcomes)
 
 let shutdown t = Option.iter Gpu.Pool.shutdown t.pool

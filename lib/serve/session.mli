@@ -81,6 +81,14 @@ val create : ?config:config -> unit -> t
 
 val submit : t -> Request.t -> response
 
+val submit_shed : t -> Request.t -> response
+(** Serve a request that an upstream admission controller (the
+    {!Server}'s per-client token bucket) decided to shed: it goes
+    straight to the degraded [bt = 1] path and comes back
+    [Degraded (_, Overload)] — shed traffic is still served, never
+    dropped, and bypasses the caches so it cannot evict tuned-for
+    entries. *)
+
 val submit_batch : t -> Request.t list -> response list
 (** Serve a batch: requests fan out over the session pool (responses
     come back in request order), identical concurrent requests
@@ -93,11 +101,28 @@ val cancel : t -> string -> unit
     it (in this or a later batch) gets a [Cancelled] response. Sticky
     for the session's lifetime. *)
 
+val dump : t -> path:string -> (int, string) result
+(** Persist the three caches and the transfer-winner registry to
+    [path] in the digest-checked {!Persist} envelope (atomic
+    temp-file-and-rename write). Returns the number of cache entries
+    written. Timed by the [cache_persist_dump_us] histogram. *)
+
+val load : t -> path:string -> (int, string) result
+(** Seed the session's caches from a dump written by {!dump}: entries
+    import warm (fresh TTL, LRU order preserved, no hit/miss skew) and
+    the winner registry merges in. Refuses — with a reason, never an
+    exception — dumps with a different format version or cache-key
+    schema digest, and dumps or entries whose payload digest fails
+    (one corrupted byte is a clean [Error], the session is left
+    untouched). Returns the number of entries imported. Timed by
+    [cache_persist_load_us]. *)
+
 type stats = {
   total : int;
   degraded : int;
   cancelled : int;
   failed : int;
+  winners : int;  (** transfer-winner registry size *)
   jobs : Cache.stats;
   tunes : Cache.stats;
   outcomes : Cache.stats;
@@ -106,6 +131,11 @@ type stats = {
 val stats : t -> stats
 
 val pp_stats : Format.formatter -> stats -> unit
+(** Uniform rendering, one line per cache:
+    [NAME cache: H hit, M miss, C coalesced, E evicted, X expired,
+    L live, R% hit-ratio] — the format the [an5d serve] [stats] verb
+    prints and test/test_serve.ml pins. The ratio is hits over all
+    lookups (hits + misses + coalesced). *)
 
 val shutdown : t -> unit
 (** Join the pool domains. The session must not be used afterwards. *)

@@ -1,0 +1,442 @@
+(* Framed wire protocol: length-prefixed JSON frames. See wire.mli. *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+(* ------------------------------------------------------------------ *)
+(* JSON rendering                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let escape_to buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let rec render_to buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f ->
+      if Float.is_finite f then Buffer.add_string buf (Printf.sprintf "%.17g" f)
+      else Buffer.add_string buf "null"
+  | Str s -> escape_to buf s
+  | Arr xs ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_char buf ',';
+          render_to buf x)
+        xs;
+      Buffer.add_char buf ']'
+  | Obj kvs ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          escape_to buf k;
+          Buffer.add_char buf ':';
+          render_to buf v)
+        kvs;
+      Buffer.add_char buf '}'
+
+let json_to_string j =
+  let buf = Buffer.create 256 in
+  render_to buf j;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* JSON parsing — total: no exception escapes, nesting depth bounded   *)
+(* ------------------------------------------------------------------ *)
+
+exception Parse of string
+
+let max_depth = 64
+
+let json_of_string s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Parse (Printf.sprintf "%s at byte %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected '%c'" c)
+  in
+  let skip_ws () =
+    while
+      !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+    do
+      advance ()
+    done
+  in
+  let literal word v =
+    let l = String.length word in
+    if !pos + l <= n && String.sub s !pos l = word then begin
+      pos := !pos + l;
+      v
+    end
+    else fail "invalid literal"
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string"
+      else
+        match s.[!pos] with
+        | '"' -> advance ()
+        | '\\' ->
+            advance ();
+            (if !pos >= n then fail "unterminated escape"
+             else
+               match s.[!pos] with
+               | '"' -> Buffer.add_char buf '"'; advance ()
+               | '\\' -> Buffer.add_char buf '\\'; advance ()
+               | '/' -> Buffer.add_char buf '/'; advance ()
+               | 'b' -> Buffer.add_char buf '\b'; advance ()
+               | 'f' -> Buffer.add_char buf '\012'; advance ()
+               | 'n' -> Buffer.add_char buf '\n'; advance ()
+               | 'r' -> Buffer.add_char buf '\r'; advance ()
+               | 't' -> Buffer.add_char buf '\t'; advance ()
+               | 'u' ->
+                   advance ();
+                   if !pos + 4 > n then fail "truncated \\u escape";
+                   let hex = String.sub s !pos 4 in
+                   let code =
+                     match int_of_string_opt ("0x" ^ hex) with
+                     | Some c -> c
+                     | None -> fail "bad \\u escape"
+                   in
+                   pos := !pos + 4;
+                   (* encode the code point as UTF-8 (surrogates kept
+                      as-is in their raw 3-byte form — round-tripping
+                      arbitrary escapes is not a wire requirement) *)
+                   if code < 0x80 then Buffer.add_char buf (Char.chr code)
+                   else if code < 0x800 then begin
+                     Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+                     Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+                   end
+                   else begin
+                     Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+                     Buffer.add_char buf
+                       (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+                     Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+                   end
+               | c -> fail (Printf.sprintf "bad escape '\\%c'" c));
+            go ()
+        | c ->
+            Buffer.add_char buf c;
+            advance ();
+            go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char c =
+      match c with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while !pos < n && is_num_char s.[!pos] do
+      advance ()
+    done;
+    let tok = String.sub s start (!pos - start) in
+    match int_of_string_opt tok with
+    | Some i -> Int i
+    | None -> (
+        match float_of_string_opt tok with
+        | Some f -> Float f
+        | None -> fail (Printf.sprintf "bad number %S" tok))
+  in
+  let rec parse_value depth =
+    if depth > max_depth then fail "nesting too deep";
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some 'n' -> literal "null" Null
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some '"' -> Str (parse_string ())
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          Arr []
+        end
+        else begin
+          let items = ref [] in
+          let rec items_loop () =
+            items := parse_value (depth + 1) :: !items;
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance (); items_loop ()
+            | Some ']' -> advance ()
+            | _ -> fail "expected ',' or ']'"
+          in
+          items_loop ();
+          Arr (List.rev !items)
+        end
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else begin
+          let fields = ref [] in
+          let rec fields_loop () =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value (depth + 1) in
+            fields := (k, v) :: !fields;
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance (); fields_loop ()
+            | Some '}' -> advance ()
+            | _ -> fail "expected ',' or '}'"
+          in
+          fields_loop ();
+          Obj (List.rev !fields)
+        end
+    | Some ('-' | '0' .. '9') -> parse_number ()
+    | Some c -> fail (Printf.sprintf "unexpected '%c'" c)
+  in
+  match
+    let v = parse_value 0 in
+    skip_ws ();
+    if !pos <> n then fail "trailing bytes after value";
+    v
+  with
+  | v -> Ok v
+  | exception Parse msg -> Error msg
+  | exception Stack_overflow -> Error "nesting too deep"
+
+(* ------------------------------------------------------------------ *)
+(* Frames                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let version = 1
+
+let max_frame_bytes = 4 * 1024 * 1024
+
+type frame =
+  | Hello of { version : int; client : string }
+  | Request of { id : string option; line : string }
+  | Response of {
+      id : string option;
+      status : string;
+      served : string;
+      latency : float;
+      payload : json;
+    }
+  | Error of { id : string option; message : string }
+  | Stats of { body : json }
+
+let pp_frame ppf = function
+  | Hello { version; client } -> Fmt.pf ppf "hello v%d client=%s" version client
+  | Request { id; line } ->
+      Fmt.pf ppf "request%a %s" Fmt.(option (any " id=" ++ string)) id line
+  | Response { id; status; served; _ } ->
+      Fmt.pf ppf "response%a %s %s" Fmt.(option (any " id=" ++ string)) id status served
+  | Error { id; message } ->
+      Fmt.pf ppf "error%a %s" Fmt.(option (any " id=" ++ string)) id message
+  | Stats _ -> Fmt.pf ppf "stats"
+
+let m_frames_in = Obs.Metrics.counter "wire_frames_in"
+
+let m_frames_out = Obs.Metrics.counter "wire_frames_out"
+
+let m_rejects = Obs.Metrics.counter "wire_rejects"
+
+let opt_id = function None -> Null | Some id -> Str id
+
+let encode_payload frame =
+  let fields =
+    match frame with
+    | Hello { version; client } ->
+        [ ("t", Str "hello"); ("version", Int version); ("client", Str client) ]
+    | Request { id; line } ->
+        [ ("t", Str "request"); ("id", opt_id id); ("line", Str line) ]
+    | Response { id; status; served; latency; payload } ->
+        [
+          ("t", Str "response"); ("id", opt_id id); ("status", Str status);
+          ("served", Str served); ("latency", Float latency);
+          ("payload", payload);
+        ]
+    | Error { id; message } ->
+        [ ("t", Str "error"); ("id", opt_id id); ("message", Str message) ]
+    | Stats { body } -> [ ("t", Str "stats"); ("body", body) ]
+  in
+  json_to_string (Obj (("v", Int version) :: fields))
+
+let field obj k = match obj with Obj kvs -> List.assoc_opt k kvs | _ -> None
+
+let str_field obj k =
+  match field obj k with Some (Str s) -> Some s | _ -> None
+
+let id_field obj =
+  match field obj "id" with Some (Str s) -> Some s | _ -> None
+
+let num_field obj k =
+  match field obj k with
+  | Some (Float f) -> Some f
+  | Some (Int i) -> Some (float_of_int i)
+  | _ -> None
+
+let decode_payload bytes =
+  match json_of_string bytes with
+  | Error msg -> Result.Error ("bad JSON: " ^ msg)
+  | Ok obj -> (
+      match field obj "v" with
+      | Some (Int v) when v = version -> (
+          match str_field obj "t" with
+          | Some "hello" -> (
+              match (field obj "version", str_field obj "client") with
+              | Some (Int version), Some client -> Ok (Hello { version; client })
+              | Some (Int version), None -> Ok (Hello { version; client = "" })
+              | _ -> Result.Error "hello frame missing version")
+          | Some "request" -> (
+              match str_field obj "line" with
+              | Some line -> Ok (Request { id = id_field obj; line })
+              | None -> Result.Error "request frame missing line")
+          | Some "response" -> (
+              match (str_field obj "status", str_field obj "served") with
+              | Some status, Some served ->
+                  Ok
+                    (Response
+                       {
+                         id = id_field obj;
+                         status;
+                         served;
+                         latency =
+                           Option.value (num_field obj "latency") ~default:0.0;
+                         payload =
+                           Option.value (field obj "payload") ~default:Null;
+                       })
+              | _ -> Result.Error "response frame missing status/served")
+          | Some "error" -> (
+              match str_field obj "message" with
+              | Some message -> Ok (Error { id = id_field obj; message })
+              | None -> Result.Error "error frame missing message")
+          | Some "stats" ->
+              Ok (Stats { body = Option.value (field obj "body") ~default:Null })
+          | Some t -> Result.Error (Printf.sprintf "unknown frame type %S" t)
+          | None -> Result.Error "frame missing type field")
+      | Some (Int v) ->
+          Result.Error
+            (Printf.sprintf "protocol version mismatch: peer %d, this build %d" v
+               version)
+      | _ -> Result.Error "frame missing protocol version")
+
+let encode frame =
+  let payload = encode_payload frame in
+  let len = String.length payload in
+  if len > max_frame_bytes then
+    invalid_arg
+      (Printf.sprintf "Wire.encode: %d-byte payload exceeds the %d-byte frame bound"
+         len max_frame_bytes);
+  let b = Bytes.create (4 + len) in
+  Bytes.set_uint8 b 0 ((len lsr 24) land 0xFF);
+  Bytes.set_uint8 b 1 ((len lsr 16) land 0xFF);
+  Bytes.set_uint8 b 2 ((len lsr 8) land 0xFF);
+  Bytes.set_uint8 b 3 (len land 0xFF);
+  Bytes.blit_string payload 0 b 4 len;
+  Bytes.unsafe_to_string b
+
+(* ------------------------------------------------------------------ *)
+(* Descriptor IO                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type read_error = Closed | Truncated | Oversized of int | Malformed of string
+
+let read_error_to_string = function
+  | Closed -> "connection closed"
+  | Truncated -> "truncated frame"
+  | Oversized n ->
+      Printf.sprintf "oversized frame: %d bytes announced, bound is %d" n
+        max_frame_bytes
+  | Malformed msg -> msg
+
+(* Exact [len]-byte read. [`Closed] only when EOF lands on a frame
+   boundary (nothing read yet). *)
+let read_exact fd buf len =
+  let rec go off =
+    if off = len then Ok ()
+    else
+      match Unix.read fd buf off (len - off) with
+      | 0 -> if off = 0 then Result.Error Closed else Result.Error Truncated
+      | n -> go (off + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+      | exception Unix.Unix_error (_, _, _) ->
+          if off = 0 then Result.Error Closed else Result.Error Truncated
+  in
+  go 0
+
+let read_frame fd =
+  let hdr = Bytes.create 4 in
+  match read_exact fd hdr 4 with
+  | Result.Error _ as e -> e
+  | Ok () -> (
+      let len =
+        (Bytes.get_uint8 hdr 0 lsl 24)
+        lor (Bytes.get_uint8 hdr 1 lsl 16)
+        lor (Bytes.get_uint8 hdr 2 lsl 8)
+        lor Bytes.get_uint8 hdr 3
+      in
+      if len > max_frame_bytes then begin
+        Obs.Metrics.incr m_rejects;
+        Result.Error (Oversized len)
+      end
+      else
+        let payload = Bytes.create len in
+        match read_exact fd payload len with
+        | Result.Error Closed -> Result.Error Truncated
+        | Result.Error _ as e -> e
+        | Ok () -> (
+            match decode_payload (Bytes.unsafe_to_string payload) with
+            | Ok frame ->
+                Obs.Metrics.incr m_frames_in;
+                Ok frame
+            | Result.Error msg ->
+                Obs.Metrics.incr m_rejects;
+                Result.Error (Malformed msg)))
+
+let write_frame fd frame =
+  let bytes = encode frame in
+  let len = String.length bytes in
+  let rec go off =
+    if off = len then Ok ()
+    else
+      match Unix.write_substring fd bytes off (len - off) with
+      | n -> go (off + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+      | exception Unix.Unix_error (e, _, _) ->
+          Result.Error (Unix.error_message e)
+  in
+  let r = go 0 in
+  if Result.is_ok r then Obs.Metrics.incr m_frames_out;
+  r

@@ -622,6 +622,208 @@ let test_spec_key_precision_canonical () =
     (Request.spec_key (f32_spec (Some Stencil.Grid.F32)))
     (Request.spec_key (f32_spec None))
 
+(* ------------------------------------------------------------------ *)
+(* Cache persistence: dump / load round trip                           *)
+(* ------------------------------------------------------------------ *)
+
+let temp_dump () = Filename.temp_file "an5d-dump" ".cache"
+
+(* CI pins the round trip to each storage precision in turn (the dump
+   carries marshalled bigarray grids, so both element types must
+   survive the disk format); unset, the source's detected precision is
+   used. *)
+let pinned_prec =
+  match Option.map String.lowercase_ascii (Sys.getenv_opt "AN5D_PREC") with
+  | Some "f32" -> Some Stencil.Grid.F32
+  | Some "f64" -> Some Stencil.Grid.F64
+  | Some s -> failwith ("AN5D_PREC expects f32 or f64, got " ^ s)
+  | None -> None
+
+let tune_req ?(device = Gpu.Device.v100) () =
+  match
+    Request.tune ~k:2 ~device ~prec:Stencil.Grid.F64 ~steps:8 source
+  with
+  | Ok r -> r
+  | Error msg -> Alcotest.fail msg
+
+(* Warm a session with all three request kinds, dump it, load the dump
+   into a fresh session: every request is re-served warm, and the
+   simulate outcome is bit-identical to the pre-dump service. *)
+let test_persist_roundtrip () =
+  let path = temp_dump () in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+  @@ fun () ->
+  let o1 =
+    with_session @@ fun s ->
+    let o =
+      served_outcome "pre-dump"
+        (Session.submit s (sim_req ?prec:pinned_prec ()))
+    in
+    (match (Session.submit s (tune_req ())).Session.status with
+    | Session.Done (Session.Tuned _) -> ()
+    | _ -> Alcotest.fail "tune must succeed before the dump");
+    (match
+       (Session.submit s
+          (Request.compile ~config:(Config.make ~bt:2 ~bs:[| 16 |] ()) source))
+         .Session.status
+     with
+    | Session.Done (Session.Compiled _) -> ()
+    | _ -> Alcotest.fail "compile must succeed before the dump");
+    (match Session.dump s ~path with
+    | Ok n -> Alcotest.(check bool) "dump wrote entries" true (n >= 3)
+    | Error msg -> Alcotest.fail ("dump: " ^ msg));
+    o
+  in
+  with_session @@ fun s2 ->
+  (match Session.load s2 ~path with
+  | Ok n -> Alcotest.(check bool) "load imported entries" true (n >= 3)
+  | Error msg -> Alcotest.fail ("load: " ^ msg));
+  let r = Session.submit s2 (sim_req ?prec:pinned_prec ()) in
+  Alcotest.(check bool) "simulate re-served warm" true
+    (r.Session.served = Session.Warm);
+  let o2 = served_outcome "post-load" r in
+  Alcotest.(check string) "bit-identical across the dump"
+    (Stencil.Grid.digest o1.Framework.result)
+    (Stencil.Grid.digest o2.Framework.result);
+  Alcotest.check counters_t "counters identical across the dump"
+    o1.Framework.counters o2.Framework.counters;
+  Alcotest.(check bool) "tune re-served warm" true
+    ((Session.submit s2 (tune_req ())).Session.served = Session.Warm);
+  Alcotest.(check bool) "compile re-served warm" true
+    ((Session.submit s2
+        (Request.compile ~config:(Config.make ~bt:2 ~bs:[| 16 |] ()) source))
+       .Session.served = Session.Warm)
+
+(* One corrupted byte anywhere in the dump is a clean refuse-to-load:
+   an [Error] with a reason, an untouched session, no exception. *)
+let test_persist_corrupt_byte () =
+  let path = temp_dump () in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+  @@ fun () ->
+  (with_session @@ fun s ->
+   ignore (Session.submit s (sim_req ?prec:pinned_prec ()) : Session.response);
+   match Session.dump s ~path with
+   | Ok _ -> ()
+   | Error msg -> Alcotest.fail ("dump: " ^ msg));
+  let bytes =
+    In_channel.with_open_bin path In_channel.input_all |> Bytes.of_string
+  in
+  (* flip a byte deep in the marshalled payload, past the header *)
+  let at = Bytes.length bytes - 7 in
+  Bytes.set bytes at (Char.chr (Char.code (Bytes.get bytes at) lxor 0xFF));
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_bytes oc bytes);
+  with_session @@ fun s2 ->
+  (match Session.load s2 ~path with
+  | Error _ -> ()
+  | Ok n -> Alcotest.failf "corrupt dump must refuse to load, imported %d" n);
+  (* the refusing session is untouched and keeps serving *)
+  let st = Session.stats s2 in
+  Alcotest.(check int) "no entries leaked in" 0
+    (st.Session.jobs.Cache.size + st.Session.tunes.Cache.size
+   + st.Session.outcomes.Cache.size);
+  Alcotest.(check bool) "still serves cold" true
+    ((Session.submit s2 (sim_req ())).Session.served = Session.Cold)
+
+(* A dump written under a different cache-key schema digest is refused
+   with a reason naming both digests — never loaded, never an
+   exception. *)
+let test_persist_stale_schema () =
+  let path = temp_dump () in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+  @@ fun () ->
+  (match An5d_serve.Persist.write ~path ~schema:"deadbeef" [ 1; 2; 3 ] with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail ("write: " ^ msg));
+  with_session @@ fun s ->
+  match Session.load s ~path with
+  | Error msg ->
+      let contains s sub =
+        let n = String.length sub and m = String.length s in
+        let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool) "reason names the stale schema" true
+        (contains msg "deadbeef")
+  | Ok n -> Alcotest.failf "stale-schema dump must be refused, imported %d" n
+
+(* ------------------------------------------------------------------ *)
+(* Cross-device tune transfer                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Tuning the same stencil for a second device seeds its search from
+   the first device's winner: the result is marked seeded and explores
+   at most half the candidates of an unseeded search. *)
+let test_session_transfer () =
+  let unseeded_p100 =
+    let r = Stencil.Detect.of_string j2d5pt_src in
+    Model.Tuner.tune_cfg ~k:2 Gpu.Device.p100 ~prec:Stencil.Grid.F64
+      r.Stencil.Detect.pattern ~dims_sizes:[| 40; 40 |] ~steps:8
+  in
+  with_session @@ fun s ->
+  (* first device: a full, unseeded search *)
+  (match (Session.submit s (tune_req ~device:Gpu.Device.v100 ())).Session.status
+   with
+  | Session.Done (Session.Tuned r) ->
+      Alcotest.(check bool) "first device unseeded" true
+        (r.Model.Tuner.seeded = None)
+  | _ -> Alcotest.fail "expected Done Tuned for v100");
+  Alcotest.(check int) "winner recorded" 1 (Session.stats s).Session.winners;
+  (* second device: seeded from the v100 winner *)
+  (match (Session.submit s (tune_req ~device:Gpu.Device.p100 ())).Session.status
+   with
+  | Session.Done (Session.Tuned r) ->
+      Alcotest.(check bool) "second device seeded" true
+        (r.Model.Tuner.seeded <> None);
+      Alcotest.(check bool)
+        (Fmt.str "seeded explores <= half the candidates (%d vs %d)"
+           r.Model.Tuner.explored unseeded_p100.Model.Tuner.explored)
+        true
+        (2 * r.Model.Tuner.explored <= unseeded_p100.Model.Tuner.explored);
+      Alcotest.(check bool) "seeded winner equal or better" true
+        (r.Model.Tuner.tuned.Model.Measure.gflops
+        >= unseeded_p100.Model.Tuner.tuned.Model.Measure.gflops -. 1e-9
+        || config_str r.Model.Tuner.best
+           = config_str unseeded_p100.Model.Tuner.best)
+  | _ -> Alcotest.fail "expected Done Tuned for p100");
+  (* the repeat is a plain tune-cache hit, not a new search *)
+  Alcotest.(check bool) "seeded tune cached" true
+    ((Session.submit s (tune_req ~device:Gpu.Device.p100 ())).Session.served
+    = Session.Warm);
+  (* same device again: no self-seeding (the v100 entry is cached
+     anyway, so this is served warm) *)
+  Alcotest.(check bool) "first device still warm" true
+    ((Session.submit s (tune_req ~device:Gpu.Device.v100 ())).Session.served
+    = Session.Warm)
+
+(* ------------------------------------------------------------------ *)
+(* Stats rendering: the pinned format                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* The exact rendering the [stats] verb prints — all three caches on
+   uniform lines with hit/miss/coalesced counts and the hit ratio.
+   After two identical simulate requests: the first misses the outcome
+   cache and compiles (job-cache miss), the repeat hits the outcome
+   cache without touching the job cache. *)
+let test_stats_format () =
+  with_session @@ fun s ->
+  ignore (Session.submit s (sim_req ()) : Session.response);
+  ignore (Session.submit s (sim_req ()) : Session.response);
+  let rendered = Fmt.str "%a" Session.pp_stats (Session.stats s) in
+  let expected =
+    String.concat "\n"
+      [
+        "2 requests (0 degraded, 0 cancelled, 0 failed), 0 transfer winners";
+        "job cache: 0 hit, 1 miss, 0 coalesced, 0 evicted, 0 expired, 1 live, \
+         0.0% hit-ratio";
+        "tune cache: 0 hit, 0 miss, 0 coalesced, 0 evicted, 0 expired, 0 live, \
+         0.0% hit-ratio";
+        "outcome cache: 1 hit, 1 miss, 0 coalesced, 0 evicted, 0 expired, 1 \
+         live, 50.0% hit-ratio";
+      ]
+  in
+  Alcotest.(check string) "pinned stats rendering" expected rendered
+
 (* --- QCheck differential: served = direct, bit for bit --- *)
 
 let gen_case =
@@ -720,6 +922,19 @@ let () =
           Alcotest.test_case "spec_key precision canonical" `Quick
             test_spec_key_precision_canonical;
         ] );
+      ( "persistence",
+        [
+          Alcotest.test_case "dump/load round trip" `Quick test_persist_roundtrip;
+          Alcotest.test_case "corrupt byte refused" `Quick
+            test_persist_corrupt_byte;
+          Alcotest.test_case "stale schema refused" `Quick
+            test_persist_stale_schema;
+        ] );
+      ( "transfer",
+        [ Alcotest.test_case "cross-device seeding" `Quick test_session_transfer ]
+      );
+      ( "stats",
+        [ Alcotest.test_case "pinned rendering" `Quick test_stats_format ] );
       ( "properties",
         [ QCheck_alcotest.to_alcotest prop_served_equals_direct ] );
     ]
