@@ -64,7 +64,7 @@ let an5d_sconf_measure st b =
   m.Model.Measure.gflops
 
 let an5d_tuned st b =
-  Model.Tuner.tune st.device ~prec:st.prec b.Bench_defs.Benchmarks.pattern
+  Model.Tuner.tune_cfg st.device ~prec:st.prec b.Bench_defs.Benchmarks.pattern
     ~dims_sizes:b.Bench_defs.Benchmarks.full_dims ~steps
 
 let stencilgen_measure st b =

@@ -34,7 +34,7 @@ let run () =
   let run_with domains =
     let machine = Gpu.Machine.create Gpu.Device.v100 in
     let (out, _), seconds =
-      time (fun () -> Blocking.run ~domains em ~machine ~steps g)
+      time (fun () -> Blocking.run_cfg (Run_config.make ~domains ()) em ~machine ~steps g)
     in
     (out, machine.Gpu.Machine.counters, seconds)
   in

@@ -13,8 +13,25 @@
      equally sized [Gpu.Pool] must stay within [shard_floor] of the
      resident pool executor on the same grid and domain count. The
      sharded run pays for redundant ghost-zone compute and the
-     per-round blits; the floor asserts that price stays bounded. The
-     run *fails* if either gate is violated. *)
+     per-round blits; the floor asserts that price stays bounded.
+
+   And two about the multi-process serving path ([An5d_serve.Workers]
+   fanning the same decomposition across worker processes behind
+   [Shard.Transport.Pipe], docs/SHARDING.md phase 2):
+
+   - {b Wire cadence and overhead}: the multi-process run keeps the
+     exchange cadence (exactly one per temporal chunk, parent-side),
+     never falls back in-process, and its [halo_bytes_on_wire] stays
+     under the analytic ceiling — one full-grid gather plus, per
+     chunk, pull+push of at most [2 * halo_w] planes across each of
+     the [shards - 1] internal boundaries.
+
+   - {b Multi-process throughput}: serving a task through the worker
+     registry (task shipping, per-worker compile, binary halo frames,
+     gather) must stay within [mp_floor] of serving it in-process at
+     the same shard count.
+
+   The run *fails* if any gate is violated. *)
 
 open An5d_core
 
@@ -165,8 +182,145 @@ let enforce_floor results =
     results
 
 (* ------------------------------------------------------------------ *)
+(* Multi-process: worker registry vs in-process, same decomposition    *)
+(* ------------------------------------------------------------------ *)
 
-let json ~cadences ~results =
+type mp = {
+  mp_label : string;
+  mp_dims : int array;
+  mp_steps : int;
+  mp_shards : int;
+  mp_workers : int;
+  mp_chunks : int;
+  mp_exchanges : int;  (** parent-side, must equal [mp_chunks] *)
+  mp_retries : int;  (** in-process fallbacks, must be 0 *)
+  mp_wire_bytes : int;  (** [halo_bytes_on_wire] for one request *)
+  mp_wire_ceiling : int;
+  mp_intra : float;  (** cells/s, in-process sharded serve *)
+  mp_multi : float;  (** cells/s, through the worker registry *)
+}
+
+(* The worker path pays task shipping, a per-task compile inside each
+   worker and the binary halo/gather frames; quick mode's tiny grids
+   make those fixed costs proportionally huge. *)
+let mp_floor () = if !Exp_common.quick then 0.20 else 0.50
+
+let mp_case name cfg dims steps ~shards ~workers =
+  let b = bench name in
+  let source =
+    Framework.source_of_string ~origin:name b.Bench_defs.Benchmarks.c_source
+  in
+  let job = Framework.compile ~config:cfg ~dims source in
+  let prec = job.Framework.prec in
+  let spec =
+    { An5d_serve.Request.source; config = cfg; dims = Some dims;
+      prec = Some prec }
+  in
+  let device = Gpu.Device.v100 in
+  let seed = 11 in
+  (* Single-domain on both sides: the registry forks, and fork is
+     illegal once worker domains exist — parallelism here comes from
+     the worker processes themselves. *)
+  let run =
+    Run_config.with_verify false
+      (Run_config.with_domains 1
+         (Run_config.with_workers workers
+            (Run_config.with_shards shards
+               (Run_config.with_impl Blocking.Bigarray !Exp_common.run_config))))
+  in
+  let p = Framework.pattern job in
+  let cells = interior_volume dims p.Stencil.Pattern.radius * steps in
+  let chunks = List.length (Execmodel.time_chunks ~bt:cfg.Config.bt ~it:steps) in
+  (* Both sides serve one whole task: deterministic input grid, then
+     the sharded run. The in-process side reuses the parent's compile;
+     the workers recompile per task — that overhead is charged to the
+     multi-process side, as in production. *)
+  let intra () =
+    let g = Stencil.Grid.init_random ~prec ~seed dims in
+    ignore
+      (Framework.simulate_cfg
+         ~cfg:(Run_config.with_workers 1 run)
+         ~device ~steps job g)
+  in
+  let reg = An5d_serve.Workers.create ~spawn:An5d_serve.Workers.Fork workers in
+  Fun.protect ~finally:(fun () -> An5d_serve.Workers.shutdown reg)
+  @@ fun () ->
+  let multi () =
+    ignore (An5d_serve.Workers.simulate reg ~spec ~job ~device ~steps ~seed ~run)
+  in
+  let before = Obs.Metrics.snapshot () in
+  multi ();
+  let after = Obs.Metrics.snapshot () in
+  let word = Stencil.Grid.bytes_per_word prec in
+  let plane_bytes =
+    word * Array.fold_left ( * ) 1 (Array.sub dims 1 (Array.length dims - 1))
+  in
+  let grid_bytes = dims.(0) * plane_bytes in
+  let halo_w = cfg.Config.bt * p.Stencil.Pattern.radius in
+  {
+    mp_label = name;
+    mp_dims = dims;
+    mp_steps = steps;
+    mp_shards = shards;
+    mp_workers = workers;
+    mp_chunks = chunks;
+    mp_exchanges = counter_delta "halo_exchanges" before after;
+    mp_retries = counter_delta "worker_retries" before after;
+    mp_wire_bytes = counter_delta "halo_bytes_on_wire" before after;
+    (* One full-grid gather + per chunk at most [2 * halo_w] planes
+       pulled-then-pushed (2x bytes each) across [shards - 1] internal
+       boundaries. *)
+    mp_wire_ceiling =
+      grid_bytes + (chunks * 4 * halo_w * (shards - 1) * plane_bytes);
+    mp_intra = float cells /. time_run intra;
+    mp_multi = float cells /. time_run multi;
+  }
+
+let mp_cases () =
+  let q = !Exp_common.quick in
+  let d2 = if q then [| 128; 128 |] else [| 512; 512 |] in
+  let cfg = Config.make ~bt:4 ~bs:[| 64 |] () in
+  [
+    mp_case "j2d5pt" cfg d2 8 ~shards:4 ~workers:2;
+    mp_case "j2d5pt" cfg d2 8 ~shards:4 ~workers:4;
+  ]
+
+let enforce_mp results =
+  let floor = mp_floor () in
+  List.iter
+    (fun m ->
+      if m.mp_retries <> 0 then
+        failwith
+          (Printf.sprintf
+             "multi-process run fell back in-process %d time(s): the \
+              measurement did not exercise the worker transport"
+             m.mp_retries);
+      if m.mp_exchanges <> m.mp_chunks then
+        failwith
+          (Printf.sprintf
+             "multi-process exchange cadence violated: %d workers ran %d \
+              exchanges, expected %d (one per temporal chunk)"
+             m.mp_workers m.mp_exchanges m.mp_chunks);
+      if m.mp_wire_bytes <= 0 then
+        failwith "no halo bytes crossed the wire in a multi-process run";
+      if m.mp_wire_bytes > m.mp_wire_ceiling then
+        failwith
+          (Printf.sprintf
+             "wire overhead ceiling violated: %d bytes on the wire > %d \
+              analytic ceiling"
+             m.mp_wire_bytes m.mp_wire_ceiling);
+      let ratio = m.mp_multi /. m.mp_intra in
+      if ratio < floor then
+        failwith
+          (Printf.sprintf
+             "multi-process throughput floor violated: %d workers \
+              multi/intra = %.2fx < %.2fx"
+             m.mp_workers ratio floor))
+    results
+
+(* ------------------------------------------------------------------ *)
+
+let json ~cadences ~results ~mps =
   let buf = Buffer.create 2048 in
   Buffer.add_string buf "{\n";
   Buffer.add_string buf
@@ -200,6 +354,28 @@ let json ~cadences ~results =
     results;
   Buffer.add_string buf "  ],\n";
   Buffer.add_string buf
+    (Printf.sprintf "  \"mp_floor\": %.2f,\n  \"multiprocess\": [\n"
+       (mp_floor ()));
+  List.iteri
+    (fun i m ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"name\": %S, \"dims\": [%s], \"steps\": %d, \"shards\": %d, \
+            \"workers\": %d,\n\
+           \     \"exchanges\": %d, \"expected_chunks\": %d, \"retries\": %d,\n\
+           \     \"wire_bytes\": %d, \"wire_ceiling_bytes\": %d,\n\
+           \     \"intra_cells_per_s\": %.6e, \"multi_cells_per_s\": %.6e, \
+            \"multi_over_intra\": %.3f}%s\n"
+           m.mp_label
+           (String.concat ", "
+              (Array.to_list (Array.map string_of_int m.mp_dims)))
+           m.mp_steps m.mp_shards m.mp_workers m.mp_exchanges m.mp_chunks
+           m.mp_retries m.mp_wire_bytes m.mp_wire_ceiling m.mp_intra m.mp_multi
+           (m.mp_multi /. m.mp_intra)
+           (if i = List.length mps - 1 then "" else ",")))
+    mps;
+  Buffer.add_string buf "  ],\n";
+  Buffer.add_string buf
     (Printf.sprintf "  \"metrics\": %s\n"
        (Obs.Export.metrics_json (Obs.Metrics.snapshot ())));
   Buffer.add_string buf "}\n";
@@ -222,6 +398,10 @@ let run () =
              Printf.sprintf "%.1fx" c.reduction;
            ])
          cadences);
+  (* Multi-process cases fork worker registries, which must happen
+     before the domain-parallel throughput cases ever spawn a domain
+     (fork after Domain.spawn is illegal). *)
+  let mps = mp_cases () in
   let results = cases () in
   Output.table
     ~header:
@@ -240,10 +420,29 @@ let run () =
              Printf.sprintf "%.2fx" (m.sharded /. m.resident);
            ])
          results);
+  Output.table
+    ~header:
+      [ "run"; "workers"; "exchanges"; "chunks"; "wire KiB"; "intra c/s";
+        "multi c/s"; "multi/intra" ]
+    ~rows:
+      (List.map
+         (fun m ->
+           [
+             m.mp_label;
+             string_of_int m.mp_workers;
+             string_of_int m.mp_exchanges;
+             string_of_int m.mp_chunks;
+             Printf.sprintf "%.1f" (float m.mp_wire_bytes /. 1024.);
+             Printf.sprintf "%.2e" m.mp_intra;
+             Printf.sprintf "%.2e" m.mp_multi;
+             Printf.sprintf "%.2fx" (m.mp_multi /. m.mp_intra);
+           ])
+         mps);
   let written =
     Output.write_bench_json ~quick:!Exp_common.quick "BENCH_shard.json"
-      (json ~cadences ~results)
+      (json ~cadences ~results ~mps)
   in
   Printf.printf "\nWrote %s\n" written;
   enforce_cadence cadences;
-  enforce_floor results
+  enforce_floor results;
+  enforce_mp mps

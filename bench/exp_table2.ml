@@ -30,7 +30,7 @@ let simulated_reads pattern =
   let em = Execmodel.make pattern (Config.make ~bt:1 ~bs ()) dims in
   let machine = Gpu.Machine.create Gpu.Device.v100 in
   let g = Stencil.Grid.init_random dims in
-  let _ = Blocking.run em ~machine ~steps:1 g in
+  let _ = Blocking.run_cfg Run_config.default em ~machine ~steps:1 g in
   let c = machine.Gpu.Machine.counters in
   let t = Model.Thread_class.for_run em ~steps:1 in
   (* reads are counted for in-grid threads on computed planes *)

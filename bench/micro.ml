@@ -66,7 +66,7 @@ let fig9 =
       let em = An5d_core.Execmodel.make star2d1r cfg [| 30; 30 |] in
       let machine = Gpu.Machine.create v100 in
       let g = Stencil.Grid.init_random [| 30; 30 |] in
-      ignore (An5d_core.Blocking.run em ~machine ~steps:4 g)))
+      ignore (An5d_core.Blocking.run_cfg An5d_core.Run_config.default em ~machine ~steps:4 g)))
 
 let all_tests =
   Test.make_grouped ~name:"an5d"

@@ -97,6 +97,12 @@ let run_config_term =
       & opt int Run_config.default.Run_config.shards
       & info [ "shards" ] ~docv:"N" ~doc:Run_args.shards_doc)
   in
+  let workers =
+    Arg.(
+      value
+      & opt int Run_config.default.Run_config.workers
+      & info [ "workers" ] ~docv:"N" ~doc:Run_args.workers_doc)
+  in
   let trace =
     Arg.(
       value
@@ -111,13 +117,14 @@ let run_config_term =
       & opt (some int) None
       & info [ "gc-space-overhead" ] ~docv:"N" ~doc:Run_args.gc_space_overhead_doc)
   in
-  let build mode impl domains shards trace metrics no_verify gc_space_overhead =
-    Run_config.make ~mode ~impl ~domains ~shards ~verify:(not no_verify) ~trace
-      ~metrics ~gc_space_overhead ()
+  let build mode impl domains shards workers trace metrics no_verify
+      gc_space_overhead =
+    Run_config.make ~mode ~impl ~domains ~shards ~workers
+      ~verify:(not no_verify) ~trace ~metrics ~gc_space_overhead ()
   in
   Term.(
-    const build $ mode $ impl $ domains $ shards $ trace $ metrics $ no_verify
-    $ gc_space_overhead)
+    const build $ mode $ impl $ domains $ shards $ workers $ trace $ metrics
+    $ no_verify $ gc_space_overhead)
 
 let setup_logs verbose =
   Logs.set_reporter (Logs.format_reporter ());
@@ -443,16 +450,40 @@ let deadline_arg =
   in
   Arg.(value & opt (some float) None & info [ "deadline" ] ~docv:"S" ~doc)
 
+(* A serve/batch session, plus the worker-process registry when the
+   run config asks for process-level sharding ([--workers N], N > 1).
+   Workers are long-lived [an5d worker] children of this process,
+   spawned once up front and reused across requests; the caller
+   shuts the registry down with the session. *)
 let session_of ~cfg ~queue ~deadline =
-  Session.create
-    ~config:
-      {
-        Session.default_config with
-        Session.domains = cfg.Run_config.domains;
-        queue_capacity = queue;
-        default_deadline = deadline;
-      }
-    ()
+  let workers =
+    if cfg.Run_config.workers > 1 then (
+      let reg =
+        An5d_serve.Workers.create
+          ~spawn:(An5d_serve.Workers.Exec [| Sys.executable_name; "worker" |])
+          cfg.Run_config.workers
+      in
+      Fmt.pr "spawned %d shard workers@." (An5d_serve.Workers.size reg);
+      Some reg)
+    else None
+  in
+  let session =
+    Session.create
+      ~config:
+        {
+          Session.default_config with
+          Session.domains = cfg.Run_config.domains;
+          queue_capacity = queue;
+          default_deadline = deadline;
+          workers;
+        }
+      ()
+  in
+  (session, workers)
+
+let shutdown_session (session, workers) =
+  Session.shutdown session;
+  Option.iter An5d_serve.Workers.shutdown workers
 
 let served_str = function
   | Session.Cold -> "cold"
@@ -515,8 +546,8 @@ let batch_cmd =
               | Error msg -> failwith (Fmt.str "%s:%d: %s" file n msg))
             lines
         in
-        let session = session_of ~cfg ~queue ~deadline in
-        Fun.protect ~finally:(fun () -> Session.shutdown session) @@ fun () ->
+        let ((session, _) as sw) = session_of ~cfg ~queue ~deadline in
+        Fun.protect ~finally:(fun () -> shutdown_session sw) @@ fun () ->
         let responses = Session.submit_batch session reqs in
         List.iter2 print_response reqs responses;
         Fmt.pr "%a@." Session.pp_stats (Session.stats session))
@@ -567,8 +598,8 @@ let serve_cmd =
   let run () queue deadline cfg socket cache admit_burst admit_rate =
     handle_errors (fun () ->
         Run_config.with_obs cfg @@ fun () ->
-        let session = session_of ~cfg ~queue ~deadline in
-        Fun.protect ~finally:(fun () -> Session.shutdown session) @@ fun () ->
+        let ((session, _) as sw) = session_of ~cfg ~queue ~deadline in
+        Fun.protect ~finally:(fun () -> shutdown_session sw) @@ fun () ->
         load_cache session cache;
         match socket with
         | Some addr_str -> (
@@ -734,13 +765,24 @@ let client_cmd =
     (Cmd.info "client" ~doc)
     Term.(const run $ logs_term $ addr_arg $ id_arg $ file_arg)
 
+let worker_cmd =
+  let run () =
+    handle_errors (fun () -> An5d_serve.Workers.worker_main Unix.stdin)
+  in
+  let doc =
+    "Shard worker process (spawned by $(b,an5d serve --workers N) with a \
+     socketpair on stdin; not intended for interactive use): answers task \
+     frames with the binary halo-exchange protocol until EOF."
+  in
+  Cmd.v (Cmd.info "worker" ~doc) Term.(const run $ logs_term)
+
 let main_cmd =
   let doc = "AN5D: automated stencil framework with high-degree temporal blocking" in
   let info = Cmd.info "an5d" ~version:"1.0.0" ~doc in
   Cmd.group info
     [
       detect_cmd; compile_cmd; simulate_cmd; tune_cmd; compare_cmd; ptx_cmd;
-      artifact_cmd; list_cmd; batch_cmd; serve_cmd; client_cmd;
+      artifact_cmd; list_cmd; batch_cmd; serve_cmd; client_cmd; worker_cmd;
     ]
 
 let () = exit (Cmd.eval' main_cmd)

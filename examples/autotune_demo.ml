@@ -16,7 +16,7 @@ let show dev prec pattern dims =
   let explored, feasible = Model.Tuner.enumerate dev ~prec pattern ~dims_sizes:dims in
   Fmt.pr "search space %d, feasible %d (register estimate + halo constraints)@."
     explored (List.length feasible);
-  let r = Model.Tuner.tune dev ~prec pattern ~dims_sizes:dims ~steps:1000 in
+  let r = Model.Tuner.tune_cfg dev ~prec pattern ~dims_sizes:dims ~steps:1000 in
   Fmt.pr "model's top five, then measured:@.";
   List.iter
     (fun c ->

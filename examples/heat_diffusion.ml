@@ -49,7 +49,7 @@ let () =
   let config = Config.make ~bt:8 ~bs:[| 48 |] () in
   let em = Execmodel.make heat_pattern config dims in
   let machine = Gpu.Machine.create Gpu.Device.v100 in
-  let blocked, launch = Blocking.run em ~machine ~steps plate in
+  let blocked, launch = Blocking.run_cfg Run_config.default em ~machine ~steps plate in
   stats (Fmt.str "after %d steps:" steps) blocked;
   Fmt.pr "launch: %a@." Blocking.pp_launch_stats launch;
 
@@ -66,7 +66,7 @@ let () =
   (* what the model says this buys at the paper's production scale *)
   let full = [| 16384; 16384 |] in
   let tuned =
-    Model.Tuner.tune Gpu.Device.v100 ~prec:Stencil.Grid.F64 heat_pattern
+    Model.Tuner.tune_cfg Gpu.Device.v100 ~prec:Stencil.Grid.F64 heat_pattern
       ~dims_sizes:full ~steps:1000
   in
   let base =

@@ -55,7 +55,7 @@ let () =
   let config = Config.make ~bt:2 ~bs:[| 16; 16 |] ~hs:(Some 20) () in
   let em = Execmodel.make plume_pattern config dims in
   let machine = Gpu.Machine.create Gpu.Device.v100 in
-  let dispersed, launch = Blocking.run em ~machine ~steps c0 in
+  let dispersed, launch = Blocking.run_cfg Run_config.default em ~machine ~steps c0 in
   Fmt.pr "after %d steps the plume centroid rose to z = %.2f@." steps
     (centroid_z dispersed);
   Fmt.pr "launch: %a@." Blocking.pp_launch_stats launch;
@@ -66,7 +66,7 @@ let () =
   (* 3D tuning: the sweet spot is a low temporal degree (Fig 8 right) *)
   Fmt.pr "@.tuning at 512^3 x 1000 steps (V100, float):@.";
   let r =
-    Model.Tuner.tune Gpu.Device.v100 ~prec:Stencil.Grid.F32 plume_pattern
+    Model.Tuner.tune_cfg Gpu.Device.v100 ~prec:Stencil.Grid.F32 plume_pattern
       ~dims_sizes:[| 512; 512; 512 |] ~steps:1000
   in
   List.iter

@@ -38,7 +38,7 @@ let () =
   (* 3. simulate the blocked schedule on a V100 and verify it *)
   let grid = Stencil.Grid.init_random job.An5d_core.Framework.dims in
   let outcome =
-    An5d_core.Framework.simulate ~device:Gpu.Device.v100 ~steps:20 job grid
+    An5d_core.Framework.simulate_cfg ~device:Gpu.Device.v100 ~steps:20 job grid
   in
   Fmt.pr "launch:  %a@." An5d_core.Blocking.pp_launch_stats outcome.An5d_core.Framework.stats;
   Fmt.pr "traffic: %a@." Gpu.Counters.pp outcome.An5d_core.Framework.counters;

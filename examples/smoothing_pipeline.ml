@@ -46,7 +46,7 @@ let () =
   let config = Config.make ~bt:4 ~bs:[| 40 |] () in
   let em = Execmodel.make smooth_pattern config dims in
   let machine = Gpu.Machine.create Gpu.Device.v100 in
-  let smoothed, _ = Blocking.run em ~machine ~steps img in
+  let smoothed, _ = Blocking.run_cfg Run_config.default em ~machine ~steps img in
   Fmt.pr "smoothed roughness: %.4f after %d sweeps@." (roughness smoothed) steps;
   let reference = Stencil.Reference.run smooth_pattern ~steps img in
   Fmt.pr "bit-exact vs reference: %b@."
@@ -62,7 +62,7 @@ let () =
   (* both paths compute the same thing *)
   let machine2 = Gpu.Machine.create Gpu.Device.v100 in
   let em2 = Execmodel.make smooth_pattern { config with Config.assoc_opt = false } dims in
-  let general, _ = Blocking.run em2 ~machine:machine2 ~steps img in
+  let general, _ = Blocking.run_cfg Run_config.default em2 ~machine:machine2 ~steps img in
   Fmt.pr "general path agrees: %b@." (Stencil.Grid.max_abs_diff smoothed general = 0.0);
   Fmt.pr "general path shared traffic: %d words vs %d words (associative)@."
     (Gpu.Counters.sm_words machine2.Gpu.Machine.counters)

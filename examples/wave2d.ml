@@ -68,7 +68,7 @@ let () =
   let steps = 48 in
   let cfg = Config.make ~bt:4 ~bs:[| 48 |] () in
   let machine = Gpu.Machine.create Gpu.Device.v100 in
-  let final, stats = Multi_blocking.run wave cfg ~machine ~steps fields in
+  let final, stats = Multi_blocking.run_cfg Run_config.default wave cfg ~machine ~steps fields in
   Fmt.pr "launch: %a@." Multi_blocking.pp_launch_stats stats;
   (match (fields, final) with
   | [ u0; _ ], [ u; _ ] ->

@@ -133,4 +133,4 @@ let run (em : Execmodel.t) ~machine ~steps g =
       (Gpu.Machine.Launch_failure
          (Fmt.str "STENCILGEN needs %d bytes of shared memory per block"
             (smem_bytes em ~prec)));
-  Blocking.run em ~machine ~steps g
+  Blocking.run_cfg Run_config.default em ~machine ~steps g

@@ -613,8 +613,3 @@ let run_cfg ?pool (cfg : Run_config.t) (em : Execmodel.t)
   in
   (!cur, stats)
   end
-
-(* Deprecated optional-argument wrapper; equivalent to [run_cfg] with
-   the same fields (proven by test/test_serve.ml). *)
-let run ?mode ?impl ?domains ?pool em ~machine ~steps g =
-  run_cfg ?pool (Run_config.make ?mode ?impl ?domains ()) em ~machine ~steps g

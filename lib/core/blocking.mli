@@ -141,17 +141,3 @@ val run_sharded :
     shard machinery at [shards = 1].
     @raise Invalid_argument when the grid does not match the model, or
     when [cfg.shards < 1] or exceeds the streaming-dimension size. *)
-
-val run :
-  ?mode:exec_mode ->
-  ?impl:impl ->
-  ?domains:int ->
-  ?pool:Gpu.Pool.t ->
-  Execmodel.t ->
-  machine:Gpu.Machine.t ->
-  steps:int ->
-  Stencil.Grid.t ->
-  Stencil.Grid.t * launch_stats
-(** Deprecated optional-argument wrapper around {!run_cfg}; equivalent
-    field-for-field (asserted by the wrapper-equivalence tests in
-    test/test_serve.ml). Prefer {!run_cfg}. *)

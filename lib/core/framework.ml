@@ -7,7 +7,7 @@
     {[
       let job = Framework.compile ~config (Framework.source_of_string c_code) in
       print_string (Framework.cuda_source job);
-      let outcome = Framework.simulate job ~device:Gpu.Device.v100 ~steps:100 grid in
+      let outcome = Framework.simulate_cfg job ~device:Gpu.Device.v100 ~steps:100 grid in
       assert (outcome.verified = Ok ())
     ]} *)
 
@@ -141,10 +141,3 @@ let simulate_cfg ?(cfg = Run_config.default) ~device ~steps job grid =
           if d = 0.0 then Ok () else Error d)
   in
   { result; stats; counters = machine.Gpu.Machine.counters; verified }
-
-(* Deprecated optional-argument wrapper; equivalent to [simulate_cfg]
-   with the same fields (proven by test/test_serve.ml). *)
-let simulate ?(verify = true) ?mode ?impl ?domains ~device ~steps job grid =
-  simulate_cfg
-    ~cfg:(Run_config.make ~verify ?mode ?impl ?domains ())
-    ~device ~steps job grid

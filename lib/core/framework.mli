@@ -71,17 +71,3 @@ val simulate_cfg :
     not acted on here — wrap the call in {!Run_config.with_obs} for
     that (the CLI does).
     @raise Invalid_argument when the grid does not match the job. *)
-
-val simulate :
-  ?verify:bool ->
-  ?mode:Blocking.exec_mode ->
-  ?impl:Blocking.impl ->
-  ?domains:int ->
-  device:Gpu.Device.t ->
-  steps:int ->
-  job ->
-  Stencil.Grid.t ->
-  outcome
-(** Deprecated optional-argument wrapper around {!simulate_cfg};
-    equivalent field-for-field (asserted by the wrapper-equivalence
-    tests in test/test_serve.ml). Prefer {!simulate_cfg}. *)

@@ -309,8 +309,3 @@ let run_cfg ?pool (rc : Run_config.t) (sys : Stencil.System.t) (cfg : Config.t)
     }
   in
   (Array.to_list !cur, stats)
-
-(* Deprecated optional-argument wrapper; equivalent to [run_cfg] with
-   the same domains field (proven by test/test_serve.ml). *)
-let run ?domains ?pool sys cfg ~machine ~steps gs =
-  run_cfg ?pool (Run_config.make ?domains ()) sys cfg ~machine ~steps gs

@@ -51,15 +51,3 @@ val run_cfg :
     only [domains] matters here — the prototype has a single
     implementation and evaluation mode; [domains]/[pool] run thread
     blocks in parallel as in {!Blocking.run_cfg}. *)
-
-val run :
-  ?domains:int ->
-  ?pool:Gpu.Pool.t ->
-  Stencil.System.t ->
-  Config.t ->
-  machine:Gpu.Machine.t ->
-  steps:int ->
-  Stencil.Grid.t list ->
-  Stencil.Grid.t list * launch_stats
-(** Deprecated optional-argument wrapper around {!run_cfg}; equivalent
-    for the same [domains]. Prefer {!run_cfg}. *)

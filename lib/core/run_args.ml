@@ -10,6 +10,12 @@ let shards_doc =
    per temporal chunk (1 = resident single-owner execution; sharded results \
    are bit-identical, see docs/SHARDING.md)."
 
+let workers_doc =
+  "Process-level sharded execution: fan the shard decomposition across N \
+   long-lived worker processes over the pipe transport (requires --shards > \
+   1 to have an effect; grids and counters stay bit-identical to the \
+   in-process run, see docs/SHARDING.md phase 2). 1 = in-process."
+
 let impl_doc =
   "Executor implementation: compiled (default), closure, bigarray \
    (unsafe-indexed fast path), or streaming (sliding-window register-reuse \
@@ -65,6 +71,7 @@ let usage =
     [
       "  --domains N     " ^ domains_doc;
       "  --shards N      " ^ shards_doc;
+      "  --workers N     " ^ workers_doc;
       "  --impl IMPL     " ^ impl_doc;
       "  --mode MODE     " ^ mode_doc;
       "  --trace FILE    " ^ trace_doc;
@@ -84,6 +91,10 @@ let parse ?(init = Run_config.default) args =
         match int_of_string_opt v with
         | Some s when s >= 1 -> go (Run_config.with_shards s cfg) rest tl
         | _ -> Error (Fmt.str "--shards expects a positive integer, got %s" v))
+    | "--workers" :: v :: tl -> (
+        match int_of_string_opt v with
+        | Some w when w >= 1 -> go (Run_config.with_workers w cfg) rest tl
+        | _ -> Error (Fmt.str "--workers expects a positive integer, got %s" v))
     | "--impl" :: v :: tl -> (
         match Run_config.impl_of_string v with
         | Ok i -> go (Run_config.with_impl i cfg) rest tl
@@ -105,7 +116,7 @@ let parse ?(init = Run_config.default) args =
               (Fmt.str "--gc-space-overhead expects a positive integer, got %s" v))
     | [ flag ]
       when List.mem flag
-             [ "--domains"; "--shards"; "--impl"; "--mode"; "--trace";
+             [ "--domains"; "--shards"; "--workers"; "--impl"; "--mode"; "--trace";
                "--gc-space-overhead" ]
       ->
         Error (Fmt.str "%s expects an argument" flag)

@@ -1,5 +1,5 @@
 (** Shared command-line handling for the cross-cutting run flags
-    ([--domains], [--shards], [--impl], [--mode], [--trace],
+    ([--domains], [--shards], [--workers], [--impl], [--mode], [--trace],
     [--metrics], [--no-verify], [--gc-space-overhead]) — one parser
     producing a {!Run_config.t}, used by both [bin/an5d] (behind its
     cmdliner terms) and [bench/main] (directly on its argv list), so
@@ -11,6 +11,7 @@ val parse :
     {!Run_config.default}) and returns the remaining arguments in
     order. Recognized:
     [--domains N] (positive), [--shards N] (positive),
+    [--workers N] (positive),
     [--impl compiled|closure|bigarray|streaming],
     [--mode direct|partial-sums], [--trace FILE], [--metrics],
     [--no-verify], [--verify], [--gc-space-overhead N] (positive;
@@ -26,6 +27,8 @@ val usage : string
 val domains_doc : string
 
 val shards_doc : string
+
+val workers_doc : string
 
 val impl_doc : string
 

@@ -9,6 +9,7 @@ type t = {
   impl : impl;
   domains : int;
   shards : int;
+  workers : int;
   verify : bool;
   trace : string option;
   metrics : bool;
@@ -16,15 +17,16 @@ type t = {
 }
 
 let default =
-  { mode = Direct; impl = Compiled; domains = 1; shards = 1; verify = true;
-    trace = None; metrics = false; gc_space_overhead = None }
+  { mode = Direct; impl = Compiled; domains = 1; shards = 1; workers = 1;
+    verify = true; trace = None; metrics = false; gc_space_overhead = None }
 
 let make ?(mode = default.mode) ?(impl = default.impl)
     ?(domains = default.domains) ?(shards = default.shards)
-    ?(verify = default.verify) ?(trace = default.trace)
-    ?(metrics = default.metrics) ?(gc_space_overhead = default.gc_space_overhead)
-    () =
-  { mode; impl; domains; shards; verify; trace; metrics; gc_space_overhead }
+    ?(workers = default.workers) ?(verify = default.verify)
+    ?(trace = default.trace) ?(metrics = default.metrics)
+    ?(gc_space_overhead = default.gc_space_overhead) () =
+  { mode; impl; domains; shards; workers; verify; trace; metrics;
+    gc_space_overhead }
 
 let with_mode mode t = { t with mode }
 
@@ -33,6 +35,8 @@ let with_impl impl t = { t with impl }
 let with_domains domains t = { t with domains }
 
 let with_shards shards t = { t with shards }
+
+let with_workers workers t = { t with workers }
 
 let with_verify verify t = { t with verify }
 
@@ -71,8 +75,8 @@ let impl_of_string = function
    per-shard launch statistics and merged counters, which differ from
    the resident run's even though the grids are bit-identical. *)
 let semantic_sexp t =
-  Fmt.str "(mode %s) (impl %s) (shards %d) (verify %b)" (mode_to_string t.mode)
-    (impl_to_string t.impl) t.shards t.verify
+  Fmt.str "(mode %s) (impl %s) (shards %d) (workers %d) (verify %b)"
+    (mode_to_string t.mode) (impl_to_string t.impl) t.shards t.workers t.verify
 
 let to_sexp t =
   Fmt.str "(run-config %s (domains %d) (trace %s) (metrics %b) (gc-space-overhead %s))"

@@ -44,6 +44,16 @@ type t = {
           subgrids with ghost zones of width [bt * radius] and runs
           them through the communication-avoiding {!Shard} executor
           (see docs/SHARDING.md); 1 = resident single-owner execution *)
+  workers : int;
+      (** process-level execution of the shard decomposition:
+          [workers > 1] fans the [shards] subgrids across that many
+          long-lived worker processes behind the [Shard.Transport.Pipe]
+          transport (docs/SHARDING.md phase 2). The decomposition stays
+          exactly [Shard.make ~shards], so grids {e and} counters are
+          bit-identical to the intra-process sharded run for any worker
+          count; 1 = in-process execution. Executed by the serve layer
+          ([An5d_serve.Workers]) — this layer only carries and keys the
+          field. *)
   verify : bool;  (** compare the result against the CPU reference *)
   trace : string option;
       (** span-trace sink: write Chrome trace_event JSON here (see
@@ -67,6 +77,7 @@ val make :
   ?impl:impl ->
   ?domains:int ->
   ?shards:int ->
+  ?workers:int ->
   ?verify:bool ->
   ?trace:string option ->
   ?metrics:bool ->
@@ -85,6 +96,8 @@ val with_impl : impl -> t -> t
 val with_domains : int -> t -> t
 
 val with_shards : int -> t -> t
+
+val with_workers : int -> t -> t
 
 val with_verify : bool -> t -> t
 
@@ -106,17 +119,24 @@ val impl_of_string : string -> (impl, string) result
 
 val to_sexp : t -> string
 (** Full stable rendering, e.g.
-    [(run-config (mode direct) (impl compiled) (shards 1) (verify true)
-      (domains 1) (trace ()) (metrics false) (gc-space-overhead ()))]. *)
+    [(run-config (mode direct) (impl compiled) (shards 1) (workers 1)
+      (verify true) (domains 1) (trace ()) (metrics false)
+      (gc-space-overhead ()))]. *)
 
 val cache_key : t -> string
 (** The semantic part of {!to_sexp}: only the fields that can change a
-    served result — [mode], [impl], [shards] and [verify]. [domains]
+    served result or its execution placement — [mode], [impl],
+    [shards], [workers] and [verify]. [domains]
     is excluded because parallel runs are proven bit-identical to
     sequential ones — grids {e and} counters; [shards] is included
     because a sharded outcome's launch statistics and merged counters
     legitimately differ from the resident run's (the result grids stay
-    bit-identical); [trace]/[metrics] are excluded because
+    bit-identical); [workers] is included deliberately even though
+    multi-process runs are proven bit-identical to intra-process ones:
+    a worker-fanned outcome was produced under the fault-tolerant
+    transport (crash/retry accounting and wire metrics attach to it),
+    so cached entries stay honest about execution placement;
+    [trace]/[metrics] are excluded because
     observability never alters results. Two configs with equal
     [cache_key] produce bit-identical outcomes for the same job,
     device, steps and input grid. *)

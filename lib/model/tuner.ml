@@ -243,7 +243,7 @@ let rec tune_cfg ?(k = 5) ?(cfg = Run_config.default) ?verify_dims ?seed_config
             let em = Execmodel.make pattern best_config vdims in
             let machine = Gpu.Machine.create ~prec dev in
             let g = Stencil.Grid.init_random ~prec vdims in
-            let result, _ = Blocking.run em ~machine ~steps:vsteps g in
+            let result, _ = Blocking.run_cfg Run_config.default em ~machine ~steps:vsteps g in
             let reference = Stencil.Reference.run pattern ~steps:vsteps g in
             Stencil.Grid.max_abs_diff reference result))
       verify_dims
@@ -259,10 +259,3 @@ let rec tune_cfg ?(k = 5) ?(cfg = Run_config.default) ?verify_dims ?seed_config
     seeded = seed_config;
   }
   end
-
-(* Deprecated optional-argument wrapper; equivalent to [tune_cfg] with
-   the same domains field (proven by test/test_serve.ml). *)
-let tune ?k ?domains ?verify_dims dev ~prec pattern ~dims_sizes ~steps =
-  tune_cfg ?k
-    ~cfg:(Run_config.make ?domains ())
-    ?verify_dims dev ~prec pattern ~dims_sizes ~steps

@@ -87,16 +87,3 @@ val tune_cfg :
     widens back to the full space (the result's [seeded] field then
     reads [None]).
     @raise No_feasible_configuration when pruning leaves nothing. *)
-
-val tune :
-  ?k:int ->
-  ?domains:int ->
-  ?verify_dims:int array ->
-  Gpu.Device.t ->
-  prec:Stencil.Grid.precision ->
-  Stencil.Pattern.t ->
-  dims_sizes:int array ->
-  steps:int ->
-  result
-(** Deprecated optional-argument wrapper around {!tune_cfg};
-    equivalent for the same [domains]. Prefer {!tune_cfg}. *)

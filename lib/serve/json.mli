@@ -1,0 +1,55 @@
+(** The serving layer's single JSON codec.
+
+    One total codec shared by every producer and consumer of JSON in
+    the serve layer — the {!Wire} protocol frames, the worker task
+    descriptors of {!Workers}, and the request/response payload bodies
+    built by {!Server} — so the encodings cannot drift apart. The repo
+    deliberately has no JSON dependency; this module is the one
+    hand-rolled implementation (historically it lived inside {!Wire};
+    [Wire.json] re-exports {!t} so existing constructors keep working).
+
+    The parser is total: any byte string — truncated, non-JSON, too
+    deeply nested — yields [Error], never an exception (adversarial
+    fuzz in test/test_wire.ml pins this). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact rendering with full string escaping. Non-finite floats
+    render as [null] (JSON has no spelling for them). *)
+
+val of_string : string -> (t, string) result
+(** Total recursive-descent parser: bounded nesting depth
+    ({!max_depth}), no exceptions escape. *)
+
+val max_depth : int
+(** Nesting bound of {!of_string} (64). *)
+
+(** {1 Accessors}
+
+    Shape-tolerant field projections over an [Obj] — every accessor
+    answers [None] on a missing field, a wrong-typed field, or a
+    non-object value, so decoders read as straight-line option code. *)
+
+val field : t -> string -> t option
+
+val str_field : t -> string -> string option
+
+val int_field : t -> string -> int option
+
+val num_field : t -> string -> float option
+(** [Int] and [Float] both project ([Int] widened). *)
+
+val bool_field : t -> string -> bool option
+
+val int_list_field : t -> string -> int list option
+(** An [Arr] of [Int]s, all-or-nothing. *)
+
+val of_int_array : int array -> t

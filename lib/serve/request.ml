@@ -162,6 +162,112 @@ let key_schema_digest =
             Option.get (transfer_key tun);
             Run_config.cache_key Run_config.default ]))
 
+(* ------------------------------------------------------------------ *)
+(* JSON spec encoding (the worker task descriptors of {!Workers})      *)
+(* ------------------------------------------------------------------ *)
+
+(* One shared encoding of the request spec over {!Json}, so worker
+   frames and client payloads cannot drift from the line grammar: the
+   same fields, the same canonical spellings (mode/impl/prec strings,
+   dims as arrays), round-tripped by test/test_workers.ml. *)
+
+let ( let* ) = Result.bind
+
+let config_to_json (c : Config.t) =
+  Json.Obj
+    [
+      ("bt", Json.Int c.Config.bt);
+      ("bs", Json.of_int_array c.Config.bs);
+      ("hs", match c.Config.hs with None -> Json.Null | Some h -> Json.Int h);
+      ( "reg_limit",
+        match c.Config.reg_limit with None -> Json.Null | Some r -> Json.Int r );
+      ("diag_opt", Json.Bool c.Config.diag_opt);
+      ("assoc_opt", Json.Bool c.Config.assoc_opt);
+      ("double_buffer", Json.Bool c.Config.double_buffer);
+    ]
+
+let config_of_json j =
+  match (Json.int_field j "bt", Json.int_list_field j "bs") with
+  | Some bt, Some bs ->
+      Ok
+        (Config.make ~hs:(Json.int_field j "hs")
+           ~reg_limit:(Json.int_field j "reg_limit")
+           ~diag_opt:(Option.value (Json.bool_field j "diag_opt") ~default:true)
+           ~assoc_opt:(Option.value (Json.bool_field j "assoc_opt") ~default:true)
+           ~double_buffer:
+             (Option.value (Json.bool_field j "double_buffer") ~default:false)
+           ~bt ~bs:(Array.of_list bs) ())
+  | _ -> Error "config object missing bt/bs"
+
+let run_to_json (r : Run_config.t) =
+  Json.Obj
+    [
+      ("mode", Json.Str (Run_config.mode_to_string r.Run_config.mode));
+      ("impl", Json.Str (Run_config.impl_to_string r.Run_config.impl));
+      ("domains", Json.Int r.Run_config.domains);
+      ("shards", Json.Int r.Run_config.shards);
+      ("workers", Json.Int r.Run_config.workers);
+      ("verify", Json.Bool r.Run_config.verify);
+    ]
+
+let run_of_json j =
+  let* mode =
+    Run_config.mode_of_string
+      (Option.value (Json.str_field j "mode") ~default:"direct")
+  in
+  let* impl =
+    Run_config.impl_of_string
+      (Option.value (Json.str_field j "impl") ~default:"compiled")
+  in
+  Ok
+    (Run_config.make ~mode ~impl
+       ~domains:(Option.value (Json.int_field j "domains") ~default:1)
+       ~shards:(Option.value (Json.int_field j "shards") ~default:1)
+       ~workers:(Option.value (Json.int_field j "workers") ~default:1)
+       ~verify:(Option.value (Json.bool_field j "verify") ~default:true)
+       ())
+
+let spec_to_json (s : spec) =
+  Json.Obj
+    [
+      ("source", Json.Str s.source.Framework.text);
+      ("origin", Json.Str s.source.Framework.origin);
+      ("config", config_to_json s.config);
+      ("dims", match s.dims with None -> Json.Null | Some d -> Json.of_int_array d);
+      ( "prec",
+        match s.prec with
+        | None -> Json.Null
+        | Some p -> Json.Str (Stencil.Grid.precision_to_string p) );
+    ]
+
+let spec_of_json j =
+  match Json.str_field j "source" with
+  | None -> Error "spec missing source"
+  | Some text ->
+      let origin = Option.value (Json.str_field j "origin") ~default:"<wire>" in
+      let* config =
+        match Json.field j "config" with
+        | Some c -> config_of_json c
+        | None -> Error "spec missing config"
+      in
+      let dims =
+        Option.map Array.of_list (Json.int_list_field j "dims")
+      in
+      let* prec =
+        match Json.str_field j "prec" with
+        | None -> Ok None
+        | Some "float" -> Ok (Some Stencil.Grid.F32)
+        | Some "double" -> Ok (Some Stencil.Grid.F64)
+        | Some p -> Error (Fmt.str "unknown precision %s" p)
+      in
+      Ok
+        {
+          source = Framework.source_of_string ~origin text;
+          config;
+          dims;
+          prec;
+        }
+
 let kind t =
   match t.body with
   | Compile _ -> "compile"
@@ -297,6 +403,10 @@ let apply_opt o (k, v) =
       let* n = parse_int k v in
       if n >= 1 then Ok { o with run = Run_config.with_shards n o.run }
       else Error (Fmt.str "shards expects a positive integer, got %s" v)
+  | "workers" ->
+      let* n = parse_int k v in
+      if n >= 1 then Ok { o with run = Run_config.with_workers n o.run }
+      else Error (Fmt.str "workers expects a positive integer, got %s" v)
   | "verify" ->
       let* b = parse_bool k v in
       Ok { o with run = Run_config.with_verify b o.run }

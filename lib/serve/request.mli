@@ -121,6 +121,27 @@ val key_schema_digest : string
 val kind : t -> string
 (** ["compile"], ["simulate"] or ["tune"] (for metrics/span labels). *)
 
+(** {1 JSON spec encoding}
+
+    The request spec and run configuration over {!Json} — the encoding
+    worker task descriptors ({!Workers}) ship over the versioned wire
+    protocol, and the one clients receive in payloads. Shares the
+    canonical spellings of the line grammar (mode/impl/precision
+    strings, dims as arrays); round-tripping is pinned by
+    test/test_workers.ml. The [of_json] directions are total. *)
+
+val config_to_json : Config.t -> Json.t
+
+val config_of_json : Json.t -> (Config.t, string) result
+
+val run_to_json : Run_config.t -> Json.t
+
+val run_of_json : Json.t -> (Run_config.t, string) result
+
+val spec_to_json : spec -> Json.t
+
+val spec_of_json : Json.t -> (spec, string) result
+
 val resolve_source : string -> (Framework.source, string) result
 (** Resolve a stencil name: a built-in benchmark name (its generated C
     source, origin = the benchmark name) or a readable C file path. *)
@@ -132,7 +153,8 @@ val of_line : string -> (t, string) result
     and the options are [bt=4] [bs=32x16] [hs=256] [reg-limit=64]
     [dims=512x512] [prec=float|double] [device=v100|p100] [steps=100]
     [seed=1] [k=5] [mode=direct|partial-sums] [impl=compiled|closure|bigarray]
-    [shards=N] [verify=true|false] [id=NAME] [deadline=SECONDS].
+    [shards=N] [workers=N] [verify=true|false] [id=NAME]
+    [deadline=SECONDS].
     Blank lines and [#] comments are the caller's concern. *)
 
 val pp : Format.formatter -> t -> unit

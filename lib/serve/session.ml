@@ -17,6 +17,7 @@ type config = {
   outcome_capacity : int;
   outcome_ttl : float option;
   clock : unit -> float;
+  workers : Workers.t option;
 }
 
 let default_config =
@@ -31,6 +32,7 @@ let default_config =
     outcome_capacity = 64;
     outcome_ttl = None;
     clock = Unix.gettimeofday;
+    workers = None;
   }
 
 type served = Cold | Warm | Coalesced
@@ -152,11 +154,22 @@ let do_simulate t req (spec : Request.spec) ~device ~steps ~seed ~run =
   let outcome, c =
     Cache.find_or_compute t.outcomes ~key (fun () ->
         let job, _ = job_for t spec in
-        let grid =
-          Stencil.Grid.init_random ~prec:job.Framework.prec ~seed
-            job.Framework.dims
-        in
-        Framework.simulate_cfg ~cfg:(lane_run run) ~device ~steps job grid)
+        let run = lane_run run in
+        (* Sharded requests asking for process-level placement fan out
+           across the worker registry when one is configured; the
+           registry's fallback guarantees a bit-identical in-process
+           retry on any worker failure, so routing never changes the
+           served bits, only where they were computed. *)
+        match t.cfg.workers with
+        | Some reg
+          when run.Run_config.workers > 1 && run.Run_config.shards > 1 ->
+            Workers.simulate reg ~spec ~job ~device ~steps ~seed ~run
+        | _ ->
+            let grid =
+              Stencil.Grid.init_random ~prec:job.Framework.prec ~seed
+                job.Framework.dims
+            in
+            Framework.simulate_cfg ~cfg:run ~device ~steps job grid)
   in
   (Simulated { outcome; config = spec.Request.config }, served_of_cache c)
 

@@ -38,11 +38,19 @@ type config = {
   outcome_capacity : int;
   outcome_ttl : float option;
   clock : unit -> float;  (** injectable for deadline/TTL tests *)
+  workers : Workers.t option;
+      (** worker-process registry for sharded simulate requests: a
+          request with [run.workers > 1] and [run.shards > 1] executes
+          across these processes ({!Workers.simulate}) instead of
+          in-process; results are bit-identical either way. [None] =
+          everything in-process. The registry's failure handling
+          (respawn + in-process retry) means routing never drops a
+          request. *)
 }
 
 val default_config : config
 (** 1 domain, queue capacity 64, no default deadline, 64-entry caches,
-    no TTLs, [Unix.gettimeofday]. *)
+    no TTLs, [Unix.gettimeofday], no worker registry. *)
 
 (** How a response was produced: [Cold] — computed by this request;
     [Warm] — served from a cache; [Coalesced] — computed once by a

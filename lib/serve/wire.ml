@@ -1,6 +1,6 @@
 (* Framed wire protocol: length-prefixed JSON frames. See wire.mli. *)
 
-type json =
+type json = Json.t =
   | Null
   | Bool of bool
   | Int of int
@@ -9,231 +9,11 @@ type json =
   | Arr of json list
   | Obj of (string * json) list
 
-(* ------------------------------------------------------------------ *)
-(* JSON rendering                                                      *)
-(* ------------------------------------------------------------------ *)
+(* The codec itself lives in {!Json} — one total implementation shared
+   with the worker task descriptors and the payload builders. *)
+let json_to_string = Json.to_string
 
-let escape_to buf s =
-  Buffer.add_char buf '"';
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | '\r' -> Buffer.add_string buf "\\r"
-      | '\t' -> Buffer.add_string buf "\\t"
-      | c when Char.code c < 0x20 ->
-          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.add_char buf '"'
-
-let rec render_to buf = function
-  | Null -> Buffer.add_string buf "null"
-  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
-  | Int i -> Buffer.add_string buf (string_of_int i)
-  | Float f ->
-      if Float.is_finite f then Buffer.add_string buf (Printf.sprintf "%.17g" f)
-      else Buffer.add_string buf "null"
-  | Str s -> escape_to buf s
-  | Arr xs ->
-      Buffer.add_char buf '[';
-      List.iteri
-        (fun i x ->
-          if i > 0 then Buffer.add_char buf ',';
-          render_to buf x)
-        xs;
-      Buffer.add_char buf ']'
-  | Obj kvs ->
-      Buffer.add_char buf '{';
-      List.iteri
-        (fun i (k, v) ->
-          if i > 0 then Buffer.add_char buf ',';
-          escape_to buf k;
-          Buffer.add_char buf ':';
-          render_to buf v)
-        kvs;
-      Buffer.add_char buf '}'
-
-let json_to_string j =
-  let buf = Buffer.create 256 in
-  render_to buf j;
-  Buffer.contents buf
-
-(* ------------------------------------------------------------------ *)
-(* JSON parsing — total: no exception escapes, nesting depth bounded   *)
-(* ------------------------------------------------------------------ *)
-
-exception Parse of string
-
-let max_depth = 64
-
-let json_of_string s =
-  let n = String.length s in
-  let pos = ref 0 in
-  let fail msg = raise (Parse (Printf.sprintf "%s at byte %d" msg !pos)) in
-  let peek () = if !pos < n then Some s.[!pos] else None in
-  let advance () = incr pos in
-  let expect c =
-    match peek () with
-    | Some c' when c' = c -> advance ()
-    | _ -> fail (Printf.sprintf "expected '%c'" c)
-  in
-  let skip_ws () =
-    while
-      !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
-    do
-      advance ()
-    done
-  in
-  let literal word v =
-    let l = String.length word in
-    if !pos + l <= n && String.sub s !pos l = word then begin
-      pos := !pos + l;
-      v
-    end
-    else fail "invalid literal"
-  in
-  let parse_string () =
-    expect '"';
-    let buf = Buffer.create 16 in
-    let rec go () =
-      if !pos >= n then fail "unterminated string"
-      else
-        match s.[!pos] with
-        | '"' -> advance ()
-        | '\\' ->
-            advance ();
-            (if !pos >= n then fail "unterminated escape"
-             else
-               match s.[!pos] with
-               | '"' -> Buffer.add_char buf '"'; advance ()
-               | '\\' -> Buffer.add_char buf '\\'; advance ()
-               | '/' -> Buffer.add_char buf '/'; advance ()
-               | 'b' -> Buffer.add_char buf '\b'; advance ()
-               | 'f' -> Buffer.add_char buf '\012'; advance ()
-               | 'n' -> Buffer.add_char buf '\n'; advance ()
-               | 'r' -> Buffer.add_char buf '\r'; advance ()
-               | 't' -> Buffer.add_char buf '\t'; advance ()
-               | 'u' ->
-                   advance ();
-                   if !pos + 4 > n then fail "truncated \\u escape";
-                   let hex = String.sub s !pos 4 in
-                   let code =
-                     match int_of_string_opt ("0x" ^ hex) with
-                     | Some c -> c
-                     | None -> fail "bad \\u escape"
-                   in
-                   pos := !pos + 4;
-                   (* encode the code point as UTF-8 (surrogates kept
-                      as-is in their raw 3-byte form — round-tripping
-                      arbitrary escapes is not a wire requirement) *)
-                   if code < 0x80 then Buffer.add_char buf (Char.chr code)
-                   else if code < 0x800 then begin
-                     Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
-                     Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
-                   end
-                   else begin
-                     Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
-                     Buffer.add_char buf
-                       (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
-                     Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
-                   end
-               | c -> fail (Printf.sprintf "bad escape '\\%c'" c));
-            go ()
-        | c ->
-            Buffer.add_char buf c;
-            advance ();
-            go ()
-    in
-    go ();
-    Buffer.contents buf
-  in
-  let parse_number () =
-    let start = !pos in
-    let is_num_char c =
-      match c with
-      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
-      | _ -> false
-    in
-    while !pos < n && is_num_char s.[!pos] do
-      advance ()
-    done;
-    let tok = String.sub s start (!pos - start) in
-    match int_of_string_opt tok with
-    | Some i -> Int i
-    | None -> (
-        match float_of_string_opt tok with
-        | Some f -> Float f
-        | None -> fail (Printf.sprintf "bad number %S" tok))
-  in
-  let rec parse_value depth =
-    if depth > max_depth then fail "nesting too deep";
-    skip_ws ();
-    match peek () with
-    | None -> fail "unexpected end of input"
-    | Some 'n' -> literal "null" Null
-    | Some 't' -> literal "true" (Bool true)
-    | Some 'f' -> literal "false" (Bool false)
-    | Some '"' -> Str (parse_string ())
-    | Some '[' ->
-        advance ();
-        skip_ws ();
-        if peek () = Some ']' then begin
-          advance ();
-          Arr []
-        end
-        else begin
-          let items = ref [] in
-          let rec items_loop () =
-            items := parse_value (depth + 1) :: !items;
-            skip_ws ();
-            match peek () with
-            | Some ',' -> advance (); items_loop ()
-            | Some ']' -> advance ()
-            | _ -> fail "expected ',' or ']'"
-          in
-          items_loop ();
-          Arr (List.rev !items)
-        end
-    | Some '{' ->
-        advance ();
-        skip_ws ();
-        if peek () = Some '}' then begin
-          advance ();
-          Obj []
-        end
-        else begin
-          let fields = ref [] in
-          let rec fields_loop () =
-            skip_ws ();
-            let k = parse_string () in
-            skip_ws ();
-            expect ':';
-            let v = parse_value (depth + 1) in
-            fields := (k, v) :: !fields;
-            skip_ws ();
-            match peek () with
-            | Some ',' -> advance (); fields_loop ()
-            | Some '}' -> advance ()
-            | _ -> fail "expected ',' or '}'"
-          in
-          fields_loop ();
-          Obj (List.rev !fields)
-        end
-    | Some ('-' | '0' .. '9') -> parse_number ()
-    | Some c -> fail (Printf.sprintf "unexpected '%c'" c)
-  in
-  match
-    let v = parse_value 0 in
-    skip_ws ();
-    if !pos <> n then fail "trailing bytes after value";
-    v
-  with
-  | v -> Ok v
-  | exception Parse msg -> Error msg
-  | exception Stack_overflow -> Error "nesting too deep"
+let json_of_string = Json.of_string
 
 (* ------------------------------------------------------------------ *)
 (* Frames                                                              *)
@@ -293,19 +73,14 @@ let encode_payload frame =
   in
   json_to_string (Obj (("v", Int version) :: fields))
 
-let field obj k = match obj with Obj kvs -> List.assoc_opt k kvs | _ -> None
+let field = Json.field
 
-let str_field obj k =
-  match field obj k with Some (Str s) -> Some s | _ -> None
+let str_field = Json.str_field
+
+let num_field = Json.num_field
 
 let id_field obj =
   match field obj "id" with Some (Str s) -> Some s | _ -> None
-
-let num_field obj k =
-  match field obj k with
-  | Some (Float f) -> Some f
-  | Some (Int i) -> Some (float_of_int i)
-  | _ -> None
 
 let decode_payload bytes =
   match json_of_string bytes with

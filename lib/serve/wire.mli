@@ -22,9 +22,11 @@
     are counted by the [wire_rejects] metric; every decoded/encoded
     frame by [wire_frames_in]/[wire_frames_out]. *)
 
-(** A minimal JSON value — the repo deliberately has no JSON
-    dependency, so the wire module carries its own total codec. *)
-type json =
+(** A minimal JSON value — re-exported from {!Json}, the serve layer's
+    one shared total codec, so wire frames, worker task descriptors and
+    payload builders cannot drift apart. The constructors are the same;
+    [Wire.Obj ...] and [Json.Obj ...] are interchangeable. *)
+type json = Json.t =
   | Null
   | Bool of bool
   | Int of int
@@ -34,11 +36,11 @@ type json =
   | Obj of (string * json) list
 
 val json_to_string : json -> string
-(** Compact rendering with full string escaping. *)
+(** {!Json.to_string}: compact rendering with full string escaping. *)
 
 val json_of_string : string -> (json, string) result
-(** Total recursive-descent parser: bounded nesting depth, no
-    exceptions escape. *)
+(** {!Json.of_string}: total recursive-descent parser — bounded nesting
+    depth, no exceptions escape. *)
 
 val version : int
 (** Protocol version spoken by this build (currently 1). Bumped on any

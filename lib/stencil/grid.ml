@@ -222,6 +222,44 @@ let to_array g = Array.init (size g) (fun i -> get_lin g i)
     words. Precision-correct by construction — an [F32] grid digests
     its 32-bit words, so grids that differ only in storage precision
     never collide, and bit-identical runs digest identically. *)
+(* Raw stored words as little-endian bytes — the halo-frame payload of
+   the process-level shard transport. Precision-correct like [digest]:
+   an F32 grid ships its 32-bit words, so the receiving process stores
+   exactly the bits the sender held and round trips are bit-identical
+   in both precisions. Works on [sub] views (flat contiguous ranges). *)
+let to_bytes g =
+  match g.buf with
+  | B32 a ->
+      let n = Bigarray.Array1.dim a in
+      let b = Bytes.create (n * 4) in
+      for i = 0 to n - 1 do
+        Bytes.set_int32_le b (i * 4) (Int32.bits_of_float (Bigarray.Array1.get a i))
+      done;
+      b
+  | B64 a ->
+      let n = Bigarray.Array1.dim a in
+      let b = Bytes.create (n * 8) in
+      for i = 0 to n - 1 do
+        Bytes.set_int64_le b (i * 8) (Int64.bits_of_float (Bigarray.Array1.get a i))
+      done;
+      b
+
+let blit_of_bytes g b =
+  let words = size g in
+  if Bytes.length b <> words * bytes_per_word g.prec then
+    invalid_arg
+      (Fmt.str "Grid.blit_of_bytes: %d bytes for a %d-word %s grid"
+         (Bytes.length b) words (precision_to_string g.prec));
+  match g.buf with
+  | B32 a ->
+      for i = 0 to words - 1 do
+        Bigarray.Array1.set a i (Int32.float_of_bits (Bytes.get_int32_le b (i * 4)))
+      done
+  | B64 a ->
+      for i = 0 to words - 1 do
+        Bigarray.Array1.set a i (Int64.float_of_bits (Bytes.get_int64_le b (i * 8)))
+      done
+
 let digest g =
   let b = Buffer.create (64 + (size g * 8)) in
   Buffer.add_string b (precision_to_string g.prec);

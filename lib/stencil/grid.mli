@@ -99,6 +99,19 @@ val iter : (float -> unit) -> t -> unit
 val to_array : t -> float array
 (** Fresh boxed copy of the values, linear order (test/debug surface). *)
 
+val to_bytes : t -> Bytes.t
+(** The raw stored words as little-endian bytes ([4 * size] for [F32],
+    [8 * size] for [F64]) — the halo-frame payload of the
+    process-level shard transport. Precision-correct like {!digest};
+    works on {!sub} views. *)
+
+val blit_of_bytes : t -> Bytes.t -> unit
+(** Inverse of {!to_bytes} into an existing grid (or view): stores
+    exactly the bits the sender held, so a cross-process round trip is
+    bit-identical in both precisions.
+    @raise Invalid_argument when the byte count does not match the
+    grid's size and precision. *)
+
 val digest : t -> string
 (** Hex digest of dims, precision and the raw stored words.
     Precision-correct: an [F32] grid digests its 32-bit words, so grids

@@ -18,8 +18,26 @@ WORK=$(mktemp -d "${TMPDIR:-/tmp}/an5d-smoke.XXXXXX")
 SOCK="$WORK/serve.sock"
 CACHE="$WORK/serve.cache"
 SERVER_PID=""
-trap 'test -n "$SERVER_PID" && kill "$SERVER_PID" 2>/dev/null; rm -rf "$WORK"' \
-  EXIT INT TERM
+
+# Idempotent teardown: always reap the server (kill alone leaves a
+# zombie and can race socket unlink against rm -rf), never let an
+# empty $SERVER_PID fail the trap under `set -e`, and preserve the
+# script's exit status. Signal traps route through `exit` so EXIT
+# runs exactly once.
+cleanup() {
+  status=$?
+  trap - EXIT
+  if [ -n "$SERVER_PID" ]; then
+    kill "$SERVER_PID" 2>/dev/null || true
+    wait "$SERVER_PID" 2>/dev/null || true
+    SERVER_PID=""
+  fi
+  rm -rf "$WORK"
+  exit "$status"
+}
+trap cleanup EXIT
+trap 'exit 130' INT
+trap 'exit 143' TERM
 
 REQ="simulate j2d5pt bt=2 bs=16 dims=64x64 steps=5 seed=1 device=v100"
 

@@ -209,7 +209,7 @@ let test_fig6_ordering () =
   let p = star ~dims:2 1 in
   let dims = [| 16384; 16384 |] in
   let steps = 100 in
-  let tuned = Model.Tuner.tune dev ~prec p ~dims_sizes:dims ~steps in
+  let tuned = Model.Tuner.tune_cfg dev ~prec p ~dims_sizes:dims ~steps in
   let an5d = tuned.Model.Tuner.tuned.Model.Measure.gflops in
   let sg =
     Baselines.Stencilgen.measure_best dev ~prec
@@ -233,7 +233,7 @@ let test_hybrid_3d_weakness () =
   let p = star ~dims:3 1 in
   let dims = [| 512; 512; 512 |] in
   let steps = 100 in
-  let tuned = Model.Tuner.tune dev ~prec p ~dims_sizes:dims ~steps in
+  let tuned = Model.Tuner.tune_cfg dev ~prec p ~dims_sizes:dims ~steps in
   let hybrid = Baselines.Hybrid.tune dev ~prec p ~dims ~steps in
   Alcotest.(check bool) "3D: an5d well above hybrid" true
     (tuned.Model.Tuner.tuned.Model.Measure.gflops

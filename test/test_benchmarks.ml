@@ -118,7 +118,7 @@ let test_an5d_runs_every_benchmark () =
       let machine = Gpu.Machine.create Gpu.Device.v100 in
       let g = Grid.init_random dims in
       let reference = Reference.run p ~steps:3 g in
-      let out, _ = An5d_core.Blocking.run em ~machine ~steps:3 g in
+      let out, _ = An5d_core.Blocking.run_cfg An5d_core.Run_config.default em ~machine ~steps:3 g in
       Alcotest.(check (float 0.0))
         (b.Bench_defs.Benchmarks.name ^ " an5d")
         0.0 (Grid.max_abs_diff reference out))

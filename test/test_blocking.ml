@@ -22,7 +22,7 @@ let run_both pattern cfg dims ~steps ~prec =
   let reference = Stencil.Reference.run pattern ~steps g in
   let em = Execmodel.make pattern cfg dims in
   let machine = Gpu.Machine.create ~prec Gpu.Device.v100 in
-  let blocked, _stats = Blocking.run em ~machine ~steps g in
+  let blocked, _stats = Blocking.run_cfg Run_config.default em ~machine ~steps g in
   (reference, blocked, machine)
 
 let check_exact name pattern cfg dims ~steps ~prec =
@@ -146,7 +146,7 @@ let test_launch_failures () =
   let em = Execmodel.make p cfg [| 40; 40; 40 |] in
   let machine = Gpu.Machine.create ~prec:Stencil.Grid.F64 Gpu.Device.p100 in
   let g = Stencil.Grid.init_random [| 40; 40; 40 |] in
-  (match Blocking.run em ~machine ~steps:1 g with
+  (match Blocking.run_cfg Run_config.default em ~machine ~steps:1 g with
   | exception Gpu.Machine.Launch_failure _ -> ()
   | _ -> Alcotest.fail "expected smem launch failure");
   (* register ceiling: double precision, extreme bt x rad *)
@@ -157,7 +157,7 @@ let test_launch_failures () =
   let g2 = Stencil.Grid.init_random [| 160; 160 |] in
   (* 28 steps -> two full-degree calls, so the bt=14 kernel actually
      launches (a single step would be served by a reduced-degree kernel) *)
-  match Blocking.run em2 ~machine:m2 ~steps:28 g2 with
+  match Blocking.run_cfg Run_config.default em2 ~machine:m2 ~steps:28 g2 with
   | exception Gpu.Machine.Launch_failure _ -> ()
   | _ -> Alcotest.fail "expected register launch failure"
 
@@ -213,7 +213,7 @@ let prop_blocked_equals_reference =
         let reference = Stencil.Reference.run pattern ~steps g in
         let em = Execmodel.make pattern cfg sizes in
         let machine = Gpu.Machine.create Gpu.Device.v100 in
-        let blocked, _ = Blocking.run em ~machine ~steps g in
+        let blocked, _ = Blocking.run_cfg Run_config.default em ~machine ~steps g in
         Stencil.Grid.max_abs_diff reference blocked = 0.0
       end)
 
@@ -228,7 +228,7 @@ let prop_traffic_equals_model =
         let g = Stencil.Grid.init_random sizes in
         let em = Execmodel.make pattern cfg sizes in
         let machine = Gpu.Machine.create Gpu.Device.v100 in
-        let _ = Blocking.run em ~machine ~steps g in
+        let _ = Blocking.run_cfg Run_config.default em ~machine ~steps g in
         let c = machine.Gpu.Machine.counters in
         let t = Model.Thread_class.for_run em ~steps in
         c.Gpu.Counters.gm_reads = t.Model.Thread_class.gm_reads

@@ -40,7 +40,7 @@ let test_cuda_source () =
 let test_simulate_verified () =
   let job = compile ~param_values:[ ("c0", 2.0) ] j2d5pt_src in
   let g = Stencil.Grid.init_random [| 40; 40 |] in
-  let outcome = Framework.simulate ~device:Gpu.Device.v100 ~steps:5 job g in
+  let outcome = Framework.simulate_cfg ~device:Gpu.Device.v100 ~steps:5 job g in
   Alcotest.(check bool) "verified" true (outcome.Framework.verified = Ok ());
   Alcotest.(check bool) "did work" true
     (outcome.Framework.counters.Gpu.Counters.gm_reads > 0);
@@ -50,7 +50,7 @@ let test_simulate_verified () =
 let test_simulate_no_verify () =
   let job = compile j2d5pt_src in
   let g = Stencil.Grid.init_random [| 40; 40 |] in
-  let outcome = Framework.simulate ~verify:false ~device:Gpu.Device.p100 ~steps:2 job g in
+  let outcome = Framework.simulate_cfg ~cfg:(Run_config.make ~verify:false ()) ~device:Gpu.Device.p100 ~steps:2 job g in
   Alcotest.(check bool) "skipped" true (outcome.Framework.verified = Ok ())
 
 let contains msg sub =
@@ -125,14 +125,14 @@ let test_source_of_file_missing () =
 let test_simulate_domains () =
   let job = compile ~param_values:[ ("c0", 2.0) ] j2d5pt_src in
   let g = Stencil.Grid.init_random [| 40; 40 |] in
-  let outcome = Framework.simulate ~domains:4 ~device:Gpu.Device.v100 ~steps:5 job g in
+  let outcome = Framework.simulate_cfg ~cfg:(Run_config.make ~domains:4 ()) ~device:Gpu.Device.v100 ~steps:5 job g in
   Alcotest.(check bool) "parallel run verified bit-exact" true
     (outcome.Framework.verified = Ok ())
 
 let test_grid_mismatch () =
   let job = compile j2d5pt_src in
   let g = Stencil.Grid.init_random [| 20; 20 |] in
-  match Framework.simulate ~device:Gpu.Device.v100 ~steps:1 job g with
+  match Framework.simulate_cfg ~device:Gpu.Device.v100 ~steps:1 job g with
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "expected dimension mismatch"
 
@@ -144,7 +144,7 @@ let test_dims_override () =
   in
   Alcotest.(check (array int)) "override wins" [| 64; 48 |] job.Framework.dims;
   let g = Stencil.Grid.init_random [| 64; 48 |] in
-  let outcome = Framework.simulate ~device:Gpu.Device.v100 ~steps:4 job g in
+  let outcome = Framework.simulate_cfg ~device:Gpu.Device.v100 ~steps:4 job g in
   Alcotest.(check bool) "still verified" true (outcome.Framework.verified = Ok ())
 
 let test_source_of_file () =

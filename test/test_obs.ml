@@ -268,7 +268,7 @@ let prop_parallel_metrics =
       let par = Obs.Metrics.snapshot () in
       Obs.Metrics.snapshot_equal seq par)
 
-(* --- tracing is free: Framework.simulate differential --- *)
+(* --- tracing is free: Framework.simulate_cfg differential --- *)
 
 let j2d5pt_src =
   "#define SB 40\n\
@@ -305,7 +305,7 @@ let prop_tracing_is_free =
       let job = compile_j2d5pt ~dims:[| rows; cols |] ~bt () in
       let g = Stencil.Grid.init_random [| rows; cols |] in
       let run g =
-        Framework.simulate ~device:Gpu.Device.v100 ~steps job g
+        Framework.simulate_cfg ~device:Gpu.Device.v100 ~steps job g
       in
       let off = run (Stencil.Grid.copy g) in
       let on, spans = Obs.Trace.with_tracing (fun () -> run (Stencil.Grid.copy g)) in
@@ -329,7 +329,7 @@ let test_golden_trace () =
     Obs.Trace.with_tracing (fun () ->
         let job = compile_j2d5pt ~bt:2 () in
         let g = Stencil.Grid.init_random [| 40; 40 |] in
-        Framework.simulate ~device:Gpu.Device.v100 ~steps:5 job g)
+        Framework.simulate_cfg ~device:Gpu.Device.v100 ~steps:5 job g)
   in
   Alcotest.(check bool) "run verified" true (outcome.Framework.verified = Ok ());
   Alcotest.(check (list string))

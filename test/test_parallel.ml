@@ -27,7 +27,7 @@ let counters_t =
 let run_blocking ?mode ?impl pattern cfg dims ~steps ~domains g =
   let em = Execmodel.make pattern cfg dims in
   let machine = Gpu.Machine.create Gpu.Device.v100 in
-  let out, _ = Blocking.run ?mode ?impl ~domains em ~machine ~steps g in
+  let out, _ = Blocking.run_cfg (Run_config.make ?mode ?impl ~domains ()) em ~machine ~steps g in
   (out, machine.Gpu.Machine.counters)
 
 let check_differential ?mode ?impl ?prec name pattern cfg dims ~steps ~domains =
@@ -146,7 +146,7 @@ let test_multi_parallel () =
   let gs = [ Stencil.Grid.init_random dims; Stencil.Grid.init_random dims ] in
   let run domains =
     let machine = Gpu.Machine.create Gpu.Device.v100 in
-    let outs, _ = Multi_blocking.run ~domains sys cfg ~machine ~steps:5 gs in
+    let outs, _ = Multi_blocking.run_cfg (Run_config.make ~domains ()) sys cfg ~machine ~steps:5 gs in
     (outs, machine.Gpu.Machine.counters)
   in
   let seq, sc = run 1 and par, pc = run 4 in

@@ -49,7 +49,7 @@ let counters_t =
 let run_impl ?mode ?domains ~impl ?prec pattern cfg dims ~steps g =
   let em = Execmodel.make pattern cfg dims in
   let machine = Gpu.Machine.create ?prec Gpu.Device.v100 in
-  let out, _ = Blocking.run ?mode ~impl ?domains em ~machine ~steps g in
+  let out, _ = Blocking.run_cfg (Run_config.make ?mode ~impl ?domains ()) em ~machine ~steps g in
   (out, machine.Gpu.Machine.counters)
 
 let check_impls ?mode ?domains ?prec name pattern cfg dims ~steps =
@@ -259,7 +259,7 @@ let test_cache_reg_limit_invariance () =
 let test_tuner_verify () =
   let pattern = star ~dims:2 1 in
   let r =
-    Model.Tuner.tune ~verify_dims:[| 40; 40 |] Gpu.Device.v100
+    Model.Tuner.tune_cfg ~verify_dims:[| 40; 40 |] Gpu.Device.v100
       ~prec:Stencil.Grid.F64 pattern ~dims_sizes:[| 16384; 16384 |] ~steps:100
   in
   match r.Model.Tuner.verify with

@@ -66,7 +66,7 @@ let test_matches_blocking () =
   let p = box ~dims:2 1 in
   let m1 = Gpu.Machine.create Gpu.Device.v100 in
   let em = Execmodel.make p cfg dims in
-  let blocked, _ = Blocking.run em ~machine:m1 ~steps:6 g in
+  let blocked, _ = Blocking.run_cfg Run_config.default em ~machine:m1 ~steps:6 g in
   let m2 = Gpu.Machine.create Gpu.Device.v100 in
   let interpreted, _ = Interp.run p cfg ~machine:m2 ~steps:6 g in
   Alcotest.(check (float 0.0)) "blocking = interp" 0.0
@@ -199,7 +199,7 @@ let test_stream_division_traffic_matches_blocking () =
   let g = Stencil.Grid.init_random dims in
   let m1 = Gpu.Machine.create Gpu.Device.v100 in
   let em = Execmodel.make pattern cfg dims in
-  let blocked, _ = Blocking.run em ~machine:m1 ~steps:6 g in
+  let blocked, _ = Blocking.run_cfg Run_config.default em ~machine:m1 ~steps:6 g in
   let m2 = Gpu.Machine.create Gpu.Device.v100 in
   let interpreted, _ = Interp.run pattern cfg ~machine:m2 ~steps:6 g in
   Alcotest.(check (float 0.0)) "same result" 0.0

@@ -10,9 +10,10 @@
      failure isolation.
    - Run_config/Run_args: stable renderings, semantic cache keys, the
      shared flag parser.
-   - The deprecated optional-argument wrappers ([Blocking.run],
-     [Framework.simulate], [Tuner.tune], [Multi_blocking.run]) are
-     equivalent to their [*_cfg] replacements. *)
+   - Run_config spelling equivalence: [Run_config.make] with labels
+     and [with_*] builder chains drive the [*_cfg] entrypoints (the
+     only entrypoints — the optional-argument wrappers are retired) to
+     field-identical results. *)
 
 open An5d_core
 module Cache = An5d_serve.Cache
@@ -152,8 +153,9 @@ let test_cache_unpoison () =
 let test_run_config_render () =
   Alcotest.(check string)
     "default sexp"
-    "(run-config (mode direct) (impl compiled) (shards 1) (verify true) \
-     (domains 1) (trace ()) (metrics false) (gc-space-overhead ()))"
+    "(run-config (mode direct) (impl compiled) (shards 1) (workers 1) \
+     (verify true) (domains 1) (trace ()) (metrics false) \
+     (gc-space-overhead ()))"
     (Run_config.to_sexp Run_config.default);
   let t =
     Run_config.make ~mode:Run_config.Partial_sums ~impl:Run_config.Closure
@@ -162,8 +164,9 @@ let test_run_config_render () =
   in
   Alcotest.(check string)
     "full sexp"
-    "(run-config (mode partial-sums) (impl closure) (shards 2) (verify false) \
-     (domains 4) (trace (t.json)) (metrics true) (gc-space-overhead (200)))"
+    "(run-config (mode partial-sums) (impl closure) (shards 2) (workers 1) \
+     (verify false) (domains 4) (trace (t.json)) (metrics true) \
+     (gc-space-overhead (200)))"
     (Run_config.to_sexp t)
 
 let test_run_config_cache_key () =
@@ -261,8 +264,13 @@ let test_run_args_errors () =
       Alcotest.(check (list string)) "unknown passes through" [ "--unknown" ] rest
 
 (* ------------------------------------------------------------------ *)
-(* Deprecated wrappers = the *_cfg entrypoints                         *)
+(* Canonical *_cfg equivalence: Run_config.make = builder chains       *)
 (* ------------------------------------------------------------------ *)
+
+(* The deprecated optional-argument wrappers are gone; what remains to
+   pin is that the two ways of spelling a Run_config — [make] with
+   labels, and [with_*] chains over [default] — drive the *_cfg
+   entrypoints to field-identical results (grids, stats, counters). *)
 
 let star2d =
   Stencil.Pattern.make ~name:"star2d1r" ~dims:2 ~params:[]
@@ -272,24 +280,22 @@ let test_wrapper_blocking () =
   let dims = [| 30; 26 |] in
   let em = Execmodel.make star2d (Config.make ~bt:2 ~bs:[| 12 |] ()) dims in
   let g = Stencil.Grid.init_random dims in
-  let run_old () =
+  let run_with cfg =
     let machine = Gpu.Machine.create Gpu.Device.v100 in
-    let out, stats =
-      Blocking.run ~mode:Blocking.Partial_sums ~impl:Blocking.Closure ~domains:3
-        em ~machine ~steps:5 g
-    in
-    (out, stats, machine.Gpu.Machine.counters)
-  in
-  let run_new () =
-    let machine = Gpu.Machine.create Gpu.Device.v100 in
-    let cfg =
-      Run_config.make ~mode:Run_config.Partial_sums ~impl:Run_config.Closure
-        ~domains:3 ()
-    in
     let out, stats = Blocking.run_cfg cfg em ~machine ~steps:5 g in
     (out, stats, machine.Gpu.Machine.counters)
   in
-  let o1, s1, c1 = run_old () and o2, s2, c2 = run_new () in
+  let chained =
+    Run_config.default
+    |> Run_config.with_mode Run_config.Partial_sums
+    |> Run_config.with_impl Run_config.Closure
+    |> Run_config.with_domains 3
+  in
+  let made =
+    Run_config.make ~mode:Run_config.Partial_sums ~impl:Run_config.Closure
+      ~domains:3 ()
+  in
+  let o1, s1, c1 = run_with chained and o2, s2, c2 = run_with made in
   Alcotest.(check (float 0.0)) "grids" 0.0 (Stencil.Grid.max_abs_diff o1 o2);
   Alcotest.(check bool) "stats" true (s1 = s2);
   Alcotest.check counters_t "counters" c1 c2
@@ -300,7 +306,11 @@ let test_wrapper_framework () =
   in
   let g = Stencil.Grid.init_random ~prec:job.Framework.prec job.Framework.dims in
   let o1 =
-    Framework.simulate ~verify:true ~mode:Blocking.Direct ~domains:2
+    Framework.simulate_cfg
+      ~cfg:
+        (Run_config.default |> Run_config.with_verify true
+        |> Run_config.with_mode Run_config.Direct
+        |> Run_config.with_domains 2)
       ~device:Gpu.Device.v100 ~steps:5 job g
   in
   let o2 =
@@ -319,8 +329,9 @@ let test_wrapper_framework () =
 let test_wrapper_tuner () =
   let dims = [| 40; 40 |] in
   let r1 =
-    Model.Tuner.tune ~k:2 ~domains:2 Gpu.Device.v100 ~prec:Stencil.Grid.F64
-      star2d ~dims_sizes:dims ~steps:8
+    Model.Tuner.tune_cfg ~k:2
+      ~cfg:(Run_config.with_domains 2 Run_config.default)
+      Gpu.Device.v100 ~prec:Stencil.Grid.F64 star2d ~dims_sizes:dims ~steps:8
   in
   let r2 =
     Model.Tuner.tune_cfg ~k:2
@@ -363,7 +374,9 @@ let test_wrapper_multi_blocking () =
   let gs () = [ Stencil.Grid.init_random dims; Stencil.Grid.init_random ~seed:7 dims ] in
   let machine1 = Gpu.Machine.create Gpu.Device.v100 in
   let out1, stats1 =
-    Multi_blocking.run ~domains:3 wave2d cfg ~machine:machine1 ~steps:4 (gs ())
+    Multi_blocking.run_cfg
+      (Run_config.with_domains 3 Run_config.default)
+      wave2d cfg ~machine:machine1 ~steps:4 (gs ())
   in
   let machine2 = Gpu.Machine.create Gpu.Device.v100 in
   let out2, stats2 =

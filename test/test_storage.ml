@@ -165,7 +165,7 @@ let test_ref_degenerate_shapes () =
 let run_blocked ~mode ~impl ~prec pattern cfg dims ~steps g =
   let em = Execmodel.make pattern cfg dims in
   let machine = Gpu.Machine.create ~prec Gpu.Device.v100 in
-  let out, _ = Blocking.run ~mode ~impl em ~machine ~steps g in
+  let out, _ = Blocking.run_cfg (Run_config.make ~mode ~impl ()) em ~machine ~steps g in
   (out, machine.Gpu.Machine.counters)
 
 let gen_blocked_case =

@@ -101,7 +101,7 @@ let check_blocked sys cfg dims ~steps =
   let gs = init_pair dims in
   let reference = System.run sys ~steps gs in
   let machine = Gpu.Machine.create Gpu.Device.v100 in
-  let blocked, stats = Multi_blocking.run sys cfg ~machine ~steps gs in
+  let blocked, stats = Multi_blocking.run_cfg Run_config.default sys cfg ~machine ~steps gs in
   List.iter2
     (fun r b ->
       Alcotest.(check (float 0.0)) "component bit-exact" 0.0 (Grid.max_abs_diff r b))
@@ -138,7 +138,7 @@ let test_launch_failure () =
   let dims = [| 80; 80 |] in
   let gs = init_pair dims in
   let machine = Gpu.Machine.create ~prec:Grid.F64 Gpu.Device.v100 in
-  match Multi_blocking.run wave2d cfg ~machine ~steps:36 gs with
+  match Multi_blocking.run_cfg Run_config.default wave2d cfg ~machine ~steps:36 gs with
   | exception Gpu.Machine.Launch_failure _ -> ()
   | _ -> Alcotest.fail "expected register launch failure"
 
@@ -221,7 +221,7 @@ let prop_blocked_matches_reference =
       let gs = init_pair dims in
       let reference = System.run wave2d ~steps:5 gs in
       let machine = Gpu.Machine.create Gpu.Device.v100 in
-      let blocked, _ = Multi_blocking.run wave2d cfg ~machine ~steps:5 gs in
+      let blocked, _ = Multi_blocking.run_cfg Run_config.default wave2d cfg ~machine ~steps:5 gs in
       List.for_all2 (fun r b -> Grid.max_abs_diff r b = 0.0) reference blocked)
 
 let () =

@@ -53,7 +53,7 @@ let test_rank_sorted () =
 
 let test_tune_2d () =
   let dev = Gpu.Device.v100 in
-  let r = Model.Tuner.tune dev ~prec:Stencil.Grid.F32 star2d1r ~dims_sizes:full2d ~steps:100 in
+  let r = Model.Tuner.tune_cfg dev ~prec:Stencil.Grid.F32 star2d1r ~dims_sizes:full2d ~steps:100 in
   Alcotest.(check int) "top-5" 5 (List.length r.Model.Tuner.top);
   Alcotest.(check bool) "valid best" true
     (Config.valid ~rad:1 ~max_threads:1024 r.Model.Tuner.best);
@@ -64,7 +64,7 @@ let test_tune_2d () =
 
 let test_tune_3d () =
   let dev = Gpu.Device.v100 in
-  let r = Model.Tuner.tune dev ~prec:Stencil.Grid.F32 star3d1r ~dims_sizes:full3d ~steps:100 in
+  let r = Model.Tuner.tune_cfg dev ~prec:Stencil.Grid.F32 star3d1r ~dims_sizes:full3d ~steps:100 in
   Alcotest.(check bool) "3D bt in range" true
     (r.Model.Tuner.best.Config.bt >= 1 && r.Model.Tuner.best.Config.bt <= 8);
   Alcotest.(check int) "two blocked dims" 2 (Array.length r.Model.Tuner.best.Config.bs)
@@ -72,8 +72,8 @@ let test_tune_3d () =
 let test_tuner_device_sensitivity () =
   (* P100's lower smem efficiency should not pick a *larger* bt than V100
      by much; both must produce positive performance *)
-  let v = Model.Tuner.tune Gpu.Device.v100 ~prec:Stencil.Grid.F32 star2d1r ~dims_sizes:full2d ~steps:100 in
-  let p = Model.Tuner.tune Gpu.Device.p100 ~prec:Stencil.Grid.F32 star2d1r ~dims_sizes:full2d ~steps:100 in
+  let v = Model.Tuner.tune_cfg Gpu.Device.v100 ~prec:Stencil.Grid.F32 star2d1r ~dims_sizes:full2d ~steps:100 in
+  let p = Model.Tuner.tune_cfg Gpu.Device.p100 ~prec:Stencil.Grid.F32 star2d1r ~dims_sizes:full2d ~steps:100 in
   Alcotest.(check bool) "v100 tuned faster" true
     (v.Model.Tuner.tuned.Model.Measure.gflops > p.Model.Tuner.tuned.Model.Measure.gflops)
 

@@ -71,7 +71,7 @@ let run_mode mode pattern cfg dims ~steps =
   let g = Stencil.Grid.init_random dims in
   let em = Execmodel.make pattern cfg dims in
   let machine = Gpu.Machine.create Gpu.Device.v100 in
-  let out, _ = Blocking.run ~mode em ~machine ~steps g in
+  let out, _ = Blocking.run_cfg (Run_config.make ~mode ()) em ~machine ~steps g in
   (g, out, machine)
 
 let test_partial_sums_box () =

@@ -1,0 +1,354 @@
+(* Multi-process shard workers (An5d_serve.Workers): the worker
+   differential — {1,2,4}-worker runs bit-identical (grids, counters
+   and launch stats) to the in-process sharded path — plus halo-cadence
+   accounting, the task/counters JSON codecs, and the fault-injection
+   matrix (mid-chunk SIGKILL death, handshake timeout, garbage halo
+   frames) with exact spawn/crash/retry metric deltas
+   (docs/SHARDING.md phase 2). *)
+
+open An5d_core
+module Workers = An5d_serve.Workers
+module Request = An5d_serve.Request
+module Json = An5d_serve.Json
+module Metrics = Obs.Metrics
+
+(* AN5D_PREC=f32|f64 pins the whole suite to one precision (CI runs
+   both pins); unset runs both. *)
+let forced_prec =
+  match Option.map String.lowercase_ascii (Sys.getenv_opt "AN5D_PREC") with
+  | Some ("f32" | "float") -> Some Stencil.Grid.F32
+  | Some ("f64" | "double") -> Some Stencil.Grid.F64
+  | Some s -> Fmt.failwith "unknown AN5D_PREC %S (want f32|f64)" s
+  | None -> None
+
+let precs =
+  match forced_prec with
+  | Some p -> [ p ]
+  | None -> [ Stencil.Grid.F32; Stencil.Grid.F64 ]
+
+(* A param-free j2d5pt with static 40x40 sizes — every task goes
+   through the real compile front door, in the parent and again inside
+   each worker process. *)
+let j2d5pt_src =
+  "#define SB 40\n\
+   void j2d5pt(double a[2][SB][SB], int timesteps) {\n\
+   for (int t = 0; t < timesteps; t++)\n\
+   for (int i = 1; i < SB - 1; i++)\n\
+   for (int j = 1; j < SB - 1; j++)\n\
+   a[(t+1)%2][i][j] = 0.25 * a[t%2][i][j] + 0.2 * a[t%2][i-1][j] + 0.15 * \
+   a[t%2][i+1][j] + 0.2 * a[t%2][i][j-1] + 0.2 * a[t%2][i][j+1];\n\
+   }"
+
+let source = Framework.source_of_string ~origin:"j2d5pt-workers" j2d5pt_src
+let config = Config.make ~bt:2 ~bs:[| 16 |] ()
+let device = Gpu.Device.v100
+let steps = 8 (* bt = 2 -> exactly 4 temporal chunks *)
+let chunks = steps / 2
+let seed = 7
+let shards = 4
+let spec prec = { Request.source; config; dims = None; prec = Some prec }
+
+let counters_t =
+  Alcotest.testable (fun ppf c -> Gpu.Counters.pp ppf c) Gpu.Counters.equal
+
+let stats_t = Alcotest.testable Blocking.pp_launch_stats ( = )
+
+let in_process ~prec ~run =
+  let job = Framework.compile ~config ~prec source in
+  let grid =
+    Stencil.Grid.init_random ~prec:job.Framework.prec ~seed job.Framework.dims
+  in
+  Framework.simulate_cfg ~cfg:(Run_config.with_workers 1 run) ~device ~steps
+    job grid
+
+let check_outcome (base : Framework.outcome) (out : Framework.outcome) =
+  Alcotest.(check string)
+    "grid digest"
+    (Stencil.Grid.digest base.Framework.result)
+    (Stencil.Grid.digest out.Framework.result);
+  Alcotest.check counters_t "counters" base.Framework.counters
+    out.Framework.counters;
+  Alcotest.check stats_t "launch stats" base.Framework.stats out.Framework.stats;
+  Alcotest.(check (result unit (float 0.0)))
+    "verified" base.Framework.verified out.Framework.verified
+
+let delta before after name =
+  Metrics.get_counter after name - Metrics.get_counter before name
+
+let with_registry ?chaos ?hello_timeout n f =
+  let reg = Workers.create ~spawn:Workers.Fork ?chaos ?hello_timeout n in
+  Fun.protect ~finally:(fun () -> Workers.shutdown reg) @@ fun () -> f reg
+
+let multiproc reg ~prec ~run =
+  let job = Framework.compile ~config ~prec source in
+  Workers.simulate reg ~spec:(spec prec) ~job ~device ~steps ~seed ~run
+
+(* ------------------------------------------------------------------ *)
+(* JSON codecs                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_counters_roundtrip () =
+  let c = Gpu.Counters.create () in
+  c.Gpu.Counters.gm_reads <- 1;
+  c.Gpu.Counters.gm_writes <- 2;
+  c.Gpu.Counters.sm_reads <- 3;
+  c.Gpu.Counters.sm_writes <- 4;
+  c.Gpu.Counters.fma <- 5;
+  c.Gpu.Counters.mul <- 6;
+  c.Gpu.Counters.add <- 7;
+  c.Gpu.Counters.other <- 8;
+  c.Gpu.Counters.kernel_launches <- 9;
+  c.Gpu.Counters.barriers <- 10;
+  c.Gpu.Counters.cells_updated <- 11;
+  Alcotest.check counters_t "field-exact round trip" c
+    (Workers.counters_of_json (Workers.counters_to_json c));
+  (* Total decode: missing fields read as zero. *)
+  Alcotest.check counters_t "empty object decodes to zeros"
+    (Gpu.Counters.create ())
+    (Workers.counters_of_json (Json.Obj []))
+
+let test_spec_roundtrip () =
+  let s = spec Stencil.Grid.F64 in
+  match Request.spec_of_json (Request.spec_to_json s) with
+  | Error e -> Alcotest.failf "spec did not round-trip: %s" e
+  | Ok s' ->
+      Alcotest.(check string)
+        "spec json fixpoint"
+        (Json.to_string (Request.spec_to_json s))
+        (Json.to_string (Request.spec_to_json s'));
+      (match Request.spec_of_json (Json.Int 3) with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "non-object spec must be rejected");
+      let r =
+        Run_config.make ~impl:Run_config.Streaming ~domains:2 ~shards:4
+          ~workers:3 ~verify:false ()
+      in
+      (match Request.run_of_json (Request.run_to_json r) with
+      | Error e -> Alcotest.failf "run did not round-trip: %s" e
+      | Ok r' ->
+          Alcotest.(check string)
+            "run cache key preserved" (Run_config.cache_key r)
+            (Run_config.cache_key r'));
+      let c =
+        Config.make ~bt:3 ~bs:[| 8; 4 |] ~hs:(Some 3) ~reg_limit:(Some 64)
+          ~diag_opt:false ()
+      in
+      (match Request.config_of_json (Request.config_to_json c) with
+      | Error e -> Alcotest.failf "config did not round-trip: %s" e
+      | Ok c' ->
+          Alcotest.(check string)
+            "config preserved"
+            (Fmt.str "%a" Config.pp c)
+            (Fmt.str "%a" Config.pp c'))
+
+let test_workers_in_cache_key () =
+  let req w =
+    Request.simulate ~seed
+      ~run:(Run_config.make ~shards ~workers:w ())
+      ~config ~device ~steps source
+  in
+  Alcotest.(check bool)
+    "workers is a semantic cache-key field" false
+    (String.equal (Request.key (req 1)) (Request.key (req 2)))
+
+(* ------------------------------------------------------------------ *)
+(* Differential: multi-process == in-process sharded                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_differential nw impl () =
+  List.iter
+    (fun prec ->
+      let run = Run_config.make ~impl ~shards ~workers:nw ~verify:true () in
+      let base = in_process ~prec ~run in
+      with_registry nw @@ fun reg ->
+      let before = Metrics.snapshot () in
+      let out = multiproc reg ~prec ~run in
+      let after = Metrics.snapshot () in
+      (* No silent in-process fallback: the differential must have
+         actually crossed process boundaries. *)
+      Alcotest.(check int)
+        "no fallback retry" 0
+        (delta before after "worker_retries");
+      check_outcome base out)
+    precs
+
+let test_resident_rejected () =
+  with_registry 1 @@ fun reg ->
+  Alcotest.check_raises "shards < 2 rejected"
+    (Invalid_argument "Workers.simulate: needs a sharded run (shards >= 2)")
+    (fun () ->
+      ignore
+        (multiproc reg ~prec:(List.hd precs)
+           ~run:(Run_config.make ~shards:1 ~workers:2 ())))
+
+(* ------------------------------------------------------------------ *)
+(* Halo cadence and wire accounting                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_cadence () =
+  let prec = List.hd precs in
+  let run = Run_config.make ~shards ~workers:2 ~verify:false () in
+  with_registry 2 @@ fun reg ->
+  let before = Metrics.snapshot () in
+  let out = multiproc reg ~prec ~run in
+  let after = Metrics.snapshot () in
+  (* Exactly one halo exchange per temporal chunk = steps / b_T. *)
+  Alcotest.(check int)
+    "halo exchanges = steps / b_T" chunks
+    (delta before after "halo_exchanges");
+  Alcotest.(check int)
+    "chunks executed" chunks
+    (delta before after "chunks_executed");
+  Alcotest.(check bool)
+    "halo bytes crossed the wire" true
+    (delta before after "halo_bytes_on_wire" > 0);
+  Alcotest.(check int)
+    "no fallback" 0
+    (delta before after "worker_retries");
+  check_outcome (in_process ~prec ~run) out
+
+(* ------------------------------------------------------------------ *)
+(* Fault matrix: never a dropped request, exact accounting             *)
+(* ------------------------------------------------------------------ *)
+
+(* Worker exits mid-chunk at its first kernel call: the crash is
+   attributed once, both used workers are torn down and respawned, and
+   the request completes in-process — bit-identically. *)
+let test_die_mid_chunk () =
+  List.iter
+    (fun prec ->
+      let run = Run_config.make ~shards ~workers:2 ~verify:true () in
+      with_registry ~chaos:(Workers.Die_at_advance 1) 2 @@ fun reg ->
+      let before = Metrics.snapshot () in
+      let out = multiproc reg ~prec ~run in
+      let after = Metrics.snapshot () in
+      Alcotest.(check int)
+        "one attributed crash" 1
+        (delta before after "worker_crashes");
+      Alcotest.(check int)
+        "both used workers respawned" 2
+        (delta before after "worker_spawns");
+      Alcotest.(check int)
+        "one in-process retry" 1
+        (delta before after "worker_retries");
+      check_outcome (in_process ~prec ~run) out)
+    precs
+
+(* Worker never says hello: both initial spawns time out at create,
+   the per-request health check re-attempts (and fails) once more per
+   slot, and the request falls back in-process. *)
+let test_handshake_timeout () =
+  List.iter
+    (fun prec ->
+      let run = Run_config.make ~shards ~workers:2 ~verify:true () in
+      let before = Metrics.snapshot () in
+      ( with_registry ~chaos:Workers.No_hello ~hello_timeout:0.3 2
+      @@ fun reg ->
+        let out = multiproc reg ~prec ~run in
+        let after = Metrics.snapshot () in
+        Alcotest.(check int)
+          "spawn attempts: 2 at create + 2 at health check" 4
+          (delta before after "worker_spawns");
+        Alcotest.(check int)
+          "every handshake failure counted" 4
+          (delta before after "worker_crashes");
+        Alcotest.(check int)
+          "one in-process retry" 1
+          (delta before after "worker_retries");
+        check_outcome (in_process ~prec ~run) out ))
+    precs
+
+(* Worker answers every halo pull with a wrong-length junk frame: the
+   transport attributes the garbage to its sender, tears the used
+   workers down and retries in-process. *)
+let test_garbage_planes () =
+  List.iter
+    (fun prec ->
+      let run = Run_config.make ~shards ~workers:2 ~verify:true () in
+      with_registry ~chaos:Workers.Garbage_planes 2 @@ fun reg ->
+      let before = Metrics.snapshot () in
+      let out = multiproc reg ~prec ~run in
+      let after = Metrics.snapshot () in
+      Alcotest.(check int)
+        "one attributed crash" 1
+        (delta before after "worker_crashes");
+      Alcotest.(check int)
+        "both used workers respawned" 2
+        (delta before after "worker_spawns");
+      Alcotest.(check int)
+        "one in-process retry" 1
+        (delta before after "worker_retries");
+      check_outcome (in_process ~prec ~run) out)
+    precs
+
+(* Real SIGKILL between requests: the next request's health check
+   discovers and repairs the death, then completes multi-process —
+   no fallback, no dropped request. *)
+let test_sigkill_respawn () =
+  List.iter
+    (fun prec ->
+      let run = Run_config.make ~shards ~workers:2 ~verify:true () in
+      let base = in_process ~prec ~run in
+      with_registry 2 @@ fun reg ->
+      check_outcome base (multiproc reg ~prec ~run);
+      let victim = Workers.pid reg 0 in
+      Workers.kill reg 0;
+      Unix.sleepf 0.05;
+      let before = Metrics.snapshot () in
+      let out = multiproc reg ~prec ~run in
+      let after = Metrics.snapshot () in
+      Alcotest.(check int)
+        "death discovered and counted" 1
+        (delta before after "worker_crashes");
+      Alcotest.(check int)
+        "one respawn" 1
+        (delta before after "worker_spawns");
+      Alcotest.(check int)
+        "completed multi-process, no fallback" 0
+        (delta before after "worker_retries");
+      Alcotest.(check bool)
+        "worker 0 is a fresh process" true
+        (Workers.alive reg 0 && Workers.pid reg 0 <> victim);
+      check_outcome base out)
+    precs
+
+(* ------------------------------------------------------------------ *)
+
+let case name f = Alcotest.test_case name `Quick f
+
+let differential_cases =
+  List.concat_map
+    (fun (iname, impl) ->
+      List.map
+        (fun nw ->
+          case
+            (Fmt.str "%d-worker %s == in-process" nw iname)
+            (test_differential nw impl))
+        [ 1; 2; 4 ])
+    [
+      ("compiled", Run_config.Compiled);
+      ("bigarray", Run_config.Bigarray);
+      ("streaming", Run_config.Streaming);
+    ]
+
+let () =
+  Alcotest.run "workers"
+    [
+      ( "json",
+        [
+          case "counters round-trip" test_counters_roundtrip;
+          case "spec/run/config round-trip" test_spec_roundtrip;
+          case "workers in cache key" test_workers_in_cache_key;
+        ] );
+      ( "differential",
+        case "resident run rejected" test_resident_rejected
+        :: differential_cases );
+      ("cadence", [ case "one exchange per temporal chunk" test_cadence ]);
+      ( "faults",
+        [
+          case "die mid-chunk" test_die_mid_chunk;
+          case "handshake timeout" test_handshake_timeout;
+          case "garbage halo frames" test_garbage_planes;
+          case "sigkill between requests" test_sigkill_respawn;
+        ] );
+    ]
